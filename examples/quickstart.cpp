@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Quickstart: the profiler on twenty lines of traced program.
+ *
+ * Builds a tiny program on the simulated machine — two computation
+ * chains, one feeding a "pixel buffer" criteria marker and one feeding a
+ * scratch buffer nobody looks at — then runs the forward pass (CFG +
+ * control dependences) and the backward pass, and prints which
+ * instructions were necessary.
+ *
+ *   $ ./examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "graph/cfg.hh"
+#include "graph/control_deps.hh"
+#include "sim/machine.hh"
+#include "slicer/slicer.hh"
+
+using namespace webslice;
+
+int
+main()
+{
+    // 1. A machine with one thread.
+    sim::Machine machine;
+    const auto tid = machine.addThread("main");
+    const auto render = machine.registerFunction("demo::render");
+    const auto telemetry = machine.registerFunction("demo::telemetry");
+
+    const uint64_t pixels = machine.alloc(64, "pixels");
+    const uint64_t scratch = machine.alloc(64, "scratch");
+
+    // 2. A traced program: every operation below becomes one trace
+    //    record with real register/memory dependences.
+    machine.post(tid, [&](sim::Ctx &ctx) {
+        {
+            sim::TracedScope scope(ctx, render);
+            sim::Value base = ctx.imm(0x00FF00);
+            sim::Value shade = ctx.imm(0x101010);
+            sim::Value color = ctx.add(base, shade); // useful chain
+            ctx.store(pixels, 4, color);
+        }
+        {
+            sim::TracedScope scope(ctx, telemetry);
+            sim::Value stamp = ctx.imm(12345);
+            sim::Value mixed = ctx.muli(stamp, 31); // wasted chain
+            ctx.store(scratch, 4, mixed);
+        }
+        // 3. The slicing criterion: the paper's marker over the final
+        //    pixel values (its "xchg %r13w,%r13w" + criteria file).
+        const trace::MemRange ranges[] = {{pixels, 64}};
+        ctx.marker(ranges);
+    });
+    machine.run();
+
+    // 4. Forward pass: CFGs and control dependences from the trace.
+    const auto cfgs = graph::buildCfgs(machine.records(),
+                                       machine.symtab());
+    const auto deps = graph::buildControlDeps(cfgs);
+
+    // 5. Backward pass: liveness-driven slicing from the criteria.
+    const auto slice = slicer::computeSlice(
+        machine.records(), cfgs, deps, machine.pixelCriteria());
+
+    std::printf("trace: %zu records, slice: %llu of %llu instructions "
+                "(%.0f%%)\n\n",
+                machine.records().size(),
+                static_cast<unsigned long long>(slice.sliceInstructions),
+                static_cast<unsigned long long>(
+                    slice.instructionsAnalyzed),
+                slice.slicePercent());
+
+    static const char *const kKindNames[] = {
+        "alu", "imm", "load", "store", "branch", "jump",
+        "call", "ret", "syscall", "sys-read", "sys-write", "marker"};
+    for (size_t i = 0; i < machine.records().size(); ++i) {
+        const auto &rec = machine.records()[i];
+        std::printf("  [%2zu] %-9s in %-16s %s\n", i,
+                    kKindNames[static_cast<int>(rec.kind)],
+                    cfgs.functionName(cfgs.funcOf[i],
+                                      machine.symtab()).c_str(),
+                    slice.inSlice[i] ? "<- necessary"
+                                     : "   (unnecessary)");
+    }
+
+    std::printf("\nEverything demo::render did reaches the pixels; "
+                "demo::telemetry is waste.\n");
+    return 0;
+}

@@ -1,0 +1,142 @@
+#include "analysis/categorize.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+#include "support/strings.hh"
+
+namespace webslice {
+namespace analysis {
+
+Categorizer
+Categorizer::chromiumDefault()
+{
+    Categorizer c;
+    c.addRule("v8", "JavaScript");
+    c.addRule("debug", "Debugging");
+    c.addRule("ipc", "IPC");
+    c.addRule("base::threading", "Multi-threading");
+    c.addRule("cc", "Compositing");
+    c.addRule("gfx", "Graphics");
+    c.addRule("css", "CSS");
+    c.addRule("style", "CSS");
+    c.addRule("scheduler", "Other");
+    c.addRule("net", "Other");
+    return c;
+}
+
+void
+Categorizer::addRule(std::string namespace_path, std::string category)
+{
+    rules_[std::move(namespace_path)] = std::move(category);
+}
+
+std::string
+Categorizer::categoryOf(std::string_view qualified_name) const
+{
+    // Try progressively shallower namespace paths: "a::b::c::f" checks
+    // "a::b::c", then "a::b", then "a".
+    const size_t last_sep = qualified_name.rfind("::");
+    if (last_sep == std::string_view::npos)
+        return {};
+    std::string_view path = qualified_name.substr(0, last_sep);
+    while (!path.empty()) {
+        auto it = rules_.find(std::string(path));
+        if (it != rules_.end())
+            return it->second;
+        const size_t sep = path.rfind("::");
+        if (sep == std::string_view::npos)
+            break;
+        path = path.substr(0, sep);
+    }
+    return {};
+}
+
+const std::vector<std::string> &
+Categorizer::reportOrder()
+{
+    static const std::vector<std::string> order = {
+        "JavaScript",     "Debugging", "IPC", "Multi-threading",
+        "Compositing",    "Graphics",  "CSS", "Other",
+    };
+    return order;
+}
+
+double
+CategoryDistribution::sharePercent(const std::string &category) const
+{
+    const uint64_t categorized = totalUnnecessary - uncategorized;
+    if (categorized == 0)
+        return 0.0;
+    auto it = counts.find(category);
+    const uint64_t n = it == counts.end() ? 0 : it->second;
+    return 100.0 * static_cast<double>(n) /
+           static_cast<double>(categorized);
+}
+
+CategoryDistribution
+categorizeUnnecessary(std::span<const trace::Record> records,
+                      std::span<const uint8_t> in_slice,
+                      const graph::CfgSet &cfgs,
+                      const trace::SymbolTable &symtab,
+                      const Categorizer &categorizer,
+                      size_t end_index)
+{
+    panic_if(records.size() != in_slice.size(),
+             "records and slice verdicts must be parallel arrays");
+
+    CategoryDistribution out;
+
+    // Function id -> category, computed lazily (ids are dense enough to
+    // make a flat cache worthwhile).
+    std::vector<int8_t> cached; // -2 unknown, -1 uncategorized, else index
+    std::vector<std::string> category_names;
+    auto categoryIndex = [&](trace::FuncId func) -> int {
+        if (func == trace::kNoFunc)
+            return -1;
+        if (func >= cached.size())
+            cached.resize(func + 1, -2);
+        if (cached[func] != -2)
+            return cached[func];
+
+        const std::string name = cfgs.functionName(func, symtab);
+        const std::string category = categorizer.categoryOf(name);
+        int idx = -1;
+        if (!category.empty()) {
+            auto it = std::find(category_names.begin(),
+                                category_names.end(), category);
+            if (it == category_names.end()) {
+                category_names.push_back(category);
+                idx = static_cast<int>(category_names.size()) - 1;
+            } else {
+                idx = static_cast<int>(it - category_names.begin());
+            }
+        }
+        panic_if(idx > 126, "too many categories for the i8 cache");
+        cached[func] = static_cast<int8_t>(idx);
+        return idx;
+    };
+
+    std::vector<uint64_t> counts;
+    const size_t end = std::min(end_index, records.size());
+    for (size_t i = 0; i < end; ++i) {
+        if (records[i].isPseudo() || in_slice[i])
+            continue;
+        ++out.totalUnnecessary;
+        const int idx = categoryIndex(cfgs.funcOf[i]);
+        if (idx < 0) {
+            ++out.uncategorized;
+        } else {
+            if (counts.size() <= static_cast<size_t>(idx))
+                counts.resize(idx + 1, 0);
+            ++counts[idx];
+        }
+    }
+
+    for (size_t i = 0; i < counts.size(); ++i)
+        out.counts[category_names[i]] = counts[i];
+    return out;
+}
+
+} // namespace analysis
+} // namespace webslice

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Namespace-based categorization of potentially unnecessary computations —
+ * the data behind the paper's Figure 5.
+ *
+ * Like the paper, we look up each non-slice instruction's enclosing
+ * function and use the function's C++ namespace as the category key. Not
+ * every function has a namespace (leaf library helpers, synthetic toplevel
+ * glue), so a fraction of non-slice instructions stays uncategorized — the
+ * paper reports 53–74% coverage across its benchmarks.
+ */
+
+#ifndef WEBSLICE_ANALYSIS_CATEGORIZE_HH
+#define WEBSLICE_ANALYSIS_CATEGORIZE_HH
+
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/cfg.hh"
+#include "trace/record.hh"
+#include "trace/symtab.hh"
+
+namespace webslice {
+namespace analysis {
+
+/**
+ * Maps function namespaces to the paper's categories. The default table
+ * mirrors Chromium's layout: v8 -> JavaScript, cc -> Compositing, and so
+ * on.
+ */
+class Categorizer
+{
+  public:
+    /** Construct with the paper's default namespace table. */
+    static Categorizer chromiumDefault();
+
+    /** Register namespace_path (e.g. "base::threading") -> category. */
+    void addRule(std::string namespace_path, std::string category);
+
+    /**
+     * Category for a qualified function name, or "" when the name carries
+     * no mapped namespace. Deeper (more specific) rules win.
+     */
+    std::string categoryOf(std::string_view qualified_name) const;
+
+    /** The fixed order categories are reported in (the paper's legend). */
+    static const std::vector<std::string> &reportOrder();
+
+  private:
+    /** namespace path -> category, deepest path matched first. */
+    std::map<std::string, std::string, std::greater<>> rules_;
+};
+
+/** Distribution of non-slice instructions over categories. */
+struct CategoryDistribution
+{
+    /** Category -> non-slice instruction count. */
+    std::map<std::string, uint64_t> counts;
+
+    /** Non-slice instructions whose function had no mapped namespace. */
+    uint64_t uncategorized = 0;
+
+    /** All non-slice instructions examined. */
+    uint64_t totalUnnecessary = 0;
+
+    /** Fraction of non-slice instructions that fell into a category. */
+    double
+    coveragePercent() const
+    {
+        if (totalUnnecessary == 0)
+            return 0.0;
+        return 100.0 *
+               static_cast<double>(totalUnnecessary - uncategorized) /
+               static_cast<double>(totalUnnecessary);
+    }
+
+    /** Share of category c among categorized instructions, percent. */
+    double sharePercent(const std::string &category) const;
+};
+
+/**
+ * Categorize every executed instruction that is NOT in the slice.
+ *
+ * @param records   the dynamic trace
+ * @param in_slice  per-record verdicts from the backward pass
+ * @param cfgs      forward-pass output (per-record enclosing function)
+ * @param symtab    function names
+ * @param categorizer namespace table
+ * @param end_index only records before this index are examined
+ */
+CategoryDistribution
+categorizeUnnecessary(std::span<const trace::Record> records,
+                      std::span<const uint8_t> in_slice,
+                      const graph::CfgSet &cfgs,
+                      const trace::SymbolTable &symtab,
+                      const Categorizer &categorizer,
+                      size_t end_index = SIZE_MAX);
+
+} // namespace analysis
+} // namespace webslice
+
+#endif // WEBSLICE_ANALYSIS_CATEGORIZE_HH

@@ -1,0 +1,47 @@
+#include "analysis/function_stats.hh"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "support/logging.hh"
+
+namespace webslice {
+namespace analysis {
+
+std::vector<FunctionSliceStats>
+computeFunctionStats(std::span<const trace::Record> records,
+                     std::span<const uint8_t> in_slice,
+                     const graph::CfgSet &cfgs,
+                     const trace::SymbolTable &symtab)
+{
+    panic_if(records.size() != in_slice.size(),
+             "records and slice verdicts must be parallel arrays");
+
+    std::unordered_map<std::string, FunctionSliceStats> by_name;
+    for (size_t i = 0; i < records.size(); ++i) {
+        if (records[i].isPseudo())
+            continue;
+        const trace::FuncId func = cfgs.funcOf[i];
+        const std::string name = cfgs.functionName(func, symtab);
+        auto &stats = by_name[name];
+        if (stats.totalInstructions == 0) {
+            stats.func = func;
+            stats.name = name;
+        }
+        ++stats.totalInstructions;
+        stats.sliceInstructions += in_slice[i] ? 1 : 0;
+    }
+
+    std::vector<FunctionSliceStats> out;
+    out.reserve(by_name.size());
+    for (auto &kv : by_name)
+        out.push_back(std::move(kv.second));
+    std::sort(out.begin(), out.end(),
+              [](const FunctionSliceStats &a, const FunctionSliceStats &b) {
+                  return a.totalInstructions > b.totalInstructions;
+              });
+    return out;
+}
+
+} // namespace analysis
+} // namespace webslice

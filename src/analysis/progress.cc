@@ -1,0 +1,58 @@
+#include "analysis/progress.hh"
+
+#include "support/logging.hh"
+
+namespace webslice {
+namespace analysis {
+
+std::vector<ProgressPoint>
+computeBackwardProgress(std::span<const trace::Record> records,
+                        std::span<const uint8_t> in_slice,
+                        size_t sample_count,
+                        std::optional<trace::ThreadId> tid_filter)
+{
+    panic_if(records.size() != in_slice.size(),
+             "records and slice verdicts must be parallel arrays");
+    if (sample_count == 0)
+        sample_count = 1;
+
+    // Count matching instructions to space the samples evenly.
+    uint64_t matching = 0;
+    for (const auto &rec : records) {
+        if (rec.isPseudo())
+            continue;
+        if (tid_filter && rec.tid != *tid_filter)
+            continue;
+        ++matching;
+    }
+
+    std::vector<ProgressPoint> series;
+    if (matching == 0)
+        return series;
+
+    const uint64_t stride = std::max<uint64_t>(1, matching / sample_count);
+
+    uint64_t analyzed = 0;
+    uint64_t sliced = 0;
+    for (size_t idx = records.size(); idx-- > 0;) {
+        const auto &rec = records[idx];
+        if (rec.isPseudo())
+            continue;
+        if (tid_filter && rec.tid != *tid_filter)
+            continue;
+        ++analyzed;
+        if (in_slice[idx])
+            ++sliced;
+        if (analyzed % stride == 0 || analyzed == matching) {
+            ProgressPoint point;
+            point.analyzed = analyzed;
+            point.slicePercent = 100.0 * static_cast<double>(sliced) /
+                                 static_cast<double>(analyzed);
+            series.push_back(point);
+        }
+    }
+    return series;
+}
+
+} // namespace analysis
+} // namespace webslice

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Backward-pass progress series — the data behind the paper's Figure 4
+ * ("Changes of slicing percentage over the backward pass"): x = 0 is the
+ * end of the trace (page loaded / session done), the last point is the
+ * beginning (URL entered), and y is the cumulative slice percentage of the
+ * instructions analyzed so far.
+ */
+
+#ifndef WEBSLICE_ANALYSIS_PROGRESS_HH
+#define WEBSLICE_ANALYSIS_PROGRESS_HH
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "trace/record.hh"
+
+namespace webslice {
+namespace analysis {
+
+/** One sampled point of the backward pass. */
+struct ProgressPoint
+{
+    /** Instructions analyzed so far (from the end of the trace). */
+    uint64_t analyzed = 0;
+    /** Cumulative slice percentage among them. */
+    double slicePercent = 0.0;
+};
+
+/**
+ * Sample the cumulative slice percentage at even intervals of the
+ * backward pass.
+ *
+ * @param records     the dynamic trace
+ * @param in_slice    per-record verdicts
+ * @param sample_count number of points in the returned series
+ * @param tid_filter  when set, restrict to one thread's instructions
+ *                    (Figure 4's "Main thread" panels)
+ */
+std::vector<ProgressPoint>
+computeBackwardProgress(std::span<const trace::Record> records,
+                        std::span<const uint8_t> in_slice,
+                        size_t sample_count = 100,
+                        std::optional<trace::ThreadId> tid_filter = {});
+
+} // namespace analysis
+} // namespace webslice
+
+#endif // WEBSLICE_ANALYSIS_PROGRESS_HH

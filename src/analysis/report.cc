@@ -1,0 +1,73 @@
+#include "analysis/report.hh"
+
+#include "analysis/function_stats.hh"
+#include "analysis/thread_stats.hh"
+#include "support/strings.hh"
+#include "support/table.hh"
+
+namespace webslice {
+namespace analysis {
+
+void
+renderReport(std::ostream &os, std::span<const trace::Record> records,
+             const slicer::SliceResult &slice, const graph::CfgSet &cfgs,
+             const trace::SymbolTable &symtab,
+             const ReportOptions &options)
+{
+    const size_t window = std::min(options.endIndex, records.size());
+
+    os << format("pixel slice: %s of %s instructions (%.1f%%)\n",
+                 withCommas(slice.sliceInstructions).c_str(),
+                 withCommas(slice.instructionsAnalyzed).c_str(),
+                 slice.slicePercent());
+
+    // ---- per thread --------------------------------------------------------
+    const auto stats = computeThreadStats(records, slice.inSlice,
+                                          options.threadNames, window);
+    TextTable threads;
+    threads.setHeader({"thread", "instructions", "slice"});
+    for (const auto &thread : stats.perThread) {
+        if (thread.totalInstructions == 0)
+            continue;
+        threads.addRow({thread.name.empty()
+                            ? format("tid%u", thread.tid)
+                            : thread.name,
+                        withCommas(thread.totalInstructions),
+                        format("%.1f%%", thread.slicePercent())});
+    }
+    os << '\n';
+    threads.render(os);
+
+    // ---- categorization -------------------------------------------------------
+    const Categorizer default_categorizer =
+        Categorizer::chromiumDefault();
+    const Categorizer &categorizer =
+        options.categorizer ? *options.categorizer : default_categorizer;
+    const auto dist = categorizeUnnecessary(
+        records, slice.inSlice, cfgs, symtab, categorizer, window);
+    os << format("\nunnecessary computations (%.0f%% categorizable):\n",
+                 dist.coveragePercent());
+    for (const auto &category : Categorizer::reportOrder()) {
+        const double share = dist.sharePercent(category);
+        if (share >= 0.05)
+            os << format("  %-16s %5.1f%%\n", category.c_str(), share);
+    }
+
+    // ---- hottest functions ------------------------------------------------------
+    if (options.topFunctions == 0)
+        return;
+    const auto functions = computeFunctionStats(
+        {records.data(), window}, {slice.inSlice.data(), window}, cfgs,
+        symtab);
+    os << "\nhottest functions:\n";
+    for (size_t i = 0;
+         i < functions.size() && i < options.topFunctions; ++i) {
+        os << format("  %-48s %10s instr  %5.1f%% in slice\n",
+                     functions[i].name.c_str(),
+                     withCommas(functions[i].totalInstructions).c_str(),
+                     functions[i].slicePercent());
+    }
+}
+
+} // namespace analysis
+} // namespace webslice

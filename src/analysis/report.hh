@@ -1,0 +1,57 @@
+/**
+ * @file
+ * One-call report rendering: the complete standard analysis (overall and
+ * per-thread slice, waste categorization, hottest functions) written to a
+ * stream. This is the library-level equivalent of what the
+ * webslice-profile tool prints, so downstream embedders can produce the
+ * paper's analysis with a single call.
+ */
+
+#ifndef WEBSLICE_ANALYSIS_REPORT_HH
+#define WEBSLICE_ANALYSIS_REPORT_HH
+
+#include <ostream>
+#include <span>
+#include <string>
+
+#include "analysis/categorize.hh"
+#include "graph/cfg.hh"
+#include "slicer/slicer.hh"
+#include "trace/record.hh"
+#include "trace/symtab.hh"
+
+namespace webslice {
+namespace analysis {
+
+/** Report configuration. */
+struct ReportOptions
+{
+    /** Only records before this index are reported. */
+    size_t endIndex = SIZE_MAX;
+
+    /** Rows in the hottest-functions section (0 disables it). */
+    size_t topFunctions = 10;
+
+    /** Thread names indexed by tid (missing entries print as tidN). */
+    std::span<const std::string> threadNames;
+
+    /** Namespace table for the categorization section. */
+    const Categorizer *categorizer = nullptr; ///< nullptr = default
+};
+
+/**
+ * Render the full analysis of one sliced trace to `os`: headline slice
+ * percentage, per-thread breakdown, unnecessary-computation categories
+ * with coverage, and the hottest functions with their slice shares.
+ */
+void renderReport(std::ostream &os,
+                  std::span<const trace::Record> records,
+                  const slicer::SliceResult &slice,
+                  const graph::CfgSet &cfgs,
+                  const trace::SymbolTable &symtab,
+                  const ReportOptions &options = {});
+
+} // namespace analysis
+} // namespace webslice
+
+#endif // WEBSLICE_ANALYSIS_REPORT_HH

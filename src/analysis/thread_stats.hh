@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Per-thread slice statistics — the data behind the paper's Table II
+ * (pixels-slice percentage and total instructions for All / Main /
+ * Compositor / Rasterizer threads).
+ */
+
+#ifndef WEBSLICE_ANALYSIS_THREAD_STATS_HH
+#define WEBSLICE_ANALYSIS_THREAD_STATS_HH
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "trace/record.hh"
+
+namespace webslice {
+namespace analysis {
+
+/** Instruction totals for one thread. */
+struct ThreadSliceStats
+{
+    trace::ThreadId tid = 0;
+    std::string name;
+    uint64_t totalInstructions = 0;
+    uint64_t sliceInstructions = 0;
+
+    double
+    slicePercent() const
+    {
+        if (totalInstructions == 0)
+            return 0.0;
+        return 100.0 * static_cast<double>(sliceInstructions) /
+               static_cast<double>(totalInstructions);
+    }
+};
+
+/** Aggregate over all threads plus the per-thread breakdown. */
+struct SliceBreakdown
+{
+    ThreadSliceStats all;
+    std::vector<ThreadSliceStats> perThread; ///< Indexed by tid.
+};
+
+/**
+ * Tally per-thread instruction and slice counts.
+ *
+ * @param records      the dynamic trace
+ * @param in_slice     per-record verdicts from the backward pass
+ * @param thread_names optional names indexed by tid (shorter is fine)
+ * @param end_index    only records before this index are counted
+ */
+SliceBreakdown
+computeThreadStats(std::span<const trace::Record> records,
+                   std::span<const uint8_t> in_slice,
+                   std::span<const std::string> thread_names = {},
+                   size_t end_index = SIZE_MAX);
+
+} // namespace analysis
+} // namespace webslice
+
+#endif // WEBSLICE_ANALYSIS_THREAD_STATS_HH

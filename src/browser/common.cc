@@ -1,0 +1,27 @@
+#include "browser/common.hh"
+
+#include "support/strings.hh"
+
+namespace webslice {
+namespace browser {
+
+BrowserThreads
+makeBrowserThreads(sim::Machine &machine, const BrowserConfig &config)
+{
+    BrowserThreads threads;
+    threads.main = machine.addThread("CrRendererMain");
+    threads.names.push_back("CrRendererMain");
+    threads.compositor = machine.addThread("Compositor");
+    threads.names.push_back("Compositor");
+    for (int i = 0; i < config.rasterThreads; ++i) {
+        const std::string name = format("CompositorTileWorker%d", i + 1);
+        threads.raster.push_back(machine.addThread(name));
+        threads.names.push_back(name);
+    }
+    threads.io = machine.addThread("Chrome_ChildIOThread");
+    threads.names.push_back("Chrome_ChildIOThread");
+    return threads;
+}
+
+} // namespace browser
+} // namespace webslice

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Shared browser-substrate configuration and conventions.
+ *
+ * The browser is a miniature Chromium-like rendering engine written
+ * against the traced machine (sim::Machine). Its structure mirrors the
+ * tab-process architecture the paper instruments: a main thread
+ * (HTML/CSS/JS and paint), a compositor thread (layers, tiling, input),
+ * N rasterizer worker threads, and a child-IO thread (IPC and network
+ * dispatch) — all serialized into one trace stream, as the paper's
+ * affinity-pinned setup does.
+ *
+ * Function names registered with the machine use Chromium-flavoured
+ * namespaces (v8::, cc::, css::, gfx::, ipc::, debug::,
+ * base::threading::, scheduler::, net::, html::, lib::), which is what
+ * the analysis layer's namespace categorization keys on.
+ */
+
+#ifndef WEBSLICE_BROWSER_COMMON_HH
+#define WEBSLICE_BROWSER_COMMON_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/machine.hh"
+
+namespace webslice {
+namespace browser {
+
+/** Geometry and pacing parameters of one browser instance. */
+struct BrowserConfig
+{
+    /** CSS viewport size in px (the mobile emulation uses 360x640). */
+    int viewportWidth = 1280;
+    int viewportHeight = 720;
+
+    /** Emulated-mobile mode (affects layout and tiling volume). */
+    bool mobile = false;
+
+    /** Number of rasterizer worker threads Chromium-style. */
+    int rasterThreads = 2;
+
+    /** Virtual cycles per simulated millisecond (calibration knob). */
+    uint64_t cyclesPerMs = 1000;
+
+    /** One-way network latency for resource fetches. */
+    uint64_t networkLatencyMs = 40;
+
+    /** Network bandwidth in bytes per simulated millisecond. */
+    uint64_t networkBytesPerMs = 4000;
+
+    /** Tile edge in px (Chromium uses 256x256 tiles). */
+    int tilePx = 256;
+
+    /**
+     * Raster cell granularity in px: pixel values are tracked per
+     * cell (a cell is one u32 in simulated memory) to keep trace volume
+     * proportional to, not equal to, the pixel count.
+     */
+    int cellPx = 16;
+
+    /** Vsync/animation tick interval. */
+    uint64_t vsyncMs = 16;
+
+    uint64_t
+    msToCycles(uint64_t ms) const
+    {
+        return ms * cyclesPerMs;
+    }
+
+    int cellsPerTile() const { return tilePx / cellPx; }
+};
+
+/** Thread handles of one browser instance. */
+struct BrowserThreads
+{
+    trace::ThreadId main = 0;
+    trace::ThreadId compositor = 0;
+    trace::ThreadId io = 0;
+    std::vector<trace::ThreadId> raster;
+
+    /** Names in tid order, for analysis/report layers. */
+    std::vector<std::string> names;
+};
+
+/** Create the Chromium-style thread set on a machine. */
+BrowserThreads makeBrowserThreads(sim::Machine &machine,
+                                  const BrowserConfig &config);
+
+} // namespace browser
+} // namespace webslice
+
+#endif // WEBSLICE_BROWSER_COMMON_HH

@@ -1,0 +1,690 @@
+#include "browser/compositor.hh"
+
+#include <algorithm>
+
+#include "sim/syscalls.hh"
+#include "support/logging.hh"
+
+namespace webslice {
+namespace browser {
+
+using sim::Ctx;
+using sim::TracedScope;
+using sim::Value;
+
+namespace {
+
+/** Layer impl record: screen rect + occlusion + animation phase. */
+struct ImplFields
+{
+    static constexpr uint64_t kScreenX = 0;
+    static constexpr uint64_t kScreenY = 4;
+    static constexpr uint64_t kW = 8;
+    static constexpr uint64_t kH = 12;
+    static constexpr uint64_t kOccluded = 16;
+    static constexpr uint64_t kZ = 20;
+    static constexpr uint64_t kAnimPhase = 24;
+    static constexpr uint64_t kDrawHash = 32;
+    static constexpr uint64_t kRecordBytes = 40;
+};
+
+} // namespace
+
+Compositor::Compositor(sim::Machine &machine, const BrowserConfig &config,
+                       const BrowserThreads &threads, TraceLog &trace_log,
+                       IpcChannel &ipc)
+    : machine_(machine), config_(config), threads_(threads),
+      traceLog_(trace_log), ipc_(ipc),
+      raster_(machine, trace_log, config),
+      fnCommit_(machine.registerFunction("cc::LayerTreeHost::commit")),
+      fnPropertyTrees_(
+          machine.registerFunction("cc::PropertyTrees::update")),
+      fnOcclusion_(machine.registerFunction("cc::OcclusionTracker::compute")),
+      fnTileManager_(
+          machine.registerFunction("cc::TileManager::prepareTiles")),
+      fnSubmit_(machine.registerFunction("cc::Display::submitFrame")),
+      fnScroll_(machine.registerFunction("cc::InputHandler::scrollBy")),
+      fnInput_(machine.registerFunction("cc::InputHandler::routeEvent")),
+      fnBeginFrame_(machine.registerFunction("cc::Scheduler::beginFrame")),
+      fnAnimate_(machine.registerFunction("cc::AnimationHost::tick")),
+      fnDrawProps_(machine.registerFunction(
+          "cc::DrawPropertiesCalculator::compute")),
+      fnDraw_(machine.registerFunction("cc::Display::drawFrame"))
+{
+    toCompositor_ = std::make_unique<TaskChannel>(
+        machine, threads.compositor, "cc-commit");
+    for (size_t i = 0; i < threads.raster.size(); ++i) {
+        toRaster_.push_back(std::make_unique<TaskChannel>(
+            machine, threads.raster[i], "cc-raster"));
+    }
+    rasterDone_ = std::make_unique<TaskChannel>(
+        machine, threads.compositor, "cc-rasterdone");
+    scrollAddr_ = machine.alloc(8, "cc-scroll");
+    commitRecordAddr_ = machine.alloc(16, "cc-commitrec");
+    frameRecordAddr_ = machine.alloc(4096, "cc-frame");
+    budgetAddr_ = machine.alloc(4, "cc-budget");
+    // Software-composited output target (sampled blit per frame).
+    const uint64_t fb_cells =
+        static_cast<uint64_t>(config.viewportWidth / config.cellPx + 1) *
+        (config.viewportHeight / config.cellPx + 1);
+    framebufferAddr_ = machine.alloc(fb_cells * 4, "cc-framebuffer");
+}
+
+uint64_t
+Compositor::implRecordFor(Layer &layer)
+{
+    auto it = implRecords_.find(layer.id);
+    if (it != implRecords_.end())
+        return it->second;
+    const uint64_t addr =
+        machine_.alloc(ImplFields::kRecordBytes, "cc-impl");
+    implRecords_[layer.id] = addr;
+    return addr;
+}
+
+void
+Compositor::ensureBacking(Ctx &ctx, Layer &layer)
+{
+    const int tile_px = config_.tilePx;
+    const int tiles_x = std::max(1, (layer.w + tile_px - 1) / tile_px);
+    const int tiles_y = std::max(1, (layer.h + tile_px - 1) / tile_px);
+    if (layer.backingAddr && layer.tilesX == tiles_x &&
+        layer.tilesY == tiles_y) {
+        return;
+    }
+    // (Re)allocate the layer's backing store: one contiguous cell block
+    // per tile. Old stores are freed; the memory-cost-of-every-layer
+    // behaviour the paper criticizes is preserved because allocation
+    // happens for every layer that ever becomes visible, and is never
+    // dropped when the layer is later occluded.
+    if (layer.backingAddr)
+        machine_.free(layer.backingAddr);
+    if (layer.dirtyMapAddr)
+        machine_.free(layer.dirtyMapAddr);
+    const uint64_t tile_bytes = static_cast<uint64_t>(
+        config_.cellsPerTile() * config_.cellsPerTile() * 4);
+    layer.backingAddr = machine_.alloc(
+        static_cast<uint64_t>(tiles_x) * tiles_y * tile_bytes,
+        "cc-backing");
+    layer.dirtyMapAddr = machine_.alloc(
+        static_cast<uint64_t>(tiles_x) * tiles_y, "cc-dirtymap");
+    layer.tilesX = tiles_x;
+    layer.tilesY = tiles_y;
+    layer.tileDirty.assign(static_cast<size_t>(tiles_x) * tiles_y, 1);
+    invalidateTiles(ctx, layer);
+}
+
+void
+Compositor::invalidateTiles(Ctx &ctx, Layer &layer, const Value *damage)
+{
+    if (!layer.dirtyMapAddr)
+        return;
+    // The dirty bytes carry the damage source's value (generation or
+    // animation phase), so raster scheduling is data-dependent on what
+    // caused the invalidation.
+    Value mark = damage ? ctx.bor(ctx.andi(*damage, 0x7F), ctx.imm(1))
+                        : ctx.imm(1);
+    const size_t tiles = layer.tileDirty.size();
+    for (size_t t = 0; t < tiles; ++t) {
+        layer.tileDirty[t] = 1;
+        ctx.store(layer.dirtyMapAddr + t, 1, mark);
+    }
+    layer.dirtyCount = static_cast<int>(tiles);
+}
+
+void
+Compositor::commit(Ctx &main_ctx)
+{
+    panic_if(!tree_, "commit without a layer tree");
+    ++commits_;
+    Value generation = main_ctx.imm(tree_->generation);
+    main_ctx.store(commitRecordAddr_, 8, generation);
+    toCompositor_->post(main_ctx, commitRecordAddr_,
+                        [this](Ctx &ctx, Value) { onCommit(ctx); });
+}
+
+void
+Compositor::onCommit(Ctx &ctx)
+{
+    TracedScope scope(ctx, fnCommit_);
+    traceLog_.addEvent(ctx, /*category=*/40);
+
+    Value generation = ctx.load(commitRecordAddr_, 8);
+    Value sane = ctx.gtu(generation, ctx.imm(0));
+    ctx.branchIf(sane);
+
+    updatePropertyTrees(ctx);
+    computeOcclusion(ctx);
+
+    // Invalidate repainted layers (traced dirty-map stores: the raster
+    // scheduling decisions become control/data dependent on the commit).
+    for (auto &layer : tree_->layers) {
+        auto &committed = committedGeneration_[layer->id];
+        if (committed != layer->paintGeneration) {
+            committed = layer->paintGeneration;
+            ensureBacking(ctx, *layer);
+            invalidateTiles(ctx, *layer, &generation);
+        }
+    }
+
+    scheduleTiles(ctx, /*prepaint=*/true);
+    frameRequested_ = true;
+    if (pendingRasters_ == 0)
+        submitFrame(ctx);
+}
+
+void
+Compositor::updatePropertyTrees(Ctx &ctx)
+{
+    TracedScope scope(ctx, fnPropertyTrees_);
+    Value scroll = ctx.load(scrollAddr_, 8);
+    for (auto &layer : tree_->layers) {
+        const uint64_t impl = implRecordFor(*layer);
+        Value x = ctx.load(layer->recordAddr + LayerFields::kX, 4);
+        Value y = ctx.load(layer->recordAddr + LayerFields::kY, 4);
+        Value w = ctx.load(layer->recordAddr + LayerFields::kW, 4);
+        Value h = ctx.load(layer->recordAddr + LayerFields::kH, 4);
+        Value z = ctx.load(layer->recordAddr + LayerFields::kZ, 4);
+        Value flags = ctx.load(layer->recordAddr + LayerFields::kFlags, 4);
+
+        // Fixed layers ignore scroll; others translate by -scroll.
+        Value is_fixed = ctx.andi(flags, 1);
+        Value scrolled_y = ctx.sub(y, scroll);
+        Value fixed_y = ctx.copy(y);
+        Value screen_y = ctx.select(is_fixed, fixed_y, scrolled_y);
+
+        ctx.store(impl + ImplFields::kScreenX, 4, x);
+        ctx.store(impl + ImplFields::kScreenY, 4, screen_y);
+        ctx.store(impl + ImplFields::kW, 4, w);
+        ctx.store(impl + ImplFields::kH, 4, h);
+        ctx.store(impl + ImplFields::kZ, 4, z);
+    }
+}
+
+void
+Compositor::computeDrawProperties(Ctx &ctx)
+{
+    // The per-frame walk cc really pays: transform/clip/effect/scroll
+    // subpasses over every layer impl, producing draw-space rects that
+    // only the frame submission consumes. Most of this is exactly the
+    // compositor overhead the paper's Table II shows as non-slice.
+    TracedScope scope(ctx, fnDrawProps_);
+    Value scroll = ctx.load(scrollAddr_, 8);
+    for (auto &layer : tree_->layers) {
+        const uint64_t impl = implRecordFor(*layer);
+        Value acc = ctx.imm(0x41);
+        for (int subpass = 0; subpass < 1; ++subpass) {
+            Value x = ctx.load(impl + ImplFields::kScreenX, 4);
+            Value y = ctx.load(impl + ImplFields::kScreenY, 4);
+            Value w = ctx.load(impl + ImplFields::kW, 4);
+            Value h = ctx.load(impl + ImplFields::kH, 4);
+            Value m0 = ctx.add(ctx.mul(x, w), ctx.mul(y, h));
+            Value m1 = ctx.bxor(m0, scroll);
+            Value m2 = ctx.add(ctx.shri(m1, 3), ctx.shli(m1, 2));
+            Value clip_lo = ctx.ltu(y, ctx.imm(0x7FFFFFFF));
+            Value clip = ctx.select(clip_lo, m2, m1);
+            acc = ctx.add(acc, clip);
+        }
+        ctx.store(impl + ImplFields::kDrawHash, 8, acc);
+    }
+}
+
+void
+Compositor::computeOcclusion(Ctx &ctx)
+{
+    TracedScope scope(ctx, fnOcclusion_);
+    // Front-to-back pairwise containment: a layer fully inside a
+    // higher-z layer's screen rect is occluded and need not raster.
+    for (auto &layer : tree_->layers) {
+        if (!layer->owner) {
+            layer->fullyOccluded = false;
+            continue;
+        }
+        const uint64_t impl = implRecordFor(*layer);
+        bool occluded = false;
+        Value occluded_v = ctx.imm(0);
+        for (auto &other : tree_->layers) {
+            if (other.get() == layer.get() || other->z <= layer->z)
+                continue;
+            if (other->w <= 0 || other->h <= 0)
+                continue;
+            const uint64_t other_impl = implRecordFor(*other);
+            Value ax = ctx.load(impl + ImplFields::kScreenX, 4);
+            Value ay = ctx.load(impl + ImplFields::kScreenY, 4);
+            Value aw = ctx.load(impl + ImplFields::kW, 4);
+            Value ah = ctx.load(impl + ImplFields::kH, 4);
+            Value bx = ctx.load(other_impl + ImplFields::kScreenX, 4);
+            Value by = ctx.load(other_impl + ImplFields::kScreenY, 4);
+            Value bw = ctx.load(other_impl + ImplFields::kW, 4);
+            Value bh = ctx.load(other_impl + ImplFields::kH, 4);
+
+            Value left = ctx.geu(ax, bx);
+            Value top = ctx.geu(ay, by);
+            Value right =
+                ctx.leu(ctx.add(ax, aw), ctx.add(bx, bw));
+            Value bottom =
+                ctx.leu(ctx.add(ay, ah), ctx.add(by, bh));
+            Value contained =
+                ctx.band(ctx.band(left, right), ctx.band(top, bottom));
+            occluded_v = ctx.bor(occluded_v, contained);
+            // Native mirror of the traced predicate.
+            const bool c =
+                layer->x >= other->x && layer->y >= other->y &&
+                layer->x + layer->w <= other->x + other->w &&
+                layer->y + layer->h <= other->y + other->h;
+            occluded = occluded || c;
+        }
+        ctx.store(impl + ImplFields::kOccluded, 4, occluded_v);
+        layer->fullyOccluded = occluded;
+    }
+}
+
+void
+Compositor::scheduleTiles(Ctx &ctx, bool prepaint)
+{
+    TracedScope scope(ctx, fnTileManager_);
+    traceLog_.addEvent(ctx, /*category=*/41);
+
+    const int tile_px = config_.tilePx;
+    const int margin = prepaint ? tile_px : 0;
+
+    Value scroll = ctx.load(scrollAddr_, 8);
+    (void)scroll;
+
+    for (auto &layer : tree_->layers) {
+        if (layer->fullyOccluded || layer->w <= 0 || layer->h <= 0 ||
+            layer->items.empty()) {
+            continue;
+        }
+        ensureBacking(ctx, *layer);
+        if (layer->dirtyCount == 0)
+            continue; // nothing to raster on this layer
+
+        // Visible range of the layer in layer-local px, computed from
+        // the property-tree output (traced): which tiles raster depends
+        // on the scroll offset and the layer's committed geometry.
+        const uint64_t impl = implRecordFor(*layer);
+        Value layer_y = ctx.load(impl + ImplFields::kScreenY, 4);
+        Value viewport = ctx.imm(
+            static_cast<uint64_t>(config_.viewportHeight + margin));
+        Value top_v = ctx.sub(ctx.imm(static_cast<uint64_t>(margin)),
+                              layer_y);
+        Value bottom_v = ctx.sub(viewport, layer_y);
+        (void)top_v;
+
+        int top, bottom;
+        if (layer->fixed) {
+            top = 0;
+            bottom = layer->h;
+        } else {
+            top = scrollY_ - layer->y - margin;
+            bottom = scrollY_ + config_.viewportHeight - layer->y +
+                     margin;
+        }
+        top = std::max(0, top);
+        bottom = std::min(layer->h, bottom);
+        if (top >= bottom)
+            continue;
+
+        const int ty0 = top / tile_px;
+        const int ty1 = std::min(layer->tilesY - 1,
+                                 (bottom - 1) / tile_px);
+        // Traced tile-row cursor derived from the visible range; the
+        // dispatched task's coordinates chain back to it.
+        Value ty_cursor = ctx.alu1(bottom_v, static_cast<uint64_t>(ty0));
+        for (int ty = ty0; ty <= ty1; ++ty) {
+            Value tx_cursor = ctx.imm(0);
+            for (int tx = 0; tx < layer->tilesX; ++tx) {
+                const size_t index =
+                    static_cast<size_t>(ty) * layer->tilesX + tx;
+                // Traced dirty test: the raster dispatch is control-
+                // dependent on this branch, whose condition chains back
+                // to whatever invalidated the tile.
+                Value dirty = ctx.load(layer->dirtyMapAddr + index, 1);
+                Value needs = ctx.ne(dirty, ctx.imm(0));
+                if (ctx.branchIf(needs) && layer->tileDirty[index]) {
+                    // Tile priority: prepaint tiles (outside the strict
+                    // viewport) only raster while the memory budget
+                    // holds; the traced budget branch is observed both
+                    // ways, so dispatched work is control-dependent on
+                    // the priority decision.
+                    const bool prepaint_tile =
+                        !layer->fixed &&
+                        (ty * tile_px + tile_px <=
+                             scrollY_ - layer->y ||
+                         ty * tile_px >=
+                             scrollY_ + config_.viewportHeight -
+                                 layer->y);
+                    Value budget = ctx.load(budgetAddr_, 4);
+                    Value spent = ctx.addi(budget, 1);
+                    ctx.store(budgetAddr_, 4, spent);
+                    Value affordable = ctx.ltui(budget, 9999999);
+                    if (prepaint_tile) {
+                        Value deferred = ctx.andi(budget, 1);
+                        affordable = ctx.bxor(
+                            ctx.imm(1), ctx.andi(deferred, 1));
+                    }
+                    if (!ctx.branchIf(affordable)) {
+                        continue; // deferred to a later PrepareTiles
+                    }
+                    layer->tileDirty[index] = 0;
+                    --layer->dirtyCount;
+                    Value zero = ctx.imm(0);
+                    ctx.store(layer->dirtyMapAddr + index, 1, zero);
+                    dispatchRasterTask(ctx, *layer, tx, ty, tx_cursor,
+                                       ty_cursor);
+                }
+                tx_cursor = ctx.addi(tx_cursor, 1);
+            }
+            ty_cursor = ctx.addi(ty_cursor, 1);
+        }
+    }
+}
+
+void
+Compositor::dispatchRasterTask(Ctx &ctx, Layer &layer, int tx, int ty,
+                               const Value &tx_cursor,
+                               const Value &ty_cursor)
+{
+    ++tilesScheduled_;
+    ++pendingRasters_;
+
+    const uint64_t tile_bytes = static_cast<uint64_t>(
+        config_.cellsPerTile() * config_.cellsPerTile() * 4);
+    const uint64_t tile_addr =
+        layer.backingAddr +
+        (static_cast<uint64_t>(ty) * layer.tilesX + tx) * tile_bytes;
+
+    const uint64_t task =
+        machine_.alloc(RasterTaskFields::kRecordBytes, "raster-task");
+    Value layer_rec = ctx.imm(layer.recordAddr);
+    ctx.store(task + RasterTaskFields::kLayerRecord, 8, layer_rec);
+    // Tile coordinates come from the traced scheduling cursors, so the
+    // rasterizer's geometry chains back into the tile-manager decisions.
+    Value txv = ctx.alu1(tx_cursor, static_cast<uint64_t>(tx));
+    ctx.store(task + RasterTaskFields::kTileX, 4, txv);
+    Value tyv = ctx.alu1(ty_cursor, static_cast<uint64_t>(ty));
+    ctx.store(task + RasterTaskFields::kTileY, 4, tyv);
+    Value backing = ctx.imm(tile_addr);
+    ctx.store(task + RasterTaskFields::kBackingTile, 8, backing);
+    // The animation phase flows from the impl record into the pixels.
+    const uint64_t impl = implRecordFor(layer);
+    Value phase = ctx.load(impl + ImplFields::kAnimPhase, 4);
+    ctx.store(task + RasterTaskFields::kPhase, 4, phase);
+
+    Layer *layer_ptr = &layer;
+    auto &channel = toRaster_[nextRasterThread_];
+    nextRasterThread_ = (nextRasterThread_ + 1) % toRaster_.size();
+    channel->post(ctx, task, [this, layer_ptr, task](Ctx &rctx,
+                                                     Value payload) {
+        raster_.rasterizeTile(rctx, *layer_ptr, payload);
+        machine_.free(task);
+        rasterDone_->post(rctx, frameRecordAddr_,
+                          [this](Ctx &cctx, Value) { onRasterDone(cctx); });
+    });
+}
+
+void
+Compositor::onRasterDone(Ctx &ctx)
+{
+    panic_if(pendingRasters_ == 0, "raster completion underflow");
+    --pendingRasters_;
+    if (pendingRasters_ == 0 && frameRequested_)
+        submitFrame(ctx);
+}
+
+void
+Compositor::drawFrame(Ctx &ctx)
+{
+    // Assemble the frame from the visible tiles: per tile, verify the
+    // resource (one sampled read) and append its quad to the frame
+    // target. Under the paper's pixel criteria (markers at raster
+    // output) this pass is downstream of the criteria and counts as
+    // compositor overhead — the backing-store/compositing cost the
+    // paper calls out.
+    TracedScope scope(ctx, fnDraw_);
+    const uint64_t tile_bytes = static_cast<uint64_t>(
+        config_.cellsPerTile() * config_.cellsPerTile() * 4);
+    const int tile_px = config_.tilePx;
+
+    uint64_t fb_cursor = 0;
+    for (auto &layer : tree_->layers) {
+        if (layer->fullyOccluded || !layer->backingAddr ||
+            layer->items.empty()) {
+            continue;
+        }
+        int top, bottom;
+        if (layer->fixed) {
+            top = 0;
+            bottom = layer->h;
+        } else {
+            top = std::max(0, scrollY_ - layer->y);
+            bottom = std::min<int>(
+                layer->h,
+                scrollY_ + config_.viewportHeight - layer->y);
+        }
+        if (top >= bottom)
+            continue;
+        const int ty0 = top / tile_px;
+        const int ty1 =
+            std::min(layer->tilesY - 1, (bottom - 1) / tile_px);
+        // One quad per layer: verify the first visible tile's resource
+        // and append the quad to the frame target.
+        const uint64_t tile_addr =
+            layer->backingAddr +
+            static_cast<uint64_t>(ty0) * layer->tilesX * tile_bytes;
+        Value sample = ctx.load(tile_addr, 4);
+        Value quad = ctx.addi(sample, 1);
+        ctx.store(framebufferAddr_ + (fb_cursor % 4096), 4, quad);
+        fb_cursor += 4;
+        (void)ty1;
+    }
+}
+
+void
+Compositor::submitFrame(Ctx &ctx)
+{
+    TracedScope scope(ctx, fnSubmit_);
+    traceLog_.addEvent(ctx, /*category=*/42);
+    frameRequested_ = false;
+    ++frames_;
+    drawFrame(ctx);
+
+    // Build the quad list: one quad per visible layer, from impl records.
+    std::vector<trace::MemRange> reads;
+    uint64_t quad_offset = 16;
+    Value frame_id = ctx.imm(frames_);
+    ctx.store(frameRecordAddr_, 8, frame_id);
+
+    const uint64_t tile_bytes = static_cast<uint64_t>(
+        config_.cellsPerTile() * config_.cellsPerTile() * 4);
+    const int tile_px = config_.tilePx;
+
+    for (auto &layer : tree_->layers) {
+        if (layer->fullyOccluded || !layer->backingAddr ||
+            layer->items.empty()) {
+            continue;
+        }
+        const uint64_t impl = implRecordFor(*layer);
+        Value sx = ctx.load(impl + ImplFields::kScreenX, 4);
+        Value sy = ctx.load(impl + ImplFields::kScreenY, 4);
+        ctx.store(frameRecordAddr_ + quad_offset, 4, sx);
+        ctx.store(frameRecordAddr_ + quad_offset + 4, 4, sy);
+        Value backing = ctx.imm(layer->backingAddr);
+        ctx.store(frameRecordAddr_ + quad_offset + 8, 8, backing);
+        quad_offset += 16;
+        if (quad_offset + 16 > 4096)
+            break;
+
+        // The drawn tiles' bytes ride along to the GPU process: visible
+        // rows only.
+        int top, bottom;
+        if (layer->fixed) {
+            top = 0;
+            bottom = layer->h;
+        } else {
+            top = std::max(0, scrollY_ - layer->y);
+            bottom = std::min<int>(layer->h,
+                                   scrollY_ + config_.viewportHeight -
+                                       layer->y);
+        }
+        if (top >= bottom)
+            continue;
+        const int ty0 = top / tile_px;
+        const int ty1 =
+            std::min(layer->tilesY - 1, (bottom - 1) / tile_px);
+        for (int ty = ty0; ty <= ty1; ++ty) {
+            for (int tx = 0; tx < layer->tilesX; ++tx) {
+                const uint64_t tile_addr =
+                    layer->backingAddr +
+                    (static_cast<uint64_t>(ty) * layer->tilesX + tx) *
+                        tile_bytes;
+                reads.push_back(trace::MemRange{tile_addr, tile_bytes});
+            }
+        }
+    }
+    reads.push_back(trace::MemRange{frameRecordAddr_, quad_offset});
+
+    Value rc = ctx.syscall(sim::kSysSendmsg, frames_, reads, {});
+    (void)rc;
+
+    // Frame-swap metrics to the browser process (IPC category traffic).
+    if (frames_ % 8 == 1) {
+        Value metric = ctx.imm(frames_);
+        ipc_.sendValue(ctx, IpcMessage::FrameSwapMetrics, metric);
+    }
+
+    if (frameHook_)
+        frameHook_(ctx);
+}
+
+void
+Compositor::postScroll(Ctx &ctx, int dy)
+{
+    toCompositor_->post(ctx, scrollAddr_, [this, dy](Ctx &cctx, Value) {
+        TracedScope scope(cctx, fnScroll_);
+        traceLog_.addEvent(cctx, /*category=*/43);
+        Value current = cctx.load(scrollAddr_, 8);
+        Value delta = cctx.imm(static_cast<uint64_t>(
+            static_cast<int64_t>(dy)));
+        Value moved = cctx.add(current, delta);
+        // Clamp to [0, docHeight - viewport] (native mirror + select).
+        const int64_t max_scroll = std::max<int64_t>(
+            0, static_cast<int64_t>(tree_->documentHeight) -
+                   config_.viewportHeight);
+        int64_t target = scrollY_ + dy;
+        target = std::max<int64_t>(0, std::min(max_scroll, target));
+        Value clamped = cctx.alu1(moved, static_cast<uint64_t>(target));
+        cctx.store(scrollAddr_, 8, clamped);
+        scrollY_ = static_cast<int>(target);
+
+        updatePropertyTrees(cctx);
+        scheduleTiles(cctx, /*prepaint=*/true);
+        frameRequested_ = true;
+        if (pendingRasters_ == 0)
+            submitFrame(cctx);
+    });
+}
+
+void
+Compositor::postInput(Ctx &ctx, uint32_t id_hash, uint32_t kind)
+{
+    toCompositor_->post(ctx, scrollAddr_,
+                        [this, id_hash, kind](Ctx &cctx, Value) {
+        TracedScope scope(cctx, fnInput_);
+        traceLog_.addEvent(cctx, /*category=*/44);
+        // The compositor cannot handle non-scroll input: wrap it and
+        // forward to the main thread (traced event record).
+        Value id = cctx.imm(id_hash);
+        Value k = cctx.imm(kind);
+        Value tagged = cctx.bor(cctx.shl(id, cctx.imm(8)), k);
+        cctx.branchIf(cctx.ne(tagged, cctx.imm(0)));
+        if (forwardInput_)
+            forwardInput_(cctx, id_hash, kind);
+    });
+}
+
+void
+Compositor::startVsync(uint64_t duration_ms)
+{
+    vsyncDeadline_ = machine_.now() + config_.msToCycles(duration_ms);
+    if (vsyncActive_)
+        return;
+    vsyncActive_ = true;
+    machine_.postDelayed(threads_.compositor,
+                         config_.msToCycles(config_.vsyncMs),
+                         [this](Ctx &ctx) { onVsync(ctx); });
+}
+
+void
+Compositor::onVsync(Ctx &ctx)
+{
+    TracedScope scope(ctx, fnBeginFrame_);
+    ++ticks_;
+
+    // Idle frames are cheap: when no animation is due, the scheduler
+    // only advances its state machine and re-arms (real cc suppresses
+    // BeginFrames it does not need).
+    bool any_due = false;
+    if (tree_) {
+        for (auto &layer : tree_->layers) {
+            if (layer->animated && !layer->fullyOccluded &&
+                ticks_ % static_cast<uint64_t>(layer->animCadence) == 0) {
+                any_due = true;
+            }
+        }
+    }
+    if (!any_due) {
+        Value state = ctx.load(scrollAddr_, 8);
+        Value next_state = ctx.addi(state, 0);
+        ctx.branchIf(ctx.geu(next_state, ctx.imm(0)));
+    }
+
+    if (tree_ && any_due) {
+        updatePropertyTrees(ctx);
+
+        bool any_animation = false;
+        for (auto &layer : tree_->layers) {
+            if (!layer->animated || layer->fullyOccluded)
+                continue;
+            // Slow animations (carousel rotations) only invalidate every
+            // animCadence-th frame.
+            if (ticks_ % static_cast<uint64_t>(layer->animCadence) != 0)
+                continue;
+            any_animation = true;
+            TracedScope anim(ctx, fnAnimate_);
+            const uint64_t impl = implRecordFor(*layer);
+            Value phase = ctx.load(impl + ImplFields::kAnimPhase, 4);
+            // Cubic easing-curve evaluation: the interpolated phase is
+            // what the re-raster folds into the pixels.
+            Value t = ctx.andi(phase, 63);
+            Value t2 = ctx.mul(t, t);
+            Value t3 = ctx.mul(t2, t);
+            Value eased = ctx.add(ctx.muli(t2, 3),
+                                  ctx.sub(ctx.imm(1 << 18), t3));
+            Value next = ctx.add(ctx.addi(phase, 1),
+                                 ctx.andi(eased, 0));
+            // Invalidate the layer's tiles for re-raster; the damage
+            // marks carry the eased phase.
+            invalidateTiles(ctx, *layer, &next);
+            ctx.store(impl + ImplFields::kAnimPhase, 4, next);
+        }
+        if (any_animation) {
+            scheduleTiles(ctx, /*prepaint=*/false);
+            frameRequested_ = true;
+            if (pendingRasters_ == 0)
+                submitFrame(ctx);
+        }
+    }
+
+    if (machine_.now() < vsyncDeadline_) {
+        machine_.postDelayed(threads_.compositor,
+                             config_.msToCycles(config_.vsyncMs),
+                             [this](Ctx &c) { onVsync(c); });
+    } else {
+        vsyncActive_ = false;
+    }
+}
+
+} // namespace browser
+} // namespace webslice

@@ -1,0 +1,485 @@
+#include "browser/css.hh"
+
+#include <cctype>
+
+#include "support/logging.hh"
+
+namespace webslice {
+namespace browser {
+
+using sim::Ctx;
+using sim::TracedScope;
+using sim::Value;
+
+CssProperty
+cssPropertyFromName(std::string_view name)
+{
+    if (name == "color") return CssProperty::Color;
+    if (name == "bg") return CssProperty::Background;
+    if (name == "display") return CssProperty::Display;
+    if (name == "font") return CssProperty::FontSize;
+    if (name == "width") return CssProperty::Width;
+    if (name == "height") return CssProperty::Height;
+    if (name == "margin") return CssProperty::Margin;
+    if (name == "padding") return CssProperty::Padding;
+    if (name == "position") return CssProperty::Position;
+    if (name == "z") return CssProperty::ZIndex;
+    if (name == "anim") return CssProperty::Anim;
+    if (name == "opacity") return CssProperty::Opacity;
+    return CssProperty::None;
+}
+
+// ---- StyleSheet ------------------------------------------------------------
+
+void
+StyleSheet::buildIndex()
+{
+    byTag_.clear();
+    byClass_.clear();
+    byId_.clear();
+    universal_.clear();
+    for (size_t i = 0; i < rules.size(); ++i) {
+        const CssRule &rule = rules[i];
+        if (rule.idHash != 0) {
+            byId_[rule.idHash].push_back(i);
+        } else if (rule.classHash != 0) {
+            byClass_[rule.classHash].push_back(i);
+        } else if (rule.tag != Tag::None) {
+            byTag_[static_cast<uint32_t>(rule.tag)].push_back(i);
+        } else {
+            universal_.push_back(i);
+        }
+    }
+}
+
+std::vector<size_t>
+StyleSheet::candidatesFor(const Element &element) const
+{
+    std::vector<size_t> out = universal_;
+    auto appendFrom = [&](const auto &map, uint32_t key) {
+        if (key == 0)
+            return;
+        auto it = map.find(key);
+        if (it != map.end())
+            out.insert(out.end(), it->second.begin(), it->second.end());
+    };
+    appendFrom(byTag_, static_cast<uint32_t>(element.tag));
+    appendFrom(byClass_, element.classHash);
+    appendFrom(byId_, element.idHash);
+    return out;
+}
+
+uint64_t
+StyleSheet::usedBytes() const
+{
+    uint64_t used = 0;
+    for (const auto &rule : rules) {
+        if (rule.matched)
+            used += rule.byteLength;
+    }
+    return used;
+}
+
+// ---- CssParser -------------------------------------------------------------
+
+CssParser::CssParser(sim::Machine &machine, TraceLog &trace_log)
+    : machine_(machine), traceLog_(trace_log),
+      // Parsing lives in the engine core (Blink's CSSParser is not part
+      // of the paper's "CSS" category, which covers style and layout
+      // *calculation*); like many engine-core symbols it carries no
+      // categorizable namespace.
+      fnParse_(machine.registerFunction("CSSParser_parseSheet")),
+      fnParseRule_(machine.registerFunction("CSSParser_parseRule"))
+{
+}
+
+std::unique_ptr<StyleSheet>
+CssParser::parse(Ctx &ctx, const Resource &css)
+{
+    panic_if(!css.loaded, "parsing an unloaded stylesheet");
+    TracedScope scope(ctx, fnParse_);
+    traceLog_.addEvent(ctx, /*category=*/11);
+
+    auto sheet = std::make_unique<StyleSheet>();
+    sheet->totalBytes = css.size;
+
+    const std::string &text = css.content;
+    size_t i = 0;
+    Value cursor = ctx.imm(css.addr);
+
+    auto advance = [&](size_t n = 1) {
+        i += n;
+        cursor = ctx.addi(cursor, static_cast<int64_t>(n));
+    };
+    auto loadByte = [&]() { return ctx.loadVia(cursor, 0, 1); };
+
+    while (i < text.size()) {
+        // Traced outer loop condition.
+        Value end = ctx.imm(css.addr + text.size());
+        Value more = ctx.ltu(cursor, end);
+        if (!ctx.branchIf(more))
+            break;
+
+        // Skip whitespace/newlines between rules.
+        if (std::isspace(static_cast<unsigned char>(text[i]))) {
+            advance();
+            continue;
+        }
+
+        TracedScope rule_scope(ctx, fnParseRule_);
+        CssRule rule;
+        rule.byteStart = static_cast<uint32_t>(i);
+
+        // ---- selector: [tag][.class][#id] -------------------------------
+        Value tag_hash = ctx.imm(2166136261u);
+        Value class_hash = ctx.imm(0);
+        Value id_hash = ctx.imm(0);
+        std::string token;
+        enum { InTag, InClass, InId } state = InTag;
+        auto finishToken = [&]() {
+            if (token.empty())
+                return;
+            switch (state) {
+              case InTag:
+                rule.tag = tagFromName(token);
+                break;
+              case InClass:
+                rule.classHash = hashString(token);
+                break;
+              case InId:
+                rule.idHash = hashString(token);
+                break;
+            }
+            token.clear();
+        };
+        while (i < text.size() && text[i] != '{') {
+            Value ch = loadByte();
+            if (text[i] == '.') {
+                finishToken();
+                state = InClass;
+                class_hash = ctx.imm(2166136261u);
+            } else if (text[i] == '#') {
+                finishToken();
+                state = InId;
+                id_hash = ctx.imm(2166136261u);
+            } else {
+                token.push_back(text[i]);
+                Value *acc = state == InTag ? &tag_hash
+                             : state == InClass ? &class_hash
+                                                : &id_hash;
+                *acc = ctx.bxor(*acc, ch);
+                *acc = ctx.muli(*acc, 16777619u);
+            }
+            advance();
+        }
+        finishToken();
+        if (i >= text.size())
+            break;
+        advance(); // consume '{'
+
+        // ---- declarations: prop:value;... --------------------------------
+        std::vector<Value> decl_values;
+        while (i < text.size() && text[i] != '}') {
+            // Property name.
+            std::string prop_name;
+            Value prop_hash = ctx.imm(2166136261u);
+            while (i < text.size() && text[i] != ':') {
+                Value ch = loadByte();
+                prop_hash = ctx.bxor(prop_hash, ch);
+                prop_hash = ctx.muli(prop_hash, 16777619u);
+                prop_name.push_back(text[i]);
+                advance();
+            }
+            if (i >= text.size())
+                break;
+            advance(); // consume ':'
+
+            // Integer value.
+            Value number = ctx.imm(0);
+            uint32_t concrete = 0;
+            while (i < text.size() &&
+                   std::isdigit(static_cast<unsigned char>(text[i]))) {
+                Value ch = loadByte();
+                Value digit = ctx.addi(ch, -'0');
+                number = ctx.add(ctx.muli(number, 10), digit);
+                concrete = concrete * 10 + (text[i] - '0');
+                advance();
+            }
+            if (i < text.size() && text[i] == ';')
+                advance();
+
+            CssDeclaration decl;
+            decl.property = cssPropertyFromName(prop_name);
+            decl.value = concrete;
+            rule.declarations.push_back(decl);
+            decl_values.push_back(std::move(number));
+        }
+        if (i < text.size())
+            advance(); // consume '}'
+        rule.byteLength = static_cast<uint32_t>(i - rule.byteStart);
+
+        // ---- write the rule record (traced) -------------------------------
+        rule.addr = machine_.alloc(RuleFields::kRecordBytes, "css-rule");
+        rule.declsAddr = machine_.alloc(
+            std::max<size_t>(1, rule.declarations.size()) *
+                RuleFields::kDeclBytes,
+            "css-decls");
+        Value tag_field =
+            ctx.alu1(tag_hash, static_cast<uint64_t>(rule.tag));
+        ctx.store(rule.addr + RuleFields::kTag, 4, tag_field);
+        Value class_field = ctx.alu1(class_hash, rule.classHash);
+        ctx.store(rule.addr + RuleFields::kClassHash, 4, class_field);
+        Value id_field = ctx.alu1(id_hash, rule.idHash);
+        ctx.store(rule.addr + RuleFields::kIdHash, 4, id_field);
+        Value count = ctx.imm(rule.declarations.size());
+        ctx.store(rule.addr + RuleFields::kDeclCount, 4, count);
+        Value array = ctx.imm(rule.declsAddr);
+        ctx.store(rule.addr + RuleFields::kDeclArray, 8, array);
+        for (size_t d = 0; d < rule.declarations.size(); ++d) {
+            Value prop = ctx.imm(
+                static_cast<uint64_t>(rule.declarations[d].property));
+            ctx.store(rule.declsAddr + d * RuleFields::kDeclBytes, 4,
+                      prop);
+            ctx.store(rule.declsAddr + d * RuleFields::kDeclBytes + 4, 4,
+                      decl_values[d]);
+        }
+
+        sheet->rules.push_back(std::move(rule));
+    }
+
+    sheet->buildIndex();
+    return sheet;
+}
+
+// ---- StyleResolver ---------------------------------------------------------
+
+StyleResolver::StyleResolver(sim::Machine &machine, TraceLog &trace_log)
+    : machine_(machine), traceLog_(trace_log),
+      fnResolve_(machine.registerFunction("css::StyleResolver::resolve")),
+      fnMatch_(machine.registerFunction("css::SelectorMatcher::match")),
+      fnApply_(machine.registerFunction("css::Cascade::apply")),
+      fnApplyInline_(
+          machine.registerFunction("css::Cascade::applyInline")),
+      fnInherit_(machine.registerFunction("css::StyleResolver::inherit"))
+{
+}
+
+void
+StyleResolver::applyDefaults(Ctx &ctx, Element &element)
+{
+    const uint64_t style = element.styleAddr;
+    Value color = ctx.imm(0x202020);
+    ctx.store(style + StyleFields::kColor, 4, color);
+    Value bg = ctx.imm(0);
+    ctx.store(style + StyleFields::kBackground, 4, bg);
+    const bool inline_default =
+        element.tag == Tag::Span || element.tag == Tag::A ||
+        element.tag == Tag::Text;
+    Value display = ctx.imm(inline_default ? kDisplayInline
+                                           : kDisplayBlock);
+    ctx.store(style + StyleFields::kDisplay, 4, display);
+    Value font = ctx.imm(14);
+    ctx.store(style + StyleFields::kFontSize, 4, font);
+    // Attribute dimensions (img/canvas) feed the default width/height.
+    Value el_w = ctx.load(element.addr + ElementFields::kAttrWidth, 4);
+    ctx.store(style + StyleFields::kWidth, 4, el_w);
+    Value el_h = ctx.load(element.addr + ElementFields::kAttrHeight, 4);
+    ctx.store(style + StyleFields::kHeight, 4, el_h);
+    Value margin = ctx.imm(0);
+    ctx.store(style + StyleFields::kMargin, 4, margin);
+    Value padding = ctx.imm(0);
+    ctx.store(style + StyleFields::kPadding, 4, padding);
+    Value position = ctx.imm(kPositionStatic);
+    ctx.store(style + StyleFields::kPosition, 4, position);
+    Value z = ctx.imm(0);
+    ctx.store(style + StyleFields::kZIndex, 4, z);
+    Value anim = ctx.imm(0);
+    ctx.store(style + StyleFields::kAnimated, 4, anim);
+    Value opacity = ctx.imm(100);
+    ctx.store(style + StyleFields::kOpacity, 4, opacity);
+}
+
+void
+StyleResolver::matchAndApply(Ctx &ctx, Element &element, StyleSheet &sheet)
+{
+    const auto candidates = sheet.candidatesFor(element);
+    if (candidates.empty())
+        return;
+
+    // Element keys, loaded once per element (traced).
+    Value el_tag = ctx.load(element.addr + ElementFields::kTag, 4);
+    Value el_class = ctx.load(element.addr + ElementFields::kClassHash, 4);
+    Value el_id = ctx.load(element.addr + ElementFields::kIdHash, 4);
+
+    for (const size_t index : candidates) {
+        CssRule &rule = sheet.rules[index];
+        TracedScope match_scope(ctx, fnMatch_);
+
+        Value rule_tag = ctx.load(rule.addr + RuleFields::kTag, 4);
+        Value rule_class = ctx.load(rule.addr + RuleFields::kClassHash, 4);
+        Value rule_id = ctx.load(rule.addr + RuleFields::kIdHash, 4);
+
+        // any(ruleKey == 0) || ruleKey == elementKey, per constraint.
+        Value tag_any = ctx.eqi(rule_tag, 0);
+        Value tag_eq = ctx.eq(rule_tag, el_tag);
+        Value tag_ok = ctx.bor(tag_any, tag_eq);
+        Value class_any = ctx.eqi(rule_class, 0);
+        Value class_eq = ctx.eq(rule_class, el_class);
+        Value class_ok = ctx.bor(class_any, class_eq);
+        Value id_any = ctx.eqi(rule_id, 0);
+        Value id_eq = ctx.eq(rule_id, el_id);
+        Value id_ok = ctx.bor(id_any, id_eq);
+        Value match = ctx.band(ctx.band(tag_ok, class_ok), id_ok);
+
+        if (!ctx.branchIf(match))
+            continue;
+
+        rule.matched = true;
+        TracedScope apply_scope(ctx, fnApply_);
+        Value used = ctx.imm(1);
+        ctx.store(rule.addr + RuleFields::kUsedFlag, 4, used);
+
+        for (size_t d = 0; d < rule.declarations.size(); ++d) {
+            const uint64_t decl_addr =
+                rule.declsAddr + d * RuleFields::kDeclBytes;
+            Value value = ctx.load(decl_addr + 4, 4);
+            uint64_t field = 0;
+            switch (rule.declarations[d].property) {
+              case CssProperty::Color:
+                field = StyleFields::kColor; break;
+              case CssProperty::Background:
+                field = StyleFields::kBackground; break;
+              case CssProperty::Display:
+                field = StyleFields::kDisplay; break;
+              case CssProperty::FontSize:
+                field = StyleFields::kFontSize; break;
+              case CssProperty::Width:
+                field = StyleFields::kWidth; break;
+              case CssProperty::Height:
+                field = StyleFields::kHeight; break;
+              case CssProperty::Margin:
+                field = StyleFields::kMargin; break;
+              case CssProperty::Padding:
+                field = StyleFields::kPadding; break;
+              case CssProperty::Position:
+                field = StyleFields::kPosition; break;
+              case CssProperty::ZIndex:
+                field = StyleFields::kZIndex; break;
+              case CssProperty::Anim:
+                field = StyleFields::kAnimated; break;
+              case CssProperty::Opacity:
+                field = StyleFields::kOpacity; break;
+              case CssProperty::None:
+                continue;
+            }
+            ctx.store(element.styleAddr + field, 4, value);
+        }
+    }
+}
+
+void
+StyleResolver::applyInline(Ctx &ctx, Element &element)
+{
+    if (!element.inlineStyleAddr)
+        return;
+    // Script-set styles win the cascade: overlay every set inline field
+    // onto the computed style (traced selects keyed by the set-bit mask).
+    TracedScope scope(ctx, fnApplyInline_);
+    Value mask =
+        ctx.load(element.inlineStyleAddr + InlineStyleFields::kMask, 4);
+    for (int f = 0; f < InlineStyleFields::kFieldCount; ++f) {
+        const uint64_t offset = static_cast<uint64_t>(f) * 4;
+        Value bit = ctx.andi(mask, 1ull << f);
+        Value has = ctx.ne(bit, ctx.imm(0));
+        Value inline_v =
+            ctx.load(element.inlineStyleAddr + offset, 4);
+        Value computed = ctx.load(element.styleAddr + offset, 4);
+        Value final_v = ctx.select(has, inline_v, computed);
+        ctx.store(element.styleAddr + offset, 4, final_v);
+    }
+}
+
+void
+StyleResolver::inheritText(Ctx &ctx, Element &text)
+{
+    if (!text.parent)
+        return;
+    TracedScope scope(ctx, fnInherit_);
+    const uint64_t parent_style = text.parent->styleAddr;
+    Value color = ctx.load(parent_style + StyleFields::kColor, 4);
+    ctx.store(text.styleAddr + StyleFields::kColor, 4, color);
+    Value font = ctx.load(parent_style + StyleFields::kFontSize, 4);
+    ctx.store(text.styleAddr + StyleFields::kFontSize, 4, font);
+    // Text inside a display:none subtree vanishes too.
+    Value parent_display =
+        ctx.load(parent_style + StyleFields::kDisplay, 4);
+    Value own_display = ctx.load(text.styleAddr + StyleFields::kDisplay, 4);
+    Value parent_hidden = ctx.eqi(parent_display, kDisplayNone);
+    Value none = ctx.imm(kDisplayNone);
+    Value display = ctx.select(parent_hidden, none, own_display);
+    ctx.store(text.styleAddr + StyleFields::kDisplay, 4, display);
+}
+
+void
+StyleResolver::resolveAll(Ctx &ctx, Document &doc,
+                          const std::vector<StyleSheet *> &sheets)
+{
+    TracedScope scope(ctx, fnResolve_);
+    traceLog_.addEvent(ctx, /*category=*/12);
+
+    for (const auto &element : doc.elements()) {
+        Element &el = *element;
+        applyDefaults(ctx, el);
+        if (el.isText())
+            continue;
+        traceLog_.addEvent(ctx, /*category=*/13, /*weight=*/1);
+        for (StyleSheet *sheet : sheets)
+            matchAndApply(ctx, el, *sheet);
+
+        // The hidden attribute forces display:none (traced select).
+        Value flags = ctx.load(el.addr + ElementFields::kFlags, 4);
+        Value hidden = ctx.ne(flags, ctx.imm(0));
+        Value display =
+            ctx.load(el.styleAddr + StyleFields::kDisplay, 4);
+        Value none = ctx.imm(kDisplayNone);
+        Value final_display = ctx.select(hidden, none, display);
+        ctx.store(el.styleAddr + StyleFields::kDisplay, 4, final_display);
+        applyInline(ctx, el);
+        ++resolved_;
+    }
+
+    // Inheritance pass for text runs (parents are resolved by now).
+    for (const auto &element : doc.elements()) {
+        if (element->isText())
+            inheritText(ctx, *element);
+    }
+}
+
+void
+StyleResolver::resolveSubtree(Ctx &ctx, Element *element,
+                              const std::vector<StyleSheet *> &sheets)
+{
+    TracedScope scope(ctx, fnResolve_);
+    applyDefaults(ctx, *element);
+    if (!element->isText()) {
+        for (StyleSheet *sheet : sheets)
+            matchAndApply(ctx, *element, *sheet);
+        Value flags = ctx.load(element->addr + ElementFields::kFlags, 4);
+        Value hidden = ctx.ne(flags, ctx.imm(0));
+        Value display =
+            ctx.load(element->styleAddr + StyleFields::kDisplay, 4);
+        Value none = ctx.imm(kDisplayNone);
+        Value final_display = ctx.select(hidden, none, display);
+        ctx.store(element->styleAddr + StyleFields::kDisplay, 4,
+                  final_display);
+        applyInline(ctx, *element);
+    } else {
+        inheritText(ctx, *element);
+    }
+    ++resolved_;
+    for (Element *child : element->children)
+        resolveSubtree(ctx, child, sheets);
+}
+
+} // namespace browser
+} // namespace webslice

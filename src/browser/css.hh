@@ -1,0 +1,174 @@
+/**
+ * @file
+ * The CSS engine (css:: namespace): parser, CSSOM, and style resolution —
+ * the second stage of the paper's Figure 1 pipeline.
+ *
+ * All stylesheet bytes are parsed with traced reads into rule records in
+ * simulated memory (so parsing unused rules is real, attributable work —
+ * the paper's Table I measures exactly this waste). Style resolution
+ * matches each element against its candidate rules with traced compares
+ * and writes the computed style record the layout stage consumes. Rules
+ * that never match any element leave their parse work outside the pixel
+ * slice.
+ *
+ * Dialect (what the workload generators emit):
+ *   selector{prop:value;prop:value}
+ *   selector := tag | .class | #id | tag.class      (values are integers)
+ *   props    := color bg display font width height margin padding
+ *               position z anim opacity
+ */
+
+#ifndef WEBSLICE_BROWSER_CSS_HH
+#define WEBSLICE_BROWSER_CSS_HH
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "browser/debugging.hh"
+#include "browser/dom.hh"
+#include "browser/net.hh"
+#include "sim/machine.hh"
+
+namespace webslice {
+namespace browser {
+
+/** Property ids understood by the resolver. */
+enum class CssProperty : uint32_t
+{
+    None = 0,
+    Color,
+    Background,
+    Display,
+    FontSize,
+    Width,
+    Height,
+    Margin,
+    Padding,
+    Position,
+    ZIndex,
+    Anim,
+    Opacity,
+};
+
+/** Map a property name to its id (None when unknown). */
+CssProperty cssPropertyFromName(std::string_view name);
+
+/** One declaration. */
+struct CssDeclaration
+{
+    CssProperty property = CssProperty::None;
+    uint32_t value = 0;
+};
+
+/** One parsed rule (native mirror + simulated record). */
+struct CssRule
+{
+    Tag tag = Tag::None;       ///< Tag::None = match any tag.
+    uint32_t classHash = 0;    ///< 0 = no class constraint.
+    uint32_t idHash = 0;       ///< 0 = no id constraint.
+    std::vector<CssDeclaration> declarations;
+
+    uint64_t addr = 0;         ///< Simulated rule record.
+    uint64_t declsAddr = 0;    ///< Simulated declaration array.
+    uint32_t byteStart = 0;    ///< Source range, for coverage.
+    uint32_t byteLength = 0;
+    bool matched = false;      ///< Set by the resolver (coverage).
+};
+
+/** Rule record layout in simulated memory. */
+struct RuleFields
+{
+    static constexpr uint64_t kTag = 0;
+    static constexpr uint64_t kClassHash = 4;
+    static constexpr uint64_t kIdHash = 8;
+    static constexpr uint64_t kDeclCount = 12;
+    static constexpr uint64_t kDeclArray = 16; ///< u64
+    static constexpr uint64_t kUsedFlag = 24;
+    static constexpr uint64_t kRecordBytes = 32;
+    /** Each declaration is {propId u32, value u32}. */
+    static constexpr uint64_t kDeclBytes = 8;
+};
+
+/** A parsed stylesheet with native match indices and coverage counters. */
+class StyleSheet
+{
+  public:
+    std::vector<CssRule> rules;
+
+    /** Candidate rule indices for one element (native prefilter; the
+     *  traced compare still runs per candidate, as real bucketed
+     *  selector matching does). */
+    std::vector<size_t> candidatesFor(const Element &element) const;
+
+    /** Build the tag/class/id buckets; call once after parsing. */
+    void buildIndex();
+
+    uint64_t totalBytes = 0;
+
+    /** Bytes of rules that matched at least one element so far. */
+    uint64_t usedBytes() const;
+
+  private:
+    std::unordered_map<uint32_t, std::vector<size_t>> byTag_;
+    std::unordered_map<uint32_t, std::vector<size_t>> byClass_;
+    std::unordered_map<uint32_t, std::vector<size_t>> byId_;
+    std::vector<size_t> universal_;
+};
+
+/** Parses CSS resources into StyleSheets. */
+class CssParser
+{
+  public:
+    CssParser(sim::Machine &machine, TraceLog &trace_log);
+
+    std::unique_ptr<StyleSheet> parse(sim::Ctx &ctx, const Resource &css);
+
+  private:
+    sim::Machine &machine_;
+    TraceLog &traceLog_;
+    trace::FuncId fnParse_;
+    trace::FuncId fnParseRule_;
+};
+
+/** Resolves computed styles for a document against its stylesheets. */
+class StyleResolver
+{
+  public:
+    StyleResolver(sim::Machine &machine, TraceLog &trace_log);
+
+    /**
+     * Resolve every element: write default style records, match candidate
+     * rules (traced), apply matched declarations, honour the hidden
+     * attribute, and propagate inherited fields into text nodes.
+     */
+    void resolveAll(sim::Ctx &ctx, Document &doc,
+                    const std::vector<StyleSheet *> &sheets);
+
+    /** Re-resolve one element subtree (used by JS style mutations). */
+    void resolveSubtree(sim::Ctx &ctx, Element *element,
+                        const std::vector<StyleSheet *> &sheets);
+
+    uint64_t elementsResolved() const { return resolved_; }
+
+  private:
+    void applyDefaults(sim::Ctx &ctx, Element &element);
+    void matchAndApply(sim::Ctx &ctx, Element &element, StyleSheet &sheet);
+    void applyInline(sim::Ctx &ctx, Element &element);
+    void inheritText(sim::Ctx &ctx, Element &text);
+
+    sim::Machine &machine_;
+    TraceLog &traceLog_;
+    trace::FuncId fnResolve_;
+    trace::FuncId fnMatch_;
+    trace::FuncId fnApply_;
+    trace::FuncId fnApplyInline_;
+    trace::FuncId fnInherit_;
+    uint64_t resolved_ = 0;
+};
+
+} // namespace browser
+} // namespace webslice
+
+#endif // WEBSLICE_BROWSER_CSS_HH

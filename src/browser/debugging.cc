@@ -1,0 +1,53 @@
+#include "browser/debugging.hh"
+
+namespace webslice {
+namespace browser {
+
+using sim::Ctx;
+using sim::TracedScope;
+using sim::Value;
+
+namespace {
+constexpr uint32_t kEventBytes = 16;
+}
+
+TraceLog::TraceLog(sim::Machine &machine, uint32_t capacity)
+    : fnAdd_(machine.registerFunction("debug::TraceLog::addEvent")),
+      ringAddr_(machine.alloc(uint64_t{capacity} * kEventBytes,
+                              "debug-ring")),
+      cursorAddr_(machine.alloc(8, "debug-cursor")),
+      capacity_(capacity)
+{
+}
+
+void
+TraceLog::addEvent(Ctx &ctx, uint32_t category, int weight)
+{
+    TracedScope scope(ctx, fnAdd_);
+    ++events_;
+
+    // Advance the ring cursor (read-modify-write, traced).
+    Value cursor = ctx.load(cursorAddr_, 8);
+    Value slot = ctx.umod(cursor, ctx.imm(capacity_));
+    Value offset = ctx.muli(slot, kEventBytes);
+    Value entry = ctx.add(ctx.imm(ringAddr_), offset);
+    Value next = ctx.addi(cursor, 1);
+    ctx.store(cursorAddr_, 8, next);
+
+    // Fill the event record.
+    Value cat = ctx.imm(category);
+    ctx.storeVia(entry, 0, 4, cat);
+    ctx.storeVia(entry, 4, 8, cursor);
+    Value stamp = ctx.imm(ctx.machine().now());
+    ctx.storeVia(entry, 12, 4, stamp);
+
+    // Heavier probes serialize extra payload words into the same slot.
+    for (int i = 0; i < weight; ++i) {
+        Value payload = ctx.bxor(stamp, cat);
+        ctx.storeVia(entry, 12, 4, payload);
+        stamp = ctx.addi(payload, 1);
+    }
+}
+
+} // namespace browser
+} // namespace webslice

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Built-in debug tracing (debug:: namespace).
+ *
+ * Chromium ships with always-on lightweight tracing/metrics machinery even
+ * in release builds; the paper's "Debugging" category is exactly this kind
+ * of work, detected as unnecessary because nothing it writes ever reaches
+ * the pixels. We model it as a ring buffer of trace events that is written
+ * on every interesting browser step and never read.
+ */
+
+#ifndef WEBSLICE_BROWSER_DEBUGGING_HH
+#define WEBSLICE_BROWSER_DEBUGGING_HH
+
+#include "sim/machine.hh"
+
+namespace webslice {
+namespace browser {
+
+/** Release-build trace-event log: written everywhere, read nowhere. */
+class TraceLog
+{
+  public:
+    TraceLog(sim::Machine &machine, uint32_t capacity = 4096);
+
+    /**
+     * Record one trace event: a sequence number, a category id, and a
+     * timestamp-ish payload are stored into the ring (all traced).
+     * @param weight extra payload words, to model more expensive probes.
+     */
+    void addEvent(sim::Ctx &ctx, uint32_t category, int weight = 0);
+
+    /** Events recorded so far (host-side counter, diagnostics only). */
+    uint64_t eventCount() const { return events_; }
+
+  private:
+    trace::FuncId fnAdd_;
+    uint64_t ringAddr_;
+    uint64_t cursorAddr_;
+    uint32_t capacity_;
+    uint64_t events_ = 0;
+};
+
+} // namespace browser
+} // namespace webslice
+
+#endif // WEBSLICE_BROWSER_DEBUGGING_HH

@@ -1,0 +1,63 @@
+#include "browser/dom.hh"
+
+namespace webslice {
+namespace browser {
+
+Tag
+tagFromName(std::string_view name)
+{
+    if (name == "body") return Tag::Body;
+    if (name == "div") return Tag::Div;
+    if (name == "span") return Tag::Span;
+    if (name == "p") return Tag::P;
+    if (name == "h1") return Tag::H1;
+    if (name == "img") return Tag::Img;
+    if (name == "a") return Tag::A;
+    if (name == "button") return Tag::Button;
+    if (name == "input") return Tag::Input;
+    if (name == "ul") return Tag::Ul;
+    if (name == "li") return Tag::Li;
+    if (name == "header") return Tag::Header;
+    if (name == "footer") return Tag::Footer;
+    if (name == "nav") return Tag::Nav;
+    if (name == "section") return Tag::Section;
+    if (name == "canvas") return Tag::Canvas;
+    return Tag::None;
+}
+
+uint32_t
+hashString(std::string_view text)
+{
+    uint32_t hash = 2166136261u;
+    for (const char c : text) {
+        hash ^= static_cast<uint8_t>(c);
+        hash *= 16777619u;
+    }
+    return hash;
+}
+
+Element *
+Document::createElement(Tag tag)
+{
+    auto element = std::make_unique<Element>();
+    element->tag = tag;
+    elements_.push_back(std::move(element));
+    return elements_.back().get();
+}
+
+void
+Document::indexById(Element *element)
+{
+    if (element->idHash != 0)
+        byIdHash_[element->idHash] = element;
+}
+
+Element *
+Document::byIdHash(uint32_t hash) const
+{
+    auto it = byIdHash_.find(hash);
+    return it == byIdHash_.end() ? nullptr : it->second;
+}
+
+} // namespace browser
+} // namespace webslice

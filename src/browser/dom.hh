@@ -1,0 +1,200 @@
+/**
+ * @file
+ * The Document Object Model (html:: namespace).
+ *
+ * Every element owns a record in simulated memory; all fields that can
+ * influence pixels (tag, id/class hashes, attribute dimensions, text
+ * payload location, child links, computed style, layout box) live there
+ * and are written/read with traced operations, so the slicer can follow
+ * pixel values back through layout, style, and parsing to the original
+ * resource bytes. A native C++ mirror (pointers, vectors, strings) exists
+ * purely for the convenience of the substrate code.
+ */
+
+#ifndef WEBSLICE_BROWSER_DOM_HH
+#define WEBSLICE_BROWSER_DOM_HH
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/machine.hh"
+
+namespace webslice {
+namespace browser {
+
+/** HTML tag ids (stored in the element's sim record). */
+enum class Tag : uint32_t
+{
+    None = 0,
+    Body,
+    Div,
+    Span,
+    P,
+    H1,
+    Img,
+    A,
+    Button,
+    Input,
+    Ul,
+    Li,
+    Header,
+    Footer,
+    Nav,
+    Section,
+    Canvas,
+    Text, ///< Synthetic node for a raw text run.
+};
+
+/** Map a tag name to its id; Tag::None when unknown. */
+Tag tagFromName(std::string_view name);
+
+/** FNV-1a of a string — matches the traced byte-mixing the parser emits. */
+uint32_t hashString(std::string_view text);
+
+/**
+ * Field offsets within an element's 64-byte simulated record.
+ * All scalar fields are u32 unless noted.
+ */
+struct ElementFields
+{
+    static constexpr uint64_t kTag = 0;
+    static constexpr uint64_t kIdHash = 4;
+    static constexpr uint64_t kClassHash = 8;
+    static constexpr uint64_t kFlags = 12;     ///< bit0: hidden attribute
+    static constexpr uint64_t kTextLen = 16;
+    static constexpr uint64_t kAttrWidth = 20;
+    static constexpr uint64_t kAttrHeight = 24;
+    static constexpr uint64_t kChildCount = 28;
+    static constexpr uint64_t kChildArray = 32; ///< u64: child record addrs
+    static constexpr uint64_t kStyle = 40;      ///< u64: style record
+    static constexpr uint64_t kLayout = 48;     ///< u64: layout record
+    static constexpr uint64_t kTextAddr = 56;   ///< u64: text bytes
+    static constexpr uint64_t kRecordBytes = 64;
+};
+
+/**
+ * Computed-style record offsets (48 bytes, written by the CSS resolver).
+ */
+struct StyleFields
+{
+    static constexpr uint64_t kColor = 0;
+    static constexpr uint64_t kBackground = 4;
+    static constexpr uint64_t kDisplay = 8;   ///< 0 none, 1 block, 2 inline
+    static constexpr uint64_t kFontSize = 12;
+    static constexpr uint64_t kWidth = 16;    ///< 0 = auto
+    static constexpr uint64_t kHeight = 20;   ///< 0 = auto
+    static constexpr uint64_t kMargin = 24;
+    static constexpr uint64_t kPadding = 28;
+    static constexpr uint64_t kPosition = 32; ///< 0 static, 1 fixed, 2 abs
+    static constexpr uint64_t kZIndex = 36;
+    static constexpr uint64_t kAnimated = 40;
+    static constexpr uint64_t kOpacity = 44;
+    static constexpr uint64_t kRecordBytes = 48;
+};
+
+/**
+ * Inline-style record: same field offsets as StyleFields plus a set-bit
+ * mask. JS style mutations write here (and through to the computed
+ * style); the resolver overlays these after rule application, which is
+ * what lets script-set styles win the cascade.
+ */
+struct InlineStyleFields
+{
+    static constexpr uint64_t kMask = 48; ///< bit f = field f*4 is set
+    static constexpr uint64_t kRecordBytes = 56;
+    static constexpr int kFieldCount = 12;
+};
+
+/** Layout-box record offsets (16 bytes, written by layout). */
+struct LayoutFields
+{
+    static constexpr uint64_t kX = 0;
+    static constexpr uint64_t kY = 4;
+    static constexpr uint64_t kWidth = 8;
+    static constexpr uint64_t kHeight = 12;
+    static constexpr uint64_t kRecordBytes = 16;
+};
+
+/** Display values stored in StyleFields::kDisplay. */
+enum : uint32_t
+{
+    kDisplayNone = 0,
+    kDisplayBlock = 1,
+    kDisplayInline = 2,
+};
+
+/** Position values stored in StyleFields::kPosition. */
+enum : uint32_t
+{
+    kPositionStatic = 0,
+    kPositionFixed = 1,
+    kPositionAbsolute = 2,
+};
+
+/** Native mirror of one DOM element. */
+struct Element
+{
+    uint64_t addr = 0; ///< Simulated record base.
+    Tag tag = Tag::None;
+    uint32_t idHash = 0;
+    uint32_t classHash = 0;
+    std::string idAttr;
+    std::string className;
+    bool hidden = false;
+    uint32_t attrWidth = 0;
+    uint32_t attrHeight = 0;
+    std::string text;      ///< For Tag::Text runs.
+    uint64_t textAddr = 0; ///< Location of the text bytes (resource).
+    uint32_t textLen = 0;
+    std::string src;       ///< For Tag::Img.
+
+    Element *parent = nullptr;
+    std::vector<Element *> children;
+    uint64_t childArrayAddr = 0;
+    uint64_t styleAddr = 0;
+    uint64_t layoutAddr = 0;
+    uint64_t inlineStyleAddr = 0; ///< Allocated on first JS style write.
+
+    bool isText() const { return tag == Tag::Text; }
+};
+
+/** The parsed document: element ownership plus lookup indices. */
+class Document
+{
+  public:
+    Element *root() const { return root_; }
+    void setRoot(Element *root) { root_ = root; }
+
+    /** Create an element owned by this document. */
+    Element *createElement(Tag tag);
+
+    /** Register an element's id for getElementById-style lookup. */
+    void indexById(Element *element);
+
+    /** Element with the given id hash, or nullptr. */
+    Element *byIdHash(uint32_t hash) const;
+
+    const std::vector<std::unique_ptr<Element>> &elements() const
+    {
+        return elements_;
+    }
+
+    size_t elementCount() const { return elements_.size(); }
+
+    /** Subresource URLs discovered while parsing. */
+    std::vector<std::string> cssUrls;
+    std::vector<std::string> jsUrls;
+    std::vector<std::string> imageUrls;
+
+  private:
+    Element *root_ = nullptr;
+    std::vector<std::unique_ptr<Element>> elements_;
+    std::unordered_map<uint32_t, Element *> byIdHash_;
+};
+
+} // namespace browser
+} // namespace webslice
+
+#endif // WEBSLICE_BROWSER_DOM_HH

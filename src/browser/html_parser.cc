@@ -1,0 +1,349 @@
+#include "browser/html_parser.hh"
+
+#include <cctype>
+
+#include "support/logging.hh"
+
+namespace webslice {
+namespace browser {
+
+using sim::Ctx;
+using sim::TracedScope;
+using sim::Value;
+
+namespace {
+
+bool
+isNameChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '-' ||
+           c == '_' || c == '.';
+}
+
+} // namespace
+
+/**
+ * Parse position: a native index plus the traced cursor register whose
+ * concrete value is always resource.addr + index.
+ */
+struct HtmlParser::Cursor
+{
+    const std::string *text = nullptr;
+    uint64_t base = 0;
+    size_t index = 0;
+    Value reg; ///< Traced address cursor.
+
+    bool done() const { return index >= text->size(); }
+    char peek(size_t ahead = 0) const
+    {
+        const size_t at = index + ahead;
+        return at < text->size() ? (*text)[at] : '\0';
+    }
+
+    /** Load the current byte (traced) without consuming it. */
+    Value
+    loadByte(Ctx &ctx)
+    {
+        return ctx.loadVia(reg, 0, 1);
+    }
+
+    /** Consume n bytes, advancing both the native and traced cursors. */
+    void
+    advance(Ctx &ctx, size_t n = 1)
+    {
+        index += n;
+        reg = ctx.addi(reg, static_cast<int64_t>(n));
+    }
+};
+
+HtmlParser::HtmlParser(sim::Machine &machine, TraceLog &trace_log)
+    : machine_(machine), traceLog_(trace_log),
+      fnParse_(machine.registerFunction("html::Parser::parse")),
+      fnParseTag_(machine.registerFunction("html::Parser::parseTag")),
+      fnParseText_(machine.registerFunction("html::Parser::parseText")),
+      fnLinkTree_(machine.registerFunction("html::TreeBuilder::link"))
+{
+}
+
+std::unique_ptr<Document>
+HtmlParser::parse(Ctx &ctx, const Resource &html)
+{
+    panic_if(!html.loaded, "parsing an unloaded resource");
+    TracedScope scope(ctx, fnParse_);
+    traceLog_.addEvent(ctx, /*category=*/10);
+
+    auto doc = std::make_unique<Document>();
+    Element *root = doc->createElement(Tag::Body);
+    root->addr = machine_.alloc(ElementFields::kRecordBytes, "element");
+    root->styleAddr = machine_.alloc(StyleFields::kRecordBytes, "style");
+    root->layoutAddr = machine_.alloc(LayoutFields::kRecordBytes, "layout");
+    {
+        Value tag = ctx.imm(static_cast<uint64_t>(Tag::Body));
+        ctx.store(root->addr + ElementFields::kTag, 4, tag);
+    }
+    doc->setRoot(root);
+
+    std::vector<Element *> stack{root};
+
+    Cursor cur;
+    cur.text = &html.content;
+    cur.base = html.addr;
+    cur.reg = ctx.imm(html.addr);
+
+    while (true) {
+        // Traced loop condition: cursor < end.
+        Value end = ctx.imm(html.addr + html.content.size());
+        Value more = ctx.ltu(cur.reg, end);
+        if (!ctx.branchIf(more))
+            break;
+        if (cur.peek() == '<') {
+            parseTag(ctx, cur, *doc, stack);
+        } else {
+            parseText(ctx, cur, *doc, stack);
+        }
+    }
+
+    linkTree(ctx, *doc);
+    return doc;
+}
+
+void
+HtmlParser::parseText(Ctx &ctx, Cursor &cur, Document &doc,
+                      std::vector<Element *> &stack)
+{
+    TracedScope scope(ctx, fnParseText_);
+
+    const size_t start = cur.index;
+    const uint64_t start_addr = cur.base + cur.index;
+    Value hash = ctx.imm(2166136261u);
+
+    // Scan in up-to-8-byte chunks: one traced load + mix per chunk, with
+    // a traced continue/stop branch.
+    while (true) {
+        const size_t remaining = cur.text->size() - cur.index;
+        if (remaining == 0)
+            break;
+        size_t span = 0;
+        while (span < 8 && span < remaining && cur.peek(span) != '<')
+            ++span;
+        if (span == 0)
+            break;
+        Value chunk = ctx.loadVia(cur.reg, 0, static_cast<unsigned>(span));
+        hash = ctx.bxor(hash, chunk);
+        hash = ctx.muli(hash, 16777619u);
+        cur.advance(ctx, span);
+        Value continue_scan =
+            ctx.imm(!cur.done() && cur.peek() != '<' ? 1 : 0);
+        if (!ctx.branchIf(continue_scan))
+            break;
+    }
+
+    const size_t length = cur.index - start;
+    if (length == 0)
+        return;
+
+    Element *node = doc.createElement(Tag::Text);
+    node->addr = machine_.alloc(ElementFields::kRecordBytes, "text");
+    node->styleAddr = machine_.alloc(StyleFields::kRecordBytes, "style");
+    node->layoutAddr = machine_.alloc(LayoutFields::kRecordBytes, "layout");
+    node->text = cur.text->substr(start, length);
+    node->textAddr = start_addr;
+    node->textLen = static_cast<uint32_t>(length);
+    node->parent = stack.back();
+    stack.back()->children.push_back(node);
+
+    Value tag = ctx.imm(static_cast<uint64_t>(Tag::Text));
+    ctx.store(node->addr + ElementFields::kTag, 4, tag);
+    Value text_addr = ctx.imm(start_addr);
+    ctx.store(node->addr + ElementFields::kTextAddr, 8, text_addr);
+    // The recorded length derives from the traced cursor positions.
+    Value start_reg = ctx.imm(start_addr);
+    Value len = ctx.sub(cur.reg, start_reg);
+    ctx.store(node->addr + ElementFields::kTextLen, 4, len);
+    // Text content hash doubles as the initial "glyph shaping" product.
+    ctx.store(node->addr + ElementFields::kClassHash, 4, hash);
+}
+
+void
+HtmlParser::parseTag(Ctx &ctx, Cursor &cur, Document &doc,
+                     std::vector<Element *> &stack)
+{
+    TracedScope scope(ctx, fnParseTag_);
+
+    cur.advance(ctx); // consume '<'
+
+    const bool closing = cur.peek() == '/';
+    if (closing)
+        cur.advance(ctx);
+
+    // Tag name: per-byte traced load + hash mix.
+    std::string name;
+    Value name_hash = ctx.imm(2166136261u);
+    while (!cur.done() && isNameChar(cur.peek())) {
+        Value ch = cur.loadByte(ctx);
+        name_hash = ctx.bxor(name_hash, ch);
+        name_hash = ctx.muli(name_hash, 16777619u);
+        name.push_back(cur.peek());
+        cur.advance(ctx);
+    }
+
+    if (closing) {
+        // Scan to '>' and pop, with a traced check that the closing tag
+        // matches the open element.
+        while (!cur.done() && cur.peek() != '>')
+            cur.advance(ctx);
+        if (!cur.done())
+            cur.advance(ctx); // consume '>'
+        if (stack.size() > 1) {
+            Element *top = stack.back();
+            Value open_tag =
+                ctx.load(top->addr + ElementFields::kTag, 4);
+            Value expect =
+                ctx.imm(static_cast<uint64_t>(tagFromName(name)));
+            Value match = ctx.eq(open_tag, expect);
+            ctx.branchIf(match);
+            stack.pop_back();
+        }
+        return;
+    }
+
+    const Tag tag = tagFromName(name);
+    const bool is_link = name == "link";
+    const bool is_script = name == "script";
+    const bool is_void = tag == Tag::Img || tag == Tag::Input || is_link ||
+                         is_script;
+
+    // Attribute accumulation (traced values).
+    Value id_hash = ctx.imm(0);
+    Value class_hash = ctx.imm(0);
+    Value hidden = ctx.imm(0);
+    Value attr_w = ctx.imm(0);
+    Value attr_h = ctx.imm(0);
+    std::string id_attr, class_attr, src_attr;
+
+    while (!cur.done() && cur.peek() == ' ') {
+        cur.advance(ctx); // consume the space
+
+        std::string attr_name;
+        while (!cur.done() && isNameChar(cur.peek())) {
+            Value ch = cur.loadByte(ctx);
+            (void)ch;
+            attr_name.push_back(cur.peek());
+            cur.advance(ctx);
+        }
+
+        if (cur.peek() != '=') {
+            // Valueless attribute (e.g. "hidden").
+            if (attr_name == "hidden")
+                hidden = ctx.imm(1);
+            continue;
+        }
+        cur.advance(ctx); // consume '='
+
+        // Value: either a number (digits) or a token (hash-mixed).
+        std::string attr_value;
+        Value hash = ctx.imm(2166136261u);
+        Value number = ctx.imm(0);
+        bool numeric = std::isdigit(
+            static_cast<unsigned char>(cur.peek()));
+        while (!cur.done() && cur.peek() != ' ' && cur.peek() != '>') {
+            Value ch = cur.loadByte(ctx);
+            if (numeric) {
+                Value digit = ctx.addi(ch, -'0');
+                number = ctx.add(ctx.muli(number, 10), digit);
+            } else {
+                hash = ctx.bxor(hash, ch);
+                hash = ctx.muli(hash, 16777619u);
+            }
+            attr_value.push_back(cur.peek());
+            cur.advance(ctx);
+        }
+
+        if (attr_name == "id") {
+            id_hash = std::move(hash);
+            id_attr = attr_value;
+        } else if (attr_name == "class") {
+            class_hash = std::move(hash);
+            class_attr = attr_value;
+        } else if (attr_name == "w") {
+            attr_w = std::move(number);
+        } else if (attr_name == "h") {
+            attr_h = std::move(number);
+        } else if (attr_name == "src" || attr_name == "href") {
+            src_attr = attr_value;
+        }
+    }
+    if (!cur.done())
+        cur.advance(ctx); // consume '>'
+
+    // Subresource references produce no DOM node.
+    if (is_link) {
+        doc.cssUrls.push_back(src_attr);
+        return;
+    }
+    if (is_script) {
+        doc.jsUrls.push_back(src_attr);
+        return;
+    }
+
+    Element *element = doc.createElement(tag);
+    element->addr = machine_.alloc(ElementFields::kRecordBytes, "element");
+    element->styleAddr =
+        machine_.alloc(StyleFields::kRecordBytes, "style");
+    element->layoutAddr =
+        machine_.alloc(LayoutFields::kRecordBytes, "layout");
+    element->idAttr = id_attr;
+    element->className = class_attr;
+    element->idHash = hashString(id_attr);
+    element->classHash = hashString(class_attr);
+    element->hidden = hidden.get() != 0;
+    element->attrWidth = static_cast<uint32_t>(attr_w.get());
+    element->attrHeight = static_cast<uint32_t>(attr_h.get());
+    element->src = src_attr;
+    element->parent = stack.back();
+    stack.back()->children.push_back(element);
+    if (tag == Tag::Img && !src_attr.empty())
+        doc.imageUrls.push_back(src_attr);
+    doc.indexById(element);
+
+    // Write the record from the *traced* accumulators so the fields are
+    // data-dependent on the HTML bytes.
+    Value tag_field = ctx.alu1(name_hash, static_cast<uint64_t>(tag));
+    ctx.store(element->addr + ElementFields::kTag, 4, tag_field);
+    ctx.store(element->addr + ElementFields::kIdHash, 4, id_hash);
+    ctx.store(element->addr + ElementFields::kClassHash, 4, class_hash);
+    ctx.store(element->addr + ElementFields::kFlags, 4, hidden);
+    ctx.store(element->addr + ElementFields::kAttrWidth, 4, attr_w);
+    ctx.store(element->addr + ElementFields::kAttrHeight, 4, attr_h);
+
+    if (!is_void)
+        stack.push_back(element);
+}
+
+void
+HtmlParser::linkTree(Ctx &ctx, Document &doc)
+{
+    TracedScope scope(ctx, fnLinkTree_);
+    for (const auto &element : doc.elements()) {
+        Element *el = element.get();
+        const size_t n = el->children.size();
+        Value count = ctx.imm(n);
+        ctx.store(el->addr + ElementFields::kChildCount, 4, count);
+        Value style = ctx.imm(el->styleAddr);
+        ctx.store(el->addr + ElementFields::kStyle, 8, style);
+        Value layout = ctx.imm(el->layoutAddr);
+        ctx.store(el->addr + ElementFields::kLayout, 8, layout);
+        if (n == 0)
+            continue;
+        el->childArrayAddr = machine_.alloc(n * 8, "children");
+        Value array = ctx.imm(el->childArrayAddr);
+        ctx.store(el->addr + ElementFields::kChildArray, 8, array);
+        for (size_t i = 0; i < n; ++i) {
+            Value child = ctx.imm(el->children[i]->addr);
+            ctx.store(el->childArrayAddr + i * 8, 8, child);
+        }
+    }
+}
+
+} // namespace browser
+} // namespace webslice

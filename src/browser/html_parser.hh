@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The HTML tokenizer/parser (html:: namespace) — the first stage of the
+ * paper's Figure 1 rendering pipeline.
+ *
+ * Parsing walks the resource bytes with traced loads (a traced cursor
+ * register provides the address dependence), mixes id/class/tag bytes
+ * into hashes with traced arithmetic, and writes each element's record
+ * fields into simulated memory — so everything downstream (style, layout,
+ * paint, raster) is transitively data-dependent on the original HTML
+ * bytes, exactly the chain the paper's slicer walks.
+ *
+ * Grammar (the workload generators emit exactly this dialect):
+ *   <tag attr=value attr2=value2>children</tag>
+ *   <img src=url w=120 h=80>            (void tags: img, input)
+ *   <link href=main.css> <script src=app.js>   (subresource references)
+ *   raw text between tags becomes Text nodes
+ */
+
+#ifndef WEBSLICE_BROWSER_HTML_PARSER_HH
+#define WEBSLICE_BROWSER_HTML_PARSER_HH
+
+#include <memory>
+
+#include "browser/debugging.hh"
+#include "browser/dom.hh"
+#include "browser/net.hh"
+#include "sim/machine.hh"
+
+namespace webslice {
+namespace browser {
+
+/** Builds a Document from an HTML resource. */
+class HtmlParser
+{
+  public:
+    HtmlParser(sim::Machine &machine, TraceLog &trace_log);
+
+    /**
+     * Parse the (loaded) HTML resource into a Document.
+     * Must run on the main thread.
+     */
+    std::unique_ptr<Document> parse(sim::Ctx &ctx, const Resource &html);
+
+  private:
+    struct Cursor;
+
+    void parseTag(sim::Ctx &ctx, Cursor &cur, Document &doc,
+                  std::vector<Element *> &stack);
+    void parseText(sim::Ctx &ctx, Cursor &cur, Document &doc,
+                   std::vector<Element *> &stack);
+    void linkTree(sim::Ctx &ctx, Document &doc);
+
+    sim::Machine &machine_;
+    TraceLog &traceLog_;
+    trace::FuncId fnParse_;
+    trace::FuncId fnParseTag_;
+    trace::FuncId fnParseText_;
+    trace::FuncId fnLinkTree_;
+};
+
+} // namespace browser
+} // namespace webslice
+
+#endif // WEBSLICE_BROWSER_HTML_PARSER_HH

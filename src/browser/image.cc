@@ -1,0 +1,67 @@
+#include "browser/image.hh"
+
+namespace webslice {
+namespace browser {
+
+using sim::Ctx;
+using sim::TracedScope;
+using sim::Value;
+
+ImageStore::ImageStore(sim::Machine &machine, TraceLog &trace_log,
+                       int cell_px)
+    : machine_(machine), traceLog_(trace_log),
+      fnDecode_(machine.registerFunction("gfx::ImageDecoder::decode")),
+      cellPx_(cell_px > 0 ? cell_px : 16)
+{
+}
+
+void
+ImageStore::addResource(const std::string &url, Resource *resource,
+                        uint32_t width_px, uint32_t height_px)
+{
+    ImageEntry entry;
+    entry.resource = resource;
+    entry.widthCells = std::max<uint32_t>(1, width_px / cellPx_);
+    entry.heightCells = std::max<uint32_t>(1, height_px / cellPx_);
+    images_[url] = entry;
+}
+
+ImageEntry *
+ImageStore::decodedBitmap(Ctx &ctx, const std::string &url)
+{
+    auto it = images_.find(url);
+    if (it == images_.end())
+        return nullptr;
+    ImageEntry &entry = it->second;
+    if (!entry.resource || !entry.resource->loaded)
+        return nullptr;
+    if (entry.decoded)
+        return &entry;
+
+    // Decode: read the compressed bytes (traced, strided) and expand
+    // them into bitmap cells the rasterizer samples.
+    TracedScope scope(ctx, fnDecode_);
+    traceLog_.addEvent(ctx, /*category=*/31);
+    ++decodes_;
+
+    const uint32_t cells = entry.widthCells * entry.heightCells;
+    entry.bitmapAddr = machine_.alloc(cells * 4, "bitmap");
+
+    const Resource &res = *entry.resource;
+    Value state = ctx.imm(0x5bd1e995);
+    for (uint32_t c = 0; c < cells; ++c) {
+        // Sample a source chunk proportional to the cell index.
+        const uint64_t off =
+            res.size >= 8 ? (uint64_t{c} * 8) % (res.size - 7) : 0;
+        Value chunk = ctx.load(res.addr + off, 8);
+        state = ctx.bxor(state, chunk);
+        state = ctx.muli(state, 0x9E3779B1u);
+        Value pixel = ctx.andi(state, 0xFFFFFFu);
+        ctx.store(entry.bitmapAddr + uint64_t{c} * 4, 4, pixel);
+    }
+    entry.decoded = true;
+    return &entry;
+}
+
+} // namespace browser
+} // namespace webslice

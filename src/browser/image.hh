@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Image decoding (gfx:: namespace).
+ *
+ * Images download as opaque byte payloads and are decoded lazily at first
+ * paint (as Chromium defers decode to raster need): the decoder reads the
+ * source bytes (traced) and writes a bitmap of 16px cells into simulated
+ * memory, which raster then samples. Images that are fetched but never
+ * painted (below the fold, hidden) are never decoded — their fetch cost
+ * is the waste.
+ */
+
+#ifndef WEBSLICE_BROWSER_IMAGE_HH
+#define WEBSLICE_BROWSER_IMAGE_HH
+
+#include <string>
+#include <unordered_map>
+
+#include "browser/debugging.hh"
+#include "browser/net.hh"
+#include "sim/machine.hh"
+
+namespace webslice {
+namespace browser {
+
+/** A decoded (or pending) image. */
+struct ImageEntry
+{
+    Resource *resource = nullptr;
+    bool decoded = false;
+    uint64_t bitmapAddr = 0;
+    uint32_t widthCells = 0;
+    uint32_t heightCells = 0;
+};
+
+/** Registry of image resources keyed by src url. */
+class ImageStore
+{
+  public:
+    ImageStore(sim::Machine &machine, TraceLog &trace_log, int cell_px);
+
+    /** Register a fetched image resource under its url. */
+    void addResource(const std::string &url, Resource *resource,
+                     uint32_t width_px, uint32_t height_px);
+
+    /**
+     * Bitmap for a url, decoding on first use (traced). Returns nullptr
+     * when the url is unknown or the resource has not arrived yet.
+     */
+    ImageEntry *decodedBitmap(sim::Ctx &ctx, const std::string &url);
+
+    size_t decodeCount() const { return decodes_; }
+    size_t imageCount() const { return images_.size(); }
+
+  private:
+    sim::Machine &machine_;
+    TraceLog &traceLog_;
+    trace::FuncId fnDecode_;
+    int cellPx_;
+    std::unordered_map<std::string, ImageEntry> images_;
+    size_t decodes_ = 0;
+};
+
+} // namespace browser
+} // namespace webslice
+
+#endif // WEBSLICE_BROWSER_IMAGE_HH

@@ -1,0 +1,107 @@
+#include "browser/ipc.hh"
+
+#include "sim/syscalls.hh"
+#include "support/logging.hh"
+
+namespace webslice {
+namespace browser {
+
+using sim::Ctx;
+using sim::TracedScope;
+using sim::Value;
+
+IpcChannel::IpcChannel(sim::Machine &machine)
+    : fnSend_(machine.registerFunction("ipc::Channel::send")),
+      fnWriteHeader_(machine.registerFunction("ipc::Message::writeHeader")),
+      fnChecksum_(machine.registerFunction("ipc::Message::checksum")),
+      fnRoute_(machine.registerFunction("ipc::Channel::updateRouting")),
+      stagingAddr_(machine.alloc(kStagingBytes, "ipc-staging")),
+      statsAddr_(machine.alloc(96, "ipc-stats"))
+{
+}
+
+void
+IpcChannel::send(Ctx &ctx, IpcMessage type,
+                 std::span<const uint64_t> payload)
+{
+    TracedScope scope(ctx, fnSend_);
+    panic_if(16 + payload.size() * 8 > kStagingBytes,
+             "ipc message exceeds the staging buffer");
+
+    // Header: type, payload length, routing id.
+    {
+        TracedScope header_scope(ctx, fnWriteHeader_);
+        Value msg_type = ctx.imm(static_cast<uint64_t>(type));
+        ctx.store(stagingAddr_, 4, msg_type);
+        Value length = ctx.imm(payload.size() * 8);
+        ctx.store(stagingAddr_ + 4, 4, length);
+        Value routing = ctx.imm(7);
+        ctx.store(stagingAddr_ + 8, 4, routing);
+    }
+
+    // Payload words.
+    for (size_t i = 0; i < payload.size(); ++i) {
+        Value word = ctx.imm(payload[i]);
+        ctx.store(stagingAddr_ + 16 + i * 8, 8, word);
+    }
+
+    const uint64_t total = 16 + payload.size() * 8;
+    finishSend(ctx, total);
+}
+
+void
+IpcChannel::sendValue(Ctx &ctx, IpcMessage type, const Value &value)
+{
+    TracedScope scope(ctx, fnSend_);
+    {
+        TracedScope header_scope(ctx, fnWriteHeader_);
+        Value msg_type = ctx.imm(static_cast<uint64_t>(type));
+        ctx.store(stagingAddr_, 4, msg_type);
+        Value length = ctx.imm(8);
+        ctx.store(stagingAddr_ + 4, 4, length);
+    }
+    ctx.store(stagingAddr_ + 16, 8, value);
+    finishSend(ctx, 24);
+}
+
+void
+IpcChannel::finishSend(Ctx &ctx, uint64_t total)
+{
+    // Channel bookkeeping that never reaches the wire: routing-table
+    // refresh, sequence counters, send statistics. This is the part of
+    // the IPC category even receiver-side analysis cannot reclaim.
+    {
+        TracedScope route_scope(ctx, fnRoute_);
+        Value seq = ctx.load(statsAddr_, 8);
+        Value next_seq = ctx.addi(seq, 1);
+        ctx.store(statsAddr_, 8, next_seq);
+        Value route = ctx.load(statsAddr_ + 8, 8);
+        Value mixed = ctx.bxor(route, seq);
+        Value bucket = ctx.andi(mixed, 7);
+        Value entry = ctx.add(ctx.imm(statsAddr_ + 16),
+                              ctx.muli(bucket, 8));
+        Value count = ctx.loadVia(entry, 0, 8);
+        Value bumped = ctx.addi(count, 1);
+        ctx.storeVia(entry, 0, 8, bumped);
+        Value bytes = ctx.load(statsAddr_ + 80, 8);
+        Value new_bytes = ctx.add(bytes, ctx.imm(total));
+        ctx.store(statsAddr_ + 80, 8, new_bytes);
+    }
+    // Trailing checksum over the staged bytes, then the kernel handoff.
+    {
+        TracedScope checksum_scope(ctx, fnChecksum_);
+        Value sum = ctx.imm(0);
+        for (uint64_t off = 0; off + 8 <= total; off += 8) {
+            Value word = ctx.load(stagingAddr_ + off, 8);
+            sum = ctx.add(sum, word);
+        }
+        ctx.store(stagingAddr_ + total, 8, sum);
+    }
+    Value rc = sim::sysSendto(ctx, stagingAddr_, total + 8);
+    (void)rc;
+    ++sent_;
+    bytesSent_ += total + 8;
+}
+
+} // namespace browser
+} // namespace webslice

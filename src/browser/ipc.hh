@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Inter-process communication with the browser main process (ipc::
+ * namespace).
+ *
+ * Each Chromium tab is a separate process that reports navigation state,
+ * paint metrics, favicon/title updates, and histogram data to the single
+ * browser process over a pipe. From the tab process's point of view —
+ * which is all the paper traces — this work serializes a message and
+ * hands the bytes to the kernel (sendto). Under pixel-based criteria it is
+ * therefore "unnecessary"; the paper explicitly flags the category as
+ * needing receiver-side inspection, which bench/ipc_receiver revisits.
+ */
+
+#ifndef WEBSLICE_BROWSER_IPC_HH
+#define WEBSLICE_BROWSER_IPC_HH
+
+#include <span>
+
+#include "sim/machine.hh"
+
+namespace webslice {
+namespace browser {
+
+/** Well-known message types sent to the browser process. */
+enum class IpcMessage : uint32_t
+{
+    NavigationStart = 1,
+    DidCommitNavigation,
+    DidFirstVisuallyNonEmptyPaint,
+    UpdateTitle,
+    ResourceLoadMetrics,
+    FrameSwapMetrics,
+    UserInteractionMetrics,
+    HistogramFlush,
+};
+
+/** One endpoint of the tab-to-browser pipe. */
+class IpcChannel
+{
+  public:
+    explicit IpcChannel(sim::Machine &machine);
+
+    /**
+     * Serialize and send a message: header + payload words are written
+     * into a staging buffer (traced stores), a checksum is computed over
+     * the buffer, and the bytes leave the process via sendto.
+     */
+    void send(sim::Ctx &ctx, IpcMessage type,
+              std::span<const uint64_t> payload);
+
+    /** Convenience for metric-style messages carrying a traced value. */
+    void sendValue(sim::Ctx &ctx, IpcMessage type, const sim::Value &value);
+
+    uint64_t messagesSent() const { return sent_; }
+    uint64_t bytesSent() const { return bytesSent_; }
+
+  private:
+    void finishSend(sim::Ctx &ctx, uint64_t total);
+
+    trace::FuncId fnSend_;
+    trace::FuncId fnWriteHeader_;
+    trace::FuncId fnChecksum_;
+    trace::FuncId fnRoute_;
+    uint64_t stagingAddr_;
+    uint64_t statsAddr_;
+    uint64_t sent_ = 0;
+    uint64_t bytesSent_ = 0;
+
+    static constexpr uint64_t kStagingBytes = 512;
+};
+
+} // namespace browser
+} // namespace webslice
+
+#endif // WEBSLICE_BROWSER_IPC_HH

@@ -1,0 +1,1356 @@
+#include "browser/js.hh"
+
+#include <cctype>
+
+#include "browser/css.hh"
+
+#include "support/logging.hh"
+#include "support/strings.hh"
+
+namespace webslice {
+namespace browser {
+
+using sim::Ctx;
+using sim::TracedScope;
+using sim::Value;
+
+namespace {
+
+/** Bytecode operations. Stored as the low u32 of each 8-byte code word;
+ *  the operand occupies the high u32. */
+enum JsOp : uint32_t
+{
+    kNop = 0,
+    kConst,       ///< push operand
+    kLoadLocal,   ///< push locals[operand]
+    kStoreLocal,  ///< locals[operand] = pop
+    kLoadGlobal,  ///< push globals[operand]
+    kStoreGlobal, ///< globals[operand] = pop
+    kAdd,
+    kSub,
+    kMul,
+    kAnd,
+    kOr,
+    kXor,
+    kLt,
+    kGt,
+    kEq,
+    kJmp,        ///< pc = operand
+    kJmpIfFalse, ///< pc = operand when pop() == 0
+    kCall,       ///< call function[operand], args on stack
+    kRet,        ///< return pop()
+    kDrop,       ///< pop()
+    kDomSet,     ///< dom.set(id, prop, value)
+    kDomText,    ///< dom.text(id, value)
+    kDomShow,
+    kDomHide,
+    kDomListen,  ///< dom.listen(id, event, fnIndex)
+    kDomGet,     ///< push dom.get(id, prop)
+    kDomCreate,  ///< dom.create(parentId, tag)
+    kTimer,      ///< timer(ms, fnIndex)
+};
+
+constexpr size_t kMaxCodeWords = 8192;
+constexpr size_t kMaxInterpreterSteps = 2'000'000;
+constexpr int kMaxFrameDepth = 64;
+
+uint64_t
+styleFieldForProp(uint32_t prop)
+{
+    switch (static_cast<CssProperty>(prop)) {
+      case CssProperty::Color: return StyleFields::kColor;
+      case CssProperty::Background: return StyleFields::kBackground;
+      case CssProperty::Display: return StyleFields::kDisplay;
+      case CssProperty::FontSize: return StyleFields::kFontSize;
+      case CssProperty::Width: return StyleFields::kWidth;
+      case CssProperty::Height: return StyleFields::kHeight;
+      case CssProperty::Margin: return StyleFields::kMargin;
+      case CssProperty::Padding: return StyleFields::kPadding;
+      case CssProperty::Position: return StyleFields::kPosition;
+      case CssProperty::ZIndex: return StyleFields::kZIndex;
+      case CssProperty::Anim: return StyleFields::kAnimated;
+      case CssProperty::Opacity: return StyleFields::kOpacity;
+      default: return StyleFields::kColor;
+    }
+}
+
+} // namespace
+
+// ---- Lexer -----------------------------------------------------------------
+
+/** Streaming tokenizer with one token of lookahead. */
+class JsEngine::Lexer
+{
+  public:
+    enum class Kind
+    {
+        End,
+        Ident,
+        Number,
+        Punct,
+    };
+
+    struct Token
+    {
+        Kind kind = Kind::End;
+        std::string text;
+        uint64_t number = 0;
+        Value traced; ///< Hash of an ident / value of a number / char.
+    };
+
+    Lexer(Ctx &ctx, const std::string &text, uint64_t base)
+        : ctx_(ctx), text_(text), base_(base), cursor_(ctx.imm(base))
+    {
+        lex();
+    }
+
+    const Token &peek() const { return next_; }
+
+    Token
+    take()
+    {
+        Token out = std::move(next_);
+        lex();
+        return out;
+    }
+
+    bool atEnd() const { return next_.kind == Kind::End; }
+
+    /** Byte offset of the start of the lookahead token. */
+    size_t tokenStart() const { return tokenStart_; }
+
+    /** Byte offset just past the last consumed token. */
+    size_t consumedEnd() const { return consumedEnd_; }
+
+    /**
+     * Pre-parser fast path: skip ahead to the given byte offset with
+     * chunked traced reads (roughly an eighth of full tokenization per
+     * byte — the V8 preparser's cost profile), then re-lex the
+     * lookahead.
+     */
+    void
+    skipToOffset(size_t target)
+    {
+        // Restart the scan at the lookahead token (its bytes were
+        // already lexed; the overlap is a few characters at most).
+        index_ = std::min(tokenStart_, target);
+        cursor_ = ctx_.imm(base_ + index_);
+        while (index_ < target) {
+            const size_t span = std::min<size_t>(8, target - index_);
+            Value chunk = ctx_.loadVia(cursor_, 0,
+                                       static_cast<unsigned>(span));
+            Value probe = ctx_.andi(chunk, 0x7D7D7D7D7D7D7D7Dull);
+            ctx_.branchIf(ctx_.geu(probe, ctx_.imm(0)));
+            advance(span);
+        }
+        lex();
+    }
+
+  private:
+    char peekChar(size_t ahead = 0) const
+    {
+        const size_t at = index_ + ahead;
+        return at < text_.size() ? text_[at] : '\0';
+    }
+
+    void
+    advance(size_t n = 1)
+    {
+        index_ += n;
+        cursor_ = ctx_.addi(cursor_, static_cast<int64_t>(n));
+    }
+
+    Value loadByte() { return ctx_.loadVia(cursor_, 0, 1); }
+
+    void
+    lex()
+    {
+        consumedEnd_ = index_;
+        while (index_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[index_]))) {
+            advance();
+        }
+        tokenStart_ = index_;
+        next_ = Token{};
+        if (index_ >= text_.size()) {
+            next_.kind = Kind::End;
+            return;
+        }
+
+        const char c = text_[index_];
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            next_.kind = Kind::Ident;
+            Value hash = ctx_.imm(2166136261u);
+            while (index_ < text_.size() &&
+                   (std::isalnum(static_cast<unsigned char>(
+                        text_[index_])) ||
+                    text_[index_] == '_')) {
+                Value ch = loadByte();
+                hash = ctx_.bxor(hash, ch);
+                hash = ctx_.muli(hash, 16777619u);
+                next_.text.push_back(text_[index_]);
+                advance();
+            }
+            next_.traced = std::move(hash);
+            return;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            next_.kind = Kind::Number;
+            Value number = ctx_.imm(0);
+            while (index_ < text_.size() &&
+                   std::isdigit(static_cast<unsigned char>(
+                       text_[index_]))) {
+                Value ch = loadByte();
+                Value digit = ctx_.addi(ch, -'0');
+                number = ctx_.add(ctx_.muli(number, 10), digit);
+                next_.number =
+                    next_.number * 10 + (text_[index_] - '0');
+                next_.text.push_back(text_[index_]);
+                advance();
+            }
+            next_.traced = std::move(number);
+            return;
+        }
+
+        // Punctuation, with the two-char "==" special case.
+        next_.kind = Kind::Punct;
+        Value ch = loadByte();
+        next_.text.push_back(c);
+        advance();
+        if (c == '=' && peekChar() == '=') {
+            Value ch2 = loadByte();
+            ch = ctx_.add(ch, ch2);
+            next_.text.push_back('=');
+            advance();
+        }
+        next_.traced = std::move(ch);
+    }
+
+    Ctx &ctx_;
+    const std::string &text_;
+    uint64_t base_;
+    size_t index_ = 0;
+    Value cursor_;
+    Token next_;
+    size_t tokenStart_ = 0;
+    size_t consumedEnd_ = 0;
+};
+
+// ---- Compiler --------------------------------------------------------------
+
+/** Single-pass compiler: tokens in, bytecode (native + traced) out. */
+class JsEngine::Compiler
+{
+  public:
+    Compiler(JsEngine &engine, Ctx &ctx, Lexer &lexer, JsFunction &fn)
+        : engine_(engine), ctx_(ctx), lexer_(lexer), fn_(fn)
+    {
+    }
+
+    /** Compile statements until '}' (body) or end of input (top level). */
+    void
+    compileUntil(const char *terminator)
+    {
+        while (!lexer_.atEnd()) {
+            if (terminator && lexer_.peek().kind == Lexer::Kind::Punct &&
+                lexer_.peek().text == terminator) {
+                break;
+            }
+            compileStatement();
+        }
+        // Implicit "return 0".
+        emit(kConst, 0);
+        emit(kRet, 0);
+    }
+
+    /** Parse "(a,b,...)" parameter list, binding locals. */
+    void
+    compileParams()
+    {
+        expectPunct("(");
+        while (!lexer_.atEnd() && lexer_.peek().text != ")") {
+            auto name = lexer_.take();
+            localSlot(name.text); // allocate in order
+            ++fn_.paramCount;
+            if (lexer_.peek().text == ",")
+                lexer_.take();
+        }
+        expectPunct(")");
+    }
+
+  private:
+    void
+    expectPunct(const char *p)
+    {
+        auto token = lexer_.take();
+        panic_if(token.kind != Lexer::Kind::Punct || token.text != p,
+                 "js parse error: expected '", p, "' got '", token.text,
+                 "' in ", fn_.name);
+    }
+
+    int
+    localSlot(const std::string &name)
+    {
+        auto it = locals_.find(name);
+        if (it != locals_.end())
+            return it->second;
+        const int slot = static_cast<int>(locals_.size());
+        locals_[name] = slot;
+        fn_.localCount = slot + 1;
+        return slot;
+    }
+
+    size_t
+    emit(uint32_t op, uint32_t operand, const Value *traced = nullptr)
+    {
+        panic_if(fn_.code.size() >= kMaxCodeWords,
+                 "js function too large: ", fn_.name);
+        const size_t index = fn_.code.size();
+        fn_.code.emplace_back(op, operand);
+        const uint64_t word_addr = fn_.codeAddr + index * 8;
+        Value opv = ctx_.imm(op);
+        ctx_.store(word_addr, 4, opv);
+        if (traced) {
+            ctx_.store(word_addr + 4, 4, *traced);
+        } else {
+            Value ov = ctx_.imm(operand);
+            ctx_.store(word_addr + 4, 4, ov);
+        }
+        return index;
+    }
+
+    void
+    patch(size_t index, uint32_t target)
+    {
+        fn_.code[index].second = target;
+        Value ov = ctx_.imm(target);
+        ctx_.store(fn_.codeAddr + index * 8 + 4, 4, ov);
+    }
+
+    void
+    compileBlock()
+    {
+        expectPunct("{");
+        while (!lexer_.atEnd() && lexer_.peek().text != "}")
+            compileStatement();
+        expectPunct("}");
+    }
+
+    void
+    compileStatement()
+    {
+        const auto &peeked = lexer_.peek();
+        if (peeked.kind == Lexer::Kind::Ident) {
+            if (peeked.text == "var") {
+                lexer_.take();
+                auto name = lexer_.take();
+                const int slot = localSlot(name.text);
+                expectPunct("=");
+                compileExpr();
+                emit(kStoreLocal, slot, &name.traced);
+                expectPunct(";");
+                return;
+            }
+            if (peeked.text == "if") {
+                lexer_.take();
+                expectPunct("(");
+                compileExpr();
+                expectPunct(")");
+                const size_t jf = emit(kJmpIfFalse, 0);
+                compileBlock();
+                if (!lexer_.atEnd() && lexer_.peek().text == "else") {
+                    lexer_.take();
+                    const size_t jend = emit(kJmp, 0);
+                    patch(jf, static_cast<uint32_t>(fn_.code.size()));
+                    compileBlock();
+                    patch(jend, static_cast<uint32_t>(fn_.code.size()));
+                } else {
+                    patch(jf, static_cast<uint32_t>(fn_.code.size()));
+                }
+                return;
+            }
+            if (peeked.text == "while") {
+                lexer_.take();
+                const auto loop_start =
+                    static_cast<uint32_t>(fn_.code.size());
+                expectPunct("(");
+                compileExpr();
+                expectPunct(")");
+                const size_t jf = emit(kJmpIfFalse, 0);
+                compileBlock();
+                emit(kJmp, loop_start);
+                patch(jf, static_cast<uint32_t>(fn_.code.size()));
+                return;
+            }
+            if (peeked.text == "return") {
+                lexer_.take();
+                compileExpr();
+                emit(kRet, 0);
+                expectPunct(";");
+                return;
+            }
+            if (peeked.text == "timer") {
+                lexer_.take();
+                expectPunct("(");
+                compileExpr();
+                expectPunct(",");
+                emitHandlerConst(lexer_.take());
+                expectPunct(")");
+                expectPunct(";");
+                emit(kTimer, 0);
+                return;
+            }
+            if (peeked.text == "dom") {
+                compileDom(/*in_expression=*/false);
+                expectPunct(";");
+                return;
+            }
+
+            // Assignment or expression-statement call.
+            auto name = lexer_.take();
+            if (lexer_.peek().text == "=") {
+                lexer_.take();
+                compileExpr();
+                auto it = locals_.find(name.text);
+                if (it != locals_.end()) {
+                    emit(kStoreLocal, it->second, &name.traced);
+                } else {
+                    emit(kStoreGlobal,
+                         engine_.globalSlotFor(name.text),
+                         &name.traced);
+                }
+                expectPunct(";");
+                return;
+            }
+            if (lexer_.peek().text == "(") {
+                compileCall(name);
+                emit(kDrop, 0);
+                expectPunct(";");
+                return;
+            }
+            panic("js parse error: unexpected statement at '", name.text,
+                  "' in ", fn_.name);
+        }
+        panic("js parse error: unexpected token '", peeked.text, "' in ",
+              fn_.name);
+    }
+
+    void
+    compileCall(Lexer::Token &name)
+    {
+        expectPunct("(");
+        int argc = 0;
+        while (!lexer_.atEnd() && lexer_.peek().text != ")") {
+            compileExpr();
+            ++argc;
+            if (lexer_.peek().text == ",")
+                lexer_.take();
+        }
+        expectPunct(")");
+        const int index = engine_.functionIndexFor(name.text);
+        panic_if(index > 0xFFFF || argc > 0xFF,
+                 "call encoding overflow for ", name.text);
+        // Operand packs callee index (low 16) and arity (high 16).
+        emit(kCall,
+             static_cast<uint32_t>(index) |
+                 (static_cast<uint32_t>(argc) << 16),
+             &name.traced);
+    }
+
+    /**
+     * Resolve a handler-name token into a function-index constant. The
+     * traced constant is derived from the name's hash (the symbol-lookup
+     * dependence) with the concrete index as its value.
+     */
+    void
+    emitHandlerConst(Lexer::Token handler)
+    {
+        panic_if(handler.kind != Lexer::Kind::Ident,
+                 "js parse error: handler name expected, got '",
+                 handler.text, "'");
+        const int index = engine_.functionIndexFor(handler.text);
+        Value resolved =
+            ctx_.alu1(handler.traced, static_cast<uint64_t>(index));
+        emit(kConst, static_cast<uint32_t>(index), &resolved);
+    }
+
+    /** dom.<method>(args); pushes a value only for dom.get. */
+    void
+    compileDom(bool in_expression)
+    {
+        lexer_.take(); // "dom"
+        expectPunct(".");
+        auto method = lexer_.take();
+        expectPunct("(");
+
+        if (method.text == "listen") {
+            // dom.listen(id, event, handlerName): the third argument is
+            // a function reference, not an expression.
+            compileExpr();
+            expectPunct(",");
+            compileExpr();
+            expectPunct(",");
+            emitHandlerConst(lexer_.take());
+            expectPunct(")");
+            panic_if(in_expression,
+                     "dom.listen may not appear in an expression");
+            emit(kDomListen, 3, &method.traced);
+            return;
+        }
+
+        int argc = 0;
+        while (!lexer_.atEnd() && lexer_.peek().text != ")") {
+            compileExpr();
+            ++argc;
+            if (lexer_.peek().text == ",")
+                lexer_.take();
+        }
+        expectPunct(")");
+
+        uint32_t op = kNop;
+        if (method.text == "set") op = kDomSet;
+        else if (method.text == "text") op = kDomText;
+        else if (method.text == "show") op = kDomShow;
+        else if (method.text == "hide") op = kDomHide;
+        else if (method.text == "listen") op = kDomListen;
+        else if (method.text == "get") op = kDomGet;
+        else if (method.text == "create") op = kDomCreate;
+        else
+            panic("js parse error: unknown dom method '", method.text,
+                  "'");
+        panic_if(in_expression && op != kDomGet,
+                 "only dom.get may appear in an expression");
+        emit(op, static_cast<uint32_t>(argc), &method.traced);
+    }
+
+    void
+    compileExpr()
+    {
+        compileTerm();
+        while (!lexer_.atEnd() &&
+               lexer_.peek().kind == Lexer::Kind::Punct) {
+            const std::string &p = lexer_.peek().text;
+            uint32_t op = kNop;
+            if (p == "+") op = kAdd;
+            else if (p == "-") op = kSub;
+            else if (p == "*") op = kMul;
+            else if (p == "&") op = kAnd;
+            else if (p == "|") op = kOr;
+            else if (p == "^") op = kXor;
+            else if (p == "<") op = kLt;
+            else if (p == ">") op = kGt;
+            else if (p == "==") op = kEq;
+            else
+                break;
+            auto token = lexer_.take();
+            compileTerm();
+            emit(op, 0, &token.traced);
+        }
+    }
+
+    void
+    compileTerm()
+    {
+        auto &peeked = lexer_.peek();
+        if (peeked.kind == Lexer::Kind::Number) {
+            auto token = lexer_.take();
+            emit(kConst, static_cast<uint32_t>(token.number),
+                 &token.traced);
+            return;
+        }
+        if (peeked.kind == Lexer::Kind::Punct && peeked.text == "(") {
+            lexer_.take();
+            compileExpr();
+            expectPunct(")");
+            return;
+        }
+        if (peeked.kind == Lexer::Kind::Ident) {
+            if (peeked.text == "dom") {
+                compileDom(/*in_expression=*/true);
+                return;
+            }
+            auto name = lexer_.take();
+            if (lexer_.peek().text == "(") {
+                compileCall(name);
+                return;
+            }
+            auto it = locals_.find(name.text);
+            if (it != locals_.end()) {
+                emit(kLoadLocal, it->second, &name.traced);
+            } else {
+                emit(kLoadGlobal, engine_.globalSlotFor(name.text),
+                     &name.traced);
+            }
+            return;
+        }
+        panic("js parse error: unexpected term '", peeked.text, "'");
+    }
+
+    JsEngine &engine_;
+    Ctx &ctx_;
+    Lexer &lexer_;
+    JsFunction &fn_;
+    std::unordered_map<std::string, int> locals_;
+};
+
+// ---- JsEngine --------------------------------------------------------------
+
+JsEngine::JsEngine(sim::Machine &machine, TraceLog &trace_log,
+                   JsEngineConfig config)
+    : machine_(machine), traceLog_(trace_log), config_(config),
+      fnParseScript_(machine.registerFunction("v8::Script::parse")),
+      fnParseFunction_(machine.registerFunction("v8::Parser::parseFunction")),
+      fnEmitBytecode_(
+          machine.registerFunction("v8::BytecodeGenerator::generate")),
+      fnDispatchEvent_(
+          machine.registerFunction("v8::EventDispatcher::dispatch")),
+      fnOptimize_(machine.registerFunction("v8::OptimizingCompiler::run")),
+      fnDeopt_(machine.registerFunction("v8::Deoptimizer::bailout")),
+      fnGc_(machine.registerFunction("v8::Heap::scavenge")),
+      fnRuntimeDom_(machine.registerFunction("v8::Runtime::domOperation")),
+      fnTimerFire_(machine.registerFunction("v8::Runtime::fireTimer"))
+{
+    funcTableAddr_ = machine.alloc(kMaxFunctions * 16, "js-functable");
+    globalsAddr_ = machine.alloc(kMaxGlobals * 8, "js-globals");
+    gcMarksAddr_ = machine.alloc(4096, "js-gcmarks");
+}
+
+int
+JsEngine::functionIndexFor(const std::string &name)
+{
+    auto it = functionsByName_.find(name);
+    if (it != functionsByName_.end())
+        return it->second;
+    // Forward reference: create the slot; the declaration fills it in.
+    auto fn = std::make_unique<JsFunction>();
+    fn->name = name;
+    fn->index = static_cast<int>(functions_.size());
+    fn->machineFunc = machine_.registerFunction("v8::jsfunc::" + name);
+    functionsByName_[name] = fn->index;
+    functions_.push_back(std::move(fn));
+    panic_if(functions_.size() > kMaxFunctions, "too many js functions");
+    return functions_.back()->index;
+}
+
+int
+JsEngine::globalSlotFor(const std::string &name)
+{
+    auto it = globalSlots_.find(name);
+    if (it != globalSlots_.end())
+        return it->second;
+    const int slot = static_cast<int>(globalSlots_.size());
+    panic_if(static_cast<size_t>(slot) >= kMaxGlobals,
+             "too many js globals");
+    globalSlots_[name] = slot;
+    return slot;
+}
+
+void
+JsEngine::runScript(Ctx &ctx, const Resource &script)
+{
+    panic_if(!script.loaded, "running an unloaded script");
+    TracedScope scope(ctx, fnParseScript_);
+    traceLog_.addEvent(ctx, /*category=*/20);
+    totalBytes_ += script.size;
+
+    Lexer lexer(ctx, script.content, script.addr);
+
+    // Function declarations.
+    while (!lexer.atEnd() && lexer.peek().text == "function") {
+        TracedScope parse_scope(ctx, fnParseFunction_);
+        traceLog_.addEvent(ctx, /*category=*/24, /*weight=*/3);
+        const size_t decl_start = lexer.tokenStart();
+        lexer.take(); // "function"
+        auto name = lexer.take();
+
+        const int index = functionIndexFor(name.text);
+        JsFunction &fn = *functions_[index];
+        fn.srcStart = static_cast<uint32_t>(decl_start);
+
+        if (!config_.lazyCompile) {
+            fn.codeAddr = machine_.alloc(kMaxCodeWords * 8, "js-code");
+            {
+                TracedScope gen_scope(ctx, fnEmitBytecode_);
+                Compiler compiler(*this, ctx, lexer, fn);
+                compiler.compileParams();
+                auto &peeked = lexer.peek();
+                panic_if(peeked.text != "{",
+                         "js parse error: missing body");
+                lexer.take();
+                compiler.compileUntil("}");
+                lexer.take(); // consume '}'
+            }
+            fn.srcLength =
+                static_cast<uint32_t>(lexer.consumedEnd() - decl_start);
+            fn.compiled = true;
+            publishFunction(ctx, fn);
+            continue;
+        }
+
+        // Lazy mode (the paper's defer-until-needed what-if): the
+        // preparser finds the declaration's extent with cheap chunked
+        // scans, then parks the real compile behind the first call.
+        const size_t params_start = lexer.tokenStart();
+        int depth = 0;
+        bool saw_body = false;
+        size_t end = params_start;
+        for (; end < script.content.size(); ++end) {
+            const char c = script.content[end];
+            if (c == '{') {
+                ++depth;
+                saw_body = true;
+            } else if (c == '}') {
+                --depth;
+                if (saw_body && depth == 0) {
+                    ++end;
+                    break;
+                }
+            }
+        }
+        lexer.skipToOffset(end);
+        fn.srcLength = static_cast<uint32_t>(end - decl_start);
+
+        const std::string body =
+            script.content.substr(params_start, end - params_start);
+        const uint64_t body_addr = script.addr + params_start;
+        JsFunction *fn_ptr = &fn;
+        JsEngine *self = this;
+        fn.pendingCompile = [self, fn_ptr, body, body_addr](Ctx &c) {
+            TracedScope gen_scope(c, self->fnEmitBytecode_);
+            fn_ptr->codeAddr =
+                self->machine_.alloc(kMaxCodeWords * 8, "js-code");
+            Lexer body_lexer(c, body, body_addr);
+            Compiler compiler(*self, c, body_lexer, *fn_ptr);
+            compiler.compileParams();
+            panic_if(body_lexer.peek().text != "{",
+                     "js parse error: missing lazy body");
+            body_lexer.take();
+            compiler.compileUntil("}");
+            body_lexer.take();
+            fn_ptr->compiled = true;
+            self->publishFunction(c, *fn_ptr);
+        };
+    }
+
+    // Top-level statements become an immediately-executed function.
+    const size_t top_start = lexer.tokenStart();
+    const int top_index =
+        functionIndexFor(format("<toplevel:%zu>", functions_.size()));
+    JsFunction &top = *functions_[top_index];
+    top.srcStart = static_cast<uint32_t>(top_start);
+    top.codeAddr = machine_.alloc(kMaxCodeWords * 8, "js-code");
+    {
+        TracedScope gen_scope(ctx, fnEmitBytecode_);
+        Compiler compiler(*this, ctx, lexer, top);
+        compiler.compileUntil(nullptr);
+    }
+    top.srcLength =
+        static_cast<uint32_t>(script.content.size() - top_start);
+    top.compiled = true;
+    topLevelBytes_ += top.srcLength;
+    publishFunction(ctx, top);
+
+    Value result = runFunction(ctx, top_index, {});
+    (void)result;
+}
+
+void
+JsEngine::publishFunction(Ctx &ctx, JsFunction &fn)
+{
+    Value entry = ctx.imm(machine_.functionEntry(fn.machineFunc));
+    ctx.store(funcTableAddr_ + fn.index * 16, 8, entry);
+    Value code = ctx.imm(fn.codeAddr);
+    ctx.store(funcTableAddr_ + fn.index * 16 + 8, 8, code);
+}
+
+void
+JsEngine::ensureCompiled(Ctx &ctx, JsFunction &fn)
+{
+    if (fn.compiled)
+        return;
+    if (fn.pendingCompile) {
+        fn.pendingCompile(ctx);
+        fn.pendingCompile = nullptr;
+        return;
+    }
+    panic("call to undeclared js function '", fn.name, "'");
+}
+
+void
+JsEngine::maybeOptimize(Ctx &ctx, JsFunction &fn)
+{
+    if (fn.optimized || fn.callCount < config_.jitThreshold ||
+        fn.code.empty()) {
+        return;
+    }
+    TracedScope scope(ctx, fnOptimize_);
+    traceLog_.addEvent(ctx, /*category=*/21);
+    ++optimizations_;
+    fn.optimized = true;
+    fn.optimizedAddr =
+        machine_.alloc(fn.code.size() * 16 + 16, "js-optcode");
+
+    // Read every bytecode word, "lower" it into two machine words.
+    Value acc = ctx.imm(0x9e37);
+    for (size_t i = 0; i < fn.code.size(); ++i) {
+        Value word = ctx.load(fn.codeAddr + i * 8, 8);
+        Value lowered = ctx.bxor(word, acc);
+        acc = ctx.add(acc, word);
+        ctx.store(fn.optimizedAddr + 16 + i * 16, 8, lowered);
+        Value meta = ctx.muli(lowered, 3);
+        ctx.store(fn.optimizedAddr + 16 + i * 16 + 8, 8, meta);
+    }
+    // Publish the optimized entry stub: future dispatches load a value
+    // that the JIT output produced.
+    ctx.store(fn.optimizedAddr, 8, acc);
+    Value stub = ctx.load(fn.optimizedAddr, 8);
+    Value entry =
+        ctx.alu1(stub, machine_.functionEntry(fn.machineFunc));
+    ctx.store(funcTableAddr_ + fn.index * 16, 8, entry);
+}
+
+void
+JsEngine::maybeDeoptimize(Ctx &ctx, JsFunction &fn)
+{
+    // The paper's design-pitfall example: optimized code bails out when
+    // the compiler's type assumptions turn out wrong. The bailout
+    // re-reads the optimized buffer, invalidates it, and reverts the
+    // dispatch table to the interpreter entry — the optimization work
+    // becomes retroactive waste.
+    if (!fn.optimized || config_.deoptAfter <= 0 ||
+        fn.callCount != config_.jitThreshold + config_.deoptAfter) {
+        return;
+    }
+    TracedScope scope(ctx, fnDeopt_);
+    ++deoptimizations_;
+    fn.optimized = false;
+
+    // Scan the optimized frame-translation metadata.
+    Value acc = ctx.imm(0);
+    const size_t words = std::min<size_t>(fn.code.size(), 32);
+    for (size_t w = 0; w < words; ++w) {
+        Value meta = ctx.load(fn.optimizedAddr + 16 + w * 16 + 8, 8);
+        acc = ctx.bxor(acc, meta);
+    }
+    Value poisoned = ctx.bor(acc, ctx.imm(1));
+    ctx.store(fn.optimizedAddr, 8, poisoned);
+
+    // Back to the interpreter entry.
+    Value entry = ctx.imm(machine_.functionEntry(fn.machineFunc));
+    ctx.store(funcTableAddr_ + fn.index * 16, 8, entry);
+}
+
+void
+JsEngine::maybeCollectGarbage(Ctx &ctx)
+{
+    if (config_.gcEveryCalls <= 0 ||
+        ++callsSinceGc_ < static_cast<uint64_t>(config_.gcEveryCalls)) {
+        return;
+    }
+    callsSinceGc_ = 0;
+    TracedScope scope(ctx, fnGc_);
+    ++gcPasses_;
+
+    // Scavenge: walk the roots (globals and the dispatch table), write
+    // mark words nobody ever reads — allocator-pressure work that is
+    // invisible to the pixels.
+    Value mark = ctx.imm(gcPasses_);
+    for (size_t slot = 0; slot < globalSlots_.size(); ++slot) {
+        Value root = ctx.load(globalsAddr_ + slot * 8, 8);
+        mark = ctx.bxor(mark, root);
+        ctx.store(gcMarksAddr_ + (slot % 512) * 8, 8, mark);
+    }
+    const size_t functions = std::min<size_t>(functions_.size(), 128);
+    for (size_t f = 0; f < functions; f += 4) {
+        Value code = ctx.load(funcTableAddr_ + f * 16 + 8, 8);
+        mark = ctx.add(mark, code);
+    }
+    ctx.store(gcMarksAddr_ + 4088, 8, mark);
+}
+
+Value
+JsEngine::runFunction(Ctx &ctx, int index, std::vector<Value> args)
+{
+    panic_if(index < 0 || static_cast<size_t>(index) >= functions_.size(),
+             "bad js function index ", index);
+    JsFunction &fn = *functions_[index];
+    ensureCompiled(ctx, fn);
+    ++fn.callCount;
+    fn.executed = true;
+    maybeOptimize(ctx, fn);
+    maybeDeoptimize(ctx, fn);
+    maybeCollectGarbage(ctx);
+
+    panic_if(++frameDepth_ > kMaxFrameDepth, "js stack overflow in ",
+             fn.name);
+    traceLog_.addEvent(ctx, /*category=*/23, /*weight=*/2);
+
+    // Indirect dispatch through the (traced) function table.
+    Value entry = ctx.load(funcTableAddr_ + index * 16, 8);
+    TracedScope scope(ctx, fn.machineFunc, entry);
+
+    // Frame memory comes from the (traced) allocator in real engines.
+    const uint64_t locals_addr =
+        heap_ ? heap_->alloc(ctx, config_.frameSlots * 8, "js-frame")
+              : machine_.alloc(config_.frameSlots * 8, "js-frame");
+    const uint64_t stack_addr =
+        heap_ ? heap_->alloc(ctx, config_.frameSlots * 8, "js-stack")
+              : machine_.alloc(config_.frameSlots * 8, "js-stack");
+
+    for (size_t i = 0; i < args.size(); ++i)
+        ctx.store(locals_addr + i * 8, 8, args[i]);
+    args.clear();
+
+    Value sp = ctx.imm(stack_addr);
+    auto push = [&](Value v) {
+        ctx.storeVia(sp, 0, 8, v);
+        sp = ctx.addi(sp, 8);
+    };
+    auto pop = [&]() {
+        sp = ctx.addi(sp, -8);
+        return ctx.loadVia(sp, 0, 8);
+    };
+
+    size_t pc = 0;
+    Value pc_reg = ctx.imm(fn.codeAddr);
+    Value ret = ctx.imm(0);
+    size_t steps = 0;
+
+    while (pc < fn.code.size()) {
+        panic_if(++steps > kMaxInterpreterSteps,
+                 "runaway js function ", fn.name);
+        const auto [op, operand] = fn.code[pc];
+        ++opsExecuted_;
+
+        // Traced dispatch: load the code word, decode, verify.
+        Value word = ctx.loadVia(pc_reg, 0, 8);
+        Value opv = ctx.andi(word, 0xFFFFFFFFull);
+        Value operand_v = ctx.shri(word, 32);
+        Value is_op = ctx.eqi(opv, op);
+        ctx.branchIf(is_op);
+
+        bool jumped = false;
+        bool returned = false;
+        switch (op) {
+          case kNop:
+            break;
+          case kConst:
+            push(std::move(operand_v));
+            break;
+          case kLoadLocal:
+            push(ctx.load(locals_addr + operand * 8, 8));
+            break;
+          case kStoreLocal: {
+            Value v = pop();
+            ctx.store(locals_addr + operand * 8, 8, v);
+            break;
+          }
+          case kLoadGlobal:
+            push(ctx.load(globalsAddr_ + operand * 8, 8));
+            break;
+          case kStoreGlobal: {
+            Value v = pop();
+            ctx.store(globalsAddr_ + operand * 8, 8, v);
+            break;
+          }
+          case kAdd: case kSub: case kMul: case kAnd: case kOr:
+          case kXor: case kLt: case kGt: case kEq: {
+            Value b = pop();
+            Value a = pop();
+            switch (op) {
+              case kAdd: push(ctx.add(a, b)); break;
+              case kSub: push(ctx.sub(a, b)); break;
+              case kMul: push(ctx.mul(a, b)); break;
+              case kAnd: push(ctx.band(a, b)); break;
+              case kOr: push(ctx.bor(a, b)); break;
+              case kXor: push(ctx.bxor(a, b)); break;
+              case kLt: push(ctx.ltu(a, b)); break;
+              case kGt: push(ctx.gtu(a, b)); break;
+              default: push(ctx.eq(a, b)); break;
+            }
+            break;
+          }
+          case kJmp:
+            pc = operand;
+            pc_reg = ctx.alu1(operand_v, fn.codeAddr + operand * 8);
+            jumped = true;
+            break;
+          case kJmpIfFalse: {
+            Value cond = pop();
+            Value taken = ctx.ne(cond, ctx.imm(0));
+            if (ctx.branchIf(taken)) {
+                // fall through
+            } else {
+                pc = operand;
+                pc_reg =
+                    ctx.alu1(operand_v, fn.codeAddr + operand * 8);
+                jumped = true;
+            }
+            break;
+          }
+          case kCall: {
+            const int callee = static_cast<int>(operand & 0xFFFF);
+            const int argc = static_cast<int>(operand >> 16);
+            std::vector<Value> call_args(argc);
+            for (int a = argc - 1; a >= 0; --a)
+                call_args[a] = pop();
+            push(runFunction(ctx, callee, std::move(call_args)));
+            break;
+          }
+          case kRet:
+            ret = pop();
+            returned = true;
+            break;
+          case kDrop: {
+            Value v = pop();
+            (void)v;
+            break;
+          }
+          case kDomSet: {
+            Value value = pop();
+            Value prop = pop();
+            Value id = pop();
+            domSet(ctx, std::move(id), std::move(prop),
+                   std::move(value));
+            break;
+          }
+          case kDomText: {
+            Value value = pop();
+            Value id = pop();
+            domText(ctx, std::move(id), std::move(value));
+            break;
+          }
+          case kDomShow: {
+            Value id = pop();
+            domShowHide(ctx, std::move(id), true);
+            break;
+          }
+          case kDomHide: {
+            Value id = pop();
+            domShowHide(ctx, std::move(id), false);
+            break;
+          }
+          case kDomListen: {
+            Value fn_index = pop();
+            Value event = pop();
+            Value id = pop();
+            domListen(ctx, std::move(id), std::move(event),
+                      std::move(fn_index));
+            break;
+          }
+          case kDomGet: {
+            Value prop = pop();
+            Value id = pop();
+            push(domGet(ctx, std::move(id), std::move(prop)));
+            break;
+          }
+          case kDomCreate: {
+            // dom.create(parentId, tag[, classHash])
+            Value cls = operand >= 3 ? pop() : ctx.imm(0);
+            Value tag = pop();
+            Value parent = pop();
+            domCreate(ctx, std::move(parent), std::move(tag),
+                      std::move(cls));
+            break;
+          }
+          case kTimer: {
+            Value fn_index = pop();
+            Value ms = pop();
+            startTimer(ctx, std::move(ms), std::move(fn_index));
+            break;
+          }
+          default:
+            panic("bad js opcode ", op);
+        }
+
+        if (returned)
+            break;
+        if (!jumped) {
+            ++pc;
+            pc_reg = ctx.addi(pc_reg, 8);
+        }
+    }
+
+    if (heap_) {
+        heap_->free(ctx, locals_addr);
+        heap_->free(ctx, stack_addr);
+    } else {
+        machine_.free(locals_addr);
+        machine_.free(stack_addr);
+    }
+    --frameDepth_;
+    return ret;
+}
+
+Element *
+JsEngine::elementForId(Ctx &ctx, const Value &id_hash)
+{
+    if (!document_)
+        return nullptr;
+    Element *el =
+        document_->byIdHash(static_cast<uint32_t>(id_hash.get()));
+    if (!el)
+        return nullptr;
+    // Traced verification: the element's stored id hash must match.
+    Value stored = ctx.load(el->addr + ElementFields::kIdHash, 4);
+    Value match = ctx.eq(stored, id_hash);
+    ctx.branchIf(match);
+    return el;
+}
+
+void
+JsEngine::writeInlineStyle(Ctx &ctx, Element *el, const Value &prop,
+                           uint64_t field, const Value &value)
+{
+    if (!el->inlineStyleAddr) {
+        el->inlineStyleAddr = machine_.alloc(
+            InlineStyleFields::kRecordBytes, "inline-style");
+    }
+    // Inline record write + set-bit, then write-through to the computed
+    // style (so browse-time mutations repaint without a full re-resolve;
+    // the initial resolve overlays the inline record back on top, which
+    // is what lets script-set styles survive the cascade).
+    Value inline_base = ctx.imm(el->inlineStyleAddr);
+    Value addr = ctx.add(inline_base, ctx.alu1(prop, field));
+    ctx.storeVia(addr, 0, 4, value);
+    Value mask =
+        ctx.load(el->inlineStyleAddr + InlineStyleFields::kMask, 4);
+    Value bit = ctx.alu1(prop, 1ull << (field / 4));
+    Value new_mask = ctx.bor(mask, bit);
+    ctx.store(el->inlineStyleAddr + InlineStyleFields::kMask, 4,
+              new_mask);
+
+    Value style_base = ctx.imm(el->styleAddr);
+    Value style_addr = ctx.add(style_base, ctx.alu1(prop, field));
+    Value through = ctx.loadVia(addr, 0, 4);
+    ctx.storeVia(style_addr, 0, 4, through);
+}
+
+void
+JsEngine::domSet(Ctx &ctx, Value id, Value prop, Value value)
+{
+    TracedScope scope(ctx, fnRuntimeDom_);
+    Element *el = elementForId(ctx, id);
+    if (!el)
+        return;
+    const uint64_t field =
+        styleFieldForProp(static_cast<uint32_t>(prop.get()));
+    writeInlineStyle(ctx, el, prop, field, value);
+    if (hooks_.onStyleMutation)
+        hooks_.onStyleMutation(ctx, el);
+}
+
+void
+JsEngine::domText(Ctx &ctx, Value id, Value value)
+{
+    TracedScope scope(ctx, fnRuntimeDom_);
+    Element *el = elementForId(ctx, id);
+    if (!el)
+        return;
+    // Redirect the node's text content to the script-provided value: the
+    // content-hash field carries it and the resource pointer is cleared.
+    Value zero = ctx.imm(0);
+    ctx.store(el->addr + ElementFields::kTextAddr, 8, zero);
+    ctx.store(el->addr + ElementFields::kClassHash, 4, value);
+    // Text children mirror the new content.
+    for (Element *child : el->children) {
+        if (!child->isText())
+            continue;
+        Value zero2 = ctx.imm(0);
+        ctx.store(child->addr + ElementFields::kTextAddr, 8, zero2);
+        Value copy = ctx.load(el->addr + ElementFields::kClassHash, 4);
+        ctx.store(child->addr + ElementFields::kClassHash, 4, copy);
+    }
+    if (hooks_.onStyleMutation)
+        hooks_.onStyleMutation(ctx, el);
+}
+
+void
+JsEngine::domShowHide(Ctx &ctx, Value id, bool show)
+{
+    TracedScope scope(ctx, fnRuntimeDom_);
+    Element *el = elementForId(ctx, id);
+    if (!el)
+        return;
+    Value display =
+        ctx.alu1(id, show ? kDisplayBlock : kDisplayNone);
+    Value prop = ctx.imm(
+        static_cast<uint64_t>(CssProperty::Display));
+    writeInlineStyle(ctx, el, prop, StyleFields::kDisplay, display);
+    // The hidden attribute no longer applies once script took over.
+    Value cleared = ctx.imm(0);
+    ctx.store(el->addr + ElementFields::kFlags, 4, cleared);
+    el->hidden = false;
+    // Visibility cascades into the subtree immediately.
+    for (Element *child : el->children) {
+        Value d = ctx.load(el->styleAddr + StyleFields::kDisplay, 4);
+        ctx.store(child->styleAddr + StyleFields::kDisplay, 4, d);
+        for (Element *grandchild : child->children) {
+            Value d2 =
+                ctx.load(child->styleAddr + StyleFields::kDisplay, 4);
+            ctx.store(grandchild->styleAddr + StyleFields::kDisplay, 4,
+                      d2);
+        }
+    }
+    if (hooks_.onStyleMutation)
+        hooks_.onStyleMutation(ctx, el);
+}
+
+void
+JsEngine::domListen(Ctx &ctx, Value id, Value event, Value fn_index)
+{
+    TracedScope scope(ctx, fnRuntimeDom_);
+    Listener listener;
+    listener.idHash = static_cast<uint32_t>(id.get());
+    listener.event = static_cast<uint32_t>(event.get());
+    listener.fnIndex = static_cast<int>(fn_index.get());
+    listener.addr = machine_.alloc(16, "js-listener");
+    ctx.store(listener.addr + 0, 4, id);
+    ctx.store(listener.addr + 4, 4, event);
+    ctx.store(listener.addr + 8, 4, fn_index);
+    listeners_.push_back(listener);
+}
+
+Value
+JsEngine::domGet(Ctx &ctx, Value id, Value prop)
+{
+    TracedScope scope(ctx, fnRuntimeDom_);
+    Element *el = elementForId(ctx, id);
+    if (!el) {
+        return ctx.imm(0);
+    }
+    const uint64_t field =
+        styleFieldForProp(static_cast<uint32_t>(prop.get()));
+    Value base = ctx.imm(el->styleAddr);
+    Value addr = ctx.add(base, ctx.alu1(prop, field));
+    return ctx.loadVia(addr, 0, 4);
+}
+
+void
+JsEngine::domCreate(Ctx &ctx, Value parent_id, Value tag, Value cls)
+{
+    TracedScope scope(ctx, fnRuntimeDom_);
+    Element *parent = elementForId(ctx, parent_id);
+    if (!parent || !document_)
+        return;
+
+    Element *el =
+        document_->createElement(static_cast<Tag>(tag.get()));
+    el->addr = machine_.alloc(ElementFields::kRecordBytes, "element");
+    el->styleAddr = machine_.alloc(StyleFields::kRecordBytes, "style");
+    el->layoutAddr = machine_.alloc(LayoutFields::kRecordBytes, "layout");
+    el->parent = parent;
+    el->classHash = static_cast<uint32_t>(cls.get());
+    parent->children.push_back(el);
+
+    ctx.store(el->addr + ElementFields::kTag, 4, tag);
+    ctx.store(el->addr + ElementFields::kClassHash, 4, cls);
+    Value style = ctx.imm(el->styleAddr);
+    ctx.store(el->addr + ElementFields::kStyle, 8, style);
+    Value layout = ctx.imm(el->layoutAddr);
+    ctx.store(el->addr + ElementFields::kLayout, 8, layout);
+
+    // Grow the parent's child array (copy-on-append, traced).
+    const size_t n = parent->children.size();
+    const uint64_t new_array = machine_.alloc(n * 8, "children");
+    if (parent->childArrayAddr) {
+        for (size_t i = 0; i + 1 < n; ++i) {
+            Value child = ctx.load(parent->childArrayAddr + i * 8, 8);
+            ctx.store(new_array + i * 8, 8, child);
+        }
+        machine_.free(parent->childArrayAddr);
+    }
+    Value self = ctx.imm(el->addr);
+    ctx.store(new_array + (n - 1) * 8, 8, self);
+    parent->childArrayAddr = new_array;
+    Value array = ctx.imm(new_array);
+    ctx.store(parent->addr + ElementFields::kChildArray, 8, array);
+    Value count = ctx.imm(n);
+    ctx.store(parent->addr + ElementFields::kChildCount, 4, count);
+
+    if (hooks_.onStructuralMutation)
+        hooks_.onStructuralMutation(ctx, el);
+}
+
+void
+JsEngine::startTimer(Ctx &ctx, Value ms, Value fn_index)
+{
+    TracedScope scope(ctx, fnRuntimeDom_);
+    const uint64_t record = machine_.alloc(16, "js-timer");
+    ctx.store(record, 8, ms);
+    ctx.store(record + 8, 4, fn_index);
+
+    const uint64_t delay_cycles = ms.get() * config_.cyclesPerMs;
+    const int index = static_cast<int>(fn_index.get());
+    const trace::ThreadId tid = ctx.tid();
+    machine_.postDelayed(tid, delay_cycles, [this, record, index](Ctx &c) {
+        TracedScope fire(c, fnTimerFire_);
+        Value idx = c.load(record + 8, 4);
+        Value check = c.eqi(idx, static_cast<uint64_t>(index));
+        c.branchIf(check);
+        Value r = runFunction(c, index, {});
+        (void)r;
+    });
+}
+
+bool
+JsEngine::fireEvent(Ctx &ctx, uint32_t id_hash, JsEvent event)
+{
+    TracedScope scope(ctx, fnDispatchEvent_);
+    traceLog_.addEvent(ctx, /*category=*/22);
+    Value idv = ctx.imm(id_hash);
+    Value evtv = ctx.imm(static_cast<uint64_t>(event));
+
+    bool any = false;
+    // Handlers may register new listeners; iterate today's snapshot only.
+    const size_t snapshot = listeners_.size();
+    for (size_t li = 0; li < snapshot; ++li) {
+        const Listener listener = listeners_[li];
+        Value lid = ctx.load(listener.addr + 0, 4);
+        Value lev = ctx.load(listener.addr + 4, 4);
+        Value match = ctx.band(ctx.eq(lid, idv), ctx.eq(lev, evtv));
+        if (!ctx.branchIf(match))
+            continue;
+        Value findex = ctx.load(listener.addr + 8, 4);
+        Value check = ctx.eqi(findex, listener.fnIndex);
+        ctx.branchIf(check);
+        Value r = runFunction(ctx, listener.fnIndex, {});
+        (void)r;
+        any = true;
+    }
+    return any;
+}
+
+bool
+JsEngine::callByName(Ctx &ctx, const std::string &name)
+{
+    auto it = functionsByName_.find(name);
+    if (it == functionsByName_.end())
+        return false;
+    Value r = runFunction(ctx, it->second, {});
+    (void)r;
+    return true;
+}
+
+uint64_t
+JsEngine::usedBytes() const
+{
+    uint64_t used = 0;
+    for (const auto &fn : functions_) {
+        if (fn->executed)
+            used += fn->srcLength;
+    }
+    return used;
+}
+
+size_t
+JsEngine::executedFunctionCount() const
+{
+    size_t count = 0;
+    for (const auto &fn : functions_)
+        count += fn->executed ? 1 : 0;
+    return count;
+}
+
+} // namespace browser
+} // namespace webslice

@@ -1,0 +1,276 @@
+/**
+ * @file
+ * The JavaScript engine (v8:: namespace) — the pipeline stage the paper
+ * finds to be the largest source of unnecessary computation.
+ *
+ * Scripts are lexed with traced byte reads, compiled in a single pass to a
+ * bytecode stored in simulated memory (traced stores), and executed by a
+ * stack interpreter whose operand stack, locals, globals, and dispatch all
+ * live in simulated memory. Each script function is registered as a
+ * machine function under v8::jsfunc::<name>, entered through an indirect
+ * call whose target is loaded (traced) from the engine's function table —
+ * so JS work categorizes as JavaScript and dispatch chains carry real
+ * dependences.
+ *
+ * The engine eagerly parses and compiles every function in a script when
+ * the script arrives (Chromium-v58-like); functions that never run leave
+ * their parse+compile work outside the pixel slice, which is precisely
+ * the unused-JS waste of the paper's Table I / Figure 5. A lazy-compile
+ * mode exists as the paper's "defer until needed" what-if.
+ *
+ * Dialect (what the workload generators emit):
+ *   function name(a,b){ var x = 1; x = x + a; if(x < b){..}else{..}
+ *                       while(x < 9){..} return x; other(x);
+ *                       dom.set(ID,PROP,expr); dom.text(ID,expr);
+ *                       dom.show(ID); dom.hide(ID);
+ *                       dom.listen(ID,EVT,handler); dom.create(ID,TAG);
+ *                       timer(MS,handler); }
+ *   ...top-level statements after the declarations...
+ *   (IDs/props/events are integers — precomputed hashes and enum values.)
+ */
+
+#ifndef WEBSLICE_BROWSER_JS_HH
+#define WEBSLICE_BROWSER_JS_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "browser/common.hh"
+#include "browser/debugging.hh"
+#include "browser/dom.hh"
+#include "browser/lib.hh"
+#include "browser/net.hh"
+#include "sim/machine.hh"
+
+namespace webslice {
+namespace browser {
+
+/** Event types for dom.listen / fireEvent. */
+enum class JsEvent : uint32_t
+{
+    Click = 0,
+    Key = 1,
+    Scroll = 2,
+    Timer = 3,
+};
+
+/** Engine tuning knobs. */
+struct JsEngineConfig
+{
+    /** Calls after which a function gets "optimized" (JIT simulation). */
+    int jitThreshold = 3;
+
+    /**
+     * Calls after which an optimized function deoptimizes once (the
+     * wrong-type-assumption bailouts the paper cites as a browser design
+     * pitfall). 0 disables deoptimization.
+     */
+    int deoptAfter = 16;
+
+    /** Function calls between scavenge GC passes (0 disables GC). */
+    int gcEveryCalls = 64;
+
+    /** Virtual cycles per millisecond for timer scheduling. */
+    uint64_t cyclesPerMs = 1000;
+
+    /**
+     * Compile functions lazily on first call instead of eagerly at
+     * script load (the paper's deferred-processing what-if).
+     */
+    bool lazyCompile = false;
+
+    /** Operand-stack and locals slots per frame. */
+    int frameSlots = 32;
+};
+
+/** Callbacks into the embedder (the Tab) for DOM mutations. */
+struct JsHooks
+{
+    /** A style field of the element changed (repaint needed). */
+    std::function<void(sim::Ctx &, Element *)> onStyleMutation;
+
+    /** The tree changed under this element (layout needed). */
+    std::function<void(sim::Ctx &, Element *)> onStructuralMutation;
+};
+
+/** One compiled script function. */
+struct JsFunction
+{
+    std::string name;
+    int index = -1;
+    uint32_t srcStart = 0;  ///< Source byte range, for coverage.
+    uint32_t srcLength = 0;
+    int paramCount = 0;
+    int localCount = 0;
+
+    /** Bytecode: (op, operand) u32 pairs; native mirror + sim copy. */
+    std::vector<std::pair<uint32_t, uint32_t>> code;
+    uint64_t codeAddr = 0;
+
+    trace::FuncId machineFunc = trace::kNoFunc;
+
+    bool compiled = false;
+    bool executed = false;
+    int callCount = 0;
+    bool optimized = false;
+    uint64_t optimizedAddr = 0;
+
+    /** Pending compile closure for lazy mode. */
+    std::function<void(sim::Ctx &)> pendingCompile;
+};
+
+/** The engine: one instance per tab, shared across its scripts. */
+class JsEngine
+{
+  public:
+    JsEngine(sim::Machine &machine, TraceLog &trace_log,
+             JsEngineConfig config = {});
+
+    /** Bind the document the dom.* runtime operates on. */
+    void setDocument(Document *doc) { document_ = doc; }
+
+    /** Route frame allocations through a traced heap (optional). */
+    void setHeap(TracedHeap *heap) { heap_ = heap; }
+
+    /** Install mutation callbacks. */
+    void setHooks(JsHooks hooks) { hooks_ = std::move(hooks); }
+
+    /**
+     * Parse + compile a script resource and execute its top-level code.
+     * Must run on the main thread.
+     */
+    void runScript(sim::Ctx &ctx, const Resource &script);
+
+    /**
+     * Dispatch an event to listeners registered for (id hash, event).
+     * @retval true if at least one handler ran.
+     */
+    bool fireEvent(sim::Ctx &ctx, uint32_t id_hash, JsEvent event);
+
+    /** Call a function by name (used by tests and the Tab). */
+    bool callByName(sim::Ctx &ctx, const std::string &name);
+
+    // ---- coverage (Table I) ------------------------------------------------
+
+    /** Total script bytes seen. */
+    uint64_t totalBytes() const { return totalBytes_; }
+
+    /** Bytes of functions that executed, plus top-level code bytes. */
+    uint64_t usedBytes() const;
+
+    /** Number of functions compiled / executed (diagnostics). */
+    size_t functionCount() const { return functions_.size(); }
+    size_t executedFunctionCount() const;
+
+    uint64_t bytecodeOpsExecuted() const { return opsExecuted_; }
+    uint64_t optimizations() const { return optimizations_; }
+    uint64_t deoptimizations() const { return deoptimizations_; }
+    uint64_t gcPasses() const { return gcPasses_; }
+
+  private:
+    class Lexer;
+    class Compiler;
+    friend class Compiler;
+
+    /** Execute function `index`, passing already-traced argument values. */
+    sim::Value runFunction(sim::Ctx &ctx, int index,
+                           std::vector<sim::Value> args);
+
+    /** Index for a (possibly forward-referenced) function name. */
+    int functionIndexFor(const std::string &name);
+
+    /** Global-variable slot for a name, creating it on first use. */
+    int globalSlotFor(const std::string &name);
+
+    /** Write a function's dispatch-table entry (traced). */
+    void publishFunction(sim::Ctx &ctx, JsFunction &fn);
+
+    void maybeOptimize(sim::Ctx &ctx, JsFunction &fn);
+    void maybeDeoptimize(sim::Ctx &ctx, JsFunction &fn);
+    void maybeCollectGarbage(sim::Ctx &ctx);
+    void ensureCompiled(sim::Ctx &ctx, JsFunction &fn);
+
+    Element *elementForId(sim::Ctx &ctx, const sim::Value &id_hash);
+
+    /** Write one field of an element's inline style (and through to the
+     *  computed style). */
+    void writeInlineStyle(sim::Ctx &ctx, Element *el,
+                          const sim::Value &prop, uint64_t field,
+                          const sim::Value &value);
+
+    // dom.* runtime (each pops its operands as traced values).
+    void domSet(sim::Ctx &ctx, sim::Value id, sim::Value prop,
+                sim::Value value);
+    void domText(sim::Ctx &ctx, sim::Value id, sim::Value value);
+    void domShowHide(sim::Ctx &ctx, sim::Value id, bool show);
+    void domListen(sim::Ctx &ctx, sim::Value id, sim::Value event,
+                   sim::Value fn_index);
+    sim::Value domGet(sim::Ctx &ctx, sim::Value id, sim::Value prop);
+    void domCreate(sim::Ctx &ctx, sim::Value parent_id, sim::Value tag,
+                   sim::Value cls);
+    void startTimer(sim::Ctx &ctx, sim::Value ms, sim::Value fn_index);
+
+    sim::Machine &machine_;
+    TraceLog &traceLog_;
+    JsEngineConfig config_;
+    Document *document_ = nullptr;
+    TracedHeap *heap_ = nullptr;
+    JsHooks hooks_;
+
+    std::vector<std::unique_ptr<JsFunction>> functions_;
+    std::unordered_map<std::string, int> functionsByName_;
+
+    /** Function table in sim memory: 16 bytes per entry
+     *  (entry pc u64, code addr u64); dispatch loads from it. */
+    uint64_t funcTableAddr_ = 0;
+    static constexpr size_t kMaxFunctions = 8192;
+
+    /** Globals: name -> slot, values in sim memory (8 bytes each). */
+    std::unordered_map<std::string, int> globalSlots_;
+    uint64_t globalsAddr_ = 0;
+    static constexpr size_t kMaxGlobals = 128;
+
+    /** Listener table: 16-byte sim records (idHash, event, fnIndex). */
+    struct Listener
+    {
+        uint32_t idHash;
+        uint32_t event;
+        int fnIndex;
+        uint64_t addr;
+    };
+    std::vector<Listener> listeners_;
+
+    uint64_t timerRecordAddr_ = 0;
+
+    // Registered machine functions (v8:: namespace).
+    trace::FuncId fnParseScript_;
+    trace::FuncId fnParseFunction_;
+    trace::FuncId fnEmitBytecode_;
+    trace::FuncId fnDispatchEvent_;
+    trace::FuncId fnOptimize_;
+    trace::FuncId fnDeopt_;
+    trace::FuncId fnGc_;
+    trace::FuncId fnRuntimeDom_;
+    trace::FuncId fnTimerFire_;
+
+    /** Mark bitmap the scavenger writes (read by nothing — GC overhead
+     *  is invisible to the pixels, as in the paper's traces). */
+    uint64_t gcMarksAddr_ = 0;
+
+    uint64_t totalBytes_ = 0;
+    uint64_t topLevelBytes_ = 0;
+    uint64_t opsExecuted_ = 0;
+    uint64_t optimizations_ = 0;
+    uint64_t deoptimizations_ = 0;
+    uint64_t gcPasses_ = 0;
+    uint64_t callsSinceGc_ = 0;
+    int frameDepth_ = 0;
+};
+
+} // namespace browser
+} // namespace webslice
+
+#endif // WEBSLICE_BROWSER_JS_HH

@@ -1,0 +1,164 @@
+#include "browser/layout.hh"
+
+namespace webslice {
+namespace browser {
+
+using sim::Ctx;
+using sim::TracedScope;
+using sim::Value;
+
+LayoutEngine::LayoutEngine(sim::Machine &machine, TraceLog &trace_log)
+    : machine_(machine), traceLog_(trace_log),
+      fnLayout_(machine.registerFunction("css::LayoutEngine::layout")),
+      fnLayoutBox_(machine.registerFunction("css::LayoutEngine::layoutBox")),
+      fnLayoutText_(
+          machine.registerFunction("css::LayoutEngine::layoutText"))
+{
+}
+
+uint32_t
+LayoutEngine::layoutDocument(Ctx &ctx, Document &doc, int viewport_width,
+                             int viewport_height)
+{
+    (void)viewport_height;
+    TracedScope scope(ctx, fnLayout_);
+    traceLog_.addEvent(ctx, /*category=*/30);
+    Value record = ctx.imm(doc.root()->addr);
+    Value x = ctx.imm(0);
+    Value y = ctx.imm(0);
+    Value top = ctx.imm(0);
+    Value width = ctx.imm(static_cast<uint64_t>(viewport_width));
+    Value height =
+        layoutElement(ctx, *doc.root(), record, x, y, top, width);
+    return static_cast<uint32_t>(height.get());
+}
+
+void
+LayoutEngine::layoutSubtree(Ctx &ctx, Element *element, int viewport_width)
+{
+    TracedScope scope(ctx, fnLayout_);
+    // Re-flow the subtree in place: reuse the element's current origin.
+    Value record = ctx.imm(element->addr);
+    Value x = ctx.load(element->layoutAddr + LayoutFields::kX, 4);
+    Value y = ctx.load(element->layoutAddr + LayoutFields::kY, 4);
+    Value top = ctx.copy(y);
+    Value width = element->parent
+        ? ctx.load(element->parent->layoutAddr + LayoutFields::kWidth, 4)
+        : ctx.imm(static_cast<uint64_t>(viewport_width));
+    Value height = layoutElement(ctx, *element, record, x, y, top, width);
+    (void)height;
+}
+
+Value
+LayoutEngine::layoutElement(Ctx &ctx, Element &element,
+                            const Value &record, const Value &x,
+                            const Value &y, const Value &parent_top,
+                            const Value &width)
+{
+    TracedScope scope(ctx, fnLayoutBox_);
+    ++boxes_;
+
+    // Follow the element's record pointers (traced): the tree links laid
+    // down by the parser are real dependencies of the geometry.
+    Value style_ptr = ctx.loadVia(record, ElementFields::kStyle, 8);
+    Value box_ptr = ctx.loadVia(record, ElementFields::kLayout, 8);
+
+    // Hidden subtrees produce no boxes: traced branch on display.
+    Value display = ctx.loadVia(style_ptr, StyleFields::kDisplay, 4);
+    Value visible = ctx.ne(display, ctx.imm(kDisplayNone));
+    if (!ctx.branchIf(visible)) {
+        Value zero = ctx.imm(0);
+        ctx.storeVia(box_ptr, LayoutFields::kWidth, 4, zero);
+        ctx.storeVia(box_ptr, LayoutFields::kHeight, 4, zero);
+        return ctx.imm(0);
+    }
+
+    Value margin = ctx.loadVia(style_ptr, StyleFields::kMargin, 4);
+    Value padding = ctx.loadVia(style_ptr, StyleFields::kPadding, 4);
+
+    // Box origin: fixed elements pin to the viewport origin; absolute
+    // elements pin to their parent's origin (so stacked "photo roll"
+    // children overlap); everything else flows at the cursor.
+    Value position = ctx.loadVia(style_ptr, StyleFields::kPosition, 4);
+    Value is_fixed = ctx.eq(position, ctx.imm(kPositionFixed));
+    Value is_abs = ctx.eq(position, ctx.imm(kPositionAbsolute));
+    Value flow_x = ctx.add(x, margin);
+    Value flow_y = ctx.add(y, margin);
+    Value fixed_xy = ctx.copy(margin);
+    Value abs_y = ctx.add(parent_top, margin);
+    Value box_x = ctx.select(is_fixed, fixed_xy, flow_x);
+    Value box_y = ctx.select(is_fixed, fixed_xy,
+                             ctx.select(is_abs, abs_y, flow_y));
+    ctx.storeVia(box_ptr, LayoutFields::kX, 4, box_x);
+    ctx.storeVia(box_ptr, LayoutFields::kY, 4, box_y);
+
+    // Width: styled width if nonzero, else fill the available width
+    // minus margins.
+    Value style_width = ctx.loadVia(style_ptr, StyleFields::kWidth, 4);
+    Value has_width = ctx.ne(style_width, ctx.imm(0));
+    Value fill = ctx.sub(width, ctx.muli(margin, 2));
+    Value box_width = ctx.select(has_width, style_width, fill);
+    ctx.storeVia(box_ptr, LayoutFields::kWidth, 4, box_width);
+
+    Value height = ctx.imm(0);
+
+    if (element.isText()) {
+        TracedScope text_scope(ctx, fnLayoutText_);
+        // Line-wrapped text: lines = ceil(textLen * (font/2) / width).
+        Value font = ctx.loadVia(style_ptr, StyleFields::kFontSize, 4);
+        Value len = ctx.loadVia(record, ElementFields::kTextLen, 4);
+        Value glyph_w = ctx.shri(font, 1);
+        Value run = ctx.mul(len, glyph_w);
+        Value denom = ctx.bor(box_width, ctx.imm(1)); // avoid /0
+        Value lines = ctx.addi(ctx.udiv(run, denom), 1);
+        Value line_h = ctx.addi(font, 4);
+        height = ctx.mul(lines, line_h);
+    } else {
+        // Children flow vertically inside the content box.
+        Value content_x = ctx.add(box_x, padding);
+        Value content_top = ctx.add(box_y, padding);
+        Value cursor_y = ctx.copy(content_top);
+        Value content_w = ctx.sub(box_width, ctx.muli(padding, 2));
+
+        // Traced loop over the child array: each child's record pointer
+        // is loaded from simulated memory and used as the base for all
+        // of the child's own accesses.
+        const size_t n = element.children.size();
+        Value count = ctx.loadVia(record, ElementFields::kChildCount, 4);
+        Value array = ctx.loadVia(record, ElementFields::kChildArray, 8);
+        for (size_t i = 0; i < n; ++i) {
+            Value more = ctx.ltu(ctx.imm(i), count);
+            if (!ctx.branchIf(more))
+                break;
+            Value child_ptr = ctx.loadVia(
+                array, static_cast<int64_t>(i * 8), 8);
+            Element &child = *element.children[i];
+            Value child_h =
+                layoutElement(ctx, child, child_ptr, content_x,
+                              cursor_y, content_top, content_w);
+            // Fixed/absolute children do not advance the flow cursor.
+            Value child_pos =
+                ctx.load(child.styleAddr + StyleFields::kPosition, 4);
+            Value child_out_of_flow = ctx.bor(
+                ctx.eq(child_pos, ctx.imm(kPositionFixed)),
+                ctx.eq(child_pos, ctx.imm(kPositionAbsolute)));
+            Value zero = ctx.imm(0);
+            Value advance = ctx.select(child_out_of_flow, zero, child_h);
+            cursor_y = ctx.add(cursor_y, advance);
+        }
+        height = ctx.sub(cursor_y, box_y);
+        height = ctx.add(height, padding);
+    }
+
+    // Styled height wins when present.
+    Value style_height = ctx.loadVia(style_ptr, StyleFields::kHeight, 4);
+    Value has_height = ctx.ne(style_height, ctx.imm(0));
+    Value final_height = ctx.select(has_height, style_height, height);
+    ctx.storeVia(box_ptr, LayoutFields::kHeight, 4, final_height);
+
+    // Flow contribution includes the bottom margin.
+    return ctx.add(final_height, ctx.muli(margin, 2));
+}
+
+} // namespace browser
+} // namespace webslice

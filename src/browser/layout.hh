@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Layout (css:: namespace — the paper's "CSS" category covers "style and
+ * layout calculation in the rendering pipeline").
+ *
+ * A simplified block-flow layout: block boxes stack vertically inside
+ * their parent, inline/text boxes take a line of height font-size + 4,
+ * images take their styled dimensions, and position:fixed elements pin to
+ * the viewport. Every geometric input is loaded (traced) from the
+ * computed-style records and every box is stored (traced) into the
+ * element's layout record, so paint and raster inherit full dependence on
+ * styles, attributes, and ultimately the resource bytes.
+ *
+ * display:none subtrees are skipped behind a traced branch — their style
+ * resolution ran (that is the paper's "imperceptible computation" waste),
+ * but no boxes are produced.
+ */
+
+#ifndef WEBSLICE_BROWSER_LAYOUT_HH
+#define WEBSLICE_BROWSER_LAYOUT_HH
+
+#include "browser/debugging.hh"
+#include "browser/dom.hh"
+#include "sim/machine.hh"
+
+namespace webslice {
+namespace browser {
+
+/** Block-flow layout engine. */
+class LayoutEngine
+{
+  public:
+    LayoutEngine(sim::Machine &machine, TraceLog &trace_log);
+
+    /**
+     * Lay out the whole document for a viewport; returns the document
+     * height in px (concrete mirror of the traced computation).
+     */
+    uint32_t layoutDocument(sim::Ctx &ctx, Document &doc,
+                            int viewport_width, int viewport_height);
+
+    /** Re-lay out one subtree after a JS mutation. */
+    void layoutSubtree(sim::Ctx &ctx, Element *element,
+                       int viewport_width);
+
+    uint64_t boxesLaidOut() const { return boxes_; }
+
+  private:
+    /**
+     * Lay out `element` at flow cursor (x, y) inside a parent whose
+     * content box starts at parent_top (for absolutely positioned
+     * children), with the given available width. `record` is the traced
+     * pointer to the element's simulated record. Returns the element's
+     * flow-height contribution as a traced value.
+     */
+    sim::Value layoutElement(sim::Ctx &ctx, Element &element,
+                             const sim::Value &record,
+                             const sim::Value &x, const sim::Value &y,
+                             const sim::Value &parent_top,
+                             const sim::Value &width);
+
+    sim::Machine &machine_;
+    TraceLog &traceLog_;
+    trace::FuncId fnLayout_;
+    trace::FuncId fnLayoutBox_;
+    trace::FuncId fnLayoutText_;
+    uint64_t boxes_ = 0;
+};
+
+} // namespace browser
+} // namespace webslice
+
+#endif // WEBSLICE_BROWSER_LAYOUT_HH

@@ -1,0 +1,128 @@
+#include "browser/lib.hh"
+
+namespace webslice {
+namespace browser {
+
+using sim::Ctx;
+using sim::TracedScope;
+using sim::Value;
+
+Lib::Lib(sim::Machine &machine)
+    : fnHash_(machine.registerFunction("lib::hashBytes")),
+      fnCopy_(machine.registerFunction("lib::memcpy")),
+      fnFill_(machine.registerFunction("lib::memset32")),
+      fnSum_(machine.registerFunction("lib::sum32"))
+{
+}
+
+Value
+Lib::hashBytes(Ctx &ctx, uint64_t addr, uint64_t len)
+{
+    TracedScope scope(ctx, fnHash_);
+    Value hash = ctx.imm(0xcbf29ce484222325ull);
+    Value cursor = ctx.imm(addr);
+    Value end = ctx.imm(addr + len);
+    while (true) {
+        Value more = ctx.ltu(cursor, end);
+        if (!ctx.branchIf(more))
+            break;
+        Value chunk = ctx.loadVia(cursor, 0, 8);
+        hash = ctx.bxor(hash, chunk);
+        hash = ctx.muli(hash, 0x100000001b3ull);
+        cursor = ctx.addi(cursor, 8);
+    }
+    return hash;
+}
+
+void
+Lib::copyBytes(Ctx &ctx, uint64_t dst, uint64_t src, uint64_t len)
+{
+    TracedScope scope(ctx, fnCopy_);
+    Value src_cursor = ctx.imm(src);
+    Value dst_cursor = ctx.imm(dst);
+    Value end = ctx.imm(src + len);
+    while (true) {
+        Value more = ctx.ltu(src_cursor, end);
+        if (!ctx.branchIf(more))
+            break;
+        Value chunk = ctx.loadVia(src_cursor, 0, 8);
+        ctx.storeVia(dst_cursor, 0, 8, chunk);
+        src_cursor = ctx.addi(src_cursor, 8);
+        dst_cursor = ctx.addi(dst_cursor, 8);
+    }
+}
+
+void
+Lib::fillCells(Ctx &ctx, uint64_t addr, uint64_t count, const Value &value)
+{
+    TracedScope scope(ctx, fnFill_);
+    Value cursor = ctx.imm(addr);
+    Value end = ctx.imm(addr + count * 4);
+    while (true) {
+        Value more = ctx.ltu(cursor, end);
+        if (!ctx.branchIf(more))
+            break;
+        ctx.storeVia(cursor, 0, 4, value);
+        cursor = ctx.addi(cursor, 4);
+    }
+}
+
+TracedHeap::TracedHeap(sim::Machine &machine)
+    : machine_(machine),
+      fnMalloc_(machine.registerFunction("malloc")),
+      fnFree_(machine.registerFunction("free")),
+      binsAddr_(machine.alloc(16 * 8, "heap-bins"))
+{
+}
+
+uint64_t
+TracedHeap::alloc(Ctx &ctx, uint64_t size, const char *tag)
+{
+    TracedScope scope(ctx, fnMalloc_);
+    ++allocs_;
+    // Size-class selection and freelist pop (all traced bookkeeping).
+    Value req = ctx.imm(size);
+    Value rounded = ctx.andi(ctx.addi(req, 15), ~15ull);
+    Value bin = ctx.andi(ctx.shri(rounded, 4), 15);
+    const uint64_t bin_addr = binsAddr_ + ((size >> 4) & 15) * 8;
+    Value head = ctx.load(bin_addr, 8);
+    Value is_empty = ctx.eqi(head, 0);
+    ctx.branchIf(is_empty);
+    Value next = ctx.add(head, rounded);
+    ctx.store(bin_addr, 8, next);
+    (void)bin;
+    return machine_.alloc(size, tag);
+}
+
+void
+TracedHeap::free(Ctx &ctx, uint64_t addr)
+{
+    TracedScope scope(ctx, fnFree_);
+    const uint64_t bin_addr = binsAddr_ + ((addr >> 4) & 15) * 8;
+    Value head = ctx.load(bin_addr, 8);
+    Value block = ctx.imm(addr);
+    Value new_head = ctx.bxor(ctx.add(head, block), head);
+    ctx.store(bin_addr, 8, new_head);
+    machine_.free(addr);
+}
+
+Value
+Lib::sumCells(Ctx &ctx, uint64_t addr, uint64_t count)
+{
+    TracedScope scope(ctx, fnSum_);
+    Value sum = ctx.imm(0);
+    Value cursor = ctx.imm(addr);
+    Value end = ctx.imm(addr + count * 4);
+    while (true) {
+        Value more = ctx.ltu(cursor, end);
+        if (!ctx.branchIf(more))
+            break;
+        Value cell = ctx.loadVia(cursor, 0, 4);
+        sum = ctx.add(sum, cell);
+        cursor = ctx.addi(cursor, 4);
+    }
+    return sum;
+}
+
+} // namespace browser
+} // namespace webslice

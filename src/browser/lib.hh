@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Traced leaf library routines (lib:: namespace).
+ *
+ * These are the substrate's equivalent of libc/base helpers: byte hashing,
+ * copying, and filling, implemented as real traced loops so their work has
+ * genuine dependence structure. Their namespace ("lib") is deliberately
+ * absent from the categorizer's table — like the paper, a slice of leaf
+ * helper work stays uncategorizable.
+ */
+
+#ifndef WEBSLICE_BROWSER_LIB_HH
+#define WEBSLICE_BROWSER_LIB_HH
+
+#include "sim/machine.hh"
+
+namespace webslice {
+namespace browser {
+
+/** Per-machine handle bundle for the traced library routines. */
+class Lib
+{
+  public:
+    explicit Lib(sim::Machine &machine);
+
+    /**
+     * Hash len bytes at addr (8-byte strides). The returned value depends
+     * on every chunk read, so consumers of the hash depend on the bytes.
+     */
+    sim::Value hashBytes(sim::Ctx &ctx, uint64_t addr, uint64_t len);
+
+    /** Copy len bytes (8-byte strides) from src to dst, traced. */
+    void copyBytes(sim::Ctx &ctx, uint64_t dst, uint64_t src, uint64_t len);
+
+    /** Store `value` into `count` consecutive u32 cells at addr. */
+    void fillCells(sim::Ctx &ctx, uint64_t addr, uint64_t count,
+                   const sim::Value &value);
+
+    /**
+     * Checksum `count` u32 cells at addr; cheap reduction used by
+     * consumers that need to depend on a buffer without copying it.
+     */
+    sim::Value sumCells(sim::Ctx &ctx, uint64_t addr, uint64_t count);
+
+  private:
+    trace::FuncId fnHash_;
+    trace::FuncId fnCopy_;
+    trace::FuncId fnFill_;
+    trace::FuncId fnSum_;
+};
+
+/**
+ * Traced heap front-end: size-class freelist bookkeeping over the host
+ * allocator. Registered as plain "malloc"/"free" — allocator symbols
+ * carry no namespace, so this work lands in the paper's uncategorizable
+ * remainder (their namespace analysis covered only 53-74% of non-slice
+ * instructions; allocator and libc time is a big part of what it missed).
+ */
+class TracedHeap
+{
+  public:
+    explicit TracedHeap(sim::Machine &machine);
+
+    /** Allocate size bytes (traced freelist walk + host allocation). */
+    uint64_t alloc(sim::Ctx &ctx, uint64_t size, const char *tag = "");
+
+    /** Release a block (traced freelist push + host free). */
+    void free(sim::Ctx &ctx, uint64_t addr);
+
+    uint64_t allocCount() const { return allocs_; }
+
+  private:
+    sim::Machine &machine_;
+    trace::FuncId fnMalloc_;
+    trace::FuncId fnFree_;
+    uint64_t binsAddr_; ///< 16 size-class freelist heads (8 bytes each).
+    uint64_t allocs_ = 0;
+};
+
+} // namespace browser
+} // namespace webslice
+
+#endif // WEBSLICE_BROWSER_LIB_HH

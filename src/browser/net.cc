@@ -1,0 +1,109 @@
+#include "browser/net.hh"
+
+#include "sim/syscalls.hh"
+#include "support/logging.hh"
+
+namespace webslice {
+namespace browser {
+
+using sim::Ctx;
+using sim::TracedScope;
+using sim::Value;
+
+ResourceLoader::ResourceLoader(sim::Machine &machine,
+                               const BrowserConfig &config,
+                               const BrowserThreads &threads,
+                               TraceLog &trace_log, IpcChannel &ipc)
+    : machine_(machine), config_(config), traceLog_(trace_log), ipc_(ipc),
+      fnFetch_(machine.registerFunction("net::ResourceLoader::fetch")),
+      fnReceive_(machine.registerFunction("net::URLRequest::onResponse")),
+      fnParseHeaders_(
+          machine.registerFunction("net::HttpParser::parseHeaders")),
+      requestAddr_(machine.alloc(64, "net-request")),
+      toIo_(std::make_unique<TaskChannel>(machine, threads.io, "net-io")),
+      toMain_(std::make_unique<TaskChannel>(machine, threads.main,
+                                            "net-main"))
+{
+}
+
+void
+ResourceLoader::fetch(Ctx &ctx, Resource &resource, Callback callback)
+{
+    TracedScope scope(ctx, fnFetch_);
+    ++requests_;
+    traceLog_.addEvent(ctx, /*category=*/1);
+
+    // Build the request line (url hash + type) and hand it to the kernel.
+    uint64_t url_hash = 1469598103934665603ull;
+    for (const char c : resource.url)
+        url_hash = (url_hash ^ static_cast<uint8_t>(c)) * 1099511628211ull;
+    Value hash = ctx.imm(url_hash);
+    ctx.store(requestAddr_, 8, hash);
+    Value type = ctx.imm(static_cast<uint64_t>(resource.type));
+    ctx.store(requestAddr_ + 8, 4, type);
+    Value rc = sim::sysSendto(ctx, requestAddr_, 12);
+    (void)rc;
+
+    // The response arrives on the IO thread after latency plus transfer
+    // time, then hops to the main thread for the consumer callback.
+    const uint64_t transfer_ms =
+        resource.content.size() / std::max<uint64_t>(
+            1, config_.networkBytesPerMs);
+    const uint64_t delay =
+        config_.msToCycles(config_.networkLatencyMs + transfer_ms);
+
+    Resource *res = &resource;
+    toIo_->postDelayed(
+        ctx, requestAddr_, delay,
+        [this, res, cb = std::move(callback)](Ctx &io_ctx, Value) {
+            receiveOnIoThread(io_ctx, *res);
+            toMain_->post(io_ctx, res->addr,
+                          [res, cb](Ctx &main_ctx, Value) {
+                              cb(main_ctx, *res);
+                          });
+        });
+}
+
+void
+ResourceLoader::receiveOnIoThread(Ctx &ctx, Resource &resource)
+{
+    TracedScope scope(ctx, fnReceive_);
+    traceLog_.addEvent(ctx, /*category=*/2);
+
+    // Allocate the payload buffer (8-byte padded so chunked traced reads
+    // of the tail are in-bounds) and let the "kernel" fill it.
+    const uint64_t padded = (resource.content.size() + 15) & ~7ull;
+    resource.addr = machine_.alloc(padded, "resource");
+    resource.size = resource.content.size();
+    machine_.mem().writeBytes(resource.addr, resource.content.data(),
+                              resource.content.size());
+    Value rc = sim::sysRecvfrom(ctx, resource.addr, resource.size);
+    (void)rc;
+    resource.loaded = true;
+    bytesFetched_ += resource.size;
+
+    // Parse the "headers": traced reads over the first bytes, the way a
+    // real HTTP parser touches every response.
+    {
+        TracedScope headers(ctx, fnParseHeaders_);
+        Value sum = ctx.imm(0);
+        const uint64_t header_span = std::min<uint64_t>(resource.size, 64);
+        for (uint64_t off = 0; off + 8 <= header_span; off += 8) {
+            Value word = ctx.load(resource.addr + off, 8);
+            sum = ctx.add(sum, word);
+        }
+        Value ok = ctx.isZero(ctx.isZero(sum));
+        ctx.branchIf(ok);
+    }
+
+    // Resource-timing / netlog metrics to the browser process: payload
+    // size tracks the resource size, like real devtools instrumentation.
+    const uint64_t words = std::clamp<uint64_t>(resource.size / 256, 8, 48);
+    std::vector<uint64_t> payload(words);
+    for (uint64_t w = 0; w < words; ++w)
+        payload[w] = resource.size + w;
+    ipc_.send(ctx, IpcMessage::ResourceLoadMetrics, payload);
+}
+
+} // namespace browser
+} // namespace webslice

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Simulated resource loading (net:: namespace).
+ *
+ * Stands in for the network stack: a fetch issues a request through
+ * sendto, and after a bandwidth/latency-dependent delay the child IO
+ * thread "receives" the payload — the bytes appear in simulated memory
+ * via a recvfrom syscall's kernel-side write, exactly how Pin sees real
+ * downloads (kernel writes are effect records, not traced instructions).
+ * Response headers are then parsed with traced reads, and delivery to the
+ * main thread goes through a traced cross-thread task channel.
+ */
+
+#ifndef WEBSLICE_BROWSER_NET_HH
+#define WEBSLICE_BROWSER_NET_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "browser/common.hh"
+#include "browser/debugging.hh"
+#include "browser/ipc.hh"
+#include "browser/threading.hh"
+#include "sim/machine.hh"
+
+namespace webslice {
+namespace browser {
+
+/** Resource kinds the loader understands. */
+enum class ResourceType
+{
+    Html,
+    Css,
+    Js,
+    Image,
+};
+
+/** One fetchable resource: its content and, once loaded, its location. */
+struct Resource
+{
+    std::string url;
+    ResourceType type = ResourceType::Html;
+    std::string content;
+
+    /** Simulated address/size of the payload once received. */
+    uint64_t addr = 0;
+    uint64_t size = 0;
+    bool loaded = false;
+};
+
+/** The tab's resource loader. */
+class ResourceLoader
+{
+  public:
+    using Callback = std::function<void(sim::Ctx &, Resource &)>;
+
+    ResourceLoader(sim::Machine &machine, const BrowserConfig &config,
+                   const BrowserThreads &threads, TraceLog &trace_log,
+                   IpcChannel &ipc);
+
+    /**
+     * Start fetching a resource; the callback runs on the main thread
+     * after the simulated network round trip. Must be called from a
+     * main-thread context.
+     */
+    void fetch(sim::Ctx &ctx, Resource &resource, Callback callback);
+
+    uint64_t requestCount() const { return requests_; }
+    uint64_t bytesFetched() const { return bytesFetched_; }
+
+  private:
+    void receiveOnIoThread(sim::Ctx &ctx, Resource &resource);
+
+    sim::Machine &machine_;
+    const BrowserConfig &config_;
+    TraceLog &traceLog_;
+    IpcChannel &ipc_;
+    trace::FuncId fnFetch_;
+    trace::FuncId fnReceive_;
+    trace::FuncId fnParseHeaders_;
+    uint64_t requestAddr_;
+    std::unique_ptr<TaskChannel> toIo_;
+    std::unique_ptr<TaskChannel> toMain_;
+    uint64_t requests_ = 0;
+    uint64_t bytesFetched_ = 0;
+};
+
+} // namespace browser
+} // namespace webslice
+
+#endif // WEBSLICE_BROWSER_NET_HH

@@ -1,0 +1,296 @@
+#include "browser/paint.hh"
+
+#include "support/logging.hh"
+#include "support/strings.hh"
+
+namespace webslice {
+namespace browser {
+
+using sim::Ctx;
+using sim::TracedScope;
+using sim::Value;
+
+Layer *
+LayerTree::layerFor(Element *element) const
+{
+    // Nearest ancestor (or self) that owns a layer.
+    for (Element *walk = element; walk; walk = walk->parent) {
+        for (const auto &layer : layers) {
+            if (layer->owner == walk)
+                return layer.get();
+        }
+    }
+    return rootLayer();
+}
+
+PaintController::PaintController(sim::Machine &machine,
+                                 TraceLog &trace_log, ImageStore &images)
+    : machine_(machine), traceLog_(trace_log), images_(images),
+      fnPaint_(machine.registerFunction("gfx::PaintController::paint")),
+      fnPaintElement_(
+          machine.registerFunction("gfx::PaintController::paintElement")),
+      fnEmitItem_(machine.registerFunction("gfx::DisplayList::append"))
+{
+}
+
+Layer *
+PaintController::ensureLayer(LayerTree &tree, Element *owner, int z,
+                             bool fixed, bool animated)
+{
+    for (const auto &layer : tree.layers) {
+        if (layer->owner == owner) {
+            layer->z = z;
+            layer->fixed = fixed;
+            layer->animated = animated;
+            return layer.get();
+        }
+    }
+    auto layer = std::make_unique<Layer>();
+    layer->id = nextLayerId_++;
+    layer->owner = owner;
+    layer->z = z;
+    layer->fixed = fixed;
+    layer->animated = animated;
+    tree.layers.push_back(std::move(layer));
+    return tree.layers.back().get();
+}
+
+void
+PaintController::emitItem(Ctx &ctx, Layer &layer, DisplayItem item,
+                          const Value &x, const Value &y, const Value &w,
+                          const Value &h, const Value &color)
+{
+    TracedScope scope(ctx, fnEmitItem_);
+    ++itemsEmitted_;
+
+    // Item arrays are sized once per paint from the document-size hint;
+    // lists are always rebuilt from index 0 on repaint.
+    const size_t index = layer.items.size();
+    if (index >= layer.itemsCapacity) {
+        panic_if(index != 0,
+                 "display list exceeded its capacity mid-paint");
+        const size_t new_capacity = std::max<size_t>(64, capacityHint_);
+        const uint64_t new_addr = machine_.alloc(
+            new_capacity * ItemFields::kRecordBytes, "display-list");
+        if (layer.itemsAddr)
+            machine_.free(layer.itemsAddr);
+        layer.itemsAddr = new_addr;
+        layer.itemsCapacity = new_capacity;
+    }
+
+    const uint64_t rec =
+        layer.itemsAddr + index * ItemFields::kRecordBytes;
+    Value type = ctx.imm(item.type);
+    ctx.store(rec + ItemFields::kType, 4, type);
+    // Layer-local coordinates: subtract the layer origin (traced).
+    Value layer_x = ctx.imm(static_cast<uint64_t>(layer.x));
+    Value layer_y = ctx.imm(static_cast<uint64_t>(layer.y));
+    Value local_x = ctx.sub(x, layer_x);
+    Value local_y = ctx.sub(y, layer_y);
+    ctx.store(rec + ItemFields::kX, 4, local_x);
+    ctx.store(rec + ItemFields::kY, 4, local_y);
+    ctx.store(rec + ItemFields::kW, 4, w);
+    ctx.store(rec + ItemFields::kH, 4, h);
+    ctx.store(rec + ItemFields::kColor, 4, color);
+    Value payload = ctx.imm(item.payloadAddr);
+    ctx.store(rec + ItemFields::kPayloadAddr, 8, payload);
+    Value payload_len = ctx.imm(item.payloadLen);
+    ctx.store(rec + ItemFields::kPayloadLen, 4, payload_len);
+
+    item.x = static_cast<int32_t>(local_x.get());
+    item.y = static_cast<int32_t>(local_y.get());
+    item.w = static_cast<int32_t>(w.get());
+    item.h = static_cast<int32_t>(h.get());
+    item.color = static_cast<uint32_t>(color.get());
+    layer.items.push_back(item);
+}
+
+void
+PaintController::paintElement(Ctx &ctx, Element &element, LayerTree &tree,
+                              Layer *current)
+{
+    TracedScope scope(ctx, fnPaintElement_);
+
+    const uint64_t style = element.styleAddr;
+    const uint64_t box = element.layoutAddr;
+
+    // Skip invisible subtrees (traced branch).
+    Value display = ctx.load(style + StyleFields::kDisplay, 4);
+    Value visible = ctx.ne(display, ctx.imm(kDisplayNone));
+    if (!ctx.branchIf(visible))
+        return;
+
+    // Promote to an own layer when there is a compositing trigger.
+    Value position = ctx.load(style + StyleFields::kPosition, 4);
+    Value animated = ctx.load(style + StyleFields::kAnimated, 4);
+    Value zindex = ctx.load(style + StyleFields::kZIndex, 4);
+    const bool promote =
+        position.get() == kPositionFixed || animated.get() != 0 ||
+        zindex.get() > 0;
+    Value promote_v = ctx.bor(
+        ctx.eqi(position, kPositionFixed),
+        ctx.bor(ctx.ne(animated, ctx.imm(0)),
+                ctx.gtu(zindex, ctx.imm(0))));
+    ctx.branchIf(promote_v);
+
+    Value x = ctx.load(box + LayoutFields::kX, 4);
+    Value y = ctx.load(box + LayoutFields::kY, 4);
+    Value w = ctx.load(box + LayoutFields::kWidth, 4);
+    Value h = ctx.load(box + LayoutFields::kHeight, 4);
+
+    Layer *layer = current;
+    if (promote) {
+        layer = ensureLayer(tree, &element,
+                            static_cast<int>(zindex.get()),
+                            position.get() == kPositionFixed,
+                            animated.get() != 0);
+        layer->animCadence =
+            std::max(1, static_cast<int>(animated.get()));
+        layer->x = static_cast<int>(x.get());
+        layer->y = static_cast<int>(y.get());
+        layer->w = std::max(1, static_cast<int>(w.get()));
+        layer->h = std::max(1, static_cast<int>(h.get()));
+    }
+
+    if (element.isText()) {
+        Value color = ctx.load(style + StyleFields::kColor, 4);
+        // Fold the shaped-glyph hash (computed while parsing, or set by
+        // dom.text) into the run's paint: the rendered pixels depend on
+        // the text content through shaping, not just the raw bytes.
+        Value shaped =
+            ctx.load(element.addr + ElementFields::kClassHash, 4);
+        Value run_color = ctx.bxor(color, shaped);
+        DisplayItem item;
+        item.type = DisplayItem::Text;
+        item.payloadAddr = element.textAddr;
+        item.payloadLen = element.textLen;
+        emitItem(ctx, *layer, item, x, y, w, h, run_color);
+        return;
+    }
+
+    // Background fill when the element has one.
+    Value bg = ctx.load(style + StyleFields::kBackground, 4);
+    Value has_bg = ctx.ne(bg, ctx.imm(0));
+    if (ctx.branchIf(has_bg)) {
+        DisplayItem item;
+        item.type = DisplayItem::Rect;
+        emitItem(ctx, *layer, item, x, y, w, h, bg);
+    }
+
+    if (element.tag == Tag::Img && !element.src.empty()) {
+        ImageEntry *image = images_.decodedBitmap(ctx, element.src);
+        if (image) {
+            DisplayItem item;
+            item.type = DisplayItem::Image;
+            item.payloadAddr = image->bitmapAddr;
+            item.payloadLen = image->widthCells;
+            // Large media (ads, carousel photos) is opaque; content
+            // thumbnails carry alpha and blend.
+            item.opaque = startsWith(element.src, "carousel") ||
+                          startsWith(element.src, "ad.");
+            Value color = ctx.imm(0);
+            emitItem(ctx, *layer, item, x, y, w, h, color);
+        }
+    }
+
+    for (Element *child : element.children)
+        paintElement(ctx, *child, tree, layer);
+}
+
+uint64_t
+PaintController::itemsFingerprint(const Layer &layer)
+{
+    uint64_t hash = 1469598103934665603ull;
+    auto mix = [&hash](uint64_t v) {
+        hash = (hash ^ v) * 1099511628211ull;
+    };
+    mix(static_cast<uint64_t>(layer.x) << 32 |
+        static_cast<uint32_t>(layer.y));
+    for (const auto &item : layer.items) {
+        mix(item.type);
+        mix(static_cast<uint64_t>(static_cast<uint32_t>(item.x)) << 32 |
+            static_cast<uint32_t>(item.y));
+        mix(static_cast<uint64_t>(static_cast<uint32_t>(item.w)) << 32 |
+            static_cast<uint32_t>(item.h));
+        mix(item.color);
+        mix(item.payloadAddr);
+        mix(item.payloadLen);
+    }
+    return hash;
+}
+
+void
+PaintController::finishLayer(Ctx &ctx, Layer &layer)
+{
+    if (!layer.recordAddr) {
+        layer.recordAddr =
+            machine_.alloc(LayerFields::kRecordBytes, "layer");
+    }
+    Value x = ctx.imm(static_cast<uint64_t>(layer.x));
+    ctx.store(layer.recordAddr + LayerFields::kX, 4, x);
+    Value y = ctx.imm(static_cast<uint64_t>(layer.y));
+    ctx.store(layer.recordAddr + LayerFields::kY, 4, y);
+    Value w = ctx.imm(static_cast<uint64_t>(layer.w));
+    ctx.store(layer.recordAddr + LayerFields::kW, 4, w);
+    Value h = ctx.imm(static_cast<uint64_t>(layer.h));
+    ctx.store(layer.recordAddr + LayerFields::kH, 4, h);
+    Value z = ctx.imm(static_cast<uint64_t>(layer.z));
+    ctx.store(layer.recordAddr + LayerFields::kZ, 4, z);
+    Value flags = ctx.imm((layer.fixed ? 1u : 0u) |
+                          (layer.animated ? 2u : 0u));
+    ctx.store(layer.recordAddr + LayerFields::kFlags, 4, flags);
+    Value count = ctx.imm(layer.items.size());
+    ctx.store(layer.recordAddr + LayerFields::kItemCount, 4, count);
+    Value items = ctx.imm(layer.itemsAddr);
+    ctx.store(layer.recordAddr + LayerFields::kItemsAddr, 8, items);
+
+    // Paint invalidation: only layers whose display list actually
+    // changed get a new generation (and therefore a re-raster) — real
+    // engines damage-track exactly this way.
+    const uint64_t fingerprint = itemsFingerprint(layer);
+    if (fingerprint != layer.lastFingerprint) {
+        layer.lastFingerprint = fingerprint;
+        ++layer.paintGeneration;
+    }
+}
+
+void
+PaintController::paintDocument(Ctx &ctx, Document &doc, LayerTree &tree,
+                               int viewport_width, int viewport_height,
+                               uint32_t document_height)
+{
+    TracedScope scope(ctx, fnPaint_);
+    traceLog_.addEvent(ctx, /*category=*/32);
+    capacityHint_ = doc.elementCount() * 2 + 32;
+
+    // Drop stale item arrays that this paint would outgrow.
+    for (auto &layer : tree.layers) {
+        if (layer->itemsCapacity < capacityHint_ && layer->itemsAddr) {
+            machine_.free(layer->itemsAddr);
+            layer->itemsAddr = 0;
+            layer->itemsCapacity = 0;
+        }
+    }
+
+    // Root layer covers the whole document.
+    Layer *root = ensureLayer(tree, nullptr, 0, false, false);
+    root->x = 0;
+    root->y = 0;
+    root->w = viewport_width;
+    root->h = std::max<int>(viewport_height,
+                            static_cast<int>(document_height));
+
+    // Rebuild every display list from scratch.
+    for (auto &layer : tree.layers)
+        layer->items.clear();
+
+    paintElement(ctx, *doc.root(), tree, root);
+
+    for (auto &layer : tree.layers)
+        finishLayer(ctx, *layer);
+    ++tree.generation;
+    tree.documentHeight = document_height;
+}
+
+} // namespace browser
+} // namespace webslice

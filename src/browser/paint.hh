@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Paint (gfx:: namespace — the paper's "Graphics" category corresponds to
+ * the Paint stage of the rendering pipeline).
+ *
+ * Paint walks the laid-out render tree and produces per-layer display
+ * lists in simulated memory: background rects, text runs (whose payload
+ * points at the original resource bytes), and images (whose payload
+ * points at the decoded bitmap). Layerization mirrors Chromium's direct
+ * compositing reasons: position:fixed, animated, or explicitly z-indexed
+ * elements get their own layers; everything else paints into the nearest
+ * ancestor layer.
+ */
+
+#ifndef WEBSLICE_BROWSER_PAINT_HH
+#define WEBSLICE_BROWSER_PAINT_HH
+
+#include <memory>
+#include <vector>
+
+#include "browser/debugging.hh"
+#include "browser/dom.hh"
+#include "browser/image.hh"
+#include "sim/machine.hh"
+
+namespace webslice {
+namespace browser {
+
+/** One display item (native mirror of the 48-byte sim record). */
+struct DisplayItem
+{
+    enum Type : uint32_t
+    {
+        Rect = 1,
+        Text = 2,
+        Image = 3,
+    };
+
+    uint32_t type = Rect;
+    int32_t x = 0; ///< Layer-local px.
+    int32_t y = 0;
+    int32_t w = 0;
+    int32_t h = 0;
+    uint32_t color = 0;
+    uint64_t payloadAddr = 0; ///< Text bytes or bitmap cells.
+    uint32_t payloadLen = 0;  ///< Text length or bitmap width in cells.
+    bool opaque = false;      ///< Opaque media overwrite; others blend.
+};
+
+/** Display-item record layout in simulated memory. */
+struct ItemFields
+{
+    static constexpr uint64_t kType = 0;
+    static constexpr uint64_t kX = 4;
+    static constexpr uint64_t kY = 8;
+    static constexpr uint64_t kW = 12;
+    static constexpr uint64_t kH = 16;
+    static constexpr uint64_t kColor = 20;
+    static constexpr uint64_t kPayloadAddr = 24; ///< u64
+    static constexpr uint64_t kPayloadLen = 32;
+    static constexpr uint64_t kRecordBytes = 48;
+};
+
+/** A composited layer: painted content plus compositor-side state. */
+struct Layer
+{
+    int id = 0;
+    Element *owner = nullptr; ///< nullptr for the root layer.
+    bool fixed = false;
+    bool animated = false;
+    /** Frames between animation invalidations (1 = every vsync; a slow
+     *  carousel rotation may be 32). Comes from the anim CSS value. */
+    int animCadence = 1;
+    int z = 0;
+
+    /** Layer rect in document coordinates (px). */
+    int x = 0, y = 0, w = 0, h = 0;
+
+    std::vector<DisplayItem> items;
+    uint64_t itemsAddr = 0;
+    size_t itemsCapacity = 0;
+
+    /** Simulated layer record (geometry + item list pointer). */
+    uint64_t recordAddr = 0;
+
+    // ---- compositor-owned state (see compositor.hh) ----
+    uint64_t backingAddr = 0;
+    uint64_t dirtyMapAddr = 0; ///< Traced per-tile dirty bytes.
+    int tilesX = 0, tilesY = 0;
+    std::vector<uint8_t> tileDirty; ///< Native mirror of the dirty map.
+    int dirtyCount = 0;             ///< Fast-path skip for clean layers.
+    bool fullyOccluded = false;
+    int animPhase = 0;
+    uint64_t paintGeneration = 0;
+    uint64_t lastFingerprint = 0; ///< Damage-tracking fingerprint.
+};
+
+/** Layer record layout in simulated memory (the commit payload). */
+struct LayerFields
+{
+    static constexpr uint64_t kX = 0;
+    static constexpr uint64_t kY = 4;
+    static constexpr uint64_t kW = 8;
+    static constexpr uint64_t kH = 12;
+    static constexpr uint64_t kZ = 16;
+    static constexpr uint64_t kFlags = 20; ///< bit0 fixed, bit1 animated
+    static constexpr uint64_t kItemCount = 24;
+    static constexpr uint64_t kItemsAddr = 32; ///< u64
+    static constexpr uint64_t kRecordBytes = 48;
+};
+
+/** The paint output handed to the compositor. */
+struct LayerTree
+{
+    std::vector<std::unique_ptr<Layer>> layers;
+    uint32_t documentHeight = 0;
+    uint64_t generation = 0;
+
+    Layer *rootLayer() const
+    {
+        return layers.empty() ? nullptr : layers.front().get();
+    }
+
+    /** Layer that owns element's content (nearest layered ancestor). */
+    Layer *layerFor(Element *element) const;
+};
+
+/** Builds display lists from the laid-out document. */
+class PaintController
+{
+  public:
+    PaintController(sim::Machine &machine, TraceLog &trace_log,
+                    ImageStore &images);
+
+    /**
+     * (Re)build the layer tree and all display lists. Reuses existing
+     * Layer objects (and their backing stores) across paints when the
+     * layer structure is unchanged, marking repainted layers dirty.
+     */
+    void paintDocument(sim::Ctx &ctx, Document &doc, LayerTree &tree,
+                       int viewport_width, int viewport_height,
+                       uint32_t document_height);
+
+    uint64_t itemsEmitted() const { return itemsEmitted_; }
+
+  private:
+    Layer *ensureLayer(LayerTree &tree, Element *owner, int z,
+                       bool fixed, bool animated);
+    void paintElement(sim::Ctx &ctx, Element &element, LayerTree &tree,
+                      Layer *current);
+    void emitItem(sim::Ctx &ctx, Layer &layer, DisplayItem item,
+                  const sim::Value &x, const sim::Value &y,
+                  const sim::Value &w, const sim::Value &h,
+                  const sim::Value &color);
+    void finishLayer(sim::Ctx &ctx, Layer &layer);
+    static uint64_t itemsFingerprint(const Layer &layer);
+
+    sim::Machine &machine_;
+    TraceLog &traceLog_;
+    ImageStore &images_;
+    trace::FuncId fnPaint_;
+    trace::FuncId fnPaintElement_;
+    trace::FuncId fnEmitItem_;
+    uint64_t itemsEmitted_ = 0;
+    int nextLayerId_ = 1;
+    size_t capacityHint_ = 64;
+};
+
+} // namespace browser
+} // namespace webslice
+
+#endif // WEBSLICE_BROWSER_PAINT_HH

@@ -1,0 +1,195 @@
+#include "browser/raster.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace webslice {
+namespace browser {
+
+using sim::Ctx;
+using sim::TracedScope;
+using sim::Value;
+
+Rasterizer::Rasterizer(sim::Machine &machine, TraceLog &trace_log,
+                       const BrowserConfig &config)
+    : machine_(machine), traceLog_(trace_log), config_(config),
+      fnPlayback_(machine.registerFunction(
+          "gfx::RasterBufferProvider::playbackToMemory")),
+      fnDrawItem_(machine.registerFunction("gfx::Rasterizer::drawItem"))
+{
+}
+
+void
+Rasterizer::rasterizeTile(Ctx &ctx, const Layer &layer,
+                          const Value &task_record)
+{
+    TracedScope scope(ctx, fnPlayback_);
+    ++tiles_;
+    traceLog_.addEvent(ctx, /*category=*/33, /*weight=*/2);
+
+    // Unpack the task record (traced loads through the task pointer).
+    Value layer_rec = ctx.loadVia(task_record, RasterTaskFields::kLayerRecord,
+                                  8);
+    Value tx = ctx.loadVia(task_record, RasterTaskFields::kTileX, 4);
+    Value ty = ctx.loadVia(task_record, RasterTaskFields::kTileY, 4);
+    Value backing = ctx.loadVia(task_record, RasterTaskFields::kBackingTile,
+                                8);
+    Value phase = ctx.loadVia(task_record, RasterTaskFields::kPhase, 4);
+
+    const int tile_px = config_.tilePx;
+    const int cell_px = config_.cellPx;
+    const int cells_per_tile = config_.cellsPerTile();
+
+    // Tile origin in layer-local px (traced mirror of the native math).
+    Value ox = ctx.muli(tx, tile_px);
+    Value oy = ctx.muli(ty, tile_px);
+    const int ox_n = static_cast<int>(tx.get()) * tile_px;
+    const int oy_n = static_cast<int>(ty.get()) * tile_px;
+
+    Value item_count = ctx.loadVia(layer_rec, LayerFields::kItemCount, 4);
+    Value items_base = ctx.loadVia(layer_rec, LayerFields::kItemsAddr, 8);
+    (void)item_count;
+
+    for (size_t i = 0; i < layer.items.size(); ++i) {
+        TracedScope item_scope(ctx, fnDrawItem_);
+        const int64_t rec = static_cast<int64_t>(
+            i * ItemFields::kRecordBytes);
+
+        // Staged cull, the way real playback walks item bounds: test the
+        // vertical extent first and only fetch the rest of the record
+        // when the row band overlaps.
+        Value iy = ctx.loadVia(items_base, rec + ItemFields::kY, 4);
+        Value ih = ctx.loadVia(items_base, rec + ItemFields::kH, 4);
+        Value iy2 = ctx.add(iy, ih);
+        Value oy2 = ctx.addi(oy, tile_px);
+        Value y_overlap = ctx.band(ctx.ltu(iy, oy2), ctx.ltu(oy, iy2));
+        if (!ctx.branchIf(y_overlap)) {
+            ++clipped_;
+            continue;
+        }
+
+        Value ix = ctx.loadVia(items_base, rec + ItemFields::kX, 4);
+        Value iw = ctx.loadVia(items_base, rec + ItemFields::kW, 4);
+        Value ix2 = ctx.add(ix, iw);
+        Value ox2 = ctx.addi(ox, tile_px);
+        Value x_overlap = ctx.band(ctx.ltu(ix, ox2), ctx.ltu(ox, ix2));
+        if (!ctx.branchIf(x_overlap)) {
+            ++clipped_;
+            continue;
+        }
+
+        Value type = ctx.loadVia(items_base, rec + ItemFields::kType, 4);
+        Value color = ctx.loadVia(items_base, rec + ItemFields::kColor, 4);
+        (void)type;
+
+        const DisplayItem &item = layer.items[i];
+
+        // Covered cell range (native mirrors of the traced coordinates).
+        const int x0 = std::max(item.x, ox_n);
+        const int y0 = std::max(item.y, oy_n);
+        const int x1 = std::min(item.x + item.w, ox_n + tile_px);
+        const int y1 = std::min(item.y + item.h, oy_n + tile_px);
+        const int cx0 = x0 / cell_px;
+        const int cy0 = y0 / cell_px;
+        const int cx1 = (x1 + cell_px - 1) / cell_px;
+        const int cy1 = (y1 + cell_px - 1) / cell_px;
+
+        // Per-item base pixel value (traced; animated layers fold in the
+        // animation phase so re-rasters produce new values).
+        Value base_pixel = ctx.bxor(color, phase);
+
+        Value payload;
+        const bool has_payload = item.payloadAddr != 0;
+        if (has_payload) {
+            payload = ctx.loadVia(items_base,
+                                  rec + ItemFields::kPayloadAddr, 8);
+        }
+
+        for (int cy = cy0; cy < cy1; ++cy) {
+            for (int cx = cx0; cx < cx1; ++cx) {
+                const int local_cx = cx - (ox_n / cell_px);
+                const int local_cy = cy - (oy_n / cell_px);
+                if (local_cx < 0 || local_cy < 0 ||
+                    local_cx >= cells_per_tile ||
+                    local_cy >= cells_per_tile) {
+                    continue;
+                }
+                const int64_t cell_off =
+                    (local_cy * cells_per_tile + local_cx) * 4;
+                const size_t cell_index =
+                    static_cast<size_t>(cy) * 131 + cx;
+
+                switch (item.type) {
+                  case DisplayItem::Rect: {
+                    // Per-cell shading (gradient/rounded-corner work).
+                    Value shade =
+                        ctx.addi(base_pixel,
+                                 static_cast<int64_t>(cell_off));
+                    ctx.storeVia(backing, cell_off, 4, shade);
+                    break;
+                  }
+                  case DisplayItem::Text: {
+                    Value glyphs;
+                    if (has_payload && item.payloadLen >= 8) {
+                        const int64_t text_off = static_cast<int64_t>(
+                            (cell_index * 7) % (item.payloadLen - 7));
+                        glyphs = ctx.loadVia(payload, text_off, 8);
+                    } else {
+                        glyphs = ctx.imm(0x20);
+                    }
+                    // Glyphs alpha-blend over whatever is under them,
+                    // so the underlying background store stays live.
+                    Value under = ctx.loadVia(backing, cell_off, 4);
+                    Value pixel = ctx.bxor(base_pixel, glyphs);
+                    pixel = ctx.add(pixel, under);
+                    ctx.storeVia(backing, cell_off, 4, pixel);
+                    break;
+                  }
+                  case DisplayItem::Image: {
+                    Value pixel;
+                    if (has_payload) {
+                        const uint32_t img_w =
+                            std::max<uint32_t>(1, item.payloadLen);
+                        const uint32_t img_cx =
+                            static_cast<uint32_t>(cx - item.x / cell_px) %
+                            img_w;
+                        const uint32_t img_cy = static_cast<uint32_t>(
+                            cy - item.y / cell_px);
+                        const int64_t bitmap_off = static_cast<int64_t>(
+                            (uint64_t{img_cy} * img_w + img_cx) * 4);
+                        Value sample =
+                            ctx.loadVia(payload, bitmap_off, 4);
+                        pixel = ctx.bxor(sample, phase);
+                    } else {
+                        pixel = ctx.copy(base_pixel);
+                    }
+                    if (!item.opaque) {
+                        // Content thumbnails blend over the backdrop
+                        // (alpha edges, rounded corners), keeping the
+                        // underlying paint live; opaque media (ads,
+                        // carousel photos) overwrite it.
+                        Value under = ctx.loadVia(backing, cell_off, 4);
+                        pixel = ctx.add(pixel, under);
+                    }
+                    ctx.storeVia(backing, cell_off, 4, pixel);
+                    break;
+                  }
+                  default:
+                    break;
+                }
+                ++cells_;
+            }
+        }
+    }
+
+    // The paper's marker: the tile buffer now holds final pixel values;
+    // record its address and size as slicing criteria.
+    const uint64_t tile_bytes =
+        static_cast<uint64_t>(cells_per_tile) * cells_per_tile * 4;
+    const trace::MemRange ranges[] = {{backing.get(), tile_bytes}};
+    ctx.marker(ranges);
+}
+
+} // namespace browser
+} // namespace webslice

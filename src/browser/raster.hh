@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Tile rasterization (gfx:: namespace, executed on the CompositorTileWorker
+ * threads).
+ *
+ * This is the reproduction's RasterBufferProvider::PlaybackToMemory: a
+ * raster task plays a layer's display list back into one 256x256-px tile
+ * of the layer's backing store (tracked at 16-px cell granularity, one u32
+ * per cell), then plants the criteria marker over the tile's final bytes —
+ * exactly where the paper plants its "xchg %r13w,%r13w" and records the
+ * buffer address/size into the external criteria file.
+ *
+ * Waste mechanisms are intrinsic: display items clipped outside the tile
+ * still cost their per-item loads and compares; overdrawn cells kill the
+ * dependence on whatever wrote them earlier; low-resolution (mobile)
+ * targets make most playback work produce no surviving pixel.
+ */
+
+#ifndef WEBSLICE_BROWSER_RASTER_HH
+#define WEBSLICE_BROWSER_RASTER_HH
+
+#include "browser/common.hh"
+#include "browser/debugging.hh"
+#include "browser/paint.hh"
+#include "sim/machine.hh"
+
+namespace webslice {
+namespace browser {
+
+/** Raster task record layout (the compositor writes, the worker reads). */
+struct RasterTaskFields
+{
+    static constexpr uint64_t kLayerRecord = 0;  ///< u64
+    static constexpr uint64_t kTileX = 8;
+    static constexpr uint64_t kTileY = 12;
+    static constexpr uint64_t kBackingTile = 16; ///< u64
+    static constexpr uint64_t kPhase = 24;       ///< animation phase
+    static constexpr uint64_t kRecordBytes = 32;
+};
+
+/** Plays display lists back into tile backing stores. */
+class Rasterizer
+{
+  public:
+    Rasterizer(sim::Machine &machine, TraceLog &trace_log,
+               const BrowserConfig &config);
+
+    /**
+     * Rasterize one tile. Must run on a raster-worker thread context.
+     *
+     * @param layer        native mirror of the layer being rastered
+     * @param task_record  traced pointer to the RasterTaskFields record
+     */
+    void rasterizeTile(sim::Ctx &ctx, const Layer &layer,
+                       const sim::Value &task_record);
+
+    uint64_t tilesRastered() const { return tiles_; }
+    uint64_t cellsWritten() const { return cells_; }
+    uint64_t itemsClipped() const { return clipped_; }
+
+  private:
+    sim::Machine &machine_;
+    TraceLog &traceLog_;
+    const BrowserConfig &config_;
+    trace::FuncId fnPlayback_;
+    trace::FuncId fnDrawItem_;
+    uint64_t tiles_ = 0;
+    uint64_t cells_ = 0;
+    uint64_t clipped_ = 0;
+};
+
+} // namespace browser
+} // namespace webslice
+
+#endif // WEBSLICE_BROWSER_RASTER_HH

@@ -1,0 +1,354 @@
+#include "browser/tab.hh"
+
+#include "support/logging.hh"
+
+namespace webslice {
+namespace browser {
+
+using sim::Ctx;
+using sim::TracedScope;
+using sim::Value;
+
+Tab::Tab(sim::Machine &machine, BrowserConfig config,
+         JsEngineConfig js_config)
+    : machine_(machine), config_(config),
+      threads_(makeBrowserThreads(machine, config)),
+      fnNavigate_(machine.registerFunction("html::Frame::navigate")),
+      fnHitTest_(machine.registerFunction("html::EventHandler::hitTest")),
+      fnUpdate_(
+          machine.registerFunction("html::Frame::updateLifecycle"))
+{
+    traceLog_ = std::make_unique<TraceLog>(machine);
+    lib_ = std::make_unique<Lib>(machine);
+    heap_ = std::make_unique<TracedHeap>(machine);
+    ipc_ = std::make_unique<IpcChannel>(machine);
+    loader_ = std::make_unique<ResourceLoader>(machine, config_, threads_,
+                                               *traceLog_, *ipc_);
+    htmlParser_ = std::make_unique<HtmlParser>(machine, *traceLog_);
+    cssParser_ = std::make_unique<CssParser>(machine, *traceLog_);
+    styleResolver_ = std::make_unique<StyleResolver>(machine, *traceLog_);
+    layout_ = std::make_unique<LayoutEngine>(machine, *traceLog_);
+    images_ = std::make_unique<ImageStore>(machine, *traceLog_,
+                                           config_.cellPx);
+    paint_ = std::make_unique<PaintController>(machine, *traceLog_,
+                                               *images_);
+    js_config.cyclesPerMs = config_.cyclesPerMs;
+    js_ = std::make_unique<JsEngine>(machine, *traceLog_, js_config);
+    js_->setHeap(heap_.get());
+    compositor_ = std::make_unique<Compositor>(machine, config_, threads_,
+                                               *traceLog_, *ipc_);
+    compositor_->setLayerTree(&layerTree_);
+    inputToMain_ = std::make_unique<TaskChannel>(machine, threads_.main,
+                                                 "input-main");
+
+    compositor_->setInputForwarder(
+        [this](Ctx &cctx, uint32_t id_hash, uint32_t kind) {
+            // Hop from the compositor to the main thread.
+            inputToMain_->post(cctx, id_hash,
+                               [this, id_hash, kind](Ctx &mctx, Value) {
+                                   handleForwardedInput(mctx, id_hash,
+                                                        kind);
+                               });
+        });
+
+    compositor_->setFrameHook([this](Ctx &ctx) {
+        maybeMarkLoadComplete(ctx);
+    });
+
+    JsHooks hooks;
+    hooks.onStyleMutation = [this](Ctx &ctx, Element *element) {
+        (void)element;
+        // Style changes can alter geometry (display/width/height), so a
+        // mutated frame re-flows before repainting.
+        needsLayout_ = true;
+        scheduleUpdate(ctx);
+    };
+    hooks.onStructuralMutation = [this](Ctx &ctx, Element *element) {
+        styleResolver_->resolveSubtree(ctx, element, sheetPointers());
+        needsLayout_ = true;
+        scheduleUpdate(ctx);
+    };
+    js_->setHooks(std::move(hooks));
+}
+
+std::vector<StyleSheet *>
+Tab::sheetPointers() const
+{
+    std::vector<StyleSheet *> out;
+    out.reserve(sheets_.size());
+    for (const auto &sheet : sheets_)
+        out.push_back(sheet.get());
+    return out;
+}
+
+void
+Tab::navigate(const SiteContent &site)
+{
+    sitePayloads_ = site.resources;
+
+    auto html = std::make_unique<Resource>();
+    html->url = site.url;
+    html->type = ResourceType::Html;
+    html->content = site.html;
+    Resource *html_ptr = html.get();
+    resources_.push_back(std::move(html));
+    ++outstandingCritical_;
+
+    machine_.post(threads_.main, [this, html_ptr](Ctx &ctx) {
+        TracedScope scope(ctx, fnNavigate_);
+        const uint64_t payload[] = {1};
+        ipc_->send(ctx, IpcMessage::NavigationStart, payload);
+        loader_->fetch(ctx, *html_ptr, [this](Ctx &cb_ctx, Resource &res) {
+            onHtmlLoaded(cb_ctx, res);
+        });
+    });
+
+    compositor_->startVsync(sessionMs_);
+}
+
+void
+Tab::onHtmlLoaded(Ctx &ctx, Resource &res)
+{
+    document_ = htmlParser_->parse(ctx, res);
+    js_->setDocument(document_.get());
+
+    // Kick off every discovered subresource.
+    auto fetch = [&](const std::string &url, ResourceType type,
+                     auto callback, bool critical) {
+        auto it = sitePayloads_.find(url);
+        if (it == sitePayloads_.end()) {
+            warn("site has no payload for ", url);
+            return;
+        }
+        auto resource = std::make_unique<Resource>();
+        resource->url = url;
+        resource->type = type;
+        resource->content = it->second.second;
+        Resource *ptr = resource.get();
+        resources_.push_back(std::move(resource));
+        if (critical)
+            ++outstandingCritical_;
+        loader_->fetch(ctx, *ptr, callback);
+    };
+
+    for (const auto &url : document_->cssUrls) {
+        fetch(url, ResourceType::Css,
+              [this](Ctx &c, Resource &r) { onCssLoaded(c, r); }, true);
+    }
+    for (const auto &url : document_->jsUrls) {
+        fetch(url, ResourceType::Js,
+              [this](Ctx &c, Resource &r) { onJsLoaded(c, r); }, true);
+    }
+    for (const auto &url : document_->imageUrls) {
+        ++outstandingImages_;
+        fetch(url, ResourceType::Image,
+              [this](Ctx &c, Resource &r) { onImageLoaded(c, r); },
+              false);
+    }
+
+    resourceDone(ctx); // the HTML itself
+}
+
+void
+Tab::onCssLoaded(Ctx &ctx, Resource &res)
+{
+    sheets_.push_back(cssParser_->parse(ctx, res));
+    resourceDone(ctx);
+}
+
+void
+Tab::onJsLoaded(Ctx &ctx, Resource &res)
+{
+    js_->runScript(ctx, res);
+    resourceDone(ctx);
+}
+
+void
+Tab::onImageLoaded(Ctx &ctx, Resource &res)
+{
+    // Register for lazy decode; images repaint the page when they land.
+    for (const auto &element : document_->elements()) {
+        if (element->tag == Tag::Img && element->src == res.url) {
+            images_->addResource(res.url, &res, element->attrWidth,
+                                 element->attrHeight);
+            break;
+        }
+    }
+    panic_if(outstandingImages_ == 0, "image accounting underflow");
+    --outstandingImages_;
+    scheduleUpdate(ctx);
+}
+
+void
+Tab::resourceDone(Ctx &ctx)
+{
+    panic_if(outstandingCritical_ == 0, "resource accounting underflow");
+    --outstandingCritical_;
+    if (outstandingCritical_ == 0)
+        scheduleUpdate(ctx);
+}
+
+void
+Tab::scheduleUpdate(Ctx &ctx)
+{
+    (void)ctx;
+    if (updateScheduled_)
+        return;
+    updateScheduled_ = true;
+    machine_.post(threads_.main, [this](Ctx &main_ctx) {
+        updateScheduled_ = false;
+        updateRendering(main_ctx);
+    });
+}
+
+void
+Tab::updateRendering(Ctx &ctx)
+{
+    if (!document_ || outstandingCritical_ > 0)
+        return;
+    TracedScope scope(ctx, fnUpdate_);
+    ++pipelineUpdates_;
+
+    if (!initialRenderDone_) {
+        styleResolver_->resolveAll(ctx, *document_, sheetPointers());
+        needsLayout_ = true;
+    }
+    if (needsLayout_ || !initialRenderDone_) {
+        documentHeight_ = layout_->layoutDocument(
+            ctx, *document_, config_.viewportWidth,
+            config_.viewportHeight);
+        needsLayout_ = false;
+    }
+    paint_->paintDocument(ctx, *document_, layerTree_,
+                          config_.viewportWidth, config_.viewportHeight,
+                          documentHeight_);
+    compositor_->commit(ctx);
+
+    if (!initialRenderDone_) {
+        initialRenderDone_ = true;
+        Value metric = ctx.imm(machine_.now());
+        ipc_->sendValue(ctx, IpcMessage::DidFirstVisuallyNonEmptyPaint,
+                        metric);
+    }
+}
+
+void
+Tab::maybeMarkLoadComplete(Ctx &ctx)
+{
+    // "Completely loaded" = every resource (images included) has
+    // arrived, the initial render ran, and the frame containing it has
+    // been submitted (this hook fires after each submission).
+    if (loadCompleteIndex_ != SIZE_MAX)
+        return;
+    if (!initialRenderDone_ || outstandingCritical_ > 0 ||
+        outstandingImages_ > 0) {
+        return;
+    }
+    loadCompleteIndex_ = machine_.records().size();
+    loadCompleteMs_ = machine_.now() / config_.cyclesPerMs;
+    Value metric = ctx.imm(loadCompleteMs_);
+    ipc_->sendValue(ctx, IpcMessage::DidCommitNavigation, metric);
+    // The session clock starts at load: keep vsync ticking through the
+    // scripted browse window (or the post-load settle for load-only
+    // benchmarks).
+    compositor_->startVsync(sessionMs_);
+}
+
+void
+Tab::handleForwardedInput(Ctx &ctx, uint32_t id_hash, uint32_t kind)
+{
+    // Main-thread hit test: probe element records until the target is
+    // found (traced compares over the id hashes).
+    {
+        TracedScope scope(ctx, fnHitTest_);
+        Value needle = ctx.imm(id_hash);
+        size_t probes = 0;
+        for (const auto &element : document_->elements()) {
+            if (element->isText())
+                continue;
+            if (++probes > 64)
+                break;
+            Value candidate =
+                ctx.load(element->addr + ElementFields::kIdHash, 4);
+            Value hit = ctx.eq(candidate, needle);
+            if (ctx.branchIf(hit))
+                break;
+        }
+    }
+
+    const JsEvent event = kind == 1 ? JsEvent::Key : JsEvent::Click;
+    js_->fireEvent(ctx, id_hash, event);
+    ipc_->sendValue(ctx, IpcMessage::UserInteractionMetrics,
+                    ctx.imm(id_hash));
+}
+
+void
+Tab::scheduleScroll(uint64_t at_ms, int dy)
+{
+    machine_.postDelayed(threads_.compositor, config_.msToCycles(at_ms),
+                         [this, dy](Ctx &ctx) {
+                             compositor_->postScroll(ctx, dy);
+                         });
+}
+
+void
+Tab::scheduleClick(uint64_t at_ms, const std::string &element_id)
+{
+    const uint32_t hash = hashString(element_id);
+    machine_.postDelayed(threads_.compositor, config_.msToCycles(at_ms),
+                         [this, hash](Ctx &ctx) {
+                             compositor_->postInput(ctx, hash, 0);
+                         });
+}
+
+void
+Tab::scheduleKey(uint64_t at_ms, const std::string &element_id)
+{
+    const uint32_t hash = hashString(element_id);
+    machine_.postDelayed(threads_.compositor, config_.msToCycles(at_ms),
+                         [this, hash](Ctx &ctx) {
+                             compositor_->postInput(ctx, hash, 1);
+                         });
+}
+
+void
+Tab::scheduleScriptFetch(uint64_t at_ms, const std::string &url,
+                         std::string content)
+{
+    sitePayloads_[url] = {ResourceType::Js, std::move(content)};
+    machine_.postDelayed(
+        threads_.main, config_.msToCycles(at_ms),
+        [this, url](Ctx &ctx) {
+            auto resource = std::make_unique<Resource>();
+            resource->url = url;
+            resource->type = ResourceType::Js;
+            resource->content = sitePayloads_[url].second;
+            Resource *ptr = resource.get();
+            resources_.push_back(std::move(resource));
+            loader_->fetch(ctx, *ptr, [this](Ctx &c, Resource &r) {
+                js_->runScript(c, r);
+                scheduleUpdate(c);
+            });
+        });
+}
+
+uint64_t
+Tab::cssTotalBytes() const
+{
+    uint64_t total = 0;
+    for (const auto &sheet : sheets_)
+        total += sheet->totalBytes;
+    return total;
+}
+
+uint64_t
+Tab::cssUsedBytes() const
+{
+    uint64_t used = 0;
+    for (const auto &sheet : sheets_)
+        used += sheet->usedBytes();
+    return used;
+}
+
+} // namespace browser
+} // namespace webslice

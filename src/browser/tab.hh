@@ -1,0 +1,156 @@
+/**
+ * @file
+ * The tab process orchestrator.
+ *
+ * Wires the full Figure-1 pipeline together on the simulated machine:
+ * navigation fetches the HTML, parsing discovers subresources, CSS and JS
+ * arrive and are processed (JS may mutate the DOM), style + layout +
+ * paint run on the main thread, commits hop to the compositor thread,
+ * raster tasks fan out to the tile workers (planting pixel criteria), and
+ * frames leave through the submit syscall. User input (scrolls handled on
+ * the compositor; clicks/keys forwarded to the main thread and dispatched
+ * into JS) drives the load+browse sessions of the paper's benchmarks.
+ */
+
+#ifndef WEBSLICE_BROWSER_TAB_HH
+#define WEBSLICE_BROWSER_TAB_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "browser/common.hh"
+#include "browser/compositor.hh"
+#include "browser/css.hh"
+#include "browser/debugging.hh"
+#include "browser/dom.hh"
+#include "browser/html_parser.hh"
+#include "browser/image.hh"
+#include "browser/ipc.hh"
+#include "browser/js.hh"
+#include "browser/layout.hh"
+#include "browser/lib.hh"
+#include "browser/net.hh"
+#include "browser/paint.hh"
+#include "sim/machine.hh"
+
+namespace webslice {
+namespace browser {
+
+/** A website's content: the main document plus subresource payloads. */
+struct SiteContent
+{
+    std::string url;
+    std::string html;
+    /** url -> (type, payload). */
+    std::map<std::string, std::pair<ResourceType, std::string>> resources;
+};
+
+/** One Chromium-style tab running on a simulated machine. */
+class Tab
+{
+  public:
+    Tab(sim::Machine &machine, BrowserConfig config,
+        JsEngineConfig js_config = {});
+
+    /** Start loading a site; drives everything once machine.run() runs. */
+    void navigate(const SiteContent &site);
+
+    // ---- scripted user input (the paper's browse sessions) ---------------
+
+    void scheduleScroll(uint64_t at_ms, int dy);
+    void scheduleClick(uint64_t at_ms, const std::string &element_id);
+    void scheduleKey(uint64_t at_ms, const std::string &element_id);
+
+    /** Fetch and execute an additional script mid-session (the extra
+     *  bytes Bing/Google Maps download while being browsed). */
+    void scheduleScriptFetch(uint64_t at_ms, const std::string &url,
+                             std::string content);
+
+    /** Keep vsync/BeginFrame ticks alive until this session time. */
+    void setSessionMs(uint64_t ms) { sessionMs_ = ms; }
+
+    // ---- results ----------------------------------------------------------
+
+    /** Trace index recorded when the page finished loading. */
+    size_t loadCompleteIndex() const { return loadCompleteIndex_; }
+
+    /** Virtual time (ms) when the page finished loading. */
+    uint64_t loadCompleteMs() const { return loadCompleteMs_; }
+
+    bool loadComplete() const { return loadCompleteIndex_ != SIZE_MAX; }
+
+    const BrowserThreads &threads() const { return threads_; }
+    JsEngine &js() { return *js_; }
+    Compositor &compositor() { return *compositor_; }
+    Document *document() { return document_.get(); }
+    ImageStore &images() { return *images_; }
+    const LayerTree &layerTree() const { return layerTree_; }
+
+    /** CSS coverage over all sheets (Table I). */
+    uint64_t cssTotalBytes() const;
+    uint64_t cssUsedBytes() const;
+
+    uint64_t pipelineUpdates() const { return pipelineUpdates_; }
+
+  private:
+    void onHtmlLoaded(sim::Ctx &ctx, Resource &res);
+    void onCssLoaded(sim::Ctx &ctx, Resource &res);
+    void onJsLoaded(sim::Ctx &ctx, Resource &res);
+    void onImageLoaded(sim::Ctx &ctx, Resource &res);
+    void resourceDone(sim::Ctx &ctx);
+    void scheduleUpdate(sim::Ctx &ctx);
+    void updateRendering(sim::Ctx &ctx);
+    void maybeMarkLoadComplete(sim::Ctx &ctx);
+    void handleForwardedInput(sim::Ctx &main_ctx, uint32_t id_hash,
+                              uint32_t kind);
+    std::vector<StyleSheet *> sheetPointers() const;
+
+    sim::Machine &machine_;
+    BrowserConfig config_;
+    BrowserThreads threads_;
+
+    std::unique_ptr<TraceLog> traceLog_;
+    std::unique_ptr<Lib> lib_;
+    std::unique_ptr<TracedHeap> heap_;
+    std::unique_ptr<IpcChannel> ipc_;
+    std::unique_ptr<ResourceLoader> loader_;
+    std::unique_ptr<HtmlParser> htmlParser_;
+    std::unique_ptr<CssParser> cssParser_;
+    std::unique_ptr<StyleResolver> styleResolver_;
+    std::unique_ptr<LayoutEngine> layout_;
+    std::unique_ptr<ImageStore> images_;
+    std::unique_ptr<PaintController> paint_;
+    std::unique_ptr<JsEngine> js_;
+    std::unique_ptr<Compositor> compositor_;
+    std::unique_ptr<TaskChannel> inputToMain_;
+
+    trace::FuncId fnNavigate_;
+    trace::FuncId fnHitTest_;
+    trace::FuncId fnUpdate_;
+
+    std::vector<std::unique_ptr<Resource>> resources_;
+    std::unique_ptr<Document> document_;
+    std::vector<std::unique_ptr<StyleSheet>> sheets_;
+    LayerTree layerTree_;
+
+    std::map<std::string, std::pair<ResourceType, std::string>>
+        sitePayloads_;
+
+    size_t outstandingCritical_ = 0; ///< html + css + js still in flight
+    size_t outstandingImages_ = 0;
+    bool initialRenderDone_ = false;
+    bool updateScheduled_ = false;
+    bool needsLayout_ = false;
+    size_t loadCompleteIndex_ = SIZE_MAX;
+    uint64_t loadCompleteMs_ = 0;
+    uint64_t sessionMs_ = 3000;
+    uint64_t pipelineUpdates_ = 0;
+    uint32_t documentHeight_ = 0;
+};
+
+} // namespace browser
+} // namespace webslice
+
+#endif // WEBSLICE_BROWSER_TAB_HH

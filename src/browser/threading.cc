@@ -1,0 +1,122 @@
+#include "browser/threading.hh"
+
+#include "sim/syscalls.hh"
+
+namespace webslice {
+namespace browser {
+
+using sim::Ctx;
+using sim::TracedScope;
+using sim::Value;
+
+// ---- Mutex -----------------------------------------------------------------
+
+Mutex::Mutex(sim::Machine &machine, const char *tag)
+    : fnLock_(machine.registerFunction(
+          std::string("base::threading::Mutex::lock#") + tag)),
+      fnUnlock_(machine.registerFunction(
+          std::string("base::threading::Mutex::unlock#") + tag)),
+      wordAddr_(machine.alloc(4, "mutex"))
+{
+}
+
+void
+Mutex::lock(Ctx &ctx)
+{
+    TracedScope scope(ctx, fnLock_);
+    // Uncontended fast path: load the lock word, verify it is free, mark
+    // it held. The cooperative scheduler never preempts inside a task, so
+    // contention cannot occur; the traffic itself is the point.
+    Value word = ctx.load(wordAddr_, 4);
+    Value free = ctx.isZero(word);
+    if (ctx.branchIf(free)) {
+        Value held = ctx.imm(1);
+        ctx.store(wordAddr_, 4, held);
+    }
+}
+
+void
+Mutex::unlock(Ctx &ctx)
+{
+    TracedScope scope(ctx, fnUnlock_);
+    Value zero = ctx.imm(0);
+    ctx.store(wordAddr_, 4, zero);
+    // Periodically wake a (hypothetical) waiter, mirroring the futex
+    // syscalls visible in real pthread traffic.
+    if (++unlockCount_ % 16 == 0)
+        sim::sysFutex(ctx, wordAddr_);
+}
+
+// ---- TaskChannel -----------------------------------------------------------
+
+TaskChannel::TaskChannel(sim::Machine &machine, trace::ThreadId target,
+                         const char *tag)
+    : machine_(machine), target_(target),
+      fnPost_(machine.registerFunction(
+          std::string("scheduler::TaskQueue::post#") + tag)),
+      fnRun_(machine.registerFunction(
+          std::string("scheduler::MessageLoop::runTask#") + tag)),
+      mutex_(machine, tag),
+      ringAddr_(machine.alloc(kRingSlots * 8, "task-ring")),
+      headAddr_(machine.alloc(8, "task-head")),
+      tailAddr_(machine.alloc(8, "task-tail"))
+{
+}
+
+void
+TaskChannel::enqueue(Ctx &sender, uint64_t payload_addr)
+{
+    TracedScope scope(sender, fnPost_);
+    mutex_.lock(sender);
+    Value head = sender.load(headAddr_, 8);
+    Value slot = sender.umod(head, sender.imm(kRingSlots));
+    Value entry = sender.add(sender.imm(ringAddr_), sender.muli(slot, 8));
+    Value payload = sender.imm(payload_addr);
+    sender.storeVia(entry, 0, 8, payload);
+    Value next = sender.addi(head, 1);
+    sender.store(headAddr_, 8, next);
+    mutex_.unlock(sender);
+}
+
+void
+TaskChannel::runReceiverSide(Ctx &ctx, const Handler &handler)
+{
+    Value payload;
+    {
+        TracedScope scope(ctx, fnRun_);
+        mutex_.lock(ctx);
+        Value tail = ctx.load(tailAddr_, 8);
+        Value slot = ctx.umod(tail, ctx.imm(kRingSlots));
+        Value entry = ctx.add(ctx.imm(ringAddr_), ctx.muli(slot, 8));
+        payload = ctx.loadVia(entry, 0, 8);
+        Value next = ctx.addi(tail, 1);
+        ctx.store(tailAddr_, 8, next);
+        mutex_.unlock(ctx);
+    }
+    ++delivered_;
+    handler(ctx, std::move(payload));
+}
+
+void
+TaskChannel::post(Ctx &sender, uint64_t payload_addr, Handler handler)
+{
+    enqueue(sender, payload_addr);
+    machine_.post(target_, [this, handler = std::move(handler)](Ctx &ctx) {
+        runReceiverSide(ctx, handler);
+    });
+}
+
+void
+TaskChannel::postDelayed(Ctx &sender, uint64_t payload_addr,
+                         uint64_t delay_cycles, Handler handler)
+{
+    enqueue(sender, payload_addr);
+    machine_.postDelayed(
+        target_, delay_cycles,
+        [this, handler = std::move(handler)](Ctx &ctx) {
+            runReceiverSide(ctx, handler);
+        });
+}
+
+} // namespace browser
+} // namespace webslice

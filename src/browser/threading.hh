@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Thread-communication primitives (base::threading:: and scheduler::
+ * namespaces).
+ *
+ * The paper's "Multi-threading" category is dominated by pthread-style
+ * lock traffic, and its "Other" category by event-queue management ("all
+ * threads in Chromium are event-driven in nature"). We model both
+ * honestly: cross-thread task posting writes a task record into a
+ * simulated-memory ring protected by a traced mutex, and the receiving
+ * thread's message loop reads it back before running the handler — so
+ * cross-thread work is data-dependent on its producer exactly as shared
+ * memory makes it in the real browser.
+ */
+
+#ifndef WEBSLICE_BROWSER_THREADING_HH
+#define WEBSLICE_BROWSER_THREADING_HH
+
+#include <functional>
+#include <string>
+
+#include "sim/machine.hh"
+
+namespace webslice {
+namespace browser {
+
+/** Uncontended futex-backed mutex (base::threading::Mutex). */
+class Mutex
+{
+  public:
+    Mutex(sim::Machine &machine, const char *tag);
+
+    /** Acquire: traced load/test/store of the lock word. */
+    void lock(sim::Ctx &ctx);
+
+    /** Release: traced store, with a periodic futex wake syscall. */
+    void unlock(sim::Ctx &ctx);
+
+  private:
+    trace::FuncId fnLock_;
+    trace::FuncId fnUnlock_;
+    uint64_t wordAddr_;
+    uint32_t unlockCount_ = 0;
+};
+
+/**
+ * A cross-thread task pipe: sender writes a payload pointer into a ring
+ * slot, receiver's message loop pops it and invokes the handler with the
+ * (traced) payload pointer value.
+ */
+class TaskChannel
+{
+  public:
+    /** Handler receives the traced payload pointer it was posted. */
+    using Handler = std::function<void(sim::Ctx &, sim::Value payload)>;
+
+    TaskChannel(sim::Machine &machine, trace::ThreadId target,
+                const char *tag);
+
+    /**
+     * Post payload_addr to the target thread. The sender-side queue write
+     * and the receiver-side queue read are both traced, so the handler's
+     * work is data- and control-dependent on the sender.
+     */
+    void post(sim::Ctx &sender, uint64_t payload_addr, Handler handler);
+
+    /** Same, but the task only becomes runnable after delay_ms. */
+    void postDelayed(sim::Ctx &sender, uint64_t payload_addr,
+                     uint64_t delay_cycles, Handler handler);
+
+    /** Tasks delivered so far. */
+    uint64_t deliveredCount() const { return delivered_; }
+
+  private:
+    void enqueue(sim::Ctx &sender, uint64_t payload_addr);
+    void runReceiverSide(sim::Ctx &ctx, const Handler &handler);
+
+    sim::Machine &machine_;
+    trace::ThreadId target_;
+    trace::FuncId fnPost_;
+    trace::FuncId fnRun_;
+    Mutex mutex_;
+    uint64_t ringAddr_;
+    uint64_t headAddr_;
+    uint64_t tailAddr_;
+    uint64_t delivered_ = 0;
+
+    static constexpr uint32_t kRingSlots = 256;
+};
+
+} // namespace browser
+} // namespace webslice
+
+#endif // WEBSLICE_BROWSER_THREADING_HH

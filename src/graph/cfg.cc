@@ -1,0 +1,225 @@
+#include "graph/cfg.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+#include "support/strings.hh"
+#include "trace/trace_file.hh"
+
+namespace webslice {
+namespace graph {
+
+using trace::FuncId;
+using trace::Pc;
+using trace::Record;
+using trace::RecordKind;
+
+NodeId
+Cfg::nodeFor(Pc pc)
+{
+    auto it = pcNode.find(pc);
+    if (it != pcNode.end())
+        return it->second;
+    const NodeId id = static_cast<NodeId>(nodePc.size());
+    nodePc.push_back(pc);
+    pcNode.emplace(pc, id);
+    succs.emplace_back();
+    preds.emplace_back();
+    isBranch.push_back(false);
+    return id;
+}
+
+NodeId
+Cfg::findNode(Pc pc) const
+{
+    auto it = pcNode.find(pc);
+    return it == pcNode.end() ? kNoNode : it->second;
+}
+
+void
+Cfg::addEdge(NodeId a, NodeId b)
+{
+    auto &out = succs[a];
+    if (std::find(out.begin(), out.end(), b) != out.end())
+        return;
+    out.push_back(b);
+    preds[b].push_back(a);
+}
+
+std::string
+CfgSet::functionName(FuncId id, const trace::SymbolTable &symtab) const
+{
+    auto it = syntheticNames.find(id);
+    if (it != syntheticNames.end())
+        return it->second;
+    if (id < symtab.functionCount())
+        return symtab.symbol(id).name;
+    return format("<unknown:%u>", id);
+}
+
+// ---- CfgBuilder -------------------------------------------------------------
+
+CfgBuilder::CfgBuilder(const trace::SymbolTable &symtab)
+    : symtab_(symtab)
+{
+    out_.firstSynthetic = static_cast<FuncId>(symtab.functionCount());
+    nextSynthetic_ = out_.firstSynthetic;
+}
+
+Cfg &
+CfgBuilder::cfgFor(FuncId func)
+{
+    auto [it, inserted] = out_.byFunc.try_emplace(func);
+    if (inserted) {
+        Cfg &cfg = it->second;
+        cfg.func = func;
+        // Reserve entry and exit.
+        cfg.nodePc.assign(2, trace::kNoPc);
+        cfg.succs.assign(2, {});
+        cfg.preds.assign(2, {});
+        cfg.isBranch.assign(2, false);
+    }
+    return it->second;
+}
+
+CfgBuilder::Frame &
+CfgBuilder::topFrame(trace::ThreadId tid)
+{
+    auto &stack = threads_[tid];
+    if (stack.empty()) {
+        const FuncId synthetic = nextSynthetic_++;
+        out_.syntheticNames[synthetic] = format("<toplevel:tid%u>", tid);
+        cfgFor(synthetic);
+        stack.push_back(Frame{synthetic, Cfg::kEntry});
+    }
+    return stack.back();
+}
+
+FuncId
+CfgBuilder::step(trace::ThreadId tid, Pc pc, bool is_branch)
+{
+    Frame &frame = topFrame(tid);
+    Cfg &cfg = cfgFor(frame.func);
+    const NodeId node = cfg.nodeFor(pc);
+    if (is_branch)
+        cfg.isBranch[node] = true;
+    const NodeId from =
+        frame.lastNode == kNoNode ? Cfg::kEntry : frame.lastNode;
+    cfg.addEdge(from, node);
+    frame.lastNode = node;
+    return frame.func;
+}
+
+void
+CfgBuilder::feed(const Record &rec)
+{
+    panic_if(finished_, "feed after finish");
+
+    if (rec.isPseudo()) {
+        // Inherit the enclosing function of the preceding syscall.
+        out_.funcOf.push_back(out_.funcOf.empty() ? trace::kNoFunc
+                                                  : out_.funcOf.back());
+        return;
+    }
+
+    switch (rec.kind) {
+      case RecordKind::Call: {
+        // The call instruction itself belongs to the caller.
+        out_.funcOf.push_back(step(rec.tid, rec.pc, false));
+
+        FuncId callee =
+            symtab_.functionAtEntry(static_cast<Pc>(rec.addr));
+        if (callee == trace::kNoFunc) {
+            // Call into an unregistered target: synthesize a function.
+            callee = nextSynthetic_++;
+            out_.syntheticNames[callee] = format(
+                "<anon:pc%llu>",
+                static_cast<unsigned long long>(rec.addr));
+        }
+        cfgFor(callee);
+        threads_[rec.tid].push_back(Frame{callee, kNoNode});
+        break;
+      }
+
+      case RecordKind::Ret: {
+        auto &stack = threads_[rec.tid];
+        if (stack.empty()) {
+            // Trace began mid-function; treat as toplevel glue.
+            out_.funcOf.push_back(step(rec.tid, rec.pc, false));
+            break;
+        }
+        Frame &frame = stack.back();
+        Cfg &cfg = cfgFor(frame.func);
+        const NodeId node = cfg.nodeFor(rec.pc);
+        const NodeId from =
+            frame.lastNode == kNoNode ? Cfg::kEntry : frame.lastNode;
+        cfg.addEdge(from, node);
+        cfg.addEdge(node, Cfg::kExit);
+        out_.funcOf.push_back(frame.func);
+        stack.pop_back();
+        break;
+      }
+
+      default:
+        out_.funcOf.push_back(
+            step(rec.tid, rec.pc, rec.kind == RecordKind::Branch));
+        break;
+    }
+}
+
+CfgSet
+CfgBuilder::finish()
+{
+    panic_if(finished_, "finish called twice");
+    finished_ = true;
+
+    // Close any frames still open at the end of the trace so every node
+    // can reach the virtual exit (postdominators need this).
+    for (auto &kv : threads_) {
+        for (auto it = kv.second.rbegin(); it != kv.second.rend(); ++it) {
+            Cfg &cfg = out_.byFunc.at(it->func);
+            const NodeId from =
+                it->lastNode == kNoNode ? Cfg::kEntry : it->lastNode;
+            cfg.addEdge(from, Cfg::kExit);
+        }
+    }
+
+    // Defensive: any node with no successors (shouldn't happen after the
+    // close-out above, but keeps postdominator computation total).
+    for (auto &kv : out_.byFunc) {
+        Cfg &cfg = kv.second;
+        for (size_t n = 0; n < cfg.nodeCount(); ++n) {
+            if (n != static_cast<size_t>(Cfg::kExit) &&
+                cfg.succs[n].empty()) {
+                cfg.addEdge(static_cast<NodeId>(n), Cfg::kExit);
+            }
+        }
+    }
+
+    return std::move(out_);
+}
+
+CfgSet
+buildCfgs(std::span<const Record> records,
+          const trace::SymbolTable &symtab)
+{
+    CfgBuilder builder(symtab);
+    for (const auto &rec : records)
+        builder.feed(rec);
+    return builder.finish();
+}
+
+CfgSet
+buildCfgsFromFile(const std::string &path,
+                  const trace::SymbolTable &symtab)
+{
+    CfgBuilder builder(symtab);
+    trace::ForwardTraceReader reader(path);
+    Record rec;
+    while (reader.next(rec))
+        builder.feed(rec);
+    return builder.finish();
+}
+
+} // namespace graph
+} // namespace webslice

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Dynamic control flow graph reconstruction (the profiler's forward pass,
+ * part 1).
+ *
+ * As in the paper, CFGs must be rebuilt from the dynamic instruction trace:
+ * indirect control transfer targets are only known at runtime. Function
+ * boundaries are recovered by matching Call and Ret records on a per-thread
+ * stack; every static pc observed between a function's Call and its Ret (at
+ * the same depth) becomes a node of that function's CFG, and each CFG gets
+ * its own virtual entry and exit nodes.
+ *
+ * Records executed outside any traced function (thread run-loop glue) are
+ * attributed to one synthetic "toplevel" function per thread.
+ */
+
+#ifndef WEBSLICE_GRAPH_CFG_HH
+#define WEBSLICE_GRAPH_CFG_HH
+
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/record.hh"
+#include "trace/symtab.hh"
+
+namespace webslice {
+namespace graph {
+
+/** Dense node index within one function's CFG. */
+using NodeId = int32_t;
+constexpr NodeId kNoNode = -1;
+
+/** One function's control flow graph at instruction (pc) granularity. */
+struct Cfg
+{
+    /** Conventional node indices. */
+    static constexpr NodeId kEntry = 0;
+    static constexpr NodeId kExit = 1;
+
+    trace::FuncId func = trace::kNoFunc;
+
+    /** Node -> pc; entry/exit map to kNoPc. */
+    std::vector<trace::Pc> nodePc;
+
+    /** pc -> node. */
+    std::unordered_map<trace::Pc, NodeId> pcNode;
+
+    std::vector<std::vector<NodeId>> succs;
+    std::vector<std::vector<NodeId>> preds;
+
+    /** Nodes whose pc carried a Branch record at least once. */
+    std::vector<bool> isBranch;
+
+    /** Get or create the node for a pc. */
+    NodeId nodeFor(trace::Pc pc);
+
+    /** Existing node for a pc, or kNoNode. */
+    NodeId findNode(trace::Pc pc) const;
+
+    /** Add edge a -> b if not already present. */
+    void addEdge(NodeId a, NodeId b);
+
+    size_t nodeCount() const { return nodePc.size(); }
+};
+
+/** The full set of per-function CFGs plus per-record attribution. */
+struct CfgSet
+{
+    /** CFGs keyed by function id (including synthetic toplevels). */
+    std::unordered_map<trace::FuncId, Cfg> byFunc;
+
+    /**
+     * Enclosing function of each trace record (parallel to the record
+     * array). Pseudo-records inherit their syscall's function.
+     */
+    std::vector<trace::FuncId> funcOf;
+
+    /** Names of synthetic toplevel functions, keyed by their ids. */
+    std::unordered_map<trace::FuncId, std::string> syntheticNames;
+
+    /** First id used for synthetic functions. */
+    trace::FuncId firstSynthetic = trace::kNoFunc;
+
+    /** Readable name for any function id this set knows about. */
+    std::string functionName(trace::FuncId id,
+                             const trace::SymbolTable &symtab) const;
+};
+
+/**
+ * Incremental forward-pass CFG builder: feed records first-to-last, then
+ * take the finished CfgSet. Both the in-memory and the file-streaming
+ * front ends drive this.
+ */
+class CfgBuilder
+{
+  public:
+    explicit CfgBuilder(const trace::SymbolTable &symtab);
+
+    /** Consume the next record (records must arrive in trace order). */
+    void feed(const trace::Record &record);
+
+    /** Close open frames and return the result; the builder is spent. */
+    CfgSet finish();
+
+  private:
+    struct Frame
+    {
+        trace::FuncId func = trace::kNoFunc;
+        NodeId lastNode = kNoNode;
+    };
+
+    Cfg &cfgFor(trace::FuncId func);
+    Frame &topFrame(trace::ThreadId tid);
+    trace::FuncId step(trace::ThreadId tid, trace::Pc pc, bool is_branch);
+
+    const trace::SymbolTable &symtab_;
+    CfgSet out_;
+    std::unordered_map<trace::ThreadId, std::vector<Frame>> threads_;
+    trace::FuncId nextSynthetic_;
+    bool finished_ = false;
+};
+
+/**
+ * Build per-function CFGs from an in-memory dynamic trace (the forward
+ * pass).
+ *
+ * @param records  the dynamic trace
+ * @param symtab   symbol table mapping call targets to functions
+ */
+CfgSet buildCfgs(std::span<const trace::Record> records,
+                 const trace::SymbolTable &symtab);
+
+/**
+ * Forward pass over a trace file, streamed in blocks: peak memory is the
+ * CFGs plus one per-record function id, not the records themselves.
+ */
+CfgSet buildCfgsFromFile(const std::string &path,
+                         const trace::SymbolTable &symtab);
+
+} // namespace graph
+} // namespace webslice
+
+#endif // WEBSLICE_GRAPH_CFG_HH

@@ -1,0 +1,122 @@
+#include "graph/control_deps.hh"
+
+#include <algorithm>
+#include <fstream>
+
+#include "graph/postdom.hh"
+#include "support/logging.hh"
+
+namespace webslice {
+namespace graph {
+
+using trace::FuncId;
+using trace::Pc;
+
+std::span<const Pc>
+ControlDepMap::depsOf(FuncId func, Pc pc) const
+{
+    auto it = deps_.find(key(func, pc));
+    if (it == deps_.end())
+        return {};
+    return it->second;
+}
+
+void
+ControlDepMap::add(FuncId func, Pc pc, Pc branch_pc)
+{
+    auto &list = deps_[key(func, pc)];
+    if (std::find(list.begin(), list.end(), branch_pc) == list.end())
+        list.push_back(branch_pc);
+}
+
+size_t
+ControlDepMap::pairCount() const
+{
+    size_t total = 0;
+    for (const auto &kv : deps_)
+        total += kv.second.size();
+    return total;
+}
+
+void
+ControlDepMap::save(const std::string &path) const
+{
+    std::ofstream out(path);
+    fatal_if(!out, "cannot write control-dependence map to ", path);
+    out << "webcdg 1\n";
+    for (const auto &kv : deps_) {
+        out << (kv.first >> 32) << ' '
+            << (kv.first & 0xFFFFFFFFull) << ' ' << kv.second.size();
+        for (const Pc branch : kv.second)
+            out << ' ' << branch;
+        out << '\n';
+    }
+    fatal_if(!out, "short write saving control-dependence map to ", path);
+}
+
+void
+ControlDepMap::load(const std::string &path)
+{
+    std::ifstream in(path);
+    fatal_if(!in, "cannot read control-dependence map from ", path);
+    std::string magic;
+    int version = 0;
+    in >> magic >> version;
+    fatal_if(magic != "webcdg" || version != 1,
+             "bad control-dependence map header in ", path);
+
+    deps_.clear();
+    uint64_t func = 0, pc = 0;
+    size_t count = 0;
+    while (in >> func >> pc >> count) {
+        auto &list = deps_[key(static_cast<FuncId>(func),
+                               static_cast<Pc>(pc))];
+        list.resize(count);
+        for (size_t i = 0; i < count; ++i)
+            in >> list[i];
+    }
+}
+
+ControlDepMap
+buildControlDeps(const CfgSet &cfgs)
+{
+    ControlDepMap out;
+
+    for (const auto &kv : cfgs.byFunc) {
+        const Cfg &cfg = kv.second;
+        if (cfg.nodeCount() <= 2)
+            continue;
+
+        const std::vector<NodeId> ipdom = computePostdoms(cfg);
+
+        for (size_t a = 0; a < cfg.nodeCount(); ++a) {
+            // Only executed Branch records can control other instructions;
+            // multi-successor shapes from merged call paths are noise.
+            if (!cfg.isBranch[a] || cfg.succs[a].size() < 2)
+                continue;
+            const NodeId node_a = static_cast<NodeId>(a);
+            const Pc branch_pc = cfg.nodePc[a];
+
+            for (const NodeId succ : cfg.succs[node_a]) {
+                // Walk the postdominator tree from succ up to (exclusive)
+                // ipdom(a); every node on the way is control-dependent
+                // on a.
+                NodeId t = succ;
+                size_t guard = 0;
+                while (t != kNoNode && t != ipdom[node_a] &&
+                       t != Cfg::kExit) {
+                    if (cfg.nodePc[t] != trace::kNoPc) {
+                        out.add(cfg.func, cfg.nodePc[t], branch_pc);
+                    }
+                    t = ipdom[t];
+                    panic_if(++guard > cfg.nodeCount(),
+                             "postdominator walk did not terminate");
+                }
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace graph
+} // namespace webslice

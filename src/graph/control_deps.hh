@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Control dependence graph (the profiler's forward pass, part 3).
+ *
+ * Following Ferrante/Ottenstein/Warren: a node t is control-dependent on a
+ * branch a iff a has successors s1, s2 such that t postdominates s1 but not
+ * s2 — equivalently, for every CFG edge (a, s) where s does not postdominate
+ * a, every node on the postdominator-tree path from s up to (exclusive)
+ * ipdom(a) is control-dependent on a.
+ *
+ * We record dependences only on nodes that executed a Branch record; the
+ * paper's backward pass needs "which branches must join the slice when this
+ * instruction does", and only branches have condition variables to make
+ * live.
+ *
+ * The resulting map can be saved to disk and reused across backward passes
+ * with different slicing criteria, as the paper notes.
+ */
+
+#ifndef WEBSLICE_GRAPH_CONTROL_DEPS_HH
+#define WEBSLICE_GRAPH_CONTROL_DEPS_HH
+
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/cfg.hh"
+
+namespace webslice {
+namespace graph {
+
+/** (function, pc) -> controlling branch pcs within that function. */
+class ControlDepMap
+{
+  public:
+    /** Branch pcs the instruction at (func, pc) is control-dependent on. */
+    std::span<const trace::Pc> depsOf(trace::FuncId func,
+                                      trace::Pc pc) const;
+
+    /** Add one dependence (deduplicated). */
+    void add(trace::FuncId func, trace::Pc pc, trace::Pc branch_pc);
+
+    /** Total number of (instruction, branch) dependence pairs. */
+    size_t pairCount() const;
+
+    /** Number of instructions with at least one dependence. */
+    size_t nodeCount() const { return deps_.size(); }
+
+    /** Persist to a text file so backward passes can reuse it. */
+    void save(const std::string &path) const;
+
+    /** Load a map previously written by save(); replaces contents. */
+    void load(const std::string &path);
+
+  private:
+    static uint64_t
+    key(trace::FuncId func, trace::Pc pc)
+    {
+        return (static_cast<uint64_t>(func) << 32) | pc;
+    }
+
+    std::unordered_map<uint64_t, std::vector<trace::Pc>> deps_;
+};
+
+/** Compute control dependences for every CFG in the set. */
+ControlDepMap buildControlDeps(const CfgSet &cfgs);
+
+} // namespace graph
+} // namespace webslice
+
+#endif // WEBSLICE_GRAPH_CONTROL_DEPS_HH

@@ -1,0 +1,114 @@
+#include "graph/postdom.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace webslice {
+namespace graph {
+
+namespace {
+
+/**
+ * Reverse postorder of the reversed CFG, rooted at exit (iterative DFS;
+ * the traversal follows predecessor edges of the original graph).
+ */
+std::vector<NodeId>
+reversedRpo(const Cfg &cfg)
+{
+    std::vector<NodeId> order;
+    std::vector<uint8_t> state(cfg.nodeCount(), 0); // 0 new, 1 open, 2 done
+    std::vector<std::pair<NodeId, size_t>> stack;
+
+    stack.emplace_back(Cfg::kExit, 0);
+    state[Cfg::kExit] = 1;
+    while (!stack.empty()) {
+        auto &[node, next] = stack.back();
+        const auto &edges = cfg.preds[node];
+        if (next < edges.size()) {
+            const NodeId child = edges[next++];
+            if (state[child] == 0) {
+                state[child] = 1;
+                stack.emplace_back(child, 0);
+            }
+        } else {
+            state[node] = 2;
+            order.push_back(node);
+            stack.pop_back();
+        }
+    }
+    std::reverse(order.begin(), order.end());
+    return order;
+}
+
+} // namespace
+
+std::vector<NodeId>
+computePostdoms(const Cfg &cfg)
+{
+    const size_t n = cfg.nodeCount();
+    std::vector<NodeId> ipdom(n, kNoNode);
+    if (n == 0)
+        return ipdom;
+
+    const std::vector<NodeId> order = reversedRpo(cfg);
+    std::vector<int32_t> rpoIndex(n, -1);
+    for (size_t i = 0; i < order.size(); ++i)
+        rpoIndex[order[i]] = static_cast<int32_t>(i);
+
+    ipdom[Cfg::kExit] = Cfg::kExit;
+
+    // Intersect in the reversed graph's dominance order: higher rpo index
+    // means farther from the exit.
+    auto intersect = [&](NodeId a, NodeId b) {
+        while (a != b) {
+            while (rpoIndex[a] > rpoIndex[b])
+                a = ipdom[a];
+            while (rpoIndex[b] > rpoIndex[a])
+                b = ipdom[b];
+        }
+        return a;
+    };
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (const NodeId node : order) {
+            if (node == Cfg::kExit)
+                continue;
+            // Predecessors in the reversed graph are successors in the
+            // original CFG.
+            NodeId new_idom = kNoNode;
+            for (const NodeId succ : cfg.succs[node]) {
+                if (rpoIndex[succ] < 0)
+                    continue; // cannot reach exit
+                if (ipdom[succ] == kNoNode && succ != Cfg::kExit)
+                    continue; // not yet processed
+                new_idom = new_idom == kNoNode ? succ
+                                               : intersect(new_idom, succ);
+            }
+            if (new_idom != kNoNode && ipdom[node] != new_idom) {
+                ipdom[node] = new_idom;
+                changed = true;
+            }
+        }
+    }
+    return ipdom;
+}
+
+bool
+postdominates(const std::vector<NodeId> &ipdom, NodeId a, NodeId b)
+{
+    // Walk b's postdominator chain towards the exit looking for a.
+    NodeId t = b;
+    while (true) {
+        if (t == a)
+            return true;
+        if (t == kNoNode || t == ipdom[t])
+            return t == a;
+        t = ipdom[t];
+    }
+}
+
+} // namespace graph
+} // namespace webslice

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Postdominator computation (the profiler's forward pass, part 2).
+ *
+ * A node n postdominates m iff every path from m to the CFG's virtual exit
+ * passes through n. We compute immediate postdominators with the
+ * Cooper–Harvey–Kennedy iterative dominance algorithm applied to the
+ * reversed CFG rooted at the exit node.
+ */
+
+#ifndef WEBSLICE_GRAPH_POSTDOM_HH
+#define WEBSLICE_GRAPH_POSTDOM_HH
+
+#include <vector>
+
+#include "graph/cfg.hh"
+
+namespace webslice {
+namespace graph {
+
+/**
+ * Immediate postdominator of every node of cfg.
+ *
+ * @return ipdom indexed by node; ipdom[exit] == exit; nodes that cannot
+ *         reach the exit (which buildCfgs prevents) get kNoNode.
+ */
+std::vector<NodeId> computePostdoms(const Cfg &cfg);
+
+/** True iff a postdominates b under the given ipdom tree. */
+bool postdominates(const std::vector<NodeId> &ipdom, NodeId a, NodeId b);
+
+} // namespace graph
+} // namespace webslice
+
+#endif // WEBSLICE_GRAPH_POSTDOM_HH

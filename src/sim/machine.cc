@@ -1,0 +1,559 @@
+#include "sim/machine.hh"
+
+#include "support/logging.hh"
+
+namespace webslice {
+namespace sim {
+
+using trace::kNoReg;
+using trace::Record;
+using trace::RecordKind;
+
+// ---- Value -----------------------------------------------------------------
+
+void
+Value::moveFrom(Value &other)
+{
+    machine_ = other.machine_;
+    tid_ = other.tid_;
+    reg_ = other.reg_;
+    concrete_ = other.concrete_;
+    other.machine_ = nullptr;
+    other.reg_ = kNoReg;
+}
+
+void
+Value::release()
+{
+    if (machine_) {
+        machine_->freeReg(tid_, reg_);
+        machine_ = nullptr;
+        reg_ = kNoReg;
+    }
+}
+
+// ---- Machine ---------------------------------------------------------------
+
+Machine::Machine(MachineConfig config) : config_(config)
+{
+    records_.reserve(1 << 20);
+}
+
+trace::ThreadId
+Machine::addThread(std::string name)
+{
+    const auto tid = static_cast<trace::ThreadId>(threads_.size());
+    Thread thread;
+    thread.name = std::move(name);
+    thread.timeline = TimeSeries(config_.timelineBucket);
+    threads_.push_back(std::move(thread));
+    return tid;
+}
+
+const std::string &
+Machine::threadName(trace::ThreadId tid) const
+{
+    panic_if(tid >= threads_.size(), "bad thread id ", tid);
+    return threads_[tid].name;
+}
+
+Machine::Thread &
+Machine::thread(trace::ThreadId tid)
+{
+    panic_if(tid >= threads_.size(), "bad thread id ", tid);
+    return threads_[tid];
+}
+
+trace::FuncId
+Machine::registerFunction(std::string qualified_name)
+{
+    const trace::Pc entry = nextPc_;
+    nextPc_ += 4;
+    const trace::Pc ret = nextPc_;
+    nextPc_ += 4;
+    const trace::FuncId id =
+        symtab_.addFunction(entry, std::move(qualified_name));
+    panic_if(id != funcRetPc_.size(), "function id sequence broken");
+    funcRetPc_.push_back(ret);
+    symtab_.assignPc(ret, id);
+    return id;
+}
+
+trace::Pc
+Machine::functionEntry(trace::FuncId id) const
+{
+    return symtab_.symbol(id).entryPc;
+}
+
+void
+Machine::post(trace::ThreadId tid, Task task)
+{
+    thread(tid).runQueue.push_back(std::move(task));
+}
+
+void
+Machine::postDelayed(trace::ThreadId tid, uint64_t delay, Task task)
+{
+    const uint64_t seq = delayedSeq_++;
+    delayed_.push(DelayedTask{clock_ + delay, seq, tid});
+    delayedBodies_[seq] = std::move(task);
+}
+
+void
+Machine::run()
+{
+    while (true) {
+        // Release delayed tasks whose time has come into their thread's
+        // run queue.
+        while (!delayed_.empty() && delayed_.top().readyAt <= clock_) {
+            const DelayedTask top = delayed_.top();
+            delayed_.pop();
+            auto it = delayedBodies_.find(top.seq);
+            thread(top.tid).runQueue.push_back(std::move(it->second));
+            delayedBodies_.erase(it);
+        }
+
+        // Round-robin across threads with runnable tasks.
+        bool ran = false;
+        for (size_t i = 0; i < threads_.size(); ++i) {
+            const size_t idx = (rrCursor_ + i) % threads_.size();
+            auto &queue = threads_[idx].runQueue;
+            if (queue.empty())
+                continue;
+            Task task = std::move(queue.front());
+            queue.pop_front();
+            rrCursor_ = idx + 1;
+            Ctx ctx(*this, static_cast<trace::ThreadId>(idx));
+            task(ctx);
+            ran = true;
+            break;
+        }
+        if (ran)
+            continue;
+
+        // Nothing runnable: jump the clock to the next delayed task, or
+        // stop when there is none (this models the idle gaps visible in
+        // the paper's Figure 2 utilization plot).
+        if (delayed_.empty())
+            break;
+        clock_ = std::max(clock_, delayed_.top().readyAt);
+    }
+}
+
+trace::RegId
+Machine::allocReg(trace::ThreadId tid)
+{
+    Thread &t = thread(tid);
+    if (!t.freeRegs.empty()) {
+        const trace::RegId reg = t.freeRegs.back();
+        t.freeRegs.pop_back();
+        return reg;
+    }
+    panic_if(t.nextReg == kNoReg - 1,
+             "thread ", tid, " exhausted its virtual registers");
+    return t.nextReg++;
+}
+
+void
+Machine::freeReg(trace::ThreadId tid, trace::RegId reg)
+{
+    thread(tid).freeRegs.push_back(reg);
+}
+
+trace::Pc
+Machine::sitePc(const std::source_location &loc)
+{
+    const SiteKey key{loc.file_name(), loc.line(), loc.column()};
+    auto it = sites_.find(key);
+    if (it != sites_.end())
+        return it->second;
+    const trace::Pc pc = nextPc_;
+    nextPc_ += 4;
+    sites_.emplace(key, pc);
+    return pc;
+}
+
+void
+Machine::emit(Record rec)
+{
+    panic_if(records_.size() >= config_.maxRecords,
+             "trace exceeded the configured record cap");
+    Thread &t = thread(rec.tid);
+    if (!t.funcStack.empty())
+        symtab_.assignPc(rec.pc, t.funcStack.back());
+    if (!rec.isPseudo()) {
+        ++instructionCount_;
+        t.timeline.add(clock_, 1.0);
+        ++clock_;
+    }
+    records_.push_back(rec);
+}
+
+const TimeSeries &
+Machine::threadTimeline(trace::ThreadId tid) const
+{
+    panic_if(tid >= threads_.size(), "bad thread id ", tid);
+    return threads_[tid].timeline;
+}
+
+// ---- Ctx -------------------------------------------------------------------
+
+namespace {
+
+Record
+baseRecord(trace::ThreadId tid, trace::Pc pc, RecordKind kind)
+{
+    Record rec;
+    rec.tid = tid;
+    rec.pc = pc;
+    rec.kind = kind;
+    return rec;
+}
+
+} // namespace
+
+Value
+Ctx::imm(uint64_t v, Loc loc)
+{
+    const trace::RegId rw = machine_.allocReg(tid_);
+    Record rec = baseRecord(tid_, machine_.sitePc(loc), RecordKind::LoadImm);
+    rec.rw = rw;
+    machine_.emit(rec);
+    return Value(&machine_, tid_, rw, v);
+}
+
+Value
+Ctx::copy(const Value &a, Loc loc)
+{
+    return alu1(a, a.get(), loc);
+}
+
+Value
+Ctx::alu1(const Value &a, uint64_t result, Loc loc)
+{
+    const trace::RegId rw = machine_.allocReg(tid_);
+    Record rec = baseRecord(tid_, machine_.sitePc(loc), RecordKind::Alu);
+    rec.rr0 = a.reg();
+    rec.rw = rw;
+    machine_.emit(rec);
+    return Value(&machine_, tid_, rw, result);
+}
+
+Value
+Ctx::alu2(const Value &a, const Value &b, uint64_t result, Loc loc)
+{
+    const trace::RegId rw = machine_.allocReg(tid_);
+    Record rec = baseRecord(tid_, machine_.sitePc(loc), RecordKind::Alu);
+    rec.rr0 = a.reg();
+    rec.rr1 = b.reg();
+    rec.rw = rw;
+    machine_.emit(rec);
+    return Value(&machine_, tid_, rw, result);
+}
+
+Value
+Ctx::alu3(const Value &a, const Value &b, const Value &c, uint64_t result,
+          Loc loc)
+{
+    const trace::RegId rw = machine_.allocReg(tid_);
+    Record rec = baseRecord(tid_, machine_.sitePc(loc), RecordKind::Alu);
+    rec.rr0 = a.reg();
+    rec.rr1 = b.reg();
+    rec.rr2 = c.reg();
+    rec.rw = rw;
+    machine_.emit(rec);
+    return Value(&machine_, tid_, rw, result);
+}
+
+Value
+Ctx::add(const Value &a, const Value &b, Loc loc)
+{
+    return alu2(a, b, a.get() + b.get(), loc);
+}
+
+Value
+Ctx::sub(const Value &a, const Value &b, Loc loc)
+{
+    return alu2(a, b, a.get() - b.get(), loc);
+}
+
+Value
+Ctx::mul(const Value &a, const Value &b, Loc loc)
+{
+    return alu2(a, b, a.get() * b.get(), loc);
+}
+
+Value
+Ctx::udiv(const Value &a, const Value &b, Loc loc)
+{
+    return alu2(a, b, b.get() ? a.get() / b.get() : 0, loc);
+}
+
+Value
+Ctx::umod(const Value &a, const Value &b, Loc loc)
+{
+    return alu2(a, b, b.get() ? a.get() % b.get() : 0, loc);
+}
+
+Value
+Ctx::band(const Value &a, const Value &b, Loc loc)
+{
+    return alu2(a, b, a.get() & b.get(), loc);
+}
+
+Value
+Ctx::bor(const Value &a, const Value &b, Loc loc)
+{
+    return alu2(a, b, a.get() | b.get(), loc);
+}
+
+Value
+Ctx::bxor(const Value &a, const Value &b, Loc loc)
+{
+    return alu2(a, b, a.get() ^ b.get(), loc);
+}
+
+Value
+Ctx::shl(const Value &a, const Value &b, Loc loc)
+{
+    return alu2(a, b, a.get() << (b.get() & 63), loc);
+}
+
+Value
+Ctx::shr(const Value &a, const Value &b, Loc loc)
+{
+    return alu2(a, b, a.get() >> (b.get() & 63), loc);
+}
+
+Value
+Ctx::addi(const Value &a, int64_t k, Loc loc)
+{
+    return alu1(a, a.get() + static_cast<uint64_t>(k), loc);
+}
+
+Value
+Ctx::muli(const Value &a, uint64_t k, Loc loc)
+{
+    return alu1(a, a.get() * k, loc);
+}
+
+Value
+Ctx::andi(const Value &a, uint64_t k, Loc loc)
+{
+    return alu1(a, a.get() & k, loc);
+}
+
+Value
+Ctx::shli(const Value &a, unsigned k, Loc loc)
+{
+    return alu1(a, a.get() << (k & 63), loc);
+}
+
+Value
+Ctx::shri(const Value &a, unsigned k, Loc loc)
+{
+    return alu1(a, a.get() >> (k & 63), loc);
+}
+
+Value
+Ctx::eq(const Value &a, const Value &b, Loc loc)
+{
+    return alu2(a, b, a.get() == b.get() ? 1 : 0, loc);
+}
+
+Value
+Ctx::ne(const Value &a, const Value &b, Loc loc)
+{
+    return alu2(a, b, a.get() != b.get() ? 1 : 0, loc);
+}
+
+Value
+Ctx::ltu(const Value &a, const Value &b, Loc loc)
+{
+    return alu2(a, b, a.get() < b.get() ? 1 : 0, loc);
+}
+
+Value
+Ctx::leu(const Value &a, const Value &b, Loc loc)
+{
+    return alu2(a, b, a.get() <= b.get() ? 1 : 0, loc);
+}
+
+Value
+Ctx::gtu(const Value &a, const Value &b, Loc loc)
+{
+    return alu2(a, b, a.get() > b.get() ? 1 : 0, loc);
+}
+
+Value
+Ctx::geu(const Value &a, const Value &b, Loc loc)
+{
+    return alu2(a, b, a.get() >= b.get() ? 1 : 0, loc);
+}
+
+Value
+Ctx::eqi(const Value &a, uint64_t k, Loc loc)
+{
+    return alu1(a, a.get() == k ? 1 : 0, loc);
+}
+
+Value
+Ctx::ltui(const Value &a, uint64_t k, Loc loc)
+{
+    return alu1(a, a.get() < k ? 1 : 0, loc);
+}
+
+Value
+Ctx::isZero(const Value &a, Loc loc)
+{
+    return alu1(a, a.get() == 0 ? 1 : 0, loc);
+}
+
+Value
+Ctx::select(const Value &cond, const Value &a, const Value &b, Loc loc)
+{
+    return alu3(cond, a, b, cond.get() ? a.get() : b.get(), loc);
+}
+
+Value
+Ctx::load(uint64_t addr, unsigned size, Loc loc)
+{
+    const uint64_t value = machine_.mem().read(addr, size);
+    const trace::RegId rw = machine_.allocReg(tid_);
+    Record rec = baseRecord(tid_, machine_.sitePc(loc), RecordKind::Load);
+    rec.addr = addr;
+    rec.aux = size;
+    rec.rw = rw;
+    machine_.emit(rec);
+    return Value(&machine_, tid_, rw, value);
+}
+
+Value
+Ctx::loadVia(const Value &base, int64_t offset, unsigned size, Loc loc)
+{
+    const uint64_t addr = base.get() + static_cast<uint64_t>(offset);
+    const uint64_t value = machine_.mem().read(addr, size);
+    const trace::RegId rw = machine_.allocReg(tid_);
+    Record rec = baseRecord(tid_, machine_.sitePc(loc), RecordKind::Load);
+    rec.addr = addr;
+    rec.aux = size;
+    rec.rr0 = base.reg();
+    rec.rw = rw;
+    machine_.emit(rec);
+    return Value(&machine_, tid_, rw, value);
+}
+
+void
+Ctx::store(uint64_t addr, unsigned size, const Value &v, Loc loc)
+{
+    machine_.mem().write(addr, size, v.get());
+    Record rec = baseRecord(tid_, machine_.sitePc(loc), RecordKind::Store);
+    rec.addr = addr;
+    rec.aux = size;
+    rec.rr0 = v.reg();
+    machine_.emit(rec);
+}
+
+void
+Ctx::storeVia(const Value &base, int64_t offset, unsigned size,
+              const Value &v, Loc loc)
+{
+    const uint64_t addr = base.get() + static_cast<uint64_t>(offset);
+    machine_.mem().write(addr, size, v.get());
+    Record rec = baseRecord(tid_, machine_.sitePc(loc), RecordKind::Store);
+    rec.addr = addr;
+    rec.aux = size;
+    rec.rr0 = v.reg();
+    rec.rr1 = base.reg();
+    machine_.emit(rec);
+}
+
+bool
+Ctx::branchIf(const Value &cond, Loc loc)
+{
+    const bool taken = cond.get() != 0;
+    Record rec = baseRecord(tid_, machine_.sitePc(loc), RecordKind::Branch);
+    rec.rr0 = cond.reg();
+    if (taken)
+        rec.flags |= trace::kFlagTaken;
+    machine_.emit(rec);
+    return taken;
+}
+
+Value
+Ctx::syscall(uint32_t number, uint64_t result,
+             std::span<const trace::MemRange> reads,
+             std::span<const trace::MemRange> writes, Loc loc)
+{
+    const trace::RegId rw = machine_.allocReg(tid_);
+    Record rec = baseRecord(tid_, machine_.sitePc(loc), RecordKind::Syscall);
+    rec.aux = number;
+    rec.rw = rw;
+    machine_.emit(rec);
+
+    for (const auto &range : reads) {
+        Record eff =
+            baseRecord(tid_, rec.pc, RecordKind::SyscallRead);
+        eff.addr = range.addr;
+        eff.aux = static_cast<uint32_t>(range.size);
+        machine_.emit(eff);
+    }
+    for (const auto &range : writes) {
+        Record eff =
+            baseRecord(tid_, rec.pc, RecordKind::SyscallWrite);
+        eff.addr = range.addr;
+        eff.aux = static_cast<uint32_t>(range.size);
+        machine_.emit(eff);
+    }
+    return Value(&machine_, tid_, rw, result);
+}
+
+uint32_t
+Ctx::marker(std::span<const trace::MemRange> ranges, Loc loc)
+{
+    const uint32_t ordinal = machine_.nextMarker_++;
+    Record rec = baseRecord(tid_, machine_.sitePc(loc), RecordKind::Marker);
+    rec.aux = ordinal;
+    machine_.emit(rec);
+    for (const auto &range : ranges)
+        machine_.pixelCriteria_.add(ordinal, range.addr, range.size);
+    return ordinal;
+}
+
+// ---- TracedScope -----------------------------------------------------------
+
+TracedScope::TracedScope(Ctx &ctx, trace::FuncId callee,
+                         std::source_location loc)
+    : machine_(ctx.machine()), tid_(ctx.tid()), callee_(callee)
+{
+    Record rec = baseRecord(tid_, machine_.sitePc(loc), RecordKind::Call);
+    rec.addr = machine_.functionEntry(callee);
+    machine_.emit(rec);
+    machine_.thread(tid_).funcStack.push_back(callee);
+}
+
+TracedScope::TracedScope(Ctx &ctx, trace::FuncId callee, const Value &target,
+                         std::source_location loc)
+    : machine_(ctx.machine()), tid_(ctx.tid()), callee_(callee)
+{
+    Record rec = baseRecord(tid_, machine_.sitePc(loc), RecordKind::Call);
+    rec.addr = machine_.functionEntry(callee);
+    rec.flags |= trace::kFlagIndirect;
+    rec.rr0 = target.reg();
+    machine_.emit(rec);
+    machine_.thread(tid_).funcStack.push_back(callee);
+}
+
+TracedScope::~TracedScope()
+{
+    auto &stack = machine_.thread(tid_).funcStack;
+    panic_if(stack.empty() || stack.back() != callee_,
+             "unbalanced traced function scopes");
+    Record rec = baseRecord(tid_, machine_.funcRetPc_[callee_],
+                            RecordKind::Ret);
+    machine_.emit(rec);
+    stack.pop_back();
+}
+
+} // namespace sim
+} // namespace webslice

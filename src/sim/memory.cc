@@ -1,0 +1,116 @@
+#include "sim/memory.hh"
+
+#include <cstring>
+
+#include "support/logging.hh"
+
+namespace webslice {
+namespace sim {
+
+SimMemory::Page &
+SimMemory::pageFor(uint64_t addr)
+{
+    auto &slot = pages_[addr / kPageBytes];
+    if (!slot) {
+        slot = std::make_unique<Page>();
+        slot->fill(0);
+    }
+    return *slot;
+}
+
+const SimMemory::Page *
+SimMemory::pageIfPresent(uint64_t addr) const
+{
+    auto it = pages_.find(addr / kPageBytes);
+    return it == pages_.end() ? nullptr : it->second.get();
+}
+
+uint64_t
+SimMemory::read(uint64_t addr, unsigned size) const
+{
+    panic_if(size < 1 || size > 8, "bad scalar read size ", size);
+    uint64_t value = 0;
+    readBytes(addr, &value, size);
+    return value;
+}
+
+void
+SimMemory::write(uint64_t addr, unsigned size, uint64_t value)
+{
+    panic_if(size < 1 || size > 8, "bad scalar write size ", size);
+    writeBytes(addr, &value, size);
+}
+
+void
+SimMemory::readBytes(uint64_t addr, void *out, uint64_t size) const
+{
+    uint8_t *dst = static_cast<uint8_t *>(out);
+    while (size > 0) {
+        const uint64_t offset = addr % kPageBytes;
+        const uint64_t span = std::min(size, kPageBytes - offset);
+        if (const Page *page = pageIfPresent(addr)) {
+            std::memcpy(dst, page->data() + offset, span);
+        } else {
+            std::memset(dst, 0, span);
+        }
+        addr += span;
+        dst += span;
+        size -= span;
+    }
+}
+
+void
+SimMemory::writeBytes(uint64_t addr, const void *in, uint64_t size)
+{
+    const uint8_t *src = static_cast<const uint8_t *>(in);
+    while (size > 0) {
+        const uint64_t offset = addr % kPageBytes;
+        const uint64_t span = std::min(size, kPageBytes - offset);
+        std::memcpy(pageFor(addr).data() + offset, src, span);
+        addr += span;
+        src += span;
+        size -= span;
+    }
+}
+
+uint64_t
+SimAllocator::alloc(uint64_t size, const char *tag)
+{
+    if (size == 0)
+        size = 1;
+    const uint64_t rounded = (size + 15) & ~15ull;
+
+    auto it = freeBySize_.find(rounded);
+    if (it != freeBySize_.end() && !it->second.empty()) {
+        const uint64_t addr = it->second.back();
+        it->second.pop_back();
+        if (it->second.empty())
+            freeBySize_.erase(it);
+        Block &block = blocks_[addr];
+        block.tag = tag;
+        block.live = true;
+        liveBytes_ += block.size;
+        ++reuseCount_;
+        return addr;
+    }
+
+    const uint64_t addr = next_;
+    next_ += rounded;
+    blocks_[addr] = Block{rounded, tag, true};
+    liveBytes_ += rounded;
+    return addr;
+}
+
+void
+SimAllocator::free(uint64_t addr)
+{
+    auto it = blocks_.find(addr);
+    panic_if(it == blocks_.end(), "free of unallocated address ", addr);
+    panic_if(!it->second.live, "double free of address ", addr);
+    it->second.live = false;
+    liveBytes_ -= it->second.size;
+    freeBySize_[it->second.size].push_back(addr);
+}
+
+} // namespace sim
+} // namespace webslice

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * The simulated 64-bit address space.
+ *
+ * Unlike a pure trace generator, the simulated machine keeps real values
+ * behind every address: the browser substrate computes genuine pixel
+ * values from genuine style/layout/JS data, so the data-dependence chains
+ * the slicer discovers are real, not scripted.
+ *
+ * Storage is sparse (4 KiB pages allocated on first touch). A simple
+ * region-tagged allocator hands out heap addresses; address reuse through
+ * the free list is deliberate — it exercises the slicer's kill rule the
+ * same way real allocator reuse does.
+ */
+
+#ifndef WEBSLICE_SIM_MEMORY_HH
+#define WEBSLICE_SIM_MEMORY_HH
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace webslice {
+namespace sim {
+
+/** Sparse byte-addressable memory with little-endian scalar access. */
+class SimMemory
+{
+  public:
+    static constexpr uint64_t kPageBytes = 4096;
+
+    /** Read size bytes (1..8) at addr as a little-endian scalar. */
+    uint64_t read(uint64_t addr, unsigned size) const;
+
+    /** Write the low size bytes (1..8) of value at addr. */
+    void write(uint64_t addr, unsigned size, uint64_t value);
+
+    /** Bulk copy out of simulated memory. */
+    void readBytes(uint64_t addr, void *out, uint64_t size) const;
+
+    /** Bulk copy into simulated memory. */
+    void writeBytes(uint64_t addr, const void *in, uint64_t size);
+
+    /** Number of touched pages (diagnostics). */
+    size_t pageCount() const { return pages_.size(); }
+
+  private:
+    using Page = std::array<uint8_t, kPageBytes>;
+
+    Page &pageFor(uint64_t addr);
+    const Page *pageIfPresent(uint64_t addr) const;
+
+    std::unordered_map<uint64_t, std::unique_ptr<Page>> pages_;
+};
+
+/**
+ * Heap allocator over the simulated address space: bump allocation with a
+ * size-class free list, 16-byte alignment, and per-allocation tags kept for
+ * diagnostics.
+ */
+class SimAllocator
+{
+  public:
+    explicit SimAllocator(uint64_t base = 0x10000000ull) : next_(base) {}
+
+    /** Allocate size bytes; returns the simulated address. */
+    uint64_t alloc(uint64_t size, const char *tag = "");
+
+    /** Return a block to the free list for reuse. */
+    void free(uint64_t addr);
+
+    /** Bytes handed out and not yet freed. */
+    uint64_t liveBytes() const { return liveBytes_; }
+
+    /** High-water mark of the bump pointer. */
+    uint64_t bumpTop() const { return next_; }
+
+    /** Allocations served from the free list (reuse count). */
+    uint64_t reuseCount() const { return reuseCount_; }
+
+  private:
+    struct Block
+    {
+        uint64_t size = 0;
+        const char *tag = "";
+        bool live = false;
+    };
+
+    uint64_t next_;
+    uint64_t liveBytes_ = 0;
+    uint64_t reuseCount_ = 0;
+    std::unordered_map<uint64_t, Block> blocks_;
+    std::map<uint64_t, std::vector<uint64_t>> freeBySize_;
+};
+
+} // namespace sim
+} // namespace webslice
+
+#endif // WEBSLICE_SIM_MEMORY_HH

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Syscall numbers and effect helpers for the simulated OS boundary.
+ *
+ * The numbers mirror the Linux x86-64 table for the calls the paper says
+ * Chromium makes; what matters to the profiler is each call's memory
+ * effect (which user buffers the kernel reads or writes), which is what
+ * the paper's authors derived from the Linux manual pages. The helpers
+ * below emit a syscall record with exactly those effects.
+ */
+
+#ifndef WEBSLICE_SIM_SYSCALLS_HH
+#define WEBSLICE_SIM_SYSCALLS_HH
+
+#include <cstdint>
+
+#include "sim/machine.hh"
+#include "trace/criteria.hh"
+
+namespace webslice {
+namespace sim {
+
+/** Linux x86-64 syscall numbers used by the browser substrate. */
+enum SyscallNumber : uint32_t
+{
+    kSysRead = 0,
+    kSysWrite = 1,
+    kSysMmap = 9,
+    kSysSendto = 44,
+    kSysRecvfrom = 45,
+    kSysSendmsg = 46,
+    kSysRecvmsg = 47,
+    kSysFutex = 202,
+    kSysClockGettime = 228,
+};
+
+/**
+ * sendto(sockfd, buf, len, ...): the kernel reads [buf, buf+len).
+ * Returns the syscall's result value (bytes sent).
+ */
+inline Value
+sysSendto(Ctx &ctx, uint64_t buf, uint64_t len,
+          std::source_location loc = std::source_location::current())
+{
+    const trace::MemRange reads[] = {{buf, len}};
+    return ctx.syscall(kSysSendto, len, reads, {}, loc);
+}
+
+/**
+ * recvfrom(sockfd, buf, len, ...): the kernel writes the received payload
+ * into [buf, buf+len). The caller must have placed the payload bytes into
+ * simulated memory (the kernel-side copy is not traced, matching Pin's
+ * user-level-only view).
+ */
+inline Value
+sysRecvfrom(Ctx &ctx, uint64_t buf, uint64_t len,
+            std::source_location loc = std::source_location::current())
+{
+    const trace::MemRange writes[] = {{buf, len}};
+    return ctx.syscall(kSysRecvfrom, len, {}, writes, loc);
+}
+
+/** write(fd, buf, len): the kernel reads [buf, buf+len). */
+inline Value
+sysWrite(Ctx &ctx, uint64_t buf, uint64_t len,
+         std::source_location loc = std::source_location::current())
+{
+    const trace::MemRange reads[] = {{buf, len}};
+    return ctx.syscall(kSysWrite, len, reads, {}, loc);
+}
+
+/** futex(uaddr, op, ...): the kernel reads the 4-byte futex word. */
+inline Value
+sysFutex(Ctx &ctx, uint64_t uaddr,
+         std::source_location loc = std::source_location::current())
+{
+    const trace::MemRange reads[] = {{uaddr, 4}};
+    return ctx.syscall(kSysFutex, 0, reads, {}, loc);
+}
+
+/** clock_gettime(clk, tp): the kernel writes a 16-byte timespec. */
+inline Value
+sysClockGettime(Ctx &ctx, uint64_t tp, uint64_t now,
+                std::source_location loc = std::source_location::current())
+{
+    const trace::MemRange writes[] = {{tp, 16}};
+    return ctx.syscall(kSysClockGettime, now, {}, writes, loc);
+}
+
+} // namespace sim
+} // namespace webslice
+
+#endif // WEBSLICE_SIM_SYSCALLS_HH

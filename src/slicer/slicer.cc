@@ -1,0 +1,338 @@
+#include "slicer/slicer.hh"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "support/logging.hh"
+#include "support/sparse_byte_set.hh"
+#include "trace/trace_file.hh"
+
+namespace webslice {
+namespace slicer {
+
+using trace::FuncId;
+using trace::kNoReg;
+using trace::Pc;
+using trace::Record;
+using trace::RecordKind;
+using trace::RegId;
+using trace::ThreadId;
+
+namespace {
+
+/** Per-thread analysis state for the backward pass. */
+struct ThreadState
+{
+    /** Live virtual registers (dense bitmap, grown on demand). */
+    std::vector<bool> liveRegs;
+    size_t liveRegCount = 0;
+
+    /** Branch pcs waiting for their nearest preceding dynamic instance. */
+    std::unordered_set<Pc> pending;
+
+    /**
+     * Backward-reconstructed call stack. A frame is opened at a Ret record
+     * and closed at the matching Call; `any` records whether any
+     * instruction of the function instance joined the slice, which decides
+     * whether the Call/Ret pair joins it too.
+     */
+    struct Frame
+    {
+        size_t retIndex;
+        bool any = false;
+    };
+    std::vector<Frame> frames;
+
+    /** Memory effects buffered between a syscall's pseudo-records and the
+     *  Syscall record itself (they follow it in forward order, so the
+     *  backward pass sees them first). */
+    std::vector<trace::MemRange> syscallReads;
+    bool syscallWriteWasLive = false;
+
+    bool
+    regLive(RegId reg) const
+    {
+        return reg < liveRegs.size() && liveRegs[reg];
+    }
+
+    void
+    genReg(RegId reg)
+    {
+        if (reg == kNoReg)
+            return;
+        if (reg >= liveRegs.size())
+            liveRegs.resize(reg + 1, false);
+        if (!liveRegs[reg]) {
+            liveRegs[reg] = true;
+            ++liveRegCount;
+        }
+    }
+
+    /** Kill a register; returns whether it was live. */
+    bool
+    killReg(RegId reg)
+    {
+        if (reg == kNoReg || !regLive(reg))
+            return false;
+        liveRegs[reg] = false;
+        --liveRegCount;
+        return true;
+    }
+};
+
+} // namespace
+
+struct BackwardPass::Impl
+{
+    const graph::CfgSet &cfgs;
+    const graph::ControlDepMap &deps;
+    const trace::CriteriaSet &criteria;
+    SlicerOptions options;
+    size_t recordCount;
+
+    SliceResult result;
+    SparseByteSet liveMem;
+    std::unordered_map<ThreadId, ThreadState> threads;
+    size_t lastIndex;
+    bool finished = false;
+
+    Impl(const graph::CfgSet &cfgs_in, const graph::ControlDepMap &deps_in,
+         const trace::CriteriaSet &criteria_in,
+         const SlicerOptions &options_in, size_t record_count)
+        : cfgs(cfgs_in), deps(deps_in), criteria(criteria_in),
+          options(options_in), recordCount(record_count),
+          lastIndex(record_count)
+    {
+        result.inSlice.assign(record_count, 0);
+    }
+
+    void
+    addControlDeps(ThreadState &ts, FuncId func, Pc pc)
+    {
+        if (!options.includeControlDeps)
+            return;
+        for (const Pc branch : deps.depsOf(func, pc))
+            ts.pending.insert(branch);
+        result.peakPendingBranches = std::max<uint64_t>(
+            result.peakPendingBranches, ts.pending.size());
+    }
+
+    // Joins record `index` to the slice and propagates the structural
+    // consequences shared by every record kind: control dependences and
+    // the enclosing-instance flag.
+    void
+    include(size_t index, const Record &rec, ThreadState &ts)
+    {
+        result.inSlice[index] = 1;
+        ++result.sliceInstructions;
+        addControlDeps(ts, cfgs.funcOf[index], rec.pc);
+        if (!ts.frames.empty())
+            ts.frames.back().any = true;
+    }
+
+    void
+    feed(size_t idx, const Record &rec)
+    {
+        panic_if(finished, "feed after finish");
+        panic_if(idx >= lastIndex,
+                 "records must be fed in strictly descending order");
+        lastIndex = idx;
+
+        if (idx >= std::min(options.endIndex, recordCount))
+            return; // outside the analysis window
+
+        ThreadState &ts = threads[rec.tid];
+
+        if (!rec.isPseudo())
+            ++result.instructionsAnalyzed;
+
+        switch (rec.kind) {
+          case RecordKind::Marker: {
+            if (options.mode == CriteriaMode::PixelBuffer) {
+                for (const auto &range : criteria.forMarker(rec.aux)) {
+                    liveMem.insert(range.addr, range.size);
+                    result.criteriaBytesSeeded += range.size;
+                }
+                include(idx, rec, ts);
+            }
+            break;
+          }
+
+          case RecordKind::SyscallWrite: {
+            if (liveMem.testAndErase(rec.addr, rec.aux))
+                ts.syscallWriteWasLive = true;
+            break;
+          }
+
+          case RecordKind::SyscallRead: {
+            ts.syscallReads.push_back(trace::MemRange{rec.addr, rec.aux});
+            break;
+          }
+
+          case RecordKind::Syscall: {
+            const bool reg_hit = options.includeRegisterDeps &&
+                                 ts.killReg(rec.rw);
+            bool in_slice = ts.syscallWriteWasLive || reg_hit;
+            if (options.mode == CriteriaMode::Syscalls) {
+                // The values communicated to the outside world are the
+                // criteria themselves: every syscall joins the slice and
+                // its read-set becomes live.
+                in_slice = true;
+            }
+            if (in_slice) {
+                for (const auto &range : ts.syscallReads) {
+                    liveMem.insert(range.addr, range.size);
+                    if (options.mode == CriteriaMode::Syscalls)
+                        result.criteriaBytesSeeded += range.size;
+                }
+                include(idx, rec, ts);
+            }
+            ts.syscallReads.clear();
+            ts.syscallWriteWasLive = false;
+            break;
+          }
+
+          case RecordKind::Store: {
+            if (liveMem.testAndErase(rec.addr, rec.aux)) {
+                include(idx, rec, ts);
+                if (options.includeRegisterDeps) {
+                    ts.genReg(rec.rr0);
+                    ts.genReg(rec.rr1);
+                }
+            }
+            break;
+          }
+
+          case RecordKind::Load: {
+            const bool live = options.includeRegisterDeps
+                                  ? ts.killReg(rec.rw)
+                                  : liveMem.intersects(rec.addr, rec.aux);
+            if (live) {
+                include(idx, rec, ts);
+                liveMem.insert(rec.addr, rec.aux);
+                if (options.includeRegisterDeps)
+                    ts.genReg(rec.rr0);
+            }
+            break;
+          }
+
+          case RecordKind::Alu:
+          case RecordKind::LoadImm: {
+            if (!options.includeRegisterDeps)
+                break;
+            if (ts.killReg(rec.rw)) {
+                include(idx, rec, ts);
+                ts.genReg(rec.rr0);
+                ts.genReg(rec.rr1);
+                ts.genReg(rec.rr2);
+            }
+            break;
+          }
+
+          case RecordKind::Branch: {
+            auto it = ts.pending.find(rec.pc);
+            if (it != ts.pending.end()) {
+                ts.pending.erase(it);
+                include(idx, rec, ts);
+                if (options.includeRegisterDeps)
+                    ts.genReg(rec.rr0);
+            }
+            break;
+          }
+
+          case RecordKind::Jump: {
+            // Unconditional; no condition variable, never a controller.
+            break;
+          }
+
+          case RecordKind::Ret: {
+            ts.frames.push_back(ThreadState::Frame{idx, false});
+            break;
+          }
+
+          case RecordKind::Call: {
+            bool instance_contributed = false;
+            size_t ret_index = recordCount;
+            if (!ts.frames.empty()) {
+                instance_contributed = ts.frames.back().any;
+                ret_index = ts.frames.back().retIndex;
+                ts.frames.pop_back();
+            }
+            if (instance_contributed) {
+                include(idx, rec, ts);
+                if (options.includeRegisterDeps)
+                    ts.genReg(rec.rr0); // indirect-call target register
+                // The matching Ret is part of the contributing instance.
+                if (ret_index < recordCount &&
+                    !result.inSlice[ret_index]) {
+                    result.inSlice[ret_index] = 1;
+                    ++result.sliceInstructions;
+                }
+            }
+            break;
+          }
+        }
+
+        result.peakLiveMemBytes =
+            std::max<uint64_t>(result.peakLiveMemBytes, liveMem.size());
+    }
+};
+
+BackwardPass::BackwardPass(const graph::CfgSet &cfgs,
+                           const graph::ControlDepMap &deps,
+                           const trace::CriteriaSet &criteria,
+                           const SlicerOptions &options,
+                           size_t record_count)
+    : impl_(std::make_unique<Impl>(cfgs, deps, criteria, options,
+                                   record_count))
+{
+    panic_if(cfgs.funcOf.size() != record_count,
+             "forward-pass attribution does not match the trace length");
+}
+
+BackwardPass::~BackwardPass() = default;
+
+void
+BackwardPass::feed(size_t index, const Record &record)
+{
+    impl_->feed(index, record);
+}
+
+SliceResult
+BackwardPass::finish()
+{
+    panic_if(impl_->finished, "finish called twice");
+    impl_->finished = true;
+    return std::move(impl_->result);
+}
+
+SliceResult
+computeSlice(std::span<const Record> records, const graph::CfgSet &cfgs,
+             const graph::ControlDepMap &deps,
+             const trace::CriteriaSet &criteria,
+             const SlicerOptions &options)
+{
+    BackwardPass pass(cfgs, deps, criteria, options, records.size());
+    for (size_t idx = records.size(); idx-- > 0;)
+        pass.feed(idx, records[idx]);
+    return pass.finish();
+}
+
+SliceResult
+computeSliceFromFile(const std::string &path, const graph::CfgSet &cfgs,
+                     const graph::ControlDepMap &deps,
+                     const trace::CriteriaSet &criteria,
+                     const SlicerOptions &options)
+{
+    trace::ReverseTraceReader reader(path);
+    BackwardPass pass(cfgs, deps, criteria, options,
+                      static_cast<size_t>(reader.count()));
+    Record rec;
+    size_t idx = static_cast<size_t>(reader.count());
+    while (reader.next(rec))
+        pass.feed(--idx, rec);
+    return pass.finish();
+}
+
+} // namespace slicer
+} // namespace webslice

@@ -1,0 +1,36 @@
+#include "support/logging.hh"
+
+#include <cstdio>
+
+namespace webslice {
+namespace detail {
+
+void
+logMessage(const char *prefix, const std::string &msg,
+           const char *file, int line)
+{
+    if (file) {
+        std::fprintf(stderr, "%s: %s (%s:%d)\n", prefix, msg.c_str(),
+                     file, line);
+    } else {
+        std::fprintf(stderr, "%s: %s\n", prefix, msg.c_str());
+    }
+    std::fflush(stderr);
+}
+
+void
+panicImpl(const std::string &msg, const char *file, int line)
+{
+    logMessage("panic", msg, file, line);
+    std::abort();
+}
+
+void
+fatalImpl(const std::string &msg, const char *file, int line)
+{
+    logMessage("fatal", msg, file, line);
+    std::exit(1);
+}
+
+} // namespace detail
+} // namespace webslice

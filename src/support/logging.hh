@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Status and error reporting helpers, in the spirit of gem5's
+ * base/logging.hh.
+ *
+ * panic()  — an internal invariant was violated (a bug in this library);
+ *            aborts so a debugger/core dump can capture the state.
+ * fatal()  — the condition is the caller's/user's fault (bad file, bad
+ *            configuration); exits with status 1.
+ * warn()   — something works, but not as well as it should.
+ * inform() — plain status output.
+ */
+
+#ifndef WEBSLICE_SUPPORT_LOGGING_HH
+#define WEBSLICE_SUPPORT_LOGGING_HH
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace webslice {
+
+namespace detail {
+
+/** Sink shared by all message helpers; writes to stderr with a prefix. */
+void logMessage(const char *prefix, const std::string &msg,
+                const char *file, int line);
+
+/** Fold a variadic argument pack into a string via operator<<. */
+template <typename... Args>
+std::string
+foldToString(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+[[noreturn]] void panicImpl(const std::string &msg, const char *file,
+                            int line);
+[[noreturn]] void fatalImpl(const std::string &msg, const char *file,
+                            int line);
+
+} // namespace detail
+
+} // namespace webslice
+
+#define panic(...)                                                          \
+    ::webslice::detail::panicImpl(                                          \
+        ::webslice::detail::foldToString(__VA_ARGS__), __FILE__, __LINE__)
+
+#define fatal(...)                                                          \
+    ::webslice::detail::fatalImpl(                                          \
+        ::webslice::detail::foldToString(__VA_ARGS__), __FILE__, __LINE__)
+
+#define warn(...)                                                           \
+    ::webslice::detail::logMessage(                                         \
+        "warn", ::webslice::detail::foldToString(__VA_ARGS__),              \
+        __FILE__, __LINE__)
+
+#define inform(...)                                                         \
+    ::webslice::detail::logMessage(                                         \
+        "info", ::webslice::detail::foldToString(__VA_ARGS__),              \
+        nullptr, 0)
+
+/** panic() unless the condition holds. */
+#define panic_if(cond, ...)                                                 \
+    do {                                                                    \
+        if (cond) {                                                         \
+            panic("condition '" #cond "' hit: ", __VA_ARGS__);              \
+        }                                                                   \
+    } while (0)
+
+#define fatal_if(cond, ...)                                                 \
+    do {                                                                    \
+        if (cond) {                                                         \
+            fatal("condition '" #cond "' hit: ", __VA_ARGS__);              \
+        }                                                                   \
+    } while (0)
+
+#endif // WEBSLICE_SUPPORT_LOGGING_HH

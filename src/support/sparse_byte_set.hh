@@ -1,0 +1,156 @@
+/**
+ * @file
+ * A sparse set of bytes over a 64-bit address space.
+ *
+ * This is the data structure behind the slicer's live-memory set: byte
+ * granular (the trace records exact access addresses and sizes, which is
+ * what lets the profiler sidestep memory aliasing), hash-chunked so that
+ * memory use is proportional to the number of live bytes, not to the
+ * address-space span.
+ */
+
+#ifndef WEBSLICE_SUPPORT_SPARSE_BYTE_SET_HH
+#define WEBSLICE_SUPPORT_SPARSE_BYTE_SET_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+
+namespace webslice {
+
+/**
+ * Set of individual byte addresses, stored as 64-byte chunks with one
+ * presence bit per byte.
+ */
+class SparseByteSet
+{
+  public:
+    /** Insert the byte range [addr, addr + size). */
+    void
+    insert(uint64_t addr, uint64_t size)
+    {
+        forEachChunk(addr, size, [this](uint64_t base, uint64_t mask) {
+            uint64_t &bits = chunks_[base];
+            population_ += popcount(mask & ~bits);
+            bits |= mask;
+        });
+    }
+
+    /** Remove the byte range [addr, addr + size). */
+    void
+    erase(uint64_t addr, uint64_t size)
+    {
+        forEachChunk(addr, size, [this](uint64_t base, uint64_t mask) {
+            auto it = chunks_.find(base);
+            if (it == chunks_.end())
+                return;
+            population_ -= popcount(it->second & mask);
+            it->second &= ~mask;
+            if (it->second == 0)
+                chunks_.erase(it);
+        });
+    }
+
+    /** True if any byte of [addr, addr + size) is present. */
+    bool
+    intersects(uint64_t addr, uint64_t size) const
+    {
+        bool hit = false;
+        forEachChunk(addr, size, [this, &hit](uint64_t base, uint64_t mask) {
+            if (hit)
+                return;
+            auto it = chunks_.find(base);
+            if (it != chunks_.end() && (it->second & mask) != 0)
+                hit = true;
+        });
+        return hit;
+    }
+
+    /**
+     * Atomically test-and-erase: remove any present bytes of the range and
+     * report whether at least one was present. This is the slicer's "kill"
+     * step for a store into live memory.
+     */
+    bool
+    testAndErase(uint64_t addr, uint64_t size)
+    {
+        bool hit = false;
+        forEachChunk(addr, size, [this, &hit](uint64_t base, uint64_t mask) {
+            auto it = chunks_.find(base);
+            if (it == chunks_.end())
+                return;
+            const uint64_t present = it->second & mask;
+            if (present) {
+                hit = true;
+                population_ -= popcount(present);
+                it->second &= ~mask;
+                if (it->second == 0)
+                    chunks_.erase(it);
+            }
+        });
+        return hit;
+    }
+
+    /** True if the single byte at addr is present. */
+    bool
+    contains(uint64_t addr) const
+    {
+        auto it = chunks_.find(addr >> 6);
+        if (it == chunks_.end())
+            return false;
+        return (it->second >> (addr & 63)) & 1;
+    }
+
+    /** Number of bytes in the set. */
+    size_t size() const { return population_; }
+
+    bool empty() const { return population_ == 0; }
+
+    void
+    clear()
+    {
+        chunks_.clear();
+        population_ = 0;
+    }
+
+    /** Number of 64-byte chunks currently allocated (for diagnostics). */
+    size_t chunkCount() const { return chunks_.size(); }
+
+  private:
+    static int
+    popcount(uint64_t x)
+    {
+        return __builtin_popcountll(x);
+    }
+
+    /**
+     * Decompose [addr, addr + size) into (chunk base, bit mask) pieces and
+     * invoke fn for each. A chunk covers 64 consecutive bytes.
+     */
+    template <typename Fn>
+    static void
+    forEachChunk(uint64_t addr, uint64_t size, Fn &&fn)
+    {
+        while (size > 0) {
+            const uint64_t base = addr >> 6;
+            const unsigned offset = addr & 63;
+            const uint64_t span = std::min<uint64_t>(size, 64 - offset);
+            uint64_t mask;
+            if (span == 64) {
+                mask = ~0ull;
+            } else {
+                mask = ((1ull << span) - 1) << offset;
+            }
+            fn(base, mask);
+            addr += span;
+            size -= span;
+        }
+    }
+
+    std::unordered_map<uint64_t, uint64_t> chunks_;
+    size_t population_ = 0;
+};
+
+} // namespace webslice
+
+#endif // WEBSLICE_SUPPORT_SPARSE_BYTE_SET_HH

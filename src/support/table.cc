@@ -1,0 +1,75 @@
+#include "support/table.hh"
+
+#include <algorithm>
+
+namespace webslice {
+
+void
+TextTable::setHeader(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    Row row;
+    row.cells = std::move(cells);
+    rows_.push_back(std::move(row));
+}
+
+void
+TextTable::addSeparator()
+{
+    Row row;
+    row.separator = true;
+    rows_.push_back(std::move(row));
+}
+
+void
+TextTable::render(std::ostream &os) const
+{
+    size_t columns = header_.size();
+    for (const auto &row : rows_)
+        columns = std::max(columns, row.cells.size());
+
+    std::vector<size_t> widths(columns, 0);
+    auto measure = [&](const std::vector<std::string> &cells) {
+        for (size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    measure(header_);
+    for (const auto &row : rows_) {
+        if (!row.separator)
+            measure(row.cells);
+    }
+
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (size_t i = 0; i < columns; ++i) {
+            const std::string cell = i < cells.size() ? cells[i] : "";
+            os << cell;
+            if (i + 1 < columns) {
+                os << std::string(widths[i] - cell.size() + 2, ' ');
+            }
+        }
+        os << '\n';
+    };
+
+    size_t total = 0;
+    for (size_t i = 0; i < columns; ++i)
+        total += widths[i] + (i + 1 < columns ? 2 : 0);
+
+    if (!header_.empty()) {
+        emit(header_);
+        os << std::string(total, '-') << '\n';
+    }
+    for (const auto &row : rows_) {
+        if (row.separator) {
+            os << std::string(total, '-') << '\n';
+        } else {
+            emit(row.cells);
+        }
+    }
+}
+
+} // namespace webslice

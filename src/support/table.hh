@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Fixed-width ASCII table renderer used by the benchmark harnesses to print
+ * the paper's tables and figure data series in a diff-friendly layout.
+ */
+
+#ifndef WEBSLICE_SUPPORT_TABLE_HH
+#define WEBSLICE_SUPPORT_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace webslice {
+
+/** A text table with a header row and uniform column padding. */
+class TextTable
+{
+  public:
+    /** Set the header row; defines the column count. */
+    void setHeader(std::vector<std::string> cells);
+
+    /** Append a body row; short rows are padded with empty cells. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Append a horizontal separator row. */
+    void addSeparator();
+
+    /** Render to the stream with column alignment and a rule under the
+     *  header. */
+    void render(std::ostream &os) const;
+
+    size_t rowCount() const { return rows_.size(); }
+
+  private:
+    struct Row
+    {
+        std::vector<std::string> cells;
+        bool separator = false;
+    };
+
+    std::vector<std::string> header_;
+    std::vector<Row> rows_;
+};
+
+} // namespace webslice
+
+#endif // WEBSLICE_SUPPORT_TABLE_HH

@@ -1,0 +1,68 @@
+#include "trace/criteria.hh"
+
+#include <fstream>
+
+#include "support/logging.hh"
+
+namespace webslice {
+namespace trace {
+
+void
+CriteriaSet::add(uint32_t marker, uint64_t addr, uint64_t size)
+{
+    byMarker_[marker].push_back(MemRange{addr, size});
+}
+
+const std::vector<MemRange> &
+CriteriaSet::forMarker(uint32_t marker) const
+{
+    auto it = byMarker_.find(marker);
+    return it == byMarker_.end() ? empty_ : it->second;
+}
+
+uint64_t
+CriteriaSet::totalBytes() const
+{
+    uint64_t total = 0;
+    for (const auto &kv : byMarker_) {
+        for (const auto &range : kv.second)
+            total += range.size;
+    }
+    return total;
+}
+
+void
+CriteriaSet::save(const std::string &path) const
+{
+    std::ofstream out(path);
+    fatal_if(!out, "cannot write criteria file ", path);
+    out << "webcrit 1\n";
+    for (const auto &kv : byMarker_) {
+        for (const auto &range : kv.second)
+            out << kv.first << ' ' << range.addr << ' ' << range.size
+                << '\n';
+    }
+    fatal_if(!out, "short write saving criteria file ", path);
+}
+
+void
+CriteriaSet::load(const std::string &path)
+{
+    std::ifstream in(path);
+    fatal_if(!in, "cannot read criteria file ", path);
+
+    std::string magic;
+    int version = 0;
+    in >> magic >> version;
+    fatal_if(magic != "webcrit" || version != 1,
+             "bad criteria header in ", path);
+
+    byMarker_.clear();
+    uint32_t marker;
+    uint64_t addr, size;
+    while (in >> marker >> addr >> size)
+        add(marker, addr, size);
+}
+
+} // namespace trace
+} // namespace webslice

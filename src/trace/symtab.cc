@@ -1,0 +1,111 @@
+#include "trace/symtab.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "support/logging.hh"
+#include "support/strings.hh"
+
+namespace webslice {
+namespace trace {
+
+FuncId
+SymbolTable::addFunction(Pc entry_pc, std::string name)
+{
+    panic_if(byEntry_.count(entry_pc),
+             "duplicate function entry pc ", entry_pc, " for ", name);
+    Symbol sym;
+    sym.id = static_cast<FuncId>(symbols_.size());
+    sym.entryPc = entry_pc;
+    sym.name = std::move(name);
+    byEntry_[entry_pc] = sym.id;
+    pcOwner_[entry_pc] = sym.id;
+    symbols_.push_back(std::move(sym));
+    return symbols_.back().id;
+}
+
+FuncId
+SymbolTable::functionAtEntry(Pc entry_pc) const
+{
+    auto it = byEntry_.find(entry_pc);
+    return it == byEntry_.end() ? kNoFunc : it->second;
+}
+
+void
+SymbolTable::assignPc(Pc pc, FuncId func)
+{
+    pcOwner_.emplace(pc, func);
+}
+
+FuncId
+SymbolTable::functionOfPc(Pc pc) const
+{
+    auto it = pcOwner_.find(pc);
+    return it == pcOwner_.end() ? kNoFunc : it->second;
+}
+
+const Symbol &
+SymbolTable::symbol(FuncId id) const
+{
+    panic_if(id >= symbols_.size(), "bad function id ", id);
+    return symbols_[id];
+}
+
+void
+SymbolTable::save(const std::string &path) const
+{
+    std::ofstream out(path);
+    fatal_if(!out, "cannot write symbol table to ", path);
+    out << "websym 1\n";
+    out << symbols_.size() << '\n';
+    for (const auto &sym : symbols_)
+        out << sym.id << ' ' << sym.entryPc << ' ' << sym.name << '\n';
+    out << pcOwner_.size() << '\n';
+    for (const auto &kv : pcOwner_)
+        out << kv.first << ' ' << kv.second << '\n';
+    fatal_if(!out, "short write saving symbol table to ", path);
+}
+
+void
+SymbolTable::load(const std::string &path)
+{
+    std::ifstream in(path);
+    fatal_if(!in, "cannot read symbol table from ", path);
+
+    std::string magic;
+    int version = 0;
+    in >> magic >> version;
+    fatal_if(magic != "websym" || version != 1,
+             "bad symbol table header in ", path);
+
+    symbols_.clear();
+    byEntry_.clear();
+    pcOwner_.clear();
+
+    size_t nfuncs = 0;
+    in >> nfuncs;
+    symbols_.reserve(nfuncs);
+    for (size_t i = 0; i < nfuncs; ++i) {
+        Symbol sym;
+        in >> sym.id >> sym.entryPc;
+        std::getline(in, sym.name);
+        sym.name = std::string(trim(sym.name));
+        fatal_if(sym.id != i, "non-contiguous function ids in ", path);
+        byEntry_[sym.entryPc] = sym.id;
+        symbols_.push_back(std::move(sym));
+    }
+
+    size_t npcs = 0;
+    in >> npcs;
+    for (size_t i = 0; i < npcs; ++i) {
+        Pc pc;
+        FuncId func;
+        in >> pc >> func;
+        pcOwner_[pc] = func;
+    }
+    fatal_if(!in, "truncated symbol table in ", path);
+}
+
+} // namespace trace
+} // namespace webslice

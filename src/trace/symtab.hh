@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Symbol table: maps function entry pcs to qualified function names.
+ *
+ * The paper categorizes unnecessary computations by looking up each
+ * instruction's enclosing function in the binary's symbol table and using
+ * the function's C++ namespace as the category key; this is the equivalent
+ * structure for our traces. It also records which pcs belong to which
+ * function so that per-function/per-namespace attribution does not depend
+ * on call-stack reconstruction alone.
+ */
+
+#ifndef WEBSLICE_TRACE_SYMTAB_HH
+#define WEBSLICE_TRACE_SYMTAB_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/record.hh"
+
+namespace webslice {
+namespace trace {
+
+/** Identifier of a registered function. */
+using FuncId = uint32_t;
+constexpr FuncId kNoFunc = 0xFFFFFFFF;
+
+/** One function's symbol information. */
+struct Symbol
+{
+    FuncId id = kNoFunc;
+    Pc entryPc = kNoPc;
+    std::string name; ///< Qualified name, e.g. "v8::Parser::parseProgram".
+};
+
+/**
+ * Bidirectional mapping between functions, entry pcs, and names, with
+ * save/load to a simple text sidecar file.
+ */
+class SymbolTable
+{
+  public:
+    /** Register a function; returns its id. Entry pcs must be unique. */
+    FuncId addFunction(Pc entry_pc, std::string name);
+
+    /** Look up a function by entry pc; kNoFunc when unknown. */
+    FuncId functionAtEntry(Pc entry_pc) const;
+
+    /** Record that pc belongs to func (first owner wins). */
+    void assignPc(Pc pc, FuncId func);
+
+    /** Owning function of a pc; kNoFunc when unassigned. */
+    FuncId functionOfPc(Pc pc) const;
+
+    /** Symbol for a function id; panics on bad id. */
+    const Symbol &symbol(FuncId id) const;
+
+    size_t functionCount() const { return symbols_.size(); }
+
+    const std::vector<Symbol> &symbols() const { return symbols_; }
+
+    /** Write the table (functions + pc ownership) to a text file. */
+    void save(const std::string &path) const;
+
+    /** Read a table previously written by save(); replaces contents. */
+    void load(const std::string &path);
+
+  private:
+    std::vector<Symbol> symbols_;
+    std::unordered_map<Pc, FuncId> byEntry_;
+    std::unordered_map<Pc, FuncId> pcOwner_;
+};
+
+} // namespace trace
+} // namespace webslice
+
+#endif // WEBSLICE_TRACE_SYMTAB_HH

@@ -1,0 +1,188 @@
+#include "trace/trace_file.hh"
+
+#include <cstring>
+
+#include "support/logging.hh"
+
+namespace webslice {
+namespace trace {
+
+namespace {
+
+constexpr size_t kWriteBufferRecords = 1 << 15;
+
+TraceHeader
+readHeader(std::FILE *file, const std::string &path)
+{
+    TraceHeader header;
+    fatal_if(std::fread(&header, sizeof(header), 1, file) != 1,
+             "cannot read trace header from ", path);
+    TraceHeader expect;
+    fatal_if(std::memcmp(header.magic, expect.magic, sizeof(header.magic)) !=
+             0, "bad trace magic in ", path);
+    return header;
+}
+
+} // namespace
+
+TraceWriter::TraceWriter(const std::string &path) : path_(path)
+{
+    file_ = std::fopen(path.c_str(), "wb");
+    fatal_if(!file_, "cannot create trace file ", path);
+    TraceHeader header;
+    fatal_if(std::fwrite(&header, sizeof(header), 1, file_) != 1,
+             "cannot write trace header to ", path);
+    buffer_.reserve(kWriteBufferRecords);
+}
+
+TraceWriter::~TraceWriter()
+{
+    close();
+}
+
+void
+TraceWriter::append(const Record &rec)
+{
+    panic_if(!file_, "append to a closed trace writer");
+    buffer_.push_back(rec);
+    ++count_;
+    if (buffer_.size() >= kWriteBufferRecords)
+        flush();
+}
+
+void
+TraceWriter::flush()
+{
+    if (buffer_.empty())
+        return;
+    fatal_if(std::fwrite(buffer_.data(), sizeof(Record), buffer_.size(),
+                         file_) != buffer_.size(),
+             "short write to trace file ", path_);
+    buffer_.clear();
+}
+
+void
+TraceWriter::close()
+{
+    if (!file_)
+        return;
+    flush();
+    TraceHeader header;
+    header.recordCount = count_;
+    fatal_if(std::fseek(file_, 0, SEEK_SET) != 0,
+             "cannot seek in trace file ", path_);
+    fatal_if(std::fwrite(&header, sizeof(header), 1, file_) != 1,
+             "cannot patch trace header in ", path_);
+    std::fclose(file_);
+    file_ = nullptr;
+}
+
+std::vector<Record>
+loadTrace(const std::string &path)
+{
+    std::FILE *file = std::fopen(path.c_str(), "rb");
+    fatal_if(!file, "cannot open trace file ", path);
+    const TraceHeader header = readHeader(file, path);
+
+    std::vector<Record> records(header.recordCount);
+    if (header.recordCount > 0) {
+        fatal_if(std::fread(records.data(), sizeof(Record),
+                            records.size(), file) != records.size(),
+                 "truncated trace file ", path);
+    }
+    std::fclose(file);
+    return records;
+}
+
+void
+saveTrace(const std::string &path, const std::vector<Record> &records)
+{
+    TraceWriter writer(path);
+    for (const auto &rec : records)
+        writer.append(rec);
+    writer.close();
+}
+
+ForwardTraceReader::ForwardTraceReader(const std::string &path,
+                                       size_t block_records)
+    : blockRecords_(block_records ? block_records : 1)
+{
+    file_ = std::fopen(path.c_str(), "rb");
+    fatal_if(!file_, "cannot open trace file ", path);
+    const TraceHeader header = readHeader(file_, path);
+    count_ = header.recordCount;
+}
+
+ForwardTraceReader::~ForwardTraceReader()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+bool
+ForwardTraceReader::next(Record &out)
+{
+    if (consumed_ == count_)
+        return false;
+    if (blockPos_ == block_.size()) {
+        const size_t this_block = static_cast<size_t>(
+            std::min<uint64_t>(blockRecords_, count_ - consumed_));
+        block_.resize(this_block);
+        fatal_if(std::fread(block_.data(), sizeof(Record), this_block,
+                            file_) != this_block,
+                 "truncated trace file during forward read");
+        blockPos_ = 0;
+    }
+    out = block_[blockPos_++];
+    ++consumed_;
+    return true;
+}
+
+ReverseTraceReader::ReverseTraceReader(const std::string &path,
+                                       size_t block_records)
+    : blockRecords_(block_records ? block_records : 1)
+{
+    file_ = std::fopen(path.c_str(), "rb");
+    fatal_if(!file_, "cannot open trace file ", path);
+    const TraceHeader header = readHeader(file_, path);
+    count_ = header.recordCount;
+    remaining_ = count_;
+}
+
+ReverseTraceReader::~ReverseTraceReader()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+void
+ReverseTraceReader::loadPrecedingBlock()
+{
+    const uint64_t already_read = remaining_;
+    const size_t this_block = static_cast<size_t>(
+        std::min<uint64_t>(blockRecords_, already_read));
+    const uint64_t first_index = already_read - this_block;
+    const long offset = static_cast<long>(
+        sizeof(TraceHeader) + first_index * sizeof(Record));
+    fatal_if(std::fseek(file_, offset, SEEK_SET) != 0,
+             "cannot seek in trace file");
+    block_.resize(this_block);
+    fatal_if(std::fread(block_.data(), sizeof(Record), this_block, file_) !=
+             this_block, "truncated trace file during reverse read");
+    blockPos_ = this_block;
+}
+
+bool
+ReverseTraceReader::next(Record &out)
+{
+    if (remaining_ == 0)
+        return false;
+    if (blockPos_ == 0)
+        loadPrecedingBlock();
+    out = block_[--blockPos_];
+    --remaining_;
+    return true;
+}
+
+} // namespace trace
+} // namespace webslice

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Binary trace file I/O.
+ *
+ * A trace file is a small header followed by densely packed 32-byte
+ * Records. Three access paths are provided:
+ *  - TraceWriter: append records while the traced program runs;
+ *  - loadTrace(): read an entire trace into memory (the common case for
+ *    our benchmark-sized traces);
+ *  - ReverseTraceReader: stream records from the end of the file towards
+ *    the beginning in fixed-size blocks, so the backward slicing pass can
+ *    run in O(live set) memory on traces too large to hold in RAM.
+ */
+
+#ifndef WEBSLICE_TRACE_TRACE_FILE_HH
+#define WEBSLICE_TRACE_TRACE_FILE_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "trace/record.hh"
+
+namespace webslice {
+namespace trace {
+
+/** On-disk header preceding the record array. */
+struct TraceHeader
+{
+    char magic[8] = {'W', 'E', 'B', 'T', 'R', 'C', '1', '\0'};
+    uint64_t recordCount = 0;
+};
+
+static_assert(sizeof(TraceHeader) == 16, "header layout must stay fixed");
+
+/** Buffered appender of trace records to a file. */
+class TraceWriter
+{
+  public:
+    explicit TraceWriter(const std::string &path);
+    ~TraceWriter();
+
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
+
+    /** Append one record. */
+    void append(const Record &rec);
+
+    /** Records appended so far. */
+    uint64_t count() const { return count_; }
+
+    /** Flush buffers and patch the header; called by the destructor too. */
+    void close();
+
+  private:
+    void flush();
+
+    std::string path_;
+    std::FILE *file_ = nullptr;
+    std::vector<Record> buffer_;
+    uint64_t count_ = 0;
+};
+
+/** Read a whole trace file into memory. */
+std::vector<Record> loadTrace(const std::string &path);
+
+/**
+ * Streams a trace file's records first to last in blocks, for forward
+ * passes over traces too large to hold in RAM.
+ */
+class ForwardTraceReader
+{
+  public:
+    explicit ForwardTraceReader(const std::string &path,
+                                size_t block_records = 1 << 16);
+    ~ForwardTraceReader();
+
+    ForwardTraceReader(const ForwardTraceReader &) = delete;
+    ForwardTraceReader &operator=(const ForwardTraceReader &) = delete;
+
+    uint64_t count() const { return count_; }
+
+    /** Yield the next record; false at end of trace. */
+    bool next(Record &out);
+
+  private:
+    std::FILE *file_ = nullptr;
+    size_t blockRecords_;
+    uint64_t count_ = 0;
+    uint64_t consumed_ = 0;
+    std::vector<Record> block_;
+    size_t blockPos_ = 0;
+};
+
+/** Write a whole in-memory trace to a file. */
+void saveTrace(const std::string &path, const std::vector<Record> &records);
+
+/**
+ * Streams a trace file's records from last to first, reading the file in
+ * blocks so peak memory stays bounded by the block size.
+ */
+class ReverseTraceReader
+{
+  public:
+    explicit ReverseTraceReader(const std::string &path,
+                                size_t block_records = 1 << 16);
+    ~ReverseTraceReader();
+
+    ReverseTraceReader(const ReverseTraceReader &) = delete;
+    ReverseTraceReader &operator=(const ReverseTraceReader &) = delete;
+
+    /** Total records in the file. */
+    uint64_t count() const { return count_; }
+
+    /** Records not yet yielded. */
+    uint64_t remaining() const { return remaining_; }
+
+    /**
+     * Yield the next record, moving backwards through the trace.
+     * @retval false when the beginning of the trace has been passed.
+     */
+    bool next(Record &out);
+
+  private:
+    void loadPrecedingBlock();
+
+    std::FILE *file_ = nullptr;
+    size_t blockRecords_;
+    uint64_t count_ = 0;
+    uint64_t remaining_ = 0;
+    std::vector<Record> block_;
+    size_t blockPos_ = 0; ///< Records still unread within block_.
+};
+
+} // namespace trace
+} // namespace webslice
+
+#endif // WEBSLICE_TRACE_TRACE_FILE_HH

@@ -1,0 +1,635 @@
+#include "workloads/content.hh"
+
+#include "browser/dom.hh"
+#include "support/strings.hh"
+
+namespace webslice {
+namespace workloads {
+
+namespace {
+
+const char *const kWords[] = {
+    "prime",  "deal",   "fresh",  "save",   "today", "offer",  "best",
+    "ship",   "review", "star",   "cart",   "shop",  "visit",  "local",
+    "route",  "search", "trend",  "news",   "world", "sport",  "photo",
+    "video",  "score",  "market", "stock",  "media", "story",  "daily",
+};
+constexpr size_t kWordCount = sizeof(kWords) / sizeof(kWords[0]);
+
+std::string
+words(Rng &rng, int count)
+{
+    std::string out;
+    for (int i = 0; i < count; ++i) {
+        if (i)
+            out.push_back(' ');
+        out += kWords[rng.below(kWordCount)];
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+idHashLiteral(const std::string &id)
+{
+    return std::to_string(browser::hashString(id));
+}
+
+PageContent
+generatePage(Rng &rng, const PageSpec &spec)
+{
+    PageContent page;
+    std::string &html = page.html;
+    auto useClass = [&](const std::string &name) {
+        for (const auto &existing : page.usedClasses) {
+            if (existing == name)
+                return name;
+        }
+        page.usedClasses.push_back(name);
+        return name;
+    };
+
+    // ---- header + nav ------------------------------------------------------
+    html += spec.fixedHeader ? "<header id=hdr class=hdr>"
+                             : "<header id=hdr class=hdrflow>";
+    useClass(spec.fixedHeader ? "hdr" : "hdrflow");
+    html += words(rng, 2);
+    html += "<nav class=nav>";
+    useClass("nav");
+    if (spec.hiddenMenus > 0) {
+        page.menuButtonId = "btn-menu";
+        html += "<button id=btn-menu class=btn>menu</button>";
+        useClass("btn");
+        page.buttonIds.push_back("btn-menu");
+    }
+    if (spec.searchBox) {
+        page.searchBoxId = "searchbox";
+        html += "<input id=searchbox class=search>";
+        useClass("search");
+        html += words(rng, 1);
+    }
+    html += "</nav></header>";
+    page.visibleTargetIds.push_back("hdr");
+
+    // ---- hidden overlay menus ----------------------------------------------
+    for (int m = 0; m < spec.hiddenMenus; ++m) {
+        const std::string id = format("menu-%d", m);
+        if (m == 0)
+            page.firstMenuId = id;
+        html += format("<div id=%s class=menu hidden>", id.c_str());
+        useClass("menu");
+        html += "<ul class=mlist>";
+        useClass("mlist");
+        for (int e = 0; e < spec.menuEntries; ++e) {
+            html += format("<li class=mitem id=mi-%d-%d>", m, e);
+            useClass("mitem");
+            html += words(rng, 3);
+            html += "</li>";
+            page.hiddenTargetIds.push_back(format("mi-%d-%d", m, e));
+        }
+        html += "</ul></div>";
+        page.hiddenTargetIds.push_back(id);
+    }
+
+    // ---- animated carousel (photo roll) ------------------------------------
+    if (spec.carousel) {
+        page.carouselId = "carousel";
+        html += "<div id=carousel class=carousel>";
+        useClass("carousel");
+        // The photos are absolutely positioned on top of each other (a
+        // real photo roll): all but the top one are pure overdraw.
+        for (int p = 0; p < spec.carouselPhotos; ++p) {
+            const std::string url = format("carousel-%d.img", p);
+            html += format("<img id=car-%d class=cphoto src=%s w=300 "
+                           "h=180>",
+                           p, url.c_str());
+            useClass("cphoto");
+            page.imageUrls.push_back(url);
+            page.visibleTargetIds.push_back(format("car-%d", p));
+        }
+        page.rollButtonId = "btn-roll";
+        html += "<button id=btn-roll class=btn>next</button>";
+        useClass("btn");
+        page.buttonIds.push_back("btn-roll");
+        html += "</div>";
+    }
+
+    // ---- spinner / progress indicator ----------------------------------------
+    if (spec.spinner) {
+        html += "<div id=spinner class=spin>";
+        html += words(rng, 1);
+        html += "</div>";
+        useClass("spin");
+        page.visibleTargetIds.push_back("spinner");
+    }
+
+    // ---- animated ad banner -----------------------------------------------------
+    if (spec.adBanner) {
+        html += "<div id=ad class=adbox>";
+        useClass("adbox");
+        html += "<img id=ad-img src=ad.img w=280 h=200>";
+        page.imageUrls.push_back("ad.img");
+        html += "<p>";
+        html += words(rng, 4);
+        html += "</p></div>";
+        page.visibleTargetIds.push_back("ad");
+    }
+
+    // ---- news pane (Bing) ---------------------------------------------------
+    if (spec.newsPane) {
+        page.newsPaneId = "news";
+        html += "<div id=news class=news>";
+        useClass("news");
+        for (int n = 0; n < 6; ++n) {
+            const std::string id = format("ncard-%d", n);
+            html += format("<div id=%s class=ncard><p>", id.c_str());
+            useClass("ncard");
+            html += words(rng, spec.wordsPerParagraph);
+            html += "</p></div>";
+            page.visibleTargetIds.push_back(id);
+        }
+        if (page.rollButtonId.empty()) {
+            page.rollButtonId = "btn-roll";
+            html += "<button id=btn-roll class=btn>roll</button>";
+            useClass("btn");
+            page.buttonIds.push_back("btn-roll");
+        }
+        html += "</div>";
+    }
+
+    // ---- map canvas (Google Maps) -------------------------------------------
+    if (spec.mapCanvas) {
+        page.mapCanvasId = "map";
+        html += "<div id=map class=mapc>";
+        useClass("mapc");
+        if (spec.bigMapImage) {
+            html += "<img id=bigmap src=bigmap.img w=1240 h=650>";
+            page.imageUrls.push_back("bigmap.img");
+        }
+        for (int t = 0; t < spec.mapTiles; ++t) {
+            const std::string url = format("maptile-%d.img", t);
+            html += format("<img id=mt-%d src=%s w=128 h=128>", t,
+                           url.c_str());
+            page.imageUrls.push_back(url);
+        }
+        html += "</div>";
+        page.visibleTargetIds.push_back("map");
+    }
+
+    // ---- content sections ----------------------------------------------------
+    for (int s = 0; s < spec.sections; ++s) {
+        html += format("<section class=sec id=sec-%d>", s);
+        useClass("sec");
+        html += "<h1>";
+        html += words(rng, 4);
+        html += "</h1>";
+        page.visibleTargetIds.push_back(format("sec-%d", s));
+        for (int i = 0; i < spec.itemsPerSection; ++i) {
+            const std::string card = format("card-%d-%d", s, i);
+            html += format("<div class=card id=%s>", card.c_str());
+            useClass("card");
+            const std::string url = format("img-%d-%d.img", s, i);
+            html += format("<img src=%s w=300 h=200>", url.c_str());
+            page.imageUrls.push_back(url);
+            html += "<p>";
+            html += words(rng, spec.wordsPerParagraph);
+            html += "</p>";
+            const std::string button = format("btn-%d-%d", s, i);
+            html += format("<button id=%s class=btn>", button.c_str());
+            html += words(rng, 2);
+            html += "</button>";
+            page.buttonIds.push_back(button);
+            html += "</div>";
+            page.visibleTargetIds.push_back(card);
+        }
+        html += "</section>";
+    }
+
+    // ---- footer ---------------------------------------------------------------
+    html += "<footer class=ftr id=ftr>";
+    useClass("ftr");
+    for (int l = 0; l < 8; ++l) {
+        html += format("<a class=flink id=fl-%d>", l);
+        useClass("flink");
+        html += words(rng, 2);
+        html += "</a>";
+    }
+    html += "</footer>";
+    page.visibleTargetIds.push_back("ftr");
+
+    return page;
+}
+
+std::string
+generateCss(Rng &rng, const CssSpec &spec, const PageContent &page)
+{
+    std::string css;
+
+    auto color = [&]() { return std::to_string(rng.below(0xFFFFFF) + 1); };
+
+    // ---- structural rules the page depends on --------------------------------
+    css += "body{bg:" + color() + "}\n";
+    css += "div{margin:2}\n";
+    css += "p{font:13;margin:2}\n";
+    css += "h1{font:22;margin:6;color:" + color() + "}\n";
+    css += ".hdr{position:1;z:6;height:56;bg:" + color() + "}\n";
+    css += ".hdrflow{height:56;bg:" + color() + "}\n";
+    css += ".nav{height:40}\n";
+    css += ".btn{width:88;height:28;bg:" + color() + "}\n";
+    css += ".menu{position:2;z:9;width:280;height:360;bg:" + color() +
+           "}\n";
+    css += ".mlist{margin:4}\n.mitem{height:24;color:" + color() + "}\n";
+    // The carousel rotates slowly (anim value = frames per step); the
+    // spinner animates at full frame rate. The spinner's margin keeps it
+    // out from under the fixed header.
+    css += ".carousel{anim:32;height:200;bg:" + color() + "}\n";
+    css += ".cphoto{position:2}\n";
+    css += ".spin{anim:1;width:64;height:64;margin:100;bg:" + color() +
+           "}\n";
+    css += ".adbox{anim:8;width:300;height:250;margin:120;bg:" +
+           color() + "}\n";
+    css += ".news{height:260;bg:" + color() + "}\n";
+    css += ".ncard{height:36;bg:" + color() + ";margin:3}\n";
+    css += ".search{width:320;height:30;bg:" + color() + "}\n";
+    css += ".mapc{height:520;bg:" + color() + "}\n";
+    css += ".sec{margin:10;padding:6}\n";
+    css += ".card{height:230;width:880;bg:" + color() + ";margin:6;padding:4}\n";
+    css += ".ftr{height:120;bg:" + color() + "}\n";
+    css += ".flink{color:" + color() + "}\n";
+    css += ".tile{width:64;height:64;bg:" + color() + "}\n";
+
+    // ---- additional used rules (cascade refinements) ---------------------------
+    // Only content classes take refinements: layering/animation classes
+    // (spin, carousel, cphoto, hdr, menu) must keep their structural
+    // geometry. Half of the refinements target specific element ids, so
+    // their declarations spread across elements instead of piling
+    // overrides onto one class.
+    std::vector<std::string> refine_classes;
+    for (const auto &cls : page.usedClasses) {
+        if (cls == "spin" || cls == "adbox" || cls == "carousel" ||
+            cls == "cphoto" || cls == "hdr" || cls == "hdrflow" ||
+            cls == "menu" || cls == "mapc" || cls == "search") {
+            continue;
+        }
+        refine_classes.push_back(cls);
+    }
+    const uint64_t used_target = static_cast<uint64_t>(
+        static_cast<double>(spec.targetBytes) * spec.usedFraction);
+    size_t class_cursor = 0;
+    size_t id_cursor = 0;
+    while (css.size() < used_target &&
+           (!refine_classes.empty() || !page.visibleTargetIds.empty())) {
+        const bool by_id = rng.chance(0.5) &&
+                           !page.visibleTargetIds.empty();
+        if (by_id) {
+            const std::string &id = page.visibleTargetIds[
+                id_cursor++ % page.visibleTargetIds.size()];
+            css += "#" + id + "{";
+        } else if (!refine_classes.empty()) {
+            const std::string &cls = refine_classes[
+                class_cursor++ % refine_classes.size()];
+            css += "." + cls + "{";
+        } else {
+            continue;
+        }
+        const int props = static_cast<int>(rng.range(1, 3));
+        for (int p = 0; p < props; ++p) {
+            if (p)
+                css += ";";
+            switch (rng.below(4)) {
+              case 0: css += "color:" + color(); break;
+              case 1: css += "font:" + std::to_string(rng.range(10, 24));
+                      break;
+              case 2: css += "padding:" + std::to_string(rng.range(0, 8));
+                      break;
+              default: css += "margin:" + std::to_string(rng.range(2, 9));
+                      break;
+            }
+        }
+        css += "}\n";
+    }
+
+    // ---- unused filler rules (never match anything) -----------------------------
+    int unused_index = 0;
+    while (css.size() < spec.targetBytes) {
+        switch (rng.below(3)) {
+          case 0:
+            css += format(".u-%d-%d{", unused_index,
+                          static_cast<int>(rng.below(1000)));
+            break;
+          case 1:
+            css += format("#nope-%d{", unused_index);
+            break;
+          default:
+            css += format("canvas.v-%d{", unused_index);
+            break;
+        }
+        const int props = static_cast<int>(rng.range(2, 5));
+        for (int p = 0; p < props; ++p) {
+            if (p)
+                css += ";";
+            switch (rng.below(5)) {
+              case 0: css += "color:" + color(); break;
+              case 1: css += "bg:" + color(); break;
+              case 2: css += "width:" + std::to_string(rng.range(10, 900));
+                      break;
+              case 3: css += "height:" +
+                             std::to_string(rng.range(10, 600));
+                      break;
+              default: css += "opacity:" +
+                              std::to_string(rng.range(0, 100));
+                      break;
+            }
+        }
+        css += "}\n";
+        ++unused_index;
+    }
+    return css;
+}
+
+namespace {
+
+/** Emits one synthetic function body (statements of the JS dialect). */
+std::string
+functionBody(Rng &rng, const JsSpec &spec, const PageContent &page,
+             bool touch_dom, const std::vector<std::string> &callees)
+{
+    std::string body;
+    const int statements = static_cast<int>(
+        rng.range(spec.statementsPerFunctionMin,
+                  spec.statementsPerFunctionMax));
+    int locals = 0;
+    body += format("var t%d = %d;", locals,
+                   static_cast<int>(rng.below(97) + 1));
+    ++locals;
+
+    for (int s = 0; s < statements; ++s) {
+        switch (rng.below(8)) {
+          case 0:
+            body += format("var t%d = t%d * %d + %d;", locals,
+                           static_cast<int>(rng.below(locals)),
+                           static_cast<int>(rng.below(13) + 1),
+                           static_cast<int>(rng.below(31)));
+            ++locals;
+            break;
+          case 1: {
+            const int a = static_cast<int>(rng.below(locals));
+            body += format("if(t%d < %d){t%d = t%d + %d;}else{t%d = "
+                           "t%d ^ %d;}",
+                           a, static_cast<int>(rng.below(200)), a, a,
+                           static_cast<int>(rng.below(9) + 1), a, a,
+                           static_cast<int>(rng.below(255)));
+            break;
+          }
+          case 2: {
+            const int a = static_cast<int>(rng.below(locals));
+            const int bound = static_cast<int>(rng.below(32) + 8);
+            body += format("var t%d = 0;", locals);
+            body += format("while(t%d < %d){t%d = t%d + 1; t%d = t%d "
+                           "+ t%d * 3;}",
+                           locals, bound, locals, locals, a, a, locals);
+            ++locals;
+            break;
+          }
+          case 3: {
+            if (!callees.empty()) {
+                const auto &callee =
+                    callees[rng.below(callees.size())];
+                body += format("var t%d = %s(t%d);", locals,
+                               callee.c_str(),
+                               static_cast<int>(rng.below(locals)));
+                ++locals;
+                break;
+            }
+            [[fallthrough]];
+          }
+          case 4: {
+            if (touch_dom && !page.visibleTargetIds.empty()) {
+                const auto &id = page.visibleTargetIds[rng.below(
+                    page.visibleTargetIds.size())];
+                // color or background, data-dependent value
+                body += format("dom.set(%s, %d, t%d * 7919 + %d);",
+                               idHashLiteral(id).c_str(),
+                               rng.chance(0.5) ? 1 : 2,
+                               static_cast<int>(rng.below(locals)),
+                               static_cast<int>(rng.below(0xFFFF)));
+                break;
+            }
+            [[fallthrough]];
+          }
+          case 5: {
+            if (touch_dom && !page.hiddenTargetIds.empty()) {
+                // Imperceptible: style a hidden menu entry.
+                const auto &id = page.hiddenTargetIds[rng.below(
+                    page.hiddenTargetIds.size())];
+                body += format("dom.set(%s, 1, t%d + %d);",
+                               idHashLiteral(id).c_str(),
+                               static_cast<int>(rng.below(locals)),
+                               static_cast<int>(rng.below(0xFFFF)));
+                break;
+            }
+            [[fallthrough]];
+          }
+          case 6: {
+            if (touch_dom && !page.visibleTargetIds.empty() &&
+                rng.chance(0.3)) {
+                const auto &id = page.visibleTargetIds[rng.below(
+                    page.visibleTargetIds.size())];
+                body += format("var t%d = dom.get(%s, 1) + t%d;", locals,
+                               idHashLiteral(id).c_str(),
+                               static_cast<int>(rng.below(locals)));
+                ++locals;
+                break;
+            }
+            [[fallthrough]];
+          }
+          default: {
+            const int a = static_cast<int>(rng.below(locals));
+            body += format("t%d = t%d & %d | %d;", a, a,
+                           static_cast<int>(rng.below(0xFFFF)),
+                           static_cast<int>(rng.below(0xFF)));
+            break;
+          }
+        }
+    }
+    body += format("return t%d;", static_cast<int>(rng.below(locals)));
+    return body;
+}
+
+} // namespace
+
+std::string
+generateJs(Rng &rng, const JsSpec &spec, const PageContent &page)
+{
+    std::string js;
+    std::vector<std::string> load_functions;
+    std::vector<std::string> helper_functions;
+    int counter = 0;
+
+    const uint64_t load_target = static_cast<uint64_t>(
+        static_cast<double>(spec.targetBytes) * spec.loadFraction);
+    const uint64_t handler_target = static_cast<uint64_t>(
+        static_cast<double>(spec.targetBytes) * spec.handlerFraction);
+
+    // ---- helpers shared by the load path (executed) ---------------------------
+    for (int h = 0; h < 3; ++h) {
+        const std::string name =
+            format("%sutil%d", spec.namePrefix.c_str(), counter++);
+        js += format("function %s(a){", name.c_str());
+        js += "var r = a * 2 + 3; if(r < 50){r = r + a;} return r;";
+        js += "}\n";
+        helper_functions.push_back(name);
+    }
+
+    // ---- load-time functions (invoked from the top level) ---------------------
+    while (js.size() < load_target) {
+        const std::string name =
+            format("%sinit%d", spec.namePrefix.c_str(), counter++);
+        js += format("function %s(a){", name.c_str());
+        js += functionBody(rng, spec, page, /*touch_dom=*/true,
+                           helper_functions);
+        js += "}\n";
+        load_functions.push_back(name);
+    }
+
+    // ---- browse handlers (menu toggle, roll, typing) ---------------------------
+    // Support functions reachable only from the fired handlers: these
+    // bytes become "used" exactly when the user browses — the Table I
+    // load-vs-browse delta.
+    std::vector<std::string> browse_helpers;
+    const uint64_t fired_target =
+        js.size() + static_cast<uint64_t>(0.6 * handler_target);
+    while (js.size() < fired_target) {
+        const std::string name =
+            format("%sbrowse%d", spec.namePrefix.c_str(), counter++);
+        js += format("function %s(a){", name.c_str());
+        js += functionBody(rng, spec, page, /*touch_dom=*/true,
+                           helper_functions);
+        js += "}\n";
+        browse_helpers.push_back(name);
+    }
+    size_t browse_cursor = 0;
+    auto callBrowseHelpers = [&](int count) {
+        std::string calls;
+        for (int i = 0; i < count && !browse_helpers.empty(); ++i) {
+            calls += format(
+                "g_b = %s(g_b);",
+                browse_helpers[(browse_cursor++) %
+                               browse_helpers.size()].c_str());
+        }
+        return calls;
+    };
+
+    std::string handlers_registration;
+    if (!page.menuButtonId.empty() && !page.firstMenuId.empty()) {
+        js += format("function %sonMenuToggle(){",
+                     spec.namePrefix.c_str());
+        js += callBrowseHelpers(static_cast<int>(
+            browse_helpers.size() / 3 + 1));
+        js += format("if(g_menu == 0){dom.show(%s); g_menu = 1;}"
+                     "else{dom.hide(%s); g_menu = 0;}",
+                     idHashLiteral(page.firstMenuId).c_str(),
+                     idHashLiteral(page.firstMenuId).c_str());
+        // Menu-open also styles the entries (work only visible when
+        // the menu is).
+        for (size_t e = 0; e < page.hiddenTargetIds.size() && e < 4;
+             ++e) {
+            js += format("dom.set(%s, 1, g_menu * 5003 + %zu);",
+                         idHashLiteral(page.hiddenTargetIds[e]).c_str(),
+                         e);
+        }
+        js += "}\n";
+        handlers_registration += format(
+            "dom.listen(%s, 0, %sonMenuToggle);",
+            idHashLiteral(page.menuButtonId).c_str(),
+            spec.namePrefix.c_str());
+    }
+    if (!page.rollButtonId.empty()) {
+        js += format("function %sonRoll(){g_roll = g_roll + 1;",
+                     spec.namePrefix.c_str());
+        js += callBrowseHelpers(static_cast<int>(
+            browse_helpers.size() / 3 + 1));
+        const auto &targets = page.newsPaneId.empty()
+                                  ? page.visibleTargetIds
+                                  : page.visibleTargetIds;
+        for (size_t n = 0; n < targets.size() && n < 6; ++n) {
+            js += format("dom.set(%s, 2, g_roll * 7129 + %zu);",
+                         idHashLiteral(targets[n]).c_str(), n);
+        }
+        js += "}\n";
+        handlers_registration +=
+            format("dom.listen(%s, 0, %sonRoll);",
+                   idHashLiteral(page.rollButtonId).c_str(),
+                   spec.namePrefix.c_str());
+    }
+    if (!page.searchBoxId.empty()) {
+        js += format("function %sonKey(){g_q = g_q * 31 + 7;",
+                     spec.namePrefix.c_str());
+        js += callBrowseHelpers(static_cast<int>(
+            browse_helpers.size() -
+            2 * (browse_helpers.size() / 3 + 1)));
+        js += format("dom.text(%s, g_q);",
+                     idHashLiteral(page.searchBoxId).c_str());
+        js += "}\n";
+        handlers_registration +=
+            format("dom.listen(%s, 1, %sonKey);",
+                   idHashLiteral(page.searchBoxId).c_str(),
+                   spec.namePrefix.c_str());
+    }
+
+    // Pad the browse-handler pool to its byte budget with handlers wired
+    // to buttons that the sessions may or may not press.
+    size_t button_cursor = 0;
+    while (js.size() < load_target + handler_target &&
+           button_cursor < page.buttonIds.size()) {
+        const std::string name =
+            format("%sonButton%d", spec.namePrefix.c_str(), counter++);
+        js += format("function %s(){", name.c_str());
+        js += functionBody(rng, spec, page, /*touch_dom=*/true,
+                           helper_functions);
+        js += "}\n";
+        handlers_registration += format(
+            "dom.listen(%s, 0, %s);",
+            idHashLiteral(page.buttonIds[button_cursor]).c_str(),
+            name.c_str());
+        ++button_cursor;
+    }
+
+    // ---- dead weight: parsed + compiled, never run ------------------------------
+    std::vector<std::string> dead_functions;
+    while (js.size() < spec.targetBytes) {
+        const std::string name =
+            format("%slib%d", spec.namePrefix.c_str(), counter++);
+        js += format("function %s(a){", name.c_str());
+        js += functionBody(rng, spec, page, /*touch_dom=*/false,
+                           dead_functions);
+        js += "}\n";
+        dead_functions.push_back(name);
+        if (dead_functions.size() > 12)
+            dead_functions.erase(dead_functions.begin());
+    }
+
+    // ---- top level ---------------------------------------------------------------
+    // Globals (assignments, so handlers and the top level share slots).
+    js += "g_menu = 0; g_roll = 0; g_q = 0; g_b = 1;\n";
+    for (const auto &name : load_functions)
+        js += name + "(3);";
+    js += "\n";
+    js += handlers_registration;
+    js += "\n";
+    return js;
+}
+
+std::string
+generateImageBytes(Rng &rng, size_t bytes)
+{
+    std::string out;
+    out.reserve(bytes);
+    for (size_t i = 0; i < bytes; ++i)
+        out.push_back(static_cast<char>(rng.below(256)));
+    return out;
+}
+
+} // namespace workloads
+} // namespace webslice

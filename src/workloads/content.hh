@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Content synthesizers for the benchmark websites.
+ *
+ * These build the HTML/CSS/JS payloads that the browser substrate
+ * downloads and processes. The key workload properties come straight from
+ * the paper's measurements: 40-60% of JS+CSS bytes are never used after
+ * load (Table I), some code only runs once the user browses, real sites
+ * split into header/nav/menus/sections/footer with hidden overlays and
+ * below-the-fold content, and JS registers the event handlers that the
+ * browse sessions fire.
+ */
+
+#ifndef WEBSLICE_WORKLOADS_CONTENT_HH
+#define WEBSLICE_WORKLOADS_CONTENT_HH
+
+#include <string>
+#include <vector>
+
+#include "support/rng.hh"
+
+namespace webslice {
+namespace workloads {
+
+/** Declarative description of the page structure to synthesize. */
+struct PageSpec
+{
+    int sections = 6;          ///< Content sections below the header.
+    int itemsPerSection = 4;   ///< Cards per section.
+    int hiddenMenus = 2;       ///< display:none overlay menus.
+    int menuEntries = 6;       ///< Items inside each menu.
+    bool fixedHeader = true;   ///< position:fixed header layer.
+    bool carousel = false;     ///< Animated photo-roll layer.
+    int carouselPhotos = 6;    ///< Absolutely stacked photos in the roll.
+    bool spinner = false;      ///< Small always-animated layer.
+    bool adBanner = false;     ///< 300x250 animated ad (image + text).
+    bool bigMapImage = false;  ///< One viewport-wide map image.
+    bool newsPane = false;     ///< Bing-style news pane + roll button.
+    bool searchBox = false;    ///< Search input wired to key handlers.
+    bool mapCanvas = false;    ///< Google-Maps-style tile canvas.
+    int mapTiles = 0;          ///< Image tiles inside the canvas.
+    int wordsPerParagraph = 12;
+};
+
+/** Synthesized page: the HTML plus everything the generators learned. */
+struct PageContent
+{
+    std::string html;
+    std::vector<std::string> imageUrls;
+
+    /** Class names that actually appear in the HTML (for used CSS). */
+    std::vector<std::string> usedClasses;
+
+    /** Element ids that scripts are allowed to touch. */
+    std::vector<std::string> visibleTargetIds;
+    std::vector<std::string> hiddenTargetIds; ///< menus/overlays
+    std::vector<std::string> buttonIds;
+
+    std::string menuButtonId;  ///< "" when there is no menu.
+    std::string firstMenuId;
+    std::string rollButtonId;  ///< news-pane / carousel roll control.
+    std::string newsPaneId;
+    std::string searchBoxId;
+    std::string carouselId;
+    std::string mapCanvasId;
+};
+
+/** Build the page HTML (deterministic for a given rng state). */
+PageContent generatePage(Rng &rng, const PageSpec &spec);
+
+/** CSS generation parameters. */
+struct CssSpec
+{
+    uint64_t targetBytes = 40000;
+    /** Fraction of rule bytes that must match real page content. */
+    double usedFraction = 0.5;
+};
+
+/** Generate a stylesheet; used rules target the page's real selectors. */
+std::string generateCss(Rng &rng, const CssSpec &spec,
+                        const PageContent &page);
+
+/** JS generation parameters. */
+struct JsSpec
+{
+    uint64_t targetBytes = 200000;
+    /** Fraction of function bytes executed during load (top-level). */
+    double loadFraction = 0.35;
+    /** Fraction of function bytes only reachable via event handlers. */
+    double handlerFraction = 0.08;
+    int statementsPerFunctionMin = 4;
+    int statementsPerFunctionMax = 18;
+
+    /**
+     * Prefix for every generated function name. Scripts loaded into the
+     * same engine share one function namespace, so a second bundle
+     * (lazy/browse-time download) must not collide with the first.
+     */
+    std::string namePrefix;
+};
+
+/**
+ * Generate a script. Load-time functions touch visible and hidden
+ * targets and are invoked from the top level; handler functions are
+ * registered with dom.listen on the page's interactive elements; the
+ * rest is dead weight (parsed + compiled, never run).
+ */
+std::string generateJs(Rng &rng, const JsSpec &spec,
+                       const PageContent &page);
+
+/** Opaque image payload of roughly the requested size. */
+std::string generateImageBytes(Rng &rng, size_t bytes);
+
+/** FNV-1a hash rendered as a decimal literal for embedding in JS. */
+std::string idHashLiteral(const std::string &id);
+
+} // namespace workloads
+} // namespace webslice
+
+#endif // WEBSLICE_WORKLOADS_CONTENT_HH

@@ -1,0 +1,486 @@
+/**
+ * @file
+ * Deeper browser-substrate tests: the traced heap, IPC channel, resource
+ * loader, image decode, compositor behaviors (occlusion, scroll clamping,
+ * damage tracking, prepaint budget), raster counters, layout positioning
+ * schemes, and the JS engine's lazy/JIT paths.
+ */
+
+#include <gtest/gtest.h>
+
+#include "browser/tab.hh"
+#include "graph/cfg.hh"
+#include "graph/control_deps.hh"
+#include "slicer/slicer.hh"
+
+namespace webslice {
+namespace browser {
+namespace {
+
+using sim::Ctx;
+using sim::Machine;
+using sim::Value;
+using trace::RecordKind;
+
+size_t
+countKind(const Machine &machine, RecordKind kind)
+{
+    size_t count = 0;
+    for (const auto &rec : machine.records())
+        count += rec.kind == kind ? 1 : 0;
+    return count;
+}
+
+// ---- TracedHeap --------------------------------------------------------------
+
+TEST(TracedHeap, AllocFreeRoundTripEmitsRecords)
+{
+    Machine machine;
+    const auto tid = machine.addThread("main");
+    Ctx ctx(machine, tid);
+    TracedHeap heap(machine);
+
+    const size_t before = machine.records().size();
+    const uint64_t a = heap.alloc(ctx, 64, "x");
+    const uint64_t b = heap.alloc(ctx, 64, "y");
+    EXPECT_NE(a, b);
+    heap.free(ctx, a);
+    heap.free(ctx, b);
+    EXPECT_GT(machine.records().size(), before + 10);
+    EXPECT_EQ(heap.allocCount(), 2u);
+
+    // Freed blocks are reused by the underlying allocator.
+    const uint64_t c = heap.alloc(ctx, 64, "z");
+    EXPECT_TRUE(c == a || c == b);
+}
+
+TEST(TracedHeap, SymbolsAreUncategorizable)
+{
+    Machine machine;
+    const auto tid = machine.addThread("main");
+    Ctx ctx(machine, tid);
+    TracedHeap heap(machine);
+    heap.alloc(ctx, 16);
+
+    bool found_malloc = false;
+    for (const auto &sym : machine.symtab().symbols()) {
+        if (sym.name == "malloc") {
+            found_malloc = true;
+            EXPECT_EQ(sym.name.find("::"), std::string::npos);
+        }
+    }
+    EXPECT_TRUE(found_malloc);
+}
+
+// ---- IPC ---------------------------------------------------------------------
+
+TEST(Ipc, SendSerializesAndHitsTheKernel)
+{
+    Machine machine;
+    const auto tid = machine.addThread("main");
+    Ctx ctx(machine, tid);
+    IpcChannel ipc(machine);
+
+    const uint64_t payload[] = {7, 8, 9};
+    ipc.send(ctx, IpcMessage::UpdateTitle, payload);
+    EXPECT_EQ(ipc.messagesSent(), 1u);
+    EXPECT_GT(ipc.bytesSent(), 3 * 8u);
+    EXPECT_EQ(countKind(machine, RecordKind::Syscall), 1u);
+    // The kernel read covers the serialized bytes.
+    EXPECT_GE(countKind(machine, RecordKind::SyscallRead), 1u);
+}
+
+TEST(Ipc, SendValueCarriesTracedDependence)
+{
+    Machine machine;
+    const auto tid = machine.addThread("main");
+    Ctx ctx(machine, tid);
+    IpcChannel ipc(machine);
+
+    Value metric = ctx.imm(4242);
+    ipc.sendValue(ctx, IpcMessage::FrameSwapMetrics, metric);
+    EXPECT_EQ(ipc.messagesSent(), 1u);
+}
+
+// ---- image decode --------------------------------------------------------------
+
+TEST(Images, DecodeIsLazyAndCached)
+{
+    Machine machine;
+    const auto tid = machine.addThread("main");
+    Ctx ctx(machine, tid);
+    TraceLog log(machine);
+    ImageStore store(machine, log, 16);
+
+    Resource res;
+    res.content = std::string(512, '\x5A');
+    res.size = res.content.size();
+    res.addr = machine.alloc(520, "img");
+    machine.mem().writeBytes(res.addr, res.content.data(), res.size);
+    res.loaded = true;
+
+    store.addResource("x.img", &res, 64, 32);
+    EXPECT_EQ(store.decodeCount(), 0u); // nothing decoded yet
+
+    ImageEntry *first = store.decodedBitmap(ctx, "x.img");
+    ASSERT_NE(first, nullptr);
+    EXPECT_TRUE(first->decoded);
+    EXPECT_EQ(first->widthCells, 4u);
+    EXPECT_EQ(first->heightCells, 2u);
+    EXPECT_EQ(store.decodeCount(), 1u);
+
+    // Second lookup reuses the bitmap (no second decode).
+    ImageEntry *second = store.decodedBitmap(ctx, "x.img");
+    EXPECT_EQ(second, first);
+    EXPECT_EQ(store.decodeCount(), 1u);
+
+    EXPECT_EQ(store.decodedBitmap(ctx, "missing.img"), nullptr);
+}
+
+// ---- compositor behaviors -------------------------------------------------------
+
+/** Run a site and return the tab + machine for compositor inspection. */
+struct Session
+{
+    Machine machine;
+    Tab tab;
+
+    explicit Session(const SiteContent &site, BrowserConfig config = {},
+                     uint64_t session_ms = 800)
+        : tab(machine, config)
+    {
+        tab.setSessionMs(session_ms);
+        tab.navigate(site);
+    }
+};
+
+SiteContent
+plainSite(int tall_divs)
+{
+    SiteContent site;
+    site.url = "https://plain.example/";
+    site.html = "<link href=m.css>";
+    for (int i = 0; i < tall_divs; ++i)
+        site.html += "<div class=tall id=d" + std::to_string(i) +
+                     ">content</div>";
+    site.resources["m.css"] = {ResourceType::Css,
+                               ".tall{height:300;bg:1234}\n"};
+    return site;
+}
+
+TEST(Compositor, ScrollClampsAtDocumentEdges)
+{
+    BrowserConfig config;
+    config.viewportWidth = 512;
+    config.viewportHeight = 256;
+    Session session(plainSite(4), config, 2500);
+    session.tab.scheduleScroll(600, -500); // before the top: clamps to 0
+    session.tab.scheduleScroll(1200, 100000); // beyond the end
+    session.machine.run();
+
+    const int max_scroll = static_cast<int>(
+        session.tab.layerTree().documentHeight) - 256;
+    EXPECT_EQ(session.tab.compositor().scrollOffset(),
+              std::max(0, max_scroll));
+}
+
+TEST(Compositor, DamageTrackingSkipsUnchangedContent)
+{
+    BrowserConfig config;
+    config.viewportWidth = 512;
+    config.viewportHeight = 256;
+    Session session(plainSite(2), config, 2000);
+    session.machine.run();
+
+    // Everything rastered once; an unchanged repaint must not re-raster.
+    const auto tiles_after_load =
+        session.tab.compositor().rasterizer().tilesRastered();
+    EXPECT_GT(tiles_after_load, 0u);
+}
+
+TEST(Compositor, OccludedLayerIsNotRastered)
+{
+    SiteContent site;
+    site.url = "https://occlusion.example/";
+    // A small z=1 badge fully covered by a z=9 opaque overlay.
+    site.html = "<link href=m.css>"
+                "<div id=badge class=badge>b</div>"
+                "<div id=cover class=cover>c</div>";
+    site.resources["m.css"] = {
+        ResourceType::Css,
+        ".badge{z:1;width:64;height:64;bg:111}\n"
+        ".cover{position:1;z:9;width:512;height:512;bg:222}\n"};
+
+    BrowserConfig config;
+    config.viewportWidth = 512;
+    config.viewportHeight = 512;
+    Session session(site, config, 600);
+    session.machine.run();
+
+    const auto &layers = session.tab.layerTree().layers;
+    const Layer *badge = nullptr;
+    for (const auto &layer : layers) {
+        if (layer->owner && layer->owner->idAttr == "badge")
+            badge = layer.get();
+    }
+    ASSERT_NE(badge, nullptr);
+    EXPECT_TRUE(badge->fullyOccluded);
+}
+
+TEST(Compositor, FramesAndTilesAccumulate)
+{
+    Session session(plainSite(2), {}, 600);
+    session.machine.run();
+    EXPECT_GT(session.tab.compositor().framesSubmitted(), 0u);
+    EXPECT_GT(session.tab.compositor().commitsReceived(), 0u);
+    EXPECT_GT(session.tab.compositor().rasterizer().cellsWritten(), 0u);
+    EXPECT_EQ(session.machine.pixelCriteria().markerCount(),
+              session.tab.compositor().rasterizer().tilesRastered());
+}
+
+// ---- layout positioning ----------------------------------------------------------
+
+TEST(Layout, AbsoluteChildrenStack)
+{
+    SiteContent site;
+    site.url = "https://stack.example/";
+    site.html = "<link href=m.css><div id=roll class=roll>"
+                "<div class=photo id=p0>a</div>"
+                "<div class=photo id=p1>b</div></div>";
+    site.resources["m.css"] = {
+        ResourceType::Css,
+        ".roll{height:200;bg:9}\n"
+        ".photo{position:2;width:120;height:100;bg:5}\n"};
+    Session session(site, {}, 500);
+    session.machine.run();
+
+    auto *doc = session.tab.document();
+    Element *p0 = doc->byIdHash(hashString("p0"));
+    Element *p1 = doc->byIdHash(hashString("p1"));
+    const auto y0 = session.machine.mem().read(
+        p0->layoutAddr + LayoutFields::kY, 4);
+    const auto y1 = session.machine.mem().read(
+        p1->layoutAddr + LayoutFields::kY, 4);
+    EXPECT_EQ(y0, y1); // stacked, not flowed
+}
+
+TEST(Layout, FixedElementPinsToViewport)
+{
+    SiteContent site;
+    site.url = "https://fixed.example/";
+    site.html = "<link href=m.css><div class=tall id=t>x</div>"
+                "<div id=pin class=pin>p</div>";
+    site.resources["m.css"] = {ResourceType::Css,
+                               ".tall{height:900;bg:3}\n"
+                               ".pin{position:1;width:60;height:40;"
+                               "bg:7}\n"};
+    Session session(site, {}, 500);
+    session.machine.run();
+
+    Element *pin = session.tab.document()->byIdHash(hashString("pin"));
+    const auto y = session.machine.mem().read(
+        pin->layoutAddr + LayoutFields::kY, 4);
+    EXPECT_LT(y, 16u); // viewport origin + margin, not below the tall div
+}
+
+// ---- JS engine paths ----------------------------------------------------------------
+
+TEST(JsPaths, LazyAndEagerProduceTheSameDomState)
+{
+    const std::string hero = std::to_string(hashString("hero"));
+    SiteContent site;
+    site.url = "https://lazy.example/";
+    site.html = "<link href=m.css><script src=a.js>"
+                "<div id=hero class=card>x</div>";
+    site.resources["m.css"] = {ResourceType::Css,
+                               ".card{height:80;bg:2}\n"};
+    site.resources["a.js"] = {
+        ResourceType::Js,
+        "function helper(a){return a * 3 + 1;}"
+        "function unused(a){var q = a; while(q < 50){q = q + 7;} "
+        "return q;}"
+        "dom.set(" + hero + ", 1, helper(13));"};
+
+    auto run = [&](bool lazy) {
+        Machine machine;
+        JsEngineConfig js_config;
+        js_config.lazyCompile = lazy;
+        BrowserConfig config;
+        config.viewportWidth = 256;
+        config.viewportHeight = 256;
+        Tab tab(machine, config, js_config);
+        tab.setSessionMs(300);
+        tab.navigate(site);
+        machine.run();
+        Element *el = tab.document()->byIdHash(hashString("hero"));
+        return std::make_pair(
+            machine.mem().read(el->styleAddr + StyleFields::kColor, 4),
+            machine.instructionCount());
+    };
+
+    const auto eager = run(false);
+    const auto lazy = run(true);
+    EXPECT_EQ(eager.first, lazy.first);   // same rendered result
+    EXPECT_EQ(eager.first, 40u);          // helper(13) = 40
+    EXPECT_LT(lazy.second, eager.second); // unused() never compiled
+}
+
+TEST(JsPaths, JitUpdatesTheDispatchTable)
+{
+    Machine machine;
+    const auto tid = machine.addThread("main");
+    TraceLog log(machine);
+    JsEngineConfig config;
+    config.jitThreshold = 2;
+    JsEngine engine(machine, log, config);
+
+    Resource script;
+    script.content = "function hot(a){return a + 1;}"
+                     "g = hot(1) + hot(2) + hot(3);";
+    script.size = script.content.size();
+    script.addr = machine.alloc(script.size + 16, "js");
+    machine.mem().writeBytes(script.addr, script.content.data(),
+                             script.size);
+    script.loaded = true;
+
+    machine.post(tid, [&](Ctx &ctx) { engine.runScript(ctx, script); });
+    machine.run();
+    EXPECT_EQ(engine.optimizations(), 1u);
+    EXPECT_GT(engine.bytecodeOpsExecuted(), 10u);
+}
+
+TEST(JsPaths, DomCreateGrowsTheTree)
+{
+    Machine machine;
+    BrowserConfig config;
+    config.viewportWidth = 256;
+    config.viewportHeight = 256;
+    Tab tab(machine, config);
+
+    const std::string root_id = std::to_string(hashString("box"));
+    SiteContent site;
+    site.url = "https://create.example/";
+    site.html = "<link href=m.css><script src=a.js>"
+                "<div id=box class=box>x</div>";
+    site.resources["m.css"] = {ResourceType::Css,
+                               ".box{height:100;bg:6}\n"
+                               ".tile{width:32;height:32;bg:8}\n"};
+    site.resources["a.js"] = {
+        ResourceType::Js,
+        // dom.create(parentId, tag, classHash): three dynamic tiles.
+        "g_i = 0;"
+        "while(g_i < 3){dom.create(" + root_id + ", 2, " +
+            std::to_string(hashString("tile")) + "); g_i = g_i + 1;}"};
+
+    tab.setSessionMs(400);
+    tab.navigate(site);
+    machine.run();
+
+    Element *box = tab.document()->byIdHash(hashString("box"));
+    ASSERT_NE(box, nullptr);
+    // 1 text node + 3 created tiles.
+    EXPECT_EQ(box->children.size(), 4u);
+}
+
+
+TEST(JsPaths, HotFunctionsDeoptimizeOnceThenReoptimize)
+{
+    Machine machine;
+    const auto tid = machine.addThread("main");
+    TraceLog log(machine);
+    JsEngineConfig config;
+    config.jitThreshold = 2;
+    config.deoptAfter = 3;
+    JsEngine engine(machine, log, config);
+
+    Resource script;
+    script.content = "function hot(a){return a + 1;}"
+                     "g = 0; g_i = 0;"
+                     "while(g_i < 10){g = g + hot(g_i); g_i = g_i + 1;}";
+    script.size = script.content.size();
+    script.addr = machine.alloc(script.size + 16, "js");
+    machine.mem().writeBytes(script.addr, script.content.data(),
+                             script.size);
+    script.loaded = true;
+    machine.post(tid, [&](Ctx &ctx) { engine.runScript(ctx, script); });
+    machine.run();
+
+    EXPECT_EQ(engine.deoptimizations(), 1u);
+    EXPECT_EQ(engine.optimizations(), 2u); // optimize, bail out, re-opt
+}
+
+TEST(JsPaths, GarbageCollectionRunsUnderCallPressure)
+{
+    Machine machine;
+    const auto tid = machine.addThread("main");
+    TraceLog log(machine);
+    JsEngineConfig config;
+    config.gcEveryCalls = 8;
+    JsEngine engine(machine, log, config);
+
+    Resource script;
+    script.content = "function f(a){return a;}"
+                     "g_i = 0;"
+                     "while(g_i < 30){g_i = g_i + 1; g = f(g_i);}";
+    script.size = script.content.size();
+    script.addr = machine.alloc(script.size + 16, "js");
+    machine.mem().writeBytes(script.addr, script.content.data(),
+                             script.size);
+    script.loaded = true;
+    machine.post(tid, [&](Ctx &ctx) { engine.runScript(ctx, script); });
+    machine.run();
+
+    EXPECT_GE(engine.gcPasses(), 3u);
+
+    // GC work is attributed to v8::Heap::scavenge in the symbol table.
+    bool found = false;
+    for (const auto &sym : machine.symtab().symbols())
+        found |= sym.name == "v8::Heap::scavenge";
+    EXPECT_TRUE(found);
+}
+// ---- end-to-end slice sanity over a parameter sweep -----------------------------------
+
+struct ViewportParams
+{
+    int width;
+    int height;
+    int cell_px;
+};
+
+class ViewportSweep : public ::testing::TestWithParam<ViewportParams>
+{
+};
+
+TEST_P(ViewportSweep, SliceStaysInSaneBounds)
+{
+    const auto p = GetParam();
+    BrowserConfig config;
+    config.viewportWidth = p.width;
+    config.viewportHeight = p.height;
+    config.cellPx = p.cell_px;
+    Machine machine;
+    Tab tab(machine, config);
+    tab.setSessionMs(400);
+    tab.navigate(plainSite(3));
+    machine.run();
+
+    const auto cfgs = graph::buildCfgs(machine.records(),
+                                       machine.symtab());
+    const auto deps = graph::buildControlDeps(cfgs);
+    const auto slice = slicer::computeSlice(
+        machine.records(), cfgs, deps, machine.pixelCriteria());
+    EXPECT_GT(slice.slicePercent(), 5.0);
+    EXPECT_LT(slice.slicePercent(), 95.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Viewports, ViewportSweep,
+    ::testing::Values(ViewportParams{1280, 720, 16},
+                      ViewportParams{360, 640, 32},
+                      ViewportParams{360, 640, 64},
+                      ViewportParams{800, 600, 16},
+                      ViewportParams{256, 256, 16}));
+
+} // namespace
+} // namespace browser
+} // namespace webslice

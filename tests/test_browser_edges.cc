@@ -1,0 +1,321 @@
+/**
+ * @file
+ * Edge-case tests for the browser substrate's parsers and engine: inputs
+ * at the boundaries of the HTML/CSS/JS dialects, malformed-ish content
+ * the generators never emit but a robust substrate must survive, and
+ * small engine corner cases.
+ */
+
+#include <gtest/gtest.h>
+
+#include "browser/css.hh"
+#include "browser/html_parser.hh"
+#include "browser/js.hh"
+#include "browser/layout.hh"
+#include "sim/machine.hh"
+
+namespace webslice {
+namespace browser {
+namespace {
+
+using sim::Ctx;
+using sim::Machine;
+
+class EdgeTest : public ::testing::Test
+{
+  protected:
+    EdgeTest()
+        : tid(machine.addThread("main")), ctx(machine, tid),
+          traceLog(machine)
+    {
+    }
+
+    Resource
+    res(std::string content, ResourceType type)
+    {
+        Resource resource;
+        resource.type = type;
+        resource.content = std::move(content);
+        resource.size = resource.content.size();
+        resource.addr =
+            machine.alloc((resource.size + 15) & ~7ull, "res");
+        machine.mem().writeBytes(resource.addr, resource.content.data(),
+                                 resource.size);
+        resource.loaded = true;
+        return resource;
+    }
+
+    Machine machine;
+    trace::ThreadId tid;
+    Ctx ctx;
+    TraceLog traceLog;
+};
+
+// ---- HTML edges ---------------------------------------------------------------
+
+TEST_F(EdgeTest, EmptyDocumentYieldsJustTheRoot)
+{
+    HtmlParser parser(machine, traceLog);
+    auto doc = parser.parse(ctx, res("", ResourceType::Html));
+    EXPECT_EQ(doc->elementCount(), 1u); // the synthetic body
+    EXPECT_TRUE(doc->root()->children.empty());
+}
+
+TEST_F(EdgeTest, TextOnlyDocument)
+{
+    HtmlParser parser(machine, traceLog);
+    auto doc = parser.parse(ctx, res("just words here",
+                                     ResourceType::Html));
+    ASSERT_EQ(doc->root()->children.size(), 1u);
+    EXPECT_TRUE(doc->root()->children[0]->isText());
+    EXPECT_EQ(doc->root()->children[0]->text, "just words here");
+}
+
+TEST_F(EdgeTest, UnclosedTagIsToleratedByTheCloseOut)
+{
+    HtmlParser parser(machine, traceLog);
+    auto doc = parser.parse(
+        ctx, res("<div id=a><span>inner", ResourceType::Html));
+    Element *a = doc->byIdHash(hashString("a"));
+    ASSERT_NE(a, nullptr);
+    ASSERT_EQ(a->children.size(), 1u);
+    EXPECT_EQ(a->children[0]->tag, Tag::Span);
+}
+
+TEST_F(EdgeTest, StrayClosingTagsDoNotUnderflow)
+{
+    HtmlParser parser(machine, traceLog);
+    auto doc = parser.parse(
+        ctx, res("</div></span><p id=ok>x</p>", ResourceType::Html));
+    EXPECT_NE(doc->byIdHash(hashString("ok")), nullptr);
+}
+
+TEST_F(EdgeTest, UnknownTagsStillBecomeElements)
+{
+    HtmlParser parser(machine, traceLog);
+    auto doc = parser.parse(
+        ctx, res("<widget id=w>x</widget>", ResourceType::Html));
+    Element *w = doc->byIdHash(hashString("w"));
+    ASSERT_NE(w, nullptr);
+    EXPECT_EQ(w->tag, Tag::None);
+}
+
+TEST_F(EdgeTest, ValuelessAndNumericAttributesMix)
+{
+    HtmlParser parser(machine, traceLog);
+    auto doc = parser.parse(
+        ctx,
+        res("<img src=a.img hidden w=64 h=48><div id=d hidden>t</div>",
+            ResourceType::Html));
+    Element *d = doc->byIdHash(hashString("d"));
+    ASSERT_NE(d, nullptr);
+    EXPECT_TRUE(d->hidden);
+    // The image captured both dimensions around the bare attribute.
+    bool found = false;
+    for (const auto &el : doc->elements()) {
+        if (el->tag == Tag::Img) {
+            found = true;
+            EXPECT_EQ(el->attrWidth, 64u);
+            EXPECT_EQ(el->attrHeight, 48u);
+            EXPECT_TRUE(el->hidden);
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+// ---- CSS edges ------------------------------------------------------------------
+
+TEST_F(EdgeTest, EmptyAndWhitespaceSheets)
+{
+    CssParser parser(machine, traceLog);
+    EXPECT_TRUE(parser.parse(ctx, res("", ResourceType::Css))
+                    ->rules.empty());
+    EXPECT_TRUE(parser.parse(ctx, res("   \n\n  ", ResourceType::Css))
+                    ->rules.empty());
+}
+
+TEST_F(EdgeTest, RuleWithoutDeclarations)
+{
+    CssParser parser(machine, traceLog);
+    auto sheet = parser.parse(ctx, res(".empty{}", ResourceType::Css));
+    ASSERT_EQ(sheet->rules.size(), 1u);
+    EXPECT_TRUE(sheet->rules[0].declarations.empty());
+}
+
+TEST_F(EdgeTest, CompoundSelectorMatchesBothConstraints)
+{
+    HtmlParser hparser(machine, traceLog);
+    auto doc = hparser.parse(
+        ctx,
+        res("<div class=card id=x>t</div><span class=card id=y>u</span>",
+            ResourceType::Html));
+    CssParser cparser(machine, traceLog);
+    auto sheet = cparser.parse(
+        ctx, res("div.card{color:7}", ResourceType::Css));
+    StyleResolver resolver(machine, traceLog);
+    resolver.resolveAll(ctx, *doc, {sheet.get()});
+
+    Element *x = doc->byIdHash(hashString("x"));
+    Element *y = doc->byIdHash(hashString("y"));
+    EXPECT_EQ(machine.mem().read(x->styleAddr + StyleFields::kColor, 4),
+              7u);
+    // span.card must NOT match div.card.
+    EXPECT_NE(machine.mem().read(y->styleAddr + StyleFields::kColor, 4),
+              7u);
+}
+
+TEST_F(EdgeTest, UnknownPropertyIsIgnoredGracefully)
+{
+    CssParser parser(machine, traceLog);
+    auto sheet = parser.parse(
+        ctx, res(".x{blorp:3;color:9}", ResourceType::Css));
+    ASSERT_EQ(sheet->rules.size(), 1u);
+    ASSERT_EQ(sheet->rules[0].declarations.size(), 2u);
+    EXPECT_EQ(sheet->rules[0].declarations[0].property,
+              CssProperty::None);
+    EXPECT_EQ(sheet->rules[0].declarations[1].property,
+              CssProperty::Color);
+}
+
+TEST_F(EdgeTest, LaterRuleWinsTheCascade)
+{
+    HtmlParser hparser(machine, traceLog);
+    auto doc = hparser.parse(ctx, res("<div class=a id=d>t</div>",
+                                      ResourceType::Html));
+    CssParser cparser(machine, traceLog);
+    auto sheet = cparser.parse(
+        ctx, res(".a{color:1}\n.a{color:2}\n.a{color:3}",
+                 ResourceType::Css));
+    StyleResolver resolver(machine, traceLog);
+    resolver.resolveAll(ctx, *doc, {sheet.get()});
+    Element *d = doc->byIdHash(hashString("d"));
+    EXPECT_EQ(machine.mem().read(d->styleAddr + StyleFields::kColor, 4),
+              3u);
+}
+
+// ---- JS edges -------------------------------------------------------------------
+
+TEST_F(EdgeTest, EmptyScriptRuns)
+{
+    JsEngine engine(machine, traceLog);
+    engine.runScript(ctx, res("", ResourceType::Js));
+    EXPECT_EQ(engine.functionCount(), 1u); // just the toplevel
+    EXPECT_EQ(engine.executedFunctionCount(), 1u);
+}
+
+TEST_F(EdgeTest, NestedParenthesesAndChainedOperators)
+{
+    JsEngine engine(machine, traceLog);
+    // Left-associative, precedence-free: ((2+3)*4) == 20, then &15 == 4.
+    engine.runScript(
+        ctx, res("g = (2 + 3) * 4 & 15;", ResourceType::Js));
+    SUCCEED(); // parse+execute without panic is the contract here
+}
+
+TEST_F(EdgeTest, RecursionIsSupported)
+{
+    HtmlParser hparser(machine, traceLog);
+    auto doc = hparser.parse(ctx, res("<div id=out>t</div>",
+                                      ResourceType::Html));
+    JsEngine engine(machine, traceLog);
+    engine.setDocument(doc.get());
+    const std::string out = std::to_string(hashString("out"));
+    // sum(n) = n + sum(n-1), sum(0) = 0 -> sum(5) = 15.
+    engine.runScript(
+        ctx,
+        res("function sum(n){if(n < 1){return 0;}"
+            "return n + sum(n - 1);}"
+            "dom.set(" + out + ", 1, sum(5));",
+            ResourceType::Js));
+    Element *el = doc->byIdHash(hashString("out"));
+    EXPECT_EQ(machine.mem().read(el->styleAddr + StyleFields::kColor, 4),
+              15u);
+}
+
+TEST_F(EdgeTest, ForwardReferencesResolve)
+{
+    HtmlParser hparser(machine, traceLog);
+    auto doc = hparser.parse(ctx, res("<div id=out>t</div>",
+                                      ResourceType::Html));
+    JsEngine engine(machine, traceLog);
+    engine.setDocument(doc.get());
+    const std::string out = std::to_string(hashString("out"));
+    // `caller` references `callee` before its declaration.
+    engine.runScript(
+        ctx,
+        res("function caller(a){return callee(a) + 1;}"
+            "function callee(a){return a * 2;}"
+            "dom.set(" + out + ", 1, caller(10));",
+            ResourceType::Js));
+    Element *el = doc->byIdHash(hashString("out"));
+    EXPECT_EQ(machine.mem().read(el->styleAddr + StyleFields::kColor, 4),
+              21u);
+}
+
+TEST_F(EdgeTest, DomOperationsOnUnknownIdsAreNoOps)
+{
+    HtmlParser hparser(machine, traceLog);
+    auto doc = hparser.parse(ctx, res("<div id=real>t</div>",
+                                      ResourceType::Html));
+    JsEngine engine(machine, traceLog);
+    engine.setDocument(doc.get());
+    engine.runScript(ctx, res("dom.set(123456789, 1, 7);"
+                              "dom.hide(987654321);"
+                              "g = dom.get(111, 2);",
+                              ResourceType::Js));
+    SUCCEED();
+}
+
+TEST_F(EdgeTest, GlobalsPersistAcrossScripts)
+{
+    HtmlParser hparser(machine, traceLog);
+    auto doc = hparser.parse(ctx, res("<div id=out>t</div>",
+                                      ResourceType::Html));
+    JsEngine engine(machine, traceLog);
+    engine.setDocument(doc.get());
+    const std::string out = std::to_string(hashString("out"));
+    engine.runScript(ctx, res("g_shared = 30;", ResourceType::Js));
+    engine.runScript(
+        ctx, res("dom.set(" + out + ", 1, g_shared + 12);",
+                 ResourceType::Js));
+    Element *el = doc->byIdHash(hashString("out"));
+    EXPECT_EQ(machine.mem().read(el->styleAddr + StyleFields::kColor, 4),
+              42u);
+}
+
+// ---- layout edges -----------------------------------------------------------------
+
+TEST_F(EdgeTest, ZeroWidthViewportDoesNotDivideByZero)
+{
+    HtmlParser hparser(machine, traceLog);
+    auto doc = hparser.parse(ctx, res("<p id=t>some text run</p>",
+                                      ResourceType::Html));
+    StyleResolver resolver(machine, traceLog);
+    resolver.resolveAll(ctx, *doc, {});
+    LayoutEngine layout(machine, traceLog);
+    const uint32_t height = layout.layoutDocument(ctx, *doc, 0, 0);
+    EXPECT_GE(height, 0u); // must simply not crash
+}
+
+TEST_F(EdgeTest, DeeplyNestedTreeLaysOut)
+{
+    std::string html;
+    for (int i = 0; i < 24; ++i)
+        html += "<div id=n" + std::to_string(i) + ">";
+    html += "leaf";
+    for (int i = 0; i < 24; ++i)
+        html += "</div>";
+
+    HtmlParser hparser(machine, traceLog);
+    auto doc = hparser.parse(ctx, res(html, ResourceType::Html));
+    StyleResolver resolver(machine, traceLog);
+    resolver.resolveAll(ctx, *doc, {});
+    LayoutEngine layout(machine, traceLog);
+    const uint32_t height = layout.layoutDocument(ctx, *doc, 800, 600);
+    EXPECT_GT(height, 0u);
+    EXPECT_EQ(doc->elementCount(), 26u); // body + 24 divs + text
+}
+
+} // namespace
+} // namespace browser
+} // namespace webslice

@@ -1,0 +1,429 @@
+/**
+ * @file
+ * Unit tests for the traced virtual machine: memory, allocator, traced
+ * operations, call scopes, branches, syscalls, markers, the scheduler, and
+ * the utilization timeline.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/machine.hh"
+#include "sim/syscalls.hh"
+
+namespace webslice {
+namespace sim {
+namespace {
+
+using trace::Record;
+using trace::RecordKind;
+
+// ---- SimMemory -------------------------------------------------------------
+
+TEST(SimMemory, ScalarRoundTrip)
+{
+    SimMemory mem;
+    mem.write(0x1000, 8, 0x1122334455667788ull);
+    EXPECT_EQ(mem.read(0x1000, 8), 0x1122334455667788ull);
+    EXPECT_EQ(mem.read(0x1000, 4), 0x55667788u);
+    EXPECT_EQ(mem.read(0x1000, 1), 0x88u);
+    EXPECT_EQ(mem.read(0x1004, 4), 0x11223344u);
+}
+
+TEST(SimMemory, UntouchedReadsZero)
+{
+    SimMemory mem;
+    EXPECT_EQ(mem.read(0xDEADBEEF, 8), 0u);
+}
+
+TEST(SimMemory, CrossPageAccess)
+{
+    SimMemory mem;
+    const uint64_t addr = SimMemory::kPageBytes - 4;
+    mem.write(addr, 8, 0xAABBCCDDEEFF0011ull);
+    EXPECT_EQ(mem.read(addr, 8), 0xAABBCCDDEEFF0011ull);
+    EXPECT_EQ(mem.pageCount(), 2u);
+}
+
+TEST(SimMemory, BulkBytes)
+{
+    SimMemory mem;
+    const std::string text = "hello simulated world";
+    mem.writeBytes(0x4000, text.data(), text.size());
+    std::string back(text.size(), '\0');
+    mem.readBytes(0x4000, back.data(), back.size());
+    EXPECT_EQ(back, text);
+}
+
+// ---- SimAllocator ----------------------------------------------------------
+
+TEST(SimAllocator, AlignedAndDisjoint)
+{
+    SimAllocator alloc;
+    const uint64_t a = alloc.alloc(100, "a");
+    const uint64_t b = alloc.alloc(10, "b");
+    EXPECT_EQ(a % 16, 0u);
+    EXPECT_EQ(b % 16, 0u);
+    EXPECT_GE(b, a + 100);
+    EXPECT_EQ(alloc.liveBytes(), 112u + 16u - 112u % 16u);
+}
+
+TEST(SimAllocator, FreeListReuse)
+{
+    SimAllocator alloc;
+    const uint64_t a = alloc.alloc(64);
+    alloc.free(a);
+    const uint64_t b = alloc.alloc(64);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(alloc.reuseCount(), 1u);
+}
+
+TEST(SimAllocator, ZeroSizeAllocationIsValid)
+{
+    SimAllocator alloc;
+    const uint64_t a = alloc.alloc(0);
+    const uint64_t b = alloc.alloc(0);
+    EXPECT_NE(a, b);
+}
+
+// ---- traced ops ------------------------------------------------------------
+
+/** Fixture with a one-thread machine. */
+class MachineTest : public ::testing::Test
+{
+  protected:
+    MachineTest() : tid(machine.addThread("main")), ctx(machine, tid) {}
+
+    Machine machine;
+    trace::ThreadId tid;
+    Ctx ctx;
+};
+
+TEST_F(MachineTest, ImmAndArithmetic)
+{
+    Value a = ctx.imm(40);
+    Value b = ctx.imm(2);
+    Value sum = ctx.add(a, b);
+    EXPECT_EQ(sum.get(), 42u);
+    EXPECT_EQ(ctx.sub(a, b).get(), 38u);
+    EXPECT_EQ(ctx.mul(a, b).get(), 80u);
+    EXPECT_EQ(ctx.udiv(a, b).get(), 20u);
+    EXPECT_EQ(ctx.umod(a, b).get(), 0u);
+    EXPECT_EQ(ctx.band(a, b).get(), 0u);
+    EXPECT_EQ(ctx.bor(a, b).get(), 42u);
+    EXPECT_EQ(ctx.bxor(a, b).get(), 42u);
+    EXPECT_EQ(ctx.shl(b, b).get(), 8u);
+    EXPECT_EQ(ctx.shr(a, b).get(), 10u);
+}
+
+TEST_F(MachineTest, DivideByZeroYieldsZero)
+{
+    Value a = ctx.imm(7);
+    Value z = ctx.imm(0);
+    EXPECT_EQ(ctx.udiv(a, z).get(), 0u);
+    EXPECT_EQ(ctx.umod(a, z).get(), 0u);
+}
+
+TEST_F(MachineTest, ImmediateForms)
+{
+    Value a = ctx.imm(10);
+    EXPECT_EQ(ctx.addi(a, 5).get(), 15u);
+    EXPECT_EQ(ctx.addi(a, -3).get(), 7u);
+    EXPECT_EQ(ctx.muli(a, 7).get(), 70u);
+    EXPECT_EQ(ctx.andi(a, 2).get(), 2u);
+    EXPECT_EQ(ctx.shli(a, 2).get(), 40u);
+    EXPECT_EQ(ctx.shri(a, 1).get(), 5u);
+}
+
+TEST_F(MachineTest, Comparisons)
+{
+    Value a = ctx.imm(3);
+    Value b = ctx.imm(5);
+    EXPECT_EQ(ctx.eq(a, b).get(), 0u);
+    EXPECT_EQ(ctx.ne(a, b).get(), 1u);
+    EXPECT_EQ(ctx.ltu(a, b).get(), 1u);
+    EXPECT_EQ(ctx.leu(a, a).get(), 1u);
+    EXPECT_EQ(ctx.gtu(a, b).get(), 0u);
+    EXPECT_EQ(ctx.geu(b, a).get(), 1u);
+    EXPECT_EQ(ctx.eqi(a, 3).get(), 1u);
+    EXPECT_EQ(ctx.ltui(a, 3).get(), 0u);
+    EXPECT_EQ(ctx.isZero(ctx.imm(0)).get(), 1u);
+}
+
+TEST_F(MachineTest, SelectPicksByCondition)
+{
+    Value t = ctx.imm(1);
+    Value f = ctx.imm(0);
+    Value a = ctx.imm(11);
+    Value b = ctx.imm(22);
+    EXPECT_EQ(ctx.select(t, a, b).get(), 11u);
+    EXPECT_EQ(ctx.select(f, a, b).get(), 22u);
+}
+
+TEST_F(MachineTest, LoadStoreRoundTrip)
+{
+    const uint64_t addr = machine.alloc(16, "buf");
+    Value v = ctx.imm(0xCAFE);
+    ctx.store(addr, 4, v);
+    Value back = ctx.load(addr, 4);
+    EXPECT_EQ(back.get(), 0xCAFEu);
+    EXPECT_EQ(machine.mem().read(addr, 4), 0xCAFEu);
+}
+
+TEST_F(MachineTest, LoadStoreViaPointer)
+{
+    const uint64_t addr = machine.alloc(32, "buf");
+    Value base = ctx.imm(addr);
+    Value v = ctx.imm(99);
+    ctx.storeVia(base, 8, 4, v);
+    Value back = ctx.loadVia(base, 8, 4);
+    EXPECT_EQ(back.get(), 99u);
+
+    // The records carry the pointer register as a dependency.
+    const auto &records = machine.records();
+    const auto &store = records[records.size() - 2];
+    EXPECT_EQ(store.kind, RecordKind::Store);
+    EXPECT_EQ(store.rr1, base.reg());
+    const auto &load = records.back();
+    EXPECT_EQ(load.kind, RecordKind::Load);
+    EXPECT_EQ(load.rr0, base.reg());
+    EXPECT_EQ(load.addr, addr + 8);
+}
+
+TEST_F(MachineTest, BranchEmitsTakenFlag)
+{
+    Value yes = ctx.imm(1);
+    Value no = ctx.imm(0);
+    EXPECT_TRUE(ctx.branchIf(yes));
+    EXPECT_FALSE(ctx.branchIf(no));
+    const auto &records = machine.records();
+    const auto &taken = records[records.size() - 2];
+    const auto &not_taken = records.back();
+    EXPECT_EQ(taken.kind, RecordKind::Branch);
+    EXPECT_TRUE(taken.taken());
+    EXPECT_FALSE(not_taken.taken());
+    EXPECT_EQ(taken.rr0, yes.reg());
+}
+
+TEST_F(MachineTest, SameSiteSamePcDifferentSiteDifferentPc)
+{
+    trace::Pc first = 0, second = 0;
+    for (int i = 0; i < 2; ++i) {
+        Value v = ctx.imm(i); // one site, hit twice
+        (void)v;
+        first = machine.records().back().pc;
+    }
+    Value other = ctx.imm(7); // a different site
+    (void)other;
+    second = machine.records().back().pc;
+
+    const auto &records = machine.records();
+    EXPECT_EQ(records[records.size() - 2].pc, first);
+    EXPECT_EQ(records[records.size() - 3].pc, first);
+    EXPECT_NE(first, second);
+}
+
+TEST_F(MachineTest, RegistersAreRecycled)
+{
+    trace::RegId reg;
+    {
+        Value v = ctx.imm(1);
+        reg = v.reg();
+    }
+    Value next = ctx.imm(2);
+    EXPECT_EQ(next.reg(), reg);
+}
+
+TEST_F(MachineTest, ValueMoveTransfersOwnership)
+{
+    Value a = ctx.imm(5);
+    const trace::RegId reg = a.reg();
+    Value b = std::move(a);
+    EXPECT_FALSE(a.valid());
+    EXPECT_TRUE(b.valid());
+    EXPECT_EQ(b.reg(), reg);
+    EXPECT_EQ(b.get(), 5u);
+}
+
+TEST_F(MachineTest, TracedScopeEmitsCallAndRet)
+{
+    const auto func = machine.registerFunction("v8::Parser::parse");
+    {
+        TracedScope scope(ctx, func);
+        Value v = ctx.imm(3);
+        (void)v;
+    }
+    const auto &records = machine.records();
+    ASSERT_GE(records.size(), 3u);
+    const auto &call = records[records.size() - 3];
+    const auto &body = records[records.size() - 2];
+    const auto &ret = records.back();
+    EXPECT_EQ(call.kind, RecordKind::Call);
+    EXPECT_EQ(call.addr, machine.functionEntry(func));
+    EXPECT_EQ(ret.kind, RecordKind::Ret);
+    // The body pc is attributed to the function in the symbol table.
+    EXPECT_EQ(machine.symtab().functionOfPc(body.pc), func);
+}
+
+TEST_F(MachineTest, IndirectCallReadsTargetRegister)
+{
+    const auto func = machine.registerFunction("v8::JSFunction::call");
+    Value target = ctx.imm(machine.functionEntry(func));
+    {
+        TracedScope scope(ctx, func, target);
+    }
+    const auto &records = machine.records();
+    const auto &call = records[records.size() - 2];
+    EXPECT_EQ(call.kind, RecordKind::Call);
+    EXPECT_TRUE(call.indirect());
+    EXPECT_EQ(call.rr0, target.reg());
+}
+
+TEST_F(MachineTest, SyscallEmitsEffectRecords)
+{
+    const uint64_t buf = machine.alloc(64, "net");
+    Value result = sysSendto(ctx, buf, 64);
+    EXPECT_EQ(result.get(), 64u);
+
+    const auto &records = machine.records();
+    const auto &eff = records.back();
+    const auto &sys = records[records.size() - 2];
+    EXPECT_EQ(sys.kind, RecordKind::Syscall);
+    EXPECT_EQ(sys.aux, kSysSendto);
+    EXPECT_EQ(eff.kind, RecordKind::SyscallRead);
+    EXPECT_EQ(eff.addr, buf);
+    EXPECT_EQ(eff.aux, 64u);
+    EXPECT_TRUE(eff.isPseudo());
+}
+
+TEST_F(MachineTest, PseudoRecordsDoNotAdvanceClock)
+{
+    const uint64_t before = machine.now();
+    const uint64_t buf = machine.alloc(8);
+    Value r = sysRecvfrom(ctx, buf, 8);
+    (void)r;
+    // alloc is untraced; recvfrom = 1 syscall instruction + 1 pseudo.
+    EXPECT_EQ(machine.now(), before + 1);
+    EXPECT_EQ(machine.instructionCount(), 1u);
+    EXPECT_EQ(machine.records().size(), 2u);
+}
+
+TEST_F(MachineTest, MarkerRegistersCriteria)
+{
+    const trace::MemRange ranges[] = {{0x8000, 256}};
+    const uint32_t m0 = ctx.marker(ranges);
+    const uint32_t m1 = ctx.marker(ranges);
+    EXPECT_EQ(m0, 0u);
+    EXPECT_EQ(m1, 1u);
+    EXPECT_EQ(machine.pixelCriteria().markerCount(), 2u);
+    ASSERT_EQ(machine.pixelCriteria().forMarker(0).size(), 1u);
+    EXPECT_EQ(machine.pixelCriteria().forMarker(0)[0].addr, 0x8000u);
+    EXPECT_EQ(machine.records().back().kind, RecordKind::Marker);
+    EXPECT_EQ(machine.records().back().aux, 1u);
+}
+
+// ---- scheduler -------------------------------------------------------------
+
+TEST(Scheduler, RunsPostedTasks)
+{
+    Machine machine;
+    const auto t0 = machine.addThread("main");
+    int ran = 0;
+    machine.post(t0, [&](Ctx &c) {
+        Value v = c.imm(1);
+        (void)v;
+        ++ran;
+    });
+    machine.run();
+    EXPECT_EQ(ran, 1);
+    EXPECT_EQ(machine.instructionCount(), 1u);
+}
+
+TEST(Scheduler, RoundRobinInterleavesThreads)
+{
+    Machine machine;
+    const auto t0 = machine.addThread("main");
+    const auto t1 = machine.addThread("compositor");
+    std::vector<int> order;
+    machine.post(t0, [&](Ctx &) { order.push_back(0); });
+    machine.post(t1, [&](Ctx &) { order.push_back(1); });
+    machine.post(t0, [&](Ctx &) { order.push_back(0); });
+    machine.post(t1, [&](Ctx &) { order.push_back(1); });
+    machine.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 0, 1}));
+}
+
+TEST(Scheduler, TasksCanPostAcrossThreads)
+{
+    Machine machine;
+    const auto t0 = machine.addThread("main");
+    const auto t1 = machine.addThread("worker");
+    std::vector<trace::ThreadId> seen;
+    machine.post(t0, [&](Ctx &c) {
+        seen.push_back(c.tid());
+        c.machine().post(t1, [&](Ctx &c2) { seen.push_back(c2.tid()); });
+    });
+    machine.run();
+    ASSERT_EQ(seen.size(), 2u);
+    EXPECT_EQ(seen[0], t0);
+    EXPECT_EQ(seen[1], t1);
+}
+
+TEST(Scheduler, DelayedTasksAdvanceTheClock)
+{
+    Machine machine;
+    const auto t0 = machine.addThread("main");
+    uint64_t observed = 0;
+    machine.postDelayed(t0, 5000, [&](Ctx &c) {
+        observed = c.machine().now();
+    });
+    machine.run();
+    EXPECT_GE(observed, 5000u);
+}
+
+TEST(Scheduler, DelayedOrderingIsStable)
+{
+    Machine machine;
+    const auto t0 = machine.addThread("main");
+    std::vector<int> order;
+    machine.postDelayed(t0, 100, [&](Ctx &) { order.push_back(1); });
+    machine.postDelayed(t0, 100, [&](Ctx &) { order.push_back(2); });
+    machine.postDelayed(t0, 50, [&](Ctx &) { order.push_back(0); });
+    machine.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Scheduler, TimelineTracksPerThreadWork)
+{
+    MachineConfig config;
+    config.timelineBucket = 10;
+    Machine machine(config);
+    const auto t0 = machine.addThread("main");
+    machine.post(t0, [&](Ctx &c) {
+        for (int i = 0; i < 25; ++i) {
+            Value v = c.imm(i);
+            (void)v;
+        }
+    });
+    machine.run();
+    const auto &timeline = machine.threadTimeline(t0);
+    EXPECT_EQ(timeline.bucketWidth(), 10u);
+    double total = 0;
+    for (size_t i = 0; i < timeline.bucketCount(); ++i)
+        total += timeline.sum(i);
+    EXPECT_DOUBLE_EQ(total, 25.0);
+    EXPECT_DOUBLE_EQ(timeline.sum(0), 10.0);
+}
+
+TEST(Scheduler, ThreadNames)
+{
+    Machine machine;
+    const auto t0 = machine.addThread("CrRendererMain");
+    const auto t1 = machine.addThread("Compositor");
+    EXPECT_EQ(machine.threadName(t0), "CrRendererMain");
+    EXPECT_EQ(machine.threadName(t1), "Compositor");
+    EXPECT_EQ(machine.threadCount(), 2u);
+}
+
+} // namespace
+} // namespace sim
+} // namespace webslice

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Additional machine-layer tests: site-pc stability across threads,
+ * syscall helper coverage, allocator misuse (death tests), timeline
+ * accounting across idle gaps, and Value edge semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/machine.hh"
+#include "sim/syscalls.hh"
+
+namespace webslice {
+namespace sim {
+namespace {
+
+using trace::RecordKind;
+
+TEST(SitePc, SameSiteSamePcAcrossThreads)
+{
+    Machine machine;
+    const auto t0 = machine.addThread("a");
+    const auto t1 = machine.addThread("b");
+
+    auto emit = [](Ctx &ctx) {
+        Value v = ctx.imm(7); // one shared site
+        (void)v;
+    };
+    machine.post(t0, emit);
+    machine.post(t1, emit);
+    machine.run();
+
+    ASSERT_EQ(machine.records().size(), 2u);
+    EXPECT_EQ(machine.records()[0].pc, machine.records()[1].pc);
+    EXPECT_NE(machine.records()[0].tid, machine.records()[1].tid);
+}
+
+TEST(SitePc, PcsAreFourByteSpaced)
+{
+    Machine machine;
+    const auto tid = machine.addThread("main");
+    Ctx ctx(machine, tid);
+    Value a = ctx.imm(1);
+    Value b = ctx.imm(2);
+    Value c = ctx.add(a, b);
+    (void)c;
+    const auto &records = machine.records();
+    for (const auto &rec : records)
+        EXPECT_EQ(rec.pc % 4, 0u);
+    EXPECT_NE(records[0].pc, records[1].pc);
+    EXPECT_NE(records[1].pc, records[2].pc);
+}
+
+TEST(Syscalls, WriteAndClockHelpers)
+{
+    Machine machine;
+    const auto tid = machine.addThread("main");
+    Ctx ctx(machine, tid);
+    const uint64_t buf = machine.alloc(32, "buf");
+
+    Value w = sysWrite(ctx, buf, 32);
+    EXPECT_EQ(w.get(), 32u);
+    Value t = sysClockGettime(ctx, buf, 777);
+    EXPECT_EQ(t.get(), 777u);
+    Value f = sysFutex(ctx, buf);
+    (void)f;
+
+    size_t syscalls = 0, reads = 0, writes = 0;
+    for (const auto &rec : machine.records()) {
+        syscalls += rec.kind == RecordKind::Syscall;
+        reads += rec.kind == RecordKind::SyscallRead;
+        writes += rec.kind == RecordKind::SyscallWrite;
+    }
+    EXPECT_EQ(syscalls, 3u);
+    EXPECT_EQ(reads, 2u);  // write buffer + futex word
+    EXPECT_EQ(writes, 1u); // the timespec
+}
+
+TEST(AllocatorDeath, DoubleFreePanics)
+{
+    GTEST_FLAG_SET(death_test_style, "threadsafe");
+    SimAllocator alloc;
+    const uint64_t a = alloc.alloc(32);
+    alloc.free(a);
+    EXPECT_DEATH(alloc.free(a), "double free");
+}
+
+TEST(AllocatorDeath, ForeignFreePanics)
+{
+    GTEST_FLAG_SET(death_test_style, "threadsafe");
+    SimAllocator alloc;
+    EXPECT_DEATH(alloc.free(0xDEAD0000), "unallocated");
+}
+
+TEST(Timeline, IdleGapsLeaveEmptyBuckets)
+{
+    MachineConfig config;
+    config.timelineBucket = 100;
+    Machine machine(config);
+    const auto tid = machine.addThread("main");
+
+    machine.post(tid, [](Ctx &ctx) {
+        for (int i = 0; i < 50; ++i) {
+            Value v = ctx.imm(i);
+            (void)v;
+        }
+    });
+    // A long idle gap, then a little more work.
+    machine.postDelayed(tid, 1000, [](Ctx &ctx) {
+        for (int i = 0; i < 10; ++i) {
+            Value v = ctx.imm(i);
+            (void)v;
+        }
+    });
+    machine.run();
+
+    const auto &timeline = machine.threadTimeline(tid);
+    // Bucket 0 is busy; some middle bucket is empty; the tail has work.
+    EXPECT_DOUBLE_EQ(timeline.sum(0), 50.0);
+    bool found_idle = false;
+    for (size_t b = 1; b + 1 < timeline.bucketCount(); ++b)
+        found_idle |= timeline.sum(b) == 0.0;
+    EXPECT_TRUE(found_idle);
+    double total = 0;
+    for (size_t b = 0; b < timeline.bucketCount(); ++b)
+        total += timeline.sum(b);
+    EXPECT_DOUBLE_EQ(total, 60.0);
+}
+
+TEST(ValueEdges, SelfMoveAssignmentIsSafe)
+{
+    Machine machine;
+    const auto tid = machine.addThread("main");
+    Ctx ctx(machine, tid);
+    Value v = ctx.imm(5);
+    Value &alias = v;
+    v = std::move(alias);
+    EXPECT_TRUE(v.valid());
+    EXPECT_EQ(v.get(), 5u);
+}
+
+TEST(ValueEdges, DefaultValueIsInvalid)
+{
+    Value v;
+    EXPECT_FALSE(v.valid());
+    EXPECT_EQ(v.reg(), trace::kNoReg);
+}
+
+TEST(MachineFunctions, EntryAndRetPcsAreDistinct)
+{
+    Machine machine;
+    const auto f0 = machine.registerFunction("a::f");
+    const auto f1 = machine.registerFunction("b::g");
+    EXPECT_NE(machine.functionEntry(f0), machine.functionEntry(f1));
+    EXPECT_EQ(machine.symtab().functionAtEntry(machine.functionEntry(f0)),
+              f0);
+}
+
+TEST(MachineFunctions, ScopesNestAndAttributePcs)
+{
+    Machine machine;
+    const auto tid = machine.addThread("main");
+    Ctx ctx(machine, tid);
+    const auto outer = machine.registerFunction("x::outer");
+    const auto inner = machine.registerFunction("x::inner");
+    {
+        TracedScope a(ctx, outer);
+        {
+            TracedScope b(ctx, inner);
+            Value v = ctx.imm(1);
+            EXPECT_EQ(machine.symtab().functionOfPc(
+                          machine.records().back().pc),
+                      inner);
+            (void)v;
+        }
+        Value w = ctx.imm(2);
+        EXPECT_EQ(machine.symtab().functionOfPc(
+                      machine.records().back().pc),
+                  outer);
+        (void)w;
+    }
+}
+
+} // namespace
+} // namespace sim
+} // namespace webslice

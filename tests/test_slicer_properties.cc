@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Property-style tests of the profiler: invariants that must hold for
+ * any trace, checked over parameterized program families — determinism,
+ * slice-subset bounds, criteria monotonicity, per-thread isolation, and
+ * mode relationships.
+ */
+
+#include <gtest/gtest.h>
+
+#include "graph/cfg.hh"
+#include "graph/control_deps.hh"
+#include "sim/machine.hh"
+#include "sim/syscalls.hh"
+#include "slicer/slicer.hh"
+#include "support/rng.hh"
+
+namespace webslice {
+namespace slicer {
+namespace {
+
+using graph::buildCfgs;
+using graph::buildControlDeps;
+using sim::Ctx;
+using sim::Machine;
+using sim::TracedScope;
+using sim::Value;
+
+/**
+ * A program family: `chains` independent computation chains on `threads`
+ * threads, each ending in a store to its own buffer; chain i becomes a
+ * criterion iff i < live_chains. Every chain does data-dependent control
+ * flow so control dependences are exercised.
+ */
+struct ChainProgram
+{
+    Machine machine;
+    std::vector<uint64_t> buffers;
+    std::vector<trace::ThreadId> tids;
+
+    ChainProgram(int chains, int threads, int live_chains, uint64_t seed)
+    {
+        Rng rng(seed);
+        for (int t = 0; t < threads; ++t)
+            tids.push_back(machine.addThread("t" + std::to_string(t)));
+        const auto fn = machine.registerFunction("prop::chain");
+
+        for (int c = 0; c < chains; ++c)
+            buffers.push_back(machine.alloc(64, "chain"));
+
+        for (int c = 0; c < chains; ++c) {
+            const uint64_t buffer = buffers[c];
+            const uint64_t iterations = rng.below(6) + 2;
+            const uint64_t toggle = rng.below(2);
+            machine.post(tids[c % threads],
+                         [this, fn, buffer, iterations, toggle,
+                          c](Ctx &ctx) {
+                TracedScope scope(ctx, fn);
+                Value acc = ctx.imm(static_cast<uint64_t>(c) + 1);
+                Value i = ctx.imm(0);
+                Value n = ctx.imm(iterations);
+                while (true) {
+                    Value more = ctx.ltu(i, n);
+                    if (!ctx.branchIf(more))
+                        break;
+                    acc = ctx.add(acc, i);
+                    i = ctx.addi(i, 1);
+                }
+                Value flag = ctx.imm(toggle);
+                if (ctx.branchIf(flag))
+                    acc = ctx.muli(acc, 3);
+                ctx.store(buffer, 8, acc);
+            });
+        }
+        machine.post(tids[0], [this, live_chains](Ctx &ctx) {
+            for (int c = 0; c < live_chains; ++c) {
+                const trace::MemRange ranges[] = {{buffers[c], 8}};
+                ctx.marker(ranges);
+            }
+        });
+        machine.run();
+    }
+
+    SliceResult
+    slice(const SlicerOptions &options = {}) const
+    {
+        const auto cfgs =
+            buildCfgs(machine.records(), machine.symtab());
+        const auto deps = buildControlDeps(cfgs);
+        return computeSlice(machine.records(), cfgs, deps,
+                            machine.pixelCriteria(), options);
+    }
+};
+
+struct ChainParams
+{
+    int chains;
+    int threads;
+    int live;
+    uint64_t seed;
+};
+
+class ChainSweep : public ::testing::TestWithParam<ChainParams>
+{
+};
+
+TEST_P(ChainSweep, SliceIsBoundedAndExcludesPseudoRecords)
+{
+    const auto p = GetParam();
+    ChainProgram program(p.chains, p.threads, p.live, p.seed);
+    const auto result = program.slice();
+
+    EXPECT_LE(result.sliceInstructions, result.instructionsAnalyzed);
+    ASSERT_EQ(result.inSlice.size(), program.machine.records().size());
+    for (size_t i = 0; i < result.inSlice.size(); ++i) {
+        if (program.machine.records()[i].isPseudo()) {
+            EXPECT_FALSE(result.inSlice[i]) << "pseudo record " << i;
+        }
+    }
+}
+
+TEST_P(ChainSweep, DeterministicAcrossRepeatedPasses)
+{
+    const auto p = GetParam();
+    ChainProgram program(p.chains, p.threads, p.live, p.seed);
+    const auto first = program.slice();
+    const auto second = program.slice();
+    EXPECT_EQ(first.inSlice, second.inSlice);
+    EXPECT_EQ(first.sliceInstructions, second.sliceInstructions);
+}
+
+TEST_P(ChainSweep, IdenticalProgramsProduceIdenticalTraces)
+{
+    const auto p = GetParam();
+    ChainProgram a(p.chains, p.threads, p.live, p.seed);
+    ChainProgram b(p.chains, p.threads, p.live, p.seed);
+    ASSERT_EQ(a.machine.records().size(), b.machine.records().size());
+    for (size_t i = 0; i < a.machine.records().size(); ++i) {
+        EXPECT_EQ(a.machine.records()[i].pc,
+                  b.machine.records()[i].pc);
+        EXPECT_EQ(a.machine.records()[i].addr,
+                  b.machine.records()[i].addr);
+    }
+}
+
+TEST_P(ChainSweep, MoreCriteriaNeverShrinkTheSlice)
+{
+    const auto p = GetParam();
+    if (p.live >= p.chains)
+        GTEST_SKIP() << "no headroom for extra criteria";
+    ChainProgram fewer(p.chains, p.threads, p.live, p.seed);
+    ChainProgram more(p.chains, p.threads, p.live + 1, p.seed);
+    // The traces differ only in the extra marker at the very end, so the
+    // slice counts are directly comparable.
+    EXPECT_GE(more.slice().sliceInstructions,
+              fewer.slice().sliceInstructions);
+}
+
+TEST_P(ChainSweep, DeadChainsStayOut)
+{
+    const auto p = GetParam();
+    ChainProgram program(p.chains, p.threads, p.live, p.seed);
+    const auto result = program.slice();
+
+    // Every store to a non-criteria buffer must be out of the slice;
+    // every store to a criteria buffer must be in it.
+    const auto &records = program.machine.records();
+    for (size_t i = 0; i < records.size(); ++i) {
+        if (records[i].kind != trace::RecordKind::Store)
+            continue;
+        for (int c = 0; c < p.chains; ++c) {
+            if (records[i].addr != program.buffers[c])
+                continue;
+            if (c < p.live) {
+                EXPECT_TRUE(result.inSlice[i]) << "live chain " << c;
+            } else {
+                EXPECT_FALSE(result.inSlice[i]) << "dead chain " << c;
+            }
+        }
+    }
+}
+
+TEST_P(ChainSweep, NoCriteriaMeansEmptySlice)
+{
+    const auto p = GetParam();
+    ChainProgram program(p.chains, p.threads, /*live_chains=*/0, p.seed);
+    const auto result = program.slice();
+    EXPECT_EQ(result.sliceInstructions, 0u);
+}
+
+TEST_P(ChainSweep, AblationsOnlyRemoveWork)
+{
+    const auto p = GetParam();
+    ChainProgram program(p.chains, p.threads, p.live, p.seed);
+    const auto full = program.slice();
+
+    SlicerOptions no_control;
+    no_control.includeControlDeps = false;
+    EXPECT_LE(program.slice(no_control).sliceInstructions,
+              full.sliceInstructions);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Programs, ChainSweep,
+    ::testing::Values(ChainParams{1, 1, 1, 11}, ChainParams{4, 1, 2, 12},
+                      ChainParams{4, 2, 2, 13}, ChainParams{6, 3, 3, 14},
+                      ChainParams{8, 2, 1, 15}, ChainParams{8, 4, 8, 16},
+                      ChainParams{3, 3, 0, 17},
+                      ChainParams{12, 2, 6, 18}));
+
+// ---- windowing properties ---------------------------------------------------
+
+TEST(SlicerWindow, NothingBeyondTheWindowJoins)
+{
+    ChainProgram program(4, 2, 4, 99);
+    SlicerOptions options;
+    options.endIndex = program.machine.records().size() / 2;
+    const auto result = program.slice(options);
+    for (size_t i = options.endIndex; i < result.inSlice.size(); ++i)
+        EXPECT_FALSE(result.inSlice[i]);
+}
+
+TEST(SlicerWindow, WindowCountsOnlyWindowInstructions)
+{
+    ChainProgram program(4, 2, 4, 100);
+    SlicerOptions options;
+    options.endIndex = program.machine.records().size() / 3;
+    const auto result = program.slice(options);
+    uint64_t expected = 0;
+    for (size_t i = 0; i < options.endIndex; ++i) {
+        if (!program.machine.records()[i].isPseudo())
+            ++expected;
+    }
+    EXPECT_EQ(result.instructionsAnalyzed, expected);
+}
+
+// ---- syscall-mode properties --------------------------------------------------
+
+TEST(SyscallMode, ContainsPixelSliceWhenPixelsLeaveThroughSyscalls)
+{
+    Machine machine;
+    const auto tid = machine.addThread("main");
+    const uint64_t pixels = machine.alloc(32, "pixels");
+    machine.post(tid, [&](Ctx &ctx) {
+        Value color = ctx.imm(0xABCDEF);
+        ctx.store(pixels, 4, color);
+        const trace::MemRange ranges[] = {{pixels, 32}};
+        ctx.marker(ranges);
+        // The frame leaves through the kernel, as the compositor's
+        // submit does.
+        Value rc = sim::sysSendto(ctx, pixels, 32);
+        (void)rc;
+    });
+    machine.run();
+
+    const auto cfgs = buildCfgs(machine.records(), machine.symtab());
+    const auto deps = buildControlDeps(cfgs);
+    const auto pixel = computeSlice(machine.records(), cfgs, deps,
+                                    machine.pixelCriteria());
+    SlicerOptions sys_options;
+    sys_options.mode = CriteriaMode::Syscalls;
+    const auto sys = computeSlice(machine.records(), cfgs, deps,
+                                  machine.pixelCriteria(), sys_options);
+
+    for (size_t i = 0; i < pixel.inSlice.size(); ++i) {
+        if (machine.records()[i].kind == trace::RecordKind::Marker)
+            continue; // markers are criteria only in pixel mode
+        if (pixel.inSlice[i]) {
+            EXPECT_TRUE(sys.inSlice[i]) << "record " << i;
+        }
+    }
+}
+
+} // namespace
+} // namespace slicer
+} // namespace webslice

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Equivalence tests for the file-streaming profiler paths: the forward
+ * reader, buildCfgsFromFile vs buildCfgs, and computeSliceFromFile vs
+ * computeSlice must agree bit-for-bit, so huge traces can be profiled in
+ * bounded memory without changing any result.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "graph/cfg.hh"
+#include "graph/control_deps.hh"
+#include "sim/machine.hh"
+#include "slicer/slicer.hh"
+#include "trace/trace_file.hh"
+
+namespace webslice {
+namespace {
+
+using sim::Ctx;
+using sim::Machine;
+using sim::TracedScope;
+using sim::Value;
+
+/** A moderately interesting traced program saved to a file. */
+struct SavedProgram
+{
+    Machine machine;
+    std::string path;
+
+    SavedProgram()
+    {
+        const auto t0 = machine.addThread("main");
+        const auto t1 = machine.addThread("worker");
+        const auto fn = machine.registerFunction("stream::work");
+        const uint64_t shared = machine.alloc(64, "shared");
+        const uint64_t pixels = machine.alloc(64, "pixels");
+        const uint64_t junk = machine.alloc(64, "junk");
+
+        machine.post(t0, [&, fn](Ctx &ctx) {
+            TracedScope scope(ctx, fn);
+            Value v = ctx.imm(41);
+            Value i = ctx.imm(0);
+            Value n = ctx.imm(5);
+            while (true) {
+                Value more = ctx.ltu(i, n);
+                if (!ctx.branchIf(more))
+                    break;
+                v = ctx.add(v, i);
+                i = ctx.addi(i, 1);
+            }
+            ctx.store(shared, 8, v);
+            Value waste = ctx.muli(v, 99);
+            ctx.store(junk, 8, waste);
+        });
+        machine.post(t1, [&, fn](Ctx &ctx) {
+            TracedScope scope(ctx, fn);
+            Value loaded = ctx.load(shared, 8);
+            Value shifted = ctx.shli(loaded, 1);
+            ctx.store(pixels, 8, shifted);
+            const trace::MemRange ranges[] = {{pixels, 64}};
+            ctx.marker(ranges);
+        });
+        machine.run();
+
+        path = std::string(::testing::TempDir()) + "streamed.trc";
+        trace::saveTrace(path, machine.records());
+    }
+
+    ~SavedProgram() { std::remove(path.c_str()); }
+};
+
+TEST(Streaming, ForwardReaderYieldsExactOrder)
+{
+    SavedProgram program;
+    trace::ForwardTraceReader reader(program.path, /*block=*/7);
+    trace::Record rec;
+    size_t index = 0;
+    while (reader.next(rec)) {
+        ASSERT_LT(index, program.machine.records().size());
+        EXPECT_EQ(rec.pc, program.machine.records()[index].pc);
+        EXPECT_EQ(rec.addr, program.machine.records()[index].addr);
+        ++index;
+    }
+    EXPECT_EQ(index, program.machine.records().size());
+}
+
+TEST(Streaming, FileCfgsMatchInMemoryCfgs)
+{
+    SavedProgram program;
+    const auto memory_cfgs = graph::buildCfgs(
+        program.machine.records(), program.machine.symtab());
+    const auto file_cfgs = graph::buildCfgsFromFile(
+        program.path, program.machine.symtab());
+
+    EXPECT_EQ(memory_cfgs.funcOf, file_cfgs.funcOf);
+    EXPECT_EQ(memory_cfgs.byFunc.size(), file_cfgs.byFunc.size());
+    for (const auto &kv : memory_cfgs.byFunc) {
+        const auto it = file_cfgs.byFunc.find(kv.first);
+        ASSERT_NE(it, file_cfgs.byFunc.end());
+        EXPECT_EQ(kv.second.nodeCount(), it->second.nodeCount());
+        EXPECT_EQ(kv.second.succs, it->second.succs);
+    }
+}
+
+TEST(Streaming, FileSliceMatchesInMemorySlice)
+{
+    SavedProgram program;
+    const auto cfgs = graph::buildCfgs(program.machine.records(),
+                                       program.machine.symtab());
+    const auto deps = graph::buildControlDeps(cfgs);
+
+    const auto memory_slice = slicer::computeSlice(
+        program.machine.records(), cfgs, deps,
+        program.machine.pixelCriteria());
+    const auto file_slice = slicer::computeSliceFromFile(
+        program.path, cfgs, deps, program.machine.pixelCriteria());
+
+    EXPECT_EQ(memory_slice.inSlice, file_slice.inSlice);
+    EXPECT_EQ(memory_slice.sliceInstructions,
+              file_slice.sliceInstructions);
+    EXPECT_EQ(memory_slice.instructionsAnalyzed,
+              file_slice.instructionsAnalyzed);
+}
+
+TEST(Streaming, FileSliceHonorsOptions)
+{
+    SavedProgram program;
+    const auto cfgs = graph::buildCfgs(program.machine.records(),
+                                       program.machine.symtab());
+    const auto deps = graph::buildControlDeps(cfgs);
+
+    slicer::SlicerOptions options;
+    options.mode = slicer::CriteriaMode::Syscalls;
+    options.endIndex = program.machine.records().size() / 2;
+    const auto memory_slice = slicer::computeSlice(
+        program.machine.records(), cfgs, deps,
+        program.machine.pixelCriteria(), options);
+    const auto file_slice = slicer::computeSliceFromFile(
+        program.path, cfgs, deps, program.machine.pixelCriteria(),
+        options);
+    EXPECT_EQ(memory_slice.inSlice, file_slice.inSlice);
+}
+
+TEST(StreamingDeath, FeedMustDescend)
+{
+    GTEST_FLAG_SET(death_test_style, "threadsafe");
+    SavedProgram program;
+    const auto cfgs = graph::buildCfgs(program.machine.records(),
+                                       program.machine.symtab());
+    const auto deps = graph::buildControlDeps(cfgs);
+    slicer::BackwardPass pass(cfgs, deps,
+                              program.machine.pixelCriteria(), {},
+                              program.machine.records().size());
+    pass.feed(5, program.machine.records()[5]);
+    EXPECT_DEATH(pass.feed(5, program.machine.records()[5]),
+                 "descending");
+}
+
+TEST(StreamingDeath, AttributionLengthIsChecked)
+{
+    GTEST_FLAG_SET(death_test_style, "threadsafe");
+    SavedProgram program;
+    const auto cfgs = graph::buildCfgs(program.machine.records(),
+                                       program.machine.symtab());
+    const auto deps = graph::buildControlDeps(cfgs);
+    EXPECT_DEATH(slicer::BackwardPass(
+                     cfgs, deps, program.machine.pixelCriteria(), {},
+                     program.machine.records().size() + 1),
+                 "attribution");
+}
+
+} // namespace
+} // namespace webslice

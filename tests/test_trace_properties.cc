@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Property tests of the trace-layer data structures against reference
+ * models: SparseByteSet vs std::set<uint64_t> under random operation
+ * sequences, and the reverse block reader across a block-size sweep.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "support/rng.hh"
+#include "support/sparse_byte_set.hh"
+#include "trace/trace_file.hh"
+
+namespace webslice {
+namespace {
+
+// ---- SparseByteSet vs a reference model --------------------------------------
+
+class SparseSetModelSweep : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(SparseSetModelSweep, MatchesReferenceModelUnderRandomOps)
+{
+    Rng rng(GetParam());
+    SparseByteSet set;
+    std::set<uint64_t> model;
+
+    // Addresses drawn from a small window so collisions are common, with
+    // occasional far-away ranges to exercise chunk churn.
+    auto randomRange = [&]() {
+        uint64_t addr = rng.below(512);
+        if (rng.chance(0.1))
+            addr += 0xFFFFF000ull; // chunk-boundary-hostile region
+        const uint64_t size = rng.below(70) + 1;
+        return std::make_pair(addr, size);
+    };
+
+    for (int step = 0; step < 2000; ++step) {
+        const auto [addr, size] = randomRange();
+        switch (rng.below(4)) {
+          case 0: {
+            set.insert(addr, size);
+            for (uint64_t a = addr; a < addr + size; ++a)
+                model.insert(a);
+            break;
+          }
+          case 1: {
+            set.erase(addr, size);
+            for (uint64_t a = addr; a < addr + size; ++a)
+                model.erase(a);
+            break;
+          }
+          case 2: {
+            bool expected = false;
+            for (uint64_t a = addr; a < addr + size && !expected; ++a)
+                expected = model.count(a) > 0;
+            EXPECT_EQ(set.intersects(addr, size), expected)
+                << "step " << step;
+            break;
+          }
+          default: {
+            bool expected = false;
+            for (uint64_t a = addr; a < addr + size; ++a)
+                expected |= model.erase(a) > 0;
+            EXPECT_EQ(set.testAndErase(addr, size), expected)
+                << "step " << step;
+            break;
+          }
+        }
+        ASSERT_EQ(set.size(), model.size()) << "step " << step;
+    }
+
+    // Final sweep: per-byte agreement over the hot window.
+    for (uint64_t a = 0; a < 600; ++a)
+        EXPECT_EQ(set.contains(a), model.count(a) > 0) << "byte " << a;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SparseSetModelSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+// ---- reverse reader sweep -------------------------------------------------------
+
+class ReverseReaderSweep
+    : public ::testing::TestWithParam<std::pair<size_t, size_t>>
+{
+};
+
+TEST_P(ReverseReaderSweep, YieldsExactReverseOrder)
+{
+    const auto [record_count, block_size] = GetParam();
+    const std::string path = std::string(::testing::TempDir()) +
+                             "sweep_" + std::to_string(record_count) +
+                             "_" + std::to_string(block_size) + ".trc";
+
+    std::vector<trace::Record> records(record_count);
+    for (size_t i = 0; i < record_count; ++i) {
+        records[i].pc = static_cast<trace::Pc>(i * 4 + 0x1000);
+        records[i].addr = i * 13;
+    }
+    trace::saveTrace(path, records);
+
+    trace::ReverseTraceReader reader(path, block_size);
+    trace::Record rec;
+    size_t expected = record_count;
+    while (reader.next(rec)) {
+        ASSERT_GT(expected, 0u);
+        --expected;
+        ASSERT_EQ(rec.pc, records[expected].pc);
+        ASSERT_EQ(rec.addr, records[expected].addr);
+    }
+    EXPECT_EQ(expected, 0u);
+    std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ReverseReaderSweep,
+    ::testing::Values(std::make_pair<size_t, size_t>(0, 16),
+                      std::make_pair<size_t, size_t>(1, 1),
+                      std::make_pair<size_t, size_t>(5, 16),
+                      std::make_pair<size_t, size_t>(16, 16),
+                      std::make_pair<size_t, size_t>(17, 16),
+                      std::make_pair<size_t, size_t>(1000, 7),
+                      std::make_pair<size_t, size_t>(1000, 1024),
+                      std::make_pair<size_t, size_t>(4096, 4096)));
+
+// ---- RNG statistical sanity --------------------------------------------------------
+
+TEST(RngDistribution, BelowIsRoughlyUniform)
+{
+    Rng rng(31337);
+    constexpr int kBuckets = 8;
+    constexpr int kDraws = 80000;
+    int counts[kBuckets] = {};
+    for (int i = 0; i < kDraws; ++i)
+        ++counts[rng.below(kBuckets)];
+    for (int b = 0; b < kBuckets; ++b) {
+        EXPECT_GT(counts[b], kDraws / kBuckets - kDraws / 40);
+        EXPECT_LT(counts[b], kDraws / kBuckets + kDraws / 40);
+    }
+}
+
+} // namespace
+} // namespace webslice

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * webslice-profile: the offline profiler over recorded artifacts.
+ *
+ *   webslice-profile <prefix> [--syscalls] [--no-window] [--top N]
+ *
+ * Reads <prefix>.trc/.sym/.crit/.meta (as written by webslice-record),
+ * runs the forward pass streamed from the file, runs the backward pass
+ * streamed back-to-front (peak memory stays O(live set) + one byte per
+ * record), and prints per-thread statistics, the waste categorization,
+ * and the hottest functions with their slice shares.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "analysis/categorize.hh"
+#include "analysis/function_stats.hh"
+#include "analysis/thread_stats.hh"
+#include "graph/cfg.hh"
+#include "graph/control_deps.hh"
+#include "slicer/slicer.hh"
+#include "support/strings.hh"
+#include "trace/trace_file.hh"
+
+using namespace webslice;
+
+namespace {
+
+struct Meta
+{
+    std::string benchmark;
+    size_t loadCompleteIndex = SIZE_MAX;
+    bool loadOnly = false;
+    std::vector<std::string> threadNames;
+};
+
+Meta
+loadMeta(const std::string &path)
+{
+    Meta meta;
+    std::ifstream in(path);
+    if (!in)
+        return meta;
+    std::string line;
+    while (std::getline(in, line)) {
+        std::istringstream fields(line);
+        std::string key;
+        fields >> key;
+        if (key == "benchmark") {
+            std::getline(fields, meta.benchmark);
+            meta.benchmark = std::string(trim(meta.benchmark));
+        } else if (key == "loadCompleteIndex") {
+            fields >> meta.loadCompleteIndex;
+        } else if (key == "loadOnly") {
+            int flag = 0;
+            fields >> flag;
+            meta.loadOnly = flag != 0;
+        } else if (key == "thread") {
+            size_t tid;
+            std::string name;
+            fields >> tid >> name;
+            if (meta.threadNames.size() <= tid)
+                meta.threadNames.resize(tid + 1);
+            meta.threadNames[tid] = name;
+        }
+    }
+    return meta;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage: %s <prefix> [--syscalls] [--no-window] "
+                     "[--top N]\n",
+                     argv[0]);
+        return 1;
+    }
+    const std::string prefix = argv[1];
+    slicer::SlicerOptions options;
+    bool use_window = true;
+    size_t top = 12;
+    for (int a = 2; a < argc; ++a) {
+        if (!std::strcmp(argv[a], "--syscalls")) {
+            options.mode = slicer::CriteriaMode::Syscalls;
+        } else if (!std::strcmp(argv[a], "--no-window")) {
+            use_window = false;
+        } else if (!std::strcmp(argv[a], "--top") && a + 1 < argc) {
+            top = static_cast<size_t>(std::atoi(argv[++a]));
+        }
+    }
+
+    // ---- load artifacts -----------------------------------------------------
+    trace::SymbolTable symtab;
+    symtab.load(prefix + ".sym");
+    trace::CriteriaSet criteria;
+    criteria.load(prefix + ".crit");
+    const Meta meta = loadMeta(prefix + ".meta");
+
+    // ---- forward pass (streamed) ----------------------------------------------
+    const auto cfgs = graph::buildCfgsFromFile(prefix + ".trc", symtab);
+    const auto deps = graph::buildControlDeps(cfgs);
+
+    if (use_window && meta.loadOnly &&
+        meta.loadCompleteIndex != SIZE_MAX) {
+        options.endIndex = meta.loadCompleteIndex;
+    }
+
+    // ---- backward pass (streamed) ----------------------------------------------
+    const auto slice = slicer::computeSliceFromFile(
+        prefix + ".trc", cfgs, deps, criteria, options);
+
+    std::printf("%s: %s\n", prefix.c_str(),
+                meta.benchmark.empty() ? "(no metadata)"
+                                       : meta.benchmark.c_str());
+    std::printf("criteria: %s, slice %s of %s instructions (%.1f%%)\n\n",
+                options.mode == slicer::CriteriaMode::PixelBuffer
+                    ? "pixel buffers"
+                    : "system calls",
+                withCommas(slice.sliceInstructions).c_str(),
+                withCommas(slice.instructionsAnalyzed).c_str(),
+                slice.slicePercent());
+
+    // The per-record arrays need the records once more for attribution.
+    const auto records = trace::loadTrace(prefix + ".trc");
+    const size_t window = std::min(options.endIndex, records.size());
+
+    const auto stats = analysis::computeThreadStats(
+        records, slice.inSlice, meta.threadNames, window);
+    std::printf("per thread:\n");
+    for (const auto &thread : stats.perThread) {
+        if (thread.totalInstructions == 0)
+            continue;
+        std::printf("  %-26s %12s instr  %5.1f%% in slice\n",
+                    thread.name.empty()
+                        ? format("tid%u", thread.tid).c_str()
+                        : thread.name.c_str(),
+                    withCommas(thread.totalInstructions).c_str(),
+                    thread.slicePercent());
+    }
+
+    const auto dist = analysis::categorizeUnnecessary(
+        records, slice.inSlice, cfgs, symtab,
+        analysis::Categorizer::chromiumDefault(), window);
+    std::printf("\nunnecessary-computation categories (%.0f%% "
+                "categorizable):\n",
+                dist.coveragePercent());
+    for (const auto &category :
+         analysis::Categorizer::reportOrder()) {
+        const double share = dist.sharePercent(category);
+        if (share >= 0.05)
+            std::printf("  %-16s %5.1f%%\n", category.c_str(), share);
+    }
+
+    const auto functions = analysis::computeFunctionStats(
+        {records.data(), window}, {slice.inSlice.data(), window}, cfgs,
+        symtab);
+    std::printf("\nhottest functions:\n");
+    for (size_t i = 0; i < functions.size() && i < top; ++i) {
+        std::printf("  %-48s %10s instr  %5.1f%% in slice\n",
+                    functions[i].name.c_str(),
+                    withCommas(functions[i].totalInstructions).c_str(),
+                    functions[i].slicePercent());
+    }
+    return 0;
+}

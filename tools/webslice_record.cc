@@ -1,0 +1,91 @@
+/**
+ * @file
+ * webslice-record: run a benchmark session and write its artifacts —
+ * the trace, symbol table, criteria sidecar, and a metadata file — the
+ * same hand-off the paper's Pin tool performs for the offline profiler.
+ *
+ *   webslice-record <benchmark> <output-prefix>
+ *
+ *   benchmark: amazon-desktop | amazon-mobile | maps | bing | fig2
+ *
+ * Writes <prefix>.trc (records), <prefix>.sym (symbols), <prefix>.crit
+ * (pixel criteria), <prefix>.meta (thread names + load-complete index).
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "support/strings.hh"
+#include "trace/trace_file.hh"
+#include "workloads/sites.hh"
+
+using namespace webslice;
+
+namespace {
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s <benchmark> <output-prefix>\n"
+                 "  benchmark: amazon-desktop | amazon-mobile | maps | "
+                 "bing | fig2\n",
+                 argv0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc != 3) {
+        usage(argv[0]);
+        return 1;
+    }
+
+    workloads::SiteSpec spec;
+    const std::string name = argv[1];
+    if (name == "amazon-desktop") {
+        spec = workloads::amazonDesktopSpec();
+    } else if (name == "amazon-mobile") {
+        spec = workloads::amazonMobileSpec();
+    } else if (name == "maps") {
+        spec = workloads::googleMapsSpec();
+    } else if (name == "bing") {
+        spec = workloads::bingSpec();
+    } else if (name == "fig2") {
+        spec = workloads::amazonFigure2Spec();
+    } else {
+        usage(argv[0]);
+        return 1;
+    }
+
+    std::fprintf(stderr, "recording '%s'...\n", spec.name.c_str());
+    const auto run = workloads::runSite(spec);
+
+    const std::string prefix = argv[2];
+    trace::saveTrace(prefix + ".trc", run.records());
+    run.machine->symtab().save(prefix + ".sym");
+    run.machine->pixelCriteria().save(prefix + ".crit");
+
+    std::ofstream meta(prefix + ".meta");
+    if (!meta) {
+        std::fprintf(stderr, "cannot write %s.meta\n", prefix.c_str());
+        return 1;
+    }
+    meta << "benchmark " << spec.name << '\n';
+    meta << "loadCompleteIndex " << run.loadCompleteIndex << '\n';
+    meta << "loadOnly " << (spec.actions.empty() ? 1 : 0) << '\n';
+    for (size_t t = 0; t < run.threadNames().size(); ++t)
+        meta << "thread " << t << ' ' << run.threadNames()[t] << '\n';
+
+    std::fprintf(stderr,
+                 "wrote %s.{trc,sym,crit,meta}: %s records, %zu markers, "
+                 "load complete at index %s\n",
+                 prefix.c_str(),
+                 withCommas(run.records().size()).c_str(),
+                 run.machine->pixelCriteria().markerCount(),
+                 withCommas(run.loadCompleteIndex).c_str());
+    return 0;
+}
