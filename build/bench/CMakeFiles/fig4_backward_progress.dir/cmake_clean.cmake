@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_backward_progress.dir/fig4_backward_progress.cc.o"
+  "CMakeFiles/fig4_backward_progress.dir/fig4_backward_progress.cc.o.d"
+  "fig4_backward_progress"
+  "fig4_backward_progress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_backward_progress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

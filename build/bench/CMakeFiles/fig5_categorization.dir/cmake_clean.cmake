@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_categorization.dir/fig5_categorization.cc.o"
+  "CMakeFiles/fig5_categorization.dir/fig5_categorization.cc.o.d"
+  "fig5_categorization"
+  "fig5_categorization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_categorization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

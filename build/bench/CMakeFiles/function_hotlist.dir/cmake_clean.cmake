@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/function_hotlist.dir/function_hotlist.cc.o"
+  "CMakeFiles/function_hotlist.dir/function_hotlist.cc.o.d"
+  "function_hotlist"
+  "function_hotlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/function_hotlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for function_hotlist.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipc_receiver.dir/ipc_receiver.cc.o"
+  "CMakeFiles/ipc_receiver.dir/ipc_receiver.cc.o.d"
+  "ipc_receiver"
+  "ipc_receiver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipc_receiver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

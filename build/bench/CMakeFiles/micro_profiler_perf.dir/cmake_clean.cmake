@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_profiler_perf.dir/micro_profiler_perf.cc.o"
+  "CMakeFiles/micro_profiler_perf.dir/micro_profiler_perf.cc.o.d"
+  "micro_profiler_perf"
+  "micro_profiler_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_profiler_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/site_stats.dir/site_stats.cc.o"
+  "CMakeFiles/site_stats.dir/site_stats.cc.o.d"
+  "site_stats"
+  "site_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/site_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_unused_bytes.dir/table1_unused_bytes.cc.o"
+  "CMakeFiles/table1_unused_bytes.dir/table1_unused_bytes.cc.o.d"
+  "table1_unused_bytes"
+  "table1_unused_bytes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_unused_bytes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

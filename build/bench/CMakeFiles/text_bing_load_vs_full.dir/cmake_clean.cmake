@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_bing_load_vs_full.dir/text_bing_load_vs_full.cc.o"
+  "CMakeFiles/text_bing_load_vs_full.dir/text_bing_load_vs_full.cc.o.d"
+  "text_bing_load_vs_full"
+  "text_bing_load_vs_full.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_bing_load_vs_full.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for text_bing_load_vs_full.
+# This may be replaced when dependencies are built.

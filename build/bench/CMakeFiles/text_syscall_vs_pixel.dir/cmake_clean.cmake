@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_syscall_vs_pixel.dir/text_syscall_vs_pixel.cc.o"
+  "CMakeFiles/text_syscall_vs_pixel.dir/text_syscall_vs_pixel.cc.o.d"
+  "text_syscall_vs_pixel"
+  "text_syscall_vs_pixel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_syscall_vs_pixel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

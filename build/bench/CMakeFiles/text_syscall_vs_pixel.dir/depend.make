@@ -1,0 +1,2 @@
+# Empty dependencies file for text_syscall_vs_pixel.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_util.cc" "bench/CMakeFiles/webslice_benchutil.dir/bench_util.cc.o" "gcc" "bench/CMakeFiles/webslice_benchutil.dir/bench_util.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/webslice_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/webslice_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/slicer/CMakeFiles/webslice_slicer.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/webslice_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/browser/CMakeFiles/webslice_browser.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/webslice_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/webslice_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/webslice_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

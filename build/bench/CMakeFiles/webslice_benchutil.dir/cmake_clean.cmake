@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libwebslice_benchutil.a"
+  "../lib/libwebslice_benchutil.pdb"
+  "CMakeFiles/webslice_benchutil.dir/bench_util.cc.o"
+  "CMakeFiles/webslice_benchutil.dir/bench_util.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webslice_benchutil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

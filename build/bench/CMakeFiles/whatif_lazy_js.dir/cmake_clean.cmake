@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whatif_lazy_js.dir/whatif_lazy_js.cc.o"
+  "CMakeFiles/whatif_lazy_js.dir/whatif_lazy_js.cc.o.d"
+  "whatif_lazy_js"
+  "whatif_lazy_js.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whatif_lazy_js.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

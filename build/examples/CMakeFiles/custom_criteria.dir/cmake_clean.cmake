@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_criteria.dir/custom_criteria.cpp.o"
+  "CMakeFiles/custom_criteria.dir/custom_criteria.cpp.o.d"
+  "custom_criteria"
+  "custom_criteria.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_criteria.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profile_website.dir/profile_website.cpp.o"
+  "CMakeFiles/profile_website.dir/profile_website.cpp.o.d"
+  "profile_website"
+  "profile_website.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profile_website.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

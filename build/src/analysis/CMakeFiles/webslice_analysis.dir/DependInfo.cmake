@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/categorize.cc" "src/analysis/CMakeFiles/webslice_analysis.dir/categorize.cc.o" "gcc" "src/analysis/CMakeFiles/webslice_analysis.dir/categorize.cc.o.d"
+  "/root/repo/src/analysis/function_stats.cc" "src/analysis/CMakeFiles/webslice_analysis.dir/function_stats.cc.o" "gcc" "src/analysis/CMakeFiles/webslice_analysis.dir/function_stats.cc.o.d"
+  "/root/repo/src/analysis/progress.cc" "src/analysis/CMakeFiles/webslice_analysis.dir/progress.cc.o" "gcc" "src/analysis/CMakeFiles/webslice_analysis.dir/progress.cc.o.d"
+  "/root/repo/src/analysis/report.cc" "src/analysis/CMakeFiles/webslice_analysis.dir/report.cc.o" "gcc" "src/analysis/CMakeFiles/webslice_analysis.dir/report.cc.o.d"
+  "/root/repo/src/analysis/thread_stats.cc" "src/analysis/CMakeFiles/webslice_analysis.dir/thread_stats.cc.o" "gcc" "src/analysis/CMakeFiles/webslice_analysis.dir/thread_stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/slicer/CMakeFiles/webslice_slicer.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/webslice_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/webslice_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/webslice_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

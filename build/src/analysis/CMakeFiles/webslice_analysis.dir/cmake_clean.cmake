@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webslice_analysis.dir/categorize.cc.o"
+  "CMakeFiles/webslice_analysis.dir/categorize.cc.o.d"
+  "CMakeFiles/webslice_analysis.dir/function_stats.cc.o"
+  "CMakeFiles/webslice_analysis.dir/function_stats.cc.o.d"
+  "CMakeFiles/webslice_analysis.dir/progress.cc.o"
+  "CMakeFiles/webslice_analysis.dir/progress.cc.o.d"
+  "CMakeFiles/webslice_analysis.dir/report.cc.o"
+  "CMakeFiles/webslice_analysis.dir/report.cc.o.d"
+  "CMakeFiles/webslice_analysis.dir/thread_stats.cc.o"
+  "CMakeFiles/webslice_analysis.dir/thread_stats.cc.o.d"
+  "libwebslice_analysis.a"
+  "libwebslice_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webslice_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/browser/common.cc" "src/browser/CMakeFiles/webslice_browser.dir/common.cc.o" "gcc" "src/browser/CMakeFiles/webslice_browser.dir/common.cc.o.d"
+  "/root/repo/src/browser/compositor.cc" "src/browser/CMakeFiles/webslice_browser.dir/compositor.cc.o" "gcc" "src/browser/CMakeFiles/webslice_browser.dir/compositor.cc.o.d"
+  "/root/repo/src/browser/css.cc" "src/browser/CMakeFiles/webslice_browser.dir/css.cc.o" "gcc" "src/browser/CMakeFiles/webslice_browser.dir/css.cc.o.d"
+  "/root/repo/src/browser/debugging.cc" "src/browser/CMakeFiles/webslice_browser.dir/debugging.cc.o" "gcc" "src/browser/CMakeFiles/webslice_browser.dir/debugging.cc.o.d"
+  "/root/repo/src/browser/dom.cc" "src/browser/CMakeFiles/webslice_browser.dir/dom.cc.o" "gcc" "src/browser/CMakeFiles/webslice_browser.dir/dom.cc.o.d"
+  "/root/repo/src/browser/html_parser.cc" "src/browser/CMakeFiles/webslice_browser.dir/html_parser.cc.o" "gcc" "src/browser/CMakeFiles/webslice_browser.dir/html_parser.cc.o.d"
+  "/root/repo/src/browser/image.cc" "src/browser/CMakeFiles/webslice_browser.dir/image.cc.o" "gcc" "src/browser/CMakeFiles/webslice_browser.dir/image.cc.o.d"
+  "/root/repo/src/browser/ipc.cc" "src/browser/CMakeFiles/webslice_browser.dir/ipc.cc.o" "gcc" "src/browser/CMakeFiles/webslice_browser.dir/ipc.cc.o.d"
+  "/root/repo/src/browser/js.cc" "src/browser/CMakeFiles/webslice_browser.dir/js.cc.o" "gcc" "src/browser/CMakeFiles/webslice_browser.dir/js.cc.o.d"
+  "/root/repo/src/browser/layout.cc" "src/browser/CMakeFiles/webslice_browser.dir/layout.cc.o" "gcc" "src/browser/CMakeFiles/webslice_browser.dir/layout.cc.o.d"
+  "/root/repo/src/browser/lib.cc" "src/browser/CMakeFiles/webslice_browser.dir/lib.cc.o" "gcc" "src/browser/CMakeFiles/webslice_browser.dir/lib.cc.o.d"
+  "/root/repo/src/browser/net.cc" "src/browser/CMakeFiles/webslice_browser.dir/net.cc.o" "gcc" "src/browser/CMakeFiles/webslice_browser.dir/net.cc.o.d"
+  "/root/repo/src/browser/paint.cc" "src/browser/CMakeFiles/webslice_browser.dir/paint.cc.o" "gcc" "src/browser/CMakeFiles/webslice_browser.dir/paint.cc.o.d"
+  "/root/repo/src/browser/raster.cc" "src/browser/CMakeFiles/webslice_browser.dir/raster.cc.o" "gcc" "src/browser/CMakeFiles/webslice_browser.dir/raster.cc.o.d"
+  "/root/repo/src/browser/tab.cc" "src/browser/CMakeFiles/webslice_browser.dir/tab.cc.o" "gcc" "src/browser/CMakeFiles/webslice_browser.dir/tab.cc.o.d"
+  "/root/repo/src/browser/threading.cc" "src/browser/CMakeFiles/webslice_browser.dir/threading.cc.o" "gcc" "src/browser/CMakeFiles/webslice_browser.dir/threading.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/webslice_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/webslice_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/webslice_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwebslice_browser.a"
+)

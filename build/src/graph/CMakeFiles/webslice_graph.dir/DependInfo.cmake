@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/cfg.cc" "src/graph/CMakeFiles/webslice_graph.dir/cfg.cc.o" "gcc" "src/graph/CMakeFiles/webslice_graph.dir/cfg.cc.o.d"
+  "/root/repo/src/graph/control_deps.cc" "src/graph/CMakeFiles/webslice_graph.dir/control_deps.cc.o" "gcc" "src/graph/CMakeFiles/webslice_graph.dir/control_deps.cc.o.d"
+  "/root/repo/src/graph/postdom.cc" "src/graph/CMakeFiles/webslice_graph.dir/postdom.cc.o" "gcc" "src/graph/CMakeFiles/webslice_graph.dir/postdom.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/webslice_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/webslice_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

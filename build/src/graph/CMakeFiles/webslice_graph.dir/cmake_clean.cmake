@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webslice_graph.dir/cfg.cc.o"
+  "CMakeFiles/webslice_graph.dir/cfg.cc.o.d"
+  "CMakeFiles/webslice_graph.dir/control_deps.cc.o"
+  "CMakeFiles/webslice_graph.dir/control_deps.cc.o.d"
+  "CMakeFiles/webslice_graph.dir/postdom.cc.o"
+  "CMakeFiles/webslice_graph.dir/postdom.cc.o.d"
+  "libwebslice_graph.a"
+  "libwebslice_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webslice_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

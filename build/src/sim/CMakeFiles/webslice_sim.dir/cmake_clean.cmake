@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webslice_sim.dir/machine.cc.o"
+  "CMakeFiles/webslice_sim.dir/machine.cc.o.d"
+  "CMakeFiles/webslice_sim.dir/memory.cc.o"
+  "CMakeFiles/webslice_sim.dir/memory.cc.o.d"
+  "libwebslice_sim.a"
+  "libwebslice_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webslice_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webslice_slicer.dir/slicer.cc.o"
+  "CMakeFiles/webslice_slicer.dir/slicer.cc.o.d"
+  "libwebslice_slicer.a"
+  "libwebslice_slicer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webslice_slicer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webslice_support.dir/logging.cc.o"
+  "CMakeFiles/webslice_support.dir/logging.cc.o.d"
+  "CMakeFiles/webslice_support.dir/strings.cc.o"
+  "CMakeFiles/webslice_support.dir/strings.cc.o.d"
+  "CMakeFiles/webslice_support.dir/table.cc.o"
+  "CMakeFiles/webslice_support.dir/table.cc.o.d"
+  "libwebslice_support.a"
+  "libwebslice_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webslice_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

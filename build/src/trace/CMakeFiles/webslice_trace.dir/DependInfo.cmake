@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/criteria.cc" "src/trace/CMakeFiles/webslice_trace.dir/criteria.cc.o" "gcc" "src/trace/CMakeFiles/webslice_trace.dir/criteria.cc.o.d"
+  "/root/repo/src/trace/symtab.cc" "src/trace/CMakeFiles/webslice_trace.dir/symtab.cc.o" "gcc" "src/trace/CMakeFiles/webslice_trace.dir/symtab.cc.o.d"
+  "/root/repo/src/trace/trace_file.cc" "src/trace/CMakeFiles/webslice_trace.dir/trace_file.cc.o" "gcc" "src/trace/CMakeFiles/webslice_trace.dir/trace_file.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/webslice_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

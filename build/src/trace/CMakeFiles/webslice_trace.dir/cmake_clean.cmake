@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webslice_trace.dir/criteria.cc.o"
+  "CMakeFiles/webslice_trace.dir/criteria.cc.o.d"
+  "CMakeFiles/webslice_trace.dir/symtab.cc.o"
+  "CMakeFiles/webslice_trace.dir/symtab.cc.o.d"
+  "CMakeFiles/webslice_trace.dir/trace_file.cc.o"
+  "CMakeFiles/webslice_trace.dir/trace_file.cc.o.d"
+  "libwebslice_trace.a"
+  "libwebslice_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webslice_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webslice_workloads.dir/content.cc.o"
+  "CMakeFiles/webslice_workloads.dir/content.cc.o.d"
+  "CMakeFiles/webslice_workloads.dir/sites.cc.o"
+  "CMakeFiles/webslice_workloads.dir/sites.cc.o.d"
+  "libwebslice_workloads.a"
+  "libwebslice_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webslice_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

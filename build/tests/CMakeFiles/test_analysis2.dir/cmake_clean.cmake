@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis2.dir/test_analysis2.cc.o"
+  "CMakeFiles/test_analysis2.dir/test_analysis2.cc.o.d"
+  "test_analysis2"
+  "test_analysis2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

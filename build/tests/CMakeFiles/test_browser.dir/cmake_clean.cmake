@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_browser.dir/test_browser.cc.o"
+  "CMakeFiles/test_browser.dir/test_browser.cc.o.d"
+  "test_browser"
+  "test_browser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_browser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

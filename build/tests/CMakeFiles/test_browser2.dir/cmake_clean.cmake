@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_browser2.dir/test_browser2.cc.o"
+  "CMakeFiles/test_browser2.dir/test_browser2.cc.o.d"
+  "test_browser2"
+  "test_browser2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_browser2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_browser_edges.dir/test_browser_edges.cc.o"
+  "CMakeFiles/test_browser_edges.dir/test_browser_edges.cc.o.d"
+  "test_browser_edges"
+  "test_browser_edges.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_browser_edges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

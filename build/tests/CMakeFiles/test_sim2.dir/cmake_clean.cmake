@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim2.dir/test_sim2.cc.o"
+  "CMakeFiles/test_sim2.dir/test_sim2.cc.o.d"
+  "test_sim2"
+  "test_sim2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

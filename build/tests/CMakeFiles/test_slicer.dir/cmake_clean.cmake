@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_slicer.dir/test_slicer.cc.o"
+  "CMakeFiles/test_slicer.dir/test_slicer.cc.o.d"
+  "test_slicer"
+  "test_slicer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_slicer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_slicer_properties.dir/test_slicer_properties.cc.o"
+  "CMakeFiles/test_slicer_properties.dir/test_slicer_properties.cc.o.d"
+  "test_slicer_properties"
+  "test_slicer_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_slicer_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webslice-profile.dir/webslice_profile.cc.o"
+  "CMakeFiles/webslice-profile.dir/webslice_profile.cc.o.d"
+  "webslice-profile"
+  "webslice-profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webslice-profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

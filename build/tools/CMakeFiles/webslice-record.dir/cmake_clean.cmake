@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webslice-record.dir/webslice_record.cc.o"
+  "CMakeFiles/webslice-record.dir/webslice_record.cc.o.d"
+  "webslice-record"
+  "webslice-record.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webslice-record.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
