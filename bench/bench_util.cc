@@ -25,8 +25,8 @@ profileSite(const workloads::SiteSpec &spec,
     out.run = workloads::runSite(spec);
     double t1 = nowSeconds();
     out.cfgs = graph::buildCfgs(out.run.records(),
-                                out.run.machine->symtab());
-    out.deps = graph::buildControlDeps(out.cfgs);
+                                out.run.machine->symtab(), options.jobs);
+    out.deps = graph::buildControlDeps(out.cfgs, options.jobs);
     double t2 = nowSeconds();
     slicer::SlicerOptions effective = options;
     if (apply_window)

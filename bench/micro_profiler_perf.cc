@@ -7,13 +7,17 @@
  * anyone extending the profiler.
  */
 
+#include <unordered_map>
+
 #include <benchmark/benchmark.h>
 
 #include "graph/cfg.hh"
 #include "graph/control_deps.hh"
 #include "sim/machine.hh"
 #include "slicer/slicer.hh"
+#include "support/flat_map.hh"
 #include "support/sparse_byte_set.hh"
+#include "support/thread_pool.hh"
 
 using namespace webslice;
 
@@ -69,15 +73,20 @@ void
 BM_CfgBuild(benchmark::State &state)
 {
     SyntheticTrace trace(static_cast<int>(state.range(0)));
+    const int jobs = static_cast<int>(state.range(1));
     for (auto _ : state) {
         auto cfgs = graph::buildCfgs(trace.machine.records(),
-                                     trace.machine.symtab());
+                                     trace.machine.symtab(), jobs);
         benchmark::DoNotOptimize(cfgs.byFunc.size());
     }
     state.SetItemsProcessed(state.iterations() *
                             trace.machine.records().size());
 }
-BENCHMARK(BM_CfgBuild)->Arg(1000)->Arg(10000);
+BENCHMARK(BM_CfgBuild)
+    ->Args({1000, 1})
+    ->Args({10000, 1})
+    ->Args({10000, 2})
+    ->Args({10000, 4});
 
 void
 BM_ControlDeps(benchmark::State &state)
@@ -85,12 +94,16 @@ BM_ControlDeps(benchmark::State &state)
     SyntheticTrace trace(static_cast<int>(state.range(0)));
     const auto cfgs = graph::buildCfgs(trace.machine.records(),
                                        trace.machine.symtab());
+    const int jobs = static_cast<int>(state.range(1));
     for (auto _ : state) {
-        auto deps = graph::buildControlDeps(cfgs);
+        auto deps = graph::buildControlDeps(cfgs, jobs);
         benchmark::DoNotOptimize(deps.pairCount());
     }
 }
-BENCHMARK(BM_ControlDeps)->Arg(10000);
+BENCHMARK(BM_ControlDeps)
+    ->Args({10000, 1})
+    ->Args({10000, 2})
+    ->Args({10000, 4});
 
 void
 BM_BackwardSlice(benchmark::State &state)
@@ -109,6 +122,27 @@ BM_BackwardSlice(benchmark::State &state)
                             trace.machine.records().size());
 }
 BENCHMARK(BM_BackwardSlice)->Arg(1000)->Arg(10000)->Arg(100000);
+
+/** The seed's std::unordered_* live sets, kept as the measured baseline. */
+void
+BM_BackwardSliceLegacy(benchmark::State &state)
+{
+    SyntheticTrace trace(static_cast<int>(state.range(0)));
+    const auto cfgs = graph::buildCfgs(trace.machine.records(),
+                                       trace.machine.symtab());
+    const auto deps = graph::buildControlDeps(cfgs);
+    slicer::SlicerOptions options;
+    options.legacyLiveSets = true;
+    for (auto _ : state) {
+        auto slice = slicer::computeSlice(
+            trace.machine.records(), cfgs, deps,
+            trace.machine.pixelCriteria(), options);
+        benchmark::DoNotOptimize(slice.sliceInstructions);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            trace.machine.records().size());
+}
+BENCHMARK(BM_BackwardSliceLegacy)->Arg(10000)->Arg(100000);
 
 void
 BM_SparseByteSetInsertErase(benchmark::State &state)
@@ -137,6 +171,83 @@ BM_SparseByteSetIntersects(benchmark::State &state)
     }
 }
 BENCHMARK(BM_SparseByteSetIntersects);
+
+// The same live-set workloads on the seed's std::unordered_map chunk
+// storage, so the flat-hash gain is visible in one report.
+void
+BM_LegacySparseByteSetInsertErase(benchmark::State &state)
+{
+    LegacySparseByteSet set;
+    uint64_t addr = 0;
+    for (auto _ : state) {
+        set.insert(addr, 64);
+        benchmark::DoNotOptimize(set.testAndErase(addr, 64));
+        addr = (addr + 4096) & 0xFFFFFF;
+    }
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_LegacySparseByteSetInsertErase);
+
+void
+BM_LegacySparseByteSetIntersects(benchmark::State &state)
+{
+    LegacySparseByteSet set;
+    for (uint64_t a = 0; a < 1 << 20; a += 128)
+        set.insert(a, 32);
+    uint64_t addr = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(set.intersects(addr, 16));
+        addr = (addr + 64) & ((1 << 20) - 1);
+    }
+}
+BENCHMARK(BM_LegacySparseByteSetIntersects);
+
+// FlatMap64 vs std::unordered_map on the chunk-map access pattern: a
+// churning working set of 64-bit keys with heavy lookup traffic.
+void
+BM_FlatMap64InsertFindErase(benchmark::State &state)
+{
+    FlatMap64 map;
+    uint64_t key = 0;
+    for (auto _ : state) {
+        map.findOrInsert(key) = key;
+        benchmark::DoNotOptimize(map.find(key ^ 1));
+        benchmark::DoNotOptimize(map.find(key));
+        map.erase(key);
+        key = (key * 2654435761u + 1) & 0xFFFFF;
+    }
+}
+BENCHMARK(BM_FlatMap64InsertFindErase);
+
+void
+BM_StdUnorderedMapInsertFindErase(benchmark::State &state)
+{
+    std::unordered_map<uint64_t, uint64_t> map;
+    uint64_t key = 0;
+    for (auto _ : state) {
+        map[key] = key;
+        benchmark::DoNotOptimize(map.find(key ^ 1) != map.end());
+        benchmark::DoNotOptimize(map.find(key) != map.end());
+        map.erase(key);
+        key = (key * 2654435761u + 1) & 0xFFFFF;
+    }
+}
+BENCHMARK(BM_StdUnorderedMapInsertFindErase);
+
+/** Fixed cost of dispatching a parallelFor across the worker pool. */
+void
+BM_ThreadPoolParallelFor(benchmark::State &state)
+{
+    ThreadPool pool(static_cast<unsigned>(state.range(0)));
+    std::vector<uint64_t> sums(1024, 0);
+    for (auto _ : state) {
+        pool.parallelFor(0, sums.size(),
+                         [&](size_t i) { sums[i] += i; });
+        benchmark::DoNotOptimize(sums.data());
+    }
+    state.SetItemsProcessed(state.iterations() * sums.size());
+}
+BENCHMARK(BM_ThreadPoolParallelFor)->Arg(1)->Arg(3);
 
 } // namespace
 

@@ -1,0 +1,292 @@
+/**
+ * @file
+ * Profiler pipeline scaling sweep.
+ *
+ *   pipeline_scaling [--site bing|bing-load|amazon|amazon-mobile|maps]
+ *                    [--max-jobs N] [--reps N] [--out FILE] [--quick]
+ *
+ * Measures the profiler's two passes over one benchmark trace:
+ *  - baseline: the seed pipeline — serial forward pass, backward pass on
+ *    the legacy std::unordered_map live sets;
+ *  - sweep: the current pipeline at increasing thread counts — parallel
+ *    per-function forward pass, backward pass on the flat-hash live sets
+ *    (the backward pass is sequential by construction; its speedup comes
+ *    from the data structures, not from threads).
+ *
+ * Every configuration's slice is verified bit-identical to the baseline
+ * before any number is reported. Results go to stdout as a table and to
+ * BENCH_profiler.json (machine readable) so the perf trajectory can be
+ * tracked across commits; CI uploads the JSON as an artifact.
+ *
+ * Measurement protocol: with --reps N the baseline and every sweep
+ * configuration are measured N times *interleaved* (baseline, then each
+ * configuration, repeated), and the reported speedup is the median of
+ * the per-rep ratios. On shared or frequency-scaled machines the CPU
+ * drifts between phases; measuring baseline and optimized back to back
+ * within each rep makes the ratio robust to that drift, where separate
+ * best-of phases are not. Throughput columns show each configuration's
+ * best rep.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "graph/cfg.hh"
+#include "graph/control_deps.hh"
+#include "slicer/slicer.hh"
+#include "support/strings.hh"
+#include "workloads/sites.hh"
+
+using namespace webslice;
+
+namespace {
+
+struct Sample
+{
+    int jobs = 1;
+    double forwardSeconds = 0.0;
+    double backwardSeconds = 0.0;
+    uint64_t peakLiveSetBytes = 0;
+
+    double totalSeconds() const { return forwardSeconds + backwardSeconds; }
+};
+
+/** One timed run of the full pipeline in one configuration. */
+Sample
+runOnce(const workloads::RunResult &run, int jobs, bool legacy_live_sets,
+        const slicer::SliceResult *expect)
+{
+    Sample s;
+    s.jobs = jobs;
+
+    const double t0 = bench::nowSeconds();
+    const auto cfgs = graph::buildCfgs(run.records(),
+                                       run.machine->symtab(), jobs);
+    const auto deps = graph::buildControlDeps(cfgs, jobs);
+    const double t1 = bench::nowSeconds();
+
+    slicer::SlicerOptions options = bench::windowedOptions(run);
+    options.legacyLiveSets = legacy_live_sets;
+    const auto slice = slicer::computeSlice(
+        run.records(), cfgs, deps, run.machine->pixelCriteria(), options);
+    const double t2 = bench::nowSeconds();
+
+    if (expect && slice.inSlice != expect->inSlice) {
+        std::fprintf(stderr,
+                     "FATAL: slice mismatch at jobs=%d "
+                     "(parallel pipeline is not bit-identical)\n",
+                     jobs);
+        std::exit(1);
+    }
+
+    s.forwardSeconds = t1 - t0;
+    s.backwardSeconds = t2 - t1;
+    s.peakLiveSetBytes = slice.peakLiveMemBytes;
+    return s;
+}
+
+/** Element-wise best (minimum time) across one configuration's reps. */
+Sample
+bestOf(const std::vector<Sample> &reps)
+{
+    Sample best = reps.front();
+    for (const Sample &s : reps) {
+        best.forwardSeconds = std::min(best.forwardSeconds,
+                                       s.forwardSeconds);
+        best.backwardSeconds = std::min(best.backwardSeconds,
+                                        s.backwardSeconds);
+    }
+    return best;
+}
+
+/** Median of the per-rep baseline/config end-to-end time ratios. */
+double
+medianSpeedup(const std::vector<Sample> &base,
+              const std::vector<Sample> &conf)
+{
+    std::vector<double> ratios;
+    ratios.reserve(base.size());
+    for (size_t r = 0; r < base.size(); ++r)
+        ratios.push_back(base[r].totalSeconds() / conf[r].totalSeconds());
+    std::sort(ratios.begin(), ratios.end());
+    const size_t n = ratios.size();
+    return n % 2 ? ratios[n / 2]
+                 : 0.5 * (ratios[n / 2 - 1] + ratios[n / 2]);
+}
+
+double
+recordsPerSec(uint64_t records, double seconds)
+{
+    return seconds > 0.0 ? static_cast<double>(records) / seconds : 0.0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string site = "bing";
+    std::string out_path = "BENCH_profiler.json";
+    int max_jobs = 8;
+    int reps = 3;
+    for (int a = 1; a < argc; ++a) {
+        if (!std::strcmp(argv[a], "--site") && a + 1 < argc) {
+            site = argv[++a];
+        } else if (!std::strcmp(argv[a], "--max-jobs") && a + 1 < argc) {
+            max_jobs = std::atoi(argv[++a]);
+        } else if (!std::strcmp(argv[a], "--reps") && a + 1 < argc) {
+            reps = std::atoi(argv[++a]);
+        } else if (!std::strcmp(argv[a], "--out") && a + 1 < argc) {
+            out_path = argv[++a];
+        } else if (!std::strcmp(argv[a], "--quick")) {
+            // CI smoke configuration: smallest site, short sweep.
+            site = "amazon-mobile";
+            max_jobs = 4;
+            reps = 1;
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--site NAME] [--max-jobs N] "
+                         "[--reps N] [--out FILE] [--quick]\n",
+                         argv[0]);
+            return 1;
+        }
+    }
+    if (max_jobs < 1)
+        max_jobs = 1;
+    if (reps < 1)
+        reps = 1;
+
+    workloads::SiteSpec spec;
+    if (site == "bing") {
+        spec = workloads::bingSpec();
+    } else if (site == "bing-load") {
+        spec = workloads::withoutBrowseSession(workloads::bingSpec());
+    } else if (site == "amazon") {
+        spec = workloads::amazonDesktopSpec();
+    } else if (site == "amazon-mobile") {
+        spec = workloads::amazonMobileSpec();
+    } else if (site == "maps") {
+        spec = workloads::googleMapsSpec();
+    } else {
+        std::fprintf(stderr, "unknown site '%s'\n", site.c_str());
+        return 1;
+    }
+
+    bench::printHeader("Profiler pipeline scaling: threaded forward pass "
+                       "+ flat-hash backward pass");
+
+    std::printf("running %s ...\n", spec.name.c_str());
+    auto run = workloads::runSite(spec);
+    const uint64_t records = run.records().size();
+    std::printf("trace: %s records, analysis window %s\n\n",
+                withCommas(records).c_str(),
+                withCommas(bench::analysisEnd(run)).c_str());
+
+    // The baseline's slice is the reference every configuration must
+    // reproduce exactly.
+    const auto base_cfgs = graph::buildCfgs(run.records(),
+                                            run.machine->symtab(), 1);
+    const auto base_deps = graph::buildControlDeps(base_cfgs, 1);
+    slicer::SlicerOptions base_options = bench::windowedOptions(run);
+    base_options.legacyLiveSets = true;
+    const auto reference = slicer::computeSlice(
+        run.records(), base_cfgs, base_deps,
+        run.machine->pixelCriteria(), base_options);
+
+    std::vector<int> job_counts;
+    for (int jobs = 1; jobs <= max_jobs; jobs *= 2)
+        job_counts.push_back(jobs);
+    if (job_counts.back() != max_jobs)
+        job_counts.push_back(max_jobs);
+
+    // Interleaved measurement: each rep times the baseline (serial
+    // forward pass + legacy unordered_map live sets — the pipeline as it
+    // was before this optimization round) back to back with every sweep
+    // configuration, so per-rep ratios are immune to machine-speed drift
+    // between phases.
+    std::vector<Sample> base_reps;
+    std::vector<std::vector<Sample>> conf_reps(job_counts.size());
+    for (int rep = 0; rep < reps; ++rep) {
+        base_reps.push_back(runOnce(run, 1, /*legacy=*/true, nullptr));
+        for (size_t c = 0; c < job_counts.size(); ++c)
+            conf_reps[c].push_back(
+                runOnce(run, job_counts[c], /*legacy=*/false, &reference));
+    }
+
+    const Sample base = bestOf(base_reps);
+    std::printf("%-28s %14s %14s %10s\n", "configuration",
+                "fwd Mrec/s", "bwd Mrec/s", "speedup");
+    std::printf("%-28s %14.2f %14.2f %9.2fx\n", "baseline (seed pipeline)",
+                recordsPerSec(records, base.forwardSeconds) / 1e6,
+                recordsPerSec(records, base.backwardSeconds) / 1e6, 1.0);
+
+    std::vector<Sample> sweep;
+    std::vector<double> speedups;
+    double speedup_at_4 = 0.0;
+    for (size_t c = 0; c < job_counts.size(); ++c) {
+        const Sample s = bestOf(conf_reps[c]);
+        const double speedup = medianSpeedup(base_reps, conf_reps[c]);
+        sweep.push_back(s);
+        speedups.push_back(speedup);
+        if (job_counts[c] == 4)
+            speedup_at_4 = speedup;
+        std::printf("%-28s %14.2f %14.2f %9.2fx\n",
+                    format("optimized, %d job%s", job_counts[c],
+                           job_counts[c] == 1 ? "" : "s")
+                        .c_str(),
+                    recordsPerSec(records, s.forwardSeconds) / 1e6,
+                    recordsPerSec(records, s.backwardSeconds) / 1e6,
+                    speedup);
+    }
+    std::printf("\nall configurations verified bit-identical to the "
+                "baseline slice.\n");
+
+    // ---- machine-readable output -------------------------------------------
+    std::FILE *json = std::fopen(out_path.c_str(), "w");
+    if (!json) {
+        std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+        return 1;
+    }
+    std::fprintf(json, "{\n");
+    std::fprintf(json, "  \"site\": \"%s\",\n", site.c_str());
+    std::fprintf(json, "  \"records\": %llu,\n",
+                 static_cast<unsigned long long>(records));
+    std::fprintf(json, "  \"reps\": %d,\n", reps);
+    std::fprintf(json,
+                 "  \"baseline\": {\"forward_records_per_sec\": %.0f, "
+                 "\"backward_records_per_sec\": %.0f, "
+                 "\"forward_seconds\": %.6f, \"backward_seconds\": %.6f, "
+                 "\"peak_live_set_bytes\": %llu},\n",
+                 recordsPerSec(records, base.forwardSeconds),
+                 recordsPerSec(records, base.backwardSeconds),
+                 base.forwardSeconds, base.backwardSeconds,
+                 static_cast<unsigned long long>(base.peakLiveSetBytes));
+    std::fprintf(json, "  \"sweep\": [\n");
+    for (size_t i = 0; i < sweep.size(); ++i) {
+        const Sample &s = sweep[i];
+        std::fprintf(json,
+                     "    {\"jobs\": %d, "
+                     "\"forward_records_per_sec\": %.0f, "
+                     "\"backward_records_per_sec\": %.0f, "
+                     "\"forward_seconds\": %.6f, "
+                     "\"backward_seconds\": %.6f, "
+                     "\"peak_live_set_bytes\": %llu, "
+                     "\"end_to_end_speedup_vs_baseline\": %.3f}%s\n",
+                     s.jobs, recordsPerSec(records, s.forwardSeconds),
+                     recordsPerSec(records, s.backwardSeconds),
+                     s.forwardSeconds, s.backwardSeconds,
+                     static_cast<unsigned long long>(s.peakLiveSetBytes),
+                     speedups[i], i + 1 < sweep.size() ? "," : "");
+    }
+    std::fprintf(json, "  ],\n");
+    std::fprintf(json, "  \"end_to_end_speedup_at_4_jobs\": %.3f\n",
+                 speedup_at_4);
+    std::fprintf(json, "}\n");
+    std::fclose(json);
+    std::printf("wrote %s\n", out_path.c_str());
+    return 0;
+}

@@ -5,6 +5,7 @@
 
 #include "graph/postdom.hh"
 #include "support/logging.hh"
+#include "support/thread_pool.hh"
 
 namespace webslice {
 namespace graph {
@@ -15,6 +16,18 @@ using trace::Pc;
 std::span<const Pc>
 ControlDepMap::depsOf(FuncId func, Pc pc) const
 {
+    if (!sealed_)
+        seal();
+    const uint64_t *entry = index_.find(key(func, pc));
+    if (!entry)
+        return {};
+    return {pool_.data() + (*entry >> 20),
+            static_cast<size_t>(*entry & 0xFFFFF)};
+}
+
+std::span<const Pc>
+ControlDepMap::depsOfUnindexed(FuncId func, Pc pc) const
+{
     auto it = deps_.find(key(func, pc));
     if (it == deps_.end())
         return {};
@@ -22,11 +35,30 @@ ControlDepMap::depsOf(FuncId func, Pc pc) const
 }
 
 void
+ControlDepMap::seal() const
+{
+    index_.clear();
+    index_.reserve(deps_.size());
+    pool_.clear();
+    for (const auto &kv : deps_) {
+        const uint64_t offset = pool_.size();
+        pool_.insert(pool_.end(), kv.second.begin(), kv.second.end());
+        panic_if(kv.second.size() >= (1u << 20),
+                 "control-dependence list too long for the index");
+        index_.findOrInsert(kv.first) =
+            (offset << 20) | kv.second.size();
+    }
+    sealed_ = true;
+}
+
+void
 ControlDepMap::add(FuncId func, Pc pc, Pc branch_pc)
 {
     auto &list = deps_[key(func, pc)];
-    if (std::find(list.begin(), list.end(), branch_pc) == list.end())
+    if (std::find(list.begin(), list.end(), branch_pc) == list.end()) {
         list.push_back(branch_pc);
+        sealed_ = false;
+    }
 }
 
 size_t
@@ -66,6 +98,7 @@ ControlDepMap::load(const std::string &path)
              "bad control-dependence map header in ", path);
 
     deps_.clear();
+    sealed_ = false;
     uint64_t func = 0, pc = 0;
     size_t count = 0;
     while (in >> func >> pc >> count) {
@@ -77,43 +110,95 @@ ControlDepMap::load(const std::string &path)
     }
 }
 
-ControlDepMap
-buildControlDeps(const CfgSet &cfgs)
+namespace {
+
+/**
+ * Per-function FOW computation: postdominators plus the dependence walk,
+ * delivering (pc, branch pc) pairs to sink in discovery order. Shared by
+ * the serial and the parallel driver so both produce the same pairs.
+ */
+template <typename Sink>
+void
+collectDeps(const Cfg &cfg, Sink &&sink)
 {
-    ControlDepMap out;
+    if (cfg.nodeCount() <= 2)
+        return;
 
-    for (const auto &kv : cfgs.byFunc) {
-        const Cfg &cfg = kv.second;
-        if (cfg.nodeCount() <= 2)
+    const std::vector<NodeId> ipdom = computePostdoms(cfg);
+
+    for (size_t a = 0; a < cfg.nodeCount(); ++a) {
+        // Only executed Branch records can control other instructions;
+        // multi-successor shapes from merged call paths are noise.
+        if (!cfg.isBranch[a] || cfg.succs[a].size() < 2)
             continue;
+        const NodeId node_a = static_cast<NodeId>(a);
+        const Pc branch_pc = cfg.nodePc[a];
 
-        const std::vector<NodeId> ipdom = computePostdoms(cfg);
-
-        for (size_t a = 0; a < cfg.nodeCount(); ++a) {
-            // Only executed Branch records can control other instructions;
-            // multi-successor shapes from merged call paths are noise.
-            if (!cfg.isBranch[a] || cfg.succs[a].size() < 2)
-                continue;
-            const NodeId node_a = static_cast<NodeId>(a);
-            const Pc branch_pc = cfg.nodePc[a];
-
-            for (const NodeId succ : cfg.succs[node_a]) {
-                // Walk the postdominator tree from succ up to (exclusive)
-                // ipdom(a); every node on the way is control-dependent
-                // on a.
-                NodeId t = succ;
-                size_t guard = 0;
-                while (t != kNoNode && t != ipdom[node_a] &&
-                       t != Cfg::kExit) {
-                    if (cfg.nodePc[t] != trace::kNoPc) {
-                        out.add(cfg.func, cfg.nodePc[t], branch_pc);
-                    }
-                    t = ipdom[t];
-                    panic_if(++guard > cfg.nodeCount(),
-                             "postdominator walk did not terminate");
+        for (const NodeId succ : cfg.succs[node_a]) {
+            // Walk the postdominator tree from succ up to (exclusive)
+            // ipdom(a); every node on the way is control-dependent
+            // on a.
+            NodeId t = succ;
+            size_t guard = 0;
+            while (t != kNoNode && t != ipdom[node_a] &&
+                   t != Cfg::kExit) {
+                if (cfg.nodePc[t] != trace::kNoPc) {
+                    sink(cfg.nodePc[t], branch_pc);
                 }
+                t = ipdom[t];
+                panic_if(++guard > cfg.nodeCount(),
+                         "postdominator walk did not terminate");
             }
         }
+    }
+}
+
+} // namespace
+
+ControlDepMap
+buildControlDeps(const CfgSet &cfgs, int jobs)
+{
+    ControlDepMap out;
+    const unsigned threads = ThreadPool::resolveJobs(jobs);
+
+    if (threads <= 1 || cfgs.byFunc.size() <= 1) {
+        for (const auto &kv : cfgs.byFunc) {
+            const Cfg &cfg = kv.second;
+            collectDeps(cfg, [&out, &cfg](Pc pc, Pc branch_pc) {
+                out.add(cfg.func, pc, branch_pc);
+            });
+        }
+        return out;
+    }
+
+    // One work item per function, largest CFGs first so the pool is not
+    // left waiting on one big function scheduled last.
+    std::vector<const Cfg *> work;
+    work.reserve(cfgs.byFunc.size());
+    for (const auto &kv : cfgs.byFunc)
+        work.push_back(&kv.second);
+    std::sort(work.begin(), work.end(),
+              [](const Cfg *a, const Cfg *b) {
+                  if (a->nodeCount() != b->nodeCount())
+                      return a->nodeCount() > b->nodeCount();
+                  return a->func < b->func;
+              });
+
+    std::vector<std::vector<std::pair<Pc, Pc>>> results(work.size());
+    ThreadPool pool(threads - 1);
+    pool.parallelFor(0, work.size(), [&](size_t i) {
+        collectDeps(*work[i], [&results, i](Pc pc, Pc branch_pc) {
+            results[i].emplace_back(pc, branch_pc);
+        });
+    });
+
+    // Merge serially. Each (func, pc) key belongs to exactly one
+    // function, and within a function the pairs arrive in the same order
+    // the serial path adds them, so the map contents are identical.
+    for (size_t i = 0; i < work.size(); ++i) {
+        const FuncId func = work[i]->func;
+        for (const auto &[pc, branch_pc] : results[i])
+            out.add(func, pc, branch_pc);
     }
     return out;
 }

@@ -26,17 +26,36 @@
 #include <vector>
 
 #include "graph/cfg.hh"
+#include "support/flat_map.hh"
 
 namespace webslice {
 namespace graph {
 
-/** (function, pc) -> controlling branch pcs within that function. */
+/**
+ * (function, pc) -> controlling branch pcs within that function.
+ *
+ * Queries go through a flat-hash index over a pooled pc array, built
+ * lazily on the first depsOf() after a mutation. The backward pass
+ * probes this map for every in-slice record — and most probes miss —
+ * so the index is a single open-addressing lookup, not a node-based
+ * unordered_map walk. Lazy sealing means the first depsOf() after an
+ * add()/load() is not safe to race with other depsOf() calls; the
+ * profiler's backward pass is single-threaded, which satisfies that.
+ */
 class ControlDepMap
 {
   public:
     /** Branch pcs the instruction at (func, pc) is control-dependent on. */
     std::span<const trace::Pc> depsOf(trace::FuncId func,
                                       trace::Pc pc) const;
+
+    /**
+     * depsOf() answered from the node-based map, bypassing the flat
+     * index — the pre-optimization lookup path, kept callable so the
+     * benchmarks' legacy baseline measures what the seed profiler did.
+     */
+    std::span<const trace::Pc> depsOfUnindexed(trace::FuncId func,
+                                               trace::Pc pc) const;
 
     /** Add one dependence (deduplicated). */
     void add(trace::FuncId func, trace::Pc pc, trace::Pc branch_pc);
@@ -60,11 +79,27 @@ class ControlDepMap
         return (static_cast<uint64_t>(func) << 32) | pc;
     }
 
+    /** Rebuild the flat query index from deps_. */
+    void seal() const;
+
     std::unordered_map<uint64_t, std::vector<trace::Pc>> deps_;
+
+    // Query-side index: key -> (offset << 20 | length) into pool_.
+    mutable bool sealed_ = false;
+    mutable FlatMap64 index_;
+    mutable std::vector<trace::Pc> pool_;
 };
 
-/** Compute control dependences for every CFG in the set. */
-ControlDepMap buildControlDeps(const CfgSet &cfgs);
+/**
+ * Compute control dependences for every CFG in the set.
+ *
+ * Functions are independent (postdominators and the FOW walk never cross
+ * CFGs), so with jobs > 1 the per-function work runs on a thread pool
+ * and the per-function results are merged in a deterministic order; the
+ * map contents are identical to the serial computation. jobs <= 0 means
+ * "all hardware threads".
+ */
+ControlDepMap buildControlDeps(const CfgSet &cfgs, int jobs = 1);
 
 } // namespace graph
 } // namespace webslice

@@ -1,8 +1,11 @@
 #include "slicer/slicer.hh"
 
+#include <memory>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
+#include "support/flat_map.hh"
 #include "support/logging.hh"
 #include "support/sparse_byte_set.hh"
 #include "trace/trace_file.hh"
@@ -20,15 +23,68 @@ using trace::ThreadId;
 
 namespace {
 
+/** std::unordered_set with the pending-set interface (legacy baseline). */
+struct StdPendingSet
+{
+    std::unordered_set<Pc> set;
+
+    void insert(Pc pc) { set.insert(pc); }
+    bool erase(Pc pc) { return set.erase(pc) != 0; }
+    size_t size() const { return set.size(); }
+};
+
+/**
+ * The default live-set implementations: flat-hash live memory, flat-hash
+ * pending branches, byte-per-register liveness flags, a dense per-tid
+ * thread-state array, and the flat-indexed control-dependence lookup.
+ */
+struct FlatPolicy
+{
+    using ByteSet = SparseByteSet;
+    using PendingSet = FlatSet64;
+    using RegFlags = std::vector<uint8_t>;
+    static constexpr bool kDenseThreads = true;
+    static constexpr bool kIndexedDeps = true;
+    static constexpr bool kPreallocRegs = true;
+};
+
+/**
+ * The seed implementations, kept as the measured perf baseline: every
+ * container and lookup path matches what the profiler shipped with, so
+ * benchmarks comparing against this policy report the real gain.
+ */
+struct LegacyPolicy
+{
+    using ByteSet = LegacySparseByteSet;
+    using PendingSet = StdPendingSet;
+    using RegFlags = std::vector<bool>;
+    static constexpr bool kDenseThreads = false;
+    static constexpr bool kIndexedDeps = false;
+    static constexpr bool kPreallocRegs = false;
+};
+
 /** Per-thread analysis state for the backward pass. */
+template <typename Policy>
 struct ThreadState
 {
-    /** Live virtual registers (dense bitmap, grown on demand). */
-    std::vector<bool> liveRegs;
+    /**
+     * Live virtual registers. The flat policy sizes the array for the
+     * whole RegId space upfront (64 KiB per thread) so the hot
+     * gen/kill paths carry no bounds or sentinel branches: kNoReg
+     * indexes a slot that is never set. The legacy policy keeps the
+     * seed's grown-on-demand vector<bool>.
+     */
+    typename Policy::RegFlags liveRegs;
     size_t liveRegCount = 0;
 
+    ThreadState()
+    {
+        if constexpr (Policy::kPreallocRegs)
+            liveRegs.assign(size_t{kNoReg} + 1, 0);
+    }
+
     /** Branch pcs waiting for their nearest preceding dynamic instance. */
-    std::unordered_set<Pc> pending;
+    typename Policy::PendingSet pending;
 
     /**
      * Backward-reconstructed call stack. A frame is opened at a Ret record
@@ -52,7 +108,10 @@ struct ThreadState
     bool
     regLive(RegId reg) const
     {
-        return reg < liveRegs.size() && liveRegs[reg];
+        if constexpr (Policy::kPreallocRegs)
+            return liveRegs[reg] != 0;
+        else
+            return reg < liveRegs.size() && liveRegs[reg];
     }
 
     void
@@ -60,8 +119,10 @@ struct ThreadState
     {
         if (reg == kNoReg)
             return;
-        if (reg >= liveRegs.size())
-            liveRegs.resize(reg + 1, false);
+        if constexpr (!Policy::kPreallocRegs) {
+            if (reg >= liveRegs.size())
+                liveRegs.resize(reg + 1, false);
+        }
         if (!liveRegs[reg]) {
             liveRegs[reg] = true;
             ++liveRegCount;
@@ -72,8 +133,14 @@ struct ThreadState
     bool
     killReg(RegId reg)
     {
-        if (reg == kNoReg || !regLive(reg))
-            return false;
+        if constexpr (Policy::kPreallocRegs) {
+            // kNoReg's slot exists and is never set; no sentinel branch.
+            if (!liveRegs[reg])
+                return false;
+        } else {
+            if (reg == kNoReg || !regLive(reg))
+                return false;
+        }
         liveRegs[reg] = false;
         --liveRegCount;
         return true;
@@ -82,6 +149,11 @@ struct ThreadState
 
 } // namespace
 
+/**
+ * The state shared by every backward-pass implementation; the live-set
+ * data structures live in the templated subclass so the flat-hash default
+ * and the legacy baseline can coexist behind one virtual feed().
+ */
 struct BackwardPass::Impl
 {
     const graph::CfgSet &cfgs;
@@ -91,8 +163,6 @@ struct BackwardPass::Impl
     size_t recordCount;
 
     SliceResult result;
-    SparseByteSet liveMem;
-    std::unordered_map<ThreadId, ThreadState> threads;
     size_t lastIndex;
     bool finished = false;
 
@@ -106,12 +176,69 @@ struct BackwardPass::Impl
         result.inSlice.assign(record_count, 0);
     }
 
+    virtual ~Impl() = default;
+
+    virtual void feed(size_t idx, const Record &rec) = 0;
+    virtual void run(std::span<const Record> records) = 0;
+};
+
+namespace {
+
+template <typename Policy>
+struct ImplT final : BackwardPass::Impl
+{
+    using State = ThreadState<Policy>;
+
+    typename Policy::ByteSet liveMem;
+
+    /** Thread states: dense per-tid array (flat) or hash map (legacy). */
+    std::vector<std::unique_ptr<State>> threadsDense;
+    std::unordered_map<ThreadId, State> threadsMap;
+
+    /** One-entry thread-state cache: traces run long same-tid stretches,
+     *  and the unique_ptr array keeps State addresses stable. */
+    ThreadId lastTid = 0;
+    State *lastState = nullptr;
+
+    using BackwardPass::Impl::Impl;
+
+    State &
+    threadState(ThreadId tid)
+    {
+        if constexpr (Policy::kDenseThreads) {
+            if (lastState && lastTid == tid)
+                return *lastState;
+            if (tid >= threadsDense.size())
+                threadsDense.resize(tid + 1);
+            auto &slot = threadsDense[tid];
+            if (!slot)
+                slot = std::make_unique<State>();
+            lastTid = tid;
+            lastState = slot.get();
+            return *slot;
+        } else {
+            return threadsMap[tid];
+        }
+    }
+
+    /** Track the live-memory high-water mark; the peak can only move on
+     *  an insert, so sampling at the insert sites is exact. */
     void
-    addControlDeps(ThreadState &ts, FuncId func, Pc pc)
+    samplePeakLiveMem()
+    {
+        result.peakLiveMemBytes =
+            std::max<uint64_t>(result.peakLiveMemBytes, liveMem.size());
+    }
+
+    void
+    addControlDeps(State &ts, FuncId func, Pc pc)
     {
         if (!options.includeControlDeps)
             return;
-        for (const Pc branch : deps.depsOf(func, pc))
+        const auto branches = Policy::kIndexedDeps
+                                  ? deps.depsOf(func, pc)
+                                  : deps.depsOfUnindexed(func, pc);
+        for (const Pc branch : branches)
             ts.pending.insert(branch);
         result.peakPendingBranches = std::max<uint64_t>(
             result.peakPendingBranches, ts.pending.size());
@@ -121,7 +248,7 @@ struct BackwardPass::Impl
     // consequences shared by every record kind: control dependences and
     // the enclosing-instance flag.
     void
-    include(size_t index, const Record &rec, ThreadState &ts)
+    include(size_t index, const Record &rec, State &ts)
     {
         result.inSlice[index] = 1;
         ++result.sliceInstructions;
@@ -131,7 +258,7 @@ struct BackwardPass::Impl
     }
 
     void
-    feed(size_t idx, const Record &rec)
+    feed(size_t idx, const Record &rec) override
     {
         panic_if(finished, "feed after finish");
         panic_if(idx >= lastIndex,
@@ -141,7 +268,32 @@ struct BackwardPass::Impl
         if (idx >= std::min(options.endIndex, recordCount))
             return; // outside the analysis window
 
-        ThreadState &ts = threads[rec.tid];
+        step(idx, rec);
+    }
+
+    void
+    run(std::span<const Record> records) override
+    {
+        panic_if(finished, "run after finish");
+        panic_if(lastIndex != recordCount,
+                 "run requires a fresh pass (no records fed yet)");
+        panic_if(records.size() != recordCount,
+                 "record span does not match the trace length");
+        const size_t end = std::min(options.endIndex, recordCount);
+        for (size_t idx = end; idx-- > 0;) {
+            // Descending streams defeat most hardware prefetchers;
+            // request the line a few hundred bytes behind explicitly.
+            if (idx >= 16)
+                __builtin_prefetch(&records[idx - 16]);
+            step(idx, records[idx]);
+        }
+        lastIndex = 0;
+    }
+
+    void
+    step(size_t idx, const Record &rec)
+    {
+        State &ts = threadState(rec.tid);
 
         if (!rec.isPseudo())
             ++result.instructionsAnalyzed;
@@ -153,6 +305,7 @@ struct BackwardPass::Impl
                     liveMem.insert(range.addr, range.size);
                     result.criteriaBytesSeeded += range.size;
                 }
+                samplePeakLiveMem();
                 include(idx, rec, ts);
             }
             break;
@@ -185,6 +338,7 @@ struct BackwardPass::Impl
                     if (options.mode == CriteriaMode::Syscalls)
                         result.criteriaBytesSeeded += range.size;
                 }
+                samplePeakLiveMem();
                 include(idx, rec, ts);
             }
             ts.syscallReads.clear();
@@ -210,6 +364,7 @@ struct BackwardPass::Impl
             if (live) {
                 include(idx, rec, ts);
                 liveMem.insert(rec.addr, rec.aux);
+                samplePeakLiveMem();
                 if (options.includeRegisterDeps)
                     ts.genReg(rec.rr0);
             }
@@ -230,9 +385,7 @@ struct BackwardPass::Impl
           }
 
           case RecordKind::Branch: {
-            auto it = ts.pending.find(rec.pc);
-            if (it != ts.pending.end()) {
-                ts.pending.erase(it);
+            if (ts.pending.erase(rec.pc)) {
                 include(idx, rec, ts);
                 if (options.includeRegisterDeps)
                     ts.genReg(rec.rr0);
@@ -246,7 +399,7 @@ struct BackwardPass::Impl
           }
 
           case RecordKind::Ret: {
-            ts.frames.push_back(ThreadState::Frame{idx, false});
+            ts.frames.push_back(typename State::Frame{idx, false});
             break;
           }
 
@@ -272,22 +425,26 @@ struct BackwardPass::Impl
             break;
           }
         }
-
-        result.peakLiveMemBytes =
-            std::max<uint64_t>(result.peakLiveMemBytes, liveMem.size());
     }
 };
+
+} // namespace
 
 BackwardPass::BackwardPass(const graph::CfgSet &cfgs,
                            const graph::ControlDepMap &deps,
                            const trace::CriteriaSet &criteria,
                            const SlicerOptions &options,
                            size_t record_count)
-    : impl_(std::make_unique<Impl>(cfgs, deps, criteria, options,
-                                   record_count))
 {
     panic_if(cfgs.funcOf.size() != record_count,
              "forward-pass attribution does not match the trace length");
+    if (options.legacyLiveSets) {
+        impl_ = std::make_unique<ImplT<LegacyPolicy>>(
+            cfgs, deps, criteria, options, record_count);
+    } else {
+        impl_ = std::make_unique<ImplT<FlatPolicy>>(
+            cfgs, deps, criteria, options, record_count);
+    }
 }
 
 BackwardPass::~BackwardPass() = default;
@@ -296,6 +453,12 @@ void
 BackwardPass::feed(size_t index, const Record &record)
 {
     impl_->feed(index, record);
+}
+
+void
+BackwardPass::run(std::span<const Record> records)
+{
+    impl_->run(records);
 }
 
 SliceResult
@@ -313,8 +476,14 @@ computeSlice(std::span<const Record> records, const graph::CfgSet &cfgs,
              const SlicerOptions &options)
 {
     BackwardPass pass(cfgs, deps, criteria, options, records.size());
-    for (size_t idx = records.size(); idx-- > 0;)
-        pass.feed(idx, records[idx]);
+    if (options.legacyLiveSets) {
+        // The baseline policy also keeps the seed's per-record dispatch,
+        // so benchmarks against it measure the loop the seed shipped.
+        for (size_t idx = records.size(); idx-- > 0;)
+            pass.feed(idx, records[idx]);
+    } else {
+        pass.run(records);
+    }
     return pass.finish();
 }
 

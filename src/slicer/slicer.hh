@@ -69,6 +69,22 @@ struct SlicerOptions
 
     /** Ablation knob: ignore register liveness (memory-only slicing). */
     bool includeRegisterDeps = true;
+
+    /**
+     * Worker threads for the forward pass (CFG construction and control
+     * dependences); the backward pass itself is inherently sequential.
+     * 1 (the default) is the serial path; <= 0 means "all hardware
+     * threads". Results are identical for every value.
+     */
+    int jobs = 1;
+
+    /**
+     * Benchmark/ablation knob: run the backward pass on the original
+     * std::unordered_map-based live sets instead of the flat-hash ones.
+     * Results are identical; only speed and memory differ. This is the
+     * measured baseline in bench/pipeline_scaling.
+     */
+    bool legacyLiveSets = false;
 };
 
 /** Output of one backward pass. */
@@ -129,11 +145,21 @@ class BackwardPass
      */
     void feed(size_t index, const trace::Record &record);
 
+    /**
+     * Consume an entire in-memory trace in one call — equivalent to
+     * feeding every record in descending order, but the per-record
+     * dispatch is devirtualized so the hot loop inlines. The pass must
+     * be fresh (no feed() calls yet).
+     */
+    void run(std::span<const trace::Record> records);
+
     /** Return the result; the pass is spent. */
     SliceResult finish();
 
-  private:
+    /** Opaque state; public only so the .cc's policy impls can derive. */
     struct Impl;
+
+  private:
     std::unique_ptr<Impl> impl_;
 };
 

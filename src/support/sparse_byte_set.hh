@@ -7,6 +7,14 @@
  * what lets the profiler sidestep memory aliasing), hash-chunked so that
  * memory use is proportional to the number of live bytes, not to the
  * address-space span.
+ *
+ * The chunk index is pluggable: the default SparseByteSet stores chunks
+ * in an open-addressing FlatMap64 (the backward pass probes this map once
+ * or twice per trace record, making it the profiler's hottest structure),
+ * while LegacySparseByteSet keeps the original std::unordered_map interior
+ * as the measured baseline for benchmarks and ablations. A one-entry
+ * last-chunk cache short-circuits the common case of consecutive records
+ * touching the same 64-byte chunk.
  */
 
 #ifndef WEBSLICE_SUPPORT_SPARSE_BYTE_SET_HH
@@ -16,13 +24,86 @@
 #include <cstdint>
 #include <unordered_map>
 
+#include "support/flat_map.hh"
+
 namespace webslice {
 
 /**
- * Set of individual byte addresses, stored as 64-byte chunks with one
- * presence bit per byte.
+ * Adapter giving std::unordered_map the same chunk-index interface as
+ * FlatMap64. Kept as the pre-flat-hash baseline (benchmarks compare the
+ * two; the slicer's legacy mode uses it).
  */
-class SparseByteSet
+class StdChunkMap
+{
+  public:
+    const uint64_t *
+    find(uint64_t key) const
+    {
+        auto it = map_.find(key);
+        return it == map_.end() ? nullptr : &it->second;
+    }
+
+    uint64_t *
+    find(uint64_t key)
+    {
+        auto it = map_.find(key);
+        return it == map_.end() ? nullptr : &it->second;
+    }
+
+    uint64_t &findOrInsert(uint64_t key) { return map_[key]; }
+
+    bool
+    erase(uint64_t key)
+    {
+        if (map_.erase(key) == 0)
+            return false;
+        ++generation_;
+        return true;
+    }
+
+    size_t size() const { return map_.size(); }
+    bool empty() const { return map_.empty(); }
+
+    void
+    clear()
+    {
+        map_.clear();
+        ++generation_;
+    }
+
+    uint32_t generation() const { return generation_; }
+
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (const auto &kv : map_)
+            fn(kv.first, kv.second);
+    }
+
+    size_t
+    heapBytes() const
+    {
+        // Approximation: one node (key + value + next pointer) per entry
+        // plus the bucket array.
+        return map_.size() * (sizeof(uint64_t) * 3) +
+               map_.bucket_count() * sizeof(void *);
+    }
+
+  private:
+    std::unordered_map<uint64_t, uint64_t> map_;
+    uint32_t generation_ = 0;
+};
+
+/**
+ * Set of individual byte addresses, stored as 64-byte chunks with one
+ * presence bit per byte. ChunkMap supplies the chunk-base -> bitmask
+ * index (FlatMap64 or StdChunkMap). kCacheLastChunk enables the
+ * one-entry last-chunk cache; the legacy baseline disables it so
+ * benchmarks measure the seed's uncached lookups.
+ */
+template <typename ChunkMap, bool kCacheLastChunk = true>
+class BasicSparseByteSet
 {
   public:
     /** Insert the byte range [addr, addr + size). */
@@ -30,7 +111,7 @@ class SparseByteSet
     insert(uint64_t addr, uint64_t size)
     {
         forEachChunk(addr, size, [this](uint64_t base, uint64_t mask) {
-            uint64_t &bits = chunks_[base];
+            uint64_t &bits = chunkFor(base);
             population_ += popcount(mask & ~bits);
             bits |= mask;
         });
@@ -41,13 +122,13 @@ class SparseByteSet
     erase(uint64_t addr, uint64_t size)
     {
         forEachChunk(addr, size, [this](uint64_t base, uint64_t mask) {
-            auto it = chunks_.find(base);
-            if (it == chunks_.end())
+            uint64_t *bits = chunks_.find(base);
+            if (!bits)
                 return;
-            population_ -= popcount(it->second & mask);
-            it->second &= ~mask;
-            if (it->second == 0)
-                chunks_.erase(it);
+            population_ -= popcount(*bits & mask);
+            *bits &= ~mask;
+            if (*bits == 0)
+                chunks_.erase(base);
         });
     }
 
@@ -59,8 +140,8 @@ class SparseByteSet
         forEachChunk(addr, size, [this, &hit](uint64_t base, uint64_t mask) {
             if (hit)
                 return;
-            auto it = chunks_.find(base);
-            if (it != chunks_.end() && (it->second & mask) != 0)
+            const uint64_t *bits = findChunk(base);
+            if (bits && (*bits & mask) != 0)
                 hit = true;
         });
         return hit;
@@ -76,16 +157,16 @@ class SparseByteSet
     {
         bool hit = false;
         forEachChunk(addr, size, [this, &hit](uint64_t base, uint64_t mask) {
-            auto it = chunks_.find(base);
-            if (it == chunks_.end())
+            uint64_t *bits = chunks_.find(base);
+            if (!bits)
                 return;
-            const uint64_t present = it->second & mask;
+            const uint64_t present = *bits & mask;
             if (present) {
                 hit = true;
                 population_ -= popcount(present);
-                it->second &= ~mask;
-                if (it->second == 0)
-                    chunks_.erase(it);
+                *bits &= ~mask;
+                if (*bits == 0)
+                    chunks_.erase(base);
             }
         });
         return hit;
@@ -95,10 +176,10 @@ class SparseByteSet
     bool
     contains(uint64_t addr) const
     {
-        auto it = chunks_.find(addr >> 6);
-        if (it == chunks_.end())
+        const uint64_t *bits = findChunk(addr >> 6);
+        if (!bits)
             return false;
-        return (it->second >> (addr & 63)) & 1;
+        return (*bits >> (addr & 63)) & 1;
     }
 
     /** Number of bytes in the set. */
@@ -116,11 +197,58 @@ class SparseByteSet
     /** Number of 64-byte chunks currently allocated (for diagnostics). */
     size_t chunkCount() const { return chunks_.size(); }
 
+    /** Bytes of heap storage held by the chunk index (diagnostics). */
+    size_t heapBytes() const { return chunks_.heapBytes(); }
+
   private:
     static int
     popcount(uint64_t x)
     {
         return __builtin_popcountll(x);
+    }
+
+    /** Impossible chunk base (real bases are addr >> 6, max 2^58 - 1). */
+    static constexpr uint64_t kNoBase = ~0ull;
+
+    /**
+     * Chunk slot for base, creating it when absent, via the one-entry
+     * cache. The cache key is (base, map generation): any operation that
+     * can move entries bumps the generation and so invalidates the
+     * cached pointer.
+     */
+    uint64_t &
+    chunkFor(uint64_t base)
+    {
+        if constexpr (kCacheLastChunk) {
+            if (cacheBase_ == base && cacheGen_ == chunks_.generation())
+                return *cachePtr_;
+        }
+        uint64_t &bits = chunks_.findOrInsert(base);
+        if constexpr (kCacheLastChunk) {
+            cacheBase_ = base;
+            cachePtr_ = &bits;
+            cacheGen_ = chunks_.generation();
+        }
+        return bits;
+    }
+
+    /** Cache-aware lookup; nullptr when the chunk is absent. */
+    const uint64_t *
+    findChunk(uint64_t base) const
+    {
+        if constexpr (kCacheLastChunk) {
+            if (cacheBase_ == base && cacheGen_ == chunks_.generation())
+                return cachePtr_;
+        }
+        const uint64_t *bits = chunks_.find(base);
+        if constexpr (kCacheLastChunk) {
+            if (bits) {
+                cacheBase_ = base;
+                cachePtr_ = const_cast<uint64_t *>(bits);
+                cacheGen_ = chunks_.generation();
+            }
+        }
+        return bits;
     }
 
     /**
@@ -147,9 +275,20 @@ class SparseByteSet
         }
     }
 
-    std::unordered_map<uint64_t, uint64_t> chunks_;
+    ChunkMap chunks_;
     size_t population_ = 0;
+
+    mutable uint64_t cacheBase_ = kNoBase;
+    mutable uint64_t *cachePtr_ = nullptr;
+    mutable uint32_t cacheGen_ = 0;
 };
+
+/** The profiler's live-memory set (flat-hash interior, cached). */
+using SparseByteSet = BasicSparseByteSet<FlatMap64, true>;
+
+/** Pre-flat-hash baseline, for benchmarks and the slicer's legacy mode:
+ *  node-based interior, no last-chunk cache — the seed's behavior. */
+using LegacySparseByteSet = BasicSparseByteSet<StdChunkMap, false>;
 
 } // namespace webslice
 

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * A fixed pool of worker threads with a shared task queue.
+ *
+ * The profiler's forward pass decomposes into per-function units
+ * (postdominators and control dependences are computed per CFG), so the
+ * only primitive the pipeline needs is a blocking parallelFor over an
+ * index range. The calling thread participates in the loop, so a pool of
+ * W workers applies W+1 threads to the work; a pool of 0 workers degrades
+ * to a plain serial loop with no synchronization.
+ */
+
+#ifndef WEBSLICE_SUPPORT_THREAD_POOL_HH
+#define WEBSLICE_SUPPORT_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace webslice {
+
+class ThreadPool
+{
+  public:
+    /** Start `workers` background threads (0 is valid: serial fallback). */
+    explicit ThreadPool(unsigned workers);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Background threads in the pool (excludes the calling thread). */
+    unsigned workerCount() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+    /**
+     * Run body(i) for every i in [begin, end), distributing indices
+     * dynamically over the workers and the calling thread. Blocks until
+     * every index has been processed. The first exception thrown by any
+     * body is rethrown on the caller; remaining indices are abandoned.
+     *
+     * Not reentrant: body must not call parallelFor on the same pool.
+     */
+    void parallelFor(size_t begin, size_t end,
+                     const std::function<void(size_t)> &body);
+
+    /**
+     * Translate a user-facing --jobs value into a thread count: values
+     * <= 0 mean "all hardware threads", anything else is taken as-is.
+     */
+    static unsigned resolveJobs(int jobs);
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::queue<std::function<void()>> tasks_;
+    bool stop_ = false;
+};
+
+} // namespace webslice
+
+#endif // WEBSLICE_SUPPORT_THREAD_POOL_HH

@@ -2,6 +2,14 @@
 
 #include <cstring>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#define WEBSLICE_HAVE_MMAP 1
+#endif
+
 #include "support/logging.hh"
 
 namespace webslice {
@@ -103,20 +111,137 @@ saveTrace(const std::string &path, const std::vector<Record> &records)
     writer.close();
 }
 
+// ---- MappedTrace ------------------------------------------------------------
+
+MappedTrace::MappedTrace(const std::string &path)
+{
+#ifdef WEBSLICE_HAVE_MMAP
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    fatal_if(fd < 0, "cannot open trace file ", path);
+
+    struct stat st;
+    fatal_if(::fstat(fd, &st) != 0, "cannot stat trace file ", path);
+    const size_t file_bytes = static_cast<size_t>(st.st_size);
+    fatal_if(file_bytes < sizeof(TraceHeader),
+             "trace file too small for a header: ", path);
+
+    void *map = ::mmap(nullptr, file_bytes, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd); // the mapping holds its own reference
+    if (map != MAP_FAILED) {
+        const auto *header = static_cast<const TraceHeader *>(map);
+        TraceHeader expect;
+        fatal_if(std::memcmp(header->magic, expect.magic,
+                             sizeof(expect.magic)) != 0,
+                 "bad trace magic in ", path);
+        fatal_if(sizeof(TraceHeader) +
+                     header->recordCount * sizeof(Record) > file_bytes,
+                 "truncated trace file ", path);
+        map_ = map;
+        mapBytes_ = file_bytes;
+        count_ = header->recordCount;
+        records_ = reinterpret_cast<const Record *>(
+            static_cast<const char *>(map) + sizeof(TraceHeader));
+        return;
+    }
+#endif
+    // mmap unavailable or refused: fall back to an owned copy.
+    fallback_ = loadTrace(path);
+    count_ = fallback_.size();
+    records_ = fallback_.data();
+}
+
+MappedTrace::~MappedTrace()
+{
+#ifdef WEBSLICE_HAVE_MMAP
+    if (map_)
+        ::munmap(map_, mapBytes_);
+#endif
+}
+
+// ---- ForwardTraceReader -----------------------------------------------------
+
 ForwardTraceReader::ForwardTraceReader(const std::string &path,
-                                       size_t block_records)
+                                       size_t block_records, bool prefetch)
     : blockRecords_(block_records ? block_records : 1)
 {
     file_ = std::fopen(path.c_str(), "rb");
     fatal_if(!file_, "cannot open trace file ", path);
     const TraceHeader header = readHeader(file_, path);
     count_ = header.recordCount;
+
+    // One-block traces gain nothing from a second thread.
+    prefetch_ = prefetch && count_ > blockRecords_;
+    if (prefetch_) {
+        ioRemaining_ = count_;
+        io_ = std::thread([this] { ioLoop(); });
+    }
 }
 
 ForwardTraceReader::~ForwardTraceReader()
 {
+    if (prefetch_) {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            stop_ = true;
+        }
+        cv_.notify_all();
+        io_.join();
+    }
     if (file_)
         std::fclose(file_);
+}
+
+void
+ForwardTraceReader::ioLoop()
+{
+    std::vector<Record> buf;
+    while (true) {
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock, [this] { return stop_ || !readyValid_; });
+            if (stop_)
+                return;
+        }
+        const size_t this_block = static_cast<size_t>(
+            std::min<uint64_t>(blockRecords_, ioRemaining_));
+        if (this_block == 0)
+            return; // whole file handed over
+        buf.resize(this_block);
+        fatal_if(std::fread(buf.data(), sizeof(Record), this_block,
+                            file_) != this_block,
+                 "truncated trace file during forward read");
+        ioRemaining_ -= this_block;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ready_.swap(buf);
+            readyValid_ = true;
+        }
+        cv_.notify_all();
+    }
+}
+
+void
+ForwardTraceReader::takePrefetched()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return readyValid_; });
+    block_.swap(ready_);
+    readyValid_ = false;
+    blockPos_ = 0;
+    lock.unlock();
+    cv_.notify_all(); // wake the IO thread to fetch the next block
+}
+
+void
+ForwardTraceReader::fillBlockSync()
+{
+    const size_t this_block = static_cast<size_t>(
+        std::min<uint64_t>(blockRecords_, count_ - consumed_));
+    block_.resize(this_block);
+    fatal_if(std::fread(block_.data(), sizeof(Record), this_block,
+                        file_) != this_block,
+             "truncated trace file during forward read");
+    blockPos_ = 0;
 }
 
 bool
@@ -125,21 +250,20 @@ ForwardTraceReader::next(Record &out)
     if (consumed_ == count_)
         return false;
     if (blockPos_ == block_.size()) {
-        const size_t this_block = static_cast<size_t>(
-            std::min<uint64_t>(blockRecords_, count_ - consumed_));
-        block_.resize(this_block);
-        fatal_if(std::fread(block_.data(), sizeof(Record), this_block,
-                            file_) != this_block,
-                 "truncated trace file during forward read");
-        blockPos_ = 0;
+        if (prefetch_)
+            takePrefetched();
+        else
+            fillBlockSync();
     }
     out = block_[blockPos_++];
     ++consumed_;
     return true;
 }
 
+// ---- ReverseTraceReader -----------------------------------------------------
+
 ReverseTraceReader::ReverseTraceReader(const std::string &path,
-                                       size_t block_records)
+                                       size_t block_records, bool prefetch)
     : blockRecords_(block_records ? block_records : 1)
 {
     file_ = std::fopen(path.c_str(), "rb");
@@ -147,12 +271,72 @@ ReverseTraceReader::ReverseTraceReader(const std::string &path,
     const TraceHeader header = readHeader(file_, path);
     count_ = header.recordCount;
     remaining_ = count_;
+
+    prefetch_ = prefetch && count_ > blockRecords_;
+    if (prefetch_) {
+        ioRemaining_ = count_;
+        io_ = std::thread([this] { ioLoop(); });
+    }
 }
 
 ReverseTraceReader::~ReverseTraceReader()
 {
+    if (prefetch_) {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            stop_ = true;
+        }
+        cv_.notify_all();
+        io_.join();
+    }
     if (file_)
         std::fclose(file_);
+}
+
+void
+ReverseTraceReader::ioLoop()
+{
+    std::vector<Record> buf;
+    while (true) {
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock, [this] { return stop_ || !readyValid_; });
+            if (stop_)
+                return;
+        }
+        const size_t this_block = static_cast<size_t>(
+            std::min<uint64_t>(blockRecords_, ioRemaining_));
+        if (this_block == 0)
+            return; // whole file handed over
+        const uint64_t first_index = ioRemaining_ - this_block;
+        const long offset = static_cast<long>(
+            sizeof(TraceHeader) + first_index * sizeof(Record));
+        fatal_if(std::fseek(file_, offset, SEEK_SET) != 0,
+                 "cannot seek in trace file");
+        buf.resize(this_block);
+        fatal_if(std::fread(buf.data(), sizeof(Record), this_block,
+                            file_) != this_block,
+                 "truncated trace file during reverse read");
+        ioRemaining_ -= this_block;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ready_.swap(buf);
+            readyValid_ = true;
+        }
+        cv_.notify_all();
+    }
+}
+
+void
+ReverseTraceReader::takePrefetched()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return readyValid_; });
+    block_.swap(ready_);
+    readyValid_ = false;
+    blockPos_ = block_.size();
+    lock.unlock();
+    cv_.notify_all(); // wake the IO thread to fetch the preceding block
 }
 
 void
@@ -177,8 +361,12 @@ ReverseTraceReader::next(Record &out)
 {
     if (remaining_ == 0)
         return false;
-    if (blockPos_ == 0)
-        loadPrecedingBlock();
+    if (blockPos_ == 0) {
+        if (prefetch_)
+            takePrefetched();
+        else
+            loadPrecedingBlock();
+    }
     out = block_[--blockPos_];
     --remaining_;
     return true;

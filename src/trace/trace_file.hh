@@ -3,20 +3,30 @@
  * Binary trace file I/O.
  *
  * A trace file is a small header followed by densely packed 32-byte
- * Records. Three access paths are provided:
+ * Records. Four access paths are provided:
  *  - TraceWriter: append records while the traced program runs;
  *  - loadTrace(): read an entire trace into memory (the common case for
  *    our benchmark-sized traces);
- *  - ReverseTraceReader: stream records from the end of the file towards
- *    the beginning in fixed-size blocks, so the backward slicing pass can
- *    run in O(live set) memory on traces too large to hold in RAM.
+ *  - MappedTrace: zero-copy mmap view of a whole trace — the records are
+ *    paged in on demand and never copied, so loadTrace-sized traces can
+ *    be profiled without doubling their footprint;
+ *  - ForwardTraceReader / ReverseTraceReader: stream records in fixed
+ *    size blocks (front-to-back / back-to-front) so the profiler passes
+ *    can run in O(live set) memory on traces too large to hold in RAM.
+ *    Both overlap disk latency with analysis: a background prefetch
+ *    thread reads the next block into a second buffer while the caller
+ *    consumes the current one.
  */
 
 #ifndef WEBSLICE_TRACE_TRACE_FILE_HH
 #define WEBSLICE_TRACE_TRACE_FILE_HH
 
+#include <condition_variable>
 #include <cstdio>
+#include <mutex>
+#include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "trace/record.hh"
@@ -65,14 +75,53 @@ class TraceWriter
 std::vector<Record> loadTrace(const std::string &path);
 
 /**
+ * Zero-copy view of a whole trace file via mmap. When mmap is
+ * unavailable (or fails) the file is read into an owned buffer instead,
+ * so records() is always valid; mapped() reports which path was taken.
+ */
+class MappedTrace
+{
+  public:
+    explicit MappedTrace(const std::string &path);
+    ~MappedTrace();
+
+    MappedTrace(const MappedTrace &) = delete;
+    MappedTrace &operator=(const MappedTrace &) = delete;
+
+    /** Total records in the trace. */
+    uint64_t count() const { return count_; }
+
+    /** The record array (zero-copy when mapped). */
+    std::span<const Record> records() const
+    {
+        return {records_, static_cast<size_t>(count_)};
+    }
+
+    const Record &operator[](size_t i) const { return records_[i]; }
+
+    /** True when the view is an actual mmap, not a fallback copy. */
+    bool mapped() const { return map_ != nullptr; }
+
+  private:
+    void *map_ = nullptr;
+    size_t mapBytes_ = 0;
+    const Record *records_ = nullptr;
+    uint64_t count_ = 0;
+    std::vector<Record> fallback_;
+};
+
+/**
  * Streams a trace file's records first to last in blocks, for forward
- * passes over traces too large to hold in RAM.
+ * passes over traces too large to hold in RAM. With prefetch enabled
+ * (the default) a background thread double-buffers the reads so disk
+ * latency overlaps the caller's analysis.
  */
 class ForwardTraceReader
 {
   public:
     explicit ForwardTraceReader(const std::string &path,
-                                size_t block_records = 1 << 16);
+                                size_t block_records = 1 << 16,
+                                bool prefetch = true);
     ~ForwardTraceReader();
 
     ForwardTraceReader(const ForwardTraceReader &) = delete;
@@ -84,12 +133,27 @@ class ForwardTraceReader
     bool next(Record &out);
 
   private:
+    void fillBlockSync();
+    void takePrefetched();
+    void ioLoop();
+
     std::FILE *file_ = nullptr;
     size_t blockRecords_;
     uint64_t count_ = 0;
     uint64_t consumed_ = 0;
     std::vector<Record> block_;
     size_t blockPos_ = 0;
+
+    // Prefetch machinery: the IO thread owns file_ after construction and
+    // hands filled blocks over through ready_.
+    bool prefetch_ = false;
+    std::thread io_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::vector<Record> ready_;
+    bool readyValid_ = false;
+    bool stop_ = false;
+    uint64_t ioRemaining_ = 0;
 };
 
 /** Write a whole in-memory trace to a file. */
@@ -97,13 +161,17 @@ void saveTrace(const std::string &path, const std::vector<Record> &records);
 
 /**
  * Streams a trace file's records from last to first, reading the file in
- * blocks so peak memory stays bounded by the block size.
+ * blocks so peak memory stays bounded by the block size. With prefetch
+ * enabled (the default) a background thread reads the preceding block
+ * while the caller drains the current one — the backward slicing pass
+ * never waits for a seek.
  */
 class ReverseTraceReader
 {
   public:
     explicit ReverseTraceReader(const std::string &path,
-                                size_t block_records = 1 << 16);
+                                size_t block_records = 1 << 16,
+                                bool prefetch = true);
     ~ReverseTraceReader();
 
     ReverseTraceReader(const ReverseTraceReader &) = delete;
@@ -123,6 +191,8 @@ class ReverseTraceReader
 
   private:
     void loadPrecedingBlock();
+    void takePrefetched();
+    void ioLoop();
 
     std::FILE *file_ = nullptr;
     size_t blockRecords_;
@@ -130,6 +200,16 @@ class ReverseTraceReader
     uint64_t remaining_ = 0;
     std::vector<Record> block_;
     size_t blockPos_ = 0; ///< Records still unread within block_.
+
+    // Prefetch machinery (see ForwardTraceReader).
+    bool prefetch_ = false;
+    std::thread io_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::vector<Record> ready_;
+    bool readyValid_ = false;
+    bool stop_ = false;
+    uint64_t ioRemaining_ = 0; ///< Records the IO thread still has to read.
 };
 
 } // namespace trace

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Unit tests for the open-addressing hash containers (FlatMap64 /
+ * FlatSet64) behind the slicer's live sets. The interesting cases are
+ * the ones linear probing with backward-shift deletion can get wrong:
+ * deletions in the middle of probe chains, rehashes under load, and the
+ * generation counter that guards callers' cached value pointers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <random>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "support/flat_map.hh"
+
+namespace webslice {
+namespace {
+
+TEST(FlatMap, InsertFindErase)
+{
+    FlatMap64 map;
+    EXPECT_TRUE(map.empty());
+    EXPECT_EQ(map.find(42u), nullptr);
+    EXPECT_FALSE(map.erase(42u));
+
+    map.findOrInsert(42u) = 7;
+    map.findOrInsert(43u) = 8;
+    ASSERT_NE(map.find(42u), nullptr);
+    EXPECT_EQ(*map.find(42u), 7u);
+    ASSERT_NE(map.find(43u), nullptr);
+    EXPECT_EQ(*map.find(43u), 8u);
+    EXPECT_EQ(map.size(), 2u);
+
+    // findOrInsert on a present key must not duplicate it.
+    map.findOrInsert(42u) = 9;
+    EXPECT_EQ(map.size(), 2u);
+    EXPECT_EQ(*map.find(42u), 9u);
+
+    EXPECT_TRUE(map.erase(42u));
+    EXPECT_EQ(map.find(42u), nullptr);
+    EXPECT_FALSE(map.erase(42u));
+    EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(FlatMap, ZeroKeyAndZeroValueAreOrdinary)
+{
+    // Only ~0ull is reserved; key 0 and value 0 are ordinary citizens.
+    FlatMap64 map;
+    map.findOrInsert(0u) = 0;
+    ASSERT_NE(map.find(0u), nullptr);
+    EXPECT_EQ(*map.find(0u), 0u);
+    EXPECT_EQ(map.size(), 1u);
+    EXPECT_TRUE(map.erase(0u));
+    EXPECT_TRUE(map.empty());
+}
+
+TEST(FlatMap, NewEntriesAreZeroInitialized)
+{
+    FlatMap64 map;
+    map.findOrInsert(5u) = 123;
+    EXPECT_TRUE(map.erase(5u));
+    // Reinserting after erase (and after clear) must not resurrect the
+    // old value.
+    EXPECT_EQ(map.findOrInsert(5u), 0u);
+    map.findOrInsert(5u) = 99;
+    map.clear();
+    EXPECT_EQ(map.findOrInsert(5u), 0u);
+}
+
+TEST(FlatMap, RehashUnderLoadKeepsEveryEntry)
+{
+    FlatMap64 map;
+    constexpr uint64_t kCount = 10000;
+    for (uint64_t k = 0; k < kCount; ++k)
+        map.findOrInsert(k * 2654435761ull) = k;
+    EXPECT_EQ(map.size(), kCount);
+    // Load factor stays at or under 3/4 across all growth steps.
+    EXPECT_LE(map.size() * 4, map.capacity() * 3);
+    for (uint64_t k = 0; k < kCount; ++k) {
+        const uint64_t *val = map.find(k * 2654435761ull);
+        ASSERT_NE(val, nullptr) << "lost key " << k;
+        EXPECT_EQ(*val, k);
+    }
+}
+
+TEST(FlatMap, BackwardShiftDeletionPreservesProbeChains)
+{
+    // Build long probe chains (sequential keys collide after the mix
+    // only occasionally, so force pressure with many keys), then delete
+    // every other key and verify the survivors are all still reachable.
+    FlatMap64 map;
+    constexpr uint64_t kCount = 4096;
+    for (uint64_t k = 1; k <= kCount; ++k)
+        map.findOrInsert(k) = k * 10;
+    for (uint64_t k = 1; k <= kCount; k += 2)
+        EXPECT_TRUE(map.erase(k));
+    EXPECT_EQ(map.size(), kCount / 2);
+    for (uint64_t k = 1; k <= kCount; ++k) {
+        const uint64_t *val = map.find(k);
+        if (k % 2) {
+            EXPECT_EQ(val, nullptr);
+        } else {
+            ASSERT_NE(val, nullptr) << "deletion broke chain to " << k;
+            EXPECT_EQ(*val, k * 10);
+        }
+    }
+}
+
+TEST(FlatMap, RandomizedParityWithStdMap)
+{
+    // Drive the flat map and std::unordered_map with the same random
+    // operation stream; they must agree at every step.
+    std::mt19937_64 rng(12345);
+    FlatMap64 flat;
+    std::unordered_map<uint64_t, uint64_t> ref;
+    for (int op = 0; op < 20000; ++op) {
+        const uint64_t key = rng() % 512; // small domain -> many hits
+        switch (rng() % 3) {
+          case 0:
+            flat.findOrInsert(key) = op;
+            ref[key] = op;
+            break;
+          case 1:
+            EXPECT_EQ(flat.erase(key), ref.erase(key) != 0);
+            break;
+          default: {
+            const uint64_t *val = flat.find(key);
+            auto it = ref.find(key);
+            if (it == ref.end()) {
+                EXPECT_EQ(val, nullptr);
+            } else {
+                ASSERT_NE(val, nullptr);
+                EXPECT_EQ(*val, it->second);
+            }
+          }
+        }
+        ASSERT_EQ(flat.size(), ref.size());
+    }
+}
+
+TEST(FlatMap, GenerationTracksEntryMovement)
+{
+    FlatMap64 map;
+    const uint32_t g0 = map.generation();
+
+    // Non-moving inserts keep the generation stable...
+    map.reserve(8);
+    const uint32_t g1 = map.generation();
+    map.findOrInsert(1u) = 1;
+    map.findOrInsert(2u) = 2;
+    EXPECT_EQ(map.generation(), g1);
+    EXPECT_GE(g1, g0); // reserve may rehash an empty table
+
+    // ...while erase, clear, and rehash all invalidate cached pointers.
+    map.erase(1u);
+    const uint32_t g2 = map.generation();
+    EXPECT_GT(g2, g1);
+    map.clear();
+    const uint32_t g3 = map.generation();
+    EXPECT_GT(g3, g2);
+    for (uint64_t k = 0; k < 64; ++k)
+        map.findOrInsert(k) = k; // forces at least one growth rehash
+    EXPECT_GT(map.generation(), g3);
+}
+
+TEST(FlatMap, ForEachVisitsEachEntryOnce)
+{
+    FlatMap64 map;
+    for (uint64_t k = 0; k < 100; ++k)
+        map.findOrInsert(k) = k + 1000;
+    std::map<uint64_t, uint64_t> seen;
+    map.forEach([&seen](uint64_t key, uint64_t val) {
+        EXPECT_TRUE(seen.emplace(key, val).second)
+            << "key visited twice: " << key;
+    });
+    EXPECT_EQ(seen.size(), 100u);
+    for (const auto &[key, val] : seen)
+        EXPECT_EQ(val, key + 1000);
+}
+
+TEST(FlatSet, InsertEraseContains)
+{
+    FlatSet64 set;
+    EXPECT_TRUE(set.empty());
+    EXPECT_FALSE(set.contains(7u));
+    EXPECT_FALSE(set.erase(7u));
+
+    EXPECT_TRUE(set.insert(7u));
+    EXPECT_FALSE(set.insert(7u)); // duplicate
+    EXPECT_TRUE(set.contains(7u));
+    EXPECT_EQ(set.size(), 1u);
+
+    EXPECT_TRUE(set.erase(7u));
+    EXPECT_FALSE(set.contains(7u));
+    EXPECT_TRUE(set.empty());
+}
+
+TEST(FlatSet, RandomizedParityWithStdSet)
+{
+    std::mt19937_64 rng(777);
+    FlatSet64 flat;
+    std::set<uint64_t> ref;
+    for (int op = 0; op < 20000; ++op) {
+        const uint64_t key = rng() % 256;
+        if (rng() % 2) {
+            EXPECT_EQ(flat.insert(key), ref.insert(key).second);
+        } else {
+            EXPECT_EQ(flat.erase(key), ref.erase(key) != 0);
+        }
+        ASSERT_EQ(flat.size(), ref.size());
+    }
+    for (uint64_t key = 0; key < 256; ++key)
+        EXPECT_EQ(flat.contains(key), ref.count(key) != 0);
+}
+
+} // namespace
+} // namespace webslice

@@ -78,7 +78,7 @@ TEST(Syscalls, WriteAndClockHelpers)
 
 TEST(AllocatorDeath, DoubleFreePanics)
 {
-    GTEST_FLAG_SET(death_test_style, "threadsafe");
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
     SimAllocator alloc;
     const uint64_t a = alloc.alloc(32);
     alloc.free(a);
@@ -87,7 +87,7 @@ TEST(AllocatorDeath, DoubleFreePanics)
 
 TEST(AllocatorDeath, ForeignFreePanics)
 {
-    GTEST_FLAG_SET(death_test_style, "threadsafe");
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
     SimAllocator alloc;
     EXPECT_DEATH(alloc.free(0xDEAD0000), "unallocated");
 }

@@ -144,9 +144,104 @@ TEST(Streaming, FileSliceHonorsOptions)
     EXPECT_EQ(memory_slice.inSlice, file_slice.inSlice);
 }
 
+TEST(MappedTrace, RecordsMatchLoadTrace)
+{
+    SavedProgram program;
+    const auto loaded = trace::loadTrace(program.path);
+    trace::MappedTrace mapped(program.path);
+
+    ASSERT_EQ(mapped.count(), loaded.size());
+    const auto span = mapped.records();
+    ASSERT_EQ(span.size(), loaded.size());
+    for (size_t i = 0; i < loaded.size(); ++i) {
+        EXPECT_EQ(span[i].pc, loaded[i].pc);
+        EXPECT_EQ(span[i].addr, loaded[i].addr);
+        EXPECT_EQ(span[i].kind, loaded[i].kind);
+        EXPECT_EQ(mapped[i].tid, loaded[i].tid);
+    }
+}
+
+TEST(MappedTrace, DrivesTheFullPipeline)
+{
+    // The mmap view must be a drop-in replacement for the loaded vector:
+    // same CFGs, same slice.
+    SavedProgram program;
+    trace::MappedTrace mapped(program.path);
+
+    const auto cfgs = graph::buildCfgs(mapped.records(),
+                                       program.machine.symtab());
+    const auto deps = graph::buildControlDeps(cfgs);
+    const auto mapped_slice = slicer::computeSlice(
+        mapped.records(), cfgs, deps, program.machine.pixelCriteria());
+
+    const auto ref_cfgs = graph::buildCfgs(program.machine.records(),
+                                           program.machine.symtab());
+    const auto ref_deps = graph::buildControlDeps(ref_cfgs);
+    const auto ref_slice = slicer::computeSlice(
+        program.machine.records(), ref_cfgs, ref_deps,
+        program.machine.pixelCriteria());
+
+    EXPECT_EQ(cfgs.funcOf, ref_cfgs.funcOf);
+    EXPECT_EQ(mapped_slice.inSlice, ref_slice.inSlice);
+}
+
+TEST(Streaming, PrefetchingReadersMatchSynchronousReaders)
+{
+    // The double-buffered background-IO mode must yield exactly the
+    // same record sequence as the synchronous mode, in both directions,
+    // including block sizes that do not divide the trace length.
+    SavedProgram program;
+    for (const size_t block : {1ul, 7ul, 64ul, 1ul << 16}) {
+        trace::ForwardTraceReader sync_fwd(program.path, block,
+                                           /*prefetch=*/false);
+        trace::ForwardTraceReader pre_fwd(program.path, block,
+                                          /*prefetch=*/true);
+        trace::Record a, b;
+        while (true) {
+            const bool more_sync = sync_fwd.next(a);
+            const bool more_pre = pre_fwd.next(b);
+            ASSERT_EQ(more_sync, more_pre) << "block=" << block;
+            if (!more_sync)
+                break;
+            ASSERT_EQ(a.pc, b.pc);
+            ASSERT_EQ(a.addr, b.addr);
+        }
+
+        trace::ReverseTraceReader sync_rev(program.path, block,
+                                           /*prefetch=*/false);
+        trace::ReverseTraceReader pre_rev(program.path, block,
+                                          /*prefetch=*/true);
+        while (true) {
+            const bool more_sync = sync_rev.next(a);
+            const bool more_pre = pre_rev.next(b);
+            ASSERT_EQ(more_sync, more_pre) << "block=" << block;
+            if (!more_sync)
+                break;
+            ASSERT_EQ(a.pc, b.pc);
+            ASSERT_EQ(a.addr, b.addr);
+        }
+    }
+}
+
+TEST(Streaming, ReverseReaderReportsRemaining)
+{
+    SavedProgram program;
+    trace::ReverseTraceReader reader(program.path, /*block=*/16);
+    const uint64_t total = reader.count();
+    EXPECT_EQ(reader.remaining(), total);
+    trace::Record rec;
+    uint64_t yielded = 0;
+    while (reader.next(rec)) {
+        ++yielded;
+        EXPECT_EQ(reader.remaining(), total - yielded);
+    }
+    EXPECT_EQ(yielded, total);
+    EXPECT_FALSE(reader.next(rec)); // stays exhausted
+}
+
 TEST(StreamingDeath, FeedMustDescend)
 {
-    GTEST_FLAG_SET(death_test_style, "threadsafe");
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
     SavedProgram program;
     const auto cfgs = graph::buildCfgs(program.machine.records(),
                                        program.machine.symtab());
@@ -161,7 +256,7 @@ TEST(StreamingDeath, FeedMustDescend)
 
 TEST(StreamingDeath, AttributionLengthIsChecked)
 {
-    GTEST_FLAG_SET(death_test_style, "threadsafe");
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
     SavedProgram program;
     const auto cfgs = graph::buildCfgs(program.machine.records(),
                                        program.machine.symtab());

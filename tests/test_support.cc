@@ -87,10 +87,23 @@ TEST(Strings, HumanMillionsAndCommas)
 }
 
 // ---- sparse byte set -------------------------------------------------------
+//
+// The set is templated over its chunk index (flat-hash default vs the
+// legacy std::unordered_map baseline) and over the one-entry last-chunk
+// cache; every behavioral test runs against both configurations so the
+// optimized interior can never drift from the baseline semantics.
 
-TEST(SparseByteSet, InsertContains)
+template <typename SetType>
+class SparseByteSetTyped : public ::testing::Test
 {
-    SparseByteSet set;
+};
+
+using ByteSetVariants = ::testing::Types<SparseByteSet, LegacySparseByteSet>;
+TYPED_TEST_SUITE(SparseByteSetTyped, ByteSetVariants);
+
+TYPED_TEST(SparseByteSetTyped, InsertContains)
+{
+    TypeParam set;
     EXPECT_TRUE(set.empty());
     set.insert(100, 4);
     EXPECT_EQ(set.size(), 4u);
@@ -100,17 +113,17 @@ TEST(SparseByteSet, InsertContains)
     EXPECT_FALSE(set.contains(99));
 }
 
-TEST(SparseByteSet, InsertIsIdempotent)
+TYPED_TEST(SparseByteSetTyped, InsertIsIdempotent)
 {
-    SparseByteSet set;
+    TypeParam set;
     set.insert(10, 8);
     set.insert(12, 4);
     EXPECT_EQ(set.size(), 8u);
 }
 
-TEST(SparseByteSet, EraseRange)
+TYPED_TEST(SparseByteSetTyped, EraseRange)
 {
-    SparseByteSet set;
+    TypeParam set;
     set.insert(0, 128);
     set.erase(32, 64);
     EXPECT_EQ(set.size(), 64u);
@@ -120,18 +133,18 @@ TEST(SparseByteSet, EraseRange)
     EXPECT_TRUE(set.contains(96));
 }
 
-TEST(SparseByteSet, IntersectsAcrossChunkBoundary)
+TYPED_TEST(SparseByteSetTyped, IntersectsAcrossChunkBoundary)
 {
-    SparseByteSet set;
+    TypeParam set;
     set.insert(63, 2); // bytes 63 and 64 straddle a chunk boundary
     EXPECT_TRUE(set.intersects(64, 1));
     EXPECT_TRUE(set.intersects(0, 64));
     EXPECT_FALSE(set.intersects(65, 100));
 }
 
-TEST(SparseByteSet, TestAndErase)
+TYPED_TEST(SparseByteSetTyped, TestAndErase)
 {
-    SparseByteSet set;
+    TypeParam set;
     set.insert(200, 8);
     EXPECT_TRUE(set.testAndErase(204, 8));
     EXPECT_EQ(set.size(), 4u);
@@ -139,9 +152,9 @@ TEST(SparseByteSet, TestAndErase)
     EXPECT_TRUE(set.contains(203));
 }
 
-TEST(SparseByteSet, ChunksFreedOnErase)
+TYPED_TEST(SparseByteSetTyped, ChunksFreedOnErase)
 {
-    SparseByteSet set;
+    TypeParam set;
     set.insert(0, 64);
     EXPECT_EQ(set.chunkCount(), 1u);
     set.erase(0, 64);
@@ -149,9 +162,9 @@ TEST(SparseByteSet, ChunksFreedOnErase)
     EXPECT_TRUE(set.empty());
 }
 
-TEST(SparseByteSet, LargeRangeSpanningManyChunks)
+TYPED_TEST(SparseByteSetTyped, LargeRangeSpanningManyChunks)
 {
-    SparseByteSet set;
+    TypeParam set;
     set.insert(1000, 1000);
     EXPECT_EQ(set.size(), 1000u);
     EXPECT_TRUE(set.intersects(1999, 1));
@@ -160,13 +173,112 @@ TEST(SparseByteSet, LargeRangeSpanningManyChunks)
     EXPECT_TRUE(set.empty());
 }
 
-TEST(SparseByteSet, HighAddresses)
+TYPED_TEST(SparseByteSetTyped, HighAddresses)
 {
-    SparseByteSet set;
+    TypeParam set;
     const uint64_t high = 0xFFFFFFFF00000000ull;
     set.insert(high, 16);
     EXPECT_TRUE(set.contains(high + 15));
     EXPECT_FALSE(set.contains(high + 16));
+}
+
+TYPED_TEST(SparseByteSetTyped, AlignedFullChunkUsesFullMask)
+{
+    // A 64-byte aligned span covers a whole chunk in one (base, ~0)
+    // piece — the mask-building shortcut must still mean "all 64 bytes".
+    TypeParam set;
+    set.insert(128, 64);
+    EXPECT_EQ(set.size(), 64u);
+    EXPECT_EQ(set.chunkCount(), 1u);
+    EXPECT_TRUE(set.contains(128));
+    EXPECT_TRUE(set.contains(191));
+    EXPECT_FALSE(set.contains(127));
+    EXPECT_FALSE(set.contains(192));
+    EXPECT_TRUE(set.testAndErase(128, 64));
+    EXPECT_TRUE(set.empty());
+}
+
+TYPED_TEST(SparseByteSetTyped, CacheSurvivesEraseOfOtherChunk)
+{
+    // Regression guard for the one-entry chunk cache: erasing one chunk
+    // can move *other* entries in an open-addressing interior, so a
+    // cached pointer must not be trusted across it.
+    TypeParam set;
+    set.insert(0, 8);      // chunk 0 (cached)
+    set.insert(640, 8);    // chunk 10
+    set.insert(1280, 8);   // chunk 20
+    set.erase(640, 8);     // frees chunk 10, may shift the others
+    EXPECT_TRUE(set.contains(0));
+    EXPECT_TRUE(set.contains(1287));
+    EXPECT_FALSE(set.contains(640));
+    set.insert(4, 8); // touches cached chunk 0 again
+    EXPECT_EQ(set.size(), 8u + 8u + 4u);
+}
+
+TYPED_TEST(SparseByteSetTyped, ManyChunksSurviveRehash)
+{
+    // Enough distinct chunks to force several interior growths; every
+    // byte must remain reachable and the population exact.
+    TypeParam set;
+    constexpr uint64_t kChunks = 3000;
+    for (uint64_t c = 0; c < kChunks; ++c)
+        set.insert(c * 64 + (c % 32), 2);
+    EXPECT_EQ(set.size(), kChunks * 2);
+    EXPECT_EQ(set.chunkCount(), kChunks);
+    for (uint64_t c = 0; c < kChunks; ++c) {
+        EXPECT_TRUE(set.contains(c * 64 + (c % 32)));
+        EXPECT_TRUE(set.contains(c * 64 + (c % 32) + 1));
+    }
+    for (uint64_t c = 0; c < kChunks; c += 2)
+        set.erase(c * 64 + (c % 32), 2);
+    EXPECT_EQ(set.size(), kChunks);
+    EXPECT_EQ(set.chunkCount(), kChunks / 2);
+}
+
+TYPED_TEST(SparseByteSetTyped, ClearResetsEverything)
+{
+    TypeParam set;
+    set.insert(10, 100);
+    set.clear();
+    EXPECT_TRUE(set.empty());
+    EXPECT_EQ(set.chunkCount(), 0u);
+    EXPECT_FALSE(set.intersects(0, 200));
+    set.insert(10, 4); // usable after clear
+    EXPECT_EQ(set.size(), 4u);
+}
+
+TEST(SparseByteSet, FlatAndLegacyAgreeOnRandomWorkload)
+{
+    // Drive both interiors with one pseudo-random slicer-like workload
+    // (inserts, kills, probes over a few hot pages) and require exact
+    // agreement — the benchmark's "bit-identical slice" claim rests on
+    // this equivalence.
+    SparseByteSet flat;
+    LegacySparseByteSet legacy;
+    Rng rng(2024);
+    for (int op = 0; op < 30000; ++op) {
+        const uint64_t addr = rng.below(4096);
+        const uint64_t size = 1 + rng.below(16);
+        switch (rng.below(4)) {
+          case 0:
+            flat.insert(addr, size);
+            legacy.insert(addr, size);
+            break;
+          case 1:
+            flat.erase(addr, size);
+            legacy.erase(addr, size);
+            break;
+          case 2:
+            ASSERT_EQ(flat.testAndErase(addr, size),
+                      legacy.testAndErase(addr, size));
+            break;
+          default:
+            ASSERT_EQ(flat.intersects(addr, size),
+                      legacy.intersects(addr, size));
+        }
+        ASSERT_EQ(flat.size(), legacy.size());
+        ASSERT_EQ(flat.chunkCount(), legacy.chunkCount());
+    }
 }
 
 // ---- stats -----------------------------------------------------------------
