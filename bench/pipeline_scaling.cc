@@ -31,6 +31,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -38,6 +39,8 @@
 #include "graph/cfg.hh"
 #include "graph/control_deps.hh"
 #include "slicer/slicer.hh"
+#include "support/metrics.hh"
+#include "support/stopwatch.hh"
 #include "support/strings.hh"
 #include "workloads/sites.hh"
 
@@ -124,6 +127,24 @@ recordsPerSec(uint64_t records, double seconds)
     return seconds > 0.0 ? static_cast<double>(records) / seconds : 0.0;
 }
 
+/** One configuration's timing fields (no surrounding braces). */
+std::string
+sampleFieldsJson(const Sample &s, uint64_t records)
+{
+    char buf[384];
+    std::snprintf(buf, sizeof(buf),
+                  "\"forward_records_per_sec\": %.0f, "
+                  "\"backward_records_per_sec\": %.0f, "
+                  "\"forward_seconds\": %.6f, "
+                  "\"backward_seconds\": %.6f, "
+                  "\"peak_live_set_bytes\": %llu",
+                  recordsPerSec(records, s.forwardSeconds),
+                  recordsPerSec(records, s.backwardSeconds),
+                  s.forwardSeconds, s.backwardSeconds,
+                  static_cast<unsigned long long>(s.peakLiveSetBytes));
+    return buf;
+}
+
 } // namespace
 
 int
@@ -180,7 +201,10 @@ main(int argc, char **argv)
                        "+ flat-hash backward pass");
 
     std::printf("running %s ...\n", spec.name.c_str());
-    auto run = workloads::runSite(spec);
+    workloads::RunResult run = [&] {
+        ScopedPhase phase("workload");
+        return workloads::runSite(spec);
+    }();
     const uint64_t records = run.records().size();
     std::printf("trace: %s records, analysis window %s\n\n",
                 withCommas(records).c_str(),
@@ -188,14 +212,17 @@ main(int argc, char **argv)
 
     // The baseline's slice is the reference every configuration must
     // reproduce exactly.
-    const auto base_cfgs = graph::buildCfgs(run.records(),
-                                            run.machine->symtab(), 1);
-    const auto base_deps = graph::buildControlDeps(base_cfgs, 1);
-    slicer::SlicerOptions base_options = bench::windowedOptions(run);
-    base_options.legacyLiveSets = true;
-    const auto reference = slicer::computeSlice(
-        run.records(), base_cfgs, base_deps,
-        run.machine->pixelCriteria(), base_options);
+    const auto reference = [&] {
+        ScopedPhase phase("reference");
+        const auto base_cfgs = graph::buildCfgs(run.records(),
+                                                run.machine->symtab(), 1);
+        const auto base_deps = graph::buildControlDeps(base_cfgs, 1);
+        slicer::SlicerOptions base_options = bench::windowedOptions(run);
+        base_options.legacyLiveSets = true;
+        return slicer::computeSlice(run.records(), base_cfgs, base_deps,
+                                    run.machine->pixelCriteria(),
+                                    base_options);
+    }();
 
     std::vector<int> job_counts;
     for (int jobs = 1; jobs <= max_jobs; jobs *= 2)
@@ -210,11 +237,15 @@ main(int argc, char **argv)
     // between phases.
     std::vector<Sample> base_reps;
     std::vector<std::vector<Sample>> conf_reps(job_counts.size());
-    for (int rep = 0; rep < reps; ++rep) {
-        base_reps.push_back(runOnce(run, 1, /*legacy=*/true, nullptr));
-        for (size_t c = 0; c < job_counts.size(); ++c)
-            conf_reps[c].push_back(
-                runOnce(run, job_counts[c], /*legacy=*/false, &reference));
+    {
+        ScopedPhase phase("measure");
+        for (int rep = 0; rep < reps; ++rep) {
+            base_reps.push_back(runOnce(run, 1, /*legacy=*/true, nullptr));
+            for (size_t c = 0; c < job_counts.size(); ++c)
+                conf_reps[c].push_back(runOnce(run, job_counts[c],
+                                               /*legacy=*/false,
+                                               &reference));
+        }
     }
 
     const Sample base = bestOf(base_reps);
@@ -246,47 +277,31 @@ main(int argc, char **argv)
                 "baseline slice.\n");
 
     // ---- machine-readable output -------------------------------------------
-    std::FILE *json = std::fopen(out_path.c_str(), "w");
-    if (!json) {
-        std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
-        return 1;
-    }
-    std::fprintf(json, "{\n");
-    std::fprintf(json, "  \"site\": \"%s\",\n", site.c_str());
-    std::fprintf(json, "  \"records\": %llu,\n",
-                 static_cast<unsigned long long>(records));
-    std::fprintf(json, "  \"reps\": %d,\n", reps);
-    std::fprintf(json,
-                 "  \"baseline\": {\"forward_records_per_sec\": %.0f, "
-                 "\"backward_records_per_sec\": %.0f, "
-                 "\"forward_seconds\": %.6f, \"backward_seconds\": %.6f, "
-                 "\"peak_live_set_bytes\": %llu},\n",
-                 recordsPerSec(records, base.forwardSeconds),
-                 recordsPerSec(records, base.backwardSeconds),
-                 base.forwardSeconds, base.backwardSeconds,
-                 static_cast<unsigned long long>(base.peakLiveSetBytes));
-    std::fprintf(json, "  \"sweep\": [\n");
+    // Same webslice-metrics-v1 schema as `webslice-profile --metrics-json`:
+    // phases/counters/gauges from the registry, then the benchmark's own
+    // sections as extras.
+    std::ostringstream sweep_json;
+    sweep_json << "[\n";
     for (size_t i = 0; i < sweep.size(); ++i) {
-        const Sample &s = sweep[i];
-        std::fprintf(json,
-                     "    {\"jobs\": %d, "
-                     "\"forward_records_per_sec\": %.0f, "
-                     "\"backward_records_per_sec\": %.0f, "
-                     "\"forward_seconds\": %.6f, "
-                     "\"backward_seconds\": %.6f, "
-                     "\"peak_live_set_bytes\": %llu, "
-                     "\"end_to_end_speedup_vs_baseline\": %.3f}%s\n",
-                     s.jobs, recordsPerSec(records, s.forwardSeconds),
-                     recordsPerSec(records, s.backwardSeconds),
-                     s.forwardSeconds, s.backwardSeconds,
-                     static_cast<unsigned long long>(s.peakLiveSetBytes),
-                     speedups[i], i + 1 < sweep.size() ? "," : "");
+        sweep_json << "    {\"jobs\": " << sweep[i].jobs << ", "
+                   << sampleFieldsJson(sweep[i], records)
+                   << format(", \"end_to_end_speedup_vs_baseline\": %.3f}",
+                             speedups[i])
+                   << (i + 1 < sweep.size() ? ",\n" : "\n");
     }
-    std::fprintf(json, "  ],\n");
-    std::fprintf(json, "  \"end_to_end_speedup_at_4_jobs\": %.3f\n",
-                 speedup_at_4);
-    std::fprintf(json, "}\n");
-    std::fclose(json);
+    sweep_json << "  ]";
+
+    const std::vector<std::pair<std::string, std::string>> extras = {
+        {"site", "\"" + jsonEscape(site) + "\""},
+        {"records", format("%llu",
+                           static_cast<unsigned long long>(records))},
+        {"reps", format("%d", reps)},
+        {"baseline", "{" + sampleFieldsJson(base, records) + "}"},
+        {"sweep", sweep_json.str()},
+        {"end_to_end_speedup_at_4_jobs", format("%.3f", speedup_at_4)},
+    };
+    writeMetricsReport(out_path, MetricRegistry::global(),
+                       "pipeline_scaling", extras);
     std::printf("wrote %s\n", out_path.c_str());
     return 0;
 }

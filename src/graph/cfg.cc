@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "support/logging.hh"
+#include "support/metrics.hh"
 #include "support/strings.hh"
 #include "support/thread_pool.hh"
 #include "trace/trace_file.hh"
@@ -197,6 +198,9 @@ CfgBuilder::finish()
             }
         }
     }
+
+    MetricRegistry::global().counter("cfg.records_fed")
+        .add(out_.funcOf.size());
 
     return std::move(out_);
 }
@@ -676,6 +680,7 @@ ParallelCfgBuilder::feedAll(std::span<const Record> records, int jobs)
         for (auto &shard : shard_states) {
             if (func >= shard.funcs.size())
                 continue;
+            funcs_[func].filtered += shard.funcs[func].filtered;
             auto &src = shard.funcs[func].steps;
             if (dst.empty())
                 dst = std::move(src);
@@ -772,6 +777,18 @@ ParallelCfgBuilder::finish(int jobs)
         ThreadPool pool(threads - 1);
         pool.parallelFor(0, order.size(), replay);
     }
+
+    // Publish the feed's filtering effectiveness: replayed is the unique
+    // transitions that survived the duplicate filter, filtered the drops.
+    uint64_t replayed = 0, filtered = 0;
+    for (const FuncStream &fs : funcs_) {
+        replayed += fs.steps.size();
+        filtered += fs.filtered;
+    }
+    auto &registry = MetricRegistry::global();
+    registry.counter("cfg.records_fed").add(out_.funcOf.size());
+    registry.counter("cfg.transitions_replayed").add(replayed);
+    registry.counter("cfg.transitions_filtered").add(filtered);
 
     funcs_.clear();
     return std::move(out_);

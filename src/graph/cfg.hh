@@ -219,6 +219,7 @@ class ParallelCfgBuilder
     struct FuncStream
     {
         std::vector<Transition> steps;
+        uint64_t filtered = 0; ///< Duplicate transitions dropped.
 
         struct FilterEntry
         {
@@ -239,7 +240,8 @@ class ParallelCfgBuilder
             FilterEntry &e = filter[slot];
             if (e.valid && e.from == from && e.to == to &&
                 e.flags == flags) {
-                return; // transition already recorded
+                ++filtered; // transition already recorded
+                return;
             }
             e = FilterEntry{from, to, flags, 1};
             steps.push_back(Transition{from, to, flags});

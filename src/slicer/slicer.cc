@@ -1,5 +1,6 @@
 #include "slicer/slicer.hh"
 
+#include <cstdio>
 #include <memory>
 #include <unordered_map>
 #include <unordered_set>
@@ -7,7 +8,9 @@
 
 #include "support/flat_map.hh"
 #include "support/logging.hh"
+#include "support/metrics.hh"
 #include "support/sparse_byte_set.hh"
+#include "support/stopwatch.hh"
 #include "trace/trace_file.hh"
 
 namespace webslice {
@@ -31,6 +34,8 @@ struct StdPendingSet
     void insert(Pc pc) { set.insert(pc); }
     bool erase(Pc pc) { return set.erase(pc) != 0; }
     size_t size() const { return set.size(); }
+    uint64_t probeCount() const { return 0; }
+    uint64_t resizeCount() const { return 0; }
 };
 
 /**
@@ -180,6 +185,9 @@ struct BackwardPass::Impl
 
     virtual void feed(size_t idx, const Record &rec) = 0;
     virtual void run(std::span<const Record> records) = 0;
+
+    /** Fold live-set diagnostics into `result` (called once, at finish). */
+    virtual void collectStats() = 0;
 };
 
 namespace {
@@ -221,13 +229,15 @@ struct ImplT final : BackwardPass::Impl
         }
     }
 
-    /** Track the live-memory high-water mark; the peak can only move on
-     *  an insert, so sampling at the insert sites is exact. */
+    /** Track the live-memory high-water marks; the peaks can only move
+     *  on an insert, so sampling at the insert sites is exact. */
     void
     samplePeakLiveMem()
     {
         result.peakLiveMemBytes =
             std::max<uint64_t>(result.peakLiveMemBytes, liveMem.size());
+        result.peakLiveMemChunks = std::max<uint64_t>(
+            result.peakLiveMemChunks, liveMem.chunkCount());
     }
 
     void
@@ -264,6 +274,7 @@ struct ImplT final : BackwardPass::Impl
         panic_if(idx >= lastIndex,
                  "records must be fed in strictly descending order");
         lastIndex = idx;
+        ++result.recordsFed;
 
         if (idx >= std::min(options.endIndex, recordCount))
             return; // outside the analysis window
@@ -280,6 +291,7 @@ struct ImplT final : BackwardPass::Impl
         panic_if(records.size() != recordCount,
                  "record span does not match the trace length");
         const size_t end = std::min(options.endIndex, recordCount);
+        result.recordsFed += end;
         for (size_t idx = end; idx-- > 0;) {
             // Descending streams defeat most hardware prefetchers;
             // request the line a few hundred bytes behind explicitly.
@@ -288,6 +300,26 @@ struct ImplT final : BackwardPass::Impl
             step(idx, records[idx]);
         }
         lastIndex = 0;
+    }
+
+    void
+    collectStats() override
+    {
+        result.flatProbes = liveMem.probeCount();
+        result.flatResizes = liveMem.resizeCount();
+        const auto fold = [this](const State &ts) {
+            result.flatProbes += ts.pending.probeCount();
+            result.flatResizes += ts.pending.resizeCount();
+        };
+        if constexpr (Policy::kDenseThreads) {
+            for (const auto &slot : threadsDense) {
+                if (slot)
+                    fold(*slot);
+            }
+        } else {
+            for (const auto &kv : threadsMap)
+                fold(kv.second);
+        }
     }
 
     void
@@ -466,6 +498,24 @@ BackwardPass::finish()
 {
     panic_if(impl_->finished, "finish called twice");
     impl_->finished = true;
+    impl_->collectStats();
+
+    const SliceResult &r = impl_->result;
+    auto &registry = MetricRegistry::global();
+    registry.counter("slicer.records_fed").add(r.recordsFed);
+    registry.counter("slicer.instructions_analyzed")
+        .add(r.instructionsAnalyzed);
+    registry.counter("slicer.slice_instructions").add(r.sliceInstructions);
+    registry.counter("slicer.criteria_bytes_seeded")
+        .add(r.criteriaBytesSeeded);
+    registry.counter("slicer.flat_probes").add(r.flatProbes);
+    registry.counter("slicer.flat_resizes").add(r.flatResizes);
+    registry.gauge("slicer.peak_live_mem_bytes").setMax(r.peakLiveMemBytes);
+    registry.gauge("slicer.peak_live_mem_chunks")
+        .setMax(r.peakLiveMemChunks);
+    registry.gauge("slicer.peak_pending_branches")
+        .setMax(r.peakPendingBranches);
+
     return std::move(impl_->result);
 }
 
@@ -497,9 +547,39 @@ computeSliceFromFile(const std::string &path, const graph::CfgSet &cfgs,
     BackwardPass pass(cfgs, deps, criteria, options,
                       static_cast<size_t>(reader.count()));
     Record rec;
-    size_t idx = static_cast<size_t>(reader.count());
-    while (reader.next(rec))
+    const uint64_t total = reader.count();
+    size_t idx = static_cast<size_t>(total);
+
+    // Heartbeat state for --progress: check the clock only every 64k
+    // records so the hot loop stays unmeasurable, print when the
+    // configured interval has elapsed.
+    const bool progress = options.progressIntervalSeconds > 0.0;
+    Stopwatch watch;
+    double last_beat = 0.0;
+    uint64_t done = 0;
+
+    while (reader.next(rec)) {
         pass.feed(--idx, rec);
+        if (progress && (++done & 0xFFFF) == 0) {
+            const double t = watch.seconds();
+            if (t - last_beat >= options.progressIntervalSeconds) {
+                last_beat = t;
+                const double rate = static_cast<double>(done) / t;
+                const double eta =
+                    rate > 0.0
+                        ? static_cast<double>(total - done) / rate
+                        : 0.0;
+                std::fprintf(stderr,
+                             "progress: backward pass %llu/%llu records "
+                             "(%.0f%%), %.2f Mrec/s, ETA %.1fs\n",
+                             static_cast<unsigned long long>(done),
+                             static_cast<unsigned long long>(total),
+                             100.0 * static_cast<double>(done) /
+                                 static_cast<double>(total),
+                             rate / 1e6, eta);
+            }
+        }
+    }
     return pass.finish();
 }
 

@@ -85,6 +85,14 @@ struct SlicerOptions
      * measured baseline in bench/pipeline_scaling.
      */
     bool legacyLiveSets = false;
+
+    /**
+     * When > 0, computeSliceFromFile prints a heartbeat to stderr at
+     * roughly this interval during the reverse walk: records done,
+     * records/sec, and the ETA to the start of the trace. 0 (the
+     * default) disables progress output.
+     */
+    double progressIntervalSeconds = 0.0;
 };
 
 /** Output of one backward pass. */
@@ -102,9 +110,17 @@ struct SliceResult
     /** Criteria bytes inserted into the live set. */
     uint64_t criteriaBytesSeeded = 0;
 
+    /** Records fed into the pass (including records outside the window). */
+    uint64_t recordsFed = 0;
+
     /** Diagnostics: high-water marks of the analysis state. */
     uint64_t peakLiveMemBytes = 0;
+    uint64_t peakLiveMemChunks = 0;
     uint64_t peakPendingBranches = 0;
+
+    /** Live-set hash-table totals (0 under the legacy containers). */
+    uint64_t flatProbes = 0;
+    uint64_t flatResizes = 0;
 
     /** Slice share of analyzed instructions, in percent. */
     double

@@ -147,6 +147,12 @@ class FlatMap64
         return (keys_.capacity() + vals_.capacity()) * sizeof(uint64_t);
     }
 
+    /** Total probe() calls over this map's lifetime (diagnostics). */
+    uint64_t probeCount() const { return probes_; }
+
+    /** Total rehashes (growth + reserve) over this map's lifetime. */
+    uint64_t resizeCount() const { return resizes_; }
+
   private:
     static constexpr size_t kMinCapacity = 16;
 
@@ -164,6 +170,7 @@ class FlatMap64
     size_t
     probe(uint64_t key) const
     {
+        ++probes_;
         const size_t mask = capacity() - 1;
         size_t slot = mix(key) & mask;
         while (keys_[slot] != kEmptyKey && keys_[slot] != key)
@@ -180,6 +187,7 @@ class FlatMap64
     void
     rehash(size_t new_capacity)
     {
+        ++resizes_;
         std::vector<uint64_t> old_keys = std::move(keys_);
         std::vector<uint64_t> old_vals = std::move(vals_);
         keys_.assign(new_capacity, kEmptyKey);
@@ -201,6 +209,8 @@ class FlatMap64
     std::vector<uint64_t> vals_;
     size_t size_ = 0;
     uint32_t generation_ = 0;
+    mutable uint64_t probes_ = 0;
+    uint64_t resizes_ = 0;
 };
 
 /** Set of uint64_t keys on top of FlatMap64 (values unused). */
@@ -232,6 +242,9 @@ class FlatSet64
     {
         map_.forEach([&fn](uint64_t key, uint64_t) { fn(key); });
     }
+
+    uint64_t probeCount() const { return map_.probeCount(); }
+    uint64_t resizeCount() const { return map_.resizeCount(); }
 
   private:
     FlatMap64 map_;

@@ -1,0 +1,243 @@
+#include "support/metrics.hh"
+
+#include <cstdio>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#define WEBSLICE_HAVE_RUSAGE 1
+#endif
+
+#include "support/logging.hh"
+
+namespace webslice {
+
+MetricRegistry &
+MetricRegistry::global()
+{
+    static MetricRegistry registry;
+    return registry;
+}
+
+Counter &
+MetricRegistry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = counters_[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &
+MetricRegistry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = gauges_[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+void
+MetricRegistry::addSpan(PhaseSpan span)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    spans_.push_back(std::move(span));
+}
+
+void
+MetricRegistry::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    counters_.clear();
+    gauges_.clear();
+    spans_.clear();
+}
+
+std::vector<std::pair<std::string, uint64_t>>
+MetricRegistry::counterValues() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::pair<std::string, uint64_t>> out;
+    out.reserve(counters_.size());
+    for (const auto &kv : counters_)
+        out.emplace_back(kv.first, kv.second->value());
+    return out;
+}
+
+std::vector<std::pair<std::string, uint64_t>>
+MetricRegistry::gaugeValues() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::pair<std::string, uint64_t>> out;
+    out.reserve(gauges_.size());
+    for (const auto &kv : gauges_)
+        out.emplace_back(kv.first, kv.second->value());
+    return out;
+}
+
+std::vector<PhaseSpan>
+MetricRegistry::spans() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return spans_;
+}
+
+std::string
+jsonEscape(std::string_view text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+metricsReportJson(
+    const MetricRegistry &reg, std::string_view tool,
+    const std::vector<std::pair<std::string, std::string>> &extras)
+{
+    std::string out;
+    out += "{\n";
+    out += "  \"schema\": \"webslice-metrics-v1\",\n";
+    out += "  \"tool\": \"" + jsonEscape(tool) + "\",\n";
+
+    out += "  \"phases\": [\n";
+    const auto spans = reg.spans();
+    for (size_t i = 0; i < spans.size(); ++i) {
+        char buf[256];
+        std::snprintf(buf, sizeof(buf),
+                      "    {\"name\": \"%s\", \"wall_seconds\": %.6f, "
+                      "\"peak_rss_bytes\": %llu}%s\n",
+                      jsonEscape(spans[i].name).c_str(),
+                      spans[i].wallSeconds,
+                      static_cast<unsigned long long>(spans[i].peakRssBytes),
+                      i + 1 < spans.size() ? "," : "");
+        out += buf;
+    }
+    out += "  ],\n";
+
+    const auto emitMap =
+        [&out](const char *key,
+               const std::vector<std::pair<std::string, uint64_t>> &vals) {
+            out += "  \"";
+            out += key;
+            out += "\": {\n";
+            for (size_t i = 0; i < vals.size(); ++i) {
+                char buf[256];
+                std::snprintf(buf, sizeof(buf), "    \"%s\": %llu%s\n",
+                              jsonEscape(vals[i].first).c_str(),
+                              static_cast<unsigned long long>(
+                                  vals[i].second),
+                              i + 1 < vals.size() ? "," : "");
+                out += buf;
+            }
+            out += "  }";
+        };
+
+    emitMap("counters", reg.counterValues());
+    out += ",\n";
+    emitMap("gauges", reg.gaugeValues());
+
+    for (const auto &extra : extras) {
+        out += ",\n  \"" + jsonEscape(extra.first) + "\": ";
+        out += extra.second;
+    }
+    out += "\n}\n";
+    return out;
+}
+
+void
+writeMetricsReport(
+    const std::string &path, const MetricRegistry &reg,
+    std::string_view tool,
+    const std::vector<std::pair<std::string, std::string>> &extras)
+{
+    const std::string json = metricsReportJson(reg, tool, extras);
+    std::FILE *file = std::fopen(path.c_str(), "w");
+    fatal_if(!file, "cannot write metrics report ", path);
+    fatal_if(std::fwrite(json.data(), 1, json.size(), file) != json.size(),
+             "short write to metrics report ", path);
+    std::fclose(file);
+}
+
+uint64_t
+currentRssBytes()
+{
+#if defined(__linux__)
+    // /proc/self/statm: size resident shared ... in pages.
+    std::FILE *statm = std::fopen("/proc/self/statm", "r");
+    if (!statm)
+        return 0;
+    unsigned long long size = 0, resident = 0;
+    const int got = std::fscanf(statm, "%llu %llu", &size, &resident);
+    std::fclose(statm);
+    if (got != 2)
+        return 0;
+    return resident * 4096ull;
+#else
+    return 0;
+#endif
+}
+
+uint64_t
+peakRssBytes()
+{
+#ifdef WEBSLICE_HAVE_RUSAGE
+    struct rusage usage;
+    if (getrusage(RUSAGE_SELF, &usage) != 0)
+        return 0;
+#if defined(__APPLE__)
+    return static_cast<uint64_t>(usage.ru_maxrss); // bytes on macOS
+#else
+    return static_cast<uint64_t>(usage.ru_maxrss) * 1024ull; // KiB on Linux
+#endif
+#else
+    return 0;
+#endif
+}
+
+FileDigest
+digestFile(const std::string &path)
+{
+    FileDigest digest;
+    std::FILE *file = std::fopen(path.c_str(), "rb");
+    if (!file)
+        return digest;
+
+    uint64_t hash = 0xcbf29ce484222325ull; // FNV-1a offset basis
+    char buf[1 << 16];
+    size_t got;
+    while ((got = std::fread(buf, 1, sizeof(buf), file)) > 0) {
+        for (size_t i = 0; i < got; ++i) {
+            hash ^= static_cast<unsigned char>(buf[i]);
+            hash *= 0x100000001b3ull; // FNV-1a prime
+        }
+        digest.bytes += got;
+    }
+    digest.fnv1a = hash;
+    digest.ok = std::ferror(file) == 0;
+    std::fclose(file);
+    return digest;
+}
+
+} // namespace webslice

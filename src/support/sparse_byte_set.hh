@@ -90,6 +90,10 @@ class StdChunkMap
                map_.bucket_count() * sizeof(void *);
     }
 
+    /** std::unordered_map hides its probing; report zero. */
+    uint64_t probeCount() const { return 0; }
+    uint64_t resizeCount() const { return 0; }
+
   private:
     std::unordered_map<uint64_t, uint64_t> map_;
     uint32_t generation_ = 0;
@@ -199,6 +203,12 @@ class BasicSparseByteSet
 
     /** Bytes of heap storage held by the chunk index (diagnostics). */
     size_t heapBytes() const { return chunks_.heapBytes(); }
+
+    /** Chunk-index probe total (0 for the legacy interior). */
+    uint64_t probeCount() const { return chunks_.probeCount(); }
+
+    /** Chunk-index rehash total (0 for the legacy interior). */
+    uint64_t resizeCount() const { return chunks_.resizeCount(); }
 
   private:
     static int

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Monotonic wall-clock timing for the pipeline's phase spans.
+ *
+ * Stopwatch is a plain monotonic timer (steady_clock); ScopedPhase is the
+ * RAII front end the pipeline layers use: construct it when a phase
+ * begins, and on destruction it records a PhaseSpan — wall seconds plus
+ * the process's peak RSS sampled at phase end — into a MetricRegistry
+ * (the process-wide one by default).
+ */
+
+#ifndef WEBSLICE_SUPPORT_STOPWATCH_HH
+#define WEBSLICE_SUPPORT_STOPWATCH_HH
+
+#include <chrono>
+#include <string>
+
+#include "support/metrics.hh"
+
+namespace webslice {
+
+/** Monotonic wall-clock timer. */
+class Stopwatch
+{
+  public:
+    Stopwatch() : start_(now()) {}
+
+    /** Seconds since construction or the last reset(). */
+    double seconds() const { return now() - start_; }
+
+    void reset() { start_ = now(); }
+
+    /** Monotonic seconds since an arbitrary epoch. */
+    static double
+    now()
+    {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now().time_since_epoch())
+            .count();
+    }
+
+  private:
+    double start_;
+};
+
+/**
+ * RAII phase span: records {name, wall seconds, peak RSS at phase end}
+ * into the registry when destroyed. Since peak RSS is monotone over the
+ * process lifetime, the per-phase value reads as "the peak as of this
+ * phase's end" — the phase where it first jumps is the phase that paid
+ * for it.
+ */
+class ScopedPhase
+{
+  public:
+    explicit ScopedPhase(std::string name,
+                         MetricRegistry *registry = nullptr)
+        : name_(std::move(name)),
+          registry_(registry ? registry : &MetricRegistry::global())
+    {
+    }
+
+    ~ScopedPhase()
+    {
+        registry_->addSpan(
+            PhaseSpan{std::move(name_), watch_.seconds(), peakRssBytes()});
+    }
+
+    ScopedPhase(const ScopedPhase &) = delete;
+    ScopedPhase &operator=(const ScopedPhase &) = delete;
+
+    /** Seconds elapsed so far in this phase. */
+    double seconds() const { return watch_.seconds(); }
+
+  private:
+    std::string name_;
+    MetricRegistry *registry_;
+    Stopwatch watch_;
+};
+
+} // namespace webslice
+
+#endif // WEBSLICE_SUPPORT_STOPWATCH_HH

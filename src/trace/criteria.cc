@@ -1,8 +1,10 @@
 #include "trace/criteria.hh"
 
 #include <fstream>
+#include <sstream>
 
 #include "support/logging.hh"
+#include "support/metrics.hh"
 
 namespace webslice {
 namespace trace {
@@ -51,17 +53,44 @@ CriteriaSet::load(const std::string &path)
     std::ifstream in(path);
     fatal_if(!in, "cannot read criteria file ", path);
 
-    std::string magic;
-    int version = 0;
-    in >> magic >> version;
-    fatal_if(magic != "webcrit" || version != 1,
-             "bad criteria header in ", path);
+    // Line-based parsing so every diagnostic carries the offending line
+    // number: a malformed line mid-file must fail loudly, never read as
+    // EOF — slicing with a partial criteria set produces a plausible but
+    // wrong slice.
+    std::string line;
+    size_t lineno = 0;
+    fatal_if(!std::getline(in, line),
+             "empty criteria file ", path);
+    ++lineno;
+    {
+        std::istringstream fields(line);
+        std::string magic;
+        int version = 0;
+        fields >> magic >> version;
+        fatal_if(magic != "webcrit" || version != 1,
+                 "bad criteria header in ", path, " line 1: '", line, "'");
+    }
 
     byMarker_.clear();
-    uint32_t marker;
-    uint64_t addr, size;
-    while (in >> marker >> addr >> size)
+    uint64_t ranges = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        std::istringstream fields(line);
+        uint32_t marker = 0;
+        uint64_t addr = 0, size = 0;
+        fields >> marker >> addr >> size;
+        fatal_if(fields.fail(), "malformed criteria entry in ", path,
+                 " line ", lineno, ": '", line, "'");
+        std::string extra;
+        fatal_if(static_cast<bool>(fields >> extra),
+                 "trailing garbage in ", path, " line ", lineno, ": '",
+                 line, "'");
         add(marker, addr, size);
+        ++ranges;
+    }
+    fatal_if(!in.eof(), "read error in criteria file ", path,
+             " after line ", lineno);
+    MetricRegistry::global().counter("criteria.ranges_loaded").add(ranges);
 }
 
 } // namespace trace

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "support/logging.hh"
+#include "support/metrics.hh"
 #include "support/strings.hh"
 
 namespace webslice {
@@ -73,38 +74,91 @@ SymbolTable::load(const std::string &path)
     std::ifstream in(path);
     fatal_if(!in, "cannot read symbol table from ", path);
 
-    std::string magic;
-    int version = 0;
-    in >> magic >> version;
-    fatal_if(magic != "websym" || version != 1,
-             "bad symbol table header in ", path);
+    // Line-based parsing with a running line counter: truncation or a
+    // malformed entry anywhere in the file fails with the offending line
+    // instead of silently yielding a partial table.
+    std::string line;
+    size_t lineno = 0;
+    const auto next_line = [&]() -> bool {
+        if (!std::getline(in, line))
+            return false;
+        ++lineno;
+        return true;
+    };
+
+    fatal_if(!next_line(), "empty symbol table in ", path);
+    {
+        std::istringstream fields(line);
+        std::string magic;
+        int version = 0;
+        fields >> magic >> version;
+        fatal_if(magic != "websym" || version != 1,
+                 "bad symbol table header in ", path, " line 1: '", line,
+                 "'");
+    }
 
     symbols_.clear();
     byEntry_.clear();
     pcOwner_.clear();
 
     size_t nfuncs = 0;
-    in >> nfuncs;
+    fatal_if(!next_line(), "truncated symbol table in ", path,
+             ": missing function count after line ", lineno);
+    {
+        std::istringstream fields(line);
+        fatal_if(!(fields >> nfuncs), "malformed function count in ", path,
+                 " line ", lineno, ": '", line, "'");
+    }
     symbols_.reserve(nfuncs);
     for (size_t i = 0; i < nfuncs; ++i) {
+        fatal_if(!next_line(), "truncated symbol table in ", path,
+                 ": expected ", nfuncs, " functions, got ", i,
+                 " (file ends after line ", lineno, ")");
+        std::istringstream fields(line);
         Symbol sym;
-        in >> sym.id >> sym.entryPc;
-        std::getline(in, sym.name);
+        fatal_if(!(fields >> sym.id >> sym.entryPc),
+                 "malformed symbol entry in ", path, " line ", lineno,
+                 ": '", line, "'");
+        std::getline(fields, sym.name);
         sym.name = std::string(trim(sym.name));
-        fatal_if(sym.id != i, "non-contiguous function ids in ", path);
+        fatal_if(sym.id != i, "non-contiguous function ids in ", path,
+                 " line ", lineno, ": expected id ", i, ", got ", sym.id);
         byEntry_[sym.entryPc] = sym.id;
         symbols_.push_back(std::move(sym));
     }
 
     size_t npcs = 0;
-    in >> npcs;
+    fatal_if(!next_line(), "truncated symbol table in ", path,
+             ": missing pc-owner count after line ", lineno);
+    {
+        std::istringstream fields(line);
+        fatal_if(!(fields >> npcs), "malformed pc-owner count in ", path,
+                 " line ", lineno, ": '", line, "'");
+    }
     for (size_t i = 0; i < npcs; ++i) {
+        fatal_if(!next_line(), "truncated symbol table in ", path,
+                 ": expected ", npcs, " pc owners, got ", i,
+                 " (file ends after line ", lineno, ")");
+        std::istringstream fields(line);
         Pc pc;
         FuncId func;
-        in >> pc >> func;
+        fatal_if(!(fields >> pc >> func), "malformed pc-owner entry in ",
+                 path, " line ", lineno, ": '", line, "'");
+        std::string extra;
+        fatal_if(static_cast<bool>(fields >> extra),
+                 "trailing garbage in ", path, " line ", lineno, ": '",
+                 line, "'");
         pcOwner_[pc] = func;
     }
-    fatal_if(!in, "truncated symbol table in ", path);
+    while (next_line()) {
+        fatal_if(!std::string(trim(line)).empty(),
+                 "trailing garbage in ", path, " line ", lineno, ": '",
+                 line, "'");
+    }
+
+    auto &registry = MetricRegistry::global();
+    registry.counter("symtab.functions_loaded").add(symbols_.size());
+    registry.counter("symtab.pcs_loaded").add(pcOwner_.size());
 }
 
 } // namespace trace

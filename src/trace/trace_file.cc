@@ -11,6 +11,7 @@
 #endif
 
 #include "support/logging.hh"
+#include "support/metrics.hh"
 
 namespace webslice {
 namespace trace {
@@ -19,16 +20,70 @@ namespace {
 
 constexpr size_t kWriteBufferRecords = 1 << 15;
 
+/**
+ * Reject payloads that cannot be a whole record array: misaligned sizes
+ * (a torn write or foreign file), fewer records than the header claims
+ * (truncation), or bytes past the last record (trailing garbage). Every
+ * diagnostic names the file and the offending byte offset, so a corrupt
+ * artifact fails loudly here instead of silently slicing a partial trace.
+ */
+void
+validatePayload(const std::string &path, uint64_t file_bytes,
+                uint64_t record_count)
+{
+    const uint64_t payload = file_bytes - sizeof(TraceHeader);
+    const uint64_t stray = payload % sizeof(Record);
+    fatal_if(stray != 0, "misaligned trace payload in ", path, ": ", stray,
+             " stray bytes past offset ",
+             file_bytes - stray, " (records are ", sizeof(Record),
+             " bytes)");
+    const uint64_t stored = payload / sizeof(Record);
+    fatal_if(stored < record_count, "truncated trace file ", path,
+             ": header claims ", record_count, " records but only ",
+             stored, " are stored (file ends at offset ", file_bytes,
+             ", expected ",
+             sizeof(TraceHeader) + record_count * sizeof(Record), ")");
+    fatal_if(stored > record_count, "trailing garbage in trace file ",
+             path, ": ", (stored - record_count) * sizeof(Record),
+             " bytes past the last record (offset ",
+             sizeof(TraceHeader) + record_count * sizeof(Record), ")");
+}
+
 TraceHeader
 readHeader(std::FILE *file, const std::string &path)
 {
+    fatal_if(std::fseek(file, 0, SEEK_END) != 0,
+             "cannot seek in trace file ", path);
+    const long end = std::ftell(file);
+    fatal_if(end < 0, "cannot size trace file ", path);
+    fatal_if(std::fseek(file, 0, SEEK_SET) != 0,
+             "cannot seek in trace file ", path);
+    const uint64_t file_bytes = static_cast<uint64_t>(end);
+    fatal_if(file_bytes < sizeof(TraceHeader),
+             "trace file too small for a header: ", path, " (",
+             file_bytes, " of ", sizeof(TraceHeader), " bytes)");
+
     TraceHeader header;
     fatal_if(std::fread(&header, sizeof(header), 1, file) != 1,
              "cannot read trace header from ", path);
     TraceHeader expect;
     fatal_if(std::memcmp(header.magic, expect.magic, sizeof(header.magic)) !=
              0, "bad trace magic in ", path);
+    validatePayload(path, file_bytes, header.recordCount);
     return header;
+}
+
+/** Publish one reader's prefetch effectiveness to the global registry. */
+void
+publishReaderStats(uint64_t hits, uint64_t misses, uint64_t sync_reads)
+{
+    auto &registry = MetricRegistry::global();
+    if (hits)
+        registry.counter("trace.prefetch_hits").add(hits);
+    if (misses)
+        registry.counter("trace.prefetch_misses").add(misses);
+    if (sync_reads)
+        registry.counter("trace.sync_block_reads").add(sync_reads);
 }
 
 } // namespace
@@ -133,9 +188,7 @@ MappedTrace::MappedTrace(const std::string &path)
         fatal_if(std::memcmp(header->magic, expect.magic,
                              sizeof(expect.magic)) != 0,
                  "bad trace magic in ", path);
-        fatal_if(sizeof(TraceHeader) +
-                     header->recordCount * sizeof(Record) > file_bytes,
-                 "truncated trace file ", path);
+        validatePayload(path, file_bytes, header->recordCount);
         map_ = map;
         mapBytes_ = file_bytes;
         count_ = header->recordCount;
@@ -189,6 +242,7 @@ ForwardTraceReader::~ForwardTraceReader()
     }
     if (file_)
         std::fclose(file_);
+    publishReaderStats(prefetchHits_, prefetchMisses_, syncReads_);
 }
 
 void
@@ -224,6 +278,10 @@ void
 ForwardTraceReader::takePrefetched()
 {
     std::unique_lock<std::mutex> lock(mutex_);
+    if (readyValid_)
+        ++prefetchHits_; // block was already waiting; no stall
+    else
+        ++prefetchMisses_;
     cv_.wait(lock, [this] { return readyValid_; });
     block_.swap(ready_);
     readyValid_ = false;
@@ -235,6 +293,7 @@ ForwardTraceReader::takePrefetched()
 void
 ForwardTraceReader::fillBlockSync()
 {
+    ++syncReads_;
     const size_t this_block = static_cast<size_t>(
         std::min<uint64_t>(blockRecords_, count_ - consumed_));
     block_.resize(this_block);
@@ -291,6 +350,7 @@ ReverseTraceReader::~ReverseTraceReader()
     }
     if (file_)
         std::fclose(file_);
+    publishReaderStats(prefetchHits_, prefetchMisses_, syncReads_);
 }
 
 void
@@ -331,6 +391,10 @@ void
 ReverseTraceReader::takePrefetched()
 {
     std::unique_lock<std::mutex> lock(mutex_);
+    if (readyValid_)
+        ++prefetchHits_;
+    else
+        ++prefetchMisses_;
     cv_.wait(lock, [this] { return readyValid_; });
     block_.swap(ready_);
     readyValid_ = false;
@@ -342,6 +406,7 @@ ReverseTraceReader::takePrefetched()
 void
 ReverseTraceReader::loadPrecedingBlock()
 {
+    ++syncReads_;
     const uint64_t already_read = remaining_;
     const size_t this_block = static_cast<size_t>(
         std::min<uint64_t>(blockRecords_, already_read));

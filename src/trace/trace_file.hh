@@ -154,6 +154,12 @@ class ForwardTraceReader
     bool readyValid_ = false;
     bool stop_ = false;
     uint64_t ioRemaining_ = 0;
+
+    // Prefetch effectiveness; published to the metric registry by the
+    // destructor (hit = the next block was already waiting).
+    uint64_t prefetchHits_ = 0;
+    uint64_t prefetchMisses_ = 0;
+    uint64_t syncReads_ = 0;
 };
 
 /** Write a whole in-memory trace to a file. */
@@ -210,6 +216,11 @@ class ReverseTraceReader
     bool readyValid_ = false;
     bool stop_ = false;
     uint64_t ioRemaining_ = 0; ///< Records the IO thread still has to read.
+
+    // Prefetch effectiveness (see ForwardTraceReader).
+    uint64_t prefetchHits_ = 0;
+    uint64_t prefetchMisses_ = 0;
+    uint64_t syncReads_ = 0;
 };
 
 } // namespace trace

@@ -3,7 +3,7 @@
  * webslice-profile: the offline profiler over recorded artifacts.
  *
  *   webslice-profile <prefix> [--syscalls] [--no-window] [--top N]
- *                    [--jobs N]
+ *                    [--jobs N] [--metrics-json FILE] [--progress]
  *
  * Reads <prefix>.trc/.sym/.crit/.meta (as written by webslice-record),
  * runs the forward pass streamed from the file, runs the backward pass
@@ -16,11 +16,24 @@
  * threads; 0 means all hardware threads. Results are identical for any
  * value. The attribution arrays at the end use a zero-copy mmap view of
  * the trace instead of a second in-memory copy.
+ *
+ * --metrics-json FILE writes the machine-readable run report (schema
+ * webslice-metrics-v1): phase spans with wall time and peak RSS,
+ * pipeline counters and gauges, slice statistics, and size + FNV-1a-64
+ * digests of the four input artifacts. --progress prints phase-start
+ * notices and a heartbeat during the reverse walk (records done,
+ * records/sec, ETA) to stderr.
+ *
+ * Unknown flags, missing flag values, and non-numeric --top/--jobs
+ * arguments are rejected with a diagnostic and exit code 1.
  */
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iomanip>
 #include <sstream>
 
 #include "analysis/categorize.hh"
@@ -29,12 +42,48 @@
 #include "graph/cfg.hh"
 #include "graph/control_deps.hh"
 #include "slicer/slicer.hh"
+#include "support/logging.hh"
+#include "support/metrics.hh"
+#include "support/stopwatch.hh"
 #include "support/strings.hh"
 #include "trace/trace_file.hh"
 
 using namespace webslice;
 
 namespace {
+
+constexpr char kUsage[] =
+    "usage: %s <prefix> [--syscalls] [--no-window] [--top N] [--jobs N]\n"
+    "       [--metrics-json FILE] [--progress]\n"
+    "\n"
+    "  --syscalls            slice on syscall-read values instead of pixel\n"
+    "                        buffers\n"
+    "  --no-window           ignore the metadata load-complete window\n"
+    "  --top N               show the N hottest functions (default 12)\n"
+    "  --jobs N              forward-pass worker threads; 0 = all cores\n"
+    "  --metrics-json FILE   write the machine-readable run report\n"
+    "  --progress            phase notices and a reverse-walk heartbeat on\n"
+    "                        stderr\n";
+
+/**
+ * Parse a non-negative decimal integer flag value; anything else — empty,
+ * negative, non-numeric, trailing garbage, or out of range — is a usage
+ * error that exits 1.
+ */
+uint64_t
+parseCount(const char *flag, const char *text, uint64_t max_value)
+{
+    fatal_if(text[0] == '\0', "empty value for ", flag);
+    fatal_if(text[0] == '-', "negative value for ", flag, ": '", text, "'");
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long value = std::strtoull(text, &end, 10);
+    fatal_if(end == text || *end != '\0', "non-numeric value for ", flag,
+             ": '", text, "'");
+    fatal_if(errno == ERANGE || value > max_value, "value for ", flag,
+             " out of range: '", text, "' (max ", max_value, ")");
+    return value;
+}
 
 struct Meta
 {
@@ -44,6 +93,12 @@ struct Meta
     std::vector<std::string> threadNames;
 };
 
+/**
+ * Load <prefix>.meta. A missing file is fine (recordings without
+ * metadata are legal); a present file must parse completely — malformed
+ * values and unknown keys fail with the offending line instead of being
+ * silently skipped.
+ */
 Meta
 loadMeta(const std::string &path)
 {
@@ -52,7 +107,11 @@ loadMeta(const std::string &path)
     if (!in)
         return meta;
     std::string line;
+    size_t lineno = 0;
     while (std::getline(in, line)) {
+        ++lineno;
+        if (std::string(trim(line)).empty())
+            continue;
         std::istringstream fields(line);
         std::string key;
         fields >> key;
@@ -60,21 +119,92 @@ loadMeta(const std::string &path)
             std::getline(fields, meta.benchmark);
             meta.benchmark = std::string(trim(meta.benchmark));
         } else if (key == "loadCompleteIndex") {
-            fields >> meta.loadCompleteIndex;
+            fatal_if(!(fields >> meta.loadCompleteIndex),
+                     "malformed loadCompleteIndex in ", path, " line ",
+                     lineno, ": '", line, "'");
         } else if (key == "loadOnly") {
             int flag = 0;
-            fields >> flag;
+            fatal_if(!(fields >> flag), "malformed loadOnly in ", path,
+                     " line ", lineno, ": '", line, "'");
             meta.loadOnly = flag != 0;
         } else if (key == "thread") {
             size_t tid;
             std::string name;
-            fields >> tid >> name;
+            fatal_if(!(fields >> tid >> name), "malformed thread entry in ",
+                     path, " line ", lineno, ": '", line, "'");
             if (meta.threadNames.size() <= tid)
                 meta.threadNames.resize(tid + 1);
             meta.threadNames[tid] = name;
+        } else {
+            fatal_if(true, "unknown key '", key, "' in ", path, " line ",
+                     lineno, ": '", line, "'");
         }
+        fatal_if(in.bad(), "read error in ", path, " after line ", lineno);
     }
     return meta;
+}
+
+void
+phaseNotice(bool progress, const char *phase)
+{
+    if (progress)
+        std::fprintf(stderr, "progress: phase %s\n", phase);
+}
+
+/** JSON object with the slice statistics (raw JSON for the report). */
+std::string
+sliceStatsJson(const slicer::SliceResult &slice, const Meta &meta,
+               const slicer::SlicerOptions &options)
+{
+    std::ostringstream out;
+    out << "{\n"
+        << "    \"benchmark\": \"" << jsonEscape(meta.benchmark) << "\",\n"
+        << "    \"criteria\": \""
+        << (options.mode == slicer::CriteriaMode::PixelBuffer
+                ? "pixel-buffer"
+                : "syscalls")
+        << "\",\n"
+        << "    \"records_fed\": " << slice.recordsFed << ",\n"
+        << "    \"instructions_analyzed\": " << slice.instructionsAnalyzed
+        << ",\n"
+        << "    \"slice_instructions\": " << slice.sliceInstructions
+        << ",\n"
+        << "    \"slice_percent\": " << std::fixed << std::setprecision(4)
+        << slice.slicePercent() << ",\n"
+        << "    \"criteria_bytes_seeded\": " << slice.criteriaBytesSeeded
+        << ",\n"
+        << "    \"peak_live_mem_bytes\": " << slice.peakLiveMemBytes
+        << ",\n"
+        << "    \"peak_pending_branches\": " << slice.peakPendingBranches
+        << "\n  }";
+    return out.str();
+}
+
+/** JSON object mapping each artifact path to its size and digest. */
+std::string
+artifactDigestsJson(const std::string &prefix)
+{
+    static const char *kExtensions[] = {".trc", ".sym", ".crit", ".meta"};
+    std::ostringstream out;
+    out << "{\n";
+    bool first = true;
+    for (const char *ext : kExtensions) {
+        const std::string path = prefix + ext;
+        const FileDigest digest = digestFile(path);
+        if (!first)
+            out << ",\n";
+        first = false;
+        out << "    \"" << jsonEscape(path) << "\": ";
+        if (!digest.ok) {
+            out << "null";
+            continue;
+        }
+        out << "{\"bytes\": " << digest.bytes << ", \"fnv1a64\": \"0x"
+            << std::hex << std::setw(16) << std::setfill('0')
+            << digest.fnv1a << std::dec << std::setfill(' ') << "\"}";
+    }
+    out << "\n  }";
+    return out.str();
 }
 
 } // namespace
@@ -83,48 +213,91 @@ int
 main(int argc, char **argv)
 {
     if (argc < 2) {
-        std::fprintf(stderr,
-                     "usage: %s <prefix> [--syscalls] [--no-window] "
-                     "[--top N] [--jobs N]\n",
-                     argv[0]);
+        std::fprintf(stderr, kUsage, argv[0]);
         return 1;
     }
     const std::string prefix = argv[1];
+    if (!prefix.empty() && prefix[0] == '-') {
+        std::fprintf(stderr, "%s: first argument must be the artifact "
+                             "prefix, got flag '%s'\n",
+                     argv[0], prefix.c_str());
+        std::fprintf(stderr, kUsage, argv[0]);
+        return 1;
+    }
+
     slicer::SlicerOptions options;
     bool use_window = true;
+    bool progress = false;
     size_t top = 12;
+    std::string metrics_json;
     for (int a = 2; a < argc; ++a) {
+        const auto need_value = [&](const char *flag) -> const char * {
+            fatal_if(a + 1 >= argc, flag, " requires a value");
+            return argv[++a];
+        };
         if (!std::strcmp(argv[a], "--syscalls")) {
             options.mode = slicer::CriteriaMode::Syscalls;
         } else if (!std::strcmp(argv[a], "--no-window")) {
             use_window = false;
-        } else if (!std::strcmp(argv[a], "--top") && a + 1 < argc) {
-            top = static_cast<size_t>(std::atoi(argv[++a]));
-        } else if (!std::strcmp(argv[a], "--jobs") && a + 1 < argc) {
-            options.jobs = std::atoi(argv[++a]);
+        } else if (!std::strcmp(argv[a], "--top")) {
+            top = static_cast<size_t>(
+                parseCount("--top", need_value("--top"), SIZE_MAX));
+        } else if (!std::strcmp(argv[a], "--jobs")) {
+            options.jobs = static_cast<int>(parseCount(
+                "--jobs", need_value("--jobs"), 1u << 16));
+        } else if (!std::strcmp(argv[a], "--metrics-json")) {
+            metrics_json = need_value("--metrics-json");
+        } else if (!std::strcmp(argv[a], "--progress")) {
+            progress = true;
+            options.progressIntervalSeconds = 2.0;
+        } else {
+            std::fprintf(stderr, "%s: unknown flag '%s'\n", argv[0],
+                         argv[a]);
+            std::fprintf(stderr, kUsage, argv[0]);
+            return 1;
         }
     }
 
-    // ---- load artifacts -----------------------------------------------------
+    // ---- load artifacts ----------------------------------------------------
     trace::SymbolTable symtab;
-    symtab.load(prefix + ".sym");
     trace::CriteriaSet criteria;
-    criteria.load(prefix + ".crit");
-    const Meta meta = loadMeta(prefix + ".meta");
+    Meta meta;
+    {
+        phaseNotice(progress, "load");
+        ScopedPhase phase("load");
+        symtab.load(prefix + ".sym");
+        criteria.load(prefix + ".crit");
+        meta = loadMeta(prefix + ".meta");
+    }
 
-    // ---- forward pass (streamed) ----------------------------------------------
-    const auto cfgs = graph::buildCfgsFromFile(prefix + ".trc", symtab,
-                                               options.jobs);
-    const auto deps = graph::buildControlDeps(cfgs, options.jobs);
+    // ---- forward pass (streamed) -------------------------------------------
+    graph::CfgSet cfgs;
+    {
+        phaseNotice(progress, "forward");
+        ScopedPhase phase("forward");
+        cfgs = graph::buildCfgsFromFile(prefix + ".trc", symtab,
+                                        options.jobs);
+    }
+    graph::ControlDepMap deps;
+    {
+        phaseNotice(progress, "postdom-cdg");
+        ScopedPhase phase("postdom-cdg");
+        deps = graph::buildControlDeps(cfgs, options.jobs);
+    }
 
     if (use_window && meta.loadOnly &&
         meta.loadCompleteIndex != SIZE_MAX) {
         options.endIndex = meta.loadCompleteIndex;
     }
 
-    // ---- backward pass (streamed) ----------------------------------------------
-    const auto slice = slicer::computeSliceFromFile(
-        prefix + ".trc", cfgs, deps, criteria, options);
+    // ---- backward pass (streamed) ------------------------------------------
+    slicer::SliceResult slice;
+    {
+        phaseNotice(progress, "backward");
+        ScopedPhase phase("backward");
+        slice = slicer::computeSliceFromFile(prefix + ".trc", cfgs, deps,
+                                             criteria, options);
+    }
 
     std::printf("%s: %s\n", prefix.c_str(),
                 meta.benchmark.empty() ? "(no metadata)"
@@ -137,48 +310,66 @@ main(int argc, char **argv)
                 withCommas(slice.instructionsAnalyzed).c_str(),
                 slice.slicePercent());
 
-    // The per-record arrays need the records once more for attribution;
-    // the mmap view pages them in without a second in-memory copy.
-    const trace::MappedTrace mapped(prefix + ".trc");
-    const auto records = mapped.records();
-    const size_t window = std::min(options.endIndex, records.size());
+    {
+        phaseNotice(progress, "attribution");
+        ScopedPhase phase("attribution");
 
-    const auto stats = analysis::computeThreadStats(
-        records, slice.inSlice, meta.threadNames, window);
-    std::printf("per thread:\n");
-    for (const auto &thread : stats.perThread) {
-        if (thread.totalInstructions == 0)
-            continue;
-        std::printf("  %-26s %12s instr  %5.1f%% in slice\n",
-                    thread.name.empty()
-                        ? format("tid%u", thread.tid).c_str()
-                        : thread.name.c_str(),
-                    withCommas(thread.totalInstructions).c_str(),
-                    thread.slicePercent());
+        // The per-record arrays need the records once more for
+        // attribution; the mmap view pages them in without a second
+        // in-memory copy.
+        const trace::MappedTrace mapped(prefix + ".trc");
+        const auto records = mapped.records();
+        const size_t window = std::min(options.endIndex, records.size());
+
+        const auto stats = analysis::computeThreadStats(
+            records, slice.inSlice, meta.threadNames, window);
+        std::printf("per thread:\n");
+        for (const auto &thread : stats.perThread) {
+            if (thread.totalInstructions == 0)
+                continue;
+            std::printf("  %-26s %12s instr  %5.1f%% in slice\n",
+                        thread.name.empty()
+                            ? format("tid%u", thread.tid).c_str()
+                            : thread.name.c_str(),
+                        withCommas(thread.totalInstructions).c_str(),
+                        thread.slicePercent());
+        }
+
+        const auto dist = analysis::categorizeUnnecessary(
+            records, slice.inSlice, cfgs, symtab,
+            analysis::Categorizer::chromiumDefault(), window);
+        std::printf("\nunnecessary-computation categories (%.0f%% "
+                    "categorizable):\n",
+                    dist.coveragePercent());
+        for (const auto &category :
+             analysis::Categorizer::reportOrder()) {
+            const double share = dist.sharePercent(category);
+            if (share >= 0.05)
+                std::printf("  %-16s %5.1f%%\n", category.c_str(), share);
+        }
+
+        const auto functions = analysis::computeFunctionStats(
+            {records.data(), window}, {slice.inSlice.data(), window}, cfgs,
+            symtab);
+        std::printf("\nhottest functions:\n");
+        for (size_t i = 0; i < functions.size() && i < top; ++i) {
+            std::printf("  %-48s %10s instr  %5.1f%% in slice\n",
+                        functions[i].name.c_str(),
+                        withCommas(functions[i].totalInstructions).c_str(),
+                        functions[i].slicePercent());
+        }
     }
 
-    const auto dist = analysis::categorizeUnnecessary(
-        records, slice.inSlice, cfgs, symtab,
-        analysis::Categorizer::chromiumDefault(), window);
-    std::printf("\nunnecessary-computation categories (%.0f%% "
-                "categorizable):\n",
-                dist.coveragePercent());
-    for (const auto &category :
-         analysis::Categorizer::reportOrder()) {
-        const double share = dist.sharePercent(category);
-        if (share >= 0.05)
-            std::printf("  %-16s %5.1f%%\n", category.c_str(), share);
-    }
-
-    const auto functions = analysis::computeFunctionStats(
-        {records.data(), window}, {slice.inSlice.data(), window}, cfgs,
-        symtab);
-    std::printf("\nhottest functions:\n");
-    for (size_t i = 0; i < functions.size() && i < top; ++i) {
-        std::printf("  %-48s %10s instr  %5.1f%% in slice\n",
-                    functions[i].name.c_str(),
-                    withCommas(functions[i].totalInstructions).c_str(),
-                    functions[i].slicePercent());
+    if (!metrics_json.empty()) {
+        const std::vector<std::pair<std::string, std::string>> extras = {
+            {"slice", sliceStatsJson(slice, meta, options)},
+            {"artifacts", artifactDigestsJson(prefix)},
+        };
+        writeMetricsReport(metrics_json, MetricRegistry::global(),
+                           "webslice-profile", extras);
+        if (progress)
+            std::fprintf(stderr, "progress: metrics report written to %s\n",
+                         metrics_json.c_str());
     }
     return 0;
 }
