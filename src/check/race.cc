@@ -1,0 +1,286 @@
+#include "check/race.hh"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "support/strings.hh"
+
+namespace webslice {
+namespace check {
+
+using trace::Record;
+using trace::RecordKind;
+using trace::ThreadId;
+
+namespace {
+
+// Linux AMD64 syscall numbers; the detector keys synchronization off the
+// raw trace, independent of the simulator's headers.
+constexpr uint32_t kFutexNr = 202;
+constexpr uint32_t kSendtoNr = 44;
+constexpr uint32_t kRecvfromNr = 45;
+constexpr uint32_t kSendmsgNr = 46;
+constexpr uint32_t kRecvmsgNr = 47;
+
+using VectorClock = std::vector<uint64_t>;
+
+void
+joinInto(VectorClock &dst, const VectorClock &src)
+{
+    if (src.size() > dst.size())
+        dst.resize(src.size(), 0);
+    for (size_t i = 0; i < src.size(); ++i)
+        dst[i] = std::max(dst[i], src[i]);
+}
+
+/** One recorded access epoch: (tid, clock) plus provenance for reports. */
+struct Epoch
+{
+    ThreadId tid = 0;
+    uint64_t clk = 0;
+    size_t idx = 0;
+    trace::Pc pc = trace::kNoPc;
+    bool valid = false;
+};
+
+/** Shadow state of one 8-byte granule. */
+struct Granule
+{
+    Epoch lastWrite;
+    std::vector<Epoch> lastReads; ///< At most one entry per thread.
+};
+
+class Detector
+{
+  public:
+    Detector(std::span<const Record> records, const RaceOptions &options,
+             RaceResult &result)
+        : records_(records), options_(options), result_(result)
+    {
+        result_.findings.cap = options.maxFindings;
+    }
+
+    void
+    run()
+    {
+        const size_t end =
+            std::min<size_t>(options_.windowEnd, records_.size());
+        for (size_t idx = 0; idx < end; ++idx)
+            step(idx, records_[idx]);
+        result_.granulesTracked = shadow_.size();
+        result_.racyPcPairs = racyPairs_.size();
+    }
+
+  private:
+    VectorClock &
+    clockOf(ThreadId tid)
+    {
+        if (tid >= clocks_.size())
+            clocks_.resize(tid + 1);
+        VectorClock &vc = clocks_[tid];
+        if (vc.size() <= tid)
+            vc.resize(tid + 1, 0);
+        if (vc[tid] == 0)
+            vc[tid] = 1; // thread birth
+        return vc;
+    }
+
+    void
+    tick(ThreadId tid)
+    {
+        ++clockOf(tid)[tid];
+    }
+
+    /** True iff epoch (e.tid, e.clk) happened before tid's present. */
+    bool
+    ordered(const VectorClock &vc, const Epoch &e) const
+    {
+        return e.tid < vc.size() && vc[e.tid] >= e.clk;
+    }
+
+    void
+    report(const char *what, uint64_t granule, const Epoch &prev,
+           size_t idx, const Record &rec, uint64_t &counter)
+    {
+        ++counter;
+        const auto pair = std::make_pair(prev.pc, rec.pc);
+        if (!racyPairs_.insert(pair).second)
+            return; // keep one sample per static pair
+        if (result_.samples.size() < options_.maxFindings) {
+            result_.samples.push_back(format(
+                "%s race on bytes [0x%llx, +8): record %zu (pc%llu, "
+                "tid %u) vs record %zu (pc%llu, tid %u), unordered by "
+                "any futex or channel",
+                what,
+                static_cast<unsigned long long>(granule << 3), prev.idx,
+                static_cast<unsigned long long>(prev.pc), prev.tid, idx,
+                static_cast<unsigned long long>(rec.pc), rec.tid));
+        }
+    }
+
+    void
+    access(size_t idx, const Record &rec, uint64_t addr, uint64_t size,
+           bool is_write)
+    {
+        if (size == 0)
+            return;
+        ++result_.accessesChecked;
+        VectorClock &vc = clockOf(rec.tid);
+        const Epoch self{rec.tid, vc[rec.tid], idx, rec.pc, true};
+        const uint64_t first = addr >> 3;
+        const uint64_t last = (addr + size - 1) >> 3;
+        for (uint64_t g = first; g <= last; ++g) {
+            Granule &gran = shadow_[g];
+            const Epoch &w = gran.lastWrite;
+            if (w.valid && w.tid != rec.tid && !ordered(vc, w)) {
+                report(is_write ? "write/write" : "read/write", g, w,
+                       idx, rec,
+                       is_write ? result_.writeWriteRaces
+                                : result_.readWriteRaces);
+            }
+            if (is_write) {
+                for (const Epoch &r : gran.lastReads) {
+                    if (r.tid != rec.tid && !ordered(vc, r))
+                        report("read/write", g, r, idx, rec,
+                               result_.readWriteRaces);
+                }
+                gran.lastWrite = self;
+                gran.lastReads.clear();
+            } else {
+                bool replaced = false;
+                for (Epoch &r : gran.lastReads) {
+                    if (r.tid == rec.tid) {
+                        r = self;
+                        replaced = true;
+                        break;
+                    }
+                }
+                if (!replaced)
+                    gran.lastReads.push_back(self);
+            }
+        }
+    }
+
+    /** Lock-style synchronization object keyed by address or channel. */
+    void
+    acquireRelease(ThreadId tid, VectorClock &sync)
+    {
+        VectorClock &vc = clockOf(tid);
+        joinInto(vc, sync);
+        sync = vc;
+        ++vc[tid];
+        ++result_.acquires;
+        ++result_.releases;
+    }
+
+    void
+    step(size_t idx, const Record &rec)
+    {
+        switch (rec.kind) {
+          case RecordKind::Load:
+            access(idx, rec, rec.addr, rec.aux, false);
+            break;
+
+          case RecordKind::Store:
+            access(idx, rec, rec.addr, rec.aux, true);
+            break;
+
+          case RecordKind::Call:
+          case RecordKind::Ret:
+            tick(rec.tid);
+            break;
+
+          case RecordKind::Syscall:
+            if (rec.tid >= pendingFutex_.size())
+                pendingFutex_.resize(rec.tid + 1, 0);
+            pendingFutex_[rec.tid] = (rec.aux == kFutexNr);
+            switch (rec.aux) {
+              case kSendtoNr:
+              case kSendmsgNr: {
+                // Release onto the channel shared with the matching
+                // receive syscall (numbers pair as send = recv & ~1).
+                VectorClock &vc = clockOf(rec.tid);
+                joinInto(channels_[rec.aux], vc);
+                ++vc[rec.tid];
+                ++result_.releases;
+                break;
+              }
+              case kRecvfromNr:
+              case kRecvmsgNr: {
+                VectorClock &vc = clockOf(rec.tid);
+                joinInto(vc, channels_[rec.aux & ~1u]);
+                ++vc[rec.tid];
+                ++result_.acquires;
+                break;
+              }
+              default:
+                break;
+            }
+            break;
+
+          case RecordKind::SyscallRead:
+            if (rec.tid < pendingFutex_.size() &&
+                pendingFutex_[rec.tid]) {
+                // The futex word's address identifies the lock; wait
+                // and wake both pass through it, so lock semantics
+                // (join, publish, tick) order the two sides.
+                acquireRelease(rec.tid, futexes_[rec.addr]);
+                pendingFutex_[rec.tid] = 0;
+            }
+            access(idx, rec, rec.addr, rec.aux, false);
+            break;
+
+          case RecordKind::SyscallWrite:
+            access(idx, rec, rec.addr, rec.aux, true);
+            break;
+
+          default:
+            break;
+        }
+
+        // Pseudo-records must trail a syscall of the same thread.
+        if (rec.tid >= inEffectRun_.size())
+            inEffectRun_.resize(rec.tid + 1, 0);
+        if (rec.isPseudo()) {
+            if (!inEffectRun_[rec.tid]) {
+                result_.findings.add(format(
+                    "record %zu: %s pseudo-record with no preceding "
+                    "syscall on tid %u",
+                    idx,
+                    rec.kind == RecordKind::SyscallRead ? "SyscallRead"
+                                                        : "SyscallWrite",
+                    rec.tid));
+            }
+        } else {
+            inEffectRun_[rec.tid] = rec.kind == RecordKind::Syscall;
+        }
+    }
+
+    std::span<const Record> records_;
+    const RaceOptions &options_;
+    RaceResult &result_;
+
+    std::vector<VectorClock> clocks_;             ///< [tid]
+    std::unordered_map<uint64_t, Granule> shadow_; ///< granule -> state
+    std::unordered_map<uint64_t, VectorClock> futexes_;
+    std::unordered_map<uint32_t, VectorClock> channels_;
+    std::vector<uint8_t> pendingFutex_; ///< [tid]
+    std::vector<uint8_t> inEffectRun_;  ///< [tid] syscall/pseudo run
+    std::set<std::pair<trace::Pc, trace::Pc>> racyPairs_;
+};
+
+} // namespace
+
+RaceResult
+detectRaces(std::span<const Record> records, const RaceOptions &options)
+{
+    RaceResult result;
+    Detector detector(records, options, result);
+    detector.run();
+    return result;
+}
+
+} // namespace check
+} // namespace webslice

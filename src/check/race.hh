@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Trace race detector: vector-clock happens-before over the record
+ * streams.
+ *
+ * The paper serializes thread execution when replaying slices, implicitly
+ * assuming the recorded interleaving is the only ordering evidence
+ * available. This pass quantifies that assumption: it runs a
+ * FastTrack-style happens-before analysis over the per-thread streams,
+ * using the trace's only visible synchronization — futex system calls
+ * (lock semantics on the futex word's address) and socket send/receive
+ * pairs (release/acquire on a per-direction channel) — plus a per-thread
+ * logical tick at every Call and Ret.
+ *
+ * Conflicting accesses not ordered by that relation are reported at
+ * 8-byte granule granularity. Races here are *evidence*, not necessarily
+ * bugs: the simulated browser's mutexes intentionally spin on plain
+ * loads/stores and only fall back to futex occasionally, so unordered
+ * conflicts are expected — which is exactly why downstream consumers must
+ * treat the trace as one serialized interleaving rather than reordering
+ * it, supporting the paper's single-core replay assumption.
+ */
+
+#ifndef WEBSLICE_CHECK_RACE_HH
+#define WEBSLICE_CHECK_RACE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "check/findings.hh"
+#include "trace/record.hh"
+
+namespace webslice {
+namespace check {
+
+struct RaceOptions
+{
+    /** Keep at most this many race samples and malformed-trace findings. */
+    size_t maxFindings = 16;
+
+    /** Analyze records [0, windowEnd) only. */
+    size_t windowEnd = std::numeric_limits<size_t>::max();
+};
+
+struct RaceResult
+{
+    /** Malformed-trace problems only (orphan pseudo-records and the
+     *  like); data races are reported through the fields below. */
+    Findings findings;
+
+    /** Representative race reports, one per distinct (pc, pc) pair. */
+    std::vector<std::string> samples;
+
+    uint64_t accessesChecked = 0;
+    uint64_t granulesTracked = 0;
+    uint64_t acquires = 0;
+    uint64_t releases = 0;
+    uint64_t writeWriteRaces = 0;
+    uint64_t readWriteRaces = 0;
+
+    /** Distinct unordered (writer pc, accessor pc) pairs. */
+    uint64_t racyPcPairs = 0;
+
+    bool anyRaces() const
+    {
+        return writeWriteRaces + readWriteRaces > 0;
+    }
+
+    bool ok() const { return findings.ok(); }
+};
+
+/** Run the happens-before analysis over the trace. */
+RaceResult detectRaces(std::span<const trace::Record> records,
+                       const RaceOptions &options = {});
+
+} // namespace check
+} // namespace webslice
+
+#endif // WEBSLICE_CHECK_RACE_HH

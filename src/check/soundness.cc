@@ -1,0 +1,517 @@
+#include "check/soundness.hh"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "support/rng.hh"
+#include "support/strings.hh"
+
+namespace webslice {
+namespace check {
+
+using slicer::CriteriaMode;
+using trace::Record;
+using trace::RecordKind;
+using trace::RegId;
+
+namespace {
+
+const char *
+kindName(RecordKind kind)
+{
+    switch (kind) {
+      case RecordKind::Alu: return "Alu";
+      case RecordKind::LoadImm: return "LoadImm";
+      case RecordKind::Load: return "Load";
+      case RecordKind::Store: return "Store";
+      case RecordKind::Branch: return "Branch";
+      case RecordKind::Jump: return "Jump";
+      case RecordKind::Call: return "Call";
+      case RecordKind::Ret: return "Ret";
+      case RecordKind::Syscall: return "Syscall";
+      case RecordKind::SyscallRead: return "SyscallRead";
+      case RecordKind::SyscallWrite: return "SyscallWrite";
+      case RecordKind::Marker: return "Marker";
+    }
+    return "?";
+}
+
+/** Counters filled by the main replay (probes pass nullptr). */
+struct ReplayCounters
+{
+    uint64_t recordsReplayed = 0;
+    uint64_t inSliceReplayed = 0;
+    uint64_t criteriaBytesChecked = 0;
+    uint64_t criteriaBytesPristine = 0;
+    uint64_t valueBytesCompared = 0;
+};
+
+enum : uint8_t
+{
+    kRegPristine = 0,
+    kRegClean = 1,
+    kRegDirty = 2,
+};
+
+/**
+ * The provenance core. Replays records[0, windowEnd) under the given
+ * per-record verdict and returns the number of violations. `findings`
+ * and `counters` may be null (minimality probes run silently);
+ * `stop_at_first` lets probes bail at the first violation.
+ */
+class ProvenanceReplay
+{
+  public:
+    ProvenanceReplay(std::span<const Record> records, size_t window_end,
+                     const trace::CriteriaSet &criteria, CriteriaMode mode,
+                     const uint8_t *verdicts, size_t dropped_index,
+                     const trace::ValueLog *values, Findings *findings,
+                     ReplayCounters *counters, bool stop_at_first)
+        : records_(records), windowEnd_(window_end), criteria_(criteria),
+          mode_(mode), verdicts_(verdicts), droppedIndex_(dropped_index),
+          values_(values), findings_(findings), counters_(counters),
+          stopAtFirst_(stop_at_first)
+    {
+    }
+
+    uint64_t
+    run()
+    {
+        for (size_t idx = 0; idx < windowEnd_; ++idx) {
+            step(idx, records_[idx]);
+            if (stopAtFirst_ && violations_ > 0)
+                break;
+        }
+        return violations_;
+    }
+
+  private:
+    bool
+    inSlice(size_t idx) const
+    {
+        return idx != droppedIndex_ && verdicts_[idx] != 0;
+    }
+
+    void
+    violate(std::string message)
+    {
+        ++violations_;
+        if (findings_)
+            findings_->add(std::move(message));
+    }
+
+    std::vector<uint8_t> &
+    regStateFor(trace::ThreadId tid)
+    {
+        if (tid >= regState_.size()) {
+            regState_.resize(tid + 1);
+            regWriter_.resize(tid + 1);
+        }
+        return regState_[tid];
+    }
+
+    void
+    setReg(trace::ThreadId tid, RegId reg, uint8_t state, size_t writer)
+    {
+        if (reg == trace::kNoReg)
+            return;
+        auto &regs = regStateFor(tid);
+        if (reg >= regs.size()) {
+            regs.resize(reg + 1, kRegPristine);
+            regWriter_[tid].resize(reg + 1, 0);
+        }
+        regs[reg] = state;
+        regWriter_[tid][reg] = writer;
+    }
+
+    /** In-slice read of a register: must not be DIRTY. */
+    void
+    checkReg(size_t idx, const Record &rec, RegId reg)
+    {
+        if (reg == trace::kNoReg)
+            return;
+        auto &regs = regStateFor(rec.tid);
+        if (reg >= regs.size() || regs[reg] != kRegDirty)
+            return;
+        violate(format("record %zu (%s pc%llu): in-slice read of r%u, "
+                       "whose last writer (record %zu) is not in the "
+                       "slice",
+                       idx, kindName(rec.kind),
+                       static_cast<unsigned long long>(rec.pc), reg,
+                       regWriter_[rec.tid][reg]));
+    }
+
+    void
+    setMem(size_t idx, uint64_t addr, uint64_t size, bool dirty)
+    {
+        for (uint64_t i = 0; i < size; ++i) {
+            mem_[addr + i] = (static_cast<uint64_t>(idx) << 1) |
+                             (dirty ? 1 : 0);
+        }
+    }
+
+    /**
+     * In-slice read of a memory range: no byte may be DIRTY. When
+     * `criterion` is set, checked/pristine byte counts accrue.
+     */
+    void
+    checkMem(size_t idx, const Record &rec, uint64_t addr, uint64_t size,
+             bool criterion, const char *what)
+    {
+        uint64_t pristine = 0;
+        bool flagged = false;
+        for (uint64_t i = 0; i < size; ++i) {
+            auto it = mem_.find(addr + i);
+            if (it == mem_.end()) {
+                ++pristine;
+                continue;
+            }
+            if ((it->second & 1) && !flagged) {
+                // One violation per range, naming the first bad byte.
+                violate(format(
+                    "record %zu (%s pc%llu): %s byte 0x%llx was last "
+                    "written by record %zu, which is not in the slice",
+                    idx, kindName(rec.kind),
+                    static_cast<unsigned long long>(rec.pc), what,
+                    static_cast<unsigned long long>(addr + i),
+                    static_cast<size_t>(it->second >> 1)));
+                flagged = true;
+            }
+        }
+        if (criterion && counters_) {
+            counters_->criteriaBytesChecked += size;
+            counters_->criteriaBytesPristine += pristine;
+        }
+    }
+
+    /** In-slice store: materialize the written value into the shadow. */
+    void
+    writeShadowValue(uint64_t addr, uint64_t size, uint64_t value)
+    {
+        const uint64_t bytes = std::min<uint64_t>(size, 8);
+        for (uint64_t i = 0; i < bytes; ++i)
+            shadow_[addr + i] = static_cast<uint8_t>(value >> (8 * i));
+    }
+
+    void
+    writeShadowBlob(size_t idx, uint64_t addr, uint64_t size)
+    {
+        const std::vector<uint8_t> *blob = values_->blobAt(idx);
+        if (!blob) {
+            violate(format("value log has no snapshot for syscall-write "
+                           "record %zu", idx));
+            return;
+        }
+        if (blob->size() != size) {
+            violate(format("value log snapshot for record %zu holds %zu "
+                           "bytes, expected %llu", idx, blob->size(),
+                           static_cast<unsigned long long>(size)));
+            return;
+        }
+        for (uint64_t i = 0; i < size; ++i)
+            shadow_[addr + i] = (*blob)[i];
+    }
+
+    /**
+     * Compare a recorded criterion snapshot against the shadow memory
+     * wherever provenance is CLEAN (DIRTY bytes were already flagged;
+     * PRISTINE bytes were never recomputed, so there is nothing to
+     * compare).
+     */
+    void
+    compareBlob(size_t idx, const Record &rec,
+                const std::vector<uint8_t> &blob, uint64_t blob_offset,
+                uint64_t addr, uint64_t size)
+    {
+        for (uint64_t i = 0; i < size; ++i) {
+            auto it = mem_.find(addr + i);
+            if (it == mem_.end() || (it->second & 1))
+                continue;
+            auto sh = shadow_.find(addr + i);
+            if (sh == shadow_.end())
+                continue; // store wider than 8 bytes; value untracked
+            if (counters_)
+                ++counters_->valueBytesCompared;
+            if (sh->second != blob[blob_offset + i]) {
+                violate(format(
+                    "record %zu (%s pc%llu): criterion byte 0x%llx is "
+                    "0x%02x in the value log but in-slice replay "
+                    "produced 0x%02x (writer record %zu)",
+                    idx, kindName(rec.kind),
+                    static_cast<unsigned long long>(rec.pc),
+                    static_cast<unsigned long long>(addr + i),
+                    blob[blob_offset + i], sh->second,
+                    static_cast<size_t>(it->second >> 1)));
+                return; // one mismatch per snapshot keeps reports pointed
+            }
+        }
+    }
+
+    /** Criterion snapshot lookup with size validation; null when absent. */
+    const std::vector<uint8_t> *
+    criterionBlob(size_t idx, uint64_t expected_size)
+    {
+        if (!values_)
+            return nullptr;
+        const std::vector<uint8_t> *blob = values_->blobAt(idx);
+        if (!blob) {
+            violate(format("value log has no criterion snapshot for "
+                           "record %zu", idx));
+            return nullptr;
+        }
+        if (blob->size() != expected_size) {
+            violate(format("criterion snapshot for record %zu holds %zu "
+                           "bytes, expected %llu", idx, blob->size(),
+                           static_cast<unsigned long long>(
+                               expected_size)));
+            return nullptr;
+        }
+        return blob;
+    }
+
+    uint8_t
+    syscallVerdict(trace::ThreadId tid) const
+    {
+        return tid < syscallVerdict_.size() ? syscallVerdict_[tid] : 0;
+    }
+
+    void
+    step(size_t idx, const Record &rec)
+    {
+        const bool in = inSlice(idx);
+        if (counters_) {
+            ++counters_->recordsReplayed;
+            if (in)
+                ++counters_->inSliceReplayed;
+        }
+
+        switch (rec.kind) {
+          case RecordKind::Alu:
+          case RecordKind::LoadImm:
+            if (in) {
+                checkReg(idx, rec, rec.rr0);
+                checkReg(idx, rec, rec.rr1);
+                checkReg(idx, rec, rec.rr2);
+            }
+            setReg(rec.tid, rec.rw, in ? kRegClean : kRegDirty, idx);
+            break;
+
+          case RecordKind::Load:
+            if (in) {
+                checkReg(idx, rec, rec.rr0);
+                checkMem(idx, rec, rec.addr, rec.aux, false, "loaded");
+            }
+            setReg(rec.tid, rec.rw, in ? kRegClean : kRegDirty, idx);
+            break;
+
+          case RecordKind::Store:
+            if (in) {
+                checkReg(idx, rec, rec.rr0);
+                checkReg(idx, rec, rec.rr1);
+                if (values_)
+                    writeShadowValue(rec.addr, rec.aux,
+                                     values_->valueAt(idx));
+            }
+            setMem(idx, rec.addr, rec.aux, !in);
+            break;
+
+          case RecordKind::Branch:
+            if (in)
+                checkReg(idx, rec, rec.rr0);
+            break;
+
+          case RecordKind::Jump:
+          case RecordKind::Ret:
+            break;
+
+          case RecordKind::Call:
+            if (in && rec.indirect())
+                checkReg(idx, rec, rec.rr0);
+            break;
+
+          case RecordKind::Syscall:
+            if (rec.tid >= syscallVerdict_.size())
+                syscallVerdict_.resize(rec.tid + 1, 0);
+            syscallVerdict_[rec.tid] = in ? 1 : 0;
+            setReg(rec.tid, rec.rw, in ? kRegClean : kRegDirty, idx);
+            if (mode_ == CriteriaMode::Syscalls && !in) {
+                violate(format("record %zu (Syscall %u pc%llu): not in "
+                               "the slice although every syscall is a "
+                               "criterion in syscall mode",
+                               idx, rec.aux,
+                               static_cast<unsigned long long>(rec.pc)));
+            }
+            break;
+
+          case RecordKind::SyscallRead:
+            if (syscallVerdict(rec.tid)) {
+                checkMem(idx, rec, rec.addr, rec.aux,
+                         mode_ == CriteriaMode::Syscalls,
+                         "syscall-read");
+                if (mode_ == CriteriaMode::Syscalls) {
+                    if (const auto *blob = criterionBlob(idx, rec.aux))
+                        compareBlob(idx, rec, *blob, 0, rec.addr,
+                                    rec.aux);
+                }
+            }
+            break;
+
+          case RecordKind::SyscallWrite: {
+            const bool sys_in = syscallVerdict(rec.tid) != 0;
+            if (sys_in && values_)
+                writeShadowBlob(idx, rec.addr, rec.aux);
+            setMem(idx, rec.addr, rec.aux, !sys_in);
+            break;
+          }
+
+          case RecordKind::Marker:
+            if (mode_ != CriteriaMode::PixelBuffer)
+                break;
+            {
+                const auto &ranges = criteria_.forMarker(rec.aux);
+                if (ranges.empty())
+                    break;
+                if (!in) {
+                    violate(format(
+                        "record %zu (Marker %u): carries criterion "
+                        "ranges but is not in the slice",
+                        idx, rec.aux));
+                }
+                uint64_t total = 0;
+                for (const auto &range : ranges)
+                    total += range.size;
+                const std::vector<uint8_t> *blob =
+                    criterionBlob(idx, total);
+                uint64_t offset = 0;
+                for (const auto &range : ranges) {
+                    checkMem(idx, rec, range.addr, range.size, true,
+                             "criterion");
+                    if (blob)
+                        compareBlob(idx, rec, *blob, offset, range.addr,
+                                    range.size);
+                    offset += range.size;
+                }
+            }
+            break;
+        }
+    }
+
+    std::span<const Record> records_;
+    size_t windowEnd_;
+    const trace::CriteriaSet &criteria_;
+    CriteriaMode mode_;
+    const uint8_t *verdicts_;
+    size_t droppedIndex_;
+    const trace::ValueLog *values_;
+    Findings *findings_;
+    ReplayCounters *counters_;
+    bool stopAtFirst_;
+
+    uint64_t violations_ = 0;
+
+    /** byte address -> (last writer record index << 1) | dirty. */
+    std::unordered_map<uint64_t, uint64_t> mem_;
+
+    /** Shadow bytes re-materialized from in-slice writes (value log). */
+    std::unordered_map<uint64_t, uint8_t> shadow_;
+
+    std::vector<std::vector<uint8_t>> regState_;   ///< [tid][reg]
+    std::vector<std::vector<uint64_t>> regWriter_; ///< [tid][reg]
+    std::vector<uint8_t> syscallVerdict_;          ///< [tid]
+};
+
+} // namespace
+
+SoundnessResult
+checkSliceSoundness(std::span<const Record> records,
+                    const slicer::SliceResult &slice,
+                    const trace::CriteriaSet &criteria,
+                    const trace::ValueLog *values,
+                    const SoundnessOptions &options)
+{
+    SoundnessResult result;
+    result.findings.cap = options.maxFindings;
+
+    if (slice.inSlice.size() != records.size()) {
+        result.findings.add(format(
+            "slice carries %zu verdicts for %zu records",
+            slice.inSlice.size(), records.size()));
+        return result;
+    }
+    if (values && values->values.size() != records.size()) {
+        result.findings.add(format(
+            "value log carries %zu entries for %zu records",
+            values->values.size(), records.size()));
+        return result;
+    }
+    const size_t window_end = std::min<size_t>(
+        slice.analyzedWindowEnd, records.size());
+
+    ReplayCounters counters;
+    ProvenanceReplay main_replay(
+        records, window_end, criteria, options.mode,
+        slice.inSlice.data(), records.size(), values, &result.findings,
+        &counters, /*stop_at_first=*/false);
+    main_replay.run();
+    result.recordsReplayed = counters.recordsReplayed;
+    result.inSliceReplayed = counters.inSliceReplayed;
+    result.criteriaBytesChecked = counters.criteriaBytesChecked;
+    result.criteriaBytesPristine = counters.criteriaBytesPristine;
+    result.valueBytesCompared = counters.valueBytesCompared;
+
+    if (options.minimalityProbes == 0)
+        return result;
+
+    // Candidates: in-slice data-flow records inside the window. Every
+    // such record has a live consumer by construction, so dropping it
+    // must surface as a provenance violation — a silent probe means the
+    // replay cannot justify the record's membership.
+    std::vector<size_t> candidates;
+    for (size_t idx = 0; idx < window_end; ++idx) {
+        if (!slice.inSlice[idx])
+            continue;
+        switch (records[idx].kind) {
+          case RecordKind::Alu:
+          case RecordKind::LoadImm:
+          case RecordKind::Load:
+          case RecordKind::Store:
+            candidates.push_back(idx);
+            break;
+          default:
+            break;
+        }
+    }
+
+    Rng rng(options.probeSeed);
+    const size_t probes =
+        std::min(options.minimalityProbes, candidates.size());
+    for (size_t p = 0; p < probes; ++p) {
+        // Partial Fisher-Yates: candidate p is drawn from [p, end).
+        const size_t pick =
+            p + static_cast<size_t>(rng.below(candidates.size() - p));
+        std::swap(candidates[p], candidates[pick]);
+        const size_t dropped = candidates[p];
+
+        ProvenanceReplay probe(
+            records, window_end, criteria, options.mode,
+            slice.inSlice.data(), dropped, /*values=*/nullptr,
+            /*findings=*/nullptr, /*counters=*/nullptr,
+            /*stop_at_first=*/true);
+        ++result.probesRun;
+        if (probe.run() > 0) {
+            ++result.probesConfirmed;
+        } else {
+            result.findings.add(format(
+                "minimality probe: dropping in-slice record %zu (%s "
+                "pc%llu) left every criterion byte clean — the replay "
+                "cannot justify its membership",
+                dropped, kindName(records[dropped].kind),
+                static_cast<unsigned long long>(records[dropped].pc)));
+        }
+    }
+    return result;
+}
+
+} // namespace check
+} // namespace webslice

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Slice soundness checker: forward provenance replay.
+ *
+ * A backward slice is sound when re-executing only the in-slice
+ * instructions reproduces every criterion value bit-identically. Rather
+ * than literally re-executing (suppressed instructions would desynchronize
+ * the machine), the checker replays the trace forward tracking, for every
+ * byte and register, whether its last writer was in the slice:
+ *
+ *   PRISTINE  never written inside the analyzed window,
+ *   CLEAN     last writer was in the slice,
+ *   DIRTY     last writer was dropped from the slice.
+ *
+ * If no in-slice instruction ever reads a DIRTY location, and no criterion
+ * byte (pixel-buffer contents at a Marker, or an in-slice syscall's read
+ * ranges) is DIRTY when consumed, then by induction the filtered
+ * re-execution computes exactly the recorded values — the slice is sound.
+ * Every violation message names the out-of-slice writer record, so a bad
+ * verdict is a one-hop diagnosis.
+ *
+ * With a value log recorded alongside the trace, the checker additionally
+ * re-materializes in-slice stores and syscall writes into a shadow memory
+ * and compares criterion snapshots byte-for-byte wherever provenance is
+ * CLEAN — a defense against corrupted artifacts that provenance alone
+ * (which trusts the recorded values) cannot see.
+ *
+ * The optional minimality probe drops one randomly chosen in-slice
+ * instruction and re-runs the provenance core, expecting a violation: if
+ * dropping an instruction leaves every criterion clean, the slicer
+ * included it for no reason the replay can observe. Probes only sample
+ * data-flow kinds (Alu, LoadImm, Load, Store); a dropped branch is not
+ * guaranteed to surface through data provenance.
+ */
+
+#ifndef WEBSLICE_CHECK_SOUNDNESS_HH
+#define WEBSLICE_CHECK_SOUNDNESS_HH
+
+#include <cstdint>
+#include <span>
+
+#include "check/findings.hh"
+#include "slicer/slicer.hh"
+#include "trace/criteria.hh"
+#include "trace/record.hh"
+#include "trace/value_log.hh"
+
+namespace webslice {
+namespace check {
+
+struct SoundnessOptions
+{
+    /** Criteria mode the slice was computed under. */
+    slicer::CriteriaMode mode = slicer::CriteriaMode::PixelBuffer;
+
+    /** Keep at most this many finding messages. */
+    size_t maxFindings = 24;
+
+    /** Number of drop-one minimality probes to run (0 = none). */
+    size_t minimalityProbes = 0;
+
+    /** Seed for the probe sampler (deterministic for a given seed). */
+    uint64_t probeSeed = 0x9e3779b97f4a7c15ull;
+};
+
+struct SoundnessResult
+{
+    Findings findings;
+
+    /** Records replayed in the analyzed window. */
+    uint64_t recordsReplayed = 0;
+
+    /** Window records the slice marked in-slice. */
+    uint64_t inSliceReplayed = 0;
+
+    /** Criterion bytes whose provenance was checked. */
+    uint64_t criteriaBytesChecked = 0;
+
+    /** Criterion bytes never written inside the window (environment
+     *  state; trusted by assumption, counted for visibility). */
+    uint64_t criteriaBytesPristine = 0;
+
+    /** Criterion bytes additionally compared against the value log. */
+    uint64_t valueBytesCompared = 0;
+
+    uint64_t probesRun = 0;
+
+    /** Probes whose dropped instruction was detected by the replay. */
+    uint64_t probesConfirmed = 0;
+
+    bool ok() const { return findings.ok(); }
+};
+
+/**
+ * Verify `slice` against the trace it was computed from.
+ *
+ * @param records   the dynamic trace (full array; the checker replays
+ *                  the slice's analyzed window prefix)
+ * @param slice     the backward-pass output under audit
+ * @param criteria  the criteria sidecar the slice was computed with
+ * @param values    optional recorded value log for bit-exact criterion
+ *                  comparison; nullptr checks provenance only
+ */
+SoundnessResult checkSliceSoundness(std::span<const trace::Record> records,
+                                    const slicer::SliceResult &slice,
+                                    const trace::CriteriaSet &criteria,
+                                    const trace::ValueLog *values = nullptr,
+                                    const SoundnessOptions &options = {});
+
+} // namespace check
+} // namespace webslice
+
+#endif // WEBSLICE_CHECK_SOUNDNESS_HH

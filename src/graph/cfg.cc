@@ -94,6 +94,7 @@ CfgBuilder::topFrame(trace::ThreadId tid)
         out_.syntheticNames[synthetic] = format("<toplevel:tid%u>", tid);
         cfgFor(synthetic);
         stack.push_back(Frame{synthetic, Cfg::kEntry});
+        ++out_.stats.framesOpened;
     }
     return stack.back();
 }
@@ -125,6 +126,8 @@ CfgBuilder::feed(const Record &rec)
         return;
     }
 
+    ++out_.stats.transitionsObserved;
+
     switch (rec.kind) {
       case RecordKind::Call: {
         // The call instruction itself belongs to the caller.
@@ -141,6 +144,7 @@ CfgBuilder::feed(const Record &rec)
         }
         cfgFor(callee);
         threads_[rec.tid].push_back(Frame{callee, kNoNode});
+        ++out_.stats.framesOpened;
         break;
       }
 
@@ -160,6 +164,7 @@ CfgBuilder::feed(const Record &rec)
         cfg.addEdge(node, Cfg::kExit);
         out_.funcOf.push_back(frame.func);
         stack.pop_back();
+        ++out_.stats.framesClosed;
         break;
       }
 
@@ -179,6 +184,7 @@ CfgBuilder::finish()
     // Close any frames still open at the end of the trace so every node
     // can reach the virtual exit (postdominators need this).
     for (auto &kv : threads_) {
+        out_.stats.framesOpenAtEnd += kv.second.size();
         for (auto it = kv.second.rbegin(); it != kv.second.rend(); ++it) {
             Cfg &cfg = out_.byFunc.at(it->func);
             const NodeId from =
@@ -256,6 +262,7 @@ ParallelCfgBuilder::topFrame(trace::ThreadId tid)
         out_.syntheticNames[synthetic] = format("<toplevel:tid%u>", tid);
         touchFunc(synthetic);
         stack.push_back(Frame{synthetic, trace::kNoPc});
+        ++out_.stats.framesOpened;
     }
     return stack.back();
 }
@@ -287,6 +294,8 @@ ParallelCfgBuilder::feed(const Record &rec)
         return;
     }
 
+    ++out_.stats.transitionsObserved;
+
     switch (rec.kind) {
       case RecordKind::Call: {
         // The call instruction itself belongs to the caller.
@@ -302,6 +311,7 @@ ParallelCfgBuilder::feed(const Record &rec)
         }
         touchFunc(callee);
         threads_[rec.tid].push_back(Frame{callee, trace::kNoPc});
+        ++out_.stats.framesOpened;
         cacheTid_ = rec.tid;
         cacheFrame_ = &threads_[rec.tid].back();
         cacheStream_ = &funcs_[callee];
@@ -319,6 +329,7 @@ ParallelCfgBuilder::feed(const Record &rec)
         funcs_[frame.func].emit(frame.lastPc, rec.pc, kTransRet);
         out_.funcOf.push_back(frame.func);
         stack.pop_back();
+        ++out_.stats.framesClosed;
         cacheTid_ = rec.tid;
         cacheFrame_ = stack.empty() ? nullptr : &stack.back();
         cacheStream_ =
@@ -497,6 +508,7 @@ ParallelCfgBuilder::feedAll(std::span<const Record> records, int jobs)
                 func_of[idx] = idx ? func_of[idx - 1] : trace::kNoFunc;
                 continue;
             }
+            ++out_.stats.transitionsObserved;
             switch (rec.kind) {
               case RecordKind::Call: {
                 func_of[idx] = step(rec.tid, rec.pc, false);
@@ -510,6 +522,7 @@ ParallelCfgBuilder::feedAll(std::span<const Record> records, int jobs)
                 }
                 touchFunc(callee);
                 threads_[rec.tid].push_back(Frame{callee, trace::kNoPc});
+                ++out_.stats.framesOpened;
                 cacheTid_ = rec.tid;
                 cacheFrame_ = &threads_[rec.tid].back();
                 cacheStream_ = &funcs_[callee];
@@ -526,6 +539,7 @@ ParallelCfgBuilder::feedAll(std::span<const Record> records, int jobs)
                 funcs_[frame.func].emit(frame.lastPc, rec.pc, kTransRet);
                 func_of[idx] = frame.func;
                 stack.pop_back();
+                ++out_.stats.framesClosed;
                 cacheTid_ = rec.tid;
                 cacheFrame_ = stack.empty() ? nullptr : &stack.back();
                 cacheStream_ =
@@ -580,6 +594,7 @@ ParallelCfgBuilder::feedAll(std::span<const Record> records, int jobs)
                 touchFunc(synthetic);
                 shard_states[w].preallocated.push_back(synthetic);
                 stack.push_back(Frame{synthetic, trace::kNoPc});
+                ++out_.stats.framesOpened;
             };
 
         for (size_t idx = 0; idx < records.size(); ++idx) {
@@ -596,6 +611,7 @@ ParallelCfgBuilder::feedAll(std::span<const Record> records, int jobs)
             const Record &rec = records[idx];
             if (rec.isPseudo())
                 continue;
+            ++out_.stats.transitionsObserved;
             if (rec.tid >= stacks.size())
                 stacks.resize(rec.tid + 1);
             auto &stack = stacks[rec.tid];
@@ -616,6 +632,7 @@ ParallelCfgBuilder::feedAll(std::span<const Record> records, int jobs)
                 }
                 touchFunc(callee);
                 stack.push_back(Frame{callee, trace::kNoPc});
+                ++out_.stats.framesOpened;
                 break;
               }
 
@@ -625,6 +642,7 @@ ParallelCfgBuilder::feedAll(std::span<const Record> records, int jobs)
                     stack.back().lastPc = rec.pc;
                 } else {
                     stack.pop_back();
+                    ++out_.stats.framesClosed;
                 }
                 break;
 
@@ -710,6 +728,7 @@ ParallelCfgBuilder::finish(int jobs)
     // Close frames still open at the end of the trace (mirrors
     // CfgBuilder::finish so every node can reach the virtual exit).
     for (auto &stack : threads_) {
+        out_.stats.framesOpenAtEnd += stack.size();
         for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
             funcs_[it->func].steps.push_back(
                 Transition{it->lastPc, trace::kNoPc, kTransClose});

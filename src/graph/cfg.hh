@@ -68,6 +68,26 @@ struct Cfg
 /** The full set of per-function CFGs plus per-record attribution. */
 struct CfgSet
 {
+    /**
+     * Feed-level totals, defined purely in terms of the record stream so
+     * both builders fill them identically. The verification layer's
+     * graph linter recomputes each from the raw trace and diffs — a
+     * mismatch means the builder dropped or duplicated work.
+     */
+    struct Stats
+    {
+        /** Non-pseudo records fed (each drives one CFG transition). */
+        uint64_t transitionsObserved = 0;
+        /** Call pushes plus synthetic-toplevel frame creations. */
+        uint64_t framesOpened = 0;
+        /** Ret records that popped a matching frame. */
+        uint64_t framesClosed = 0;
+        /** Frames still open when finish() closed them out. */
+        uint64_t framesOpenAtEnd = 0;
+    };
+
+    Stats stats;
+
     /** CFGs keyed by function id (including synthetic toplevels). */
     std::unordered_map<trace::FuncId, Cfg> byFunc;
 

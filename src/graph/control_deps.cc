@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <fstream>
+#include <sstream>
 
 #include "graph/postdom.hh"
 #include "support/logging.hh"
@@ -70,6 +71,21 @@ ControlDepMap::pairCount() const
     return total;
 }
 
+std::vector<std::tuple<FuncId, Pc, Pc>>
+ControlDepMap::allPairs() const
+{
+    std::vector<std::tuple<FuncId, Pc, Pc>> out;
+    out.reserve(pairCount());
+    for (const auto &kv : deps_) {
+        const auto func = static_cast<FuncId>(kv.first >> 32);
+        const auto pc = static_cast<Pc>(kv.first & 0xFFFFFFFFull);
+        for (const Pc branch : kv.second)
+            out.emplace_back(func, pc, branch);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
 void
 ControlDepMap::save(const std::string &path) const
 {
@@ -91,23 +107,51 @@ ControlDepMap::load(const std::string &path)
 {
     std::ifstream in(path);
     fatal_if(!in, "cannot read control-dependence map from ", path);
-    std::string magic;
-    int version = 0;
-    in >> magic >> version;
-    fatal_if(magic != "webcdg" || version != 1,
-             "bad control-dependence map header in ", path);
+
+    // Line-based parsing so a malformed entry mid-file fails loudly with
+    // its line number instead of silently truncating the map — slicing
+    // with a partial CDG drops control dependences and shrinks the slice
+    // without any other symptom.
+    std::string line;
+    size_t lineno = 0;
+    fatal_if(!std::getline(in, line),
+             "empty control-dependence map ", path);
+    ++lineno;
+    {
+        std::istringstream fields(line);
+        std::string magic;
+        int version = 0;
+        fields >> magic >> version;
+        fatal_if(magic != "webcdg" || version != 1,
+                 "bad control-dependence map header in ", path,
+                 " line 1: '", line, "'");
+    }
 
     deps_.clear();
     sealed_ = false;
-    uint64_t func = 0, pc = 0;
-    size_t count = 0;
-    while (in >> func >> pc >> count) {
+    while (std::getline(in, line)) {
+        ++lineno;
+        std::istringstream fields(line);
+        uint64_t func = 0, pc = 0;
+        size_t count = 0;
+        fields >> func >> pc >> count;
+        fatal_if(fields.fail(), "malformed control-dependence entry in ",
+                 path, " line ", lineno, ": '", line, "'");
         auto &list = deps_[key(static_cast<FuncId>(func),
                                static_cast<Pc>(pc))];
         list.resize(count);
-        for (size_t i = 0; i < count; ++i)
-            in >> list[i];
+        for (size_t i = 0; i < count; ++i) {
+            fatal_if(!(fields >> list[i]),
+                     "truncated branch list in ", path, " line ", lineno,
+                     ": '", line, "'");
+        }
+        std::string extra;
+        fatal_if(static_cast<bool>(fields >> extra),
+                 "trailing garbage in ", path, " line ", lineno, ": '",
+                 line, "'");
     }
+    fatal_if(!in.eof(), "read error in control-dependence map ", path,
+             " after line ", lineno);
 }
 
 namespace {

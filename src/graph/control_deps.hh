@@ -22,6 +22,7 @@
 
 #include <span>
 #include <string>
+#include <tuple>
 #include <unordered_map>
 #include <vector>
 
@@ -62,6 +63,14 @@ class ControlDepMap
 
     /** Total number of (instruction, branch) dependence pairs. */
     size_t pairCount() const;
+
+    /**
+     * Every (func, pc, branch pc) dependence pair, sorted. This is the
+     * verification layer's iteration hook: the graph linter diffs the
+     * map's full contents against an independently recomputed reference.
+     */
+    std::vector<std::tuple<trace::FuncId, trace::Pc, trace::Pc>>
+    allPairs() const;
 
     /** Number of instructions with at least one dependence. */
     size_t nodeCount() const { return deps_.size(); }

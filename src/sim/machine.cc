@@ -187,6 +187,34 @@ Machine::emit(Record rec)
         ++clock_;
     }
     records_.push_back(rec);
+    if (valueLog_)
+        valueLog_->values.push_back(0);
+}
+
+void
+Machine::enableValueLog()
+{
+    panic_if(!records_.empty(),
+             "value log must be enabled before the first record");
+    valueLog_ = std::make_unique<trace::ValueLog>();
+}
+
+void
+Machine::noteValue(uint64_t v)
+{
+    if (valueLog_)
+        valueLog_->values.back() = v;
+}
+
+void
+Machine::noteBytes(uint64_t addr, uint64_t size)
+{
+    if (!valueLog_)
+        return;
+    auto &blob = valueLog_->blobs[valueLog_->values.size() - 1];
+    const size_t offset = blob.size();
+    blob.resize(offset + size);
+    memory_.readBytes(addr, blob.data() + offset, size);
 }
 
 const TimeSeries &
@@ -219,6 +247,7 @@ Ctx::imm(uint64_t v, Loc loc)
     Record rec = baseRecord(tid_, machine_.sitePc(loc), RecordKind::LoadImm);
     rec.rw = rw;
     machine_.emit(rec);
+    machine_.noteValue(v);
     return Value(&machine_, tid_, rw, v);
 }
 
@@ -236,6 +265,7 @@ Ctx::alu1(const Value &a, uint64_t result, Loc loc)
     rec.rr0 = a.reg();
     rec.rw = rw;
     machine_.emit(rec);
+    machine_.noteValue(result);
     return Value(&machine_, tid_, rw, result);
 }
 
@@ -248,6 +278,7 @@ Ctx::alu2(const Value &a, const Value &b, uint64_t result, Loc loc)
     rec.rr1 = b.reg();
     rec.rw = rw;
     machine_.emit(rec);
+    machine_.noteValue(result);
     return Value(&machine_, tid_, rw, result);
 }
 
@@ -262,6 +293,7 @@ Ctx::alu3(const Value &a, const Value &b, const Value &c, uint64_t result,
     rec.rr2 = c.reg();
     rec.rw = rw;
     machine_.emit(rec);
+    machine_.noteValue(result);
     return Value(&machine_, tid_, rw, result);
 }
 
@@ -425,6 +457,7 @@ Ctx::load(uint64_t addr, unsigned size, Loc loc)
     rec.aux = size;
     rec.rw = rw;
     machine_.emit(rec);
+    machine_.noteValue(value);
     return Value(&machine_, tid_, rw, value);
 }
 
@@ -440,6 +473,7 @@ Ctx::loadVia(const Value &base, int64_t offset, unsigned size, Loc loc)
     rec.rr0 = base.reg();
     rec.rw = rw;
     machine_.emit(rec);
+    machine_.noteValue(value);
     return Value(&machine_, tid_, rw, value);
 }
 
@@ -452,6 +486,7 @@ Ctx::store(uint64_t addr, unsigned size, const Value &v, Loc loc)
     rec.aux = size;
     rec.rr0 = v.reg();
     machine_.emit(rec);
+    machine_.noteValue(v.get());
 }
 
 void
@@ -466,6 +501,7 @@ Ctx::storeVia(const Value &base, int64_t offset, unsigned size,
     rec.rr0 = v.reg();
     rec.rr1 = base.reg();
     machine_.emit(rec);
+    machine_.noteValue(v.get());
 }
 
 bool
@@ -477,6 +513,7 @@ Ctx::branchIf(const Value &cond, Loc loc)
     if (taken)
         rec.flags |= trace::kFlagTaken;
     machine_.emit(rec);
+    machine_.noteValue(taken ? 1 : 0);
     return taken;
 }
 
@@ -490,6 +527,7 @@ Ctx::syscall(uint32_t number, uint64_t result,
     rec.aux = number;
     rec.rw = rw;
     machine_.emit(rec);
+    machine_.noteValue(result);
 
     for (const auto &range : reads) {
         Record eff =
@@ -497,6 +535,7 @@ Ctx::syscall(uint32_t number, uint64_t result,
         eff.addr = range.addr;
         eff.aux = static_cast<uint32_t>(range.size);
         machine_.emit(eff);
+        machine_.noteBytes(range.addr, range.size);
     }
     for (const auto &range : writes) {
         Record eff =
@@ -504,6 +543,7 @@ Ctx::syscall(uint32_t number, uint64_t result,
         eff.addr = range.addr;
         eff.aux = static_cast<uint32_t>(range.size);
         machine_.emit(eff);
+        machine_.noteBytes(range.addr, range.size);
     }
     return Value(&machine_, tid_, rw, result);
 }
@@ -517,6 +557,10 @@ Ctx::marker(std::span<const trace::MemRange> ranges, Loc loc)
     machine_.emit(rec);
     for (const auto &range : ranges)
         machine_.pixelCriteria_.add(ordinal, range.addr, range.size);
+    // Snapshot the criterion bytes as the merged criteria set reports
+    // them, so replay and recording agree on the blob layout.
+    for (const auto &range : machine_.pixelCriteria_.forMarker(ordinal))
+        machine_.noteBytes(range.addr, range.size);
     return ordinal;
 }
 

@@ -28,6 +28,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <queue>
 #include <source_location>
 #include <span>
@@ -40,6 +41,7 @@
 #include "trace/criteria.hh"
 #include "trace/record.hh"
 #include "trace/symtab.hh"
+#include "trace/value_log.hh"
 
 namespace webslice {
 namespace sim {
@@ -328,6 +330,17 @@ class Machine
     /** Executed-instruction count (pseudo-records excluded). */
     uint64_t instructionCount() const { return instructionCount_; }
 
+    /**
+     * Capture per-record concrete values and effect-range bytes into a
+     * trace::ValueLog (the replay oracle's ground truth). Must be
+     * enabled before the first record is emitted; off by default, since
+     * the log costs 8 bytes per record plus the effect blobs.
+     */
+    void enableValueLog();
+
+    /** The captured value log, or nullptr when not enabled. */
+    const trace::ValueLog *valueLog() const { return valueLog_.get(); }
+
     /** Per-thread instructions-per-bucket series (drives Figure 2). */
     const TimeSeries &threadTimeline(trace::ThreadId tid) const;
 
@@ -375,6 +388,12 @@ class Machine
     /** Append a record; advances the clock for executed instructions. */
     void emit(trace::Record rec);
 
+    /** Attach the concrete value of the most recently emitted record. */
+    void noteValue(uint64_t v);
+
+    /** Append a memory snapshot to the last emitted record's blob. */
+    void noteBytes(uint64_t addr, uint64_t size);
+
     Thread &thread(trace::ThreadId tid);
 
     MachineConfig config_;
@@ -409,6 +428,7 @@ class Machine
     trace::Pc nextPc_ = 0x1000;
 
     std::vector<trace::Record> records_;
+    std::unique_ptr<trace::ValueLog> valueLog_;
     uint64_t instructionCount_ = 0;
     uint64_t clock_ = 0;
 

@@ -179,6 +179,8 @@ struct BackwardPass::Impl
           lastIndex(record_count)
     {
         result.inSlice.assign(record_count, 0);
+        result.analyzedWindowEnd =
+            std::min(options.endIndex, record_count);
     }
 
     virtual ~Impl() = default;

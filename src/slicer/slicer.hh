@@ -113,6 +113,14 @@ struct SliceResult
     /** Records fed into the pass (including records outside the window). */
     uint64_t recordsFed = 0;
 
+    /**
+     * End (exclusive record index) of the analyzed window:
+     * min(options.endIndex, record count). The soundness checker replays
+     * exactly this prefix, so the slice and its verification agree on
+     * what "the trace" was.
+     */
+    uint64_t analyzedWindowEnd = 0;
+
     /** Diagnostics: high-water marks of the analysis state. */
     uint64_t peakLiveMemBytes = 0;
     uint64_t peakLiveMemChunks = 0;

@@ -114,11 +114,12 @@ jsonEscape(std::string_view text)
 std::string
 metricsReportJson(
     const MetricRegistry &reg, std::string_view tool,
-    const std::vector<std::pair<std::string, std::string>> &extras)
+    const std::vector<std::pair<std::string, std::string>> &extras,
+    std::string_view schema)
 {
     std::string out;
     out += "{\n";
-    out += "  \"schema\": \"webslice-metrics-v1\",\n";
+    out += "  \"schema\": \"" + jsonEscape(schema) + "\",\n";
     out += "  \"tool\": \"" + jsonEscape(tool) + "\",\n";
 
     out += "  \"phases\": [\n";
@@ -170,9 +171,10 @@ void
 writeMetricsReport(
     const std::string &path, const MetricRegistry &reg,
     std::string_view tool,
-    const std::vector<std::pair<std::string, std::string>> &extras)
+    const std::vector<std::pair<std::string, std::string>> &extras,
+    std::string_view schema)
 {
-    const std::string json = metricsReportJson(reg, tool, extras);
+    const std::string json = metricsReportJson(reg, tool, extras, schema);
     std::FILE *file = std::fopen(path.c_str(), "w");
     fatal_if(!file, "cannot write metrics report ", path);
     fatal_if(std::fwrite(json.data(), 1, json.size(), file) != json.size(),

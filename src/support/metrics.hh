@@ -122,17 +122,20 @@ std::string jsonEscape(std::string_view text);
 /**
  * Render the machine-readable run report: schema tag, tool name, phase
  * spans, counters, and gauges from `reg`, followed by tool-specific
- * sections given as (key, raw JSON value) pairs, in order.
+ * sections given as (key, raw JSON value) pairs, in order. Tools with
+ * their own report contract (webslice-check) pass their own schema tag.
  */
 std::string metricsReportJson(
     const MetricRegistry &reg, std::string_view tool,
-    const std::vector<std::pair<std::string, std::string>> &extras = {});
+    const std::vector<std::pair<std::string, std::string>> &extras = {},
+    std::string_view schema = "webslice-metrics-v1");
 
 /** Write metricsReportJson() to a file; fatal on I/O failure. */
 void writeMetricsReport(
     const std::string &path, const MetricRegistry &reg,
     std::string_view tool,
-    const std::vector<std::pair<std::string, std::string>> &extras = {});
+    const std::vector<std::pair<std::string, std::string>> &extras = {},
+    std::string_view schema = "webslice-metrics-v1");
 
 /** Current resident set size in bytes (0 when the platform hides it). */
 uint64_t currentRssBytes();

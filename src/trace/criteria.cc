@@ -1,5 +1,6 @@
 #include "trace/criteria.hh"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 
@@ -12,7 +13,37 @@ namespace trace {
 void
 CriteriaSet::add(uint32_t marker, uint64_t addr, uint64_t size)
 {
-    byMarker_[marker].push_back(MemRange{addr, size});
+    if (size == 0) {
+        warn("criteria marker ", marker, ": dropping empty range at ",
+             addr);
+        return;
+    }
+
+    // Coalesce overlapping and duplicate ranges so per-byte consumers
+    // (the slicer's seeded-bytes counter, the soundness checker's
+    // criterion byte-compare) see each criterion byte exactly once.
+    // Overlap within one marker means the recorder described the same
+    // buffer twice — legal, but worth a loud note.
+    auto &ranges = byMarker_[marker];
+    MemRange merged{addr, size};
+    for (auto it = ranges.begin(); it != ranges.end();) {
+        const bool overlaps = merged.addr < it->addr + it->size &&
+                              it->addr < merged.addr + merged.size;
+        if (!overlaps) {
+            ++it;
+            continue;
+        }
+        warn("criteria marker ", marker, ": range [", merged.addr, ", +",
+             merged.size, ") overlaps existing [", it->addr, ", +",
+             it->size, "); merging");
+        MetricRegistry::global().counter("criteria.ranges_merged").add(1);
+        const uint64_t lo = std::min(merged.addr, it->addr);
+        const uint64_t hi = std::max(merged.addr + merged.size,
+                                     it->addr + it->size);
+        merged = MemRange{lo, hi - lo};
+        it = ranges.erase(it);
+    }
+    ranges.push_back(merged);
 }
 
 const std::vector<MemRange> &

@@ -1,0 +1,58 @@
+#include "trace/run_meta.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "support/logging.hh"
+#include "support/strings.hh"
+
+namespace webslice {
+namespace trace {
+
+RunMeta
+loadRunMeta(const std::string &path)
+{
+    RunMeta meta;
+    std::ifstream in(path);
+    if (!in)
+        return meta;
+    std::string line;
+    size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (std::string(trim(line)).empty())
+            continue;
+        std::istringstream fields(line);
+        std::string key;
+        fields >> key;
+        if (key == "benchmark") {
+            std::getline(fields, meta.benchmark);
+            meta.benchmark = std::string(trim(meta.benchmark));
+        } else if (key == "loadCompleteIndex") {
+            fatal_if(!(fields >> meta.loadCompleteIndex),
+                     "malformed loadCompleteIndex in ", path, " line ",
+                     lineno, ": '", line, "'");
+        } else if (key == "loadOnly") {
+            int flag = 0;
+            fatal_if(!(fields >> flag), "malformed loadOnly in ", path,
+                     " line ", lineno, ": '", line, "'");
+            meta.loadOnly = flag != 0;
+        } else if (key == "thread") {
+            size_t tid;
+            std::string name;
+            fatal_if(!(fields >> tid >> name), "malformed thread entry in ",
+                     path, " line ", lineno, ": '", line, "'");
+            if (meta.threadNames.size() <= tid)
+                meta.threadNames.resize(tid + 1);
+            meta.threadNames[tid] = name;
+        } else {
+            fatal_if(true, "unknown key '", key, "' in ", path, " line ",
+                     lineno, ": '", line, "'");
+        }
+        fatal_if(in.bad(), "read error in ", path, " after line ", lineno);
+    }
+    return meta;
+}
+
+} // namespace trace
+} // namespace webslice

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * The recording metadata sidecar (<prefix>.meta): benchmark name,
+ * load-complete record index, load-only flag, and thread names, as
+ * written by webslice-record. Shared by the profiler and the checker so
+ * both derive the analysis window the same way.
+ */
+
+#ifndef WEBSLICE_TRACE_RUN_META_HH
+#define WEBSLICE_TRACE_RUN_META_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace webslice {
+namespace trace {
+
+/** Contents of one <prefix>.meta file. */
+struct RunMeta
+{
+    std::string benchmark;
+    size_t loadCompleteIndex = SIZE_MAX;
+    bool loadOnly = false;
+    std::vector<std::string> threadNames;
+};
+
+/**
+ * Load a metadata sidecar. A missing file is fine (recordings without
+ * metadata are legal); a present file must parse completely — malformed
+ * values and unknown keys fail with the offending line instead of being
+ * silently skipped.
+ */
+RunMeta loadRunMeta(const std::string &path);
+
+} // namespace trace
+} // namespace webslice
+
+#endif // WEBSLICE_TRACE_RUN_META_HH

@@ -1,0 +1,103 @@
+#include "trace/value_log.hh"
+
+#include <cstring>
+#include <fstream>
+
+#include "support/logging.hh"
+#include "support/metrics.hh"
+
+namespace webslice {
+namespace trace {
+
+namespace {
+
+constexpr char kMagic[8] = {'W', 'E', 'B', 'V', 'A', 'L', '1', '\0'};
+
+void
+readExact(std::ifstream &in, const std::string &path, void *out,
+          size_t size, const char *what)
+{
+    in.read(reinterpret_cast<char *>(out), static_cast<std::streamsize>(size));
+    fatal_if(static_cast<size_t>(in.gcount()) != size,
+             "truncated value log ", path, ": short read of ", what);
+}
+
+} // namespace
+
+void
+ValueLog::save(const std::string &path) const
+{
+    std::ofstream out(path, std::ios::binary);
+    fatal_if(!out, "cannot write value log ", path);
+
+    out.write(kMagic, sizeof(kMagic));
+    const uint64_t count = values.size();
+    out.write(reinterpret_cast<const char *>(&count), sizeof(count));
+    out.write(reinterpret_cast<const char *>(values.data()),
+              static_cast<std::streamsize>(count * sizeof(uint64_t)));
+
+    const uint64_t blob_count = blobs.size();
+    out.write(reinterpret_cast<const char *>(&blob_count),
+              sizeof(blob_count));
+    for (const auto &kv : blobs) {
+        const uint64_t index = kv.first;
+        const uint64_t size = kv.second.size();
+        out.write(reinterpret_cast<const char *>(&index), sizeof(index));
+        out.write(reinterpret_cast<const char *>(&size), sizeof(size));
+        out.write(reinterpret_cast<const char *>(kv.second.data()),
+                  static_cast<std::streamsize>(size));
+    }
+    fatal_if(!out, "short write saving value log ", path);
+}
+
+void
+ValueLog::load(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    fatal_if(!in, "cannot read value log ", path);
+
+    char magic[sizeof(kMagic)] = {};
+    readExact(in, path, magic, sizeof(magic), "header");
+    fatal_if(std::memcmp(magic, kMagic, sizeof(kMagic)) != 0,
+             "bad value log header in ", path);
+
+    uint64_t count = 0;
+    readExact(in, path, &count, sizeof(count), "record count");
+    values.assign(count, 0);
+    if (count > 0) {
+        readExact(in, path, values.data(), count * sizeof(uint64_t),
+                  "value array");
+    }
+
+    uint64_t blob_count = 0;
+    readExact(in, path, &blob_count, sizeof(blob_count), "blob count");
+    blobs.clear();
+    uint64_t blob_bytes = 0;
+    for (uint64_t i = 0; i < blob_count; ++i) {
+        uint64_t index = 0, size = 0;
+        readExact(in, path, &index, sizeof(index), "blob index");
+        readExact(in, path, &size, sizeof(size), "blob size");
+        fatal_if(index >= count,
+                 "value log ", path, ": blob index ", index,
+                 " beyond record count ", count);
+        fatal_if(size > (uint64_t{1} << 30),
+                 "value log ", path, ": implausible blob size ", size,
+                 " for record ", index);
+        auto [it, inserted] = blobs.try_emplace(index);
+        fatal_if(!inserted, "value log ", path, ": duplicate blob for "
+                 "record ", index);
+        it->second.resize(size);
+        if (size > 0)
+            readExact(in, path, it->second.data(), size, "blob bytes");
+        blob_bytes += size;
+    }
+    fatal_if(in.peek() != std::char_traits<char>::eof(),
+             "trailing garbage in value log ", path);
+
+    auto &registry = MetricRegistry::global();
+    registry.counter("value_log.values_loaded").add(count);
+    registry.counter("value_log.blob_bytes_loaded").add(blob_bytes);
+}
+
+} // namespace trace
+} // namespace webslice

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Concrete-value sidecar for a recorded trace.
+ *
+ * The trace records carry dependence structure (registers, addresses,
+ * sizes) but not the concrete values that flowed through them. The value
+ * log is the optional companion the verification layer compares against:
+ * one 64-bit value per record (the value produced, stored, or observed by
+ * that instruction) plus raw byte blobs for records whose effect is a
+ * memory range — syscall read/write pseudo-records and the
+ * criterion-range snapshot taken at each Marker.
+ *
+ * webslice-record writes it as <prefix>.val next to the trace;
+ * webslice-check loads it to verify that replaying only the in-slice
+ * instructions reproduces the criterion bytes bit-identically.
+ */
+
+#ifndef WEBSLICE_TRACE_VALUE_LOG_HH
+#define WEBSLICE_TRACE_VALUE_LOG_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace webslice {
+namespace trace {
+
+/** Per-record concrete values plus per-record effect-range byte blobs. */
+struct ValueLog
+{
+    /** Parallel to the record array; 0 for records with no value. */
+    std::vector<uint64_t> values;
+
+    /** Record index -> raw bytes (effect ranges, criterion snapshots). */
+    std::unordered_map<uint64_t, std::vector<uint8_t>> blobs;
+
+    uint64_t
+    valueAt(size_t index) const
+    {
+        return index < values.size() ? values[index] : 0;
+    }
+
+    /** Blob attached to a record, or nullptr. */
+    const std::vector<uint8_t> *
+    blobAt(size_t index) const
+    {
+        auto it = blobs.find(index);
+        return it == blobs.end() ? nullptr : &it->second;
+    }
+
+    /** Write the binary sidecar; fatal on I/O failure. */
+    void save(const std::string &path) const;
+
+    /**
+     * Load a sidecar written by save(); replaces contents. Truncation,
+     * a bad header, or trailing garbage fail loudly — a partial value
+     * log would make the soundness checker's byte-compares vacuous.
+     */
+    void load(const std::string &path);
+};
+
+} // namespace trace
+} // namespace webslice
+
+#endif // WEBSLICE_TRACE_VALUE_LOG_HH

@@ -257,6 +257,8 @@ runSite(const SiteSpec &spec, browser::JsEngineConfig js_config)
     result.spec = spec;
 
     result.machine = std::make_unique<sim::Machine>();
+    if (spec.captureValues)
+        result.machine->enableValueLog();
     result.tab = std::make_unique<browser::Tab>(*result.machine,
                                                 spec.browser, js_config);
 

@@ -75,6 +75,14 @@ struct SiteSpec
 
     /** Bytes of each image payload. */
     size_t imageBytes = 3072;
+
+    /**
+     * Record a value log alongside the trace (one written value per
+     * record plus criterion snapshots) so the verification layer can
+     * compare slice replays bit-for-bit. Off by default: the log costs
+     * 8 bytes per record.
+     */
+    bool captureValues = false;
 };
 
 /** Content-volume scale relative to the paper's Table I byte counts. */

@@ -39,6 +39,8 @@
 #include "analysis/categorize.hh"
 #include "analysis/function_stats.hh"
 #include "analysis/thread_stats.hh"
+#include "check/graph_lint.hh"
+#include "check/soundness.hh"
 #include "graph/cfg.hh"
 #include "graph/control_deps.hh"
 #include "slicer/slicer.hh"
@@ -46,6 +48,7 @@
 #include "support/metrics.hh"
 #include "support/stopwatch.hh"
 #include "support/strings.hh"
+#include "trace/run_meta.hh"
 #include "trace/trace_file.hh"
 
 using namespace webslice;
@@ -54,7 +57,7 @@ namespace {
 
 constexpr char kUsage[] =
     "usage: %s <prefix> [--syscalls] [--no-window] [--top N] [--jobs N]\n"
-    "       [--metrics-json FILE] [--progress]\n"
+    "       [--metrics-json FILE] [--progress] [--verify]\n"
     "\n"
     "  --syscalls            slice on syscall-read values instead of pixel\n"
     "                        buffers\n"
@@ -63,7 +66,9 @@ constexpr char kUsage[] =
     "  --jobs N              forward-pass worker threads; 0 = all cores\n"
     "  --metrics-json FILE   write the machine-readable run report\n"
     "  --progress            phase notices and a reverse-walk heartbeat on\n"
-    "                        stderr\n";
+    "                        stderr\n"
+    "  --verify              run the graph linter and the slice soundness\n"
+    "                        replay after slicing; exit 2 on violation\n";
 
 /**
  * Parse a non-negative decimal integer flag value; anything else — empty,
@@ -85,65 +90,6 @@ parseCount(const char *flag, const char *text, uint64_t max_value)
     return value;
 }
 
-struct Meta
-{
-    std::string benchmark;
-    size_t loadCompleteIndex = SIZE_MAX;
-    bool loadOnly = false;
-    std::vector<std::string> threadNames;
-};
-
-/**
- * Load <prefix>.meta. A missing file is fine (recordings without
- * metadata are legal); a present file must parse completely — malformed
- * values and unknown keys fail with the offending line instead of being
- * silently skipped.
- */
-Meta
-loadMeta(const std::string &path)
-{
-    Meta meta;
-    std::ifstream in(path);
-    if (!in)
-        return meta;
-    std::string line;
-    size_t lineno = 0;
-    while (std::getline(in, line)) {
-        ++lineno;
-        if (std::string(trim(line)).empty())
-            continue;
-        std::istringstream fields(line);
-        std::string key;
-        fields >> key;
-        if (key == "benchmark") {
-            std::getline(fields, meta.benchmark);
-            meta.benchmark = std::string(trim(meta.benchmark));
-        } else if (key == "loadCompleteIndex") {
-            fatal_if(!(fields >> meta.loadCompleteIndex),
-                     "malformed loadCompleteIndex in ", path, " line ",
-                     lineno, ": '", line, "'");
-        } else if (key == "loadOnly") {
-            int flag = 0;
-            fatal_if(!(fields >> flag), "malformed loadOnly in ", path,
-                     " line ", lineno, ": '", line, "'");
-            meta.loadOnly = flag != 0;
-        } else if (key == "thread") {
-            size_t tid;
-            std::string name;
-            fatal_if(!(fields >> tid >> name), "malformed thread entry in ",
-                     path, " line ", lineno, ": '", line, "'");
-            if (meta.threadNames.size() <= tid)
-                meta.threadNames.resize(tid + 1);
-            meta.threadNames[tid] = name;
-        } else {
-            fatal_if(true, "unknown key '", key, "' in ", path, " line ",
-                     lineno, ": '", line, "'");
-        }
-        fatal_if(in.bad(), "read error in ", path, " after line ", lineno);
-    }
-    return meta;
-}
-
 void
 phaseNotice(bool progress, const char *phase)
 {
@@ -153,7 +99,7 @@ phaseNotice(bool progress, const char *phase)
 
 /** JSON object with the slice statistics (raw JSON for the report). */
 std::string
-sliceStatsJson(const slicer::SliceResult &slice, const Meta &meta,
+sliceStatsJson(const slicer::SliceResult &slice, const trace::RunMeta &meta,
                const slicer::SlicerOptions &options)
 {
     std::ostringstream out;
@@ -228,6 +174,7 @@ main(int argc, char **argv)
     slicer::SlicerOptions options;
     bool use_window = true;
     bool progress = false;
+    bool verify = false;
     size_t top = 12;
     std::string metrics_json;
     for (int a = 2; a < argc; ++a) {
@@ -250,6 +197,8 @@ main(int argc, char **argv)
         } else if (!std::strcmp(argv[a], "--progress")) {
             progress = true;
             options.progressIntervalSeconds = 2.0;
+        } else if (!std::strcmp(argv[a], "--verify")) {
+            verify = true;
         } else {
             std::fprintf(stderr, "%s: unknown flag '%s'\n", argv[0],
                          argv[a]);
@@ -261,13 +210,13 @@ main(int argc, char **argv)
     // ---- load artifacts ----------------------------------------------------
     trace::SymbolTable symtab;
     trace::CriteriaSet criteria;
-    Meta meta;
+    trace::RunMeta meta;
     {
         phaseNotice(progress, "load");
         ScopedPhase phase("load");
         symtab.load(prefix + ".sym");
         criteria.load(prefix + ".crit");
-        meta = loadMeta(prefix + ".meta");
+        meta = trace::loadRunMeta(prefix + ".meta");
     }
 
     // ---- forward pass (streamed) -------------------------------------------
@@ -360,6 +309,46 @@ main(int argc, char **argv)
         }
     }
 
+    // ---- inline verification (--verify) ------------------------------------
+    uint64_t verify_violations = 0;
+    if (verify) {
+        phaseNotice(progress, "verify");
+        ScopedPhase phase("verify");
+        const trace::MappedTrace mapped(prefix + ".trc");
+        const auto records = mapped.records();
+
+        const auto lint =
+            check::lintGraphs(records, symtab, cfgs, &deps);
+        check::SoundnessOptions sound_options;
+        sound_options.mode = options.mode;
+        sound_options.minimalityProbes = 2;
+        const auto sound = check::checkSliceSoundness(
+            records, slice, criteria, nullptr, sound_options);
+
+        std::printf("\nverify: graph lint %s, soundness %s "
+                    "(%llu criterion bytes, %llu/%llu probes)\n",
+                    lint.ok() ? "clean"
+                              : format("%llu findings",
+                                       static_cast<unsigned long long>(
+                                           lint.findings.total))
+                                    .c_str(),
+                    sound.ok() ? "clean"
+                               : format("%llu findings",
+                                        static_cast<unsigned long long>(
+                                            sound.findings.total))
+                                     .c_str(),
+                    static_cast<unsigned long long>(
+                        sound.criteriaBytesChecked),
+                    static_cast<unsigned long long>(
+                        sound.probesConfirmed),
+                    static_cast<unsigned long long>(sound.probesRun));
+        for (const auto &message : lint.findings.messages)
+            std::printf("    %s\n", message.c_str());
+        for (const auto &message : sound.findings.messages)
+            std::printf("    %s\n", message.c_str());
+        verify_violations = lint.findings.total + sound.findings.total;
+    }
+
     if (!metrics_json.empty()) {
         const std::vector<std::pair<std::string, std::string>> extras = {
             {"slice", sliceStatsJson(slice, meta, options)},
@@ -370,6 +359,12 @@ main(int argc, char **argv)
         if (progress)
             std::fprintf(stderr, "progress: metrics report written to %s\n",
                          metrics_json.c_str());
+    }
+    if (verify_violations > 0) {
+        std::fprintf(stderr, "webslice-profile: --verify found %llu "
+                             "violations\n",
+                     static_cast<unsigned long long>(verify_violations));
+        return 2;
     }
     return 0;
 }

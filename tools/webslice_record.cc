@@ -4,12 +4,15 @@
  * the trace, symbol table, criteria sidecar, and a metadata file — the
  * same hand-off the paper's Pin tool performs for the offline profiler.
  *
- *   webslice-record <benchmark> <output-prefix>
+ *   webslice-record <benchmark> <output-prefix> [--values]
  *
  *   benchmark: amazon-desktop | amazon-mobile | maps | bing | fig2
  *
  * Writes <prefix>.trc (records), <prefix>.sym (symbols), <prefix>.crit
  * (pixel criteria), <prefix>.meta (thread names + load-complete index).
+ * With --values, also <prefix>.val — the value log (one written value
+ * per record plus criterion snapshots) that lets webslice-check compare
+ * slice replays bit-for-bit.
  */
 
 #include <cstdio>
@@ -28,9 +31,11 @@ void
 usage(const char *argv0)
 {
     std::fprintf(stderr,
-                 "usage: %s <benchmark> <output-prefix>\n"
+                 "usage: %s <benchmark> <output-prefix> [--values]\n"
                  "  benchmark: amazon-desktop | amazon-mobile | maps | "
-                 "bing | fig2\n",
+                 "bing | fig2\n"
+                 "  --values: record the value log (<prefix>.val) for "
+                 "webslice-check\n",
                  argv0);
 }
 
@@ -39,9 +44,17 @@ usage(const char *argv0)
 int
 main(int argc, char **argv)
 {
-    if (argc != 3) {
+    if (argc != 3 && argc != 4) {
         usage(argv[0]);
         return 1;
+    }
+    bool capture_values = false;
+    if (argc == 4) {
+        if (std::strcmp(argv[3], "--values") != 0) {
+            usage(argv[0]);
+            return 1;
+        }
+        capture_values = true;
     }
 
     workloads::SiteSpec spec;
@@ -61,6 +74,7 @@ main(int argc, char **argv)
         return 1;
     }
 
+    spec.captureValues = capture_values;
     std::fprintf(stderr, "recording '%s'...\n", spec.name.c_str());
     const auto run = workloads::runSite(spec);
 
@@ -68,6 +82,8 @@ main(int argc, char **argv)
     trace::saveTrace(prefix + ".trc", run.records());
     run.machine->symtab().save(prefix + ".sym");
     run.machine->pixelCriteria().save(prefix + ".crit");
+    if (capture_values)
+        run.machine->valueLog()->save(prefix + ".val");
 
     std::ofstream meta(prefix + ".meta");
     if (!meta) {
@@ -81,9 +97,9 @@ main(int argc, char **argv)
         meta << "thread " << t << ' ' << run.threadNames()[t] << '\n';
 
     std::fprintf(stderr,
-                 "wrote %s.{trc,sym,crit,meta}: %s records, %zu markers, "
-                 "load complete at index %s\n",
-                 prefix.c_str(),
+                 "wrote %s.{trc,sym,crit,meta%s}: %s records, %zu "
+                 "markers, load complete at index %s\n",
+                 prefix.c_str(), capture_values ? ",val" : "",
                  withCommas(run.records().size()).c_str(),
                  run.machine->pixelCriteria().markerCount(),
                  withCommas(run.loadCompleteIndex).c_str());
