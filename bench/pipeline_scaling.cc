@@ -9,9 +9,9 @@
  *  - baseline: the seed pipeline — serial forward pass, backward pass on
  *    the legacy std::unordered_map live sets;
  *  - sweep: the current pipeline at increasing thread counts — parallel
- *    per-function forward pass, backward pass on the flat-hash live sets
- *    (the backward pass is sequential by construction; its speedup comes
- *    from the data structures, not from threads).
+ *    per-function forward pass, and the epoch-parallel backward pass
+ *    (transcode/stitch/resolve over trace epochs, slicer/epoch.hh) with
+ *    backwardJobs set to the same thread count.
  *
  * Every configuration's slice is verified bit-identical to the baseline
  * before any number is reported. Results go to stdout as a table and to
@@ -74,6 +74,8 @@ runOnce(const workloads::RunResult &run, int jobs, bool legacy_live_sets,
 
     slicer::SlicerOptions options = bench::windowedOptions(run);
     options.legacyLiveSets = legacy_live_sets;
+    if (!legacy_live_sets)
+        options.backwardJobs = jobs;
     const auto slice = slicer::computeSlice(
         run.records(), cfgs, deps, run.machine->pixelCriteria(), options);
     const double t2 = bench::nowSeconds();
@@ -106,19 +108,44 @@ bestOf(const std::vector<Sample> &reps)
     return best;
 }
 
-/** Median of the per-rep baseline/config end-to-end time ratios. */
+/** Median of the per-rep baseline/config time ratios for one phase. */
+template <typename Seconds>
 double
 medianSpeedup(const std::vector<Sample> &base,
-              const std::vector<Sample> &conf)
+              const std::vector<Sample> &conf, Seconds seconds)
 {
     std::vector<double> ratios;
     ratios.reserve(base.size());
     for (size_t r = 0; r < base.size(); ++r)
-        ratios.push_back(base[r].totalSeconds() / conf[r].totalSeconds());
+        ratios.push_back(seconds(base[r]) / seconds(conf[r]));
     std::sort(ratios.begin(), ratios.end());
     const size_t n = ratios.size();
     return n % 2 ? ratios[n / 2]
                  : 0.5 * (ratios[n / 2 - 1] + ratios[n / 2]);
+}
+
+double
+totalSpeedup(const std::vector<Sample> &base,
+             const std::vector<Sample> &conf)
+{
+    return medianSpeedup(base, conf,
+                         [](const Sample &s) { return s.totalSeconds(); });
+}
+
+double
+forwardSpeedup(const std::vector<Sample> &base,
+               const std::vector<Sample> &conf)
+{
+    return medianSpeedup(
+        base, conf, [](const Sample &s) { return s.forwardSeconds; });
+}
+
+double
+backwardSpeedup(const std::vector<Sample> &base,
+                const std::vector<Sample> &conf)
+{
+    return medianSpeedup(
+        base, conf, [](const Sample &s) { return s.backwardSeconds; });
 }
 
 double
@@ -164,10 +191,11 @@ main(int argc, char **argv)
         } else if (!std::strcmp(argv[a], "--out") && a + 1 < argc) {
             out_path = argv[++a];
         } else if (!std::strcmp(argv[a], "--quick")) {
-            // CI smoke configuration: smallest site, short sweep.
+            // CI configuration: smallest site, short sweep. Reps stay at
+            // 3 so the published per-rep ratios keep their drift immunity
+            // even in CI.
             site = "amazon-mobile";
             max_jobs = 4;
-            reps = 1;
         } else {
             std::fprintf(stderr,
                          "usage: %s [--site NAME] [--max-jobs N] "
@@ -249,29 +277,40 @@ main(int argc, char **argv)
     }
 
     const Sample base = bestOf(base_reps);
-    std::printf("%-28s %14s %14s %10s\n", "configuration",
-                "fwd Mrec/s", "bwd Mrec/s", "speedup");
-    std::printf("%-28s %14.2f %14.2f %9.2fx\n", "baseline (seed pipeline)",
+    std::printf("%-28s %12s %12s %9s %9s %9s\n", "configuration",
+                "fwd Mrec/s", "bwd Mrec/s", "fwd", "bwd", "total");
+    std::printf("%-28s %12.2f %12.2f %8.2fx %8.2fx %8.2fx\n",
+                "baseline (seed pipeline)",
                 recordsPerSec(records, base.forwardSeconds) / 1e6,
-                recordsPerSec(records, base.backwardSeconds) / 1e6, 1.0);
+                recordsPerSec(records, base.backwardSeconds) / 1e6, 1.0,
+                1.0, 1.0);
 
     std::vector<Sample> sweep;
     std::vector<double> speedups;
+    std::vector<double> fwd_speedups;
+    std::vector<double> bwd_speedups;
     double speedup_at_4 = 0.0;
+    double bwd_speedup_at_4 = 0.0;
     for (size_t c = 0; c < job_counts.size(); ++c) {
         const Sample s = bestOf(conf_reps[c]);
-        const double speedup = medianSpeedup(base_reps, conf_reps[c]);
+        const double speedup = totalSpeedup(base_reps, conf_reps[c]);
+        const double fwd = forwardSpeedup(base_reps, conf_reps[c]);
+        const double bwd = backwardSpeedup(base_reps, conf_reps[c]);
         sweep.push_back(s);
         speedups.push_back(speedup);
-        if (job_counts[c] == 4)
+        fwd_speedups.push_back(fwd);
+        bwd_speedups.push_back(bwd);
+        if (job_counts[c] == 4) {
             speedup_at_4 = speedup;
-        std::printf("%-28s %14.2f %14.2f %9.2fx\n",
+            bwd_speedup_at_4 = bwd;
+        }
+        std::printf("%-28s %12.2f %12.2f %8.2fx %8.2fx %8.2fx\n",
                     format("optimized, %d job%s", job_counts[c],
                            job_counts[c] == 1 ? "" : "s")
                         .c_str(),
                     recordsPerSec(records, s.forwardSeconds) / 1e6,
-                    recordsPerSec(records, s.backwardSeconds) / 1e6,
-                    speedup);
+                    recordsPerSec(records, s.backwardSeconds) / 1e6, fwd,
+                    bwd, speedup);
     }
     std::printf("\nall configurations verified bit-identical to the "
                 "baseline slice.\n");
@@ -285,6 +324,10 @@ main(int argc, char **argv)
     for (size_t i = 0; i < sweep.size(); ++i) {
         sweep_json << "    {\"jobs\": " << sweep[i].jobs << ", "
                    << sampleFieldsJson(sweep[i], records)
+                   << format(", \"forward_speedup_vs_baseline\": %.3f",
+                             fwd_speedups[i])
+                   << format(", \"backward_speedup_vs_baseline\": %.3f",
+                             bwd_speedups[i])
                    << format(", \"end_to_end_speedup_vs_baseline\": %.3f}",
                              speedups[i])
                    << (i + 1 < sweep.size() ? ",\n" : "\n");
@@ -299,6 +342,7 @@ main(int argc, char **argv)
         {"baseline", "{" + sampleFieldsJson(base, records) + "}"},
         {"sweep", sweep_json.str()},
         {"end_to_end_speedup_at_4_jobs", format("%.3f", speedup_at_4)},
+        {"backward_speedup_at_4_jobs", format("%.3f", bwd_speedup_at_4)},
     };
     writeMetricsReport(out_path, MetricRegistry::global(),
                        "pipeline_scaling", extras);

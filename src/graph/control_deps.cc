@@ -53,6 +53,27 @@ ControlDepMap::seal() const
 }
 
 void
+ControlDepMap::ensureSealed() const
+{
+    if (!sealed_)
+        seal();
+}
+
+std::vector<Pc>
+ControlDepMap::branchUniverse() const
+{
+    std::vector<Pc> universe;
+    universe.reserve(deps_.size());
+    for (const auto &kv : deps_)
+        universe.insert(universe.end(), kv.second.begin(),
+                        kv.second.end());
+    std::sort(universe.begin(), universe.end());
+    universe.erase(std::unique(universe.begin(), universe.end()),
+                   universe.end());
+    return universe;
+}
+
+void
 ControlDepMap::add(FuncId func, Pc pc, Pc branch_pc)
 {
     auto &list = deps_[key(func, pc)];

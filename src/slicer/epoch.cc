@@ -1,0 +1,900 @@
+/**
+ * @file
+ * The epoch-parallel backward slicer (see epoch.hh for the scheme).
+ *
+ * Exactness argument, in brief: the stitch phase replays the full
+ * transition rules of the sequential kernel over every epoch's ops, so
+ * the state it holds when it reaches an epoch boundary *is* the state
+ * the sequential pass holds at that record index — not an approximation
+ * of it. Each epoch's resolve then replays its segment from that exact
+ * state, so every include decision matches the sequential pass record
+ * for record. Elided records are provable state-no-ops under the
+ * options in force (they could never change liveness, pending branches,
+ * frames, or the slice), so eliding them changes neither phase.
+ *
+ * The only outputs that may differ from the sequential pass are the
+ * flatProbes/flatResizes diagnostics: per-epoch hash tables grow from
+ * scratch, so their probe and rehash history is not the sequential
+ * walk's. Every other field, including the verdict bitmap, the
+ * counters, and the peaks, is bit-identical.
+ */
+
+#include "slicer/epoch.hh"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstring>
+#include <limits>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "slicer/kernel.hh"
+#include "support/flat_map.hh"
+#include "support/logging.hh"
+#include "support/metrics.hh"
+#include "support/thread_pool.hh"
+#include "trace/trace_file.hh"
+
+namespace webslice {
+namespace slicer {
+
+using trace::kNoReg;
+using trace::Pc;
+using trace::Record;
+using trace::RecordKind;
+using trace::RegId;
+using trace::ThreadId;
+
+const std::vector<size_t> *EpochPlanner::boundariesOverrideForTesting =
+    nullptr;
+
+namespace {
+
+/** aux16 sentinel: the access size lives in EpochData::wideSizes. */
+constexpr uint16_t kWideSize = 0xFFFF;
+
+/**
+ * One transcoded record, 24 bytes. Field use is per kind:
+ *  - Store:        a=addr, aux16=size, r0=rr0, rw=rr1 (never kills)
+ *  - Load:         a=addr, aux16=size, r0=rr0, rw=rw
+ *  - Alu/LoadImm:  a=rr1|(rr2<<16), r0=rr0, rw=rw
+ *  - Branch:       a=pc, r0=rr0
+ *  - Call:         r0=rr0
+ *  - Ret:          idx only
+ *  - Marker:       a=ordinal
+ *  - Syscall:      rw=rw
+ *  - SyscallR/W:   a=addr, deps=byte count (pseudos never join the slice)
+ * `deps` is 0 (no control deps) or 1 + an index into the epoch's
+ * depsTable of pre-resolved dependence spans; `tid8` indexes the
+ * epoch's tid table.
+ */
+struct StitchOp
+{
+    uint64_t a = 0;
+    uint32_t idx = 0;
+    uint32_t deps = 0;
+    RegId r0 = kNoReg;
+    RegId rw = kNoReg;
+    uint16_t aux16 = 0;
+    uint8_t kind = 0;
+    uint8_t tid8 = 0;
+};
+
+static_assert(sizeof(StitchOp) == 24, "ops are the stitch phase's working "
+                                      "set; keep them packed");
+
+/** One epoch's transcode output. */
+struct EpochData
+{
+    size_t first = 0; ///< Record range [first, last) of this epoch.
+    size_t last = 0;
+
+    /** Ops in backward walk order (descending record index). */
+    std::vector<StitchOp> ops;
+
+    /** Pre-resolved control-dependence spans (into the sealed map). */
+    std::vector<std::pair<const Pc *, uint32_t>> depsTable;
+
+    /** tid8 -> real thread id. */
+    std::vector<ThreadId> tids;
+
+    /** Record index -> access size, for sizes aux16 cannot hold. */
+    std::unordered_map<uint32_t, uint64_t> wideSizes;
+
+    /** Non-pseudo records in the epoch (the instructionsAnalyzed share,
+     *  elided ones included). */
+    uint64_t nonPseudoRecords = 0;
+
+    /** Records dropped as provable state-no-ops. */
+    uint64_t elidedRecords = 0;
+
+    /** False when the epoch cannot be encoded (> 256 distinct tids);
+     *  the driver falls back to the sequential pass. */
+    bool ok = true;
+};
+
+/**
+ * Compiles one epoch's records (fed newest first) into StitchOps,
+ * applying the elision rules and pre-resolving dependence lists so the
+ * serial stitch phase never probes the control-dependence map.
+ */
+class EpochTranscoder
+{
+  public:
+    EpochTranscoder(const graph::CfgSet &cfgs,
+                    const graph::ControlDepMap &deps,
+                    const SlicerOptions &options,
+                    const FlatSet64 *branch_universe, size_t first,
+                    size_t last)
+        : cfgs_(cfgs), deps_(deps), options_(options),
+          universe_(branch_universe)
+    {
+        data_.first = first;
+        data_.last = last;
+        data_.ops.reserve(last - first);
+    }
+
+    /** Feed record `idx` (indices strictly descending within the epoch). */
+    void
+    consume(size_t idx, const Record &rec)
+    {
+        if (!data_.ok)
+            return;
+        if (!rec.isPseudo())
+            ++data_.nonPseudoRecords;
+
+        switch (rec.kind) {
+          case RecordKind::Jump:
+            // Unconditional; the kernel's case is empty.
+            ++data_.elidedRecords;
+            return;
+
+          case RecordKind::Marker: {
+            if (options_.mode != CriteriaMode::PixelBuffer) {
+                ++data_.elidedRecords;
+                return;
+            }
+            StitchOp op = base(idx, rec, RecordKind::Marker);
+            op.a = rec.aux;
+            op.deps = depsRef(idx, rec.pc);
+            data_.ops.push_back(op);
+            return;
+          }
+
+          case RecordKind::Alu:
+          case RecordKind::LoadImm: {
+            // Without register deps these are no-ops; with them, a dead
+            // destination (kNoReg) can never be killed and so can never
+            // include or gen.
+            if (!options_.includeRegisterDeps || rec.rw == kNoReg) {
+                ++data_.elidedRecords;
+                return;
+            }
+            StitchOp op = base(idx, rec, RecordKind::Alu);
+            op.a = static_cast<uint64_t>(rec.rr1) |
+                   (static_cast<uint64_t>(rec.rr2) << 16);
+            op.r0 = rec.rr0;
+            op.rw = rec.rw;
+            op.deps = depsRef(idx, rec.pc);
+            data_.ops.push_back(op);
+            return;
+          }
+
+          case RecordKind::Load: {
+            // In register mode a dead destination decides aliveness, so
+            // kNoReg is a no-op; in memory-only mode the verdict comes
+            // from the live set and the record must survive.
+            if (options_.includeRegisterDeps && rec.rw == kNoReg) {
+                ++data_.elidedRecords;
+                return;
+            }
+            StitchOp op = base(idx, rec, RecordKind::Load);
+            op.a = rec.addr;
+            op.aux16 = packSize(idx, rec.aux);
+            op.r0 = rec.rr0;
+            op.rw = rec.rw;
+            op.deps = depsRef(idx, rec.pc);
+            data_.ops.push_back(op);
+            return;
+          }
+
+          case RecordKind::Store: {
+            if (rec.aux == 0) {
+                ++data_.elidedRecords;
+                return;
+            }
+            StitchOp op = base(idx, rec, RecordKind::Store);
+            op.a = rec.addr;
+            op.aux16 = packSize(idx, rec.aux);
+            op.r0 = rec.rr0;
+            op.rw = rec.rr1; // second source rides in the rw slot
+            op.deps = depsRef(idx, rec.pc);
+            data_.ops.push_back(op);
+            return;
+          }
+
+          case RecordKind::Branch: {
+            // Pending sets only ever receive pcs from dependence lists,
+            // so a branch outside the universe can never be erased from
+            // one — it is a state no-op. With control deps disabled the
+            // universe is empty and every branch elides.
+            if (!universe_ || !universe_->contains(rec.pc)) {
+                ++data_.elidedRecords;
+                return;
+            }
+            StitchOp op = base(idx, rec, RecordKind::Branch);
+            op.a = rec.pc;
+            op.r0 = rec.rr0;
+            op.deps = depsRef(idx, rec.pc);
+            data_.ops.push_back(op);
+            return;
+          }
+
+          case RecordKind::Call: {
+            StitchOp op = base(idx, rec, RecordKind::Call);
+            op.r0 = rec.rr0;
+            op.deps = depsRef(idx, rec.pc);
+            data_.ops.push_back(op);
+            return;
+          }
+
+          case RecordKind::Ret: {
+            data_.ops.push_back(base(idx, rec, RecordKind::Ret));
+            return;
+          }
+
+          case RecordKind::Syscall: {
+            StitchOp op = base(idx, rec, RecordKind::Syscall);
+            op.rw = rec.rw;
+            op.deps = depsRef(idx, rec.pc);
+            data_.ops.push_back(op);
+            return;
+          }
+
+          case RecordKind::SyscallRead:
+          case RecordKind::SyscallWrite: {
+            StitchOp op = base(idx, rec, rec.kind);
+            op.a = rec.addr;
+            op.deps = rec.aux; // byte count; pseudos never need a dep ref
+            data_.ops.push_back(op);
+            return;
+          }
+        }
+    }
+
+    EpochData take() { return std::move(data_); }
+
+  private:
+    StitchOp
+    base(size_t idx, const Record &rec, RecordKind kind)
+    {
+        StitchOp op;
+        op.idx = static_cast<uint32_t>(idx);
+        op.kind = static_cast<uint8_t>(kind);
+        op.tid8 = tid8(rec.tid);
+        return op;
+    }
+
+    uint8_t
+    tid8(ThreadId tid)
+    {
+        auto it = tidMap_.find(tid);
+        if (it != tidMap_.end())
+            return it->second;
+        if (data_.tids.size() >= 256) {
+            data_.ok = false;
+            return 0;
+        }
+        data_.tids.push_back(tid);
+        const auto t8 = static_cast<uint8_t>(data_.tids.size() - 1);
+        tidMap_.emplace(tid, t8);
+        return t8;
+    }
+
+    uint16_t
+    packSize(size_t idx, uint32_t size)
+    {
+        if (size < kWideSize)
+            return static_cast<uint16_t>(size);
+        data_.wideSizes.emplace(static_cast<uint32_t>(idx), size);
+        return kWideSize;
+    }
+
+    /** 0 for no deps, else 1 + depsTable index; memoized per (func, pc). */
+    uint32_t
+    depsRef(size_t idx, Pc pc)
+    {
+        if (!options_.includeControlDeps)
+            return 0;
+        const auto func = cfgs_.funcOf[idx];
+        const uint64_t key = (static_cast<uint64_t>(func) << 32) | pc;
+        auto it = depsCache_.find(key);
+        if (it != depsCache_.end())
+            return it->second;
+        uint32_t ref = 0;
+        const auto span = deps_.depsOf(func, pc);
+        if (!span.empty()) {
+            data_.depsTable.emplace_back(span.data(),
+                                         static_cast<uint32_t>(span.size()));
+            ref = static_cast<uint32_t>(data_.depsTable.size());
+        }
+        depsCache_.emplace(key, ref);
+        return ref;
+    }
+
+    const graph::CfgSet &cfgs_;
+    const graph::ControlDepMap &deps_;
+    const SlicerOptions &options_;
+    const FlatSet64 *universe_;
+    EpochData data_;
+    std::unordered_map<ThreadId, uint8_t> tidMap_;
+    std::unordered_map<uint64_t, uint32_t> depsCache_;
+};
+
+using TS = ThreadState<FlatPolicy>;
+
+/**
+ * The full analysis state carried across epochs. Copyable: a boundary
+ * snapshot is a plain copy of this struct.
+ */
+struct WalkState
+{
+    SparseByteSet liveMem;
+    std::unordered_map<ThreadId, TS> threads;
+};
+
+/**
+ * Replay one epoch's ops over `st`, applying exactly the sequential
+ * kernel's transition rules. kEmit=false is the stitch phase (state
+ * only); kEmit=true is the resolve phase, which additionally writes the
+ * shared verdict bitmap and accumulates counters and peaks into `out`.
+ */
+template <bool kEmit>
+void
+walkEpoch(const EpochData &ep, WalkState &st, const SlicerOptions &opt,
+          const trace::CriteriaSet &criteria, size_t record_count,
+          SliceResult *out, uint8_t *in_slice)
+{
+    // Per-epoch tid8 -> thread-state pointer cache; unordered_map node
+    // references are stable across inserts, so the pointers stay valid.
+    std::array<TS *, 256> cache{};
+
+    uint64_t probe_base = 0;
+    uint64_t resize_base = 0;
+    if constexpr (kEmit) {
+        probe_base = st.liveMem.probeCount();
+        resize_base = st.liveMem.resizeCount();
+        for (const auto &kv : st.threads) {
+            probe_base += kv.second.pending.probeCount();
+            resize_base += kv.second.pending.resizeCount();
+        }
+    }
+
+    auto thread_state = [&](uint8_t t8) -> TS & {
+        TS *&slot = cache[t8];
+        if (!slot)
+            slot = &st.threads[ep.tids[t8]];
+        return *slot;
+    };
+
+    auto sample_peak_mem = [&] {
+        if constexpr (kEmit) {
+            out->peakLiveMemBytes = std::max<uint64_t>(
+                out->peakLiveMemBytes, st.liveMem.size());
+            out->peakLiveMemChunks = std::max<uint64_t>(
+                out->peakLiveMemChunks, st.liveMem.chunkCount());
+        }
+    };
+
+    auto include = [&](const StitchOp &op, TS &ts) {
+        if constexpr (kEmit) {
+            in_slice[op.idx] = 1;
+            ++out->sliceInstructions;
+        }
+        if (op.deps != 0) {
+            const auto &span = ep.depsTable[op.deps - 1];
+            for (uint32_t i = 0; i < span.second; ++i)
+                ts.pending.insert(span.first[i]);
+            if constexpr (kEmit) {
+                out->peakPendingBranches = std::max<uint64_t>(
+                    out->peakPendingBranches, ts.pending.size());
+            }
+        }
+        if (!ts.frames.empty())
+            ts.frames.back().any = true;
+    };
+
+    auto mem_size = [&](const StitchOp &op) -> uint64_t {
+        if (op.aux16 != kWideSize)
+            return op.aux16;
+        return ep.wideSizes.at(op.idx);
+    };
+
+    for (const StitchOp &op : ep.ops) {
+        TS &ts = thread_state(op.tid8);
+        switch (static_cast<RecordKind>(op.kind)) {
+          case RecordKind::Marker: {
+            for (const auto &range :
+                 criteria.forMarker(static_cast<uint32_t>(op.a))) {
+                st.liveMem.insert(range.addr, range.size);
+                if constexpr (kEmit)
+                    out->criteriaBytesSeeded += range.size;
+            }
+            sample_peak_mem();
+            include(op, ts);
+            break;
+          }
+
+          case RecordKind::SyscallWrite: {
+            if (st.liveMem.testAndErase(op.a, op.deps))
+                ts.syscallWriteWasLive = true;
+            break;
+          }
+
+          case RecordKind::SyscallRead: {
+            ts.syscallReads.push_back(trace::MemRange{op.a, op.deps});
+            break;
+          }
+
+          case RecordKind::Syscall: {
+            const bool reg_hit =
+                opt.includeRegisterDeps && ts.killReg(op.rw);
+            bool joins = ts.syscallWriteWasLive || reg_hit;
+            if (opt.mode == CriteriaMode::Syscalls)
+                joins = true;
+            if (joins) {
+                for (const auto &range : ts.syscallReads) {
+                    st.liveMem.insert(range.addr, range.size);
+                    if constexpr (kEmit) {
+                        if (opt.mode == CriteriaMode::Syscalls)
+                            out->criteriaBytesSeeded += range.size;
+                    }
+                }
+                sample_peak_mem();
+                include(op, ts);
+            }
+            ts.syscallReads.clear();
+            ts.syscallWriteWasLive = false;
+            break;
+          }
+
+          case RecordKind::Store: {
+            if (st.liveMem.testAndErase(op.a, mem_size(op))) {
+                include(op, ts);
+                if (opt.includeRegisterDeps) {
+                    ts.genReg(op.r0);
+                    ts.genReg(op.rw); // rr1 rides in the rw slot
+                }
+            }
+            break;
+          }
+
+          case RecordKind::Load: {
+            const bool live = opt.includeRegisterDeps
+                                  ? ts.killReg(op.rw)
+                                  : st.liveMem.intersects(op.a,
+                                                          mem_size(op));
+            if (live) {
+                include(op, ts);
+                st.liveMem.insert(op.a, mem_size(op));
+                sample_peak_mem();
+                if (opt.includeRegisterDeps)
+                    ts.genReg(op.r0);
+            }
+            break;
+          }
+
+          case RecordKind::Alu: {
+            // Only emitted with register deps on and a live-able rw.
+            if (ts.killReg(op.rw)) {
+                include(op, ts);
+                ts.genReg(op.r0);
+                ts.genReg(static_cast<RegId>(op.a & 0xFFFF));
+                ts.genReg(static_cast<RegId>((op.a >> 16) & 0xFFFF));
+            }
+            break;
+          }
+
+          case RecordKind::Branch: {
+            if (ts.pending.erase(static_cast<Pc>(op.a))) {
+                include(op, ts);
+                if (opt.includeRegisterDeps)
+                    ts.genReg(op.r0);
+            }
+            break;
+          }
+
+          case RecordKind::Ret: {
+            ts.frames.push_back(
+                TS::Frame{static_cast<size_t>(op.idx), false});
+            break;
+          }
+
+          case RecordKind::Call: {
+            bool instance_contributed = false;
+            size_t ret_index = record_count;
+            if (!ts.frames.empty()) {
+                instance_contributed = ts.frames.back().any;
+                ret_index = ts.frames.back().retIndex;
+                ts.frames.pop_back();
+            }
+            if (instance_contributed) {
+                include(op, ts);
+                if (opt.includeRegisterDeps)
+                    ts.genReg(op.r0);
+                // The matching Ret may live in a later epoch; only the
+                // epoch that pops the frame writes its verdict, so the
+                // cross-epoch write is conflict-free.
+                if constexpr (kEmit) {
+                    if (ret_index < record_count &&
+                        !in_slice[ret_index]) {
+                        in_slice[ret_index] = 1;
+                        ++out->sliceInstructions;
+                    }
+                }
+            }
+            break;
+          }
+
+          default:
+            panic_if(true, "unexpected op kind in epoch walk");
+        }
+    }
+
+    if constexpr (kEmit) {
+        uint64_t probes = st.liveMem.probeCount();
+        uint64_t resizes = st.liveMem.resizeCount();
+        for (const auto &kv : st.threads) {
+            probes += kv.second.pending.probeCount();
+            resizes += kv.second.pending.resizeCount();
+        }
+        out->flatProbes += probes - probe_base;
+        out->flatResizes += resizes - resize_base;
+    }
+}
+
+/**
+ * Turn interior boundary proposals into the final [0, b1, ..., end]
+ * plan: clamp to the window, shift each off syscall pseudo-groups, and
+ * keep the sequence monotonic (a shift may not cross the previous
+ * boundary; if it would, the boundary collapses and the epoch is empty,
+ * which the walk handles).
+ */
+std::vector<size_t>
+finalizeBounds(const std::vector<size_t> &interior, size_t end,
+               const std::function<size_t(size_t)> &shift)
+{
+    std::vector<size_t> bounds{0};
+    for (size_t b : interior) {
+        b = shift(std::min(b, end));
+        bounds.push_back(std::max(b, bounds.back()));
+    }
+    bounds.push_back(end);
+    return bounds;
+}
+
+/** Equal-record interior boundaries for `epochs` epochs over [0, end). */
+std::vector<size_t>
+proposeEqualRecords(size_t end, size_t epochs)
+{
+    std::vector<size_t> interior;
+    for (size_t k = 1; k < epochs; ++k) {
+        interior.push_back(static_cast<size_t>(
+            static_cast<uint64_t>(end) * k / epochs));
+    }
+    return interior;
+}
+
+/**
+ * Equal-work interior boundaries from the trace's block index: split so
+ * each epoch holds about the same number of executed instructions, at
+ * block granularity. Falls back to equal records when the index covers
+ * no full block of the window.
+ */
+std::vector<size_t>
+proposeEqualWork(const trace::TraceBlockIndex &index, size_t end,
+                 size_t epochs)
+{
+    const auto block = static_cast<size_t>(index.blockRecords);
+    const size_t usable = std::min(index.blockCount(), end / block);
+    uint64_t total = 0;
+    for (size_t b = 0; b < usable; ++b)
+        total += index.instructions[b];
+    if (total == 0)
+        return proposeEqualRecords(end, epochs);
+
+    std::vector<size_t> interior;
+    uint64_t acc = 0;
+    size_t next = 1;
+    for (size_t b = 0; b < usable && next < epochs; ++b) {
+        acc += index.instructions[b];
+        while (next < epochs && acc * epochs >= total * next) {
+            interior.push_back(std::min((b + 1) * block, end));
+            ++next;
+        }
+    }
+    while (interior.size() + 1 < epochs)
+        interior.push_back(end);
+    return interior;
+}
+
+/** Epochs to plan: enough to overlap the stitch with transcodes and to
+ *  smooth load imbalance, capped so no epoch is empty by construction. */
+size_t
+epochTarget(size_t end, unsigned jobs)
+{
+    return std::max<size_t>(
+        1, std::min<size_t>(static_cast<size_t>(jobs) * 4, end));
+}
+
+/**
+ * The three-phase driver shared by the in-memory and streaming fronts.
+ * `transcode(first, last, tc)` feeds the epoch's records (newest first)
+ * into the transcoder; `sequential()` is the oracle fallback used when
+ * an epoch cannot be encoded.
+ */
+template <typename TranscodeFn>
+SliceResult
+runEpochParallel(const graph::CfgSet &cfgs,
+                 const graph::ControlDepMap &deps,
+                 const trace::CriteriaSet &criteria,
+                 const SlicerOptions &options, size_t record_count,
+                 const std::vector<size_t> &bounds,
+                 const TranscodeFn &transcode,
+                 const std::function<SliceResult()> &sequential)
+{
+    const size_t epoch_count = bounds.size() - 1;
+    const size_t end = bounds.back();
+    auto &registry = MetricRegistry::global();
+
+    // Sealing is lazy and not safe to race; force it before the
+    // transcode tasks start probing from worker threads.
+    deps.ensureSealed();
+    FlatSet64 universe;
+    if (options.includeControlDeps) {
+        const auto pcs = deps.branchUniverse();
+        universe.reserve(pcs.size());
+        for (const Pc pc : pcs)
+            universe.insert(pc);
+    }
+    const FlatSet64 *universe_ptr =
+        options.includeControlDeps ? &universe : nullptr;
+
+    std::vector<EpochData> epochs(epoch_count);
+    std::vector<uint8_t> transcoded(epoch_count, 0);
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::atomic<bool> need_fallback{false};
+
+    const unsigned jobs = ThreadPool::resolveJobs(options.backwardJobs);
+    ThreadPool pool(jobs - 1);
+    TaskGroup group;
+
+    // Newest epochs first: the stitch consumes them in that order, so
+    // the serial phase starts as soon as the first transcode lands.
+    for (size_t k = epoch_count; k-- > 0;) {
+        pool.post(group, [&, k] {
+            std::exception_ptr error;
+            try {
+                EpochTranscoder tc(cfgs, deps, options, universe_ptr,
+                                   bounds[k], bounds[k + 1]);
+                transcode(bounds[k], bounds[k + 1], tc);
+                epochs[k] = tc.take();
+                if (!epochs[k].ok)
+                    need_fallback.store(true);
+            } catch (...) {
+                error = std::current_exception();
+                need_fallback.store(true);
+            }
+            {
+                std::lock_guard<std::mutex> lock(mutex);
+                transcoded[k] = 1;
+            }
+            cv.notify_all();
+            if (error)
+                std::rethrow_exception(error);
+        });
+    }
+
+    SliceResult result;
+    result.inSlice.assign(record_count, 0);
+    result.analyzedWindowEnd = end;
+    result.recordsFed = end;
+
+    std::vector<SliceResult> partial(epoch_count);
+    WalkState state;
+    bool aborted = false;
+
+    // Stitch on the calling thread, newest epoch to oldest. The state
+    // *before* stitching epoch k is its exact live-out; snapshot it,
+    // hand the snapshot to a resolve task, then advance the state
+    // through the epoch. Epoch 0 needs no live-out for anyone, so the
+    // state moves into its resolve instead of being stitched.
+    for (size_t k = epoch_count; k-- > 0;) {
+        {
+            std::unique_lock<std::mutex> lock(mutex);
+            cv.wait(lock, [&] { return transcoded[k] != 0; });
+        }
+        if (need_fallback.load()) {
+            aborted = true;
+            break;
+        }
+        if (k > 0) {
+            auto seed = std::make_shared<WalkState>(state);
+            pool.post(group, [&, k, seed] {
+                walkEpoch<true>(epochs[k], *seed, options, criteria,
+                                record_count, &partial[k],
+                                result.inSlice.data());
+            });
+            walkEpoch<false>(epochs[k], state, options, criteria,
+                             record_count, nullptr, nullptr);
+        } else {
+            auto seed = std::make_shared<WalkState>(std::move(state));
+            pool.post(group, [&, seed] {
+                walkEpoch<true>(epochs[0], *seed, options, criteria,
+                                record_count, &partial[0],
+                                result.inSlice.data());
+            });
+        }
+    }
+
+    // The caller joins the resolve phase: drain runs queued tasks on
+    // this thread until the group is idle (rethrowing task errors).
+    pool.drain(group);
+
+    if (aborted || need_fallback.load()) {
+        registry.counter("slicer.epoch_fallbacks").add(1);
+        return sequential();
+    }
+
+    uint64_t elided = 0;
+    for (size_t k = 0; k < epoch_count; ++k) {
+        result.sliceInstructions += partial[k].sliceInstructions;
+        result.criteriaBytesSeeded += partial[k].criteriaBytesSeeded;
+        result.flatProbes += partial[k].flatProbes;
+        result.flatResizes += partial[k].flatResizes;
+        result.peakLiveMemBytes = std::max(result.peakLiveMemBytes,
+                                           partial[k].peakLiveMemBytes);
+        result.peakLiveMemChunks = std::max(result.peakLiveMemChunks,
+                                            partial[k].peakLiveMemChunks);
+        result.peakPendingBranches =
+            std::max(result.peakPendingBranches,
+                     partial[k].peakPendingBranches);
+        result.instructionsAnalyzed += epochs[k].nonPseudoRecords;
+        elided += epochs[k].elidedRecords;
+    }
+
+    registry.counter("slicer.epochs_planned").add(epoch_count);
+    registry.counter("slicer.epoch_elided_records").add(elided);
+    publishSliceMetrics(result);
+    return result;
+}
+
+std::vector<size_t>
+interiorProposals(size_t end, size_t epochs)
+{
+    if (EpochPlanner::boundariesOverrideForTesting) {
+        auto interior = *EpochPlanner::boundariesOverrideForTesting;
+        std::sort(interior.begin(), interior.end());
+        return interior;
+    }
+    return proposeEqualRecords(end, epochs);
+}
+
+} // namespace
+
+bool
+epochParallelEligible(const SlicerOptions &options, size_t record_count)
+{
+    if (options.legacyLiveSets || record_count == 0)
+        return false;
+    if (record_count > std::numeric_limits<uint32_t>::max())
+        return false; // op encoding carries 32-bit record indices
+    if (options.backwardJobs == 1)
+        return false;
+    return ThreadPool::resolveJobs(options.backwardJobs) > 1;
+}
+
+SliceResult
+computeSliceEpochParallel(std::span<const Record> records,
+                          const graph::CfgSet &cfgs,
+                          const graph::ControlDepMap &deps,
+                          const trace::CriteriaSet &criteria,
+                          const SlicerOptions &options)
+{
+    panic_if(cfgs.funcOf.size() != records.size(),
+             "forward-pass attribution does not match the trace length");
+    const auto sequential = [&]() -> SliceResult {
+        BackwardPass pass(cfgs, deps, criteria, options, records.size());
+        pass.run(records);
+        return pass.finish();
+    };
+
+    const size_t end = std::min(options.endIndex, records.size());
+    if (end == 0)
+        return sequential();
+
+    const unsigned jobs = ThreadPool::resolveJobs(options.backwardJobs);
+    const size_t epochs = epochTarget(end, jobs);
+    const auto bounds = finalizeBounds(
+        interiorProposals(end, epochs), end, [&](size_t b) {
+            return trace::CriteriaSet::splitBoundary(records, b);
+        });
+
+    return runEpochParallel(
+        cfgs, deps, criteria, options, records.size(), bounds,
+        [&](size_t first, size_t last, EpochTranscoder &tc) {
+            for (size_t idx = last; idx-- > first;) {
+                if (idx >= first + 16)
+                    __builtin_prefetch(&records[idx - 16]);
+                tc.consume(idx, records[idx]);
+            }
+        },
+        sequential);
+}
+
+SliceResult
+computeSliceEpochParallelFromFile(const std::string &path,
+                                  const graph::CfgSet &cfgs,
+                                  const graph::ControlDepMap &deps,
+                                  const trace::CriteriaSet &criteria,
+                                  const SlicerOptions &options)
+{
+    const size_t record_count = cfgs.funcOf.size();
+    const auto sequential = [&]() -> SliceResult {
+        trace::ReverseTraceReader reader(path);
+        BackwardPass pass(cfgs, deps, criteria, options,
+                          static_cast<size_t>(reader.count()));
+        Record rec;
+        size_t idx = static_cast<size_t>(reader.count());
+        while (reader.next(rec))
+            pass.feed(--idx, rec);
+        return pass.finish();
+    };
+
+    const size_t end = std::min(options.endIndex, record_count);
+    if (end == 0)
+        return sequential();
+
+    const unsigned jobs = ThreadPool::resolveJobs(options.backwardJobs);
+    const size_t epochs = epochTarget(end, jobs);
+    const trace::TraceBlockIndex index = trace::loadTraceBlockIndex(path);
+
+    std::vector<size_t> interior;
+    if (EpochPlanner::boundariesOverrideForTesting) {
+        interior = interiorProposals(end, epochs);
+    } else if (index.present()) {
+        interior = proposeEqualWork(index, end, epochs);
+    } else {
+        interior = proposeEqualRecords(end, epochs);
+    }
+
+    // A boundary shift only needs the few records below the proposal;
+    // load a small window instead of the trace.
+    const auto bounds =
+        finalizeBounds(interior, end, [&](size_t b) -> size_t {
+            if (b == 0 || b >= record_count)
+                return b;
+            const size_t lo = b > 4096 ? b - 4096 : 0;
+            const auto window =
+                trace::loadTraceRange(path, lo, b - lo + 1);
+            return lo + trace::CriteriaSet::splitBoundary(window, b - lo);
+        });
+
+    return runEpochParallel(
+        cfgs, deps, criteria, options, record_count, bounds,
+        [&](size_t first, size_t last, EpochTranscoder &tc) {
+            trace::ReverseTraceReader reader(path, first, last);
+            Record rec;
+            size_t idx = last;
+            while (reader.next(rec))
+                tc.consume(--idx, rec);
+        },
+        sequential);
+}
+
+} // namespace slicer
+} // namespace webslice

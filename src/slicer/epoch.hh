@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Epoch-parallel backward slicing: transcode → stitch → resolve.
+ *
+ * The sequential backward pass is a chain dependence: every record's
+ * include decision reads live state produced by all newer records. The
+ * epoch driver breaks the chain into three phases over N trace epochs:
+ *
+ *  1. Transcode (parallel): each epoch's records are walked backward and
+ *     compiled into compact 24-byte stitch ops. Provable state-no-ops
+ *     (unconditional jumps, dead-destination ALU ops, branches that no
+ *     dependence list ever names) are elided, control-dependence lists
+ *     are pre-resolved into per-epoch span tables, and thread ids are
+ *     compressed through per-epoch tables. This moves the hash-probe and
+ *     record-decode work off the serial critical path.
+ *  2. Stitch (sequential, newest epoch to oldest): the ops are replayed
+ *     with the full transition rules but no output bookkeeping, yielding
+ *     the *exact* analysis state at every epoch boundary — the state the
+ *     sequential pass would hold at that record index.
+ *  3. Resolve (parallel, overlapped with the stitch): each epoch replays
+ *     its ops once more, seeded with its exact boundary state, this time
+ *     emitting verdict bits, counters, and peaks. Per-record verdicts are
+ *     disjoint across epochs, and the one cross-epoch write (a Call
+ *     marking its matching Ret) is performed only by the epoch that pops
+ *     the frame, so the epochs write the shared bitmap without conflicts.
+ *
+ * Because phases 2 and 3 run the same transition rules as the sequential
+ * kernel over the same state types (slicer/kernel.hh), the output is
+ * bit-identical to the sequential slicer by construction; the tests and
+ * the scaling bench assert it.
+ */
+
+#ifndef WEBSLICE_SLICER_EPOCH_HH
+#define WEBSLICE_SLICER_EPOCH_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "slicer/slicer.hh"
+
+namespace webslice {
+namespace slicer {
+
+/**
+ * True when `options` ask for the epoch-parallel backward pass and the
+ * trace shape supports it: backwardJobs resolves to more than one
+ * thread, the live sets are the flat defaults (legacyLiveSets pins the
+ * sequential oracle), and record indices fit the 32-bit op encoding.
+ */
+bool epochParallelEligible(const SlicerOptions &options,
+                           size_t record_count);
+
+/** Epoch-parallel equivalent of computeSlice(); bit-identical output. */
+SliceResult computeSliceEpochParallel(std::span<const trace::Record> records,
+                                      const graph::CfgSet &cfgs,
+                                      const graph::ControlDepMap &deps,
+                                      const trace::CriteriaSet &criteria,
+                                      const SlicerOptions &options);
+
+/**
+ * Epoch-parallel equivalent of computeSliceFromFile(). Each epoch streams
+ * its segment through a ranged ReverseTraceReader, and the planner uses
+ * the trace's block-index footer (when present) to split the trace into
+ * equal-*instruction* epochs instead of equal-record ones. Unlike the
+ * sequential streaming path, the transcoded ops of all epochs are held in
+ * memory at once (~24 bytes per surviving record).
+ */
+SliceResult computeSliceEpochParallelFromFile(
+    const std::string &path, const graph::CfgSet &cfgs,
+    const graph::ControlDepMap &deps, const trace::CriteriaSet &criteria,
+    const SlicerOptions &options);
+
+/** Epoch boundary planning knobs (test hooks). */
+struct EpochPlanner
+{
+    /**
+     * When non-null, the interior epoch boundaries to use instead of the
+     * planner's equal split — lets tests force boundaries through syscall
+     * groups, pending branches, or live registers. Values are clamped to
+     * the analysis window and still pass through
+     * CriteriaSet::splitBoundary. Not thread-safe; tests only.
+     */
+    static const std::vector<size_t> *boundariesOverrideForTesting;
+};
+
+} // namespace slicer
+} // namespace webslice
+
+#endif // WEBSLICE_SLICER_EPOCH_HH

@@ -3,13 +3,12 @@
 #include <cstdio>
 #include <memory>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
-#include "support/flat_map.hh"
+#include "slicer/epoch.hh"
+#include "slicer/kernel.hh"
 #include "support/logging.hh"
 #include "support/metrics.hh"
-#include "support/sparse_byte_set.hh"
 #include "support/stopwatch.hh"
 #include "trace/trace_file.hh"
 
@@ -23,136 +22,6 @@ using trace::Record;
 using trace::RecordKind;
 using trace::RegId;
 using trace::ThreadId;
-
-namespace {
-
-/** std::unordered_set with the pending-set interface (legacy baseline). */
-struct StdPendingSet
-{
-    std::unordered_set<Pc> set;
-
-    void insert(Pc pc) { set.insert(pc); }
-    bool erase(Pc pc) { return set.erase(pc) != 0; }
-    size_t size() const { return set.size(); }
-    uint64_t probeCount() const { return 0; }
-    uint64_t resizeCount() const { return 0; }
-};
-
-/**
- * The default live-set implementations: flat-hash live memory, flat-hash
- * pending branches, byte-per-register liveness flags, a dense per-tid
- * thread-state array, and the flat-indexed control-dependence lookup.
- */
-struct FlatPolicy
-{
-    using ByteSet = SparseByteSet;
-    using PendingSet = FlatSet64;
-    using RegFlags = std::vector<uint8_t>;
-    static constexpr bool kDenseThreads = true;
-    static constexpr bool kIndexedDeps = true;
-    static constexpr bool kPreallocRegs = true;
-};
-
-/**
- * The seed implementations, kept as the measured perf baseline: every
- * container and lookup path matches what the profiler shipped with, so
- * benchmarks comparing against this policy report the real gain.
- */
-struct LegacyPolicy
-{
-    using ByteSet = LegacySparseByteSet;
-    using PendingSet = StdPendingSet;
-    using RegFlags = std::vector<bool>;
-    static constexpr bool kDenseThreads = false;
-    static constexpr bool kIndexedDeps = false;
-    static constexpr bool kPreallocRegs = false;
-};
-
-/** Per-thread analysis state for the backward pass. */
-template <typename Policy>
-struct ThreadState
-{
-    /**
-     * Live virtual registers. The flat policy sizes the array for the
-     * whole RegId space upfront (64 KiB per thread) so the hot
-     * gen/kill paths carry no bounds or sentinel branches: kNoReg
-     * indexes a slot that is never set. The legacy policy keeps the
-     * seed's grown-on-demand vector<bool>.
-     */
-    typename Policy::RegFlags liveRegs;
-    size_t liveRegCount = 0;
-
-    ThreadState()
-    {
-        if constexpr (Policy::kPreallocRegs)
-            liveRegs.assign(size_t{kNoReg} + 1, 0);
-    }
-
-    /** Branch pcs waiting for their nearest preceding dynamic instance. */
-    typename Policy::PendingSet pending;
-
-    /**
-     * Backward-reconstructed call stack. A frame is opened at a Ret record
-     * and closed at the matching Call; `any` records whether any
-     * instruction of the function instance joined the slice, which decides
-     * whether the Call/Ret pair joins it too.
-     */
-    struct Frame
-    {
-        size_t retIndex;
-        bool any = false;
-    };
-    std::vector<Frame> frames;
-
-    /** Memory effects buffered between a syscall's pseudo-records and the
-     *  Syscall record itself (they follow it in forward order, so the
-     *  backward pass sees them first). */
-    std::vector<trace::MemRange> syscallReads;
-    bool syscallWriteWasLive = false;
-
-    bool
-    regLive(RegId reg) const
-    {
-        if constexpr (Policy::kPreallocRegs)
-            return liveRegs[reg] != 0;
-        else
-            return reg < liveRegs.size() && liveRegs[reg];
-    }
-
-    void
-    genReg(RegId reg)
-    {
-        if (reg == kNoReg)
-            return;
-        if constexpr (!Policy::kPreallocRegs) {
-            if (reg >= liveRegs.size())
-                liveRegs.resize(reg + 1, false);
-        }
-        if (!liveRegs[reg]) {
-            liveRegs[reg] = true;
-            ++liveRegCount;
-        }
-    }
-
-    /** Kill a register; returns whether it was live. */
-    bool
-    killReg(RegId reg)
-    {
-        if constexpr (Policy::kPreallocRegs) {
-            // kNoReg's slot exists and is never set; no sentinel branch.
-            if (!liveRegs[reg])
-                return false;
-        } else {
-            if (reg == kNoReg || !regLive(reg))
-                return false;
-        }
-        liveRegs[reg] = false;
-        --liveRegCount;
-        return true;
-    }
-};
-
-} // namespace
 
 /**
  * The state shared by every backward-pass implementation; the live-set
@@ -495,14 +364,9 @@ BackwardPass::run(std::span<const Record> records)
     impl_->run(records);
 }
 
-SliceResult
-BackwardPass::finish()
+void
+publishSliceMetrics(const SliceResult &r)
 {
-    panic_if(impl_->finished, "finish called twice");
-    impl_->finished = true;
-    impl_->collectStats();
-
-    const SliceResult &r = impl_->result;
     auto &registry = MetricRegistry::global();
     registry.counter("slicer.records_fed").add(r.recordsFed);
     registry.counter("slicer.instructions_analyzed")
@@ -517,7 +381,15 @@ BackwardPass::finish()
         .setMax(r.peakLiveMemChunks);
     registry.gauge("slicer.peak_pending_branches")
         .setMax(r.peakPendingBranches);
+}
 
+SliceResult
+BackwardPass::finish()
+{
+    panic_if(impl_->finished, "finish called twice");
+    impl_->finished = true;
+    impl_->collectStats();
+    publishSliceMetrics(impl_->result);
     return std::move(impl_->result);
 }
 
@@ -527,6 +399,9 @@ computeSlice(std::span<const Record> records, const graph::CfgSet &cfgs,
              const trace::CriteriaSet &criteria,
              const SlicerOptions &options)
 {
+    if (epochParallelEligible(options, records.size()))
+        return computeSliceEpochParallel(records, cfgs, deps, criteria,
+                                         options);
     BackwardPass pass(cfgs, deps, criteria, options, records.size());
     if (options.legacyLiveSets) {
         // The baseline policy also keeps the seed's per-record dispatch,
@@ -545,6 +420,9 @@ computeSliceFromFile(const std::string &path, const graph::CfgSet &cfgs,
                      const trace::CriteriaSet &criteria,
                      const SlicerOptions &options)
 {
+    if (epochParallelEligible(options, cfgs.funcOf.size()))
+        return computeSliceEpochParallelFromFile(path, cfgs, deps,
+                                                 criteria, options);
     trace::ReverseTraceReader reader(path);
     BackwardPass pass(cfgs, deps, criteria, options,
                       static_cast<size_t>(reader.count()));

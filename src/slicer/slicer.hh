@@ -72,11 +72,22 @@ struct SlicerOptions
 
     /**
      * Worker threads for the forward pass (CFG construction and control
-     * dependences); the backward pass itself is inherently sequential.
-     * 1 (the default) is the serial path; <= 0 means "all hardware
-     * threads". Results are identical for every value.
+     * dependences). 1 (the default) is the serial path; <= 0 means "all
+     * hardware threads". Results are identical for every value.
      */
     int jobs = 1;
+
+    /**
+     * Worker threads for the backward pass. 1 (the default) runs the
+     * sequential reverse walk; values > 1 (or <= 0 for "all hardware
+     * threads") engage the epoch-parallel driver: the trace is split
+     * into epochs that are transcoded in parallel, stitched newest to
+     * oldest into exact boundary states, and resolved in parallel (see
+     * slicer/epoch.hh). The slice is bit-identical to the sequential
+     * walk for every value; legacyLiveSets forces the sequential path
+     * because it is the measured oracle baseline.
+     */
+    int backwardJobs = 1;
 
     /**
      * Benchmark/ablation knob: run the backward pass on the original
@@ -212,6 +223,9 @@ SliceResult computeSliceFromFile(const std::string &path,
                                  const graph::ControlDepMap &deps,
                                  const trace::CriteriaSet &criteria,
                                  const SlicerOptions &options = {});
+
+/** Publish one pass's totals to the global metric registry. */
+void publishSliceMetrics(const SliceResult &result);
 
 } // namespace slicer
 } // namespace webslice

@@ -110,6 +110,30 @@ template <typename ChunkMap, bool kCacheLastChunk = true>
 class BasicSparseByteSet
 {
   public:
+    BasicSparseByteSet() = default;
+
+    // Copies reset the last-chunk cache: the cached slot pointer aims
+    // into the *source* set's chunk storage, and the copied generation
+    // counter would make it look valid. The epoch-parallel slicer
+    // snapshots live sets at epoch boundaries, so copies must be safe.
+    BasicSparseByteSet(const BasicSparseByteSet &other)
+        : chunks_(other.chunks_), population_(other.population_)
+    {
+    }
+
+    BasicSparseByteSet &
+    operator=(const BasicSparseByteSet &other)
+    {
+        if (this != &other) {
+            chunks_ = other.chunks_;
+            population_ = other.population_;
+            cacheBase_ = kNoBase;
+            cachePtr_ = nullptr;
+            cacheGen_ = 0;
+        }
+        return *this;
+    }
+
     /** Insert the byte range [addr, addr + size). */
     void
     insert(uint64_t addr, uint64_t size)

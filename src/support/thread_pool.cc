@@ -125,6 +125,87 @@ ThreadPool::parallelFor(size_t begin, size_t end,
         std::rethrow_exception(state->error);
 }
 
+void
+TaskGroup::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_.wait(lock, [this] { return outstanding_ == 0; });
+    if (error_) {
+        std::exception_ptr error = error_;
+        error_ = nullptr;
+        std::rethrow_exception(error);
+    }
+}
+
+size_t
+TaskGroup::outstanding() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return outstanding_;
+}
+
+void
+TaskGroup::finishOne(std::exception_ptr error)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        --outstanding_;
+        if (error && !error_)
+            error_ = error;
+    }
+    done_.notify_all();
+}
+
+void
+ThreadPool::runGroupTask(TaskGroup &group,
+                         const std::function<void()> &task)
+{
+    std::exception_ptr error;
+    try {
+        task();
+    } catch (...) {
+        error = std::current_exception();
+    }
+    group.finishOne(error);
+}
+
+void
+ThreadPool::post(TaskGroup &group, std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(group.mutex_);
+        ++group.outstanding_;
+    }
+    if (workers_.empty()) {
+        runGroupTask(group, task);
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        tasks_.push([&group, task = std::move(task)] {
+            runGroupTask(group, task);
+        });
+    }
+    cv_.notify_one();
+}
+
+void
+ThreadPool::drain(TaskGroup &group)
+{
+    while (true) {
+        std::function<void()> task;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (tasks_.empty())
+                break;
+            task = std::move(tasks_.front());
+            tasks_.pop();
+        }
+        task();
+    }
+    group.wait();
+}
+
 unsigned
 ThreadPool::resolveJobs(int jobs)
 {

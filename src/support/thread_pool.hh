@@ -15,6 +15,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -22,6 +23,34 @@
 #include <vector>
 
 namespace webslice {
+
+/**
+ * Tracks a set of tasks posted to a ThreadPool so a producer can block
+ * until all of them have run. The epoch-parallel slicer posts per-epoch
+ * transcode and resolve tasks against one group while its stitch phase
+ * keeps running on the calling thread; the first exception thrown by any
+ * task is captured and rethrown from wait().
+ */
+class TaskGroup
+{
+  public:
+    /** Block until every task posted against this group has finished;
+     *  rethrows the first captured task exception. */
+    void wait();
+
+    /** Tasks posted but not yet finished (racy; diagnostics only). */
+    size_t outstanding() const;
+
+  private:
+    friend class ThreadPool;
+
+    void finishOne(std::exception_ptr error);
+
+    mutable std::mutex mutex_;
+    std::condition_variable done_;
+    size_t outstanding_ = 0;
+    std::exception_ptr error_;
+};
 
 class ThreadPool
 {
@@ -51,6 +80,23 @@ class ThreadPool
                      const std::function<void(size_t)> &body);
 
     /**
+     * Enqueue one task against `group`. Returns immediately; the task
+     * runs on a worker thread (or inside a drain() call). With zero
+     * workers the task runs inline before post() returns, so callers
+     * need no special serial path.
+     */
+    void post(TaskGroup &group, std::function<void()> task);
+
+    /**
+     * Let the calling thread execute queued tasks until `group` has no
+     * outstanding work, then return (rethrowing the group's first task
+     * exception). Tasks from other groups encountered in the queue are
+     * executed too — work is work. This is how the epoch driver's
+     * calling thread joins the resolve phase after its stitch finishes.
+     */
+    void drain(TaskGroup &group);
+
+    /**
      * Translate a user-facing --jobs value into a thread count: values
      * <= 0 mean "all hardware threads", anything else is taken as-is.
      */
@@ -58,6 +104,10 @@ class ThreadPool
 
   private:
     void workerLoop();
+
+    /** Run a group task, routing its exception into the group. */
+    static void runGroupTask(TaskGroup &group,
+                             const std::function<void()> &task);
 
     std::vector<std::thread> workers_;
     std::mutex mutex_;

@@ -20,37 +20,123 @@ namespace {
 
 constexpr size_t kWriteBufferRecords = 1 << 15;
 
+/** On-disk header of the optional block-index footer. */
+struct IndexFooter
+{
+    char magic[8];
+    uint64_t blockRecords;
+    uint64_t blockCount;
+};
+
+static_assert(sizeof(IndexFooter) == 24, "footer layout must stay fixed");
+
+constexpr char kIndexMagic[8] = {'W', 'E', 'B', 'T', 'I', 'D', 'X', '1'};
+
+/** One footer entry per block: executed and pseudo record counts. */
+struct IndexEntry
+{
+    uint32_t instructions;
+    uint32_t pseudoRecords;
+};
+
+static_assert(sizeof(IndexEntry) == 8, "footer layout must stay fixed");
+
+uint64_t
+indexBlockCount(uint64_t record_count, uint64_t block_records)
+{
+    return (record_count + block_records - 1) / block_records;
+}
+
 /**
  * Reject payloads that cannot be a whole record array: misaligned sizes
- * (a torn write or foreign file), fewer records than the header claims
- * (truncation), or bytes past the last record (trailing garbage). Every
- * diagnostic names the file and the offending byte offset, so a corrupt
- * artifact fails loudly here instead of silently slicing a partial trace.
+ * (a torn write or foreign file) and fewer records than the header
+ * claims (truncation). Every diagnostic names the file and the
+ * offending byte offset, so a corrupt artifact fails loudly here
+ * instead of silently slicing a partial trace. Bytes past the last
+ * record are returned for footer validation: a valid block-index
+ * footer is the only acceptable trailer.
  */
-void
+uint64_t
 validatePayload(const std::string &path, uint64_t file_bytes,
                 uint64_t record_count)
 {
     const uint64_t payload = file_bytes - sizeof(TraceHeader);
-    const uint64_t stray = payload % sizeof(Record);
+    const uint64_t expected = record_count * sizeof(Record);
+    if (payload < expected) {
+        const uint64_t stray = payload % sizeof(Record);
+        fatal_if(stray != 0, "misaligned trace payload in ", path, ": ",
+                 stray, " stray bytes past offset ", file_bytes - stray,
+                 " (records are ", sizeof(Record), " bytes)");
+        fatal_if(true, "truncated trace file ", path, ": header claims ",
+                 record_count, " records but only ",
+                 payload / sizeof(Record),
+                 " are stored (file ends at offset ", file_bytes,
+                 ", expected ", sizeof(TraceHeader) + expected, ")");
+    }
+    return payload - expected;
+}
+
+/** The pre-index diagnostics for trailing bytes that are no footer. */
+void
+rejectTrailingBytes(const std::string &path, uint64_t file_bytes,
+                    uint64_t record_count, uint64_t extra)
+{
+    const uint64_t stray = extra % sizeof(Record);
     fatal_if(stray != 0, "misaligned trace payload in ", path, ": ", stray,
-             " stray bytes past offset ",
-             file_bytes - stray, " (records are ", sizeof(Record),
-             " bytes)");
-    const uint64_t stored = payload / sizeof(Record);
-    fatal_if(stored < record_count, "truncated trace file ", path,
-             ": header claims ", record_count, " records but only ",
-             stored, " are stored (file ends at offset ", file_bytes,
-             ", expected ",
-             sizeof(TraceHeader) + record_count * sizeof(Record), ")");
-    fatal_if(stored > record_count, "trailing garbage in trace file ",
-             path, ": ", (stored - record_count) * sizeof(Record),
+             " stray bytes past offset ", file_bytes - stray,
+             " (records are ", sizeof(Record), " bytes)");
+    fatal_if(true, "trailing garbage in trace file ", path, ": ", extra,
              " bytes past the last record (offset ",
              sizeof(TraceHeader) + record_count * sizeof(Record), ")");
 }
 
+/**
+ * Validate a candidate footer header against the trailer size; fatal on
+ * a corrupt footer, false when the bytes are not a footer at all (the
+ * caller then issues the classic trailing-bytes diagnostics).
+ */
+bool
+checkFooter(const std::string &path, uint64_t record_count, uint64_t extra,
+            const IndexFooter &footer)
+{
+    if (std::memcmp(footer.magic, kIndexMagic, sizeof(kIndexMagic)) != 0)
+        return false;
+    fatal_if(footer.blockRecords == 0, "corrupt trace block index in ",
+             path, ": zero records per block");
+    const uint64_t blocks =
+        indexBlockCount(record_count, footer.blockRecords);
+    fatal_if(footer.blockCount != blocks, "corrupt trace block index in ",
+             path, ": footer claims ", footer.blockCount,
+             " blocks, trace geometry implies ", blocks);
+    const uint64_t want =
+        sizeof(IndexFooter) + blocks * sizeof(IndexEntry);
+    fatal_if(extra != want, "corrupt trace block index in ", path,
+             ": footer occupies ", extra, " bytes, expected ", want);
+    return true;
+}
+
+/** Unpack validated footer entries into the public index form. */
+void
+unpackIndex(const IndexFooter &footer, const IndexEntry *entries,
+            TraceBlockIndex &out)
+{
+    out.blockRecords = footer.blockRecords;
+    out.instructions.resize(footer.blockCount);
+    out.pseudoRecords.resize(footer.blockCount);
+    for (uint64_t b = 0; b < footer.blockCount; ++b) {
+        out.instructions[b] = entries[b].instructions;
+        out.pseudoRecords[b] = entries[b].pseudoRecords;
+    }
+}
+
+/**
+ * Read and validate the header; when `index` is non-null and the file
+ * carries a block-index footer, parse it too. The stream is left
+ * positioned at the first record.
+ */
 TraceHeader
-readHeader(std::FILE *file, const std::string &path)
+readHeader(std::FILE *file, const std::string &path,
+           TraceBlockIndex *index = nullptr)
 {
     fatal_if(std::fseek(file, 0, SEEK_END) != 0,
              "cannot seek in trace file ", path);
@@ -69,7 +155,37 @@ readHeader(std::FILE *file, const std::string &path)
     TraceHeader expect;
     fatal_if(std::memcmp(header.magic, expect.magic, sizeof(header.magic)) !=
              0, "bad trace magic in ", path);
-    validatePayload(path, file_bytes, header.recordCount);
+    const uint64_t extra =
+        validatePayload(path, file_bytes, header.recordCount);
+    if (extra > 0) {
+        const long footer_offset = static_cast<long>(
+            sizeof(TraceHeader) + header.recordCount * sizeof(Record));
+        IndexFooter footer{};
+        bool is_footer = extra >= sizeof(IndexFooter);
+        if (is_footer) {
+            fatal_if(std::fseek(file, footer_offset, SEEK_SET) != 0,
+                     "cannot seek in trace file ", path);
+            fatal_if(std::fread(&footer, sizeof(footer), 1, file) != 1,
+                     "cannot read trace block index from ", path);
+            is_footer = checkFooter(path, header.recordCount, extra,
+                                    footer);
+        }
+        if (!is_footer)
+            rejectTrailingBytes(path, file_bytes, header.recordCount,
+                                extra);
+        if (index) {
+            std::vector<IndexEntry> entries(footer.blockCount);
+            if (!entries.empty()) {
+                fatal_if(std::fread(entries.data(), sizeof(IndexEntry),
+                                    entries.size(),
+                                    file) != entries.size(),
+                         "cannot read trace block index from ", path);
+            }
+            unpackIndex(footer, entries.data(), *index);
+        }
+        fatal_if(std::fseek(file, sizeof(TraceHeader), SEEK_SET) != 0,
+                 "cannot seek in trace file ", path);
+    }
     return header;
 }
 
@@ -88,7 +204,8 @@ publishReaderStats(uint64_t hits, uint64_t misses, uint64_t sync_reads)
 
 } // namespace
 
-TraceWriter::TraceWriter(const std::string &path) : path_(path)
+TraceWriter::TraceWriter(const std::string &path, bool block_index)
+    : path_(path), writeIndex_(block_index)
 {
     file_ = std::fopen(path.c_str(), "wb");
     fatal_if(!file_, "cannot create trace file ", path);
@@ -96,6 +213,8 @@ TraceWriter::TraceWriter(const std::string &path) : path_(path)
     fatal_if(std::fwrite(&header, sizeof(header), 1, file_) != 1,
              "cannot write trace header to ", path);
     buffer_.reserve(kWriteBufferRecords);
+    if (writeIndex_)
+        index_.blockRecords = kTraceIndexBlockRecords;
 }
 
 TraceWriter::~TraceWriter()
@@ -108,6 +227,18 @@ TraceWriter::append(const Record &rec)
 {
     panic_if(!file_, "append to a closed trace writer");
     buffer_.push_back(rec);
+    if (writeIndex_) {
+        const size_t block =
+            static_cast<size_t>(count_ / kTraceIndexBlockRecords);
+        if (block == index_.instructions.size()) {
+            index_.instructions.push_back(0);
+            index_.pseudoRecords.push_back(0);
+        }
+        if (rec.isPseudo())
+            ++index_.pseudoRecords[block];
+        else
+            ++index_.instructions[block];
+    }
     ++count_;
     if (buffer_.size() >= kWriteBufferRecords)
         flush();
@@ -130,6 +261,26 @@ TraceWriter::close()
     if (!file_)
         return;
     flush();
+    if (writeIndex_) {
+        // The stream sits at end-of-records after flush(); the footer
+        // goes there, before the header patch seeks back to offset 0.
+        IndexFooter footer;
+        std::memcpy(footer.magic, kIndexMagic, sizeof(kIndexMagic));
+        footer.blockRecords = kTraceIndexBlockRecords;
+        footer.blockCount = index_.blockCount();
+        fatal_if(std::fwrite(&footer, sizeof(footer), 1, file_) != 1,
+                 "cannot write trace block index to ", path_);
+        std::vector<IndexEntry> entries(index_.blockCount());
+        for (size_t b = 0; b < entries.size(); ++b) {
+            entries[b].instructions = index_.instructions[b];
+            entries[b].pseudoRecords = index_.pseudoRecords[b];
+        }
+        if (!entries.empty()) {
+            fatal_if(std::fwrite(entries.data(), sizeof(IndexEntry),
+                                 entries.size(), file_) != entries.size(),
+                     "cannot write trace block index to ", path_);
+        }
+    }
     TraceHeader header;
     header.recordCount = count_;
     fatal_if(std::fseek(file_, 0, SEEK_SET) != 0,
@@ -155,6 +306,43 @@ loadTrace(const std::string &path)
     }
     std::fclose(file);
     return records;
+}
+
+std::vector<Record>
+loadTraceRange(const std::string &path, uint64_t first, uint64_t count)
+{
+    std::FILE *file = std::fopen(path.c_str(), "rb");
+    fatal_if(!file, "cannot open trace file ", path);
+    const TraceHeader header = readHeader(file, path);
+    fatal_if(first > header.recordCount ||
+             count > header.recordCount - first,
+             "trace range [", first, ", ", first + count,
+             ") out of bounds in ", path, " (", header.recordCount,
+             " records)");
+
+    std::vector<Record> records(count);
+    if (count > 0) {
+        const long offset = static_cast<long>(
+            sizeof(TraceHeader) + first * sizeof(Record));
+        fatal_if(std::fseek(file, offset, SEEK_SET) != 0,
+                 "cannot seek in trace file ", path);
+        fatal_if(std::fread(records.data(), sizeof(Record),
+                            records.size(), file) != records.size(),
+                 "truncated trace file ", path);
+    }
+    std::fclose(file);
+    return records;
+}
+
+TraceBlockIndex
+loadTraceBlockIndex(const std::string &path)
+{
+    std::FILE *file = std::fopen(path.c_str(), "rb");
+    fatal_if(!file, "cannot open trace file ", path);
+    TraceBlockIndex index;
+    readHeader(file, path, &index);
+    std::fclose(file);
+    return index;
 }
 
 void
@@ -188,7 +376,29 @@ MappedTrace::MappedTrace(const std::string &path)
         fatal_if(std::memcmp(header->magic, expect.magic,
                              sizeof(expect.magic)) != 0,
                  "bad trace magic in ", path);
-        validatePayload(path, file_bytes, header->recordCount);
+        const uint64_t extra =
+            validatePayload(path, file_bytes, header->recordCount);
+        if (extra > 0) {
+            const char *trailer = static_cast<const char *>(map) +
+                                  sizeof(TraceHeader) +
+                                  header->recordCount * sizeof(Record);
+            IndexFooter footer{};
+            bool is_footer = extra >= sizeof(IndexFooter);
+            if (is_footer) {
+                std::memcpy(&footer, trailer, sizeof(footer));
+                is_footer = checkFooter(path, header->recordCount, extra,
+                                        footer);
+            }
+            if (!is_footer)
+                rejectTrailingBytes(path, file_bytes,
+                                    header->recordCount, extra);
+            std::vector<IndexEntry> entries(footer.blockCount);
+            if (!entries.empty()) {
+                std::memcpy(entries.data(), trailer + sizeof(footer),
+                            entries.size() * sizeof(IndexEntry));
+            }
+            unpackIndex(footer, entries.data(), index_);
+        }
         map_ = map;
         mapBytes_ = file_bytes;
         count_ = header->recordCount;
@@ -201,6 +411,7 @@ MappedTrace::MappedTrace(const std::string &path)
     fallback_ = loadTrace(path);
     count_ = fallback_.size();
     records_ = fallback_.data();
+    index_ = loadTraceBlockIndex(path);
 }
 
 MappedTrace::~MappedTrace()
@@ -338,6 +549,28 @@ ReverseTraceReader::ReverseTraceReader(const std::string &path,
     }
 }
 
+ReverseTraceReader::ReverseTraceReader(const std::string &path,
+                                       uint64_t first, uint64_t last,
+                                       size_t block_records, bool prefetch)
+    : blockRecords_(block_records ? block_records : 1)
+{
+    file_ = std::fopen(path.c_str(), "rb");
+    fatal_if(!file_, "cannot open trace file ", path);
+    const TraceHeader header = readHeader(file_, path);
+    count_ = header.recordCount;
+    fatal_if(first > last || last > count_, "trace range [", first, ", ",
+             last, ") out of bounds in ", path, " (", count_,
+             " records)");
+    rangeFirst_ = first;
+    remaining_ = last - first;
+
+    prefetch_ = prefetch && remaining_ > blockRecords_;
+    if (prefetch_) {
+        ioRemaining_ = remaining_;
+        io_ = std::thread([this] { ioLoop(); });
+    }
+}
+
 ReverseTraceReader::~ReverseTraceReader()
 {
     if (prefetch_) {
@@ -368,7 +601,8 @@ ReverseTraceReader::ioLoop()
             std::min<uint64_t>(blockRecords_, ioRemaining_));
         if (this_block == 0)
             return; // whole file handed over
-        const uint64_t first_index = ioRemaining_ - this_block;
+        const uint64_t first_index =
+            rangeFirst_ + (ioRemaining_ - this_block);
         const long offset = static_cast<long>(
             sizeof(TraceHeader) + first_index * sizeof(Record));
         fatal_if(std::fseek(file_, offset, SEEK_SET) != 0,
@@ -410,7 +644,7 @@ ReverseTraceReader::loadPrecedingBlock()
     const uint64_t already_read = remaining_;
     const size_t this_block = static_cast<size_t>(
         std::min<uint64_t>(blockRecords_, already_read));
-    const uint64_t first_index = already_read - this_block;
+    const uint64_t first_index = rangeFirst_ + (already_read - this_block);
     const long offset = static_cast<long>(
         sizeof(TraceHeader) + first_index * sizeof(Record));
     fatal_if(std::fseek(file_, offset, SEEK_SET) != 0,

@@ -43,11 +43,44 @@ struct TraceHeader
 
 static_assert(sizeof(TraceHeader) == 16, "header layout must stay fixed");
 
+/** Records covered by one block-index entry. */
+constexpr size_t kTraceIndexBlockRecords = 1 << 16;
+
+/**
+ * Per-block work counts over a trace, written as an optional magic-gated
+ * footer after the record array (TraceWriter with block_index enabled).
+ * The epoch-parallel slicer's planner uses the executed-instruction
+ * counts to split the trace into equal-*work* epochs without scanning
+ * the records, and the segmented readers use the fixed block geometry to
+ * seek straight to an epoch's first record. Files without a footer load
+ * exactly as before; files with trailing bytes that are not a valid
+ * footer still fail loudly.
+ */
+struct TraceBlockIndex
+{
+    /** Records per block (kTraceIndexBlockRecords when written by us);
+     *  0 when the trace file carries no index. */
+    uint64_t blockRecords = 0;
+
+    /** Executed (non-pseudo) records per block; last block may be short. */
+    std::vector<uint32_t> instructions;
+
+    /** Pseudo-records (syscall effects) per block. */
+    std::vector<uint32_t> pseudoRecords;
+
+    bool present() const { return blockRecords != 0; }
+    size_t blockCount() const { return instructions.size(); }
+};
+
 /** Buffered appender of trace records to a file. */
 class TraceWriter
 {
   public:
-    explicit TraceWriter(const std::string &path);
+    /**
+     * @param block_index also accumulate and write the per-block work
+     *                    index as a footer on close()
+     */
+    explicit TraceWriter(const std::string &path, bool block_index = false);
     ~TraceWriter();
 
     TraceWriter(const TraceWriter &) = delete;
@@ -69,10 +102,22 @@ class TraceWriter
     std::FILE *file_ = nullptr;
     std::vector<Record> buffer_;
     uint64_t count_ = 0;
+    bool writeIndex_ = false;
+    TraceBlockIndex index_;
 };
 
 /** Read a whole trace file into memory. */
 std::vector<Record> loadTrace(const std::string &path);
+
+/** Read records [first, first + count) of a trace file. */
+std::vector<Record> loadTraceRange(const std::string &path, uint64_t first,
+                                   uint64_t count);
+
+/**
+ * Read a trace file's block-index footer; the result's present() is
+ * false when the file carries none. Corrupt footers fail loudly.
+ */
+TraceBlockIndex loadTraceBlockIndex(const std::string &path);
 
 /**
  * Zero-copy view of a whole trace file via mmap. When mmap is
@@ -102,12 +147,16 @@ class MappedTrace
     /** True when the view is an actual mmap, not a fallback copy. */
     bool mapped() const { return map_ != nullptr; }
 
+    /** The file's block index; present() is false when it has none. */
+    const TraceBlockIndex &blockIndex() const { return index_; }
+
   private:
     void *map_ = nullptr;
     size_t mapBytes_ = 0;
     const Record *records_ = nullptr;
     uint64_t count_ = 0;
     std::vector<Record> fallback_;
+    TraceBlockIndex index_;
 };
 
 /**
@@ -178,6 +227,16 @@ class ReverseTraceReader
     explicit ReverseTraceReader(const std::string &path,
                                 size_t block_records = 1 << 16,
                                 bool prefetch = true);
+
+    /**
+     * Segmented variant: stream only records [first, last) of the file,
+     * still last to first. The epoch-parallel slicer opens one such
+     * reader per epoch, so the per-epoch transcodes stream their
+     * segments concurrently without materializing the whole trace.
+     */
+    ReverseTraceReader(const std::string &path, uint64_t first,
+                       uint64_t last, size_t block_records = 1 << 16,
+                       bool prefetch = true);
     ~ReverseTraceReader();
 
     ReverseTraceReader(const ReverseTraceReader &) = delete;
@@ -203,6 +262,7 @@ class ReverseTraceReader
     std::FILE *file_ = nullptr;
     size_t blockRecords_;
     uint64_t count_ = 0;
+    uint64_t rangeFirst_ = 0; ///< First record index of the ranged view.
     uint64_t remaining_ = 0;
     std::vector<Record> block_;
     size_t blockPos_ = 0; ///< Records still unread within block_.

@@ -1,0 +1,817 @@
+/**
+ * @file
+ * Tests of the epoch-parallel backward slicer (slicer/epoch.hh).
+ *
+ * The contract under test is brutal and simple: for every trace, every
+ * criteria mode, every ablation, and every epoch plan — including
+ * adversarial boundaries forced through syscall groups, pending
+ * branches, live registers, and open call frames — the epoch-parallel
+ * slice must be bit-identical to the sequential oracle, counters and
+ * peaks included. The only tolerated divergence is the
+ * flatProbes/flatResizes hash diagnostics, whose probe history depends
+ * on table growth order.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "graph/cfg.hh"
+#include "graph/control_deps.hh"
+#include "sim/machine.hh"
+#include "sim/syscalls.hh"
+#include "slicer/epoch.hh"
+#include "slicer/slicer.hh"
+#include "support/metrics.hh"
+#include "support/rng.hh"
+#include "trace/trace_file.hh"
+
+namespace webslice {
+namespace slicer {
+namespace {
+
+using graph::buildCfgs;
+using graph::buildControlDeps;
+using sim::Ctx;
+using sim::Machine;
+using sim::TracedScope;
+using sim::Value;
+using trace::RecordKind;
+
+/** RAII setter for the epoch-boundary test override. */
+struct BoundaryOverride
+{
+    std::vector<size_t> interior;
+
+    explicit BoundaryOverride(std::vector<size_t> bounds)
+        : interior(std::move(bounds))
+    {
+        EpochPlanner::boundariesOverrideForTesting = &interior;
+    }
+
+    ~BoundaryOverride()
+    {
+        EpochPlanner::boundariesOverrideForTesting = nullptr;
+    }
+};
+
+/** Everything the backward pass needs, built once per machine. */
+struct ForwardResult
+{
+    graph::CfgSet cfgs;
+    graph::ControlDepMap deps;
+
+    explicit ForwardResult(const Machine &machine)
+        : cfgs(buildCfgs(machine.records(), machine.symtab())),
+          deps(buildControlDeps(cfgs))
+    {
+    }
+};
+
+/** Every field but the hash diagnostics must match the oracle. */
+void
+expectIdentical(const SliceResult &oracle, const SliceResult &epoch,
+                const char *what)
+{
+    EXPECT_EQ(oracle.inSlice, epoch.inSlice) << what;
+    EXPECT_EQ(oracle.instructionsAnalyzed, epoch.instructionsAnalyzed)
+        << what;
+    EXPECT_EQ(oracle.sliceInstructions, epoch.sliceInstructions) << what;
+    EXPECT_EQ(oracle.criteriaBytesSeeded, epoch.criteriaBytesSeeded)
+        << what;
+    EXPECT_EQ(oracle.recordsFed, epoch.recordsFed) << what;
+    EXPECT_EQ(oracle.analyzedWindowEnd, epoch.analyzedWindowEnd) << what;
+    EXPECT_EQ(oracle.peakLiveMemBytes, epoch.peakLiveMemBytes) << what;
+    EXPECT_EQ(oracle.peakLiveMemChunks, epoch.peakLiveMemChunks) << what;
+    EXPECT_EQ(oracle.peakPendingBranches, epoch.peakPendingBranches)
+        << what;
+}
+
+/**
+ * Slice sequentially and epoch-parallel under `options` (for a few job
+ * counts) and assert bit-identity.
+ */
+void
+expectEpochMatchesSequential(const Machine &machine,
+                             SlicerOptions options = {},
+                             const char *what = "epoch vs sequential")
+{
+    const ForwardResult fwd(machine);
+    options.backwardJobs = 1;
+    const auto oracle = computeSlice(machine.records(), fwd.cfgs,
+                                     fwd.deps, machine.pixelCriteria(),
+                                     options);
+    for (const int jobs : {2, 3, 8}) {
+        options.backwardJobs = jobs;
+        ASSERT_TRUE(epochParallelEligible(options,
+                                          machine.records().size()));
+        const auto epoch = computeSlice(machine.records(), fwd.cfgs,
+                                        fwd.deps,
+                                        machine.pixelCriteria(), options);
+        expectIdentical(oracle, epoch, what);
+    }
+}
+
+/** Index of the i-th record of the given kind. */
+size_t
+nthOfKind(const Machine &machine, RecordKind kind, size_t n = 0)
+{
+    const auto &records = machine.records();
+    for (size_t i = 0; i < records.size(); ++i) {
+        if (records[i].kind == kind) {
+            if (n == 0)
+                return i;
+            --n;
+        }
+    }
+    ADD_FAILURE() << "record of requested kind not found";
+    return records.size();
+}
+
+TEST(EpochSlicer, Eligibility)
+{
+    SlicerOptions options;
+    EXPECT_FALSE(epochParallelEligible(options, 100)); // backwardJobs=1
+    options.backwardJobs = 4;
+    EXPECT_TRUE(epochParallelEligible(options, 100));
+    EXPECT_FALSE(epochParallelEligible(options, 0)); // empty trace
+    options.legacyLiveSets = true; // the measured oracle stays sequential
+    EXPECT_FALSE(epochParallelEligible(options, 100));
+}
+
+TEST(EpochSlicer, MatchesSequentialOnStraightLineProgram)
+{
+    Machine machine;
+    const auto tid = machine.addThread("main");
+    Ctx ctx(machine, tid);
+    const uint64_t pixels = machine.alloc(64, "tile");
+    const uint64_t scratch = machine.alloc(64, "scratch");
+
+    Value color = ctx.imm(0xFF00FF);
+    ctx.store(pixels, 4, color);
+    Value junk = ctx.imm(7);
+    ctx.store(scratch, 4, junk);
+    Value more = ctx.add(color, junk);
+    ctx.store(pixels + 8, 4, more);
+    const trace::MemRange ranges[] = {{pixels, 64}};
+    ctx.marker(ranges);
+
+    expectEpochMatchesSequential(machine);
+}
+
+TEST(EpochSlicer, RegisterLivenessCrossesEpochBoundary)
+{
+    // The producer imm lands in epoch 0, the store consuming its
+    // register in epoch 1: the boundary cuts straight through a live
+    // register, which the stitched live-out must carry.
+    Machine machine;
+    const auto tid = machine.addThread("main");
+    Ctx ctx(machine, tid);
+    const uint64_t pixels = machine.alloc(8, "tile");
+
+    Value color = ctx.imm(0xAB);          // 0: must join via register
+    Value pad0 = ctx.imm(1);              // 1: dead
+    (void)pad0;
+    const size_t boundary = machine.records().size();
+    ctx.store(pixels, 4, color);          // 2: in later epoch
+    const trace::MemRange ranges[] = {{pixels, 8}};
+    ctx.marker(ranges);
+
+    const BoundaryOverride forced({boundary});
+    expectEpochMatchesSequential(machine);
+
+    const ForwardResult fwd(machine);
+    SlicerOptions options;
+    options.backwardJobs = 2;
+    const auto result = computeSlice(machine.records(), fwd.cfgs,
+                                     fwd.deps, machine.pixelCriteria(),
+                                     options);
+    EXPECT_TRUE(result.inSlice[0]);
+    EXPECT_FALSE(result.inSlice[1]);
+}
+
+TEST(EpochSlicer, PendingBranchResolvesInEarlierEpoch)
+{
+    // The live store joins in the newest epoch and queues its guarding
+    // branch as pending; the branch's nearest preceding instance lives
+    // in an earlier epoch, so the pending set must survive the stitch.
+    Machine machine;
+    const auto tid = machine.addThread("main");
+    const auto func = machine.registerFunction("paint::fill");
+    const uint64_t pixels = machine.alloc(4, "tile");
+
+    auto body = [&](Ctx &ctx, uint64_t flag_value) {
+        TracedScope scope(ctx, func);
+        Value flag = ctx.imm(flag_value);
+        Value color = ctx.imm(0xABC);
+        if (ctx.branchIf(flag))
+            ctx.store(pixels, 4, color);
+    };
+    size_t boundary = 0;
+    machine.post(tid, [&](Ctx &ctx) {
+        body(ctx, 0); // skipping instance: creates the CFG diamond
+        body(ctx, 1); // storing instance: joins with its branch
+        boundary = ctx.machine().records().size() - 2;
+        const trace::MemRange ranges[] = {{pixels, 4}};
+        ctx.marker(ranges);
+    });
+    machine.run();
+
+    // Force a boundary between the live branch and its store.
+    const size_t live_branch = nthOfKind(machine, RecordKind::Branch, 1);
+    const size_t store = nthOfKind(machine, RecordKind::Store, 0);
+    ASSERT_LT(live_branch, store);
+    const BoundaryOverride forced({store});
+    expectEpochMatchesSequential(machine);
+
+    const ForwardResult fwd(machine);
+    SlicerOptions options;
+    options.backwardJobs = 2;
+    const auto result = computeSlice(machine.records(), fwd.cfgs,
+                                     fwd.deps, machine.pixelCriteria(),
+                                     options);
+    EXPECT_TRUE(result.inSlice[live_branch]);
+    EXPECT_FALSE(
+        result.inSlice[nthOfKind(machine, RecordKind::Branch, 0)]);
+}
+
+TEST(EpochSlicer, CallFrameSpansEpochBoundary)
+{
+    // Boundary inside a function body: the Ret opens its frame in the
+    // newer epoch, the Call closes it in the older one — and the Call's
+    // cross-epoch write of the Ret's verdict must land.
+    Machine machine;
+    const auto tid = machine.addThread("main");
+    const auto painter = machine.registerFunction("paint::run");
+    const auto logger = machine.registerFunction("debug::log");
+    const uint64_t pixels = machine.alloc(4, "tile");
+    const uint64_t logbuf = machine.alloc(4, "log");
+
+    size_t boundary = 0;
+    machine.post(tid, [&](Ctx &ctx) {
+        {
+            TracedScope scope(ctx, painter);
+            Value color = ctx.imm(0xF0F0F0);
+            boundary = ctx.machine().records().size();
+            ctx.store(pixels, 4, color);
+        }
+        {
+            TracedScope scope(ctx, logger);
+            Value msg = ctx.imm(42);
+            ctx.store(logbuf, 4, msg);
+        }
+        const trace::MemRange ranges[] = {{pixels, 4}};
+        ctx.marker(ranges);
+    });
+    machine.run();
+
+    const BoundaryOverride forced({boundary});
+    expectEpochMatchesSequential(machine);
+
+    const ForwardResult fwd(machine);
+    SlicerOptions options;
+    options.backwardJobs = 2;
+    const auto result = computeSlice(machine.records(), fwd.cfgs,
+                                     fwd.deps, machine.pixelCriteria(),
+                                     options);
+    EXPECT_TRUE(result.inSlice[nthOfKind(machine, RecordKind::Call, 0)]);
+    EXPECT_TRUE(result.inSlice[nthOfKind(machine, RecordKind::Ret, 0)]);
+    EXPECT_FALSE(result.inSlice[nthOfKind(machine, RecordKind::Call, 1)]);
+    EXPECT_FALSE(result.inSlice[nthOfKind(machine, RecordKind::Ret, 1)]);
+}
+
+TEST(EpochSlicer, SyscallGroupBoundaryIsRepaired)
+{
+    // A boundary proposed between a Syscall record and its pseudo
+    // records must shift so the whole group stays in one epoch, and the
+    // repair must be counted.
+    Machine machine;
+    const auto tid = machine.addThread("main");
+    const uint64_t netbuf = machine.alloc(16, "net");
+    const uint64_t pixels = machine.alloc(4, "tile");
+
+    machine.post(tid, [&](Ctx &ctx) {
+        ctx.machine().mem().write(netbuf, 4, 0xBEEF);
+        Value r = sim::sysRecvfrom(ctx, netbuf, 16);
+        (void)r;
+        Value data = ctx.load(netbuf, 4);
+        ctx.store(pixels, 4, data);
+        const trace::MemRange ranges[] = {{pixels, 4}};
+        ctx.marker(ranges);
+    });
+    machine.run();
+
+    const size_t sys = nthOfKind(machine, RecordKind::Syscall);
+    ASSERT_TRUE(machine.records()[sys + 1].isPseudo());
+
+    auto &splits = MetricRegistry::global().counter(
+        "criteria.epoch_boundary_splits");
+    const uint64_t splits_before = splits.value();
+    const BoundaryOverride forced({sys + 1});
+    expectEpochMatchesSequential(machine);
+    EXPECT_GT(splits.value(), splits_before);
+
+    SlicerOptions sys_mode;
+    sys_mode.mode = CriteriaMode::Syscalls;
+    expectEpochMatchesSequential(machine, sys_mode);
+}
+
+TEST(EpochSlicer, MarkerAtBoundaryAndEmptyEpochs)
+{
+    Machine machine;
+    const auto tid = machine.addThread("main");
+    Ctx ctx(machine, tid);
+    const uint64_t pixels = machine.alloc(8, "tile");
+
+    Value color = ctx.imm(0x1);
+    ctx.store(pixels, 4, color);
+    const size_t marker_index = machine.records().size();
+    const trace::MemRange ranges[] = {{pixels, 8}};
+    ctx.marker(ranges);
+    Value late = ctx.imm(0x2);
+    ctx.store(pixels, 4, late);
+    ctx.marker(ranges);
+
+    // Duplicate and colliding boundaries yield empty epochs; the marker
+    // sits exactly on a boundary.
+    const BoundaryOverride forced(
+        {marker_index, marker_index, marker_index, marker_index + 1});
+    expectEpochMatchesSequential(machine);
+}
+
+TEST(EpochSlicer, MoreJobsThanRecords)
+{
+    Machine machine;
+    const auto tid = machine.addThread("main");
+    Ctx ctx(machine, tid);
+    const uint64_t pixels = machine.alloc(4, "tile");
+    Value v = ctx.imm(3);
+    ctx.store(pixels, 4, v);
+    const trace::MemRange ranges[] = {{pixels, 4}};
+    ctx.marker(ranges); // 3 records total
+
+    const ForwardResult fwd(machine);
+    SlicerOptions options;
+    const auto oracle = computeSlice(machine.records(), fwd.cfgs,
+                                     fwd.deps, machine.pixelCriteria(),
+                                     options);
+    options.backwardJobs = 64; // far more than records
+    const auto epoch = computeSlice(machine.records(), fwd.cfgs,
+                                    fwd.deps, machine.pixelCriteria(),
+                                    options);
+    expectIdentical(oracle, epoch, "jobs > records");
+}
+
+TEST(EpochSlicer, WindowedAnalysisMatches)
+{
+    Machine machine;
+    const auto tid = machine.addThread("main");
+    Ctx ctx(machine, tid);
+    const uint64_t pixels = machine.alloc(4, "tile");
+
+    Value early = ctx.imm(0x1);
+    ctx.store(pixels, 4, early);
+    const trace::MemRange ranges[] = {{pixels, 4}};
+    ctx.marker(ranges);
+    const size_t window = machine.records().size();
+    Value late = ctx.imm(0x2);
+    ctx.store(pixels, 4, late);
+    ctx.marker(ranges);
+
+    SlicerOptions options;
+    options.endIndex = window;
+    expectEpochMatchesSequential(machine, options);
+}
+
+TEST(EpochSlicer, AblationsMatch)
+{
+    Machine machine;
+    const auto tid = machine.addThread("main");
+    const auto func = machine.registerFunction("paint::fill");
+    const uint64_t pixels = machine.alloc(4, "tile");
+    const uint64_t sendbuf = machine.alloc(16, "net");
+
+    auto body = [&](Ctx &ctx, uint64_t flag_value) {
+        TracedScope scope(ctx, func);
+        Value flag = ctx.imm(flag_value);
+        Value color = ctx.imm(0xABC);
+        if (ctx.branchIf(flag))
+            ctx.store(pixels, 4, color);
+    };
+    machine.post(tid, [&](Ctx &ctx) {
+        body(ctx, 0);
+        body(ctx, 1);
+        Value payload = ctx.imm(0x77);
+        ctx.store(sendbuf, 4, payload);
+        Value r = sim::sysSendto(ctx, sendbuf, 16);
+        (void)r;
+        const trace::MemRange ranges[] = {{pixels, 4}};
+        ctx.marker(ranges);
+    });
+    machine.run();
+
+    SlicerOptions options;
+    expectEpochMatchesSequential(machine, options, "default");
+
+    options = {};
+    options.includeControlDeps = false;
+    expectEpochMatchesSequential(machine, options, "no control deps");
+
+    options = {};
+    options.includeRegisterDeps = false;
+    expectEpochMatchesSequential(machine, options, "memory only");
+
+    options = {};
+    options.mode = CriteriaMode::Syscalls;
+    expectEpochMatchesSequential(machine, options, "syscall criteria");
+}
+
+TEST(EpochSlicer, CrossThreadFlowAcrossEpochs)
+{
+    Machine machine;
+    const auto t_main = machine.addThread("main");
+    const auto t_raster = machine.addThread("raster");
+    const uint64_t item = machine.alloc(8, "item");
+    const uint64_t pixels = machine.alloc(4, "tile");
+
+    machine.post(t_main, [&](Ctx &ctx) {
+        Value color = ctx.imm(0x00FF00);
+        ctx.store(item, 4, color);
+        ctx.machine().post(t_raster, [&](Ctx &rctx) {
+            Value loaded = rctx.load(item, 4);
+            rctx.store(pixels, 4, loaded);
+            const trace::MemRange ranges[] = {{pixels, 4}};
+            rctx.marker(ranges);
+        });
+    });
+    machine.run();
+
+    // Boundary between the producing thread's store and the consuming
+    // thread's load: the shared live-memory set crosses the boundary.
+    const size_t load = nthOfKind(machine, RecordKind::Load);
+    const BoundaryOverride forced({load});
+    expectEpochMatchesSequential(machine);
+}
+
+/**
+ * Random program generator for the fuzz loop: a mix of arithmetic,
+ * loads/stores over a small heap, guarded stores inside traced function
+ * scopes, syscalls, and markers, spread over two threads.
+ */
+Machine
+randomProgram(uint64_t seed)
+{
+    Machine machine;
+    Rng rng(seed);
+    const auto t0 = machine.addThread("a");
+    const auto t1 = machine.addThread("b");
+    const auto fn_a = machine.registerFunction("fuzz::alpha");
+    const auto fn_b = machine.registerFunction("fuzz::beta");
+    const uint64_t heap = machine.alloc(256, "heap");
+    const uint64_t pixels = machine.alloc(64, "tile");
+    const uint64_t net = machine.alloc(32, "net");
+
+    auto program = [&, fn_a, fn_b](Ctx &ctx, uint64_t thread_seed) {
+        Rng r(thread_seed);
+        TracedScope top(ctx, fn_a);
+        std::vector<Value> vals;
+        vals.push_back(ctx.imm(r.below(1000)));
+        const size_t steps = 30 + r.below(50);
+        for (size_t i = 0; i < steps; ++i) {
+            auto pick = [&]() -> Value & {
+                return vals[r.below(vals.size())];
+            };
+            switch (r.below(9)) {
+              case 0:
+                vals.push_back(ctx.imm(r.below(1 << 20)));
+                break;
+              case 1:
+                vals.push_back(ctx.add(pick(), pick()));
+                break;
+              case 2:
+                vals.push_back(
+                    ctx.addi(pick(), static_cast<int64_t>(r.below(9))));
+                break;
+              case 3:
+                ctx.store(heap + 8 * r.below(30), 4, pick());
+                break;
+              case 4:
+                vals.push_back(ctx.load(heap + 8 * r.below(30), 4));
+                break;
+              case 5:
+                ctx.store(pixels + 4 * r.below(15), 4, pick());
+                break;
+              case 6: {
+                TracedScope scope(ctx, fn_b);
+                Value flag = ctx.imm(r.below(2));
+                Value color = ctx.imm(r.below(256));
+                if (ctx.branchIf(flag))
+                    ctx.store(pixels + 4 * r.below(15), 4, color);
+                break;
+              }
+              case 7:
+                if (r.chance(0.5)) {
+                    ctx.store(net, 4, pick());
+                    (void)sim::sysSendto(ctx, net, 16);
+                } else {
+                    ctx.machine().mem().write(net, 4, r.next());
+                    (void)sim::sysRecvfrom(ctx, net, 16);
+                }
+                break;
+              case 8: {
+                const trace::MemRange ranges[] = {{pixels, 64}};
+                ctx.marker(ranges);
+                break;
+              }
+            }
+            if (vals.size() > 12)
+                vals.erase(vals.begin(),
+                           vals.begin() +
+                               static_cast<long>(vals.size() - 6));
+        }
+        const trace::MemRange ranges[] = {{pixels, 64}};
+        ctx.marker(ranges);
+    };
+    machine.post(t0, [&](Ctx &ctx) { program(ctx, seed * 2 + 1); });
+    machine.post(t1, [&](Ctx &ctx) { program(ctx, seed * 2 + 2); });
+    machine.run();
+    return machine;
+}
+
+TEST(EpochSlicer, FuzzBitIdentityAgainstSequential)
+{
+    for (uint64_t seed = 0; seed < 8; ++seed) {
+        const Machine machine = randomProgram(seed);
+        const ForwardResult fwd(machine);
+        Rng r(seed ^ 0xF00D);
+
+        for (const auto mode :
+             {CriteriaMode::PixelBuffer, CriteriaMode::Syscalls}) {
+            SlicerOptions options;
+            options.mode = mode;
+            options.includeControlDeps = r.chance(0.8);
+            options.includeRegisterDeps = r.chance(0.8);
+            const auto oracle = computeSlice(
+                machine.records(), fwd.cfgs, fwd.deps,
+                machine.pixelCriteria(), options);
+
+            // Planner-chosen boundaries at two job counts...
+            for (const int jobs : {2, 5}) {
+                options.backwardJobs = jobs;
+                const auto epoch = computeSlice(
+                    machine.records(), fwd.cfgs, fwd.deps,
+                    machine.pixelCriteria(), options);
+                expectIdentical(oracle, epoch, "fuzz planner bounds");
+            }
+
+            // ...and adversarial random ones (possibly colliding).
+            std::vector<size_t> interior;
+            for (int i = 0; i < 5; ++i)
+                interior.push_back(
+                    r.below(machine.records().size() + 2));
+            const BoundaryOverride forced(interior);
+            options.backwardJobs = 3;
+            const auto epoch = computeSlice(
+                machine.records(), fwd.cfgs, fwd.deps,
+                machine.pixelCriteria(), options);
+            expectIdentical(oracle, epoch, "fuzz random bounds");
+        }
+    }
+}
+
+TEST(SplitBoundary, ShiftsOntoSyscallRecord)
+{
+    Machine machine;
+    const auto tid = machine.addThread("main");
+    const uint64_t netbuf = machine.alloc(16, "net");
+
+    machine.post(tid, [&](Ctx &ctx) {
+        Value v = ctx.imm(1);
+        ctx.store(netbuf, 4, v);
+        (void)sim::sysSendto(ctx, netbuf, 16);
+        Value after = ctx.imm(2);
+        (void)after;
+    });
+    machine.run();
+
+    const auto &records = machine.records();
+    const size_t sys = nthOfKind(machine, RecordKind::Syscall);
+    size_t last_pseudo = sys;
+    while (last_pseudo + 1 < records.size() &&
+           records[last_pseudo + 1].isPseudo())
+        ++last_pseudo;
+    ASSERT_GT(last_pseudo, sys);
+
+    // Any boundary inside the pseudo group lands on the Syscall...
+    for (size_t b = sys + 1; b <= last_pseudo; ++b)
+        EXPECT_EQ(trace::CriteriaSet::splitBoundary(records, b), sys);
+    // ...and boundaries outside the group are untouched.
+    EXPECT_EQ(trace::CriteriaSet::splitBoundary(records, sys), sys);
+    EXPECT_EQ(trace::CriteriaSet::splitBoundary(records, 0), 0u);
+    EXPECT_EQ(trace::CriteriaSet::splitBoundary(records, last_pseudo + 1),
+              last_pseudo + 1);
+    EXPECT_EQ(
+        trace::CriteriaSet::splitBoundary(records, records.size() + 5),
+        records.size() + 5);
+}
+
+/** A saved multi-block trace with its machine (for file-path tests). */
+struct BigSavedProgram
+{
+    Machine machine;
+    std::string path;
+
+    BigSavedProgram()
+    {
+        const auto tid = machine.addThread("main");
+        const uint64_t heap = machine.alloc(64, "heap");
+        const uint64_t pixels = machine.alloc(16, "tile");
+        machine.post(tid, [&](Ctx &ctx) {
+            // Enough records to span several index blocks.
+            const size_t rounds = (1 << 16) + 4000;
+            for (size_t i = 0; i < rounds; ++i) {
+                Value v = ctx.imm(i & 0xFF);
+                ctx.store(heap + 8 * (i % 8), 4, v);
+            }
+            Value color = ctx.load(heap, 4);
+            ctx.store(pixels, 4, color);
+            const trace::MemRange ranges[] = {{pixels, 16}};
+            ctx.marker(ranges);
+        });
+        machine.run();
+
+        path = std::string(::testing::TempDir()) + "epoch_big.trc";
+        trace::TraceWriter writer(path, /*block_index=*/true);
+        for (const auto &rec : machine.records())
+            writer.append(rec);
+        writer.close();
+    }
+
+    ~BigSavedProgram() { std::remove(path.c_str()); }
+};
+
+TEST(TraceBlockIndex, RoundTripsThroughWriterAndLoader)
+{
+    const BigSavedProgram program;
+    const auto &records = program.machine.records();
+
+    const auto index = trace::loadTraceBlockIndex(program.path);
+    ASSERT_TRUE(index.present());
+    EXPECT_EQ(index.blockRecords, trace::kTraceIndexBlockRecords);
+    const size_t expect_blocks =
+        (records.size() + trace::kTraceIndexBlockRecords - 1) /
+        trace::kTraceIndexBlockRecords;
+    ASSERT_EQ(index.blockCount(), expect_blocks);
+    ASSERT_GE(index.blockCount(), 2u);
+
+    uint64_t instructions = 0;
+    uint64_t pseudos = 0;
+    for (size_t b = 0; b < index.blockCount(); ++b) {
+        instructions += index.instructions[b];
+        pseudos += index.pseudoRecords[b];
+    }
+    uint64_t expect_instructions = 0;
+    for (const auto &rec : records)
+        expect_instructions += rec.isPseudo() ? 0 : 1;
+    EXPECT_EQ(instructions, expect_instructions);
+    EXPECT_EQ(pseudos, records.size() - expect_instructions);
+
+    // The mmap view exposes the same index.
+    trace::MappedTrace mapped(program.path);
+    ASSERT_TRUE(mapped.blockIndex().present());
+    EXPECT_EQ(mapped.blockIndex().instructions, index.instructions);
+    EXPECT_EQ(mapped.count(), records.size());
+    EXPECT_EQ(mapped[0].pc, records[0].pc);
+}
+
+TEST(TraceBlockIndex, LoadTraceRangeReturnsExactWindow)
+{
+    const BigSavedProgram program;
+    const auto &records = program.machine.records();
+
+    const auto window = trace::loadTraceRange(program.path, 1000, 50);
+    ASSERT_EQ(window.size(), 50u);
+    for (size_t i = 0; i < window.size(); ++i) {
+        EXPECT_EQ(window[i].pc, records[1000 + i].pc);
+        EXPECT_EQ(window[i].addr, records[1000 + i].addr);
+    }
+    EXPECT_TRUE(trace::loadTraceRange(program.path, 7, 0).empty());
+}
+
+TEST(TraceBlockIndex, RangedReverseReaderYieldsExactSegment)
+{
+    const BigSavedProgram program;
+    const auto &records = program.machine.records();
+
+    const uint64_t first = 900;
+    const uint64_t last = 70000;
+    for (const bool prefetch : {false, true}) {
+        trace::ReverseTraceReader reader(program.path, first, last,
+                                         /*block_records=*/777, prefetch);
+        trace::Record rec;
+        uint64_t idx = last;
+        while (reader.next(rec)) {
+            --idx;
+            ASSERT_EQ(rec.pc, records[idx].pc) << "prefetch=" << prefetch;
+            ASSERT_EQ(rec.addr, records[idx].addr);
+        }
+        EXPECT_EQ(idx, first);
+    }
+
+    // Empty and full ranges behave.
+    trace::ReverseTraceReader empty(program.path, uint64_t{5}, uint64_t{5});
+    trace::Record rec;
+    EXPECT_FALSE(empty.next(rec));
+    trace::ReverseTraceReader full(program.path, uint64_t{0},
+                                   uint64_t{records.size()});
+    EXPECT_EQ(full.remaining(), records.size());
+}
+
+TEST(TraceBlockIndexDeath, RangeBoundsAreChecked)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    const BigSavedProgram program;
+    const auto count = program.machine.records().size();
+    EXPECT_DEATH(trace::loadTraceRange(program.path, count, 1),
+                 "out of bounds");
+    EXPECT_DEATH(trace::ReverseTraceReader(program.path, uint64_t{10},
+                                           uint64_t{5}),
+                 "range");
+}
+
+TEST(EpochSlicer, FileSliceMatchesMemorySliceUsingIndex)
+{
+    const BigSavedProgram program;
+    const ForwardResult fwd(program.machine);
+
+    SlicerOptions options;
+    const auto oracle =
+        computeSlice(program.machine.records(), fwd.cfgs, fwd.deps,
+                     program.machine.pixelCriteria(), options);
+
+    auto &planned = MetricRegistry::global().counter(
+        "slicer.epochs_planned");
+    const uint64_t planned_before = planned.value();
+    options.backwardJobs = 4;
+    const auto epoch = computeSliceFromFile(
+        program.path, fwd.cfgs, fwd.deps,
+        program.machine.pixelCriteria(), options);
+    EXPECT_GT(planned.value(), planned_before);
+
+    expectIdentical(oracle, epoch, "file epoch slice");
+
+    // The windowed variant agrees too (window cuts mid-trace).
+    options.endIndex = program.machine.records().size() / 2;
+    options.backwardJobs = 1;
+    const auto windowed_oracle =
+        computeSlice(program.machine.records(), fwd.cfgs, fwd.deps,
+                     program.machine.pixelCriteria(), options);
+    options.backwardJobs = 3;
+    const auto windowed_epoch = computeSliceFromFile(
+        program.path, fwd.cfgs, fwd.deps,
+        program.machine.pixelCriteria(), options);
+    EXPECT_EQ(windowed_oracle.inSlice, windowed_epoch.inSlice);
+    EXPECT_EQ(windowed_oracle.sliceInstructions,
+              windowed_epoch.sliceInstructions);
+    EXPECT_EQ(windowed_oracle.instructionsAnalyzed,
+              windowed_epoch.instructionsAnalyzed);
+}
+
+TEST(EpochSlicer, FileSliceWithoutIndexStillMatches)
+{
+    // saveTrace writes no footer: the planner falls back to equal-record
+    // epochs and the result is still bit-identical.
+    Machine machine;
+    const auto tid = machine.addThread("main");
+    Ctx ctx(machine, tid);
+    const uint64_t pixels = machine.alloc(16, "tile");
+    for (int i = 0; i < 50; ++i) {
+        Value v = ctx.imm(i);
+        ctx.store(pixels + 4 * (i % 4), 4, v);
+    }
+    const trace::MemRange ranges[] = {{pixels, 16}};
+    ctx.marker(ranges);
+
+    const std::string path =
+        std::string(::testing::TempDir()) + "epoch_noindex.trc";
+    trace::saveTrace(path, machine.records());
+    EXPECT_FALSE(trace::loadTraceBlockIndex(path).present());
+
+    const ForwardResult fwd(machine);
+    SlicerOptions options;
+    const auto oracle = computeSlice(machine.records(), fwd.cfgs,
+                                     fwd.deps, machine.pixelCriteria(),
+                                     options);
+    options.backwardJobs = 4;
+    const auto epoch =
+        computeSliceFromFile(path, fwd.cfgs, fwd.deps,
+                             machine.pixelCriteria(), options);
+    expectIdentical(oracle, epoch, "file epoch slice, no index");
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace slicer
+} // namespace webslice

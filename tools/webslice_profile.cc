@@ -57,13 +57,17 @@ namespace {
 
 constexpr char kUsage[] =
     "usage: %s <prefix> [--syscalls] [--no-window] [--top N] [--jobs N]\n"
-    "       [--metrics-json FILE] [--progress] [--verify]\n"
+    "       [--backward-jobs N] [--metrics-json FILE] [--progress]\n"
+    "       [--verify]\n"
     "\n"
     "  --syscalls            slice on syscall-read values instead of pixel\n"
     "                        buffers\n"
     "  --no-window           ignore the metadata load-complete window\n"
     "  --top N               show the N hottest functions (default 12)\n"
     "  --jobs N              forward-pass worker threads; 0 = all cores\n"
+    "  --backward-jobs N     backward-pass worker threads; 1 = sequential\n"
+    "                        oracle, 0 = all cores (epoch-parallel slicer,\n"
+    "                        bit-identical output)\n"
     "  --metrics-json FILE   write the machine-readable run report\n"
     "  --progress            phase notices and a reverse-walk heartbeat on\n"
     "                        stderr\n"
@@ -192,6 +196,10 @@ main(int argc, char **argv)
         } else if (!std::strcmp(argv[a], "--jobs")) {
             options.jobs = static_cast<int>(parseCount(
                 "--jobs", need_value("--jobs"), 1u << 16));
+        } else if (!std::strcmp(argv[a], "--backward-jobs")) {
+            options.backwardJobs = static_cast<int>(
+                parseCount("--backward-jobs",
+                           need_value("--backward-jobs"), 1u << 16));
         } else if (!std::strcmp(argv[a], "--metrics-json")) {
             metrics_json = need_value("--metrics-json");
         } else if (!std::strcmp(argv[a], "--progress")) {

@@ -79,7 +79,15 @@ main(int argc, char **argv)
     const auto run = workloads::runSite(spec);
 
     const std::string prefix = argv[2];
-    trace::saveTrace(prefix + ".trc", run.records());
+    {
+        // Write through TraceWriter with the block index enabled so the
+        // epoch-parallel slicer can plan equal-work epochs and seek
+        // straight to epoch starts without scanning the file.
+        trace::TraceWriter writer(prefix + ".trc", /*block_index=*/true);
+        for (const auto &rec : run.records())
+            writer.append(rec);
+        writer.close();
+    }
     run.machine->symtab().save(prefix + ".sym");
     run.machine->pixelCriteria().save(prefix + ".crit");
     if (capture_values)
