@@ -1,0 +1,307 @@
+/**
+ * @file
+ * Slicing-service throughput and latency benchmark.
+ *
+ *   service_throughput [--site bing|amazon|amazon-mobile|maps]
+ *                      [--queries N] [--out FILE] [--quick]
+ *
+ * Records one benchmark site to a temporary artifact prefix, starts an
+ * in-process webslice-served on a Unix socket, and measures the service
+ * from a client's point of view:
+ *
+ *  - cold: the first batch against a fresh daemon, which pays the
+ *    forward pass (session build) exactly once;
+ *  - warm: single-query batches against the cached session at 1, 4, and
+ *    8 concurrent client connections — queries/sec plus p50/p99 round
+ *    trip latency.
+ *
+ * Every warm query uses a distinct window end so no two requests ever
+ * dedup into one job: the numbers measure the scheduler, not the dedup
+ * table. All results stream to stdout as a table and to BENCH_service
+ * .json (webslice-metrics-v1) for tracking across commits.
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "service/client.hh"
+#include "service/server.hh"
+#include "support/metrics.hh"
+#include "support/strings.hh"
+#include "trace/trace_file.hh"
+#include "workloads/sites.hh"
+
+using namespace webslice;
+
+namespace {
+
+/** Save a run's artifacts the way webslice-record does. */
+void
+saveArtifacts(const workloads::RunResult &run,
+              const workloads::SiteSpec &spec, const std::string &prefix)
+{
+    trace::TraceWriter writer(prefix + ".trc", /*block_index=*/true);
+    for (const auto &rec : run.records())
+        writer.append(rec);
+    writer.close();
+    run.machine->symtab().save(prefix + ".sym");
+    run.machine->pixelCriteria().save(prefix + ".crit");
+    std::ofstream meta(prefix + ".meta");
+    meta << "benchmark " << spec.name << '\n';
+    meta << "loadCompleteIndex " << run.loadCompleteIndex << '\n';
+    meta << "loadOnly " << (spec.actions.empty() ? 1 : 0) << '\n';
+    for (size_t t = 0; t < run.threadNames().size(); ++t)
+        meta << "thread " << t << ' ' << run.threadNames()[t] << '\n';
+}
+
+double
+percentile(std::vector<double> sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    std::sort(sorted.begin(), sorted.end());
+    const double rank = p / 100.0 * (sorted.size() - 1);
+    const size_t lo = static_cast<size_t>(rank);
+    const size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = rank - lo;
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+struct WarmSample
+{
+    int clients = 0;
+    size_t queries = 0;
+    double wallSeconds = 0.0;
+    double p50Ms = 0.0;
+    double p99Ms = 0.0;
+
+    double queriesPerSecond() const
+    {
+        return wallSeconds > 0.0 ? queries / wallSeconds : 0.0;
+    }
+};
+
+/**
+ * `clients` concurrent connections each issue `per_client` single-query
+ * batches; every query carries a unique window end (derived from the
+ * client and iteration indices) so none dedup.
+ */
+WarmSample
+runWarm(const std::string &socket_path, const std::string &prefix,
+        int clients, size_t per_client, size_t window_base)
+{
+    std::vector<std::vector<double>> latencies(clients);
+    std::vector<std::thread> threads;
+    std::atomic<size_t> failures{0};
+
+    const double t0 = bench::nowSeconds();
+    for (int c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
+            service::ServiceClient client;
+            std::string error;
+            if (!client.connectUnix(socket_path, error)) {
+                ++failures;
+                return;
+            }
+            for (size_t i = 0; i < per_client; ++i) {
+                service::SliceQuery query;
+                query.endIndex =
+                    window_base - (static_cast<size_t>(c) * per_client + i);
+                service::ServiceClient::BatchOutcome outcome;
+                const double q0 = bench::nowSeconds();
+                if (!client.batch(prefix, {query}, outcome, error) ||
+                    outcome.ok != 1) {
+                    ++failures;
+                    return;
+                }
+                latencies[c].push_back(
+                    (bench::nowSeconds() - q0) * 1e3);
+            }
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+
+    WarmSample sample;
+    sample.clients = clients;
+    sample.wallSeconds = bench::nowSeconds() - t0;
+    std::vector<double> all;
+    for (const auto &per : latencies) {
+        sample.queries += per.size();
+        all.insert(all.end(), per.begin(), per.end());
+    }
+    if (failures.load() != 0) {
+        std::fprintf(stderr,
+                     "service_throughput: %zu client failures at "
+                     "%d clients\n",
+                     failures.load(), clients);
+        std::exit(1);
+    }
+    sample.p50Ms = percentile(all, 50.0);
+    sample.p99Ms = percentile(all, 99.0);
+    return sample;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string site = "bing";
+    std::string out_path = "BENCH_service.json";
+    size_t queries = 8;
+    bool quick = false;
+    for (int a = 1; a < argc; ++a) {
+        if (!std::strcmp(argv[a], "--site") && a + 1 < argc) {
+            site = argv[++a];
+        } else if (!std::strcmp(argv[a], "--queries") && a + 1 < argc) {
+            queries = static_cast<size_t>(std::atoi(argv[++a]));
+        } else if (!std::strcmp(argv[a], "--out") && a + 1 < argc) {
+            out_path = argv[++a];
+        } else if (!std::strcmp(argv[a], "--quick")) {
+            quick = true;
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--site NAME] [--queries N] "
+                         "[--out FILE] [--quick]\n",
+                         argv[0]);
+            return 1;
+        }
+    }
+
+    workloads::SiteSpec spec;
+    if (site == "bing") {
+        spec = workloads::bingSpec();
+    } else if (site == "amazon") {
+        spec = workloads::amazonDesktopSpec();
+    } else if (site == "amazon-mobile") {
+        spec = workloads::amazonMobileSpec();
+    } else if (site == "maps") {
+        spec = workloads::googleMapsSpec();
+    } else {
+        std::fprintf(stderr, "unknown site '%s'\n", site.c_str());
+        return 1;
+    }
+
+    bench::printHeader("slicing service: batch throughput and latency");
+
+    std::fprintf(stderr, "recording '%s'...\n", spec.name.c_str());
+    const auto run = workloads::runSite(spec);
+    const char *tmp = std::getenv("TMPDIR");
+    const std::string prefix =
+        std::string(tmp ? tmp : "/tmp") + "/bench_service_trace";
+    const std::string socket_path =
+        std::string(tmp ? tmp : "/tmp") + "/bench_service.sock";
+    saveArtifacts(run, spec, prefix);
+
+    service::ServerOptions options;
+    options.socketPath = socket_path;
+    options.workers = 8;
+    service::Server server(options);
+    std::thread serving([&] { server.run(); });
+
+    // ---- cold: one batch pays the forward pass -----------------------------
+    std::vector<service::SliceQuery> cold_batch(queries);
+    for (size_t i = 0; i < queries; ++i) {
+        cold_batch[i].mode = i % 2 ? slicer::CriteriaMode::Syscalls
+                                   : slicer::CriteriaMode::PixelBuffer;
+        if (i >= 2)
+            cold_batch[i].endIndex = run.records().size() - i;
+    }
+    service::ServiceClient client;
+    std::string error;
+    if (!client.connectUnix(socket_path, error)) {
+        std::fprintf(stderr, "connect: %s\n", error.c_str());
+        return 1;
+    }
+    const double cold0 = bench::nowSeconds();
+    service::ServiceClient::BatchOutcome cold_outcome;
+    if (!client.batch(prefix, cold_batch, cold_outcome, error) ||
+        cold_outcome.ok != queries) {
+        std::fprintf(stderr, "cold batch failed: %s\n", error.c_str());
+        return 1;
+    }
+    const double cold_seconds = bench::nowSeconds() - cold0;
+
+    // The same batch again, now against the cached session.
+    const double warm0 = bench::nowSeconds();
+    service::ServiceClient::BatchOutcome warm_outcome;
+    if (!client.batch(prefix, cold_batch, warm_outcome, error) ||
+        warm_outcome.ok != queries) {
+        std::fprintf(stderr, "warm batch failed: %s\n", error.c_str());
+        return 1;
+    }
+    const double warm_seconds = bench::nowSeconds() - warm0;
+
+    std::printf("site %s: %s records, batch of %zu queries\n",
+                spec.name.c_str(),
+                withCommas(run.records().size()).c_str(), queries);
+    std::printf("  cold batch (builds session): %8.1f ms\n",
+                cold_seconds * 1e3);
+    std::printf("  warm batch (cached session): %8.1f ms  (%.2fx)\n\n",
+                warm_seconds * 1e3,
+                warm_seconds > 0 ? cold_seconds / warm_seconds : 0.0);
+
+    // ---- warm throughput at increasing client counts -----------------------
+    const size_t per_client = quick ? 4 : 16;
+    const size_t window_base = run.records().size();
+    std::vector<WarmSample> samples;
+    std::printf("%8s %10s %12s %10s %10s\n", "clients", "queries",
+                "queries/s", "p50 ms", "p99 ms");
+    for (const int clients : {1, 4, 8}) {
+        const auto sample = runWarm(socket_path, prefix, clients,
+                                    per_client, window_base);
+        samples.push_back(sample);
+        std::printf("%8d %10zu %12.2f %10.2f %10.2f\n", sample.clients,
+                    sample.queries, sample.queriesPerSecond(),
+                    sample.p50Ms, sample.p99Ms);
+    }
+
+    const auto cache = server.cache().stats();
+    std::printf("\nsessions built %llu, cache hits %llu, misses %llu\n",
+                static_cast<unsigned long long>(cache.built),
+                static_cast<unsigned long long>(cache.hits),
+                static_cast<unsigned long long>(cache.misses));
+
+    server.requestShutdown();
+    serving.join();
+
+    std::ostringstream extra;
+    extra << "{\n"
+          << "    \"site\": \"" << jsonEscape(spec.name) << "\",\n"
+          << "    \"records\": " << run.records().size() << ",\n"
+          << "    \"batch_queries\": " << queries << ",\n"
+          << "    \"cold_batch_ms\": "
+          << format("%.3f", cold_seconds * 1e3) << ",\n"
+          << "    \"warm_batch_ms\": "
+          << format("%.3f", warm_seconds * 1e3) << ",\n"
+          << "    \"sessions_built\": " << cache.built << ",\n"
+          << "    \"warm\": [";
+    for (size_t i = 0; i < samples.size(); ++i) {
+        const auto &s = samples[i];
+        if (i)
+            extra << ", ";
+        extra << "{\"clients\": " << s.clients << ", \"queries\": "
+              << s.queries << ", \"queries_per_second\": "
+              << format("%.3f", s.queriesPerSecond())
+              << ", \"p50_ms\": " << format("%.3f", s.p50Ms)
+              << ", \"p99_ms\": " << format("%.3f", s.p99Ms) << "}";
+    }
+    extra << "]\n  }";
+
+    writeMetricsReport(out_path, MetricRegistry::global(),
+                       "service_throughput", {{"service", extra.str()}});
+    std::printf("wrote %s\n", out_path.c_str());
+
+    for (const char *ext : {".trc", ".sym", ".crit", ".meta"})
+        std::remove((prefix + ext).c_str());
+    return 0;
+}

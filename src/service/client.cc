@@ -1,0 +1,246 @@
+#include "service/client.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "support/strings.hh"
+
+namespace webslice {
+namespace service {
+
+ServiceClient::~ServiceClient()
+{
+    close();
+}
+
+ServiceClient::ServiceClient(ServiceClient &&other) noexcept
+    : fd_(other.fd_)
+{
+    other.fd_ = -1;
+}
+
+ServiceClient &
+ServiceClient::operator=(ServiceClient &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        fd_ = other.fd_;
+        other.fd_ = -1;
+    }
+    return *this;
+}
+
+void
+ServiceClient::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+bool
+ServiceClient::connectUnix(const std::string &path, std::string &error)
+{
+    close();
+
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+        error = format("socket path too long (%zu bytes): %s",
+                       path.size(), path.c_str());
+        return false;
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        error = format("socket(AF_UNIX): %s", std::strerror(errno));
+        return false;
+    }
+    if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        error = format("connect %s: %s", path.c_str(),
+                       std::strerror(errno));
+        ::close(fd);
+        return false;
+    }
+    fd_ = fd;
+    return true;
+}
+
+bool
+ServiceClient::connectTcp(const std::string &host, int port,
+                          std::string &error)
+{
+    close();
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        error = format("bad IPv4 address: %s", host.c_str());
+        return false;
+    }
+
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        error = format("socket(AF_INET): %s", std::strerror(errno));
+        return false;
+    }
+    if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        error = format("connect %s:%d: %s", host.c_str(), port,
+                       std::strerror(errno));
+        ::close(fd);
+        return false;
+    }
+    fd_ = fd;
+    return true;
+}
+
+bool
+ServiceClient::call(const Json &request, Json &response,
+                    std::string &error)
+{
+    if (fd_ < 0) {
+        error = "not connected";
+        return false;
+    }
+    if (!writeFrame(fd_, request.dump(), error))
+        return false;
+
+    std::string payload;
+    switch (readFrame(fd_, payload, error)) {
+      case FrameRead::Ok:
+        break;
+      case FrameRead::Eof:
+        error = "connection closed before response";
+        return false;
+      case FrameRead::Error:
+        return false;
+    }
+    std::string parse_error;
+    if (!Json::parse(payload, response, parse_error)) {
+        error = format("bad response JSON: %s", parse_error.c_str());
+        return false;
+    }
+    return true;
+}
+
+bool
+ServiceClient::batch(const std::string &prefix,
+                     const std::vector<SliceQuery> &queries,
+                     BatchOutcome &outcome, std::string &error,
+                     const std::function<void(const Json &)> &on_result)
+{
+    if (fd_ < 0) {
+        error = "not connected";
+        return false;
+    }
+
+    Json request = Json::object();
+    request.set("op", Json::string("batch"));
+    request.set("prefix", Json::string(prefix));
+    Json list = Json::array();
+    for (const auto &query : queries)
+        list.push(query.toJson());
+    request.set("queries", std::move(list));
+    if (!writeFrame(fd_, request.dump(), error))
+        return false;
+
+    outcome = BatchOutcome();
+    outcome.results.resize(queries.size());
+
+    // Result frames stream in submission order, then one batch_done.
+    for (;;) {
+        std::string payload;
+        switch (readFrame(fd_, payload, error)) {
+          case FrameRead::Ok:
+            break;
+          case FrameRead::Eof:
+            error = "connection closed before batch_done";
+            return false;
+          case FrameRead::Error:
+            return false;
+        }
+        Json frame;
+        std::string parse_error;
+        if (!Json::parse(payload, frame, parse_error)) {
+            error = format("bad response JSON: %s",
+                           parse_error.c_str());
+            return false;
+        }
+        const Json *op = frame.find("op");
+        if (op == nullptr || op->kind() != Json::Kind::String) {
+            const Json *err = frame.find("error");
+            error = err != nullptr &&
+                            err->kind() == Json::Kind::String
+                        ? err->asString()
+                        : "response frame without op";
+            return false;
+        }
+        if (op->asString() == "batch_done") {
+            if (on_result)
+                on_result(frame);
+            return true;
+        }
+        if (op->asString() == "error") {
+            const Json *err = frame.find("error");
+            error = err != nullptr &&
+                            err->kind() == Json::Kind::String
+                        ? err->asString()
+                        : "server error";
+            return false;
+        }
+        if (op->asString() != "result") {
+            error = format("unexpected frame op '%s'",
+                           op->asString().c_str());
+            return false;
+        }
+
+        if (on_result)
+            on_result(frame);
+
+        const Json *id_value = frame.find("id");
+        if (id_value == nullptr ||
+            id_value->kind() != Json::Kind::Int) {
+            error = "result frame without integer id";
+            return false;
+        }
+        const size_t id = static_cast<size_t>(id_value->asInt());
+        QueryResult result;
+        if (!QueryResult::fromJson(frame, result, error))
+            return false;
+        if (id >= outcome.results.size()) {
+            error = format("result id %zu out of range (batch of %zu)",
+                           id, outcome.results.size());
+            return false;
+        }
+        switch (result.status) {
+          case QueryResult::Status::Ok:
+            ++outcome.ok;
+            break;
+          case QueryResult::Status::Rejected:
+            ++outcome.rejected;
+            break;
+          case QueryResult::Status::Timeout:
+            ++outcome.timeouts;
+            break;
+          case QueryResult::Status::Error:
+            ++outcome.errors;
+            break;
+        }
+        outcome.results[id] = std::move(result);
+    }
+}
+
+} // namespace service
+} // namespace webslice

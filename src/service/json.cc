@@ -1,0 +1,537 @@
+#include "service/json.hh"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "support/metrics.hh" // jsonEscape
+#include "support/strings.hh"
+
+namespace webslice {
+namespace service {
+
+Json
+Json::boolean(bool v)
+{
+    Json j;
+    j.kind_ = Kind::Bool;
+    j.bool_ = v;
+    return j;
+}
+
+Json
+Json::integer(int64_t v)
+{
+    Json j;
+    j.kind_ = Kind::Int;
+    j.int_ = v;
+    return j;
+}
+
+Json
+Json::number(double v)
+{
+    Json j;
+    j.kind_ = Kind::Double;
+    j.double_ = v;
+    return j;
+}
+
+Json
+Json::string(std::string v)
+{
+    Json j;
+    j.kind_ = Kind::String;
+    j.string_ = std::move(v);
+    return j;
+}
+
+Json
+Json::array()
+{
+    Json j;
+    j.kind_ = Kind::Array;
+    return j;
+}
+
+Json
+Json::object()
+{
+    Json j;
+    j.kind_ = Kind::Object;
+    return j;
+}
+
+bool
+Json::asBool(bool fallback) const
+{
+    return kind_ == Kind::Bool ? bool_ : fallback;
+}
+
+int64_t
+Json::asInt(int64_t fallback) const
+{
+    if (kind_ == Kind::Int)
+        return int_;
+    if (kind_ == Kind::Double)
+        return static_cast<int64_t>(double_);
+    return fallback;
+}
+
+double
+Json::asDouble(double fallback) const
+{
+    if (kind_ == Kind::Double)
+        return double_;
+    if (kind_ == Kind::Int)
+        return static_cast<double>(int_);
+    return fallback;
+}
+
+const std::string &
+Json::asString() const
+{
+    static const std::string empty;
+    return kind_ == Kind::String ? string_ : empty;
+}
+
+const std::vector<Json> &
+Json::items() const
+{
+    static const std::vector<Json> empty;
+    return kind_ == Kind::Array ? items_ : empty;
+}
+
+const std::vector<std::pair<std::string, Json>> &
+Json::members() const
+{
+    static const std::vector<std::pair<std::string, Json>> empty;
+    return kind_ == Kind::Object ? members_ : empty;
+}
+
+const Json *
+Json::find(const std::string &key) const
+{
+    if (kind_ != Kind::Object)
+        return nullptr;
+    for (const auto &member : members_) {
+        if (member.first == key)
+            return &member.second;
+    }
+    return nullptr;
+}
+
+Json &
+Json::push(Json v)
+{
+    if (kind_ == Kind::Null)
+        kind_ = Kind::Array;
+    items_.push_back(std::move(v));
+    return *this;
+}
+
+Json &
+Json::set(std::string key, Json v)
+{
+    if (kind_ == Kind::Null)
+        kind_ = Kind::Object;
+    for (auto &member : members_) {
+        if (member.first == key) {
+            member.second = std::move(v);
+            return *this;
+        }
+    }
+    members_.emplace_back(std::move(key), std::move(v));
+    return *this;
+}
+
+namespace {
+
+void
+dumpTo(const Json &v, std::string &out)
+{
+    switch (v.kind()) {
+      case Json::Kind::Null:
+        out += "null";
+        break;
+      case Json::Kind::Bool:
+        out += v.asBool() ? "true" : "false";
+        break;
+      case Json::Kind::Int:
+        out += format("%lld", static_cast<long long>(v.asInt()));
+        break;
+      case Json::Kind::Double: {
+        const double d = v.asDouble();
+        if (std::isfinite(d)) {
+            out += format("%.17g", d);
+        } else {
+            out += "null"; // JSON has no inf/nan
+        }
+        break;
+      }
+      case Json::Kind::String:
+        out += '"';
+        out += jsonEscape(v.asString());
+        out += '"';
+        break;
+      case Json::Kind::Array: {
+        out += '[';
+        bool first = true;
+        for (const Json &item : v.items()) {
+            if (!first)
+                out += ',';
+            first = false;
+            dumpTo(item, out);
+        }
+        out += ']';
+        break;
+      }
+      case Json::Kind::Object: {
+        out += '{';
+        bool first = true;
+        for (const auto &member : v.members()) {
+            if (!first)
+                out += ',';
+            first = false;
+            out += '"';
+            out += jsonEscape(member.first);
+            out += "\":";
+            dumpTo(member.second, out);
+        }
+        out += '}';
+        break;
+      }
+    }
+}
+
+/** Strict recursive-descent parser with byte-offset diagnostics. */
+class Parser
+{
+  public:
+    Parser(std::string_view text, std::string &error)
+        : text_(text), error_(error)
+    {
+    }
+
+    bool
+    parseDocument(Json &out)
+    {
+        skipSpace();
+        if (!parseValue(out, 0))
+            return false;
+        skipSpace();
+        if (pos_ != text_.size())
+            return fail("trailing garbage after JSON value");
+        return true;
+    }
+
+  private:
+    static constexpr int kMaxDepth = 64;
+
+    bool
+    fail(const std::string &what)
+    {
+        error_ = format("%s at byte %zu", what.c_str(), pos_);
+        return false;
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r')
+                break;
+            ++pos_;
+        }
+    }
+
+    bool
+    literal(std::string_view word)
+    {
+        if (text_.substr(pos_, word.size()) != word)
+            return fail(format("invalid literal (expected '%.*s')",
+                               static_cast<int>(word.size()),
+                               word.data()));
+        pos_ += word.size();
+        return true;
+    }
+
+    bool
+    parseValue(Json &out, int depth)
+    {
+        if (depth > kMaxDepth)
+            return fail("nesting too deep");
+        if (pos_ >= text_.size())
+            return fail("unexpected end of input");
+        switch (text_[pos_]) {
+          case 'n':
+            out = Json::null();
+            return literal("null");
+          case 't':
+            out = Json::boolean(true);
+            return literal("true");
+          case 'f':
+            out = Json::boolean(false);
+            return literal("false");
+          case '"':
+            return parseString(out);
+          case '[':
+            return parseArray(out, depth);
+          case '{':
+            return parseObject(out, depth);
+          default:
+            return parseNumber(out);
+        }
+    }
+
+    bool
+    parseString(Json &out)
+    {
+        std::string value;
+        if (!parseRawString(value))
+            return false;
+        out = Json::string(std::move(value));
+        return true;
+    }
+
+    bool
+    parseRawString(std::string &value)
+    {
+        ++pos_; // opening quote (caller checked)
+        value.clear();
+        while (true) {
+            if (pos_ >= text_.size())
+                return fail("unterminated string");
+            const unsigned char c = text_[pos_];
+            if (c == '"') {
+                ++pos_;
+                return true;
+            }
+            if (c < 0x20)
+                return fail("unescaped control character in string");
+            if (c != '\\') {
+                value += static_cast<char>(c);
+                ++pos_;
+                continue;
+            }
+            ++pos_;
+            if (pos_ >= text_.size())
+                return fail("unterminated escape");
+            const char esc = text_[pos_++];
+            switch (esc) {
+              case '"': value += '"'; break;
+              case '\\': value += '\\'; break;
+              case '/': value += '/'; break;
+              case 'b': value += '\b'; break;
+              case 'f': value += '\f'; break;
+              case 'n': value += '\n'; break;
+              case 'r': value += '\r'; break;
+              case 't': value += '\t'; break;
+              case 'u': {
+                uint32_t code = 0;
+                if (!parseHex4(code))
+                    return false;
+                appendUtf8(value, code);
+                break;
+              }
+              default:
+                --pos_;
+                return fail("invalid escape character");
+            }
+        }
+    }
+
+    bool
+    parseHex4(uint32_t &code)
+    {
+        code = 0;
+        for (int i = 0; i < 4; ++i) {
+            if (pos_ >= text_.size())
+                return fail("truncated \\u escape");
+            const char c = text_[pos_];
+            uint32_t digit;
+            if (c >= '0' && c <= '9')
+                digit = static_cast<uint32_t>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                digit = static_cast<uint32_t>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                digit = static_cast<uint32_t>(c - 'A' + 10);
+            else
+                return fail("invalid \\u escape digit");
+            code = code * 16 + digit;
+            ++pos_;
+        }
+        return true;
+    }
+
+    static void
+    appendUtf8(std::string &out, uint32_t code)
+    {
+        // Surrogates and astral planes are passed through as the
+        // replacement pattern for lone surrogates; the protocol never
+        // sends them, but the parser must not corrupt memory on them.
+        if (code < 0x80) {
+            out += static_cast<char>(code);
+        } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+        } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+        }
+    }
+
+    bool
+    parseNumber(Json &out)
+    {
+        const size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        bool integral = true;
+        bool any_digit = false;
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c >= '0' && c <= '9') {
+                any_digit = true;
+                ++pos_;
+            } else if (c == '.' || c == 'e' || c == 'E' || c == '+' ||
+                       c == '-') {
+                integral = false;
+                ++pos_;
+            } else {
+                break;
+            }
+        }
+        if (!any_digit) {
+            pos_ = start;
+            return fail("invalid value");
+        }
+        const std::string token(text_.substr(start, pos_ - start));
+        // RFC 8259: no leading zeros ("01"), no bare trailing dot.
+        const size_t digits = token[0] == '-' ? 1 : 0;
+        if (token.size() > digits + 1 && token[digits] == '0' &&
+            token[digits + 1] >= '0' && token[digits + 1] <= '9') {
+            pos_ = start;
+            return fail("leading zero in number");
+        }
+        errno = 0;
+        if (integral) {
+            char *end = nullptr;
+            const long long v = std::strtoll(token.c_str(), &end, 10);
+            if (errno != ERANGE && end && *end == '\0') {
+                out = Json::integer(v);
+                return true;
+            }
+            // Fall through to double for out-of-range integers.
+        }
+        errno = 0;
+        char *end = nullptr;
+        const double d = std::strtod(token.c_str(), &end);
+        if (!end || *end != '\0') {
+            pos_ = start;
+            return fail("malformed number");
+        }
+        out = Json::number(d);
+        return true;
+    }
+
+    bool
+    parseArray(Json &out, int depth)
+    {
+        ++pos_; // '['
+        out = Json::array();
+        skipSpace();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            Json item;
+            skipSpace();
+            if (!parseValue(item, depth + 1))
+                return false;
+            out.push(std::move(item));
+            skipSpace();
+            if (pos_ >= text_.size())
+                return fail("unterminated array");
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or ']' in array");
+        }
+    }
+
+    bool
+    parseObject(Json &out, int depth)
+    {
+        ++pos_; // '{'
+        out = Json::object();
+        skipSpace();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipSpace();
+            if (pos_ >= text_.size() || text_[pos_] != '"')
+                return fail("expected string key in object");
+            std::string key;
+            if (!parseRawString(key))
+                return false;
+            skipSpace();
+            if (pos_ >= text_.size() || text_[pos_] != ':')
+                return fail("expected ':' after object key");
+            ++pos_;
+            Json value;
+            skipSpace();
+            if (!parseValue(value, depth + 1))
+                return false;
+            out.set(std::move(key), std::move(value));
+            skipSpace();
+            if (pos_ >= text_.size())
+                return fail("unterminated object");
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or '}' in object");
+        }
+    }
+
+    std::string_view text_;
+    std::string &error_;
+    size_t pos_ = 0;
+};
+
+} // namespace
+
+std::string
+Json::dump() const
+{
+    std::string out;
+    dumpTo(*this, out);
+    return out;
+}
+
+bool
+Json::parse(std::string_view text, Json &out, std::string &error)
+{
+    Parser parser(text, error);
+    return parser.parseDocument(out);
+}
+
+} // namespace service
+} // namespace webslice

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Minimal JSON value for the service protocol.
+ *
+ * The daemon and client exchange length-prefixed JSON frames, so unlike
+ * the write-only report emitters in support/metrics this module must
+ * also *parse* — defensively, since the bytes come off a socket from an
+ * arbitrary peer. The parser is a strict recursive-descent reader over
+ * RFC 8259 (no comments, no trailing commas, UTF-8 passthrough) that
+ * reports the first error with its byte offset instead of dying:
+ * malformed requests must become error responses, never daemon exits.
+ *
+ * Numbers keep an exact int64 when the literal is integral and in
+ * range, a double otherwise; object members preserve insertion order so
+ * serialized requests are stable for tests and dedup keys.
+ */
+
+#ifndef WEBSLICE_SERVICE_JSON_HH
+#define WEBSLICE_SERVICE_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace webslice {
+namespace service {
+
+class Json
+{
+  public:
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Int,
+        Double,
+        String,
+        Array,
+        Object,
+    };
+
+    /** Defaults to null. */
+    Json() = default;
+
+    // Factories; the constructors stay non-ambiguous this way.
+    static Json null() { return Json(); }
+    static Json boolean(bool v);
+    static Json integer(int64_t v);
+    static Json number(double v);
+    static Json string(std::string v);
+    static Json array();
+    static Json object();
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    bool isInt() const { return kind_ == Kind::Int; }
+    bool isNumber() const
+    {
+        return kind_ == Kind::Int || kind_ == Kind::Double;
+    }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    /** Typed readers; the fallback is returned on any kind mismatch. */
+    bool asBool(bool fallback = false) const;
+    int64_t asInt(int64_t fallback = 0) const;
+    double asDouble(double fallback = 0.0) const;
+    const std::string &asString() const; ///< Empty on mismatch.
+
+    /** Array elements (empty span for non-arrays). */
+    const std::vector<Json> &items() const;
+
+    /** Object members in insertion order (empty for non-objects). */
+    const std::vector<std::pair<std::string, Json>> &members() const;
+
+    /** Member lookup; nullptr when absent or not an object. */
+    const Json *find(const std::string &key) const;
+
+    /** Append to an array (converts a null to an array first). */
+    Json &push(Json v);
+
+    /** Set an object member (converts a null to an object first). */
+    Json &set(std::string key, Json v);
+
+    /** Serialize compactly (no insignificant whitespace). */
+    std::string dump() const;
+
+    /**
+     * Parse `text` into `out`. On failure returns false and fills
+     * `error` with a message that names the byte offset of the first
+     * offending character. Trailing non-whitespace after the value is
+     * an error — a frame is exactly one JSON value.
+     */
+    static bool parse(std::string_view text, Json &out,
+                      std::string &error);
+
+  private:
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    int64_t int_ = 0;
+    double double_ = 0.0;
+    std::string string_;
+    std::vector<Json> items_;
+    std::vector<std::pair<std::string, Json>> members_;
+};
+
+} // namespace service
+} // namespace webslice
+
+#endif // WEBSLICE_SERVICE_JSON_HH

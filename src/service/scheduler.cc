@@ -1,0 +1,233 @@
+#include "service/scheduler.hh"
+
+#include <algorithm>
+#include <thread>
+
+#include "analysis/categorize.hh"
+#include "support/logging.hh"
+#include "support/metrics.hh"
+#include "support/strings.hh"
+
+namespace webslice {
+namespace service {
+
+namespace {
+
+double
+millisSince(std::chrono::steady_clock::time_point from,
+            std::chrono::steady_clock::time_point to)
+{
+    return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+} // namespace
+
+const QueryResult &
+Job::wait() const
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return done_; });
+    return result_;
+}
+
+bool
+Job::done() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return done_;
+}
+
+Scheduler::Scheduler(SessionCache &cache, const Options &options)
+    : cache_(cache),
+      pool_(static_cast<unsigned>(std::max(1, options.workers))),
+      maxQueue_(std::max<size_t>(1, options.maxQueue))
+{
+}
+
+Scheduler::~Scheduler()
+{
+    drain();
+}
+
+Scheduler::Submitted
+Scheduler::submit(const std::string &prefix, const SliceQuery &query)
+{
+    auto &registry = MetricRegistry::global();
+    std::shared_ptr<Job> job;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++counters_.submitted;
+        registry.counter("service.requests_total").add();
+
+        // Identical in-flight work is joined, not repeated; the key
+        // folds the prefix so distinct recordings never collide.
+        const std::string key = query.dedupKey(
+            fnv1a64(prefix.data(), prefix.size()));
+        auto inflight = inflight_.find(key);
+        if (inflight != inflight_.end()) {
+            if (auto twin = inflight->second.lock()) {
+                ++counters_.deduped;
+                registry.counter("service.requests_deduped").add();
+                return {twin, false, true};
+            }
+            inflight_.erase(inflight);
+        }
+
+        if (inQueue_ >= maxQueue_) {
+            // Backpressure: reply immediately instead of queueing
+            // without bound — the client can retry or shed load.
+            ++counters_.rejected;
+            registry.counter("service.requests_rejected").add();
+            auto rejected = std::make_shared<Job>();
+            rejected->done_ = true;
+            rejected->result_.status = QueryResult::Status::Rejected;
+            rejected->result_.error = format(
+                "queue full (%zu requests in flight)", inQueue_);
+            return {rejected, true, false};
+        }
+
+        job = std::make_shared<Job>();
+        job->prefix_ = prefix;
+        job->query_ = query;
+        job->dedupKey_ = key;
+        job->submitted_ = std::chrono::steady_clock::now();
+        if (query.timeoutMs != 0) {
+            job->deadline_ = job->submitted_ +
+                             std::chrono::milliseconds(query.timeoutMs);
+        }
+        ++inQueue_;
+        counters_.queueDepthPeak =
+            std::max<uint64_t>(counters_.queueDepthPeak, inQueue_);
+        registry.gauge("service.queue_depth_peak").setMax(inQueue_);
+        inflight_[key] = job;
+    }
+    pool_.post(group_, [this, job] { runJob(job); });
+    return {job, false, false};
+}
+
+void
+Scheduler::runJob(const std::shared_ptr<Job> &job)
+{
+    const auto start = std::chrono::steady_clock::now();
+    QueryResult result;
+    result.queueMs = millisSince(job->submitted_, start);
+
+    if (job->deadline_ != std::chrono::steady_clock::time_point{} &&
+        start > job->deadline_) {
+        result.status = QueryResult::Status::Timeout;
+        result.error = format("deadline of %llu ms passed after %.1f ms "
+                              "in queue",
+                              static_cast<unsigned long long>(
+                                  job->query_.timeoutMs),
+                              result.queueMs);
+        finishJob(job, std::move(result));
+        return;
+    }
+
+    if (job->query_.debugSleepMs != 0) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(job->query_.debugSleepMs));
+    }
+
+    try {
+        // Any fatal() raised by the loaders below must fail this one
+        // request with its diagnostic, never the process.
+        ScopedFatalCapture capture;
+        bool cache_hit = false;
+        const auto session = cache_.acquire(job->prefix_, &cache_hit);
+        result.cacheHit = cache_hit;
+
+        slicer::SlicerOptions options;
+        options.mode = job->query_.mode;
+        options.backwardJobs = job->query_.backwardJobs;
+        options.endIndex = session->windowEnd(job->query_.noWindow,
+                                              job->query_.endIndex);
+
+        const auto records = session->trace->records();
+        const auto slice = slicer::computeSlice(
+            records, session->cfgs, session->deps,
+            session->sidecars.criteria, options);
+
+        result.mode = job->query_.mode ==
+                              slicer::CriteriaMode::PixelBuffer
+                          ? "pixel-buffer"
+                          : "syscalls";
+        result.records = records.size();
+        result.windowEnd = slice.analyzedWindowEnd;
+        result.instructionsAnalyzed = slice.instructionsAnalyzed;
+        result.sliceInstructions = slice.sliceInstructions;
+        result.criteriaBytesSeeded = slice.criteriaBytesSeeded;
+        result.slicePercent = slice.slicePercent();
+        result.inSliceFnv1a =
+            fnv1a64(slice.inSlice.data(), slice.inSlice.size());
+
+        const auto dist = analysis::categorizeUnnecessary(
+            records, slice.inSlice, session->cfgs,
+            session->sidecars.symtab,
+            analysis::Categorizer::chromiumDefault(),
+            slice.analyzedWindowEnd);
+        result.categoryCoveragePercent = dist.coveragePercent();
+        for (const auto &category :
+             analysis::Categorizer::reportOrder()) {
+            const double share = dist.sharePercent(category);
+            if (share > 0.0)
+                result.categoryShares.emplace_back(category, share);
+        }
+        result.status = QueryResult::Status::Ok;
+    } catch (const std::exception &e) {
+        result.status = QueryResult::Status::Error;
+        result.error = e.what();
+    }
+
+    result.runMs = millisSince(start, std::chrono::steady_clock::now());
+    finishJob(job, std::move(result));
+}
+
+void
+Scheduler::finishJob(const std::shared_ptr<Job> &job, QueryResult result)
+{
+    auto &registry = MetricRegistry::global();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        --inQueue_;
+        ++counters_.completed;
+        switch (result.status) {
+          case QueryResult::Status::Ok:
+            registry.counter("service.requests_ok").add();
+            break;
+          case QueryResult::Status::Timeout:
+            ++counters_.timedOut;
+            registry.counter("service.requests_timed_out").add();
+            break;
+          default:
+            ++counters_.failed;
+            registry.counter("service.requests_failed").add();
+            break;
+        }
+        auto it = inflight_.find(job->dedupKey_);
+        if (it != inflight_.end() && it->second.lock() == job)
+            inflight_.erase(it);
+    }
+    {
+        std::lock_guard<std::mutex> lock(job->mutex_);
+        job->result_ = std::move(result);
+        job->done_ = true;
+    }
+    job->cv_.notify_all();
+}
+
+void
+Scheduler::drain()
+{
+    pool_.drain(group_);
+}
+
+Scheduler::Stats
+Scheduler::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return counters_;
+}
+
+} // namespace service
+} // namespace webslice

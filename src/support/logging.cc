@@ -3,6 +3,24 @@
 #include <cstdio>
 
 namespace webslice {
+
+namespace {
+
+/** Nesting depth of ScopedFatalCapture scopes on this thread. */
+thread_local int tl_fatal_capture_depth = 0;
+
+} // namespace
+
+ScopedFatalCapture::ScopedFatalCapture() { ++tl_fatal_capture_depth; }
+
+ScopedFatalCapture::~ScopedFatalCapture() { --tl_fatal_capture_depth; }
+
+bool
+ScopedFatalCapture::active()
+{
+    return tl_fatal_capture_depth > 0;
+}
+
 namespace detail {
 
 void
@@ -28,6 +46,11 @@ panicImpl(const std::string &msg, const char *file, int line)
 void
 fatalImpl(const std::string &msg, const char *file, int line)
 {
+    if (ScopedFatalCapture::active()) {
+        std::ostringstream os;
+        os << msg << " (" << file << ":" << line << ")";
+        throw FatalError(os.str());
+    }
     logMessage("fatal", msg, file, line);
     std::exit(1);
 }

@@ -16,9 +16,43 @@
 
 #include <cstdlib>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 
 namespace webslice {
+
+/**
+ * The exception fatal() raises while a ScopedFatalCapture is active on
+ * the calling thread. what() carries the fully formatted diagnostic
+ * (including the file:line suffix the stderr path would have printed),
+ * so a server can hand a loader's loud truncation/offset message to a
+ * remote client verbatim.
+ */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/**
+ * While alive, fatal() on this thread throws FatalError instead of
+ * exiting the process. Long-lived processes (webslice-served) wrap
+ * request-scoped artifact loading in one of these: a malformed trace
+ * must fail that one request loudly, not take the daemon down. Nests
+ * safely; capture ends when the outermost scope dies.
+ */
+class ScopedFatalCapture
+{
+  public:
+    ScopedFatalCapture();
+    ~ScopedFatalCapture();
+
+    ScopedFatalCapture(const ScopedFatalCapture &) = delete;
+    ScopedFatalCapture &operator=(const ScopedFatalCapture &) = delete;
+
+    /** True when a capture scope is active on the calling thread. */
+    static bool active();
+};
 
 namespace detail {
 

@@ -175,6 +175,15 @@ writeMetricsReport(
     std::string_view schema)
 {
     const std::string json = metricsReportJson(reg, tool, extras, schema);
+    if (path == "-") {
+        // Stdout mode: the report is the tool's pipeable output.
+        fatal_if(std::fwrite(json.data(), 1, json.size(), stdout) !=
+                     json.size(),
+                 "short write of metrics report to stdout");
+        std::fputc('\n', stdout);
+        std::fflush(stdout);
+        return;
+    }
     std::FILE *file = std::fopen(path.c_str(), "w");
     fatal_if(!file, "cannot write metrics report ", path);
     fatal_if(std::fwrite(json.data(), 1, json.size(), file) != json.size(),
@@ -226,20 +235,29 @@ digestFile(const std::string &path)
     if (!file)
         return digest;
 
-    uint64_t hash = 0xcbf29ce484222325ull; // FNV-1a offset basis
+    uint64_t hash = kFnv1a64Offset;
     char buf[1 << 16];
     size_t got;
     while ((got = std::fread(buf, 1, sizeof(buf), file)) > 0) {
-        for (size_t i = 0; i < got; ++i) {
-            hash ^= static_cast<unsigned char>(buf[i]);
-            hash *= 0x100000001b3ull; // FNV-1a prime
-        }
+        hash = fnv1a64(buf, got, hash);
         digest.bytes += got;
     }
     digest.fnv1a = hash;
     digest.ok = std::ferror(file) == 0;
     std::fclose(file);
     return digest;
+}
+
+uint64_t
+fnv1a64(const void *data, size_t bytes, uint64_t seed)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    uint64_t hash = seed;
+    for (size_t i = 0; i < bytes; ++i) {
+        hash ^= p[i];
+        hash *= 0x100000001b3ull; // FNV-1a prime
+    }
+    return hash;
 }
 
 } // namespace webslice

@@ -130,7 +130,11 @@ std::string metricsReportJson(
     const std::vector<std::pair<std::string, std::string>> &extras = {},
     std::string_view schema = "webslice-metrics-v1");
 
-/** Write metricsReportJson() to a file; fatal on I/O failure. */
+/**
+ * Write metricsReportJson() to a file; fatal on I/O failure. The path
+ * "-" writes the report to stdout instead (followed by a newline), so
+ * callers can pipe `--metrics-json -` straight into a consumer.
+ */
 void writeMetricsReport(
     const std::string &path, const MetricRegistry &reg,
     std::string_view tool,
@@ -153,6 +157,17 @@ struct FileDigest
 
 /** Digest a file's contents (streamed; ok=false when unreadable). */
 FileDigest digestFile(const std::string &path);
+
+/** FNV-1a-64 offset basis (the seed digestFile starts from). */
+constexpr uint64_t kFnv1a64Offset = 0xcbf29ce484222325ull;
+
+/**
+ * FNV-1a-64 over an in-memory buffer, chainable via `seed`. Matches
+ * digestFile byte for byte, so an in-memory hash of a file's contents
+ * equals the file's digest.
+ */
+uint64_t fnv1a64(const void *data, size_t bytes,
+                 uint64_t seed = kFnv1a64Offset);
 
 } // namespace webslice
 

@@ -1,0 +1,678 @@
+/**
+ * @file
+ * Tests of the slicing service: the JSON value and its defensive
+ * parser, the length-prefixed frame transport, the session cache's LRU
+ * eviction / digest invalidation / singleflight build, the batch
+ * scheduler's bit-identity with the direct slicer plus its dedup,
+ * backpressure, and timeout behavior, and an in-process daemon serving
+ * a real client over a Unix socket end to end.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "graph/cfg.hh"
+#include "graph/control_deps.hh"
+#include "service/client.hh"
+#include "service/json.hh"
+#include "service/protocol.hh"
+#include "service/scheduler.hh"
+#include "service/server.hh"
+#include "service/session_cache.hh"
+#include "sim/machine.hh"
+#include "sim/syscalls.hh"
+#include "slicer/slicer.hh"
+#include "support/logging.hh"
+#include "support/metrics.hh"
+#include "support/rng.hh"
+#include "trace/trace_file.hh"
+
+namespace webslice {
+namespace service {
+namespace {
+
+using sim::Ctx;
+using sim::Machine;
+using sim::TracedScope;
+using sim::Value;
+
+std::string
+tempPath(const std::string &stem)
+{
+    return std::string(::testing::TempDir()) + stem;
+}
+
+/** Bare connected Unix-socket fd, for tests that speak raw frames. */
+int
+connectUnixRaw(const std::string &path)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path))
+        return -1;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    if (connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                sizeof(addr)) != 0) {
+        close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+// ---- JSON value ----------------------------------------------------------
+
+TEST(Json, ParsesAndRoundTripsNestedValues)
+{
+    const std::string text =
+        R"({"a":[1,2.5,-3],"b":{"s":"hi\nthere","t":true,"n":null}})";
+    Json value;
+    std::string error;
+    ASSERT_TRUE(Json::parse(text, value, error)) << error;
+    ASSERT_TRUE(value.isObject());
+
+    const Json *a = value.find("a");
+    ASSERT_NE(a, nullptr);
+    ASSERT_EQ(a->items().size(), 3u);
+    EXPECT_EQ(a->items()[0].asInt(), 1);
+    EXPECT_DOUBLE_EQ(a->items()[1].asDouble(), 2.5);
+    EXPECT_EQ(a->items()[2].asInt(), -3);
+
+    const Json *b = value.find("b");
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(b->find("s")->asString(), "hi\nthere");
+    EXPECT_TRUE(b->find("t")->asBool());
+    EXPECT_TRUE(b->find("n")->isNull());
+
+    // dump() then parse() is the identity on the value.
+    Json again;
+    ASSERT_TRUE(Json::parse(value.dump(), again, error)) << error;
+    EXPECT_EQ(again.dump(), value.dump());
+}
+
+TEST(Json, PreservesExactIntegersAndMemberOrder)
+{
+    Json value;
+    std::string error;
+    ASSERT_TRUE(
+        Json::parse("{\"z\":9007199254740993,\"a\":1}", value, error));
+    // Exact beyond a double's 53-bit mantissa.
+    EXPECT_EQ(value.find("z")->asInt(), 9007199254740993ll);
+    ASSERT_EQ(value.members().size(), 2u);
+    EXPECT_EQ(value.members()[0].first, "z"); // insertion order kept
+    EXPECT_EQ(value.members()[1].first, "a");
+}
+
+TEST(Json, UnicodeEscapesDecodeToUtf8)
+{
+    Json value;
+    std::string error;
+    ASSERT_TRUE(Json::parse(R"("\u00e9\u20ac")", value, error)) << error;
+    EXPECT_EQ(value.asString(), "\xc3\xa9\xe2\x82\xac"); // é €
+}
+
+TEST(Json, RejectsMalformedInputWithByteOffsets)
+{
+    const char *bad[] = {
+        "",            // empty
+        "{",           // unterminated object
+        "[1,]",        // trailing comma
+        "{\"a\" 1}",   // missing colon
+        "\"\\x\"",     // bad escape
+        "01",          // leading zero
+        "1 2",         // trailing garbage
+        "nul",         // bad literal
+        "\"unterminated",
+    };
+    for (const char *text : bad) {
+        Json value;
+        std::string error;
+        EXPECT_FALSE(Json::parse(text, value, error)) << text;
+        EXPECT_FALSE(error.empty()) << text;
+    }
+}
+
+TEST(Json, RejectsPathologicalNesting)
+{
+    std::string deep(200, '[');
+    deep += std::string(200, ']');
+    Json value;
+    std::string error;
+    EXPECT_FALSE(Json::parse(deep, value, error));
+}
+
+// ---- frame transport -----------------------------------------------------
+
+TEST(Frames, RoundTripOverAPipe)
+{
+    int fds[2];
+    ASSERT_EQ(pipe(fds), 0);
+    std::string error;
+    ASSERT_TRUE(writeFrame(fds[1], "{\"op\":\"ping\"}", error)) << error;
+    ASSERT_TRUE(writeFrame(fds[1], "42", error)) << error;
+    close(fds[1]);
+
+    std::string payload;
+    ASSERT_EQ(readFrame(fds[0], payload, error), FrameRead::Ok) << error;
+    EXPECT_EQ(payload, "{\"op\":\"ping\"}");
+    ASSERT_EQ(readFrame(fds[0], payload, error), FrameRead::Ok) << error;
+    EXPECT_EQ(payload, "42");
+    EXPECT_EQ(readFrame(fds[0], payload, error), FrameRead::Eof);
+    close(fds[0]);
+}
+
+TEST(Frames, OversizedAndTruncatedFramesAreErrors)
+{
+    int fds[2];
+    ASSERT_EQ(pipe(fds), 0);
+    // Length prefix far beyond the ceiling.
+    const uint32_t huge = kMaxFrameBytes + 1;
+    ASSERT_EQ(write(fds[1], &huge, 4), 4);
+    std::string payload, error;
+    EXPECT_EQ(readFrame(fds[0], payload, error), FrameRead::Error);
+    EXPECT_NE(error.find("frame"), std::string::npos);
+    close(fds[0]);
+    close(fds[1]);
+
+    // Prefix promising more bytes than ever arrive.
+    ASSERT_EQ(pipe(fds), 0);
+    const uint32_t ten = 10;
+    ASSERT_EQ(write(fds[1], &ten, 4), 4);
+    ASSERT_EQ(write(fds[1], "abc", 3), 3);
+    close(fds[1]);
+    EXPECT_EQ(readFrame(fds[0], payload, error), FrameRead::Error);
+    close(fds[0]);
+}
+
+// ---- query wire format ---------------------------------------------------
+
+TEST(SliceQuery, RoundTripsThroughJson)
+{
+    SliceQuery query;
+    query.mode = slicer::CriteriaMode::Syscalls;
+    query.noWindow = true;
+    query.endIndex = 1234;
+    query.backwardJobs = 4;
+    query.timeoutMs = 250;
+
+    SliceQuery parsed;
+    std::string error;
+    ASSERT_TRUE(SliceQuery::fromJson(query.toJson(), parsed, error))
+        << error;
+    EXPECT_EQ(parsed.mode, query.mode);
+    EXPECT_EQ(parsed.noWindow, query.noWindow);
+    EXPECT_EQ(parsed.endIndex, query.endIndex);
+    EXPECT_EQ(parsed.backwardJobs, query.backwardJobs);
+    EXPECT_EQ(parsed.timeoutMs, query.timeoutMs);
+}
+
+TEST(SliceQuery, RejectsUnknownMembersAndBadModes)
+{
+    Json bad = Json::object();
+    bad.set("mode", Json::string("pixel"));
+    bad.set("surprise", Json::integer(1));
+    SliceQuery parsed;
+    std::string error;
+    EXPECT_FALSE(SliceQuery::fromJson(bad, parsed, error));
+    EXPECT_NE(error.find("surprise"), std::string::npos);
+
+    Json wrong = Json::object();
+    wrong.set("mode", Json::string("voodoo"));
+    EXPECT_FALSE(SliceQuery::fromJson(wrong, parsed, error));
+}
+
+TEST(SliceQuery, DedupKeyIgnoresTimeoutButNotWork)
+{
+    SliceQuery a, b;
+    a.timeoutMs = 10;
+    b.timeoutMs = 9999;
+    EXPECT_EQ(a.dedupKey(1), b.dedupKey(1));
+    EXPECT_NE(a.dedupKey(1), a.dedupKey(2)); // different recording
+    b.endIndex = 7;
+    EXPECT_NE(a.dedupKey(1), b.dedupKey(1)); // different window
+}
+
+// ---- recorded-artifact fixture -------------------------------------------
+
+/**
+ * A small multi-threaded program whose artifacts are written to a
+ * <prefix> on disk, exactly as webslice-record would: .trc (with block
+ * index), .sym, .crit, and a .meta naming the benchmark. `salt` varies
+ * the computation so two fixtures are distinct recordings.
+ */
+struct SavedProgram
+{
+    Machine machine;
+    std::string prefix;
+    std::vector<uint64_t> buffers;
+
+    explicit SavedProgram(const std::string &stem, uint64_t salt = 0,
+                          int chains = 4)
+    {
+        prefix = tempPath(stem);
+        const auto t0 = machine.addThread("main");
+        const auto t1 = machine.addThread("worker");
+        const auto fn = machine.registerFunction("svc::chain");
+
+        for (int c = 0; c < chains; ++c)
+            buffers.push_back(machine.alloc(64, "buf"));
+        for (int c = 0; c < chains; ++c) {
+            const uint64_t buffer = buffers[c];
+            const uint64_t rounds = 2 + (c + salt) % 5;
+            machine.post(c % 2 ? t1 : t0,
+                         [fn, buffer, rounds, c](Ctx &ctx) {
+                TracedScope scope(ctx, fn);
+                Value acc = ctx.imm(static_cast<uint64_t>(c) + 1);
+                Value i = ctx.imm(0);
+                Value n = ctx.imm(rounds);
+                while (true) {
+                    Value more = ctx.ltu(i, n);
+                    if (!ctx.branchIf(more))
+                        break;
+                    acc = ctx.add(acc, i);
+                    i = ctx.addi(i, 1);
+                }
+                ctx.store(buffer, 8, acc);
+                sim::sysWrite(ctx, buffer, 8);
+            });
+        }
+        machine.post(t0, [this, chains](Ctx &ctx) {
+            for (int c = 0; c < chains / 2; ++c) {
+                const trace::MemRange ranges[] = {{buffers[c], 8}};
+                ctx.marker(ranges);
+            }
+        });
+        machine.run();
+
+        trace::TraceWriter writer(prefix + ".trc", /*block_index=*/true);
+        for (const auto &rec : machine.records())
+            writer.append(rec);
+        writer.close();
+        machine.symtab().save(prefix + ".sym");
+        machine.pixelCriteria().save(prefix + ".crit");
+        std::ofstream meta(prefix + ".meta");
+        meta << "benchmark service-test\n";
+    }
+
+    ~SavedProgram()
+    {
+        for (const char *ext : {".trc", ".sym", ".crit", ".meta"})
+            std::remove((prefix + ext).c_str());
+    }
+
+    slicer::SliceResult
+    directSlice(const slicer::SlicerOptions &options = {}) const
+    {
+        const auto cfgs =
+            graph::buildCfgs(machine.records(), machine.symtab());
+        const auto deps = graph::buildControlDeps(cfgs);
+        return slicer::computeSlice(machine.records(), cfgs, deps,
+                                    machine.pixelCriteria(), options);
+    }
+};
+
+// ---- session cache -------------------------------------------------------
+
+TEST(SessionCache, SecondAcquireIsAHit)
+{
+    const SavedProgram program("cache_hit");
+    SessionCache cache(1ull << 30);
+    bool hit = true;
+    const auto first = cache.acquire(program.prefix, &hit);
+    EXPECT_FALSE(hit);
+    const auto second = cache.acquire(program.prefix, &hit);
+    EXPECT_TRUE(hit);
+    EXPECT_EQ(first.get(), second.get());
+
+    const auto stats = cache.stats();
+    EXPECT_EQ(stats.built, 1u);
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.entries, 1u);
+    EXPECT_GT(stats.bytes, 0u);
+}
+
+TEST(SessionCache, EvictsColdestUnderByteBudget)
+{
+    const SavedProgram one("evict_one", /*salt=*/1);
+    const SavedProgram two("evict_two", /*salt=*/2);
+
+    // A budget of one byte cannot hold any session, but the newest
+    // entry is exempt from eviction: inserting the second must evict
+    // exactly the first.
+    SessionCache cache(/*byte_budget=*/1);
+    cache.acquire(one.prefix);
+    EXPECT_EQ(cache.stats().entries, 1u); // newest survives over-budget
+    cache.acquire(two.prefix);
+
+    auto stats = cache.stats();
+    EXPECT_EQ(stats.entries, 1u);
+    EXPECT_EQ(stats.evictions, 1u);
+
+    // The evicted recording must be rebuilt on its next use.
+    bool hit = true;
+    cache.acquire(one.prefix, &hit);
+    EXPECT_FALSE(hit);
+    EXPECT_EQ(cache.stats().built, 3u);
+}
+
+TEST(SessionCache, ChangedArtifactInvalidatesTheEntry)
+{
+    const SavedProgram program("invalidate", /*salt=*/3);
+    SessionCache cache(1ull << 30);
+    const auto first = cache.acquire(program.prefix);
+
+    // Rewrite the criteria sidecar: same prefix, different recording.
+    {
+        trace::CriteriaSet fewer;
+        fewer.add(/*marker=*/0, program.buffers[0], 4);
+        fewer.save(program.prefix + ".crit");
+    }
+
+    bool hit = true;
+    const auto second = cache.acquire(program.prefix, &hit);
+    EXPECT_FALSE(hit);
+    EXPECT_NE(first.get(), second.get());
+
+    const auto stats = cache.stats();
+    EXPECT_EQ(stats.invalidations, 1u);
+    EXPECT_EQ(stats.built, 2u);
+    EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(SessionCache, ConcurrentAcquiresBuildOnce)
+{
+    const SavedProgram program("concurrent", /*salt=*/4);
+    SessionCache cache(1ull << 30);
+
+    constexpr int kThreads = 8;
+    std::vector<std::shared_ptr<const Session>> sessions(kThreads);
+    std::vector<std::thread> threads;
+    std::atomic<int> failures{0};
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            try {
+                sessions[t] = cache.acquire(program.prefix);
+            } catch (...) {
+                ++failures;
+            }
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+
+    EXPECT_EQ(failures.load(), 0);
+    EXPECT_EQ(cache.stats().built, 1u);
+    for (int t = 1; t < kThreads; ++t)
+        EXPECT_EQ(sessions[t].get(), sessions[0].get());
+}
+
+TEST(SessionCache, MissingArtifactsThrowInsteadOfExiting)
+{
+    SessionCache cache(1ull << 30);
+    EXPECT_THROW(cache.acquire(tempPath("no_such_recording")),
+                 FatalError);
+    // The failure must not leave a poisoned entry behind.
+    EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+// ---- scheduler -----------------------------------------------------------
+
+TEST(Scheduler, ResultIsBitIdenticalToTheDirectSlicer)
+{
+    const SavedProgram program("sched_exact", /*salt=*/5);
+    SessionCache cache(1ull << 30);
+    Scheduler scheduler(cache, {});
+
+    SliceQuery query; // pixel-buffer, full window
+    const auto submitted = scheduler.submit(program.prefix, query);
+    ASSERT_FALSE(submitted.rejected);
+    const QueryResult &result = submitted.job->wait();
+    ASSERT_EQ(result.status, QueryResult::Status::Ok) << result.error;
+
+    const auto direct = program.directSlice();
+    EXPECT_EQ(result.sliceInstructions, direct.sliceInstructions);
+    EXPECT_EQ(result.instructionsAnalyzed, direct.instructionsAnalyzed);
+    EXPECT_EQ(result.inSliceFnv1a,
+              fnv1a64(direct.inSlice.data(), direct.inSlice.size()));
+}
+
+TEST(Scheduler, DuplicateInFlightQueriesShareOneJob)
+{
+    const SavedProgram program("sched_dedup", /*salt=*/6);
+    SessionCache cache(1ull << 30);
+    Scheduler scheduler(cache, {/*workers=*/1, /*maxQueue=*/16});
+
+    // Occupy the single worker so the next submissions stay queued.
+    SliceQuery blocker;
+    blocker.debugSleepMs = 200;
+    scheduler.submit(program.prefix, blocker);
+
+    SliceQuery query;
+    query.endIndex = 50; // distinct from the blocker's key
+    const auto first = scheduler.submit(program.prefix, query);
+    const auto second = scheduler.submit(program.prefix, query);
+    EXPECT_FALSE(first.deduped);
+    EXPECT_TRUE(second.deduped);
+    EXPECT_EQ(first.job.get(), second.job.get());
+
+    const QueryResult &result = second.job->wait();
+    EXPECT_EQ(result.status, QueryResult::Status::Ok) << result.error;
+    scheduler.drain();
+    EXPECT_EQ(scheduler.stats().deduped, 1u);
+}
+
+TEST(Scheduler, FullQueueRejectsImmediately)
+{
+    const SavedProgram program("sched_reject", /*salt=*/7);
+    SessionCache cache(1ull << 30);
+    Scheduler scheduler(cache, {/*workers=*/1, /*maxQueue=*/1});
+
+    SliceQuery blocker;
+    blocker.debugSleepMs = 200;
+    scheduler.submit(program.prefix, blocker);
+
+    SliceQuery query;
+    query.endIndex = 50;
+    const auto bounced = scheduler.submit(program.prefix, query);
+    EXPECT_TRUE(bounced.rejected);
+    ASSERT_TRUE(bounced.job->done());
+    EXPECT_EQ(bounced.job->wait().status, QueryResult::Status::Rejected);
+    EXPECT_NE(bounced.job->wait().error.find("queue full"),
+              std::string::npos);
+    scheduler.drain();
+    EXPECT_EQ(scheduler.stats().rejected, 1u);
+}
+
+TEST(Scheduler, ExpiredDeadlineReportsTimeoutWithoutRunning)
+{
+    const SavedProgram program("sched_timeout", /*salt=*/8);
+    SessionCache cache(1ull << 30);
+    Scheduler scheduler(cache, {/*workers=*/1, /*maxQueue=*/16});
+
+    SliceQuery blocker;
+    blocker.debugSleepMs = 250;
+    scheduler.submit(program.prefix, blocker);
+
+    SliceQuery impatient;
+    impatient.endIndex = 50;
+    impatient.timeoutMs = 20; // expires while the blocker holds the worker
+    const auto submitted = scheduler.submit(program.prefix, impatient);
+    const QueryResult &result = submitted.job->wait();
+    EXPECT_EQ(result.status, QueryResult::Status::Timeout);
+    scheduler.drain();
+    EXPECT_EQ(scheduler.stats().timedOut, 1u);
+}
+
+TEST(Scheduler, LoadFailuresFailTheOneRequestOnly)
+{
+    SessionCache cache(1ull << 30);
+    Scheduler scheduler(cache, {});
+    SliceQuery query;
+    const auto submitted =
+        scheduler.submit(tempPath("sched_no_artifacts"), query);
+    const QueryResult &result = submitted.job->wait();
+    EXPECT_EQ(result.status, QueryResult::Status::Error);
+    EXPECT_FALSE(result.error.empty());
+    scheduler.drain();
+    EXPECT_EQ(scheduler.stats().failed, 1u);
+}
+
+// ---- end to end over a real socket ---------------------------------------
+
+TEST(Server, ServesABatchOverAUnixSocket)
+{
+    const SavedProgram program("e2e", /*salt=*/9);
+
+    ServerOptions options;
+    options.socketPath = tempPath("e2e.sock");
+    options.workers = 4;
+    Server server(options);
+    std::thread serving([&] { server.run(); });
+
+    ServiceClient client;
+    std::string error;
+    ASSERT_TRUE(client.connectUnix(options.socketPath, error)) << error;
+
+    // ping
+    Json ping = Json::object();
+    ping.set("op", Json::string("ping"));
+    Json pong;
+    ASSERT_TRUE(client.call(ping, pong, error)) << error;
+    EXPECT_EQ(pong.find("op")->asString(), "pong");
+    EXPECT_EQ(pong.find("schema")->asString(), kServeSchema);
+
+    // One batch mixing criteria modes and windows.
+    std::vector<SliceQuery> queries(4);
+    queries[1].mode = slicer::CriteriaMode::Syscalls;
+    queries[2].endIndex = 40;
+    queries[3].backwardJobs = 2;
+
+    ServiceClient::BatchOutcome outcome;
+    ASSERT_TRUE(client.batch(program.prefix, queries, outcome, error))
+        << error;
+    ASSERT_EQ(outcome.results.size(), 4u);
+    EXPECT_EQ(outcome.ok, 4u);
+
+    // The pixel-buffer default query must be bit-identical to running
+    // the slicer directly over the same records.
+    const auto direct = program.directSlice();
+    EXPECT_EQ(outcome.results[0].inSliceFnv1a,
+              fnv1a64(direct.inSlice.data(), direct.inSlice.size()));
+
+    // Same batch again: the session must come from the cache.
+    ServiceClient::BatchOutcome warm;
+    ASSERT_TRUE(client.batch(program.prefix, queries, warm, error))
+        << error;
+    EXPECT_EQ(warm.ok, 4u);
+    for (const auto &result : warm.results) {
+        EXPECT_TRUE(result.cacheHit);
+    }
+    EXPECT_EQ(warm.results[0].inSliceFnv1a,
+              outcome.results[0].inSliceFnv1a);
+    EXPECT_EQ(server.cache().stats().built, 1u);
+
+    // stats frames carry the cache and scheduler sections.
+    Json stats_request = Json::object();
+    stats_request.set("op", Json::string("stats"));
+    Json stats;
+    ASSERT_TRUE(client.call(stats_request, stats, error)) << error;
+    ASSERT_NE(stats.find("cache"), nullptr);
+    EXPECT_EQ(stats.find("cache")->find("built")->asInt(), 1);
+    ASSERT_NE(stats.find("scheduler"), nullptr);
+
+    // A malformed request answers with an error frame, not a dead
+    // daemon; the connection closes, so reconnect for shutdown.
+    Json bad = Json::object();
+    bad.set("op", Json::string("frobnicate"));
+    Json answer;
+    ASSERT_TRUE(client.call(bad, answer, error)) << error;
+    EXPECT_EQ(answer.find("status")->asString(), "error");
+
+    ServiceClient again;
+    ASSERT_TRUE(again.connectUnix(options.socketPath, error)) << error;
+    Json shutdown_request = Json::object();
+    shutdown_request.set("op", Json::string("shutdown"));
+    Json ack;
+    ASSERT_TRUE(again.call(shutdown_request, ack, error)) << error;
+    EXPECT_EQ(ack.find("status")->asString(), "ok");
+
+    serving.join();
+    // Graceful shutdown removes the socket file.
+    EXPECT_NE(access(options.socketPath.c_str(), F_OK), 0);
+}
+
+TEST(Server, MalformedBatchQueryFailsInBandAndStopsTheBatch)
+{
+    const SavedProgram program("e2e_bad", /*salt=*/10);
+
+    ServerOptions options;
+    options.socketPath = tempPath("e2e_bad.sock");
+    Server server(options);
+    std::thread serving([&] { server.run(); });
+
+    // Hand-build a batch whose second query is garbage, over a raw
+    // socket so every streamed frame is visible.
+    const int fd = connectUnixRaw(options.socketPath);
+    ASSERT_GE(fd, 0);
+
+    Json request = Json::object();
+    request.set("op", Json::string("batch"));
+    request.set("prefix", Json::string(program.prefix));
+    Json queries = Json::array();
+    queries.push(SliceQuery().toJson());
+    Json bad = Json::object();
+    bad.set("mode", Json::string("nonsense"));
+    queries.push(bad);
+    queries.push(SliceQuery().toJson()); // must never be submitted
+    request.set("queries", std::move(queries));
+
+    std::string error;
+    ASSERT_TRUE(writeFrame(fd, request.dump(), error)) << error;
+
+    std::vector<Json> frames;
+    for (;;) {
+        std::string payload;
+        const FrameRead got = readFrame(fd, payload, error);
+        ASSERT_EQ(got, FrameRead::Ok) << error;
+        Json frame;
+        ASSERT_TRUE(Json::parse(payload, frame, error)) << error;
+        const bool is_done = frame.find("op")->asString() == "batch_done";
+        frames.push_back(std::move(frame));
+        if (is_done)
+            break;
+    }
+    close(fd);
+
+    // id 0 ran; id 1 failed in-band with the parse diagnostic; id 2
+    // was cut off by the malformed query ("a half-understood batch
+    // must not half-run"); batch_done reports the mixed outcome.
+    ASSERT_EQ(frames.size(), 3u); // result 0, result 1, batch_done
+    EXPECT_EQ(frames[0].find("status")->asString(), "ok");
+    EXPECT_EQ(frames[1].find("status")->asString(), "error");
+    EXPECT_NE(frames[1].find("error")->asString().find("nonsense"),
+              std::string::npos);
+    EXPECT_EQ(frames[2].find("op")->asString(), "batch_done");
+    EXPECT_EQ(frames[2].find("status")->asString(), "error");
+    EXPECT_EQ(server.scheduler().stats().submitted, 1u);
+
+    server.requestShutdown();
+    serving.join();
+}
+
+} // namespace
+} // namespace service
+} // namespace webslice

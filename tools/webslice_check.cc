@@ -45,6 +45,7 @@
 #include "support/metrics.hh"
 #include "support/stopwatch.hh"
 #include "support/strings.hh"
+#include "trace/artifacts.hh"
 #include "trace/run_meta.hh"
 #include "trace/trace_file.hh"
 #include "trace/value_log.hh"
@@ -172,34 +173,6 @@ racesJson(const check::RaceResult &races)
     return out.str();
 }
 
-/** JSON object mapping each artifact path to its size and digest. */
-std::string
-artifactDigestsJson(const std::string &prefix)
-{
-    static const char *kExtensions[] = {".trc", ".sym", ".crit", ".meta",
-                                        ".val"};
-    std::ostringstream out;
-    out << "{\n";
-    bool first = true;
-    for (const char *ext : kExtensions) {
-        const std::string path = prefix + ext;
-        const FileDigest digest = digestFile(path);
-        if (!first)
-            out << ",\n";
-        first = false;
-        out << "    \"" << jsonEscape(path) << "\": ";
-        if (!digest.ok) {
-            out << "null";
-            continue;
-        }
-        out << "{\"bytes\": " << digest.bytes << ", \"fnv1a64\": \"0x"
-            << std::hex << std::setw(16) << std::setfill('0')
-            << digest.fnv1a << std::dec << std::setfill(' ') << "\"}";
-    }
-    out << "\n  }";
-    return out.str();
-}
-
 void
 printFindings(const check::Findings &findings)
 {
@@ -275,17 +248,13 @@ main(int argc, char **argv)
     }
 
     // ---- load artifacts ----------------------------------------------------
-    trace::SymbolTable symtab;
-    trace::CriteriaSet criteria;
-    trace::RunMeta meta;
+    trace::ArtifactSidecars sidecars;
     trace::ValueLog values;
     bool have_values = false;
     std::unique_ptr<trace::MappedTrace> mapped;
     {
         ScopedPhase phase("load");
-        symtab.load(prefix + ".sym");
-        criteria.load(prefix + ".crit");
-        meta = trace::loadRunMeta(prefix + ".meta");
+        sidecars = trace::loadArtifactSidecars(prefix);
         mapped = std::make_unique<trace::MappedTrace>(prefix + ".trc");
         const std::string value_path = prefix + ".val";
         if (std::ifstream(value_path).good()) {
@@ -293,6 +262,9 @@ main(int argc, char **argv)
             have_values = true;
         }
     }
+    trace::SymbolTable &symtab = sidecars.symtab;
+    trace::CriteriaSet &criteria = sidecars.criteria;
+    trace::RunMeta &meta = sidecars.meta;
     const auto records = mapped->records();
 
     size_t window = records.size();
@@ -404,7 +376,8 @@ main(int argc, char **argv)
             {"graph_lint", graphLintJson(lint)},
             {"soundness", soundnessJson(sound, have_values)},
             {"races", racesJson(races)},
-            {"artifacts", artifactDigestsJson(prefix)},
+            {"artifacts",
+             trace::artifactDigestsJson(prefix, /*include_values=*/true)},
         };
         writeMetricsReport(metrics_json, MetricRegistry::global(),
                            "webslice-check", extras,

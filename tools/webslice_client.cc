@@ -1,0 +1,239 @@
+/**
+ * @file
+ * webslice-client: command-line front end for webslice-served.
+ *
+ *   webslice-client [--socket PATH | --tcp PORT] ping
+ *   webslice-client [--socket PATH | --tcp PORT] stats
+ *   webslice-client [--socket PATH | --tcp PORT] shutdown
+ *   webslice-client [--socket PATH | --tcp PORT] batch <prefix>
+ *                   --query SPEC [--query SPEC]... [--timeout-ms N]
+ *                   [--metrics-json FILE]
+ *
+ * A query SPEC is `pixel` or `syscalls`, optionally extended with
+ * colon-separated modifiers:
+ *
+ *   pixel                       pixel-buffer criteria, metadata window
+ *   syscalls:no-window          syscall criteria, whole trace
+ *   pixel:end=100000            window capped at record 100000
+ *   pixel:backward-jobs=4       epoch-parallel backward pass, 4 threads
+ *
+ * Result frames are printed as JSON lines as they stream in, so a batch
+ * behaves well in a pipeline. --metrics-json (a file path or '-')
+ * additionally writes a webslice-metrics-v1 report whose `batch`
+ * section summarizes the round trip.
+ *
+ * Exit status: 0 when every query succeeded, 1 for usage or connection
+ * errors, 2 when the batch completed but any query reported an error,
+ * rejection, or timeout.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "service/client.hh"
+#include "support/metrics.hh"
+#include "support/strings.hh"
+
+using namespace webslice;
+
+namespace {
+
+constexpr char kUsage[] =
+    "usage: %s [--socket PATH | --tcp PORT] <command>\n"
+    "\n"
+    "commands:\n"
+    "  ping                  round-trip check; prints the daemon's reply\n"
+    "  stats                 print cache, scheduler, and metric counters\n"
+    "  shutdown              ask the daemon to drain and exit\n"
+    "  batch <prefix> --query SPEC [--query SPEC]... [--timeout-ms N]\n"
+    "                        [--metrics-json FILE]\n"
+    "                        run slicing queries against one recording\n"
+    "\n"
+    "query SPEC grammar: (pixel|syscalls)[:no-window][:end=N]\n"
+    "                    [:backward-jobs=N]\n";
+
+/** Parse one --query SPEC; exits 1 with a diagnostic on bad grammar. */
+bool
+parseQuerySpec(const std::string &spec, service::SliceQuery &query,
+               std::string &error)
+{
+    query = service::SliceQuery();
+    std::stringstream parts(spec);
+    std::string part;
+    bool first = true;
+    while (std::getline(parts, part, ':')) {
+        if (first) {
+            first = false;
+            if (part == "pixel" || part == "pixel-buffer") {
+                query.mode = slicer::CriteriaMode::PixelBuffer;
+            } else if (part == "syscalls") {
+                query.mode = slicer::CriteriaMode::Syscalls;
+            } else {
+                error = format("query must start with 'pixel' or "
+                               "'syscalls', got '%s'",
+                               part.c_str());
+                return false;
+            }
+            continue;
+        }
+        if (part == "no-window") {
+            query.noWindow = true;
+        } else if (part.rfind("end=", 0) == 0) {
+            char *end = nullptr;
+            const char *text = part.c_str() + 4;
+            query.endIndex = std::strtoull(text, &end, 10);
+            if (end == text || *end != '\0') {
+                error = format("bad end= value in '%s'", spec.c_str());
+                return false;
+            }
+        } else if (part.rfind("backward-jobs=", 0) == 0) {
+            char *end = nullptr;
+            const char *text = part.c_str() + 14;
+            query.backwardJobs =
+                static_cast<int>(std::strtoul(text, &end, 10));
+            if (end == text || *end != '\0') {
+                error = format("bad backward-jobs= value in '%s'",
+                               spec.c_str());
+                return false;
+            }
+        } else {
+            error = format("unknown query modifier '%s' in '%s'",
+                           part.c_str(), spec.c_str());
+            return false;
+        }
+    }
+    if (first) {
+        error = "empty query spec";
+        return false;
+    }
+    return true;
+}
+
+int
+usageError(const char *argv0, const char *message)
+{
+    std::fprintf(stderr, "%s: %s\n", argv0, message);
+    std::fprintf(stderr, kUsage, argv0);
+    return 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string socket_path = "/tmp/webslice-served.sock";
+    int tcp_port = -1;
+    int a = 1;
+    for (; a < argc; ++a) {
+        if (!std::strcmp(argv[a], "--socket")) {
+            if (a + 1 >= argc)
+                return usageError(argv[0], "--socket requires a value");
+            socket_path = argv[++a];
+        } else if (!std::strcmp(argv[a], "--tcp")) {
+            if (a + 1 >= argc)
+                return usageError(argv[0], "--tcp requires a value");
+            tcp_port = std::atoi(argv[++a]);
+        } else {
+            break;
+        }
+    }
+    if (a >= argc)
+        return usageError(argv[0], "missing command");
+    const std::string command = argv[a++];
+
+    service::ServiceClient client;
+    std::string error;
+    const bool connected =
+        tcp_port >= 0 ? client.connectTcp("127.0.0.1", tcp_port, error)
+                      : client.connectUnix(socket_path, error);
+    if (!connected) {
+        std::fprintf(stderr, "%s: %s\n", argv[0], error.c_str());
+        return 1;
+    }
+
+    if (command == "ping" || command == "stats" ||
+        command == "shutdown") {
+        service::Json request = service::Json::object();
+        request.set("op", service::Json::string(command));
+        service::Json response;
+        if (!client.call(request, response, error)) {
+            std::fprintf(stderr, "%s: %s\n", argv[0], error.c_str());
+            return 1;
+        }
+        std::printf("%s\n", response.dump().c_str());
+        return 0;
+    }
+
+    if (command != "batch")
+        return usageError(
+            argv[0],
+            format("unknown command '%s'", command.c_str()).c_str());
+    if (a >= argc)
+        return usageError(argv[0], "batch requires an artifact prefix");
+    const std::string prefix = argv[a++];
+
+    std::vector<service::SliceQuery> queries;
+    uint64_t timeout_ms = 0;
+    std::string metrics_json;
+    for (; a < argc; ++a) {
+        if (!std::strcmp(argv[a], "--query")) {
+            if (a + 1 >= argc)
+                return usageError(argv[0], "--query requires a value");
+            service::SliceQuery query;
+            if (!parseQuerySpec(argv[++a], query, error))
+                return usageError(argv[0], error.c_str());
+            queries.push_back(query);
+        } else if (!std::strcmp(argv[a], "--timeout-ms")) {
+            if (a + 1 >= argc)
+                return usageError(argv[0],
+                                  "--timeout-ms requires a value");
+            timeout_ms = std::strtoull(argv[++a], nullptr, 10);
+        } else if (!std::strcmp(argv[a], "--metrics-json")) {
+            if (a + 1 >= argc)
+                return usageError(argv[0],
+                                  "--metrics-json requires a value");
+            metrics_json = argv[++a];
+        } else {
+            return usageError(
+                argv[0],
+                format("unknown batch flag '%s'", argv[a]).c_str());
+        }
+    }
+    if (queries.empty())
+        return usageError(argv[0], "batch requires at least one --query");
+    for (auto &query : queries)
+        query.timeoutMs = timeout_ms;
+
+    service::ServiceClient::BatchOutcome outcome;
+    const bool ok = client.batch(
+        prefix, queries, outcome, error,
+        [](const service::Json &frame) {
+            std::printf("%s\n", frame.dump().c_str());
+            std::fflush(stdout);
+        });
+    if (!ok) {
+        std::fprintf(stderr, "%s: %s\n", argv[0], error.c_str());
+        return 1;
+    }
+
+    if (!metrics_json.empty()) {
+        std::ostringstream batch;
+        batch << "{\n"
+              << "    \"prefix\": \"" << jsonEscape(prefix) << "\",\n"
+              << "    \"queries\": " << queries.size() << ",\n"
+              << "    \"ok\": " << outcome.ok << ",\n"
+              << "    \"errors\": " << outcome.errors << ",\n"
+              << "    \"rejected\": " << outcome.rejected << ",\n"
+              << "    \"timeouts\": " << outcome.timeouts << "\n  }";
+        writeMetricsReport(metrics_json, MetricRegistry::global(),
+                           "webslice-client",
+                           {{"batch", batch.str()}});
+    }
+
+    return outcome.ok == queries.size() ? 0 : 2;
+}

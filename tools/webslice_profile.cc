@@ -48,6 +48,7 @@
 #include "support/metrics.hh"
 #include "support/stopwatch.hh"
 #include "support/strings.hh"
+#include "trace/artifacts.hh"
 #include "trace/run_meta.hh"
 #include "trace/trace_file.hh"
 
@@ -69,6 +70,8 @@ constexpr char kUsage[] =
     "                        oracle, 0 = all cores (epoch-parallel slicer,\n"
     "                        bit-identical output)\n"
     "  --metrics-json FILE   write the machine-readable run report\n"
+    "                        (FILE of '-' writes it to stdout and moves\n"
+    "                        the human-readable report to stderr)\n"
     "  --progress            phase notices and a reverse-walk heartbeat on\n"
     "                        stderr\n"
     "  --verify              run the graph linter and the slice soundness\n"
@@ -126,34 +129,11 @@ sliceStatsJson(const slicer::SliceResult &slice, const trace::RunMeta &meta,
         << "    \"peak_live_mem_bytes\": " << slice.peakLiveMemBytes
         << ",\n"
         << "    \"peak_pending_branches\": " << slice.peakPendingBranches
-        << "\n  }";
-    return out.str();
-}
-
-/** JSON object mapping each artifact path to its size and digest. */
-std::string
-artifactDigestsJson(const std::string &prefix)
-{
-    static const char *kExtensions[] = {".trc", ".sym", ".crit", ".meta"};
-    std::ostringstream out;
-    out << "{\n";
-    bool first = true;
-    for (const char *ext : kExtensions) {
-        const std::string path = prefix + ext;
-        const FileDigest digest = digestFile(path);
-        if (!first)
-            out << ",\n";
-        first = false;
-        out << "    \"" << jsonEscape(path) << "\": ";
-        if (!digest.ok) {
-            out << "null";
-            continue;
-        }
-        out << "{\"bytes\": " << digest.bytes << ", \"fnv1a64\": \"0x"
-            << std::hex << std::setw(16) << std::setfill('0')
-            << digest.fnv1a << std::dec << std::setfill(' ') << "\"}";
-    }
-    out << "\n  }";
+        << ",\n"
+        << "    \"in_slice_fnv1a\": \"0x" << std::hex << std::setw(16)
+        << std::setfill('0')
+        << fnv1a64(slice.inSlice.data(), slice.inSlice.size()) << std::dec
+        << std::setfill(' ') << "\"\n  }";
     return out.str();
 }
 
@@ -216,16 +196,15 @@ main(int argc, char **argv)
     }
 
     // ---- load artifacts ----------------------------------------------------
-    trace::SymbolTable symtab;
-    trace::CriteriaSet criteria;
-    trace::RunMeta meta;
+    trace::ArtifactSidecars sidecars;
     {
         phaseNotice(progress, "load");
         ScopedPhase phase("load");
-        symtab.load(prefix + ".sym");
-        criteria.load(prefix + ".crit");
-        meta = trace::loadRunMeta(prefix + ".meta");
+        sidecars = trace::loadArtifactSidecars(prefix);
     }
+    trace::SymbolTable &symtab = sidecars.symtab;
+    trace::CriteriaSet &criteria = sidecars.criteria;
+    trace::RunMeta &meta = sidecars.meta;
 
     // ---- forward pass (streamed) -------------------------------------------
     graph::CfgSet cfgs;
@@ -256,10 +235,14 @@ main(int argc, char **argv)
                                              criteria, options);
     }
 
-    std::printf("%s: %s\n", prefix.c_str(),
+    // With --metrics-json - the machine-readable report owns stdout;
+    // the human-readable report moves to stderr so the JSON stays clean.
+    FILE *report = metrics_json == "-" ? stderr : stdout;
+
+    std::fprintf(report, "%s: %s\n", prefix.c_str(),
                 meta.benchmark.empty() ? "(no metadata)"
                                        : meta.benchmark.c_str());
-    std::printf("criteria: %s, slice %s of %s instructions (%.1f%%)\n\n",
+    std::fprintf(report, "criteria: %s, slice %s of %s instructions (%.1f%%)\n\n",
                 options.mode == slicer::CriteriaMode::PixelBuffer
                     ? "pixel buffers"
                     : "system calls",
@@ -280,11 +263,11 @@ main(int argc, char **argv)
 
         const auto stats = analysis::computeThreadStats(
             records, slice.inSlice, meta.threadNames, window);
-        std::printf("per thread:\n");
+        std::fprintf(report, "per thread:\n");
         for (const auto &thread : stats.perThread) {
             if (thread.totalInstructions == 0)
                 continue;
-            std::printf("  %-26s %12s instr  %5.1f%% in slice\n",
+            std::fprintf(report, "  %-26s %12s instr  %5.1f%% in slice\n",
                         thread.name.empty()
                             ? format("tid%u", thread.tid).c_str()
                             : thread.name.c_str(),
@@ -295,22 +278,22 @@ main(int argc, char **argv)
         const auto dist = analysis::categorizeUnnecessary(
             records, slice.inSlice, cfgs, symtab,
             analysis::Categorizer::chromiumDefault(), window);
-        std::printf("\nunnecessary-computation categories (%.0f%% "
+        std::fprintf(report, "\nunnecessary-computation categories (%.0f%% "
                     "categorizable):\n",
                     dist.coveragePercent());
         for (const auto &category :
              analysis::Categorizer::reportOrder()) {
             const double share = dist.sharePercent(category);
             if (share >= 0.05)
-                std::printf("  %-16s %5.1f%%\n", category.c_str(), share);
+                std::fprintf(report, "  %-16s %5.1f%%\n", category.c_str(), share);
         }
 
         const auto functions = analysis::computeFunctionStats(
             {records.data(), window}, {slice.inSlice.data(), window}, cfgs,
             symtab);
-        std::printf("\nhottest functions:\n");
+        std::fprintf(report, "\nhottest functions:\n");
         for (size_t i = 0; i < functions.size() && i < top; ++i) {
-            std::printf("  %-48s %10s instr  %5.1f%% in slice\n",
+            std::fprintf(report, "  %-48s %10s instr  %5.1f%% in slice\n",
                         functions[i].name.c_str(),
                         withCommas(functions[i].totalInstructions).c_str(),
                         functions[i].slicePercent());
@@ -333,7 +316,7 @@ main(int argc, char **argv)
         const auto sound = check::checkSliceSoundness(
             records, slice, criteria, nullptr, sound_options);
 
-        std::printf("\nverify: graph lint %s, soundness %s "
+        std::fprintf(report, "\nverify: graph lint %s, soundness %s "
                     "(%llu criterion bytes, %llu/%llu probes)\n",
                     lint.ok() ? "clean"
                               : format("%llu findings",
@@ -351,16 +334,16 @@ main(int argc, char **argv)
                         sound.probesConfirmed),
                     static_cast<unsigned long long>(sound.probesRun));
         for (const auto &message : lint.findings.messages)
-            std::printf("    %s\n", message.c_str());
+            std::fprintf(report, "    %s\n", message.c_str());
         for (const auto &message : sound.findings.messages)
-            std::printf("    %s\n", message.c_str());
+            std::fprintf(report, "    %s\n", message.c_str());
         verify_violations = lint.findings.total + sound.findings.total;
     }
 
     if (!metrics_json.empty()) {
         const std::vector<std::pair<std::string, std::string>> extras = {
             {"slice", sliceStatsJson(slice, meta, options)},
-            {"artifacts", artifactDigestsJson(prefix)},
+            {"artifacts", trace::artifactDigestsJson(prefix)},
         };
         writeMetricsReport(metrics_json, MetricRegistry::global(),
                            "webslice-profile", extras);
