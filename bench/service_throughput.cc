@@ -5,20 +5,24 @@
  *   service_throughput [--site bing|amazon|amazon-mobile|maps]
  *                      [--queries N] [--out FILE] [--quick]
  *
- * Records one benchmark site to a temporary artifact prefix, starts an
- * in-process webslice-served on a Unix socket, and measures the service
- * from a client's point of view:
+ * Records one benchmark site to a temporary artifact prefix, then
+ * measures the service from a client's point of view in three parts:
  *
- *  - cold: the first batch against a fresh daemon, which pays the
- *    forward pass (session build) exactly once;
- *  - warm: single-query batches against the cached session at 1, 4, and
- *    8 concurrent client connections — queries/sec plus p50/p99 round
- *    trip latency.
+ *  - session build: the one-time forward pass a fresh daemon pays for
+ *    a recording, reported separately from any per-criterion cost;
+ *  - per-criterion backward latency, cold vs warm: the same set of
+ *    distinct criteria (mode x backward-jobs, one shared window) is
+ *    sliced against a daemon started with --no-plan-cache (every query
+ *    pays the full transcode: the cold baseline) and against a default
+ *    daemon whose second-and-later criteria hit the cached epoch plan.
+ *    The ratio of the medians is `warm_backward_speedup`;
+ *  - warm throughput: single-query batches at 1, 4, and 8 concurrent
+ *    client connections — queries/sec plus p50/p99 round trip latency.
  *
- * Every warm query uses a distinct window end so no two requests ever
- * dedup into one job: the numbers measure the scheduler, not the dedup
- * table. All results stream to stdout as a table and to BENCH_service
- * .json (webslice-metrics-v1) for tracking across commits.
+ * Throughput queries use distinct window ends so no two requests ever
+ * dedup into one job: those numbers measure the scheduler, not the
+ * dedup table. All results stream to stdout as a table and to
+ * BENCH_service.json (webslice-metrics-v1) for tracking across commits.
  */
 
 #include <algorithm>
@@ -26,6 +30,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -73,6 +78,64 @@ percentile(std::vector<double> sorted, double p)
     const size_t hi = std::min(lo + 1, sorted.size() - 1);
     const double frac = rank - lo;
     return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+/**
+ * The per-criterion workload: `count` distinct criteria over the one
+ * shared (default) window. Distinctness comes from mode x backward-jobs
+ * so none of them dedup, yet all of them resolve to the same epoch
+ * plan — exactly the "many criteria, one session" pattern the plan
+ * cache exists for.
+ */
+std::vector<service::SliceQuery>
+criterionSet(size_t count)
+{
+    std::vector<service::SliceQuery> queries(count);
+    for (size_t i = 0; i < count; ++i) {
+        queries[i].mode = i % 2 ? slicer::CriteriaMode::Syscalls
+                                : slicer::CriteriaMode::PixelBuffer;
+        queries[i].backwardJobs = 1 + static_cast<int>(i / 2);
+    }
+    return queries;
+}
+
+struct CriterionSample
+{
+    std::vector<double> sliceMs; ///< Backward pass only, per criterion.
+    size_t planHits = 0;
+
+    double median() const { return percentile(sliceMs, 50.0); }
+    double p99() const { return percentile(sliceMs, 99.0); }
+};
+
+/**
+ * Run each criterion as its own single-query batch on one connection,
+ * sequentially, so the reported slice_ms is undisturbed by sibling
+ * queries contending for cores.
+ */
+CriterionSample
+runCriteria(const std::string &socket_path, const std::string &prefix,
+            const std::vector<service::SliceQuery> &queries)
+{
+    service::ServiceClient client;
+    std::string error;
+    if (!client.connectUnix(socket_path, error)) {
+        std::fprintf(stderr, "connect: %s\n", error.c_str());
+        std::exit(1);
+    }
+    CriterionSample sample;
+    for (const auto &query : queries) {
+        service::ServiceClient::BatchOutcome outcome;
+        if (!client.batch(prefix, {query}, outcome, error) ||
+            outcome.ok != 1) {
+            std::fprintf(stderr, "criterion batch failed: %s\n",
+                         error.c_str());
+            std::exit(1);
+        }
+        sample.sliceMs.push_back(outcome.results[0].sliceMs);
+        sample.planHits += outcome.results[0].planHit ? 1 : 0;
+    }
+    return sample;
 }
 
 struct WarmSample
@@ -198,57 +261,133 @@ main(int argc, char **argv)
     const char *tmp = std::getenv("TMPDIR");
     const std::string prefix =
         std::string(tmp ? tmp : "/tmp") + "/bench_service_trace";
+    const std::string cold_socket =
+        std::string(tmp ? tmp : "/tmp") + "/bench_service_cold.sock";
     const std::string socket_path =
         std::string(tmp ? tmp : "/tmp") + "/bench_service.sock";
     saveArtifacts(run, spec, prefix);
 
+    const auto criteria = criterionSet(queries);
+
+    std::printf("site %s: %s records, %zu criteria "
+                "(mode x backward-jobs, shared window)\n",
+                spec.name.c_str(),
+                withCommas(run.records().size()).c_str(), queries);
+
+    // ---- phase 1: plans disabled — session build + cold criteria -----------
+    // One throwaway query builds the session so the criterion loop below
+    // measures the backward pass alone; with --no-plan-cache semantics
+    // every criterion re-transcodes the window from scratch. This is
+    // what each query cost before plan caching existed.
+    double session_build_ms = 0.0;
+    CriterionSample cold;
+    {
+        service::ServerOptions options;
+        options.socketPath = cold_socket;
+        options.workers = 2;
+        options.usePlans = false;
+        service::Server server(options);
+        std::thread serving([&] { server.run(); });
+
+        service::ServiceClient client;
+        std::string error;
+        if (!client.connectUnix(cold_socket, error)) {
+            std::fprintf(stderr, "connect: %s\n", error.c_str());
+            return 1;
+        }
+        service::ServiceClient::BatchOutcome outcome;
+        if (!client.batch(prefix, {criteria[0]}, outcome, error) ||
+            outcome.ok != 1) {
+            std::fprintf(stderr, "session build failed: %s\n",
+                         error.c_str());
+            return 1;
+        }
+        session_build_ms =
+            outcome.results[0].runMs - outcome.results[0].sliceMs;
+
+        cold = runCriteria(cold_socket, prefix, criteria);
+        client.close();
+        server.requestShutdown();
+        serving.join();
+    }
+    std::printf("  session build (forward pass, once): %8.1f ms\n",
+                session_build_ms);
+    std::printf("  cold criterion (no plan cache): p50 %8.2f ms  "
+                "p99 %8.2f ms\n",
+                cold.median(), cold.p99());
+
+    // ---- phase 2: plans enabled — warm criteria + throughput ---------------
     service::ServerOptions options;
     options.socketPath = socket_path;
     options.workers = 8;
     service::Server server(options);
     std::thread serving([&] { server.run(); });
 
-    // ---- cold: one batch pays the forward pass -----------------------------
-    std::vector<service::SliceQuery> cold_batch(queries);
-    for (size_t i = 0; i < queries; ++i) {
-        cold_batch[i].mode = i % 2 ? slicer::CriteriaMode::Syscalls
-                                   : slicer::CriteriaMode::PixelBuffer;
-        if (i >= 2)
-            cold_batch[i].endIndex = run.records().size() - i;
+    // Warm-up: builds this daemon's session, the shared epoch plan, and
+    // one slice per mode, so the mixed sample below measures what a
+    // saturated daemon serves — repeats of already-seen criteria.
+    {
+        service::ServiceClient client;
+        std::string error;
+        if (!client.connectUnix(socket_path, error)) {
+            std::fprintf(stderr, "connect: %s\n", error.c_str());
+            return 1;
+        }
+        for (size_t i = 0; i < std::min<size_t>(2, criteria.size());
+             ++i) {
+            service::ServiceClient::BatchOutcome outcome;
+            if (!client.batch(prefix, {criteria[i]}, outcome, error) ||
+                outcome.ok != 1) {
+                std::fprintf(stderr, "plan warm-up failed: %s\n",
+                             error.c_str());
+                return 1;
+            }
+        }
     }
-    service::ServiceClient client;
-    std::string error;
-    if (!client.connectUnix(socket_path, error)) {
-        std::fprintf(stderr, "connect: %s\n", error.c_str());
-        return 1;
-    }
-    const double cold0 = bench::nowSeconds();
-    service::ServiceClient::BatchOutcome cold_outcome;
-    if (!client.batch(prefix, cold_batch, cold_outcome, error) ||
-        cold_outcome.ok != queries) {
-        std::fprintf(stderr, "cold batch failed: %s\n", error.c_str());
-        return 1;
-    }
-    const double cold_seconds = bench::nowSeconds() - cold0;
+    const CriterionSample warm = runCriteria(socket_path, prefix, criteria);
 
-    // The same batch again, now against the cached session.
-    const double warm0 = bench::nowSeconds();
-    service::ServiceClient::BatchOutcome warm_outcome;
-    if (!client.batch(prefix, cold_batch, warm_outcome, error) ||
-        warm_outcome.ok != queries) {
-        std::fprintf(stderr, "warm batch failed: %s\n", error.c_str());
-        return 1;
+    // The full epoch replay a warm query pays when its criterion is new
+    // to the plan: prime a fresh window's plan with a pixel query, then
+    // time a syscalls query — a plan hit that cannot be answered from
+    // the per-plan result memo.
+    CriterionSample plan_walk;
+    {
+        service::ServiceClient client;
+        std::string error;
+        if (!client.connectUnix(socket_path, error)) {
+            std::fprintf(stderr, "connect: %s\n", error.c_str());
+            return 1;
+        }
+        for (size_t k = 1; k <= 3; ++k) {
+            service::SliceQuery prime;
+            prime.endIndex = run.records().size() / 2 - k;
+            service::SliceQuery probe = prime;
+            probe.mode = slicer::CriteriaMode::Syscalls;
+            service::ServiceClient::BatchOutcome outcome;
+            if (!client.batch(prefix, {prime}, outcome, error) ||
+                outcome.ok != 1 ||
+                !client.batch(prefix, {probe}, outcome, error) ||
+                outcome.ok != 1) {
+                std::fprintf(stderr, "plan-walk sample failed: %s\n",
+                             error.c_str());
+                return 1;
+            }
+            plan_walk.sliceMs.push_back(outcome.results[0].sliceMs);
+            plan_walk.planHits += outcome.results[0].planHit ? 1 : 0;
+        }
     }
-    const double warm_seconds = bench::nowSeconds() - warm0;
 
-    std::printf("site %s: %s records, batch of %zu queries\n",
-                spec.name.c_str(),
-                withCommas(run.records().size()).c_str(), queries);
-    std::printf("  cold batch (builds session): %8.1f ms\n",
-                cold_seconds * 1e3);
-    std::printf("  warm batch (cached session): %8.1f ms  (%.2fx)\n\n",
-                warm_seconds * 1e3,
-                warm_seconds > 0 ? cold_seconds / warm_seconds : 0.0);
+    const double speedup =
+        warm.median() > 0.0 ? cold.median() / warm.median() : 0.0;
+    std::printf("  warm criterion (repeat, cached plan + memo): "
+                "p50 %8.2f ms  p99 %8.2f ms  (%zu/%zu plan hits)\n",
+                warm.median(), warm.p99(), warm.planHits,
+                warm.sliceMs.size());
+    std::printf("  warm criterion (new to plan, full replay):   "
+                "p50 %8.2f ms  (half window, %zu/%zu plan hits)\n",
+                plan_walk.median(), plan_walk.planHits,
+                plan_walk.sliceMs.size());
+    std::printf("  warm_backward_speedup: %.2fx\n\n", speedup);
 
     // ---- warm throughput at increasing client counts -----------------------
     const size_t per_client = quick ? 4 : 16;
@@ -266,10 +405,13 @@ main(int argc, char **argv)
     }
 
     const auto cache = server.cache().stats();
-    std::printf("\nsessions built %llu, cache hits %llu, misses %llu\n",
+    std::printf("\nsessions built %llu, cache hits %llu, misses %llu; "
+                "plans built %llu, plan hits %llu\n",
                 static_cast<unsigned long long>(cache.built),
                 static_cast<unsigned long long>(cache.hits),
-                static_cast<unsigned long long>(cache.misses));
+                static_cast<unsigned long long>(cache.misses),
+                static_cast<unsigned long long>(cache.planBuilds),
+                static_cast<unsigned long long>(cache.planHits));
 
     server.requestShutdown();
     serving.join();
@@ -278,12 +420,24 @@ main(int argc, char **argv)
     extra << "{\n"
           << "    \"site\": \"" << jsonEscape(spec.name) << "\",\n"
           << "    \"records\": " << run.records().size() << ",\n"
-          << "    \"batch_queries\": " << queries << ",\n"
-          << "    \"cold_batch_ms\": "
-          << format("%.3f", cold_seconds * 1e3) << ",\n"
-          << "    \"warm_batch_ms\": "
-          << format("%.3f", warm_seconds * 1e3) << ",\n"
+          << "    \"criteria\": " << queries << ",\n"
+          << "    \"session_build_ms\": "
+          << format("%.3f", session_build_ms) << ",\n"
+          << "    \"cold_criterion_p50_ms\": "
+          << format("%.3f", cold.median()) << ",\n"
+          << "    \"cold_criterion_p99_ms\": "
+          << format("%.3f", cold.p99()) << ",\n"
+          << "    \"warm_criterion_p50_ms\": "
+          << format("%.3f", warm.median()) << ",\n"
+          << "    \"warm_criterion_p99_ms\": "
+          << format("%.3f", warm.p99()) << ",\n"
+          << "    \"warm_plan_hits\": " << warm.planHits << ",\n"
+          << "    \"warm_plan_walk_half_window_p50_ms\": "
+          << format("%.3f", plan_walk.median()) << ",\n"
+          << "    \"warm_backward_speedup\": "
+          << format("%.3f", speedup) << ",\n"
           << "    \"sessions_built\": " << cache.built << ",\n"
+          << "    \"plans_built\": " << cache.planBuilds << ",\n"
           << "    \"warm\": [";
     for (size_t i = 0; i < samples.size(); ++i) {
         const auto &s = samples[i];

@@ -236,9 +236,11 @@ QueryResult::toJson(size_t id) const
     if (!error.empty())
         j.set("error", Json::string(error));
     j.set("cache_hit", Json::boolean(cacheHit));
+    j.set("plan_hit", Json::boolean(planHit));
     j.set("deduped", Json::boolean(deduped));
     j.set("queue_ms", Json::number(queueMs));
     j.set("run_ms", Json::number(runMs));
+    j.set("slice_ms", Json::number(sliceMs));
     if (status != Status::Ok)
         return j;
 
@@ -297,12 +299,16 @@ QueryResult::fromJson(const Json &json, QueryResult &out,
         out.error = e->asString();
     if (const Json *v = json.find("cache_hit"))
         out.cacheHit = v->asBool();
+    if (const Json *v = json.find("plan_hit"))
+        out.planHit = v->asBool();
     if (const Json *v = json.find("deduped"))
         out.deduped = v->asBool();
     if (const Json *v = json.find("queue_ms"))
         out.queueMs = v->asDouble();
     if (const Json *v = json.find("run_ms"))
         out.runMs = v->asDouble();
+    if (const Json *v = json.find("slice_ms"))
+        out.sliceMs = v->asDouble();
     if (const Json *slice = json.find("slice")) {
         const auto u64 = [&](const char *key) -> uint64_t {
             const Json *v = slice->find(key);

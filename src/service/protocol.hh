@@ -116,9 +116,11 @@ struct QueryResult
 
     // Scheduling telemetry.
     bool cacheHit = false; ///< Session served from the cache.
+    bool planHit = false;  ///< Reused a cached epoch plan (warm query).
     bool deduped = false;  ///< Attached to an identical in-flight query.
     double queueMs = 0.0;
     double runMs = 0.0;
+    double sliceMs = 0.0; ///< Backward pass only (inside runMs).
 
     // Slice summary (valid when status == Ok).
     std::string mode;

@@ -40,7 +40,8 @@ Job::done() const
 Scheduler::Scheduler(SessionCache &cache, const Options &options)
     : cache_(cache),
       pool_(static_cast<unsigned>(std::max(1, options.workers))),
-      maxQueue_(std::max<size_t>(1, options.maxQueue))
+      maxQueue_(std::max<size_t>(1, options.maxQueue)),
+      usePlans_(options.usePlans)
 {
 }
 
@@ -143,10 +144,27 @@ Scheduler::runJob(const std::shared_ptr<Job> &job)
         options.endIndex = session->windowEnd(job->query_.noWindow,
                                               job->query_.endIndex);
 
+        // Route through the cached criterion-independent transcode:
+        // first query over this (recording, window) builds the plan
+        // (singleflight), warm ones skip the transcode pass entirely.
+        // The shared_ptr keeps the plan (and the session it points
+        // into) alive for the duration of the slice.
+        std::shared_ptr<const slicer::EpochPlan> plan;
+        bool plan_hit = false;
+        if (usePlans_) {
+            plan = cache_.acquirePlan(session, options.endIndex,
+                                      &plan_hit);
+            options.reusePlan = plan.get();
+        }
+        result.planHit = plan_hit;
+
         const auto records = session->trace->records();
+        const auto slice_start = std::chrono::steady_clock::now();
         const auto slice = slicer::computeSlice(
             records, session->cfgs, session->deps,
             session->sidecars.criteria, options);
+        result.sliceMs = millisSince(slice_start,
+                                     std::chrono::steady_clock::now());
 
         result.mode = job->query_.mode ==
                               slicer::CriteriaMode::PixelBuffer

@@ -72,6 +72,15 @@ class Scheduler
 
         /** Queued + running ceiling before submissions are rejected. */
         size_t maxQueue = 64;
+
+        /**
+         * Route queries through cached EpochPlans: the first query over
+         * a (recording, window) pays one transcode, every later one
+         * skips that pass entirely (plus any epochs its live set
+         * provably never reaches). Results are bit-identical either
+         * way; off is the cold-path baseline for benchmarks.
+         */
+        bool usePlans = true;
     };
 
     Scheduler(SessionCache &cache, const Options &options);
@@ -119,6 +128,7 @@ class Scheduler
     ThreadPool pool_;
     TaskGroup group_;
     const size_t maxQueue_;
+    const bool usePlans_;
 
     mutable std::mutex mutex_;
     size_t inQueue_ = 0; ///< Jobs submitted but not yet finished.

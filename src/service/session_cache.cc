@@ -1,9 +1,11 @@
 #include "service/session_cache.hh"
 
 #include <utility>
+#include <vector>
 
 #include "support/logging.hh"
 #include "support/metrics.hh"
+#include "support/strings.hh"
 
 namespace webslice {
 namespace service {
@@ -114,9 +116,11 @@ SessionCache::acquire(const std::string &prefix, bool *was_hit)
             return it->second.session;
         }
         // The files changed under the prefix: the entry describes a
-        // recording that no longer exists on disk.
+        // recording that no longer exists on disk, and so do any plans
+        // transcoded from it.
         ++counters_.invalidations;
         cacheCounter("service.cache_invalidations").add();
+        dropPlansForIdentityLocked(it->second.session->identity);
         removeLocked(prefix);
     }
 
@@ -179,6 +183,10 @@ SessionCache::insertLocked(const std::string &prefix,
     bytes_ += session->approxBytes;
     entries_[prefix] = Entry{std::move(session), lru_.begin()};
 
+    // Over budget, cold plans go before cold sessions: rebuilding a
+    // plan is one transcode, rebuilding a session is a forward pass.
+    evictPlansLocked(std::string());
+
     // Evict from the cold end until the budget holds; the entry just
     // inserted is exempt, since a cache that cannot hold the session
     // being served would thrash forever.
@@ -215,6 +223,147 @@ SessionCache::touchLocked(const std::string &prefix, Entry &entry)
     entry.lruIt = lru_.begin();
 }
 
+std::shared_ptr<const slicer::EpochPlan>
+SessionCache::acquirePlan(const std::shared_ptr<const Session> &session,
+                          size_t window_end, bool *was_hit)
+{
+    if (was_hit)
+        *was_hit = false;
+    const std::string key =
+        format("%016llx|%llu",
+               static_cast<unsigned long long>(session->identity),
+               static_cast<unsigned long long>(window_end));
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    auto it = planEntries_.find(key);
+    if (it != planEntries_.end()) {
+        ++counters_.planHits;
+        cacheCounter("service.plan_hits").add();
+        planLru_.erase(it->second.lruIt);
+        planLru_.push_front(key);
+        it->second.lruIt = planLru_.begin();
+        if (was_hit)
+            *was_hit = true;
+        return it->second.plan;
+    }
+    ++counters_.planMisses;
+    cacheCounter("service.plan_misses").add();
+
+    auto inflight = planBuilding_.find(key);
+    if (inflight != planBuilding_.end()) {
+        // Another query over the same window is already transcoding;
+        // join that build instead of running a duplicate.
+        ++counters_.planWaits;
+        cacheCounter("service.plan_waits").add();
+        auto build = inflight->second;
+        buildDone_.wait(lock, [&] { return build->done; });
+        if (build->error)
+            std::rethrow_exception(build->error);
+        if (was_hit)
+            *was_hit = build->plan != nullptr;
+        return build->plan;
+    }
+
+    auto build = std::make_shared<PlanBuilding>();
+    planBuilding_.emplace(key, build);
+    lock.unlock();
+
+    std::shared_ptr<const slicer::EpochPlan> plan;
+    try {
+        ScopedFatalCapture capture;
+        slicer::SlicerOptions options;
+        options.endIndex = window_end;
+        plan = slicer::buildEpochPlan(session->trace->records(),
+                                      session->cfgs, session->deps,
+                                      options);
+    } catch (...) {
+        std::lock_guard<std::mutex> relock(mutex_);
+        planBuilding_.erase(key);
+        build->error = std::current_exception();
+        build->done = true;
+        buildDone_.notify_all();
+        throw;
+    }
+
+    lock.lock();
+    planBuilding_.erase(key);
+    build->plan = plan;
+    build->done = true;
+    buildDone_.notify_all();
+    if (plan) {
+        ++counters_.planBuilds;
+        cacheCounter("service.plan_builds").add();
+        PlanEntry entry;
+        entry.plan = plan;
+        entry.session = session;
+        entry.identity = session->identity;
+        entry.bytes = plan->approxBytes();
+        insertPlanLocked(key, std::move(entry));
+    }
+    return plan;
+}
+
+void
+SessionCache::insertPlanLocked(const std::string &key, PlanEntry entry)
+{
+    removePlanLocked(key); // racing builds of the same key: last wins
+    planLru_.push_front(key);
+    entry.lruIt = planLru_.begin();
+    bytes_ += entry.bytes;
+    planBytes_ += entry.bytes;
+    planEntries_[key] = std::move(entry);
+    evictPlansLocked(key);
+    publishPlanGaugesLocked();
+}
+
+void
+SessionCache::removePlanLocked(const std::string &key)
+{
+    auto it = planEntries_.find(key);
+    if (it == planEntries_.end())
+        return;
+    bytes_ -= it->second.bytes;
+    planBytes_ -= it->second.bytes;
+    planLru_.erase(it->second.lruIt);
+    planEntries_.erase(it);
+    publishPlanGaugesLocked();
+}
+
+void
+SessionCache::evictPlansLocked(const std::string &exempt)
+{
+    // The plan just inserted (if any) is exempt for the same reason the
+    // newest session is: a cache that cannot hold what it is serving
+    // would thrash forever.
+    while (bytes_ > budget_ && !planLru_.empty() &&
+           planLru_.back() != exempt) {
+        const std::string victim = planLru_.back();
+        ++counters_.planEvictions;
+        cacheCounter("service.plan_evictions").add();
+        removePlanLocked(victim);
+    }
+}
+
+void
+SessionCache::dropPlansForIdentityLocked(uint64_t identity)
+{
+    std::vector<std::string> victims;
+    for (const auto &kv : planEntries_)
+        if (kv.second.identity == identity)
+            victims.push_back(kv.first);
+    for (const auto &key : victims)
+        removePlanLocked(key);
+}
+
+void
+SessionCache::publishPlanGaugesLocked()
+{
+    MetricRegistry::global().gauge("service.plan_bytes").set(planBytes_);
+    MetricRegistry::global().gauge("service.plan_entries")
+        .set(planEntries_.size());
+    MetricRegistry::global().gauge("service.cache_bytes").set(bytes_);
+}
+
 SessionCache::Stats
 SessionCache::stats() const
 {
@@ -223,6 +372,8 @@ SessionCache::stats() const
     out.entries = entries_.size();
     out.bytes = bytes_;
     out.byteBudget = budget_;
+    out.planEntries = planEntries_.size();
+    out.planBytes = planBytes_;
     return out;
 }
 
@@ -232,9 +383,14 @@ SessionCache::clear()
     std::lock_guard<std::mutex> lock(mutex_);
     entries_.clear();
     lru_.clear();
+    planEntries_.clear();
+    planLru_.clear();
     bytes_ = 0;
+    planBytes_ = 0;
     MetricRegistry::global().gauge("service.cache_bytes").set(0);
     MetricRegistry::global().gauge("service.cache_entries").set(0);
+    MetricRegistry::global().gauge("service.plan_bytes").set(0);
+    MetricRegistry::global().gauge("service.plan_entries").set(0);
 }
 
 } // namespace service

@@ -35,6 +35,7 @@
 
 #include "graph/cfg.hh"
 #include "graph/control_deps.hh"
+#include "slicer/epoch.hh"
 #include "trace/artifacts.hh"
 #include "trace/trace_file.hh"
 
@@ -95,6 +96,27 @@ class SessionCache
     std::shared_ptr<const Session> acquire(const std::string &prefix,
                                            bool *was_hit = nullptr);
 
+    /**
+     * Get the criterion-independent EpochPlan for `session` over the
+     * window [0, window_end), building (and caching) it on first use.
+     * Plans are keyed by (artifact identity, window) under the default
+     * dependence knobs, pin the session they were transcoded from (the
+     * plan's dependence spans point into that session's sealed map),
+     * and share the byte budget with sessions — over budget, cold plans
+     * are evicted before cold sessions, since a plan rebuild is one
+     * transcode while a session rebuild is a full forward pass.
+     * Concurrent first queries collapse onto one build (singleflight).
+     *
+     * Returns null when the trace shape does not support plans (the
+     * caller runs plan-less); null results are not cached.
+     *
+     * @param was_hit set to true when an already-built plan was reused
+     *                (cache hit or joined an in-flight build).
+     */
+    std::shared_ptr<const slicer::EpochPlan>
+    acquirePlan(const std::shared_ptr<const Session> &session,
+                size_t window_end, bool *was_hit = nullptr);
+
     /** Cache observability (also published as service.* metrics). */
     struct Stats
     {
@@ -107,6 +129,15 @@ class SessionCache
         uint64_t invalidations = 0;
         uint64_t built = 0;     ///< Forward passes actually run.
         uint64_t openWaits = 0; ///< Joins onto an in-flight build.
+
+        /** Epoch-plan cache (bytes are included in `bytes` too). */
+        uint64_t planEntries = 0;
+        uint64_t planBytes = 0;
+        uint64_t planHits = 0;
+        uint64_t planMisses = 0;
+        uint64_t planBuilds = 0;
+        uint64_t planEvictions = 0;
+        uint64_t planWaits = 0; ///< Joins onto an in-flight plan build.
     };
 
     Stats stats() const;
@@ -128,6 +159,24 @@ class SessionCache
         std::list<std::string>::iterator lruIt;
     };
 
+    struct PlanBuilding
+    {
+        bool done = false;
+        std::shared_ptr<const slicer::EpochPlan> plan;
+        std::exception_ptr error;
+    };
+
+    struct PlanEntry
+    {
+        std::shared_ptr<const slicer::EpochPlan> plan;
+        /** Keeps the control-dependence map the plan points into alive
+         *  even after the session entry itself is evicted. */
+        std::shared_ptr<const Session> session;
+        std::list<std::string>::iterator lruIt;
+        uint64_t identity = 0;
+        uint64_t bytes = 0;
+    };
+
     std::shared_ptr<Session>
     buildSession(const std::string &prefix,
                  std::vector<trace::ArtifactDigest> digests,
@@ -142,6 +191,19 @@ class SessionCache
     /** Move `prefix` to the front of the LRU list. */
     void touchLocked(const std::string &prefix, Entry &entry);
 
+    /** Insert a built plan under the lock; evicts cold plans first. */
+    void insertPlanLocked(const std::string &key, PlanEntry entry);
+
+    void removePlanLocked(const std::string &key);
+
+    /** Evict cold plans (never `exempt`) while over the byte budget. */
+    void evictPlansLocked(const std::string &exempt);
+
+    /** Drop cached plans built from a now-invalidated recording. */
+    void dropPlansForIdentityLocked(uint64_t identity);
+
+    void publishPlanGaugesLocked();
+
     const uint64_t budget_;
     const int forwardJobs_;
 
@@ -150,7 +212,11 @@ class SessionCache
     std::unordered_map<std::string, Entry> entries_;
     std::list<std::string> lru_; ///< Front = most recently used.
     std::map<uint64_t, std::shared_ptr<Building>> building_;
+    std::unordered_map<std::string, PlanEntry> planEntries_;
+    std::list<std::string> planLru_; ///< Front = most recently used.
+    std::map<std::string, std::shared_ptr<PlanBuilding>> planBuilding_;
     uint64_t bytes_ = 0;
+    uint64_t planBytes_ = 0; ///< Plans' share of bytes_.
     Stats counters_;
 };
 

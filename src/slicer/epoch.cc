@@ -29,6 +29,7 @@
 #include <limits>
 #include <mutex>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "slicer/kernel.hh"
@@ -50,6 +51,7 @@ using trace::ThreadId;
 
 const std::vector<size_t> *EpochPlanner::boundariesOverrideForTesting =
     nullptr;
+bool EpochPlanner::forceWidenedSummariesForTesting = false;
 
 namespace {
 
@@ -86,6 +88,56 @@ struct StitchOp
 static_assert(sizeof(StitchOp) == 24, "ops are the stitch phase's working "
                                       "set; keep them packed");
 
+/**
+ * Memoized gen/kill summary of one epoch, computed during transcode.
+ *
+ * The summary answers one question for a later query: can the incoming
+ * analysis state pass through this epoch provably unchanged? Every
+ * state transition in the walk is gated on a join test, and every join
+ * test consults exactly one of the domains below, so if none of them
+ * can fire against the incoming state the whole epoch is a state no-op
+ * for that query and the walk may skip it (see summaryAllowsSkip()).
+ *
+ * Registers and branch pcs are tracked exactly; memory is tracked at
+ * 4 KiB page granularity. When a domain outgrows its cap the summary
+ * widens to "may touch anything" (`widened`), which conservatively
+ * disables skipping but never affects correctness — widened epochs are
+ * simply walked.
+ */
+struct EpochSummary
+{
+    /** A cap overflowed (or the test hook fired): never skippable. */
+    bool widened = false;
+
+    /** Epoch contains Marker ops: pixel-mode queries seed criteria (and
+     *  write verdicts) here unconditionally. */
+    bool hasMarkers = false;
+
+    /** Epoch contains Syscall ops: syscalls-mode queries join at every
+     *  one of them unconditionally. */
+    bool hasSyscalls = false;
+
+    /** Every Ret frame pushed in the epoch is popped by a Call in the
+     *  same epoch, per thread, and no Call pops a frame the epoch did
+     *  not push — so the incoming frame stacks pass through untouched. */
+    bool framesBalanced = true;
+
+    /** A SyscallRead pseudo was not followed (in walk order) by its
+     *  Syscall within the epoch; the buffered reads would leak into the
+     *  outgoing state, so the epoch cannot be skipped. */
+    bool danglingSyscallReads = false;
+
+    /** Registers whose liveness would trigger a kill or join (exact). */
+    std::vector<RegId> testedRegs;
+
+    /** Branch pcs the epoch could erase from a pending set (exact). */
+    std::vector<Pc> branchPcs;
+
+    /** 4 KiB pages the epoch's stores, syscall writes, and (in
+     *  memory-only mode) loads probe the live-memory set with. */
+    std::vector<uint64_t> touchPages;
+};
+
 /** One epoch's transcode output. */
 struct EpochData
 {
@@ -110,6 +162,9 @@ struct EpochData
 
     /** Records dropped as provable state-no-ops. */
     uint64_t elidedRecords = 0;
+
+    /** Gen/kill summary for query-time epoch skipping. */
+    EpochSummary summary;
 
     /** False when the epoch cannot be encoded (> 256 distinct tids);
      *  the driver falls back to the sequential pass. */
@@ -153,14 +208,14 @@ class EpochTranscoder
             return;
 
           case RecordKind::Marker: {
-            if (options_.mode != CriteriaMode::PixelBuffer) {
-                ++data_.elidedRecords;
-                return;
-            }
+            // Always emitted, whatever the criteria mode: the walk
+            // checks the mode instead, which keeps the transcode (and
+            // any EpochPlan built from it) criterion-independent.
             StitchOp op = base(idx, rec, RecordKind::Marker);
             op.a = rec.aux;
             op.deps = depsRef(idx, rec.pc);
             data_.ops.push_back(op);
+            data_.summary.hasMarkers = true;
             return;
           }
 
@@ -180,6 +235,7 @@ class EpochTranscoder
             op.rw = rec.rw;
             op.deps = depsRef(idx, rec.pc);
             data_.ops.push_back(op);
+            noteTestedReg(rec.rw);
             return;
           }
 
@@ -198,6 +254,10 @@ class EpochTranscoder
             op.rw = rec.rw;
             op.deps = depsRef(idx, rec.pc);
             data_.ops.push_back(op);
+            if (options_.includeRegisterDeps)
+                noteTestedReg(rec.rw); // join gated on the destination
+            else
+                noteTouchedPages(rec.addr, rec.aux); // gated on liveMem
             return;
           }
 
@@ -213,6 +273,7 @@ class EpochTranscoder
             op.rw = rec.rr1; // second source rides in the rw slot
             op.deps = depsRef(idx, rec.pc);
             data_.ops.push_back(op);
+            noteTouchedPages(rec.addr, rec.aux);
             return;
           }
 
@@ -230,6 +291,7 @@ class EpochTranscoder
             op.r0 = rec.rr0;
             op.deps = depsRef(idx, rec.pc);
             data_.ops.push_back(op);
+            noteBranchPc(rec.pc);
             return;
           }
 
@@ -238,11 +300,19 @@ class EpochTranscoder
             op.r0 = rec.rr0;
             op.deps = depsRef(idx, rec.pc);
             data_.ops.push_back(op);
+            // A Call with no in-epoch Ret frame to pop would pop (and
+            // possibly join through) a frame from a newer epoch.
+            if (frameDepth_[op.tid8] == 0)
+                data_.summary.framesBalanced = false;
+            else
+                --frameDepth_[op.tid8];
             return;
           }
 
           case RecordKind::Ret: {
-            data_.ops.push_back(base(idx, rec, RecordKind::Ret));
+            const StitchOp op = base(idx, rec, RecordKind::Ret);
+            data_.ops.push_back(op);
+            ++frameDepth_[op.tid8];
             return;
           }
 
@@ -251,6 +321,10 @@ class EpochTranscoder
             op.rw = rec.rw;
             op.deps = depsRef(idx, rec.pc);
             data_.ops.push_back(op);
+            data_.summary.hasSyscalls = true;
+            if (options_.includeRegisterDeps)
+                noteTestedReg(rec.rw);
+            pendingReads_[op.tid8] = 0; // the Syscall drains the buffer
             return;
           }
 
@@ -260,14 +334,86 @@ class EpochTranscoder
             op.a = rec.addr;
             op.deps = rec.aux; // byte count; pseudos never need a dep ref
             data_.ops.push_back(op);
+            if (rec.kind == RecordKind::SyscallRead)
+                pendingReads_[op.tid8] = 1;
+            else
+                noteTouchedPages(rec.addr, rec.aux);
             return;
           }
         }
     }
 
-    EpochData take() { return std::move(data_); }
+    EpochData
+    take()
+    {
+        EpochSummary &s = data_.summary;
+        for (size_t t = 0; t < data_.tids.size(); ++t) {
+            if (frameDepth_[t] != 0)
+                s.framesBalanced = false; // unmatched Ret frames leak out
+            if (pendingReads_[t])
+                s.danglingSyscallReads = true;
+        }
+        if (EpochPlanner::forceWidenedSummariesForTesting)
+            s.widened = true;
+        if (s.widened) {
+            // A widened summary is never consulted beyond the flag.
+            s.testedRegs.clear();
+            s.branchPcs.clear();
+            s.touchPages.clear();
+        } else {
+            const auto sorted = [](auto &dst, const auto &src) {
+                dst.assign(src.begin(), src.end());
+                std::sort(dst.begin(), dst.end());
+            };
+            sorted(s.testedRegs, sumRegs_);
+            sorted(s.branchPcs, sumBranches_);
+            sorted(s.touchPages, sumPages_);
+        }
+        return std::move(data_);
+    }
 
   private:
+    /** Summary caps; an overflowing domain widens the whole summary. */
+    static constexpr size_t kMaxSummaryRegs = 256;
+    static constexpr size_t kMaxSummaryBranches = 1024;
+    static constexpr size_t kMaxSummaryPages = 256;
+
+    void
+    noteTestedReg(RegId reg)
+    {
+        if (reg == kNoReg || data_.summary.widened)
+            return;
+        sumRegs_.insert(reg);
+        if (sumRegs_.size() > kMaxSummaryRegs)
+            data_.summary.widened = true;
+    }
+
+    void
+    noteBranchPc(Pc pc)
+    {
+        if (data_.summary.widened)
+            return;
+        sumBranches_.insert(pc);
+        if (sumBranches_.size() > kMaxSummaryBranches)
+            data_.summary.widened = true;
+    }
+
+    void
+    noteTouchedPages(uint64_t addr, uint64_t size)
+    {
+        if (size == 0 || data_.summary.widened)
+            return;
+        const uint64_t last = addr + (size - 1);
+        if (last < addr || (last >> 12) - (addr >> 12) >= kMaxSummaryPages) {
+            data_.summary.widened = true;
+            return;
+        }
+        for (uint64_t page = addr >> 12; page <= (last >> 12); ++page)
+            sumPages_.insert(page);
+        if (sumPages_.size() > kMaxSummaryPages)
+            data_.summary.widened = true;
+    }
+
     StitchOp
     base(size_t idx, const Record &rec, RecordKind kind)
     {
@@ -332,6 +478,13 @@ class EpochTranscoder
     EpochData data_;
     std::unordered_map<ThreadId, uint8_t> tidMap_;
     std::unordered_map<uint64_t, uint32_t> depsCache_;
+
+    /** Summary accumulators (finalized into sorted vectors by take()). */
+    std::unordered_set<uint64_t> sumRegs_;
+    std::unordered_set<uint64_t> sumBranches_;
+    std::unordered_set<uint64_t> sumPages_;
+    std::array<int64_t, 256> frameDepth_{};
+    std::array<uint8_t, 256> pendingReads_{};
 };
 
 using TS = ThreadState<FlatPolicy>;
@@ -417,6 +570,11 @@ walkEpoch(const EpochData &ep, WalkState &st, const SlicerOptions &opt,
         TS &ts = thread_state(op.tid8);
         switch (static_cast<RecordKind>(op.kind)) {
           case RecordKind::Marker: {
+            // Markers are transcoded in every mode (the op stream is
+            // criterion-independent); only pixel-mode queries act on
+            // them, exactly as the sequential kernel does.
+            if (opt.mode != CriteriaMode::PixelBuffer)
+                break;
             for (const auto &range :
                  criteria.forMarker(static_cast<uint32_t>(op.a))) {
                 st.liveMem.insert(range.addr, range.size);
@@ -554,6 +712,58 @@ walkEpoch(const EpochData &ep, WalkState &st, const SlicerOptions &opt,
         out->flatProbes += probes - probe_base;
         out->flatResizes += resizes - resize_base;
     }
+}
+
+/**
+ * The skippability proof: true when the incoming analysis state would
+ * pass through the epoch provably unchanged, so the walk may omit it.
+ *
+ * Soundness argument: every state mutation in walkEpoch is gated on a
+ * join test against the incoming state — a store/syscall-write hitting
+ * live memory, a kill of a live register, a branch pc present in a
+ * pending set, an unconditional criteria seed (markers in pixel mode,
+ * syscalls in syscalls mode), or a Call popping a frame the epoch did
+ * not push. If none of those can fire, no op mutates anything, so the
+ * state stays constant through the epoch and checking each condition
+ * against the *incoming* state is exact, not just a fixed point. The
+ * transient syscall-read buffer is the one un-gated mutation; it is
+ * provably drained when the epoch has no dangling pseudo groups.
+ */
+bool
+summaryAllowsSkip(const EpochData &ep, const WalkState &st,
+                  const SlicerOptions &opt)
+{
+    const EpochSummary &s = ep.summary;
+    if (s.widened || !s.framesBalanced || s.danglingSyscallReads)
+        return false;
+    if (opt.mode == CriteriaMode::PixelBuffer && s.hasMarkers)
+        return false;
+    if (opt.mode == CriteriaMode::Syscalls && s.hasSyscalls)
+        return false;
+    for (const auto &kv : st.threads) {
+        const TS &ts = kv.second;
+        // Buffered pseudo state from a newer epoch would be consumed by
+        // this epoch's Syscall ops; impossible when boundaries respect
+        // syscall groups, but cheap to guard against.
+        if (ts.syscallWriteWasLive || !ts.syscallReads.empty())
+            return false;
+        if (ts.liveRegCount != 0) {
+            for (const RegId reg : s.testedRegs)
+                if (ts.regLive(reg))
+                    return false;
+        }
+        if (ts.pending.size() != 0) {
+            for (const Pc pc : s.branchPcs)
+                if (ts.pending.contains(pc))
+                    return false;
+        }
+    }
+    if (st.liveMem.size() != 0) {
+        for (const uint64_t page : s.touchPages)
+            if (st.liveMem.intersects(page << 12, 4096))
+                return false;
+    }
+    return true;
 }
 
 /**
@@ -707,6 +917,7 @@ runEpochParallel(const graph::CfgSet &cfgs,
     std::vector<SliceResult> partial(epoch_count);
     WalkState state;
     bool aborted = false;
+    uint64_t skipped = 0;
 
     // Stitch on the calling thread, newest epoch to oldest. The state
     // *before* stitching epoch k is its exact live-out; snapshot it,
@@ -721,6 +932,12 @@ runEpochParallel(const graph::CfgSet &cfgs,
         if (need_fallback.load()) {
             aborted = true;
             break;
+        }
+        // Neither stitch nor resolve: the summary proves the state
+        // passes through unchanged and the epoch can emit nothing.
+        if (summaryAllowsSkip(epochs[k], state, options)) {
+            ++skipped;
+            continue;
         }
         if (k > 0) {
             auto seed = std::make_shared<WalkState>(state);
@@ -769,6 +986,7 @@ runEpochParallel(const graph::CfgSet &cfgs,
 
     registry.counter("slicer.epochs_planned").add(epoch_count);
     registry.counter("slicer.epoch_elided_records").add(elided);
+    registry.counter("slicer.epochs_skipped").add(skipped);
     publishSliceMetrics(result);
     return result;
 }
@@ -784,7 +1002,299 @@ interiorProposals(size_t end, size_t epochs)
     return proposeEqualRecords(end, epochs);
 }
 
+/**
+ * Epochs for a reusable plan. Unlike epochTarget(), this is independent
+ * of the requesting query's job count (any job count replays any
+ * partition bit-identically) and leans finer: more epochs mean finer
+ * summary granularity, so warm queries whose live sets die early can
+ * skip a larger fraction of the window.
+ */
+size_t
+planEpochTarget(size_t end)
+{
+    return std::max<size_t>(
+        1,
+        std::min({end, std::max<size_t>(end / 2048, 8), size_t{128}}));
+}
+
+/** Rough resident size of one transcoded epoch, for cache budgets. */
+uint64_t
+epochApproxBytes(const EpochData &ep)
+{
+    uint64_t bytes = sizeof(EpochData);
+    bytes += ep.ops.capacity() * sizeof(StitchOp);
+    bytes += ep.depsTable.capacity() * sizeof(ep.depsTable[0]);
+    bytes += ep.tids.capacity() * sizeof(ThreadId);
+    bytes += ep.wideSizes.size() * 32;
+    bytes += ep.summary.testedRegs.capacity() * sizeof(RegId);
+    bytes += ep.summary.branchPcs.capacity() * sizeof(Pc);
+    bytes += ep.summary.touchPages.capacity() * sizeof(uint64_t);
+    return bytes;
+}
+
 } // namespace
+
+/** The plan's private state: the transcoded epochs and their keying. */
+struct EpochPlan::Data
+{
+    /** Epoch boundaries [0, b1, ..., windowEnd]. */
+    std::vector<size_t> bounds;
+
+    /** Transcoded epochs, oldest first (bounds[k] .. bounds[k+1]). */
+    std::vector<EpochData> epochs;
+
+    /** Trace length the plan was built against. */
+    size_t recordCount = 0;
+
+    /** Dependence knobs baked into the transcode (part of the key). */
+    bool includeControlDeps = true;
+    bool includeRegisterDeps = true;
+
+    /** Cached approxBytes() value. */
+    uint64_t bytes = 0;
+
+    /**
+     * Memoized slice results, one slot per criteria mode. Once a plan
+     * is compatible, the only semantic inputs left are the mode and the
+     * criteria content — job counts are execution knobs with
+     * bit-identical results — so a repeat query would recompute the
+     * identical verdict vector. Bounded by construction (one entry per
+     * mode); the capacity is charged into approxBytes() up front.
+     */
+    struct Memo
+    {
+        uint64_t criteriaFingerprint = 0;
+        std::shared_ptr<const SliceResult> result;
+    };
+    mutable std::mutex memoMutex;
+    mutable std::array<Memo, 2> memo;
+};
+
+EpochPlan::EpochPlan() : data(std::make_unique<Data>()) {}
+EpochPlan::~EpochPlan() = default;
+
+size_t
+EpochPlan::recordCount() const
+{
+    return data->recordCount;
+}
+
+size_t
+EpochPlan::windowEnd() const
+{
+    return data->bounds.empty() ? 0 : data->bounds.back();
+}
+
+size_t
+EpochPlan::epochCount() const
+{
+    return data->epochs.size();
+}
+
+uint64_t
+EpochPlan::approxBytes() const
+{
+    return data->bytes;
+}
+
+bool
+EpochPlan::compatibleWith(const SlicerOptions &options,
+                          size_t record_count) const
+{
+    if (options.legacyLiveSets)
+        return false; // the legacy oracle never runs on transcoded ops
+    if (record_count != data->recordCount)
+        return false;
+    if (std::min(options.endIndex, record_count) != windowEnd())
+        return false;
+    return options.includeControlDeps == data->includeControlDeps &&
+           options.includeRegisterDeps == data->includeRegisterDeps;
+}
+
+std::shared_ptr<const EpochPlan>
+buildEpochPlan(std::span<const Record> records, const graph::CfgSet &cfgs,
+               const graph::ControlDepMap &deps,
+               const SlicerOptions &options)
+{
+    panic_if(cfgs.funcOf.size() != records.size(),
+             "forward-pass attribution does not match the trace length");
+    if (options.legacyLiveSets ||
+        records.size() > std::numeric_limits<uint32_t>::max())
+        return nullptr;
+    const size_t end = std::min(options.endIndex, records.size());
+    if (end == 0)
+        return nullptr;
+
+    deps.ensureSealed();
+    FlatSet64 universe;
+    if (options.includeControlDeps) {
+        const auto pcs = deps.branchUniverse();
+        universe.reserve(pcs.size());
+        for (const Pc pc : pcs)
+            universe.insert(pc);
+    }
+    const FlatSet64 *universe_ptr =
+        options.includeControlDeps ? &universe : nullptr;
+
+    const auto bounds = finalizeBounds(
+        interiorProposals(end, planEpochTarget(end)), end, [&](size_t b) {
+            return trace::CriteriaSet::splitBoundary(records, b);
+        });
+    const size_t epoch_count = bounds.size() - 1;
+
+    auto plan = std::make_shared<EpochPlan>();
+    EpochPlan::Data &d = *plan->data;
+    d.bounds = bounds;
+    d.recordCount = records.size();
+    d.includeControlDeps = options.includeControlDeps;
+    d.includeRegisterDeps = options.includeRegisterDeps;
+    d.epochs.resize(epoch_count);
+
+    std::atomic<bool> failed{false};
+    ThreadPool pool(ThreadPool::resolveJobs(0) - 1);
+    TaskGroup group;
+    for (size_t k = 0; k < epoch_count; ++k) {
+        pool.post(group, [&, k] {
+            EpochTranscoder tc(cfgs, deps, options, universe_ptr,
+                               bounds[k], bounds[k + 1]);
+            for (size_t idx = bounds[k + 1]; idx-- > bounds[k];) {
+                if (idx >= bounds[k] + 16)
+                    __builtin_prefetch(&records[idx - 16]);
+                tc.consume(idx, records[idx]);
+            }
+            d.epochs[k] = tc.take();
+            if (!d.epochs[k].ok)
+                failed.store(true);
+        });
+    }
+    pool.drain(group);
+    if (failed.load())
+        return nullptr; // > 256 tids in an epoch; no plan for this trace
+
+    uint64_t bytes = sizeof(EpochPlan) + sizeof(EpochPlan::Data) +
+                     d.bounds.capacity() * sizeof(size_t);
+    for (const EpochData &ep : d.epochs)
+        bytes += epochApproxBytes(ep);
+    // Result-memo capacity: one verdict vector per criteria mode.
+    bytes += 2 * d.recordCount;
+    d.bytes = bytes;
+
+    auto &registry = MetricRegistry::global();
+    registry.counter("slicer.plan_builds").add(1);
+    registry.counter("slicer.epochs_planned").add(epoch_count);
+    return plan;
+}
+
+SliceResult
+computeSliceWithPlan(const EpochPlan &plan,
+                     const trace::CriteriaSet &criteria,
+                     const SlicerOptions &options)
+{
+    const EpochPlan::Data &d = *plan.data;
+    panic_if(!plan.compatibleWith(options, d.recordCount),
+             "epoch plan is not compatible with the requested options");
+    const size_t epoch_count = d.epochs.size();
+    const size_t record_count = d.recordCount;
+
+    // Same mode + same criteria content over a compatible plan is the
+    // same slice; answer repeats from the per-plan memo instead of
+    // re-walking the window.
+    const size_t mode_slot =
+        options.mode == CriteriaMode::Syscalls ? 1 : 0;
+    const uint64_t criteria_fp = criteria.fingerprint();
+    {
+        std::lock_guard<std::mutex> lock(d.memoMutex);
+        const auto &slot = d.memo[mode_slot];
+        if (slot.result && slot.criteriaFingerprint == criteria_fp) {
+            MetricRegistry::global().counter("slicer.memo_hits").add(1);
+            SliceResult copy = *slot.result;
+            publishSliceMetrics(copy);
+            return copy;
+        }
+    }
+
+    SliceResult result;
+    result.inSlice.assign(record_count, 0);
+    result.analyzedWindowEnd = d.bounds.back();
+    result.recordsFed = d.bounds.back();
+
+    uint64_t skipped = 0;
+    const unsigned jobs = ThreadPool::resolveJobs(options.backwardJobs);
+
+    if (jobs <= 1) {
+        // Sequential replay: one walk per epoch, the resolve itself
+        // carries the state forward, so nothing is walked twice.
+        WalkState state;
+        for (size_t k = epoch_count; k-- > 0;) {
+            const EpochData &ep = d.epochs[k];
+            if (summaryAllowsSkip(ep, state, options)) {
+                ++skipped;
+                continue;
+            }
+            walkEpoch<true>(ep, state, options, criteria, record_count,
+                            &result, result.inSlice.data());
+        }
+    } else {
+        // The stitch/resolve halves of runEpochParallel, minus the
+        // transcode: the plan is the transcode.
+        ThreadPool pool(jobs - 1);
+        TaskGroup group;
+        std::vector<SliceResult> partial(epoch_count);
+        WalkState state;
+        for (size_t k = epoch_count; k-- > 0;) {
+            if (summaryAllowsSkip(d.epochs[k], state, options)) {
+                ++skipped;
+                continue;
+            }
+            if (k > 0) {
+                auto seed = std::make_shared<WalkState>(state);
+                pool.post(group, [&, k, seed] {
+                    walkEpoch<true>(d.epochs[k], *seed, options, criteria,
+                                    record_count, &partial[k],
+                                    result.inSlice.data());
+                });
+                walkEpoch<false>(d.epochs[k], state, options, criteria,
+                                 record_count, nullptr, nullptr);
+            } else {
+                auto seed = std::make_shared<WalkState>(std::move(state));
+                pool.post(group, [&, seed] {
+                    walkEpoch<true>(d.epochs[0], *seed, options, criteria,
+                                    record_count, &partial[0],
+                                    result.inSlice.data());
+                });
+            }
+        }
+        pool.drain(group);
+        for (size_t k = 0; k < epoch_count; ++k) {
+            result.sliceInstructions += partial[k].sliceInstructions;
+            result.criteriaBytesSeeded += partial[k].criteriaBytesSeeded;
+            result.flatProbes += partial[k].flatProbes;
+            result.flatResizes += partial[k].flatResizes;
+            result.peakLiveMemBytes = std::max(
+                result.peakLiveMemBytes, partial[k].peakLiveMemBytes);
+            result.peakLiveMemChunks = std::max(
+                result.peakLiveMemChunks, partial[k].peakLiveMemChunks);
+            result.peakPendingBranches =
+                std::max(result.peakPendingBranches,
+                         partial[k].peakPendingBranches);
+        }
+    }
+
+    // Skipped epochs still count their analyzed instructions: the tally
+    // comes from the transcode, not the walk, and must match the oracle.
+    for (const EpochData &ep : d.epochs)
+        result.instructionsAnalyzed += ep.nonPseudoRecords;
+
+    MetricRegistry::global().counter("slicer.epochs_skipped").add(skipped);
+    publishSliceMetrics(result);
+    {
+        std::lock_guard<std::mutex> lock(d.memoMutex);
+        auto &slot = d.memo[mode_slot];
+        slot.criteriaFingerprint = criteria_fp;
+        slot.result = std::make_shared<SliceResult>(result);
+    }
+    return result;
+}
 
 bool
 epochParallelEligible(const SlicerOptions &options, size_t record_count)

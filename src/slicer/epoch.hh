@@ -34,6 +34,7 @@
 #define WEBSLICE_SLICER_EPOCH_HH
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "slicer/slicer.hh"
@@ -70,6 +71,80 @@ SliceResult computeSliceEpochParallelFromFile(
     const graph::ControlDepMap &deps, const trace::CriteriaSet &criteria,
     const SlicerOptions &options);
 
+/**
+ * An immutable, criterion-independent epoch transcode: the per-epoch
+ * StitchOps, pre-resolved dependence spans, and memoized gen/kill
+ * summaries for one (trace, window, dependence-knobs) triple.
+ *
+ * Build once with buildEpochPlan(), then serve any number of queries —
+ * any criteria mode, any backwardJobs — through
+ * SlicerOptions::reusePlan. Each query replays the cached ops (no
+ * transcode pass) and consults the per-epoch summaries to skip epochs
+ * its live state provably passes through unchanged. Thread-safe for
+ * concurrent queries: all plan state is read-only after construction.
+ *
+ * Lifetime: the plan's dependence spans point into the sealed
+ * ControlDepMap it was built from, so the plan must not outlive that
+ * map (the service pins the owning session alongside each cached plan).
+ */
+class EpochPlan
+{
+  public:
+    EpochPlan();
+    ~EpochPlan();
+    EpochPlan(const EpochPlan &) = delete;
+    EpochPlan &operator=(const EpochPlan &) = delete;
+
+    /** Records in the trace the plan was built from. */
+    size_t recordCount() const;
+
+    /** End (exclusive) of the analyzed window the plan covers. */
+    size_t windowEnd() const;
+
+    /** Number of epochs in the partition. */
+    size_t epochCount() const;
+
+    /** Approximate resident size, for cache accounting. */
+    uint64_t approxBytes() const;
+
+    /**
+     * True when this plan can serve a slice under `options`: same trace
+     * length, same analyzed window, same dependence knobs, flat live
+     * sets. The criteria mode is deliberately not part of the key — the
+     * transcode is criterion-independent.
+     */
+    bool compatibleWith(const SlicerOptions &options,
+                        size_t record_count) const;
+
+    struct Data;
+    std::unique_ptr<Data> data;
+};
+
+/**
+ * Transcode `records` into a reusable EpochPlan for the window
+ * [0, min(options.endIndex, records.size())). Only the dependence knobs
+ * and the window of `options` matter; mode and job counts do not.
+ * Returns null when the shape is unsupported (legacy live sets, empty
+ * window, record indices beyond 32 bits, or an epoch with more than 256
+ * distinct threads) — callers fall back to the plan-less paths.
+ */
+std::shared_ptr<const EpochPlan>
+buildEpochPlan(std::span<const trace::Record> records,
+               const graph::CfgSet &cfgs,
+               const graph::ControlDepMap &deps,
+               const SlicerOptions &options);
+
+/**
+ * Run one query over a prepared plan: no transcode, summary-gated epoch
+ * skipping, sequential or epoch-parallel resolve per
+ * options.backwardJobs. The plan must be compatibleWith() the options.
+ * Output is bit-identical to the sequential oracle (the usual
+ * flatProbes/flatResizes diagnostics excepted).
+ */
+SliceResult computeSliceWithPlan(const EpochPlan &plan,
+                                 const trace::CriteriaSet &criteria,
+                                 const SlicerOptions &options);
+
 /** Epoch boundary planning knobs (test hooks). */
 struct EpochPlanner
 {
@@ -81,6 +156,15 @@ struct EpochPlanner
      * CriteriaSet::splitBoundary. Not thread-safe; tests only.
      */
     static const std::vector<size_t> *boundariesOverrideForTesting;
+
+    /**
+     * When true, every epoch summary built by buildEpochPlan or the
+     * inline transcode reports itself widened, so no epoch is ever
+     * skippable and every query pays the full walk — the conservative
+     * fallback, forced. Results must not change; tests assert exactly
+     * that. Not thread-safe; tests only.
+     */
+    static bool forceWidenedSummariesForTesting;
 };
 
 } // namespace slicer

@@ -399,6 +399,16 @@ computeSlice(std::span<const Record> records, const graph::CfgSet &cfgs,
              const trace::CriteriaSet &criteria,
              const SlicerOptions &options)
 {
+    if (options.reusePlan) {
+        auto &registry = MetricRegistry::global();
+        if (options.reusePlan->compatibleWith(options, records.size())) {
+            registry.counter("slicer.plan_hits").add(1);
+            return computeSliceWithPlan(*options.reusePlan, criteria,
+                                        options);
+        }
+        // Stale or mismatched plan: fall through to the regular paths.
+        registry.counter("slicer.plan_misses").add(1);
+    }
     if (epochParallelEligible(options, records.size()))
         return computeSliceEpochParallel(records, cfgs, deps, criteria,
                                          options);
@@ -420,6 +430,16 @@ computeSliceFromFile(const std::string &path, const graph::CfgSet &cfgs,
                      const trace::CriteriaSet &criteria,
                      const SlicerOptions &options)
 {
+    if (options.reusePlan) {
+        auto &registry = MetricRegistry::global();
+        if (options.reusePlan->compatibleWith(options,
+                                              cfgs.funcOf.size())) {
+            registry.counter("slicer.plan_hits").add(1);
+            return computeSliceWithPlan(*options.reusePlan, criteria,
+                                        options);
+        }
+        registry.counter("slicer.plan_misses").add(1);
+    }
     if (epochParallelEligible(options, cfgs.funcOf.size()))
         return computeSliceEpochParallelFromFile(path, cfgs, deps,
                                                  criteria, options);

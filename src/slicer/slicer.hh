@@ -41,6 +41,8 @@
 namespace webslice {
 namespace slicer {
 
+class EpochPlan;
+
 /** Which slicing criteria seed the live set. */
 enum class CriteriaMode
 {
@@ -104,6 +106,22 @@ struct SlicerOptions
      * default) disables progress output.
      */
     double progressIntervalSeconds = 0.0;
+
+    /**
+     * Optional prepared epoch plan (slicer/epoch.hh) from a previous
+     * query over the same trace window. When set and compatible (same
+     * record count, window, and dependence knobs — the plan itself is
+     * criterion-independent), computeSlice skips the transcode pass
+     * entirely and replays the cached ops; per-epoch gen/kill summaries
+     * additionally let it skip epochs the query's live set provably
+     * passes through unchanged, and a repeat of an identical semantic
+     * criterion (same mode and criteria content — job counts are
+     * execution knobs) is answered from a per-plan result memo without
+     * walking at all. Incompatible or null plans fall back to
+     * the regular paths. Non-owning: the plan (and the control-dependence
+     * map it points into) must outlive the call.
+     */
+    const EpochPlan *reusePlan = nullptr;
 };
 
 /** Output of one backward pass. */

@@ -15,6 +15,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -577,6 +578,209 @@ TEST(EpochSlicer, FuzzBitIdentityAgainstSequential)
                 machine.records(), fwd.cfgs, fwd.deps,
                 machine.pixelCriteria(), options);
             expectIdentical(oracle, epoch, "fuzz random bounds");
+        }
+    }
+}
+
+// ---- reusable epoch plans ------------------------------------------------
+
+uint64_t
+counterValue(const char *name)
+{
+    return MetricRegistry::global().counter(name).value();
+}
+
+/** RAII setter for the widened-summary test hook. */
+struct ForceWidenedSummaries
+{
+    ForceWidenedSummaries()
+    {
+        EpochPlanner::forceWidenedSummariesForTesting = true;
+    }
+
+    ~ForceWidenedSummaries()
+    {
+        EpochPlanner::forceWidenedSummariesForTesting = false;
+    }
+};
+
+TEST(EpochPlan, ReuseAcrossCriteriaIsBitIdentical)
+{
+    const Machine machine = randomProgram(11);
+    const ForwardResult fwd(machine);
+    const SlicerOptions build;
+    const auto plan = buildEpochPlan(machine.records(), fwd.cfgs,
+                                     fwd.deps, build);
+    ASSERT_TRUE(plan);
+    EXPECT_TRUE(plan->compatibleWith(build, machine.records().size()));
+    EXPECT_EQ(plan->windowEnd(), machine.records().size());
+    EXPECT_GT(plan->epochCount(), 0u);
+    EXPECT_GT(plan->approxBytes(), 0u);
+
+    // One plan serves both criteria modes at any job count, and every
+    // reuse is bit-identical to a from-scratch slice of that criterion.
+    for (const auto mode :
+         {CriteriaMode::PixelBuffer, CriteriaMode::Syscalls}) {
+        SlicerOptions options;
+        options.mode = mode;
+        const auto oracle = computeSlice(machine.records(), fwd.cfgs,
+                                         fwd.deps,
+                                         machine.pixelCriteria(), options);
+        for (const int jobs : {1, 3}) {
+            options.backwardJobs = jobs;
+            options.reusePlan = plan.get();
+            const uint64_t hits = counterValue("slicer.plan_hits");
+            const auto warm = computeSlice(machine.records(), fwd.cfgs,
+                                           fwd.deps,
+                                           machine.pixelCriteria(),
+                                           options);
+            EXPECT_EQ(counterValue("slicer.plan_hits"), hits + 1);
+            expectIdentical(oracle, warm, "plan reuse");
+        }
+    }
+}
+
+TEST(EpochPlan, RepeatCriterionIsServedFromTheResultMemo)
+{
+    const Machine machine = randomProgram(12);
+    const ForwardResult fwd(machine);
+    SlicerOptions options;
+    const auto plan = buildEpochPlan(machine.records(), fwd.cfgs,
+                                     fwd.deps, options);
+    ASSERT_TRUE(plan);
+    options.reusePlan = plan.get();
+
+    const auto first = computeSlice(machine.records(), fwd.cfgs,
+                                    fwd.deps, machine.pixelCriteria(),
+                                    options);
+    const uint64_t memo = counterValue("slicer.memo_hits");
+    options.backwardJobs = 4; // an execution knob, not a criterion
+    const auto second = computeSlice(machine.records(), fwd.cfgs,
+                                     fwd.deps, machine.pixelCriteria(),
+                                     options);
+    EXPECT_EQ(counterValue("slicer.memo_hits"), memo + 1);
+    expectIdentical(first, second, "memoized repeat");
+
+    // Different criteria content must miss the memo (and still slice
+    // correctly against the shared transcode).
+    trace::CriteriaSet other;
+    other.add(/*marker=*/0, 0x100000, 4);
+    const auto third = computeSlice(machine.records(), fwd.cfgs,
+                                    fwd.deps, other, options);
+    EXPECT_EQ(counterValue("slicer.memo_hits"), memo + 1);
+    options.reusePlan = nullptr;
+    options.backwardJobs = 1;
+    const auto fresh = computeSlice(machine.records(), fwd.cfgs,
+                                    fwd.deps, other, options);
+    expectIdentical(fresh, third, "changed criteria");
+}
+
+TEST(EpochPlan, IncompatibleOptionsFallBackToThePlanlessPath)
+{
+    const Machine machine = randomProgram(13);
+    const ForwardResult fwd(machine);
+    const SlicerOptions build; // full window, both dep kinds
+    const auto plan = buildEpochPlan(machine.records(), fwd.cfgs,
+                                     fwd.deps, build);
+    ASSERT_TRUE(plan);
+
+    SlicerOptions options;
+    options.endIndex = machine.records().size() / 2;
+    options.reusePlan = plan.get();
+    EXPECT_FALSE(plan->compatibleWith(options, machine.records().size()));
+
+    const uint64_t misses = counterValue("slicer.plan_misses");
+    const auto sliced = computeSlice(machine.records(), fwd.cfgs,
+                                     fwd.deps, machine.pixelCriteria(),
+                                     options);
+    EXPECT_EQ(counterValue("slicer.plan_misses"), misses + 1);
+
+    options.reusePlan = nullptr;
+    const auto oracle = computeSlice(machine.records(), fwd.cfgs,
+                                     fwd.deps, machine.pixelCriteria(),
+                                     options);
+    expectIdentical(oracle, sliced, "incompatible window fallback");
+}
+
+TEST(EpochPlan, SkipsProvablyInertEpochs)
+{
+    // [Call][color imm][200 inert Alu][store pixels][marker][Ret]: the
+    // middle epoch only kills registers the walk never holds live, so
+    // its gen/kill summary must prove it skippable — and the slice must
+    // still match the oracle exactly.
+    Machine machine;
+    const auto t0 = machine.addThread("main");
+    const auto fn = machine.registerFunction("skip::inert");
+    const uint64_t pixels = machine.alloc(64, "tile");
+    machine.post(t0, [&, fn](Ctx &ctx) {
+        TracedScope scope(ctx, fn);
+        Value color = ctx.imm(7);
+        Value v = ctx.imm(1);
+        for (int i = 0; i < 150; ++i)
+            v = ctx.addi(v, 1);
+        ctx.store(pixels, 4, color);
+        const trace::MemRange ranges[] = {{pixels, 4}};
+        ctx.marker(ranges);
+    });
+    machine.run();
+
+    const ForwardResult fwd(machine);
+    const size_t store_at = nthOfKind(machine, RecordKind::Store);
+    const size_t chain_at = nthOfKind(machine, RecordKind::Alu, 5);
+    ASSERT_LT(chain_at, store_at);
+    const BoundaryOverride bounds({chain_at, store_at});
+
+    SlicerOptions options;
+    const auto oracle = computeSlice(machine.records(), fwd.cfgs,
+                                     fwd.deps, machine.pixelCriteria(),
+                                     options);
+    const auto plan = buildEpochPlan(machine.records(), fwd.cfgs,
+                                     fwd.deps, options);
+    ASSERT_TRUE(plan);
+
+    options.reusePlan = plan.get();
+    const uint64_t skipped = counterValue("slicer.epochs_skipped");
+    const auto warm = computeSlice(machine.records(), fwd.cfgs, fwd.deps,
+                                   machine.pixelCriteria(), options);
+    EXPECT_GT(counterValue("slicer.epochs_skipped"), skipped);
+    expectIdentical(oracle, warm, "inert epoch skipped");
+}
+
+TEST(EpochPlan, FuzzReuseMatchesSequentialEvenWithWidenedSummaries)
+{
+    // Widened summaries must disable skipping, never change results:
+    // odd seeds force every summary conservative and the plan replay
+    // still has to be bit-identical to the oracle.
+    for (uint64_t seed = 100; seed < 106; ++seed) {
+        const Machine machine = randomProgram(seed);
+        const ForwardResult fwd(machine);
+
+        std::unique_ptr<ForceWidenedSummaries> widened;
+        if (seed % 2)
+            widened = std::make_unique<ForceWidenedSummaries>();
+
+        const SlicerOptions build;
+        const auto plan = buildEpochPlan(machine.records(), fwd.cfgs,
+                                         fwd.deps, build);
+        ASSERT_TRUE(plan);
+
+        for (const auto mode :
+             {CriteriaMode::PixelBuffer, CriteriaMode::Syscalls}) {
+            SlicerOptions options;
+            options.mode = mode;
+            const auto oracle = computeSlice(machine.records(), fwd.cfgs,
+                                             fwd.deps,
+                                             machine.pixelCriteria(),
+                                             options);
+            for (const int jobs : {1, 4}) {
+                options.backwardJobs = jobs;
+                options.reusePlan = plan.get();
+                const auto warm = computeSlice(machine.records(),
+                                               fwd.cfgs, fwd.deps,
+                                               machine.pixelCriteria(),
+                                               options);
+                expectIdentical(oracle, warm, "fuzz plan reuse");
+            }
         }
     }
 }

@@ -429,6 +429,93 @@ TEST(SessionCache, MissingArtifactsThrowInsteadOfExiting)
     EXPECT_EQ(cache.stats().entries, 0u);
 }
 
+// ---- epoch-plan cache ----------------------------------------------------
+
+TEST(SessionCache, PlanAcquireHitsPerWindowAndCountsStats)
+{
+    const SavedProgram program("plan_cache", /*salt=*/21);
+    SessionCache cache(1ull << 30);
+    const auto session = cache.acquire(program.prefix);
+    const size_t window = session->windowEnd(false, UINT64_MAX);
+
+    bool hit = true;
+    const auto plan = cache.acquirePlan(session, window, &hit);
+    ASSERT_TRUE(plan);
+    EXPECT_FALSE(hit);
+    EXPECT_EQ(plan->windowEnd(), window);
+
+    const auto again = cache.acquirePlan(session, window, &hit);
+    EXPECT_TRUE(hit);
+    EXPECT_EQ(plan.get(), again.get());
+
+    // A different window is a different plan.
+    const auto other = cache.acquirePlan(session, window - 1, &hit);
+    ASSERT_TRUE(other);
+    EXPECT_FALSE(hit);
+    EXPECT_NE(other.get(), plan.get());
+
+    const auto stats = cache.stats();
+    EXPECT_EQ(stats.planBuilds, 2u);
+    EXPECT_EQ(stats.planHits, 1u);
+    EXPECT_EQ(stats.planMisses, 2u);
+    EXPECT_EQ(stats.planEntries, 2u);
+    EXPECT_GT(stats.planBytes, 0u);
+    EXPECT_GE(stats.bytes, stats.planBytes);
+}
+
+TEST(SessionCache, PlansEvictUnderTheSharedByteBudget)
+{
+    const SavedProgram program("plan_evict", /*salt=*/22);
+
+    // Nothing fits in one byte, but the newest plan (and session) are
+    // exempt: each insertion evicts the previous plan, never the
+    // session.
+    SessionCache cache(/*byte_budget=*/1);
+    const auto session = cache.acquire(program.prefix);
+    const size_t window = session->windowEnd(false, UINT64_MAX);
+
+    cache.acquirePlan(session, window);
+    EXPECT_EQ(cache.stats().planEntries, 1u);
+    cache.acquirePlan(session, window - 1);
+    auto stats = cache.stats();
+    EXPECT_EQ(stats.planEntries, 1u);
+    EXPECT_EQ(stats.planEvictions, 1u);
+    EXPECT_EQ(stats.entries, 1u); // plans go before sessions
+
+    // The evicted window must be rebuilt on its next use.
+    bool hit = true;
+    cache.acquirePlan(session, window, &hit);
+    EXPECT_FALSE(hit);
+    EXPECT_EQ(cache.stats().planBuilds, 3u);
+}
+
+TEST(SessionCache, InvalidationDropsTheRecordingsPlans)
+{
+    const SavedProgram program("plan_invalidate", /*salt=*/23);
+    SessionCache cache(1ull << 30);
+    const auto first = cache.acquire(program.prefix);
+    const size_t window = first->windowEnd(false, UINT64_MAX);
+    cache.acquirePlan(first, window);
+    EXPECT_EQ(cache.stats().planEntries, 1u);
+
+    // Rewrite the criteria sidecar: same prefix, different recording —
+    // plans built against the stale artifacts must go with the session.
+    {
+        trace::CriteriaSet fewer;
+        fewer.add(/*marker=*/0, program.buffers[0], 4);
+        fewer.save(program.prefix + ".crit");
+    }
+    const auto second = cache.acquire(program.prefix);
+    EXPECT_EQ(cache.stats().invalidations, 1u);
+    EXPECT_EQ(cache.stats().planEntries, 0u);
+
+    bool hit = true;
+    const auto rebuilt = cache.acquirePlan(
+        second, second->windowEnd(false, UINT64_MAX), &hit);
+    ASSERT_TRUE(rebuilt);
+    EXPECT_FALSE(hit);
+}
+
 // ---- scheduler -----------------------------------------------------------
 
 TEST(Scheduler, ResultIsBitIdenticalToTheDirectSlicer)
@@ -531,6 +618,110 @@ TEST(Scheduler, LoadFailuresFailTheOneRequestOnly)
     EXPECT_EQ(scheduler.stats().failed, 1u);
 }
 
+TEST(Scheduler, ManyCriteriaOverOneSessionShareOnePlan)
+{
+    const SavedProgram program("sched_plans", /*salt=*/24);
+    SessionCache cache(1ull << 30);
+    Scheduler scheduler(cache, {/*workers=*/2, /*maxQueue=*/32});
+
+    // The oracle answers for both criteria modes at the default window.
+    const auto direct_pixel = program.directSlice();
+    slicer::SlicerOptions syscall_options;
+    syscall_options.mode = slicer::CriteriaMode::Syscalls;
+    const auto direct_syscalls = program.directSlice(syscall_options);
+
+    // Eight criterion queries against one recording: both modes, four
+    // backward-job counts. Sequential waits make the first query the
+    // one (and only) plan build.
+    for (int i = 0; i < 8; ++i) {
+        SliceQuery query;
+        query.mode = i % 2 ? slicer::CriteriaMode::Syscalls
+                           : slicer::CriteriaMode::PixelBuffer;
+        query.backwardJobs = 1 + i / 2;
+        const auto submitted = scheduler.submit(program.prefix, query);
+        ASSERT_FALSE(submitted.rejected);
+        const QueryResult &result = submitted.job->wait();
+        ASSERT_EQ(result.status, QueryResult::Status::Ok) << result.error;
+        EXPECT_EQ(result.planHit, i != 0) << "query " << i;
+
+        const auto &direct = i % 2 ? direct_syscalls : direct_pixel;
+        EXPECT_EQ(result.inSliceFnv1a,
+                  fnv1a64(direct.inSlice.data(), direct.inSlice.size()))
+            << "query " << i;
+    }
+    scheduler.drain();
+
+    const auto stats = cache.stats();
+    EXPECT_EQ(stats.planBuilds, 1u);
+    EXPECT_EQ(stats.planHits, 7u);
+    EXPECT_EQ(stats.built, 1u); // one forward pass for the whole batch
+}
+
+TEST(Scheduler, PlanEvictionMidBatchKeepsResultsCorrect)
+{
+    const SavedProgram program("sched_evict", /*salt=*/25);
+
+    // A one-byte budget holds only the newest plan: alternating between
+    // two windows evicts the other window's plan every time, so every
+    // query after the first pair rebuilds — and must still be right.
+    SessionCache cache(/*byte_budget=*/1);
+    Scheduler scheduler(cache, {/*workers=*/1, /*maxQueue=*/16});
+
+    const size_t windows[] = {60, 40};
+    slicer::SliceResult oracle[2];
+    for (int w = 0; w < 2; ++w) {
+        slicer::SlicerOptions options;
+        options.endIndex = windows[w];
+        oracle[w] = program.directSlice(options);
+    }
+
+    for (int round = 0; round < 3; ++round) {
+        for (int w = 0; w < 2; ++w) {
+            SliceQuery query;
+            query.endIndex = windows[w];
+            query.backwardJobs = 1 + round;
+            const auto submitted =
+                scheduler.submit(program.prefix, query);
+            ASSERT_FALSE(submitted.rejected);
+            const QueryResult &result = submitted.job->wait();
+            ASSERT_EQ(result.status, QueryResult::Status::Ok)
+                << result.error;
+            EXPECT_EQ(result.inSliceFnv1a,
+                      fnv1a64(oracle[w].inSlice.data(),
+                              oracle[w].inSlice.size()))
+                << "round " << round << " window " << windows[w];
+        }
+    }
+    scheduler.drain();
+
+    const auto stats = cache.stats();
+    EXPECT_GE(stats.planEvictions, 4u);
+    EXPECT_EQ(stats.planBuilds, 6u); // every round rebuilds both plans
+    EXPECT_LE(stats.planEntries, 1u);
+}
+
+TEST(Scheduler, PlanlessModeRunsEveryQueryCold)
+{
+    const SavedProgram program("sched_planless", /*salt=*/26);
+    SessionCache cache(1ull << 30);
+    Scheduler scheduler(
+        cache, {/*workers=*/1, /*maxQueue=*/16, /*usePlans=*/false});
+
+    const auto direct = program.directSlice();
+    for (int i = 0; i < 2; ++i) {
+        SliceQuery query;
+        query.backwardJobs = 1 + i;
+        const auto submitted = scheduler.submit(program.prefix, query);
+        const QueryResult &result = submitted.job->wait();
+        ASSERT_EQ(result.status, QueryResult::Status::Ok) << result.error;
+        EXPECT_FALSE(result.planHit);
+        EXPECT_EQ(result.inSliceFnv1a,
+                  fnv1a64(direct.inSlice.data(), direct.inSlice.size()));
+    }
+    scheduler.drain();
+    EXPECT_EQ(cache.stats().planBuilds, 0u);
+}
+
 // ---- end to end over a real socket ---------------------------------------
 
 TEST(Server, ServesABatchOverAUnixSocket)
@@ -580,19 +771,32 @@ TEST(Server, ServesABatchOverAUnixSocket)
     EXPECT_EQ(warm.ok, 4u);
     for (const auto &result : warm.results) {
         EXPECT_TRUE(result.cacheHit);
+        EXPECT_TRUE(result.planHit); // both windows' plans are cached
     }
     EXPECT_EQ(warm.results[0].inSliceFnv1a,
               outcome.results[0].inSliceFnv1a);
     EXPECT_EQ(server.cache().stats().built, 1u);
+    // Two windows appeared in the batch (default and endIndex=40), so
+    // exactly two plans were transcoded across both batches.
+    EXPECT_EQ(server.cache().stats().planBuilds, 2u);
 
-    // stats frames carry the cache and scheduler sections.
+    // stats frames carry the cache, slicer, and scheduler sections.
     Json stats_request = Json::object();
     stats_request.set("op", Json::string("stats"));
     Json stats;
     ASSERT_TRUE(client.call(stats_request, stats, error)) << error;
     ASSERT_NE(stats.find("cache"), nullptr);
     EXPECT_EQ(stats.find("cache")->find("built")->asInt(), 1);
+    EXPECT_EQ(stats.find("cache")->find("plan_builds")->asInt(), 2);
+    EXPECT_GE(stats.find("cache")->find("plan_hits")->asInt(), 4);
     ASSERT_NE(stats.find("scheduler"), nullptr);
+    // Slicer counters are global across the process, so only presence
+    // and monotonicity are asserted here.
+    const Json *slicer_stats = stats.find("slicer");
+    ASSERT_NE(slicer_stats, nullptr);
+    ASSERT_NE(slicer_stats->find("epoch_boundary_splits"), nullptr);
+    EXPECT_GE(slicer_stats->find("plan_hits")->asInt(), 4);
+    EXPECT_GE(slicer_stats->find("memo_hits")->asInt(), 0);
 
     // A malformed request answers with an error frame, not a dead
     // daemon; the connection closes, so reconnect for shutdown.

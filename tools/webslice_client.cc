@@ -17,6 +17,11 @@
  *   pixel:end=100000            window capped at record 100000
  *   pixel:backward-jobs=4       epoch-parallel backward pass, 4 threads
  *
+ * `--query @criteria.txt` expands a spec file: one SPEC per line, blank
+ * lines and `#` comments ignored. This is the convenient way to run
+ * many criteria against one session (the daemon transcodes the epochs
+ * once and answers every further criterion from the cached plan).
+ *
  * Result frames are printed as JSON lines as they stream in, so a batch
  * behaves well in a pipeline. --metrics-json (a file path or '-')
  * additionally writes a webslice-metrics-v1 report whose `batch`
@@ -27,6 +32,7 @@
  * rejection, or timeout.
  */
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -54,7 +60,9 @@ constexpr char kUsage[] =
     "                        run slicing queries against one recording\n"
     "\n"
     "query SPEC grammar: (pixel|syscalls)[:no-window][:end=N]\n"
-    "                    [:backward-jobs=N]\n";
+    "                    [:backward-jobs=N]\n"
+    "                    or @FILE with one SPEC per line ('#' comments\n"
+    "                    and blank lines ignored)\n";
 
 /** Parse one --query SPEC; exits 1 with a diagnostic on bad grammar. */
 bool
@@ -108,6 +116,44 @@ parseQuerySpec(const std::string &spec, service::SliceQuery &query,
     }
     if (first) {
         error = "empty query spec";
+        return false;
+    }
+    return true;
+}
+
+/**
+ * Expand one --query argument into specs: `@FILE` reads one spec per
+ * line (blank lines and lines whose first non-space byte is '#' are
+ * skipped); anything else is a single spec passed through verbatim.
+ */
+bool
+expandQueryArg(const std::string &arg, std::vector<std::string> &specs,
+               std::string &error)
+{
+    if (arg.empty() || arg[0] != '@') {
+        specs.push_back(arg);
+        return true;
+    }
+    const std::string path = arg.substr(1);
+    std::FILE *file = std::fopen(path.c_str(), "r");
+    if (!file) {
+        error = format("cannot open query file '%s': %s", path.c_str(),
+                       std::strerror(errno));
+        return false;
+    }
+    char line[4096];
+    const size_t before = specs.size();
+    while (std::fgets(line, sizeof(line), file)) {
+        std::string spec(line);
+        const size_t begin = spec.find_first_not_of(" \t\r\n");
+        if (begin == std::string::npos || spec[begin] == '#')
+            continue;
+        const size_t end = spec.find_last_not_of(" \t\r\n");
+        specs.push_back(spec.substr(begin, end - begin + 1));
+    }
+    std::fclose(file);
+    if (specs.size() == before) {
+        error = format("query file '%s' contains no specs", path.c_str());
         return false;
     }
     return true;
@@ -184,10 +230,15 @@ main(int argc, char **argv)
         if (!std::strcmp(argv[a], "--query")) {
             if (a + 1 >= argc)
                 return usageError(argv[0], "--query requires a value");
-            service::SliceQuery query;
-            if (!parseQuerySpec(argv[++a], query, error))
+            std::vector<std::string> specs;
+            if (!expandQueryArg(argv[++a], specs, error))
                 return usageError(argv[0], error.c_str());
-            queries.push_back(query);
+            for (const std::string &spec : specs) {
+                service::SliceQuery query;
+                if (!parseQuerySpec(spec, query, error))
+                    return usageError(argv[0], error.c_str());
+                queries.push_back(query);
+            }
         } else if (!std::strcmp(argv[a], "--timeout-ms")) {
             if (a + 1 >= argc)
                 return usageError(argv[0],
