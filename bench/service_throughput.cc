@@ -4,6 +4,7 @@
  *
  *   service_throughput [--site bing|amazon|amazon-mobile|maps]
  *                      [--queries N] [--out FILE] [--quick]
+ *                      [--fleet N] [--fleet-clients N]
  *
  * Records one benchmark site to a temporary artifact prefix, then
  * measures the service from a client's point of view in three parts:
@@ -23,6 +24,14 @@
  * dedup into one job: those numbers measure the scheduler, not the
  * dedup table. All results stream to stdout as a table and to
  * BENCH_service.json (webslice-metrics-v1) for tracking across commits.
+ *
+ * --fleet N (N >= 2) adds a fleet phase: N in-process shards, each on
+ * its own socket with its own session cache, serving --fleet-clients
+ * concurrent FleetClients (default 32) that route 2N distinct
+ * recordings (hardlinked artifact sets with distinct .meta, hence
+ * distinct digests) by consistent hashing. Reported: aggregate
+ * queries/sec, p50/p99 across all shards, and the fleet-wide session
+ * cache hit rate, in a `fleet` section of the JSON report.
  */
 
 #include <algorithm>
@@ -36,8 +45,11 @@
 #include <thread>
 #include <vector>
 
+#include <unistd.h>
+
 #include "bench/bench_util.hh"
 #include "service/client.hh"
+#include "service/router.hh"
 #include "service/server.hh"
 #include "support/metrics.hh"
 #include "support/strings.hh"
@@ -47,6 +59,20 @@
 using namespace webslice;
 
 namespace {
+
+/** Write the .meta sidecar under `name` (the digest-bearing field). */
+void
+saveMeta(const workloads::RunResult &run,
+         const workloads::SiteSpec &spec, const std::string &prefix,
+         const std::string &name)
+{
+    std::ofstream meta(prefix + ".meta");
+    meta << "benchmark " << name << '\n';
+    meta << "loadCompleteIndex " << run.loadCompleteIndex << '\n';
+    meta << "loadOnly " << (spec.actions.empty() ? 1 : 0) << '\n';
+    for (size_t t = 0; t < run.threadNames().size(); ++t)
+        meta << "thread " << t << ' ' << run.threadNames()[t] << '\n';
+}
 
 /** Save a run's artifacts the way webslice-record does. */
 void
@@ -59,12 +85,19 @@ saveArtifacts(const workloads::RunResult &run,
     writer.close();
     run.machine->symtab().save(prefix + ".sym");
     run.machine->pixelCriteria().save(prefix + ".crit");
-    std::ofstream meta(prefix + ".meta");
-    meta << "benchmark " << spec.name << '\n';
-    meta << "loadCompleteIndex " << run.loadCompleteIndex << '\n';
-    meta << "loadOnly " << (spec.actions.empty() ? 1 : 0) << '\n';
-    for (size_t t = 0; t < run.threadNames().size(); ++t)
-        meta << "thread " << t << ' ' << run.threadNames()[t] << '\n';
+    saveMeta(run, spec, prefix, spec.name);
+}
+
+/** Hardlink (or copy) one artifact file to a new prefix. */
+void
+linkOrCopy(const std::string &from, const std::string &to)
+{
+    std::remove(to.c_str());
+    if (::link(from.c_str(), to.c_str()) == 0)
+        return;
+    std::ifstream in(from, std::ios::binary);
+    std::ofstream out(to, std::ios::binary);
+    out << in.rdbuf();
 }
 
 double
@@ -213,6 +246,154 @@ runWarm(const std::string &socket_path, const std::string &prefix,
     return sample;
 }
 
+struct FleetSample
+{
+    int shards = 0;
+    int clients = 0;
+    size_t queries = 0;
+    double wallSeconds = 0.0;
+    double p50Ms = 0.0;
+    double p99Ms = 0.0;
+    uint64_t cacheHits = 0;
+    uint64_t cacheMisses = 0;
+    uint64_t sessionsBuilt = 0;
+    uint64_t failovers = 0;
+    uint64_t duplicates = 0;
+    uint64_t warmsSent = 0;
+
+    double queriesPerSecond() const
+    {
+        return wallSeconds > 0.0 ? queries / wallSeconds : 0.0;
+    }
+
+    double cacheHitRate() const
+    {
+        const uint64_t total = cacheHits + cacheMisses;
+        return total != 0 ? static_cast<double>(cacheHits) / total : 0.0;
+    }
+};
+
+/**
+ * The fleet phase: `shards` in-process servers, `clients` concurrent
+ * FleetClients routing 2*shards distinct recordings (hardlinks of
+ * `prefix` with distinct .meta) by digest. Every query carries a
+ * unique window end so nothing dedups; latency is aggregated over all
+ * clients, cache stats over all shards.
+ */
+FleetSample
+runFleet(const workloads::RunResult &run,
+         const workloads::SiteSpec &spec, const std::string &prefix,
+         const std::string &tmp_dir, int shards, int clients,
+         size_t per_client)
+{
+    // Distinct recordings: same trace/symtab/criteria bytes, different
+    // .meta, therefore different combined digests that spread over the
+    // ring.
+    std::vector<std::string> prefixes;
+    for (int p = 0; p < 2 * shards; ++p) {
+        const std::string fp =
+            format("%s_fleet%d", prefix.c_str(), p);
+        for (const char *ext : {".trc", ".sym", ".crit"})
+            linkOrCopy(prefix + ext, fp + ext);
+        saveMeta(run, spec, fp,
+                 format("%s-fleet-%d", spec.name.c_str(), p));
+        prefixes.push_back(fp);
+    }
+
+    std::vector<std::unique_ptr<service::Server>> servers;
+    std::vector<std::thread> serving;
+    std::vector<std::string> endpoints;
+    for (int s = 0; s < shards; ++s) {
+        service::ServerOptions options;
+        options.socketPath =
+            format("%s/bench_service_shard%d.sock", tmp_dir.c_str(), s);
+        options.workers = 4;
+        options.shardId = format("shard-%d", s);
+        servers.push_back(
+            std::make_unique<service::Server>(options));
+        endpoints.push_back(options.socketPath);
+    }
+    for (auto &server : servers)
+        serving.emplace_back([&server] { server->run(); });
+
+    std::vector<std::vector<double>> latencies(clients);
+    std::vector<std::thread> threads;
+    std::atomic<size_t> failures{0};
+    std::atomic<uint64_t> failovers{0}, duplicates{0}, warms{0};
+    const size_t window_base = run.records().size();
+
+    const double t0 = bench::nowSeconds();
+    for (int c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
+            service::FleetClient fleet(endpoints);
+            std::string error;
+            for (size_t i = 0; i < per_client; ++i) {
+                const size_t global =
+                    static_cast<size_t>(c) * per_client + i;
+                const std::string &target =
+                    prefixes[global % prefixes.size()];
+                service::SliceQuery query;
+                query.endIndex = window_base - global;
+                service::ServiceClient::BatchOutcome outcome;
+                const double q0 = bench::nowSeconds();
+                if (!fleet.batch(target, {query}, outcome, error) ||
+                    outcome.ok != 1) {
+                    std::fprintf(stderr,
+                                 "fleet client %d: %s\n", c,
+                                 error.c_str());
+                    ++failures;
+                    return;
+                }
+                latencies[c].push_back(
+                    (bench::nowSeconds() - q0) * 1e3);
+            }
+            const auto stats = fleet.stats();
+            failovers += stats.failovers;
+            duplicates += stats.duplicates;
+            warms += stats.warmsSent;
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+
+    FleetSample sample;
+    sample.shards = shards;
+    sample.clients = clients;
+    sample.wallSeconds = bench::nowSeconds() - t0;
+    std::vector<double> all;
+    for (const auto &per : latencies) {
+        sample.queries += per.size();
+        all.insert(all.end(), per.begin(), per.end());
+    }
+    sample.p50Ms = percentile(all, 50.0);
+    sample.p99Ms = percentile(all, 99.0);
+    sample.failovers = failovers.load();
+    sample.duplicates = duplicates.load();
+    sample.warmsSent = warms.load();
+
+    for (auto &server : servers) {
+        const auto cache = server->cache().stats();
+        sample.cacheHits += cache.hits;
+        sample.cacheMisses += cache.misses;
+        sample.sessionsBuilt += cache.built;
+        server->requestShutdown();
+    }
+    for (auto &thread : serving)
+        thread.join();
+
+    if (failures.load() != 0) {
+        std::fprintf(stderr,
+                     "service_throughput: %zu fleet client failures\n",
+                     failures.load());
+        std::exit(1);
+    }
+
+    for (const auto &fp : prefixes)
+        for (const char *ext : {".trc", ".sym", ".crit", ".meta"})
+            std::remove((fp + ext).c_str());
+    return sample;
+}
+
 } // namespace
 
 int
@@ -222,6 +403,8 @@ main(int argc, char **argv)
     std::string out_path = "BENCH_service.json";
     size_t queries = 8;
     bool quick = false;
+    int fleet_shards = 0;
+    int fleet_clients = 32;
     for (int a = 1; a < argc; ++a) {
         if (!std::strcmp(argv[a], "--site") && a + 1 < argc) {
             site = argv[++a];
@@ -231,10 +414,24 @@ main(int argc, char **argv)
             out_path = argv[++a];
         } else if (!std::strcmp(argv[a], "--quick")) {
             quick = true;
+        } else if (!std::strcmp(argv[a], "--fleet") && a + 1 < argc) {
+            fleet_shards = std::atoi(argv[++a]);
+            if (fleet_shards < 2 || fleet_shards > 4) {
+                std::fprintf(stderr, "--fleet wants 2..4 shards\n");
+                return 1;
+            }
+        } else if (!std::strcmp(argv[a], "--fleet-clients") &&
+                   a + 1 < argc) {
+            fleet_clients = std::atoi(argv[++a]);
+            if (fleet_clients < 1 || fleet_clients > 64) {
+                std::fprintf(stderr, "--fleet-clients wants 1..64\n");
+                return 1;
+            }
         } else {
             std::fprintf(stderr,
                          "usage: %s [--site NAME] [--queries N] "
-                         "[--out FILE] [--quick]\n",
+                         "[--out FILE] [--quick] [--fleet N] "
+                         "[--fleet-clients N]\n",
                          argv[0]);
             return 1;
         }
@@ -416,6 +613,34 @@ main(int argc, char **argv)
     server.requestShutdown();
     serving.join();
 
+    // ---- fleet phase: shards x concurrent fleet clients --------------------
+    FleetSample fleet;
+    if (fleet_shards >= 2) {
+        const size_t fleet_per_client = quick ? 2 : 8;
+        std::printf("\nfleet: %d shards, %d clients x %zu queries, "
+                    "%d recordings\n",
+                    fleet_shards, fleet_clients, fleet_per_client,
+                    2 * fleet_shards);
+        fleet = runFleet(run, spec, prefix,
+                         std::string(tmp ? tmp : "/tmp"), fleet_shards,
+                         fleet_clients, fleet_per_client);
+        std::printf("  %zu queries in %.2f s: %.2f queries/s, "
+                    "p50 %.2f ms, p99 %.2f ms\n",
+                    fleet.queries, fleet.wallSeconds,
+                    fleet.queriesPerSecond(), fleet.p50Ms, fleet.p99Ms);
+        std::printf("  fleet cache hit rate %.1f%% (%llu hits / %llu "
+                    "lookups), %llu sessions built, %llu failovers, "
+                    "%llu duplicates, %llu warms\n",
+                    fleet.cacheHitRate() * 100.0,
+                    static_cast<unsigned long long>(fleet.cacheHits),
+                    static_cast<unsigned long long>(fleet.cacheHits +
+                                                    fleet.cacheMisses),
+                    static_cast<unsigned long long>(fleet.sessionsBuilt),
+                    static_cast<unsigned long long>(fleet.failovers),
+                    static_cast<unsigned long long>(fleet.duplicates),
+                    static_cast<unsigned long long>(fleet.warmsSent));
+    }
+
     std::ostringstream extra;
     extra << "{\n"
           << "    \"site\": \"" << jsonEscape(spec.name) << "\",\n"
@@ -449,7 +674,25 @@ main(int argc, char **argv)
               << ", \"p50_ms\": " << format("%.3f", s.p50Ms)
               << ", \"p99_ms\": " << format("%.3f", s.p99Ms) << "}";
     }
-    extra << "]\n  }";
+    extra << "]";
+    if (fleet.shards >= 2) {
+        extra << ",\n    \"fleet\": {\"shards\": " << fleet.shards
+              << ", \"clients\": " << fleet.clients
+              << ", \"queries\": " << fleet.queries
+              << ", \"queries_per_second\": "
+              << format("%.3f", fleet.queriesPerSecond())
+              << ", \"p50_ms\": " << format("%.3f", fleet.p50Ms)
+              << ", \"p99_ms\": " << format("%.3f", fleet.p99Ms)
+              << ", \"cache_hit_rate\": "
+              << format("%.4f", fleet.cacheHitRate())
+              << ", \"cache_hits\": " << fleet.cacheHits
+              << ", \"cache_misses\": " << fleet.cacheMisses
+              << ", \"sessions_built\": " << fleet.sessionsBuilt
+              << ", \"failovers\": " << fleet.failovers
+              << ", \"duplicates\": " << fleet.duplicates
+              << ", \"warms_sent\": " << fleet.warmsSent << "}";
+    }
+    extra << "\n  }";
 
     writeMetricsReport(out_path, MetricRegistry::global(),
                        "service_throughput", {{"service", extra.str()}});

@@ -83,11 +83,18 @@ readFrame(int fd, std::string &payload, std::string &error,
 }
 
 bool
-writeFrame(int fd, std::string_view payload, std::string &error)
+writeFrame(int fd, std::string_view payload, std::string &error,
+           uint32_t max_bytes, int *errno_out)
 {
-    if (payload.empty() || payload.size() > kMaxFrameBytes) {
-        error = format("refusing to write a %zu byte frame",
-                       payload.size());
+    if (errno_out != nullptr)
+        *errno_out = 0;
+    // Mirror readFrame's validity rules bit for bit: zero-length and
+    // over-limit frames are refused on the way out, not just rejected
+    // on the way in.
+    if (payload.empty() || payload.size() > max_bytes) {
+        error = format("refusing to write a %zu byte frame "
+                       "(limit %u, minimum 1)",
+                       payload.size(), max_bytes);
         return false;
     }
     const uint32_t length = static_cast<uint32_t>(payload.size());
@@ -110,6 +117,8 @@ writeFrame(int fd, std::string_view payload, std::string &error)
         if (w < 0) {
             if (errno == EINTR)
                 continue;
+            if (errno_out != nullptr)
+                *errno_out = errno;
             error = format("frame write failed: %s",
                            std::strerror(errno));
             return false;
@@ -235,6 +244,11 @@ QueryResult::toJson(size_t id) const
     j.set("status", Json::string(statusName(status)));
     if (!error.empty())
         j.set("error", Json::string(error));
+    if (!shard.empty()) {
+        j.set("shard", Json::string(shard));
+        j.set("shard_epoch",
+              Json::integer(static_cast<int64_t>(shardEpoch)));
+    }
     j.set("cache_hit", Json::boolean(cacheHit));
     j.set("plan_hit", Json::boolean(planHit));
     j.set("deduped", Json::boolean(deduped));
@@ -297,6 +311,10 @@ QueryResult::fromJson(const Json &json, QueryResult &out,
     }
     if (const Json *e = json.find("error"))
         out.error = e->asString();
+    if (const Json *v = json.find("shard"))
+        out.shard = v->asString();
+    if (const Json *v = json.find("shard_epoch"))
+        out.shardEpoch = static_cast<uint64_t>(v->asInt());
     if (const Json *v = json.find("cache_hit"))
         out.cacheHit = v->asBool();
     if (const Json *v = json.find("plan_hit"))

@@ -60,8 +60,18 @@ enum class FrameRead
 FrameRead readFrame(int fd, std::string &payload, std::string &error,
                     uint32_t max_bytes = kMaxFrameBytes);
 
-/** Write one length-prefixed frame; false (with error) on failure. */
-bool writeFrame(int fd, std::string_view payload, std::string &error);
+/**
+ * Write one length-prefixed frame; false (with error) on failure. The
+ * validity rules mirror readFrame exactly — empty payloads and payloads
+ * beyond `max_bytes` are refused before any byte hits the wire, so a
+ * conforming writer can never produce a frame a conforming reader
+ * rejects. `errno_out` (optional) receives the errno of a failed
+ * write, 0 for a validation refusal — callers use it to tell a
+ * vanished peer (EPIPE/ECONNRESET) from a sick socket.
+ */
+bool writeFrame(int fd, std::string_view payload, std::string &error,
+                uint32_t max_bytes = kMaxFrameBytes,
+                int *errno_out = nullptr);
 
 /** One slicing criterion of a batch request. */
 struct SliceQuery
@@ -113,6 +123,13 @@ struct QueryResult
 
     Status status = Status::Error;
     std::string error;
+
+    /** Fleet identity: which shard computed this result, and that
+     *  shard's generation. Empty/0 outside fleet deployments. A
+     *  fleet-aware client uses these to attribute results after a
+     *  mid-batch failover. */
+    std::string shard;
+    uint64_t shardEpoch = 0;
 
     // Scheduling telemetry.
     bool cacheHit = false; ///< Session served from the cache.

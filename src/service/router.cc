@@ -1,0 +1,378 @@
+#include "service/router.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <utility>
+
+#include "support/metrics.hh"
+#include "support/strings.hh"
+#include "trace/artifacts.hh"
+
+namespace webslice {
+namespace service {
+
+namespace {
+
+/** Scatter a combined artifact digest onto the ring's keyspace. The
+ *  raw digest is already well-mixed, but re-hashing keeps lookup keys
+ *  and virtual-node points in the same family of positions. */
+uint64_t
+ringKey(uint64_t digest)
+{
+    return fnv1a64(&digest, sizeof(digest));
+}
+
+} // namespace
+
+bool
+connectEndpoint(const std::string &spec, ServiceClient &client,
+                std::string &error)
+{
+    const size_t colon = spec.rfind(':');
+    if (spec.find('/') == std::string::npos &&
+        colon != std::string::npos && colon + 1 < spec.size()) {
+        bool numeric = true;
+        for (size_t i = colon + 1; i < spec.size(); ++i)
+            numeric = numeric && std::isdigit(
+                static_cast<unsigned char>(spec[i])) != 0;
+        if (numeric) {
+            return client.connectTcp(
+                spec.substr(0, colon),
+                std::atoi(spec.c_str() + colon + 1), error);
+        }
+    }
+    return client.connectUnix(spec, error);
+}
+
+ShardRouter::ShardRouter(std::vector<std::string> endpoints,
+                         int virtualNodes)
+{
+    // Duplicate specs would masquerade as extra replicas; drop them.
+    for (auto &endpoint : endpoints) {
+        if (std::find(endpoints_.begin(), endpoints_.end(), endpoint) ==
+            endpoints_.end())
+            endpoints_.push_back(std::move(endpoint));
+    }
+    down_.assign(endpoints_.size(), false);
+
+    const int points = std::max(1, virtualNodes);
+    ring_.reserve(endpoints_.size() * static_cast<size_t>(points));
+    for (uint32_t e = 0; e < endpoints_.size(); ++e) {
+        for (int i = 0; i < points; ++i) {
+            // Points derive from the endpoint string alone, so every
+            // client (and every restart) builds the identical ring.
+            const std::string node =
+                format("%s#%d", endpoints_[e].c_str(), i);
+            ring_.push_back({fnv1a64(node.data(), node.size()), e});
+        }
+    }
+    std::sort(ring_.begin(), ring_.end(),
+              [](const Point &a, const Point &b) {
+                  return a.hash < b.hash ||
+                         (a.hash == b.hash && a.endpoint < b.endpoint);
+              });
+}
+
+size_t
+ShardRouter::liveCount() const
+{
+    size_t live = 0;
+    for (bool down : down_)
+        live += down ? 0 : 1;
+    return live;
+}
+
+void
+ShardRouter::setDown(const std::string &endpoint)
+{
+    for (size_t i = 0; i < endpoints_.size(); ++i)
+        if (endpoints_[i] == endpoint)
+            down_[i] = true;
+}
+
+void
+ShardRouter::setUp(const std::string &endpoint)
+{
+    for (size_t i = 0; i < endpoints_.size(); ++i)
+        if (endpoints_[i] == endpoint)
+            down_[i] = false;
+}
+
+bool
+ShardRouter::isDown(const std::string &endpoint) const
+{
+    for (size_t i = 0; i < endpoints_.size(); ++i)
+        if (endpoints_[i] == endpoint)
+            return down_[i];
+    return true;
+}
+
+std::vector<std::string>
+ShardRouter::ownersFor(uint64_t digest, size_t count) const
+{
+    std::vector<std::string> owners;
+    if (ring_.empty() || count == 0)
+        return owners;
+
+    const uint64_t key = ringKey(digest);
+    auto it = std::lower_bound(
+        ring_.begin(), ring_.end(), key,
+        [](const Point &p, uint64_t k) { return p.hash < k; });
+
+    // Walk clockwise collecting distinct live endpoints; one full lap
+    // visits every endpoint at least once.
+    std::vector<bool> seen(endpoints_.size(), false);
+    for (size_t walked = 0;
+         walked < ring_.size() && owners.size() < count; ++walked) {
+        if (it == ring_.end())
+            it = ring_.begin();
+        const uint32_t e = it->endpoint;
+        if (!seen[e]) {
+            seen[e] = true;
+            if (!down_[e])
+                owners.push_back(endpoints_[e]);
+        }
+        ++it;
+    }
+    return owners;
+}
+
+std::string
+ShardRouter::primaryFor(uint64_t digest) const
+{
+    auto owners = ownersFor(digest, 1);
+    return owners.empty() ? std::string() : owners.front();
+}
+
+FleetClient::FleetClient(std::vector<std::string> endpoints)
+    : FleetClient(std::move(endpoints), Options())
+{
+}
+
+FleetClient::FleetClient(std::vector<std::string> endpoints,
+                         Options options)
+    : router_(std::move(endpoints)), options_(options)
+{
+}
+
+uint64_t
+FleetClient::digestFor(const std::string &prefix)
+{
+    auto it = digests_.find(prefix);
+    if (it != digests_.end())
+        return it->second;
+    const uint64_t digest =
+        trace::combinedArtifactDigest(trace::digestArtifacts(prefix));
+    digests_.emplace(prefix, digest);
+    return digest;
+}
+
+std::vector<std::string>
+FleetClient::ownersFor(const std::string &prefix)
+{
+    return router_.ownersFor(digestFor(prefix),
+                             std::max<size_t>(1, static_cast<size_t>(
+                                                     options_.replicas)));
+}
+
+size_t
+FleetClient::discover()
+{
+    Json ping = Json::object();
+    ping.set("op", Json::string("ping"));
+    for (const auto &endpoint : router_.endpoints()) {
+        ServiceClient client;
+        std::string error;
+        Json pong;
+        const Json *status = nullptr;
+        const Json *draining = nullptr;
+        const bool healthy =
+            connectEndpoint(endpoint, client, error) &&
+            client.call(ping, pong, error) &&
+            (status = pong.find("status")) != nullptr &&
+            status->asString() == "ok" &&
+            !((draining = pong.find("draining")) != nullptr &&
+              draining->asBool());
+        if (healthy)
+            router_.setUp(endpoint);
+        else
+            router_.setDown(endpoint);
+    }
+    return router_.liveCount();
+}
+
+bool
+FleetClient::callOn(const std::string &endpoint, const Json &request,
+                    Json &response, std::string &error)
+{
+    ServiceClient client;
+    if (!connectEndpoint(endpoint, client, error))
+        return false;
+    return client.call(request, response, error);
+}
+
+void
+FleetClient::warmReplica(uint64_t digest, const std::string &prefix,
+                         const std::string &endpoint)
+{
+    const std::string key = format(
+        "%016llx@%s", static_cast<unsigned long long>(digest),
+        endpoint.c_str());
+    if (!warmed_.insert(key).second)
+        return; // Already advised this replica about this recording.
+
+    Json warm = Json::object();
+    warm.set("op", Json::string("warm"));
+    warm.set("prefix", Json::string(prefix));
+    Json ack;
+    std::string error;
+    if (callOn(endpoint, warm, ack, error)) {
+        ++stats_.warmsSent;
+        MetricRegistry::global().counter("fleet.warms_sent").add();
+    }
+}
+
+bool
+FleetClient::batch(const std::string &prefix,
+                   const std::vector<SliceQuery> &queries,
+                   ServiceClient::BatchOutcome &outcome,
+                   std::string &error,
+                   const std::function<void(const Json &)> &on_result)
+{
+    auto &registry = MetricRegistry::global();
+    ++stats_.batches;
+    registry.counter("fleet.batches").add();
+
+    outcome = ServiceClient::BatchOutcome();
+    outcome.results.resize(queries.size());
+    if (queries.empty()) {
+        error = "empty batch";
+        return false;
+    }
+
+    const uint64_t digest = digestFor(prefix);
+    std::vector<bool> answered(queries.size(), false);
+    size_t remaining = queries.size();
+    std::string last_error = "no live shard owns this recording";
+    bool refreshed = false;
+
+    // Each failed attempt marks its target down, so this terminates
+    // after at most one try per endpoint plus one discover() refresh.
+    const size_t max_attempts = router_.size() * 2 + 1;
+    for (size_t attempt = 0;
+         attempt < max_attempts && remaining > 0; ++attempt) {
+        const auto owners = router_.ownersFor(
+            digest,
+            std::max<size_t>(1,
+                             static_cast<size_t>(options_.replicas)));
+        if (owners.empty()) {
+            // Every shard looks down; re-probe once in case one came
+            // back (or was only draining through a restart).
+            if (refreshed)
+                break;
+            refreshed = true;
+            discover();
+            continue;
+        }
+        const std::string &target = owners.front();
+
+        // Resend only the unanswered remainder, renumbered from zero
+        // on the wire; wire_to_orig maps frames back to caller ids so
+        // the caller never sees the renumbering.
+        std::vector<size_t> wire_to_orig;
+        std::vector<SliceQuery> pending;
+        wire_to_orig.reserve(remaining);
+        pending.reserve(remaining);
+        for (size_t i = 0; i < queries.size(); ++i) {
+            if (!answered[i]) {
+                wire_to_orig.push_back(i);
+                pending.push_back(queries[i]);
+            }
+        }
+
+        ServiceClient client;
+        std::string attempt_error;
+        if (!connectEndpoint(target, client, attempt_error)) {
+            last_error = format("%s: %s", target.c_str(),
+                                attempt_error.c_str());
+            router_.setDown(target);
+            ++stats_.failovers;
+            registry.counter("fleet.failovers").add();
+            continue;
+        }
+
+        const auto frame_hook = [&](const Json &frame) {
+            const Json *op = frame.find("op");
+            if (op == nullptr || op->asString() != "result")
+                return; // Per-attempt batch_done frames stay internal.
+            const Json *id_json = frame.find("id");
+            if (id_json == nullptr || !id_json->isInt())
+                return;
+            const size_t wire =
+                static_cast<size_t>(id_json->asInt());
+            if (wire >= wire_to_orig.size())
+                return;
+            const size_t orig = wire_to_orig[wire];
+            if (answered[orig]) {
+                // A slow shard answered after we failed over; the
+                // replica's copy already counted. Never double-report.
+                ++stats_.duplicates;
+                registry.counter("fleet.duplicate_results").add();
+                return;
+            }
+            QueryResult parsed;
+            std::string parse_error;
+            if (!QueryResult::fromJson(frame, parsed, parse_error))
+                return;
+            answered[orig] = true;
+            --remaining;
+            outcome.results[orig] = std::move(parsed);
+            if (on_result) {
+                Json remapped = frame;
+                remapped.set("id", Json::integer(
+                                       static_cast<int64_t>(orig)));
+                on_result(remapped);
+            }
+        };
+
+        ServiceClient::BatchOutcome ignored;
+        if (client.batch(prefix, pending, ignored, attempt_error,
+                         frame_hook)) {
+            if (options_.warmReplicas && owners.size() > 1)
+                warmReplica(digest, prefix, owners[1]);
+            break;
+        }
+
+        // Mid-batch failure: the shard died, refused while draining,
+        // or corrupted the stream. Partial results gathered before the
+        // failure are already recorded; route the rest elsewhere.
+        last_error = format("%s: %s", target.c_str(),
+                            attempt_error.c_str());
+        router_.setDown(target);
+        ++stats_.failovers;
+        registry.counter("fleet.failovers").add();
+    }
+
+    for (size_t i = 0; i < queries.size(); ++i) {
+        if (!answered[i])
+            continue;
+        switch (outcome.results[i].status) {
+          case QueryResult::Status::Ok: ++outcome.ok; break;
+          case QueryResult::Status::Rejected: ++outcome.rejected; break;
+          case QueryResult::Status::Timeout: ++outcome.timeouts; break;
+          case QueryResult::Status::Error: ++outcome.errors; break;
+        }
+    }
+
+    if (remaining > 0) {
+        error = format("%zu of %zu queries unanswered after fleet "
+                       "failover (last shard error: %s)",
+                       remaining, queries.size(), last_error.c_str());
+        return false;
+    }
+    return true;
+}
+
+} // namespace service
+} // namespace webslice

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Fleet-side routing for webslice-served shards.
+ *
+ * A fleet is N independent webslice-served processes ("shards"), each
+ * with its own session cache, listening on its own socket. Nothing is
+ * shared between them, so placement is the whole ballgame: the same
+ * recording must land on the same shard every time or every shard ends
+ * up building every session. ShardRouter makes placement a pure
+ * function of the recording's combined artifact digest — the identity
+ * the SessionCache already computes — via a consistent-hash ring, so
+ * routing is deterministic across client restarts and adding a shard
+ * remaps only ~1/N of the keyspace instead of reshuffling everything.
+ *
+ * FleetClient layers failure handling on top: it routes each batch to
+ * the digest's primary shard, streams results, and on a dead or
+ * draining shard resends only the unanswered queries to the next
+ * replica on the ring. Results are deduplicated by request id, so a
+ * failover mid-batch never loses or double-reports a criterion. The
+ * replica that would take over is kept warm with advisory "warm" ops.
+ */
+
+#ifndef WEBSLICE_SERVICE_ROUTER_HH
+#define WEBSLICE_SERVICE_ROUTER_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "service/client.hh"
+#include "service/protocol.hh"
+
+namespace webslice {
+namespace service {
+
+/**
+ * Connect `client` to a fleet endpoint spec: "host:port" (numeric
+ * port, no '/') dials loopback TCP, anything else is a Unix socket
+ * path. False + error when the dial fails.
+ */
+bool connectEndpoint(const std::string &spec, ServiceClient &client,
+                     std::string &error);
+
+/**
+ * Consistent-hash ring over shard endpoints.
+ *
+ * Each endpoint contributes `virtualNodes` points (FNV-1a-64 of
+ * "endpoint#i") so load spreads evenly even with two or three shards.
+ * A key's owners are the first distinct live endpoints clockwise from
+ * the key's mixed hash — the classic Karger ring, which is what gives
+ * the ~1/N remap property when the fleet grows or shrinks.
+ *
+ * Liveness (setDown/setUp) only filters lookups; the ring itself is
+ * built once from the endpoint list and never changes, so two clients
+ * configured with the same fleet agree on placement even while they
+ * disagree on which shards are currently reachable.
+ *
+ * Not thread-safe; give each client thread its own router.
+ */
+class ShardRouter
+{
+  public:
+    explicit ShardRouter(std::vector<std::string> endpoints,
+                         int virtualNodes = 64);
+
+    const std::vector<std::string> &endpoints() const
+    {
+        return endpoints_;
+    }
+
+    size_t size() const { return endpoints_.size(); }
+
+    /** Endpoints not currently marked down. */
+    size_t liveCount() const;
+
+    void setDown(const std::string &endpoint);
+    void setUp(const std::string &endpoint);
+    bool isDown(const std::string &endpoint) const;
+
+    /**
+     * Up to `count` distinct live endpoints owning `digest`, primary
+     * first, in ring order. Fewer (possibly zero) when the fleet is
+     * mostly down.
+     */
+    std::vector<std::string> ownersFor(uint64_t digest,
+                                       size_t count) const;
+
+    /** The live primary for `digest`; empty when none is live. */
+    std::string primaryFor(uint64_t digest) const;
+
+  private:
+    struct Point
+    {
+        uint64_t hash;
+        uint32_t endpoint; ///< Index into endpoints_.
+    };
+
+    std::vector<std::string> endpoints_;
+    std::vector<bool> down_;
+    std::vector<Point> ring_; ///< Sorted by hash.
+};
+
+/**
+ * A batch client that speaks to a whole fleet instead of one daemon.
+ *
+ * Mirrors ServiceClient::batch but owns endpoint selection, failover,
+ * and result dedup. Artifact digests are computed once per prefix and
+ * cached — routing a warm batch costs a hash-map lookup, not four file
+ * reads. Not thread-safe; one FleetClient per client thread.
+ */
+class FleetClient
+{
+  public:
+    struct Options
+    {
+        /** Owners tried per digest: primary plus (replicas-1) backups. */
+        int replicas = 2;
+
+        /** Keep the first backup's session warm with advisory "warm"
+         *  ops (sent once per digest+replica) so a failover lands on a
+         *  hot cache instead of a cold build. */
+        bool warmReplicas = true;
+    };
+
+    explicit FleetClient(std::vector<std::string> endpoints);
+    FleetClient(std::vector<std::string> endpoints, Options options);
+
+    struct Stats
+    {
+        uint64_t batches = 0;
+        uint64_t failovers = 0;  ///< Re-routes after a shard failure.
+        uint64_t duplicates = 0; ///< Dropped already-answered results.
+        uint64_t warmsSent = 0;  ///< Advisory replica warms issued.
+    };
+
+    /** Combined artifact digest for `prefix` (cached). */
+    uint64_t digestFor(const std::string &prefix);
+
+    /** Live owner endpoints for `prefix`, primary first. */
+    std::vector<std::string> ownersFor(const std::string &prefix);
+
+    /**
+     * Ping every endpoint; unreachable or draining shards are marked
+     * down, recovered ones marked up. Returns the live count. Called
+     * lazily by batch() after a failure, or explicitly by tools that
+     * want to report fleet health.
+     */
+    size_t discover();
+
+    /**
+     * Run `queries` against the fleet. Semantics match
+     * ServiceClient::batch, plus failover: if the owning shard dies or
+     * starts draining mid-batch, the unanswered remainder is resent to
+     * the next replica with request ids remapped back to the caller's
+     * numbering, and any result arriving twice is dropped. `on_result`
+     * sees each raw frame with its "id" rewritten to the caller's id.
+     * False + error only when every replica has been exhausted; the
+     * partial results gathered so far stay in `outcome`.
+     */
+    bool batch(const std::string &prefix,
+               const std::vector<SliceQuery> &queries,
+               ServiceClient::BatchOutcome &outcome, std::string &error,
+               const std::function<void(const Json &)> &on_result = {});
+
+    /** One-shot call (ping/stats/...) against a specific endpoint. */
+    bool callOn(const std::string &endpoint, const Json &request,
+                Json &response, std::string &error);
+
+    const ShardRouter &router() const { return router_; }
+    ShardRouter &router() { return router_; }
+    Stats stats() const { return stats_; }
+
+  private:
+    void warmReplica(uint64_t digest, const std::string &prefix,
+                     const std::string &endpoint);
+
+    ShardRouter router_;
+    Options options_;
+    Stats stats_;
+    std::unordered_map<std::string, uint64_t> digests_;
+    std::unordered_set<std::string> warmed_; ///< "digest@endpoint".
+};
+
+} // namespace service
+} // namespace webslice
+
+#endif // WEBSLICE_SERVICE_ROUTER_HH

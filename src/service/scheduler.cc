@@ -69,6 +69,7 @@ Scheduler::submit(const std::string &prefix, const SliceQuery &query)
             if (auto twin = inflight->second.lock()) {
                 ++counters_.deduped;
                 registry.counter("service.requests_deduped").add();
+                twin->waiters_.fetch_add(1, std::memory_order_relaxed);
                 return {twin, false, true};
             }
             inflight_.erase(inflight);
@@ -107,11 +108,51 @@ Scheduler::submit(const std::string &prefix, const SliceQuery &query)
 }
 
 void
+Scheduler::abandon(const std::shared_ptr<Job> &job)
+{
+    if (!job || job->done())
+        return;
+    job->waiters_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void
+Scheduler::warmSession(const std::string &prefix)
+{
+    MetricRegistry::global().counter("service.warm_requests").add();
+    pool_.post(group_, [this, prefix] {
+        try {
+            ScopedFatalCapture capture;
+            bool hit = false;
+            cache_.acquire(prefix, &hit);
+            if (!hit) {
+                MetricRegistry::global()
+                    .counter("service.sessions_replicated")
+                    .add();
+            }
+        } catch (const std::exception &) {
+            // Advisory build only — nobody is waiting on this result.
+        }
+    });
+}
+
+void
 Scheduler::runJob(const std::shared_ptr<Job> &job)
 {
     const auto start = std::chrono::steady_clock::now();
     QueryResult result;
     result.queueMs = millisSince(job->submitted_, start);
+
+    // A job whose every waiter hung up while it was queued is cancelled
+    // here, not computed-and-discarded: the backward pass it would run
+    // can be hundreds of milliseconds of pure waste. (Dedup twins keep
+    // the job alive — waiters_ counts every attached connection.)
+    if (job->waiters_.load(std::memory_order_relaxed) <= 0) {
+        result.status = QueryResult::Status::Error;
+        result.error = "abandoned: every waiting client disconnected "
+                       "before the query ran";
+        finishJob(job, std::move(result), /*abandoned=*/true);
+        return;
+    }
 
     if (job->deadline_ != std::chrono::steady_clock::time_point{} &&
         start > job->deadline_) {
@@ -202,25 +243,31 @@ Scheduler::runJob(const std::shared_ptr<Job> &job)
 }
 
 void
-Scheduler::finishJob(const std::shared_ptr<Job> &job, QueryResult result)
+Scheduler::finishJob(const std::shared_ptr<Job> &job, QueryResult result,
+                     bool abandoned)
 {
     auto &registry = MetricRegistry::global();
     {
         std::lock_guard<std::mutex> lock(mutex_);
         --inQueue_;
         ++counters_.completed;
-        switch (result.status) {
-          case QueryResult::Status::Ok:
-            registry.counter("service.requests_ok").add();
-            break;
-          case QueryResult::Status::Timeout:
-            ++counters_.timedOut;
-            registry.counter("service.requests_timed_out").add();
-            break;
-          default:
-            ++counters_.failed;
-            registry.counter("service.requests_failed").add();
-            break;
+        if (abandoned) {
+            ++counters_.abandoned;
+            registry.counter("service.requests_abandoned").add();
+        } else {
+            switch (result.status) {
+              case QueryResult::Status::Ok:
+                registry.counter("service.requests_ok").add();
+                break;
+              case QueryResult::Status::Timeout:
+                ++counters_.timedOut;
+                registry.counter("service.requests_timed_out").add();
+                break;
+              default:
+                ++counters_.failed;
+                registry.counter("service.requests_failed").add();
+                break;
+            }
         }
         auto it = inflight_.find(job->dedupKey_);
         if (it != inflight_.end() && it->second.lock() == job)

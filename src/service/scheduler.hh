@@ -23,6 +23,7 @@
 #ifndef WEBSLICE_SERVICE_SCHEDULER_HH
 #define WEBSLICE_SERVICE_SCHEDULER_HH
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -54,6 +55,12 @@ class Job
     mutable std::condition_variable cv_;
     bool done_ = false;
     QueryResult result_;
+
+    /** Connections still waiting on this job. Starts at one for the
+     *  submitter; each dedup twin adds one; Scheduler::abandon takes
+     *  one away. A job dequeued with no waiters left is cancelled
+     *  instead of computed — its result would be thrown away anyway. */
+    std::atomic<int> waiters_{1};
 
     std::string prefix_;
     SliceQuery query_;
@@ -104,6 +111,24 @@ class Scheduler
      */
     Submitted submit(const std::string &prefix, const SliceQuery &query);
 
+    /**
+     * Declare that a waiter is gone (its connection dropped mid-batch).
+     * A queued job whose every waiter abandoned it is cancelled at
+     * dequeue time — no backward pass runs for a result nobody will
+     * read. Already-running or already-done jobs are unaffected, as are
+     * dedup twins still waited on by another connection.
+     */
+    void abandon(const std::shared_ptr<Job> &job);
+
+    /**
+     * Asynchronously build (or refresh) the session for `prefix` on the
+     * worker pool without slicing anything — the replication path: a
+     * fleet router warms a recording's replica shard so a failover
+     * lands on a hot session. Best-effort: load failures are dropped
+     * (the real query will surface the loader's diagnostic).
+     */
+    void warmSession(const std::string &prefix);
+
     /** Block until every submitted job has completed (graceful drain). */
     void drain();
 
@@ -115,6 +140,7 @@ class Scheduler
         uint64_t deduped = 0;
         uint64_t timedOut = 0;
         uint64_t failed = 0;
+        uint64_t abandoned = 0; ///< Cancelled unrun: all waiters gone.
         uint64_t queueDepthPeak = 0;
     };
 
@@ -122,7 +148,8 @@ class Scheduler
 
   private:
     void runJob(const std::shared_ptr<Job> &job);
-    void finishJob(const std::shared_ptr<Job> &job, QueryResult result);
+    void finishJob(const std::shared_ptr<Job> &job, QueryResult result,
+                   bool abandoned = false);
 
     SessionCache &cache_;
     ThreadPool pool_;

@@ -1,6 +1,7 @@
 #include "service/server.hh"
 
 #include <cerrno>
+#include <csignal>
 #include <cstring>
 #include <thread>
 #include <vector>
@@ -80,6 +81,11 @@ Server::Server(const ServerOptions &options)
 {
     fatal_if(options_.socketPath.empty(),
              "the server requires a unix socket path");
+    // A client hanging up mid-batch turns every further result write
+    // into a SIGPIPE; the default disposition would kill the daemon.
+    // Writes must fail with EPIPE instead, which handleBatch treats as
+    // "abandon this connection's remaining results".
+    std::signal(SIGPIPE, SIG_IGN);
     unixFd_ = bindUnixSocket(options_.socketPath);
     if (options_.tcpPort >= 0)
         tcpFd_ = bindTcpSocket(options_.tcpPort, boundTcpPort_);
@@ -109,8 +115,17 @@ Server::~Server()
 }
 
 void
+Server::abortConnections()
+{
+    std::lock_guard<std::mutex> lock(connMutex_);
+    for (int fd : connFds_)
+        ::shutdown(fd, SHUT_RDWR);
+}
+
+void
 Server::requestShutdown()
 {
+    draining_.store(true);
     if (shuttingDown_.exchange(true))
         return;
     // Wake the poll() in run(); ignore a full pipe, one byte is enough.
@@ -187,11 +202,33 @@ bool
 Server::sendJson(int fd, const Json &body)
 {
     std::string error;
-    if (!writeFrame(fd, body.dump(), error)) {
-        warn("response write failed: ", error);
+    int write_errno = 0;
+    if (!writeFrame(fd, body.dump(), error, kMaxFrameBytes,
+                    &write_errno)) {
+        if (write_errno == EPIPE || write_errno == ECONNRESET) {
+            // The peer hung up; routine for a fleet client failing over
+            // or a Ctrl-C'd CLI. Count it, don't cry about it.
+            MetricRegistry::global()
+                .counter("service.client_disconnects")
+                .add();
+        } else {
+            warn("response write failed: ", error);
+        }
         return false;
     }
     return true;
+}
+
+void
+Server::stampIdentity(Json &body) const
+{
+    if (!options_.shardId.empty()) {
+        body.set("shard", Json::string(options_.shardId));
+        body.set("shard_epoch",
+                 Json::integer(
+                     static_cast<int64_t>(options_.shardEpoch)));
+    }
+    body.set("draining", Json::boolean(draining_.load()));
 }
 
 Json
@@ -201,6 +238,7 @@ Server::statsResponse() const
     j.set("schema", Json::string(kServeSchema));
     j.set("op", Json::string("stats"));
     j.set("status", Json::string("ok"));
+    stampIdentity(j);
 
     const auto cache = cache_.stats();
     Json cache_json = Json::object();
@@ -271,6 +309,8 @@ Server::statsResponse() const
                    Json::integer(static_cast<int64_t>(sched.timedOut)));
     sched_json.set("failed",
                    Json::integer(static_cast<int64_t>(sched.failed)));
+    sched_json.set("abandoned",
+                   Json::integer(static_cast<int64_t>(sched.abandoned)));
     sched_json.set("queue_depth_peak",
                    Json::integer(
                        static_cast<int64_t>(sched.queueDepthPeak)));
@@ -339,17 +379,28 @@ Server::handleBatch(int fd, const Json &request)
     for (size_t i = 0; i < submitted.size(); ++i) {
         QueryResult result = submitted[i].job->wait();
         result.deduped = result.deduped || submitted[i].deduped;
+        result.shard = options_.shardId;
+        result.shardEpoch = options_.shardEpoch;
         switch (result.status) {
           case QueryResult::Status::Ok: ++ok; break;
           case QueryResult::Status::Rejected: ++rejected; break;
           case QueryResult::Status::Timeout: ++timeouts; break;
           default: ++errors; break;
         }
-        if (!sendJson(fd, result.toJson(i)))
-            return; // Peer is gone; jobs already submitted still run.
+        if (!sendJson(fd, result.toJson(i))) {
+            // Peer is gone. Withdraw this connection from every result
+            // it has not consumed yet: still-queued jobs with no other
+            // waiter are cancelled at dequeue instead of computing
+            // slices nobody will read.
+            for (size_t j = i + 1; j < submitted.size(); ++j)
+                scheduler_.abandon(submitted[j].job);
+            return;
+        }
     }
     if (parse_failed) {
         ++errors;
+        bad.shard = options_.shardId;
+        bad.shardEpoch = options_.shardEpoch;
         if (!sendJson(fd, bad.toJson(submitted.size())))
             return;
     }
@@ -358,6 +409,7 @@ Server::handleBatch(int fd, const Json &request)
     done.set("schema", Json::string(kServeSchema));
     done.set("op", Json::string("batch_done"));
     done.set("status", Json::string(parse_failed ? "error" : "ok"));
+    stampIdentity(done);
     done.set("results",
              Json::integer(static_cast<int64_t>(submitted.size())));
     done.set("ok", Json::integer(static_cast<int64_t>(ok)));
@@ -396,25 +448,66 @@ Server::handleConnection(int fd)
             pong.set("schema", Json::string(kServeSchema));
             pong.set("op", Json::string("pong"));
             pong.set("status", Json::string("ok"));
+            stampIdentity(pong);
             if (!sendJson(fd, pong))
                 break;
         } else if (op == "stats") {
             if (!sendJson(fd, statsResponse()))
+                break;
+        } else if (op == "drain") {
+            // Supervisor-initiated handoff: stop taking batches but keep
+            // answering ping/stats so fleet clients see the flag and
+            // fail over while in-flight work finishes.
+            beginDrain();
+            Json ack = Json::object();
+            ack.set("schema", Json::string(kServeSchema));
+            ack.set("op", Json::string("drain_ack"));
+            ack.set("status", Json::string("ok"));
+            stampIdentity(ack);
+            if (!sendJson(fd, ack))
+                break;
+        } else if (op == "warm") {
+            const Json *prefix_json = request.find("prefix");
+            if (!prefix_json || !prefix_json->isString() ||
+                prefix_json->asString().empty()) {
+                sendJson(fd, errorResponse(
+                                 "warm request requires a string "
+                                 "'prefix'"));
+                break;
+            }
+            scheduler_.warmSession(prefix_json->asString());
+            Json ack = Json::object();
+            ack.set("schema", Json::string(kServeSchema));
+            ack.set("op", Json::string("warm_ack"));
+            ack.set("status", Json::string("ok"));
+            stampIdentity(ack);
+            if (!sendJson(fd, ack))
                 break;
         } else if (op == "shutdown") {
             Json ack = Json::object();
             ack.set("schema", Json::string(kServeSchema));
             ack.set("op", Json::string("shutdown"));
             ack.set("status", Json::string("ok"));
+            stampIdentity(ack);
             sendJson(fd, ack);
             requestShutdown();
             break;
         } else if (op == "batch") {
+            if (draining_.load()) {
+                // Refuse instead of queueing: a draining shard's answer
+                // could outlive the shard. The flag in the frame tells a
+                // fleet client this is a failover, not a user error.
+                Json refusal = errorResponse(
+                    "shard is draining; retry against a replica");
+                stampIdentity(refusal);
+                sendJson(fd, refusal);
+                break;
+            }
             handleBatch(fd, request);
         } else {
             sendJson(fd, errorResponse(format(
                              "unknown op '%s' (expected ping, stats, "
-                             "batch, or shutdown)",
+                             "batch, warm, drain, or shutdown)",
                              op.c_str())));
             break;
         }

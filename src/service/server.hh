@@ -52,6 +52,14 @@ struct ServerOptions
      *  through them (see Scheduler::Options::usePlans). Disabling is
      *  the cold-path baseline benchmarks compare against. */
     bool usePlans = true;
+
+    /** Fleet identity stamped on every result and status frame; empty
+     *  outside fleet deployments (the fields are then omitted). */
+    std::string shardId;
+
+    /** Shard generation, bumped by the supervisor on each restart so a
+     *  fleet client can tell a restarted shard from the one it lost. */
+    uint64_t shardEpoch = 1;
 };
 
 class Server
@@ -74,6 +82,25 @@ class Server
     void requestShutdown();
 
     /**
+     * Enter draining mode without stopping: ping/stats answer with
+     * "draining": true and new batch requests are refused with an
+     * error frame, so a fleet client re-routes to a replica while the
+     * supervisor waits for in-flight work to finish. Also flipped by
+     * the "drain" protocol op.
+     */
+    void beginDrain() { draining_.store(true); }
+
+    bool draining() const { return draining_.load(); }
+
+    /**
+     * Fault-injection hook for failover tests: hard-close every live
+     * connection (SHUT_RDWR), as a crashed shard would. The listener
+     * keeps accepting; pair with beginDrain()/requestShutdown() to
+     * simulate a full shard death in-process.
+     */
+    void abortConnections();
+
+    /**
      * File descriptor a signal handler can write one byte to in order
      * to trigger shutdown (the self-pipe trick; write() is
      * async-signal-safe where requestShutdown() is not).
@@ -94,6 +121,9 @@ class Server
 
     Json statsResponse() const;
 
+    /** Add the shard/epoch/draining members status frames carry. */
+    void stampIdentity(Json &body) const;
+
     bool sendJson(int fd, const Json &body);
 
     ServerOptions options_;
@@ -105,6 +135,7 @@ class Server
     int boundTcpPort_ = -1;
     int shutdownPipe_[2] = {-1, -1};
     std::atomic<bool> shuttingDown_{false};
+    std::atomic<bool> draining_{false};
 
     std::mutex connMutex_;
     std::condition_variable connsDone_;

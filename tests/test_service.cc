@@ -11,6 +11,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -195,6 +197,78 @@ TEST(Frames, OversizedAndTruncatedFramesAreErrors)
     close(fds[1]);
     EXPECT_EQ(readFrame(fds[0], payload, error), FrameRead::Error);
     close(fds[0]);
+}
+
+TEST(Frames, WriteSideValidationMirrorsTheReadSide)
+{
+    // A conforming writer must never produce a frame a conforming
+    // reader rejects: the refusal boundaries have to be identical on
+    // both sides. Exercised with a tiny cap so the boundary is cheap.
+    constexpr uint32_t kCap = 16;
+    int fds[2];
+    ASSERT_EQ(pipe(fds), 0);
+    std::string error, payload;
+
+    // Empty payloads are refused before any byte hits the wire (the
+    // reader treats a zero length as a protocol violation).
+    EXPECT_FALSE(writeFrame(fds[1], "", error, kCap));
+    EXPECT_NE(error.find("minimum 1"), std::string::npos);
+
+    // Exactly at the cap: accepted by both sides.
+    const std::string at_cap(kCap, 'x');
+    ASSERT_TRUE(writeFrame(fds[1], at_cap, error, kCap)) << error;
+    ASSERT_EQ(readFrame(fds[0], payload, error, kCap), FrameRead::Ok)
+        << error;
+    EXPECT_EQ(payload, at_cap);
+
+    // One past the cap: the writer refuses...
+    const std::string over_cap(kCap + 1, 'x');
+    EXPECT_FALSE(writeFrame(fds[1], over_cap, error, kCap));
+    EXPECT_NE(error.find("limit"), std::string::npos);
+
+    // ...and had it been written (by a writer with a larger cap), the
+    // reader with the small cap rejects it at the same boundary.
+    ASSERT_TRUE(writeFrame(fds[1], over_cap, error, kCap + 1)) << error;
+    EXPECT_EQ(readFrame(fds[0], payload, error, kCap),
+              FrameRead::Error);
+    close(fds[0]);
+    close(fds[1]);
+
+    // A raw zero length prefix is rejected by the reader outright.
+    ASSERT_EQ(pipe(fds), 0);
+    const uint32_t zero = 0;
+    ASSERT_EQ(write(fds[1], &zero, 4), 4);
+    EXPECT_EQ(readFrame(fds[0], payload, error), FrameRead::Error);
+    EXPECT_NE(error.find("frame"), std::string::npos);
+    close(fds[0]);
+    close(fds[1]);
+}
+
+TEST(Frames, WriteToAClosedPeerReportsErrnoNotValidation)
+{
+    // The server tells a vanished client (EPIPE) from a malformed
+    // frame via errno_out: 0 for validation refusals, the write errno
+    // otherwise.
+    std::signal(SIGPIPE, SIG_IGN);
+    int fds[2];
+    ASSERT_EQ(pipe(fds), 0);
+    close(fds[0]); // Reader gone; the next write raises EPIPE.
+
+    std::string error;
+    int write_errno = -1;
+    EXPECT_FALSE(writeFrame(fds[1], "{}", error, kMaxFrameBytes,
+                            &write_errno));
+    EXPECT_EQ(write_errno, EPIPE);
+    close(fds[1]);
+
+    // Validation refusals never touch the wire: errno_out stays 0.
+    ASSERT_EQ(pipe(fds), 0);
+    write_errno = -1;
+    EXPECT_FALSE(writeFrame(fds[1], "", error, kMaxFrameBytes,
+                            &write_errno));
+    EXPECT_EQ(write_errno, 0);
+    close(fds[0]);
+    close(fds[1]);
 }
 
 // ---- query wire format ---------------------------------------------------
@@ -872,6 +946,178 @@ TEST(Server, MalformedBatchQueryFailsInBandAndStopsTheBatch)
     EXPECT_EQ(frames[2].find("op")->asString(), "batch_done");
     EXPECT_EQ(frames[2].find("status")->asString(), "error");
     EXPECT_EQ(server.scheduler().stats().submitted, 1u);
+
+    server.requestShutdown();
+    serving.join();
+}
+
+TEST(Server, ClientDisconnectMidBatchAbandonsQueuedJobs)
+{
+    const SavedProgram program("e2e_gone", /*salt=*/11);
+
+    ServerOptions options;
+    options.socketPath = tempPath("e2e_gone.sock");
+    options.workers = 1; // Serialize jobs so the tail stays queued.
+    Server server(options);
+    std::thread serving([&] { server.run(); });
+
+    const uint64_t disconnects_before =
+        MetricRegistry::global()
+            .counter("service.client_disconnects")
+            .value();
+
+    // Five queries on one worker: the first is quick, the rest hold
+    // the worker long enough for the disconnect to land while they
+    // are queued. Distinct windows keep them from deduping.
+    const int fd = connectUnixRaw(options.socketPath);
+    ASSERT_GE(fd, 0);
+    Json request = Json::object();
+    request.set("op", Json::string("batch"));
+    request.set("prefix", Json::string(program.prefix));
+    Json queries = Json::array();
+    for (int i = 0; i < 5; ++i) {
+        SliceQuery query;
+        query.endIndex = 60 - static_cast<uint64_t>(i);
+        query.debugSleepMs = i == 0 ? 0 : 400;
+        queries.push(query.toJson());
+    }
+    request.set("queries", std::move(queries));
+    std::string error;
+    ASSERT_TRUE(writeFrame(fd, request.dump(), error)) << error;
+
+    // Consume the first result, then vanish mid-batch.
+    std::string payload;
+    ASSERT_EQ(readFrame(fd, payload, error), FrameRead::Ok) << error;
+    close(fd);
+
+    // The dropped connection must cancel the still-queued tail: the
+    // running job finishes, but jobs dequeued with no waiters left are
+    // abandoned without running their backward pass. Poll rather than
+    // drain: Scheduler::drain() lends this thread to the pool, which
+    // would run the queued tail before the handler can withdraw it.
+    // The handler notices the hangup when the in-flight job's result
+    // fails to send; the next dequeue races that, so at most one of
+    // the four queued jobs can slip through and run.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (server.scheduler().stats().completed < 5 &&
+           std::chrono::steady_clock::now() < deadline)
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    const auto stats = server.scheduler().stats();
+    EXPECT_EQ(stats.submitted, 5u);
+    EXPECT_EQ(stats.completed, 5u);
+    EXPECT_GE(stats.abandoned, 2u);
+    EXPECT_EQ(stats.failed, 0u); // Abandons are not failures.
+    EXPECT_GE(MetricRegistry::global()
+                  .counter("service.client_disconnects")
+                  .value(),
+              disconnects_before + 1);
+
+    server.requestShutdown();
+    serving.join();
+}
+
+TEST(Server, DrainRefusesBatchesButKeepsAnsweringPings)
+{
+    const SavedProgram program("e2e_drain", /*salt=*/12);
+
+    ServerOptions options;
+    options.socketPath = tempPath("e2e_drain.sock");
+    options.shardId = "shard-a";
+    options.shardEpoch = 7;
+    Server server(options);
+    std::thread serving([&] { server.run(); });
+
+    ServiceClient client;
+    std::string error;
+    ASSERT_TRUE(client.connectUnix(options.socketPath, error)) << error;
+
+    // Before the drain: batches work and results carry the shard
+    // identity a fleet client attributes failovers with.
+    ServiceClient::BatchOutcome outcome;
+    ASSERT_TRUE(client.batch(program.prefix, {SliceQuery()}, outcome,
+                             error))
+        << error;
+    ASSERT_EQ(outcome.ok, 1u);
+    EXPECT_EQ(outcome.results[0].shard, "shard-a");
+    EXPECT_EQ(outcome.results[0].shardEpoch, 7u);
+
+    // Ping reports draining:false with the shard identity.
+    Json ping = Json::object();
+    ping.set("op", Json::string("ping"));
+    Json pong;
+    ASSERT_TRUE(client.call(ping, pong, error)) << error;
+    EXPECT_EQ(pong.find("shard")->asString(), "shard-a");
+    EXPECT_EQ(pong.find("shard_epoch")->asInt(), 7);
+    EXPECT_FALSE(pong.find("draining")->asBool());
+
+    // The drain op acks and flips the flag...
+    Json drain = Json::object();
+    drain.set("op", Json::string("drain"));
+    Json ack;
+    ASSERT_TRUE(client.call(drain, ack, error)) << error;
+    EXPECT_EQ(ack.find("op")->asString(), "drain_ack");
+    EXPECT_TRUE(ack.find("draining")->asBool());
+    EXPECT_TRUE(server.draining());
+
+    // ...pings still answer (flagged, so health checks see the state)...
+    ASSERT_TRUE(client.call(ping, pong, error)) << error;
+    EXPECT_TRUE(pong.find("draining")->asBool());
+
+    // ...but new batches are refused with an error frame naming the
+    // drain, and the frame carries "draining": true so a fleet client
+    // treats it as a failover rather than a user error.
+    ServiceClient refused;
+    ASSERT_TRUE(refused.connectUnix(options.socketPath, error)) << error;
+    ServiceClient::BatchOutcome ignored;
+    EXPECT_FALSE(refused.batch(program.prefix, {SliceQuery()}, ignored,
+                               error));
+    EXPECT_NE(error.find("draining"), std::string::npos);
+
+    server.requestShutdown();
+    serving.join();
+}
+
+TEST(Server, WarmOpBuildsTheSessionWithoutSlicing)
+{
+    const SavedProgram program("e2e_warm", /*salt=*/13);
+
+    ServerOptions options;
+    options.socketPath = tempPath("e2e_warm.sock");
+    Server server(options);
+    std::thread serving([&] { server.run(); });
+
+    ServiceClient client;
+    std::string error;
+    ASSERT_TRUE(client.connectUnix(options.socketPath, error)) << error;
+
+    Json warm = Json::object();
+    warm.set("op", Json::string("warm"));
+    warm.set("prefix", Json::string(program.prefix));
+    Json ack;
+    ASSERT_TRUE(client.call(warm, ack, error)) << error;
+    EXPECT_EQ(ack.find("op")->asString(), "warm_ack");
+
+    // The build is asynchronous; drain the worker pool, then the first
+    // real query must hit the replicated session.
+    server.scheduler().drain();
+    EXPECT_EQ(server.cache().stats().built, 1u);
+
+    ServiceClient::BatchOutcome outcome;
+    ASSERT_TRUE(client.batch(program.prefix, {SliceQuery()}, outcome,
+                             error))
+        << error;
+    ASSERT_EQ(outcome.ok, 1u);
+    EXPECT_TRUE(outcome.results[0].cacheHit);
+
+    // A warm op without a prefix is a request error, not a crash.
+    ServiceClient bad;
+    ASSERT_TRUE(bad.connectUnix(options.socketPath, error)) << error;
+    Json no_prefix = Json::object();
+    no_prefix.set("op", Json::string("warm"));
+    Json answer;
+    ASSERT_TRUE(bad.call(no_prefix, answer, error)) << error;
+    EXPECT_EQ(answer.find("status")->asString(), "error");
 
     server.requestShutdown();
     serving.join();

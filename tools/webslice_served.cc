@@ -43,6 +43,7 @@ constexpr char kUsage[] =
     "usage: %s --socket PATH [--tcp PORT] [--workers N] [--queue N]\n"
     "       [--cache-bytes N] [--forward-jobs N] [--no-plan-cache]\n"
     "       [--preload PREFIX] [--metrics-json FILE]\n"
+    "       [--shard-id NAME] [--shard-epoch N]\n"
     "\n"
     "  --socket PATH         Unix-domain listening socket (required)\n"
     "  --tcp PORT            also listen on 127.0.0.1:PORT (0 = pick an\n"
@@ -58,7 +59,11 @@ constexpr char kUsage[] =
     "                        backward pass; benchmarking baseline)\n"
     "  --preload PREFIX      build this recording's session before\n"
     "                        accepting connections (repeatable)\n"
-    "  --metrics-json FILE   write the run report at exit ('-' = stdout)\n";
+    "  --metrics-json FILE   write the run report at exit ('-' = stdout)\n"
+    "  --shard-id NAME       fleet identity stamped on every result and\n"
+    "                        status frame (default: none, fields omitted)\n"
+    "  --shard-epoch N       shard generation, bumped by the supervisor\n"
+    "                        on each restart (default 1)\n";
 
 uint64_t
 parseCount(const char *flag, const char *text, uint64_t max_value)
@@ -124,6 +129,12 @@ main(int argc, char **argv)
             preload.push_back(need_value("--preload"));
         } else if (!std::strcmp(argv[a], "--metrics-json")) {
             metrics_json = need_value("--metrics-json");
+        } else if (!std::strcmp(argv[a], "--shard-id")) {
+            options.shardId = need_value("--shard-id");
+        } else if (!std::strcmp(argv[a], "--shard-epoch")) {
+            options.shardEpoch = parseCount(
+                "--shard-epoch", need_value("--shard-epoch"),
+                UINT64_MAX);
         } else {
             std::fprintf(stderr, "%s: unknown flag '%s'\n", argv[0],
                          argv[a]);
