@@ -1,6 +1,7 @@
 #include "analysis/categorize.hh"
 
 #include <algorithm>
+#include <unordered_map>
 
 #include "support/logging.hh"
 #include "support/strings.hh"
@@ -135,6 +136,70 @@ categorizeUnnecessary(std::span<const trace::Record> records,
 
     for (size_t i = 0; i < counts.size(); ++i)
         out.counts[category_names[i]] = counts[i];
+    return out;
+}
+
+ContrastBreakdown
+contrastSlices(std::span<const trace::Record> records,
+               std::span<const uint8_t> in_slice,
+               const staticdep::StaticSliceResult &static_slice,
+               const graph::CfgSet &cfgs, const trace::SymbolTable &symtab,
+               const Categorizer &categorizer, size_t end_index)
+{
+    panic_if(records.size() != in_slice.size(),
+             "records and slice verdicts must be parallel arrays");
+
+    ContrastBreakdown out;
+    std::unordered_map<trace::FuncId, std::string> category_of;
+    auto categoryFor = [&](trace::FuncId func) -> const std::string & {
+        auto [it, fresh] = category_of.try_emplace(func);
+        if (fresh)
+            it->second =
+                categorizer.categoryOf(cfgs.functionName(func, symtab));
+        return it->second;
+    };
+
+    const size_t end = std::min(end_index, records.size());
+    for (size_t i = 0; i < end; ++i) {
+        const trace::Record &rec = records[i];
+        if (rec.isPseudo())
+            continue;
+        ++out.analyzed;
+        const trace::FuncId func = cfgs.funcOf[i];
+        const uint8_t reason = static_slice.reasonOf(func, rec.pc);
+
+        if (in_slice[i]) {
+            ++out.necessary;
+            if (reason == 0)
+                ++out.containmentViolations;
+            else if (reason & staticdep::kReachControl)
+                ++out.necessaryViaControl;
+            else
+                ++out.necessaryDataOnly;
+            continue;
+        }
+
+        if (reason != 0) {
+            // In the static slice but not the dynamic one: a dependence
+            // path exists in the program, but this run never exercised
+            // it — only a dynamic analysis can call this unnecessary.
+            ++out.dynamicOnly;
+            if (reason & staticdep::kReachControl)
+                ++out.dynamicOnlyViaControl;
+            else
+                ++out.dynamicOnlyDataOnly;
+            ++out.categories[categoryFor(func)].dynamicOnly;
+        } else {
+            // Outside even the static over-approximation: removable
+            // without running the page.
+            ++out.staticallyRemovable;
+            if (rec.isControl())
+                ++out.removableControlKind;
+            else
+                ++out.removableDataKind;
+            ++out.categories[categoryFor(func)].removable;
+        }
+    }
     return out;
 }
 

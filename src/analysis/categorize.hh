@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "graph/cfg.hh"
+#include "staticdep/slice.hh"
 #include "trace/record.hh"
 #include "trace/symtab.hh"
 
@@ -97,6 +98,74 @@ categorizeUnnecessary(std::span<const trace::Record> records,
                       const trace::SymbolTable &symtab,
                       const Categorizer &categorizer,
                       size_t end_index = SIZE_MAX);
+
+/**
+ * The Figure-5-style static-vs-dynamic contrast: every executed
+ * instruction lands in one of three bins —
+ *
+ *  - necessary (in the dynamic slice), sub-split by how the static PDG
+ *    reached its site: through data edges only, or needing at least one
+ *    control edge;
+ *  - dynamically-only unnecessary (in the static slice but not the
+ *    dynamic one — dependences that could have mattered but did not on
+ *    this run), sub-split the same way;
+ *  - statically removable (outside even the static over-approximation —
+ *    work no sound whole-input analysis could tie to the criteria),
+ *    sub-split by instruction character: control transfers vs data
+ *    computation.
+ *
+ * Necessary instructions whose site is missing from the static slice are
+ * containment violations (see check/containment.hh) and are counted
+ * separately rather than binned.
+ */
+struct ContrastBreakdown
+{
+    uint64_t analyzed = 0;
+
+    uint64_t necessary = 0;
+    uint64_t necessaryDataOnly = 0;
+    uint64_t necessaryViaControl = 0;
+
+    uint64_t dynamicOnly = 0;
+    uint64_t dynamicOnlyDataOnly = 0;
+    uint64_t dynamicOnlyViaControl = 0;
+
+    uint64_t staticallyRemovable = 0;
+    uint64_t removableDataKind = 0;
+    uint64_t removableControlKind = 0;
+
+    uint64_t containmentViolations = 0;
+
+    /** Per-category split of the unnecessary bins (the key "" collects
+     *  instructions whose function had no mapped namespace). */
+    struct CategorySplit
+    {
+        uint64_t removable = 0;
+        uint64_t dynamicOnly = 0;
+    };
+    std::map<std::string, CategorySplit> categories;
+
+    double
+    percentOfAnalyzed(uint64_t n) const
+    {
+        if (analyzed == 0)
+            return 0.0;
+        return 100.0 * static_cast<double>(n) /
+               static_cast<double>(analyzed);
+    }
+};
+
+/**
+ * Bin every executed instruction in the window against both slices.
+ * `static_slice` must have been computed with the same criteria mode and
+ * ablation knobs as the dynamic one for the bins to be meaningful.
+ */
+ContrastBreakdown
+contrastSlices(std::span<const trace::Record> records,
+               std::span<const uint8_t> in_slice,
+               const staticdep::StaticSliceResult &static_slice,
+               const graph::CfgSet &cfgs, const trace::SymbolTable &symtab,
+               const Categorizer &categorizer, size_t end_index = SIZE_MAX);
 
 } // namespace analysis
 } // namespace webslice

@@ -9,6 +9,52 @@ namespace webslice {
 namespace analysis {
 
 void
+renderContrast(std::ostream &os, const ContrastBreakdown &contrast)
+{
+    os << format("static vs dynamic slicing (%s instructions):\n",
+                 withCommas(contrast.analyzed).c_str());
+    os << format(
+        "  necessary (dynamic slice)     %12s  %5.1f%%  "
+        "(data-only %s, via-control %s)\n",
+        withCommas(contrast.necessary).c_str(),
+        contrast.percentOfAnalyzed(contrast.necessary),
+        withCommas(contrast.necessaryDataOnly).c_str(),
+        withCommas(contrast.necessaryViaControl).c_str());
+    os << format(
+        "  dynamically-only unnecessary  %12s  %5.1f%%  "
+        "(data-only %s, via-control %s)\n",
+        withCommas(contrast.dynamicOnly).c_str(),
+        contrast.percentOfAnalyzed(contrast.dynamicOnly),
+        withCommas(contrast.dynamicOnlyDataOnly).c_str(),
+        withCommas(contrast.dynamicOnlyViaControl).c_str());
+    os << format(
+        "  statically removable          %12s  %5.1f%%  "
+        "(data %s, control transfers %s)\n",
+        withCommas(contrast.staticallyRemovable).c_str(),
+        contrast.percentOfAnalyzed(contrast.staticallyRemovable),
+        withCommas(contrast.removableDataKind).c_str(),
+        withCommas(contrast.removableControlKind).c_str());
+    if (contrast.containmentViolations != 0)
+        os << format("  CONTAINMENT VIOLATIONS        %12s\n",
+                     withCommas(contrast.containmentViolations).c_str());
+
+    bool header = false;
+    for (const auto &[category, split] : contrast.categories) {
+        if (category.empty())
+            continue;
+        if (split.removable + split.dynamicOnly == 0)
+            continue;
+        if (!header) {
+            os << "  per category (removable / dynamic-only):\n";
+            header = true;
+        }
+        os << format("    %-16s %12s / %s\n", category.c_str(),
+                     withCommas(split.removable).c_str(),
+                     withCommas(split.dynamicOnly).c_str());
+    }
+}
+
+void
 renderReport(std::ostream &os, std::span<const trace::Record> records,
              const slicer::SliceResult &slice, const graph::CfgSet &cfgs,
              const trace::SymbolTable &symtab,
@@ -51,6 +97,15 @@ renderReport(std::ostream &os, std::span<const trace::Record> records,
         const double share = dist.sharePercent(category);
         if (share >= 0.05)
             os << format("  %-16s %5.1f%%\n", category.c_str(), share);
+    }
+
+    // ---- static-vs-dynamic contrast ---------------------------------------------
+    if (options.staticSlice) {
+        const auto contrast =
+            contrastSlices(records, slice.inSlice, *options.staticSlice,
+                           cfgs, symtab, categorizer, window);
+        os << '\n';
+        renderContrast(os, contrast);
     }
 
     // ---- hottest functions ------------------------------------------------------

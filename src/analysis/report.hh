@@ -37,7 +37,21 @@ struct ReportOptions
 
     /** Namespace table for the categorization section. */
     const Categorizer *categorizer = nullptr; ///< nullptr = default
+
+    /**
+     * When set, append the static-vs-dynamic contrast section (the
+     * Figure-5-style removable/dynamically-only breakdown with
+     * data/control sub-counts). Must come from the same trace window,
+     * criteria mode, and ablation knobs as `slice`.
+     */
+    const staticdep::StaticSliceResult *staticSlice = nullptr;
 };
+
+/**
+ * Render just the static-vs-dynamic contrast section (shared between
+ * renderReport, webslice-profile --static-compare, and webslice-static).
+ */
+void renderContrast(std::ostream &os, const ContrastBreakdown &contrast);
 
 /**
  * Render the full analysis of one sliced trace to `os`: headline slice

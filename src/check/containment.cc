@@ -1,0 +1,234 @@
+#include "check/containment.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/metrics.hh"
+#include "support/stopwatch.hh"
+#include "support/strings.hh"
+
+namespace webslice {
+namespace check {
+
+using trace::Record;
+using trace::RecordKind;
+using trace::RegId;
+
+namespace {
+
+const char *
+kindName(RecordKind kind)
+{
+    switch (kind) {
+    case RecordKind::Alu:
+        return "alu";
+    case RecordKind::LoadImm:
+        return "loadimm";
+    case RecordKind::Load:
+        return "load";
+    case RecordKind::Store:
+        return "store";
+    case RecordKind::Branch:
+        return "branch";
+    case RecordKind::Jump:
+        return "jump";
+    case RecordKind::Call:
+        return "call";
+    case RecordKind::Ret:
+        return "ret";
+    case RecordKind::Syscall:
+        return "syscall";
+    case RecordKind::SyscallRead:
+        return "syscall-read";
+    case RecordKind::SyscallWrite:
+        return "syscall-write";
+    case RecordKind::Marker:
+        return "marker";
+    }
+    return "?";
+}
+
+/** Does this record read register `reg` when it joins the slice? */
+bool
+usesReg(const Record &rec, RegId reg)
+{
+    switch (rec.kind) {
+    case RecordKind::Alu:
+    case RecordKind::LoadImm:
+        return rec.rr0 == reg || rec.rr1 == reg || rec.rr2 == reg;
+    case RecordKind::Load:
+    case RecordKind::Branch:
+    case RecordKind::Call:
+        return rec.rr0 == reg;
+    case RecordKind::Store:
+        return rec.rr0 == reg || rec.rr1 == reg;
+    default:
+        return false;
+    }
+}
+
+/** Register this record overwrites, if any. */
+RegId
+defReg(const Record &rec)
+{
+    switch (rec.kind) {
+    case RecordKind::Alu:
+    case RecordKind::LoadImm:
+    case RecordKind::Load:
+    case RecordKind::Syscall:
+        return rec.rw;
+    default:
+        return trace::kNoReg;
+    }
+}
+
+bool
+overlaps(uint64_t a, uint64_t a_size, uint64_t b, uint64_t b_size)
+{
+    return a < b + b_size && b < a + a_size;
+}
+
+struct Hop
+{
+    size_t index = 0;
+    const char *via = ""; ///< "reg" or "mem".
+};
+
+/**
+ * Find the next dynamic consumer of record `i`'s product: the first
+ * later in-slice record on the chain (same-thread register reader
+ * before any redefinition, or any-thread overlapping memory reader).
+ */
+bool
+nextConsumer(std::span<const Record> records, size_t window_end,
+             const std::vector<uint8_t> &in_slice, size_t i, size_t limit,
+             Hop &hop)
+{
+    const Record &rec = records[i];
+    const RegId product = defReg(rec);
+    const bool writes_mem = rec.kind == RecordKind::Store;
+    if (product == trace::kNoReg && !writes_mem)
+        return false;
+
+    const size_t end = std::min(window_end, i + 1 + limit);
+    bool reg_alive = product != trace::kNoReg;
+    for (size_t j = i + 1; j < end; ++j) {
+        const Record &next = records[j];
+        if (next.isPseudo()) {
+            // A syscall read of stored bytes consumes through the
+            // owning Syscall record, which immediately precedes its
+            // pseudo group.
+            if (writes_mem && next.kind == RecordKind::SyscallRead &&
+                overlaps(rec.addr, rec.aux, next.addr, next.aux)) {
+                for (size_t k = j; k-- > i;) {
+                    if (records[k].kind == RecordKind::Syscall &&
+                        records[k].tid == next.tid && in_slice[k]) {
+                        hop = {k, "mem"};
+                        return true;
+                    }
+                }
+            }
+            continue;
+        }
+        if (reg_alive && next.tid == rec.tid) {
+            if (usesReg(next, product) && in_slice[j]) {
+                hop = {j, "reg"};
+                return true;
+            }
+            if (defReg(next) == product)
+                reg_alive = false;
+        }
+        if (writes_mem && next.kind == RecordKind::Load && in_slice[j] &&
+            overlaps(rec.addr, rec.aux, next.addr, next.aux)) {
+            hop = {j, "mem"};
+            return true;
+        }
+        if (!reg_alive && !writes_mem)
+            break;
+    }
+    return false;
+}
+
+} // namespace
+
+ContainmentResult
+checkContainment(std::span<const Record> records, const graph::CfgSet &cfgs,
+                 const trace::SymbolTable &symtab,
+                 const slicer::SliceResult &dynamic_slice,
+                 const staticdep::StaticSliceResult &static_slice,
+                 const ContainmentOptions &options)
+{
+    ScopedPhase phase("check-containment");
+    ContainmentResult result;
+    result.findings.cap = options.maxFindings;
+
+    const size_t window =
+        std::min(static_cast<size_t>(dynamic_slice.analyzedWindowEnd),
+                 records.size());
+
+    for (size_t i = 0; i < window; ++i) {
+        const Record &rec = records[i];
+        if (rec.isPseudo())
+            continue;
+        ++result.instructionsChecked;
+        if (!dynamic_slice.inSlice[i])
+            continue;
+        ++result.inSliceChecked;
+
+        const trace::FuncId func = cfgs.funcOf[i];
+        if (static_slice.contains(func, rec.pc))
+            continue;
+        ++result.violations;
+
+        if (result.findings.messages.size() >= options.maxFindings) {
+            result.findings.add(""); // count it, message dropped by cap
+            continue;
+        }
+
+        // Reconstruct the dynamic dependence chain the static analysis
+        // failed to cover: follow the record's product forward until a
+        // record whose site is statically included (or the chain dries
+        // up).
+        std::ostringstream chain;
+        chain << "pc" << rec.pc << "(" << kindName(rec.kind) << ")@"
+              << cfgs.functionName(func, symtab);
+        size_t at = i;
+        bool reached_static = false;
+        for (size_t hops = 0; hops < options.chainMaxHops; ++hops) {
+            Hop hop;
+            if (!nextConsumer(records, window, dynamic_slice.inSlice, at,
+                              options.chainScanLimit, hop))
+                break;
+            const Record &next = records[hop.index];
+            const trace::FuncId next_func = cfgs.funcOf[hop.index];
+            chain << " -" << hop.via << "-> pc" << next.pc << "("
+                  << kindName(next.kind) << ")@"
+                  << cfgs.functionName(next_func, symtab);
+            if (static_slice.contains(next_func, next.pc)) {
+                reached_static = true;
+                break;
+            }
+            at = hop.index;
+        }
+        chain << (reached_static ? " [in static slice]"
+                                 : " [chain exhausted]");
+
+        result.findings.add(format(
+            "containment: dynamic-slice record %zu pc=%u (%s) in %s "
+            "missing from static slice; edge chain: %s",
+            i, rec.pc, kindName(rec.kind),
+            cfgs.functionName(func, symtab).c_str(),
+            chain.str().c_str()));
+    }
+
+    MetricRegistry::global()
+        .counter("check.containment_instructions")
+        .add(result.instructionsChecked);
+    MetricRegistry::global()
+        .counter("check.containment_violations")
+        .add(result.violations);
+    return result;
+}
+
+} // namespace check
+} // namespace webslice

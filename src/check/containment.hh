@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The containment invariant: dynamic slice ⊆ static slice.
+ *
+ * The static slice (staticdep/slice.hh) is a sound over-approximation of
+ * the dynamic one computed from the same trace window, so every executed
+ * instruction the dynamic slicer marked necessary must map to a site
+ * inside the static slice. A violation means one of the analyses is
+ * wrong — the static side dropped a dependence edge, or the dynamic side
+ * included an instruction through a path the static model does not
+ * capture — which makes this a soundness oracle for both.
+ *
+ * For each reported violation the checker reconstructs a short dynamic
+ * edge chain forward from the offending record (who consumed the value
+ * it produced, and so on until a record whose site *is* in the static
+ * slice), so the report names not just the pc but the dependence path
+ * the static analysis failed to cover.
+ */
+
+#ifndef WEBSLICE_CHECK_CONTAINMENT_HH
+#define WEBSLICE_CHECK_CONTAINMENT_HH
+
+#include <cstdint>
+#include <span>
+
+#include "check/findings.hh"
+#include "graph/cfg.hh"
+#include "slicer/slicer.hh"
+#include "staticdep/slice.hh"
+#include "trace/record.hh"
+#include "trace/symtab.hh"
+
+namespace webslice {
+namespace check {
+
+struct ContainmentOptions
+{
+    /** Keep at most this many violation messages. */
+    size_t maxFindings = 8;
+
+    /** Forward-scan bound per chain hop when reconstructing the
+     *  dynamic edge chain of a violation. */
+    size_t chainScanLimit = size_t{1} << 20;
+
+    /** Maximum hops reported per chain. */
+    size_t chainMaxHops = 8;
+};
+
+struct ContainmentResult
+{
+    Findings findings;
+
+    /** Executed (non-pseudo) records inside the window. */
+    uint64_t instructionsChecked = 0;
+
+    /** Dynamic-slice members among them. */
+    uint64_t inSliceChecked = 0;
+
+    /** Dynamic-slice members missing from the static slice. */
+    uint64_t violations = 0;
+
+    bool ok() const { return findings.ok(); }
+};
+
+/**
+ * Assert the containment invariant over one analyzed window.
+ *
+ * @param records       the trace both slices were computed from
+ * @param cfgs          forward-pass attribution (funcOf per record)
+ * @param symtab        names for the report
+ * @param dynamic_slice the dynamic slicer's verdicts
+ * @param static_slice  the static walk's site set (same criteria mode
+ *                      and ablation knobs as the dynamic run)
+ */
+ContainmentResult
+checkContainment(std::span<const trace::Record> records,
+                 const graph::CfgSet &cfgs,
+                 const trace::SymbolTable &symtab,
+                 const slicer::SliceResult &dynamic_slice,
+                 const staticdep::StaticSliceResult &static_slice,
+                 const ContainmentOptions &options = {});
+
+} // namespace check
+} // namespace webslice
+
+#endif // WEBSLICE_CHECK_CONTAINMENT_HH

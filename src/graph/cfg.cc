@@ -60,6 +60,36 @@ CfgSet::functionName(FuncId id, const trace::SymbolTable &symtab) const
     return format("<unknown:%u>", id);
 }
 
+Pc
+CfgSet::entryPcOf(FuncId id) const
+{
+    auto it = byFunc.find(id);
+    if (it == byFunc.end())
+        return trace::kNoPc;
+    const Cfg &cfg = it->second;
+    // Node 2 is the first real pc the function ever executed (nodes 0/1
+    // are the virtual entry/exit); for symbol-registered functions that
+    // is the function's entry pc, for synthetics it is the first glue pc.
+    return cfg.nodePc.size() > 2 ? cfg.nodePc[2] : trace::kNoPc;
+}
+
+std::vector<FuncId>
+CfgSet::functionsByEntryPc() const
+{
+    std::vector<FuncId> order;
+    order.reserve(byFunc.size());
+    for (const auto &[id, cfg] : byFunc)
+        order.push_back(id);
+    std::sort(order.begin(), order.end(), [this](FuncId a, FuncId b) {
+        const Pc pa = entryPcOf(a);
+        const Pc pb = entryPcOf(b);
+        if (pa != pb)
+            return pa < pb;
+        return a < b;
+    });
+    return order;
+}
+
 // ---- CfgBuilder -------------------------------------------------------------
 
 CfgBuilder::CfgBuilder(const trace::SymbolTable &symtab)

@@ -106,6 +106,19 @@ struct CfgSet
     /** Readable name for any function id this set knows about. */
     std::string functionName(trace::FuncId id,
                              const trace::SymbolTable &symtab) const;
+
+    /**
+     * Function ids in a stable order: sorted by the function's entry pc
+     * (the first real pc its CFG observed; synthetic toplevels sort by
+     * their first executed pc), ties broken by id. byFunc is an
+     * unordered_map, so any pass whose output depends on function
+     * iteration order (the static fixpoints, --dump-pdg) must walk this
+     * instead to be deterministic across runs and library versions.
+     */
+    std::vector<trace::FuncId> functionsByEntryPc() const;
+
+    /** Entry pc used by functionsByEntryPc() for one function. */
+    trace::Pc entryPcOf(trace::FuncId id) const;
 };
 
 /**

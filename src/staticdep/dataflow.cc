@@ -1,0 +1,422 @@
+#include "staticdep/dataflow.hh"
+
+#include <algorithm>
+#include <deque>
+
+#include "support/logging.hh"
+#include "support/metrics.hh"
+
+namespace webslice {
+namespace staticdep {
+
+using graph::Cfg;
+using graph::NodeId;
+using trace::FuncId;
+using trace::RegId;
+
+namespace {
+
+void
+mergeSorted(std::vector<RegId> &into, const std::vector<RegId> &from)
+{
+    if (from.empty())
+        return;
+    std::vector<RegId> merged;
+    merged.reserve(into.size() + from.size());
+    std::set_union(into.begin(), into.end(), from.begin(), from.end(),
+                   std::back_inserter(merged));
+    into.swap(merged);
+}
+
+std::vector<RegId>
+sortedUnique(std::vector<RegId> regs)
+{
+    std::sort(regs.begin(), regs.end());
+    regs.erase(std::unique(regs.begin(), regs.end()), regs.end());
+    return regs;
+}
+
+/** Dense local register numbering for one function's liveness pass. */
+struct RegIndex
+{
+    std::unordered_map<RegId, uint32_t> toBit;
+    std::vector<RegId> toReg;
+
+    uint32_t
+    bitFor(RegId reg)
+    {
+        auto [it, fresh] = toBit.emplace(reg, toReg.size());
+        if (fresh)
+            toReg.push_back(reg);
+        return it->second;
+    }
+};
+
+struct BitRow
+{
+    static size_t
+    words(size_t bits)
+    {
+        return (bits + 63) / 64;
+    }
+};
+
+/**
+ * Backward liveness over one function's CFG. Returns the registers live
+ * at the virtual entry (the function's liveIn summary). Sets `widened`
+ * when a callee's summary is widened (the local universe would be every
+ * register).
+ */
+std::vector<RegId>
+funcLiveIn(const StaticModel &model, const Summaries &summaries, FuncId func,
+           bool &widened, int &iterations)
+{
+    const FuncModel &fm = model.funcModel(func);
+    const Cfg &cfg = *fm.cfg;
+    const size_t n = cfg.nodeCount();
+
+    // Local universe: every register mentioned by an instruction plus
+    // every callee's current liveIn.
+    RegIndex regs;
+    for (size_t node = 0; node < n; ++node) {
+        const StaticInstr &instr = fm.instrs[node];
+        for (const RegId r : instr.uses)
+            regs.bitFor(r);
+        for (const RegId r : instr.defs)
+            regs.bitFor(r);
+        for (const FuncId callee : fm.callees[node]) {
+            const RegSummary &cs = summaries.of(callee);
+            if (cs.widened) {
+                widened = true;
+                return {};
+            }
+            for (const RegId r : cs.liveIn)
+                regs.bitFor(r);
+        }
+    }
+    const size_t bits = regs.toReg.size();
+    if (bits == 0)
+        return {};
+    const size_t words = BitRow::words(bits);
+
+    // gen/kill per node. Calls gen the callee's liveIn and kill nothing
+    // (the callee may not write); only uniform single-register definers
+    // kill (StaticInstr::strongDef).
+    std::vector<std::vector<uint32_t>> gen(n);
+    std::vector<int32_t> kill(n, -1);
+    for (size_t node = 0; node < n; ++node) {
+        const StaticInstr &instr = fm.instrs[node];
+        for (const RegId r : instr.uses)
+            gen[node].push_back(regs.bitFor(r));
+        for (const FuncId callee : fm.callees[node])
+            for (const RegId r : summaries.of(callee).liveIn)
+                gen[node].push_back(regs.bitFor(r));
+        // strongDef is a default-true accumulator, so never-executed
+        // nodes (virtual entry/exit, pcs past the window) carry it with
+        // an empty def list — only a real single definer kills.
+        if (instr.strongDef && !instr.defs.empty() &&
+            fm.callees[node].empty())
+            kill[node] = static_cast<int32_t>(regs.bitFor(instr.defs[0]));
+    }
+
+    std::vector<uint64_t> live_in(n * words, 0);
+    std::vector<uint64_t> scratch(words);
+
+    std::deque<NodeId> worklist;
+    std::vector<uint8_t> queued(n, 1);
+    for (size_t node = n; node-- > 0;)
+        worklist.push_back(static_cast<NodeId>(node));
+
+    while (!worklist.empty()) {
+        const NodeId node = worklist.front();
+        worklist.pop_front();
+        queued[node] = 0;
+        ++iterations;
+
+        // OUT = union of successors' IN.
+        std::fill(scratch.begin(), scratch.end(), 0);
+        for (const NodeId succ : cfg.succs[node]) {
+            const uint64_t *row = &live_in[size_t(succ) * words];
+            for (size_t w = 0; w < words; ++w)
+                scratch[w] |= row[w];
+        }
+        // IN = (OUT \ kill) | gen.
+        if (kill[node] >= 0)
+            scratch[size_t(kill[node]) / 64] &=
+                ~(uint64_t{1} << (kill[node] % 64));
+        for (const uint32_t bit : gen[node])
+            scratch[bit / 64] |= uint64_t{1} << (bit % 64);
+
+        uint64_t *row = &live_in[size_t(node) * words];
+        bool changed = false;
+        for (size_t w = 0; w < words; ++w) {
+            if (row[w] != scratch[w]) {
+                row[w] = scratch[w];
+                changed = true;
+            }
+        }
+        if (changed) {
+            for (const NodeId pred : cfg.preds[node]) {
+                if (!queued[pred]) {
+                    queued[pred] = 1;
+                    worklist.push_back(pred);
+                }
+            }
+        }
+    }
+
+    std::vector<RegId> out;
+    const uint64_t *entry = &live_in[size_t(Cfg::kEntry) * words];
+    for (size_t bit = 0; bit < bits; ++bit) {
+        if ((entry[bit / 64] >> (bit % 64)) & 1)
+            out.push_back(regs.toReg[bit]);
+    }
+    return sortedUnique(std::move(out));
+}
+
+} // namespace
+
+Summaries
+computeSummaries(const StaticModel &model)
+{
+    Summaries out;
+    for (const FuncId func : model.order)
+        out.byFunc.emplace(func, RegSummary{});
+
+    // Layer 1: mayDef, iterated over the (possibly cyclic) call graph.
+    for (const FuncId func : model.order) {
+        const FuncModel &fm = model.funcModel(func);
+        std::vector<RegId> defs;
+        for (const StaticInstr &instr : fm.instrs)
+            for (const RegId r : instr.defs)
+                defs.push_back(r);
+        out.byFunc[func].mayDef = sortedUnique(std::move(defs));
+    }
+    for (;; ++out.mayDefIterations) {
+        if (out.mayDefIterations >= kSummaryIterationCap) {
+            warn("staticdep: mayDef fixpoint hit the iteration cap; "
+                 "widening all summaries");
+            for (auto &[func, summary] : out.byFunc)
+                summary.widened = true;
+            out.widened = true;
+            break;
+        }
+        bool changed = false;
+        for (const FuncId func : model.order) {
+            const FuncModel &fm = model.funcModel(func);
+            RegSummary &summary = out.byFunc[func];
+            const size_t before = summary.mayDef.size();
+            for (const auto &callees : fm.callees)
+                for (const FuncId callee : callees)
+                    mergeSorted(summary.mayDef, out.of(callee).mayDef);
+            changed |= summary.mayDef.size() != before;
+        }
+        if (!changed)
+            break;
+    }
+
+    // Layer 2: liveIn, an outer fixpoint whose inner step is a full
+    // backward liveness pass per function (callee liveIn feeds call-node
+    // gen sets, so growth propagates up the call graph).
+    if (!out.widened) {
+        for (;; ++out.livenessIterations) {
+            if (out.livenessIterations >= kSummaryIterationCap) {
+                warn("staticdep: liveness fixpoint hit the iteration cap; "
+                     "widening all summaries");
+                for (auto &[func, summary] : out.byFunc)
+                    summary.widened = true;
+                out.widened = true;
+                break;
+            }
+            bool changed = false;
+            int inner = 0;
+            for (const FuncId func : model.order) {
+                bool widened = false;
+                std::vector<RegId> live =
+                    funcLiveIn(model, out, func, widened, inner);
+                RegSummary &summary = out.byFunc[func];
+                if (widened) {
+                    if (!summary.widened) {
+                        summary.widened = true;
+                        out.widened = true;
+                        changed = true;
+                    }
+                    continue;
+                }
+                if (live != summary.liveIn) {
+                    // Liveness gen sets only grow, so this is monotone.
+                    summary.liveIn = std::move(live);
+                    changed = true;
+                }
+            }
+            if (!changed)
+                break;
+        }
+    }
+
+    MetricRegistry::global()
+        .counter("staticdep.summary_iterations")
+        .add(static_cast<uint64_t>(out.mayDefIterations) +
+             static_cast<uint64_t>(out.livenessIterations));
+    if (out.widened)
+        MetricRegistry::global().counter("staticdep.summary_widenings").add();
+    return out;
+}
+
+FuncDataflow
+computeReachingDefs(const StaticModel &model, const Summaries &summaries,
+                    FuncId func, size_t bit_budget)
+{
+    FuncDataflow df;
+    df.func = func;
+    const FuncModel &fm = model.funcModel(func);
+    const Cfg &cfg = *fm.cfg;
+    const size_t n = cfg.nodeCount();
+
+    // --- Definition universe -------------------------------------------
+    auto addDef = [&](NodeId node, RegId reg, FuncDataflow::DefSrc src) {
+        const uint32_t idx = static_cast<uint32_t>(df.defs.size());
+        df.defs.push_back({node, reg, src});
+        if (src == FuncDataflow::DefSrc::Wildcard)
+            df.wildcardDefs.push_back(idx);
+        else if (src == FuncDataflow::DefSrc::Entry)
+            df.entryDefOf.emplace(reg, idx);
+        else
+            df.defsOfReg[reg].push_back(idx);
+        return idx;
+    };
+
+    // Per-node gen lists (def indices born at that node).
+    std::vector<std::vector<uint32_t>> gen(n);
+
+    for (size_t node = 0; node < n; ++node) {
+        const StaticInstr &instr = fm.instrs[node];
+        for (const RegId r : instr.defs)
+            gen[node].push_back(addDef(static_cast<NodeId>(node), r,
+                                       FuncDataflow::DefSrc::Instr));
+        if (fm.callees[node].empty())
+            continue;
+        bool wild = false;
+        std::vector<RegId> proxy;
+        for (const FuncId callee : fm.callees[node]) {
+            const RegSummary &cs = summaries.of(callee);
+            if (cs.widened) {
+                wild = true;
+                break;
+            }
+            for (const RegId r : cs.mayDef)
+                proxy.push_back(r);
+        }
+        if (wild) {
+            gen[node].push_back(addDef(static_cast<NodeId>(node),
+                                       trace::kNoReg,
+                                       FuncDataflow::DefSrc::Wildcard));
+        } else {
+            for (const RegId r : sortedUnique(std::move(proxy)))
+                gen[node].push_back(
+                    addDef(static_cast<NodeId>(node), r,
+                           FuncDataflow::DefSrc::CallSummary));
+        }
+    }
+
+    // One Entry def per register that has any definition site (registers
+    // without any site short-circuit to Entry inside forEachDefReaching).
+    {
+        std::vector<RegId> defined;
+        defined.reserve(df.defsOfReg.size());
+        for (const auto &[reg, idxs] : df.defsOfReg)
+            defined.push_back(reg);
+        for (const RegId r : sortedUnique(std::move(defined)))
+            gen[Cfg::kEntry].push_back(
+                addDef(graph::kNoNode, r, FuncDataflow::DefSrc::Entry));
+    }
+
+    const size_t bits = df.defs.size();
+    if (bits == 0)
+        return df;
+    df.words = (bits + 63) / 64;
+
+    if (n * bits > bit_budget) {
+        // Too big for node-major bitsets: fall back to "every definition
+        // reaches every node". Strictly more edges, still sound.
+        df.flowInsensitive = true;
+        MetricRegistry::global().counter("staticdep.rd_fallbacks").add();
+        return df;
+    }
+
+    // Kill lists: a uniform single-register definer kills every other
+    // definition of that register, including its Entry def. Call-summary
+    // proxies and wildcards are may-defs and never kill (nor are they
+    // ever killed — a later strong def may precede an earlier proxy on
+    // some other path; dropping kills only adds facts).
+    std::vector<std::vector<uint32_t>> kill(n);
+    for (size_t node = 0; node < n; ++node) {
+        const StaticInstr &instr = fm.instrs[node];
+        if (!instr.strongDef || instr.defs.empty() ||
+            !fm.callees[node].empty())
+            continue;
+        const RegId r = instr.defs[0];
+        for (const uint32_t d : df.defsOfReg[r]) {
+            if (df.defs[d].node != static_cast<NodeId>(node))
+                kill[node].push_back(d);
+        }
+        kill[node].push_back(df.entryDefOf.at(r));
+    }
+
+    df.in.assign(n * df.words, 0);
+    std::vector<uint64_t> out(n * df.words, 0);
+    std::vector<uint64_t> scratch(df.words);
+
+    std::deque<NodeId> worklist;
+    std::vector<uint8_t> queued(n, 1);
+    for (size_t node = 0; node < n; ++node)
+        worklist.push_back(static_cast<NodeId>(node));
+
+    while (!worklist.empty()) {
+        const NodeId node = worklist.front();
+        worklist.pop_front();
+        queued[node] = 0;
+        ++df.iterations;
+
+        // IN = union of predecessors' OUT.
+        std::fill(scratch.begin(), scratch.end(), 0);
+        for (const NodeId pred : cfg.preds[node]) {
+            const uint64_t *row = &out[size_t(pred) * df.words];
+            for (size_t w = 0; w < df.words; ++w)
+                scratch[w] |= row[w];
+        }
+        uint64_t *in_row = &df.in[size_t(node) * df.words];
+        std::copy(scratch.begin(), scratch.end(), in_row);
+
+        // OUT = (IN \ kill) | gen.
+        for (const uint32_t d : kill[node])
+            scratch[d / 64] &= ~(uint64_t{1} << (d % 64));
+        for (const uint32_t d : gen[node])
+            scratch[d / 64] |= uint64_t{1} << (d % 64);
+
+        uint64_t *out_row = &out[size_t(node) * df.words];
+        bool changed = false;
+        for (size_t w = 0; w < df.words; ++w) {
+            if (out_row[w] != scratch[w]) {
+                out_row[w] = scratch[w];
+                changed = true;
+            }
+        }
+        if (changed) {
+            for (const NodeId succ : cfg.succs[node]) {
+                if (!queued[succ]) {
+                    queued[succ] = 1;
+                    worklist.push_back(succ);
+                }
+            }
+        }
+    }
+
+    MetricRegistry::global()
+        .counter("staticdep.rd_iterations")
+        .add(static_cast<uint64_t>(df.iterations));
+    return df;
+}
+
+} // namespace staticdep
+} // namespace webslice

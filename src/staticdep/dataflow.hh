@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Static dataflow fixpoints over the model: interprocedural register
+ * summaries and per-function reaching definitions.
+ *
+ * Two layers, both classic iterative may-analyses:
+ *
+ *  1. Function summaries, computed bottom-up over the dynamically
+ *     observed call graph to a fixpoint (the graph is cyclic under
+ *     recursion, so "bottom-up" really means "iterate until stable"):
+ *       - mayDef: registers a call to the function may leave modified
+ *         (its own defs plus, transitively, its callees');
+ *       - liveIn: registers the function may read before writing them
+ *         (backward liveness over its CFG, with call nodes importing
+ *         the callee's liveIn and killing nothing).
+ *     A per-layer iteration cap guards termination structurally; hitting
+ *     it widens the remaining summaries to "all registers" (sound).
+ *
+ *  2. Per-function reaching definitions over a numbered definition
+ *     universe: one Entry definition per referenced register (the value
+ *     the caller passed in), one Instr definition per (node, defined
+ *     register), and one CallSummary proxy per (call node, register in a
+ *     callee's mayDef) — the proxy stands for "some instruction inside
+ *     the call wrote this". Call nodes whose callee summary widened get
+ *     a single wildcard definition standing for every register. Bitsets
+ *     are node-major; a per-function size budget falls back to a
+ *     flow-insensitive answer (every definition reaches every node),
+ *     which only adds edges — still sound.
+ *
+ * The static slicer (staticdep/slice.hh) drives queries through
+ * forEachDefReaching(); everything here is deliberately exposed so the
+ * fixpoint tests can assert termination, monotonicity, and exact
+ * reaching sets on hand-built CFGs.
+ */
+
+#ifndef WEBSLICE_STATICDEP_DATAFLOW_HH
+#define WEBSLICE_STATICDEP_DATAFLOW_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "staticdep/model.hh"
+
+namespace webslice {
+namespace staticdep {
+
+/** Interprocedural register summary of one function. */
+struct RegSummary
+{
+    /** Registers a call may leave modified (sorted, unique). */
+    std::vector<trace::RegId> mayDef;
+
+    /** Registers the function may read before writing (sorted, unique). */
+    std::vector<trace::RegId> liveIn;
+
+    /** Iteration cap hit: treat both sets as "all registers". */
+    bool widened = false;
+
+    bool
+    mayDefine(trace::RegId reg) const
+    {
+        if (widened)
+            return true;
+        return std::binary_search(mayDef.begin(), mayDef.end(), reg);
+    }
+
+    bool
+    mayReadOnEntry(trace::RegId reg) const
+    {
+        if (widened)
+            return true;
+        return std::binary_search(liveIn.begin(), liveIn.end(), reg);
+    }
+};
+
+/** All function summaries plus fixpoint diagnostics. */
+struct Summaries
+{
+    std::unordered_map<trace::FuncId, RegSummary> byFunc;
+
+    int mayDefIterations = 0;
+    int livenessIterations = 0;
+    bool widened = false; ///< Any summary hit the iteration cap.
+
+    const RegSummary &of(trace::FuncId f) const { return byFunc.at(f); }
+};
+
+/** Outer fixpoint iteration cap (each layer); far above any real need —
+ *  monotone frameworks converge in O(height) passes. */
+constexpr int kSummaryIterationCap = 64;
+
+Summaries computeSummaries(const StaticModel &model);
+
+/** Reaching definitions for one function. */
+struct FuncDataflow
+{
+    enum class DefSrc : uint8_t
+    {
+        Entry,       ///< The caller's value at function entry.
+        Instr,       ///< A concrete defining instruction node.
+        CallSummary, ///< Some instruction inside a call at `node`.
+        Wildcard,    ///< CallSummary for a widened callee: every register.
+    };
+
+    struct Def
+    {
+        graph::NodeId node = graph::kNoNode; ///< kNoNode for Entry defs.
+        trace::RegId reg = trace::kNoReg;    ///< kNoReg for Wildcard defs.
+        DefSrc src = DefSrc::Entry;
+    };
+
+    trace::FuncId func = trace::kNoFunc;
+    std::vector<Def> defs;
+
+    /** reg -> indices into defs (excluding wildcards), ascending. */
+    std::unordered_map<trace::RegId, std::vector<uint32_t>> defsOfReg;
+
+    /** reg -> index of its Entry def (every reg in defsOfReg has one). */
+    std::unordered_map<trace::RegId, uint32_t> entryDefOf;
+
+    /** Indices of Wildcard defs. */
+    std::vector<uint32_t> wildcardDefs;
+
+    /** Node-major IN bitsets: in[node * words .. ), bit = def index. */
+    size_t words = 0;
+    std::vector<uint64_t> in;
+
+    /** Budget fallback: every def reaches every node. */
+    bool flowInsensitive = false;
+
+    int iterations = 0;
+
+    bool
+    reaches(graph::NodeId node, uint32_t def) const
+    {
+        if (flowInsensitive)
+            return true;
+        return (in[static_cast<size_t>(node) * words + def / 64] >>
+                (def % 64)) &
+               1;
+    }
+
+    /** Does any definition site of `reg` exist in this function? */
+    bool
+    hasReg(trace::RegId reg) const
+    {
+        return defsOfReg.find(reg) != defsOfReg.end();
+    }
+
+    /**
+     * Visit every definition of `reg` that may reach the IN of `node`.
+     * When `reg` has no definition sites here, the caller must treat the
+     * Entry value as reaching (wildcard defs are still visited — a
+     * widened callee may have written any register).
+     */
+    template <typename Fn>
+    void
+    forEachDefReaching(graph::NodeId node, trace::RegId reg, Fn &&fn) const
+    {
+        auto it = defsOfReg.find(reg);
+        if (it != defsOfReg.end()) {
+            for (const uint32_t d : it->second) {
+                if (reaches(node, d))
+                    fn(defs[d]);
+            }
+            const uint32_t entry = entryDefOf.at(reg);
+            if (reaches(node, entry))
+                fn(defs[entry]);
+        } else {
+            // No kills of this reg anywhere: entry always reaches.
+            fn(Def{graph::kNoNode, reg, DefSrc::Entry});
+        }
+        for (const uint32_t w : wildcardDefs) {
+            if (reaches(node, w))
+                fn(defs[w]);
+        }
+    }
+};
+
+/** Per-function bitset budget (bits = nodes * defs) before the
+ *  flow-insensitive fallback; 2^26 bits = 8 MiB per function. */
+constexpr size_t kDefaultBitBudget = size_t{1} << 26;
+
+FuncDataflow computeReachingDefs(const StaticModel &model,
+                                 const Summaries &summaries,
+                                 trace::FuncId func,
+                                 size_t bit_budget = kDefaultBitBudget);
+
+} // namespace staticdep
+} // namespace webslice
+
+#endif // WEBSLICE_STATICDEP_DATAFLOW_HH

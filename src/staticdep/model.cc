@@ -1,0 +1,231 @@
+#include "staticdep/model.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+#include "support/metrics.hh"
+
+namespace webslice {
+namespace staticdep {
+
+using graph::NodeId;
+using trace::FuncId;
+using trace::Record;
+using trace::RecordKind;
+using trace::RegId;
+
+void
+PageSummary::add(uint64_t addr, uint64_t size, size_t cap)
+{
+    if (widened || size == 0)
+        return;
+    const uint64_t first = pageOf(addr);
+    const uint64_t last = pageOf(addr + size - 1);
+    for (uint64_t page = first;; ++page) {
+        auto it = std::lower_bound(pages.begin(), pages.end(), page);
+        if (it == pages.end() || *it != page) {
+            if (pages.size() >= cap) {
+                widened = true;
+                pages.clear();
+                pages.shrink_to_fit();
+                return;
+            }
+            pages.insert(it, page);
+        }
+        if (page == last)
+            break;
+    }
+}
+
+namespace {
+
+void
+addReg(std::vector<RegId> &regs, RegId reg)
+{
+    if (reg == trace::kNoReg)
+        return;
+    if (std::find(regs.begin(), regs.end(), reg) != regs.end())
+        return;
+    regs.push_back(reg);
+}
+
+void
+addSite(std::vector<SiteRef> &sites, SiteRef site)
+{
+    if (std::find(sites.begin(), sites.end(), site) != sites.end())
+        return;
+    sites.push_back(site);
+}
+
+} // namespace
+
+StaticModel
+buildStaticModel(std::span<const Record> records, const graph::CfgSet &cfgs,
+                 const ModelOptions &options)
+{
+    StaticModel model;
+    model.cfgs = &cfgs;
+    model.options = options;
+    model.windowEnd = std::min(options.endIndex, records.size());
+    model.order = cfgs.functionsByEntryPc();
+
+    for (const FuncId func : model.order) {
+        FuncModel fm;
+        fm.func = func;
+        fm.cfg = &cfgs.byFunc.at(func);
+        fm.instrs.resize(fm.cfg->nodeCount());
+        fm.callees.resize(fm.cfg->nodeCount());
+        model.funcs.emplace(func, std::move(fm));
+    }
+
+    // Per-thread carry state: the call site waiting for its callee (the
+    // function of the next same-thread record), and the syscall site the
+    // next pseudo-records attribute their memory effects to.
+    std::unordered_map<trace::ThreadId, SiteRef> pendingCall;
+    std::unordered_map<trace::ThreadId, SiteRef> lastSyscall;
+
+    const size_t cap = options.pageCapPerSite;
+
+    for (size_t i = 0; i < model.windowEnd; ++i) {
+        const Record &rec = records[i];
+
+        if (rec.isPseudo()) {
+            auto it = lastSyscall.find(rec.tid);
+            if (it == lastSyscall.end())
+                continue; // orphan pseudo; the graph linter flags these
+            FuncModel &fm = model.funcs.at(it->second.func);
+            StaticInstr &site = fm.instrs[it->second.node];
+            const bool was_widened =
+                site.memReads.widened || site.memWrites.widened;
+            if (rec.kind == RecordKind::SyscallRead)
+                site.memReads.add(rec.addr, rec.aux, cap);
+            else
+                site.memWrites.add(rec.addr, rec.aux, cap);
+            if (!was_widened &&
+                (site.memReads.widened || site.memWrites.widened))
+                ++model.widenedSites;
+            continue;
+        }
+
+        const FuncId func = cfgs.funcOf[i];
+        FuncModel &fm = model.funcs.at(func);
+        const NodeId node = fm.cfg->findNode(rec.pc);
+        if (node == graph::kNoNode) {
+            // Impossible when the CFGs came from this trace; be loud
+            // rather than silently under-approximating.
+            fatal("staticdep: record ", i, " pc ", rec.pc,
+                  " has no CFG node in function ", func);
+        }
+
+        // Resolve the callee of the previous record's Call: the CFG
+        // builder pushes the callee frame before attributing the next
+        // record, so funcOf of this record names it (even when the
+        // callee immediately returns).
+        if (auto pc_it = pendingCall.find(rec.tid);
+            pc_it != pendingCall.end()) {
+            const SiteRef call_site = pc_it->second;
+            pendingCall.erase(pc_it);
+            FuncModel &caller = model.funcs.at(call_site.func);
+            auto &callees = caller.callees[call_site.node];
+            if (std::find(callees.begin(), callees.end(), func) ==
+                callees.end()) {
+                callees.push_back(func);
+                addSite(model.callersOf[func], call_site);
+            }
+        }
+
+        StaticInstr &site = fm.instrs[node];
+        const SiteRef ref{func, node};
+        if (!site.seen()) {
+            site.pc = rec.pc;
+            ++model.siteCount;
+            model.sitesOfPc[rec.pc].push_back(ref);
+        }
+        ++site.executed;
+
+        const bool mem_was_widened =
+            site.memReads.widened || site.memWrites.widened;
+
+        // Mirror exactly what the dynamic slicer gens (uses) and kills
+        // (defs) when an instance of this kind joins the slice.
+        RegId def_this = trace::kNoReg;
+        switch (rec.kind) {
+        case RecordKind::Alu:
+        case RecordKind::LoadImm:
+            site.kinds |= kSiteAlu;
+            addReg(site.uses, rec.rr0);
+            addReg(site.uses, rec.rr1);
+            addReg(site.uses, rec.rr2);
+            addReg(site.defs, rec.rw);
+            def_this = rec.rw;
+            break;
+        case RecordKind::Load:
+            site.kinds |= kSiteLoad;
+            addReg(site.uses, rec.rr0);
+            addReg(site.defs, rec.rw);
+            def_this = rec.rw;
+            site.memReads.add(rec.addr, rec.aux, cap);
+            break;
+        case RecordKind::Store:
+            site.kinds |= kSiteStore;
+            addReg(site.uses, rec.rr0);
+            addReg(site.uses, rec.rr1);
+            site.memWrites.add(rec.addr, rec.aux, cap);
+            break;
+        case RecordKind::Branch:
+            site.kinds |= kSiteBranch;
+            addReg(site.uses, rec.rr0);
+            break;
+        case RecordKind::Jump:
+            site.kinds |= kSiteJump;
+            break;
+        case RecordKind::Call:
+            site.kinds |= kSiteCall;
+            addReg(site.uses, rec.rr0);
+            pendingCall[rec.tid] = ref;
+            break;
+        case RecordKind::Ret:
+            site.kinds |= kSiteRet;
+            if (std::find(fm.retNodes.begin(), fm.retNodes.end(), node) ==
+                fm.retNodes.end())
+                fm.retNodes.push_back(node);
+            break;
+        case RecordKind::Syscall:
+            site.kinds |= kSiteSyscall;
+            addReg(site.defs, rec.rw);
+            def_this = rec.rw;
+            lastSyscall[rec.tid] = ref;
+            if (std::find(model.syscallSites.begin(),
+                          model.syscallSites.end(),
+                          ref) == model.syscallSites.end())
+                model.syscallSites.push_back(ref);
+            break;
+        case RecordKind::Marker:
+            site.kinds |= kSiteMarker;
+            if (std::find(model.markerSites.begin(), model.markerSites.end(),
+                          ref) == model.markerSites.end())
+                model.markerSites.push_back(ref);
+            break;
+        case RecordKind::SyscallRead:
+        case RecordKind::SyscallWrite:
+            break; // handled above
+        }
+
+        if (def_this == trace::kNoReg ||
+            !(site.defs.size() == 1 && site.defs[0] == def_this))
+            site.strongDef = false;
+
+        if (!mem_was_widened &&
+            (site.memReads.widened || site.memWrites.widened))
+            ++model.widenedSites;
+    }
+
+    MetricRegistry::global().counter("staticdep.sites").add(model.siteCount);
+    MetricRegistry::global()
+        .counter("staticdep.widened_sites")
+        .add(model.widenedSites);
+    return model;
+}
+
+} // namespace staticdep
+} // namespace webslice

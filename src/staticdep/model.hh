@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Static program model over dynamically reconstructed CFGs.
+ *
+ * The dynamic slicer answers "which executed instances were necessary";
+ * to say which of the rest a compiler could have removed *without running
+ * the page*, we need a static over-approximation of dependence to compare
+ * against. This module builds the instruction-level facts that the static
+ * fixpoints (staticdep/dataflow.hh) and the static backward slicer
+ * (staticdep/slice.hh) consume:
+ *
+ *  - per (function, CFG node) merged instruction info: record kind bits,
+ *    the registers the dynamic slicer would gen (use) and kill (define)
+ *    at that pc, and conservative page-granular memory footprints with a
+ *    per-site widening cap;
+ *  - the dynamically observed call graph (call site -> callee set, and
+ *    its inverse), return nodes per function;
+ *  - seed site lists (Marker / Syscall nodes) and a pc -> sites index.
+ *
+ * Everything is derived from the same trace the dynamic slice analyzed,
+ * so every dynamic memory access is inside some site's static footprint
+ * and every dynamic call edge is a static call edge — the base facts the
+ * containment invariant (dynamic slice ⊆ static slice) rests on.
+ */
+
+#ifndef WEBSLICE_STATICDEP_MODEL_HH
+#define WEBSLICE_STATICDEP_MODEL_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/cfg.hh"
+#include "trace/record.hh"
+
+namespace webslice {
+namespace staticdep {
+
+/** Memory is summarized at page granularity; finer tracking buys little
+ *  for a may-analysis and costs a lot on scatter-heavy sites. */
+constexpr unsigned kPageShift = 12;
+
+inline uint64_t
+pageOf(uint64_t addr)
+{
+    return addr >> kPageShift;
+}
+
+/**
+ * Conservative footprint of one site's memory behaviour: a sorted set of
+ * 4 KiB pages, widened to "all of memory" once a site touches more
+ * distinct pages than the cap (a site iterating a large heap would
+ * otherwise make the page sets — and the static slice walk — scale with
+ * the data, not the program).
+ */
+struct PageSummary
+{
+    std::vector<uint64_t> pages; ///< Sorted, unique; empty when widened.
+    bool widened = false;
+
+    void add(uint64_t addr, uint64_t size, size_t cap);
+
+    bool empty() const { return pages.empty() && !widened; }
+
+    /** May this footprint touch the given page? */
+    bool
+    covers(uint64_t page) const
+    {
+        if (widened)
+            return true;
+        return std::binary_search(pages.begin(), pages.end(), page);
+    }
+};
+
+/** Kind bits per site; a pc observed under several kinds merges them. */
+enum SiteKindBits : uint16_t
+{
+    kSiteAlu = 1 << 0, ///< Alu or LoadImm.
+    kSiteLoad = 1 << 1,
+    kSiteStore = 1 << 2,
+    kSiteBranch = 1 << 3,
+    kSiteJump = 1 << 4,
+    kSiteCall = 1 << 5,
+    kSiteRet = 1 << 6,
+    kSiteSyscall = 1 << 7,
+    kSiteMarker = 1 << 8,
+};
+
+/**
+ * One static instruction site: a (function, pc) pair with the union of
+ * register and memory behaviour across every dynamic instance. `uses`
+ * mirror exactly the registers the dynamic slicer gens when an instance
+ * joins the slice; `defs` mirror what it kills.
+ */
+struct StaticInstr
+{
+    trace::Pc pc = trace::kNoPc;
+    uint16_t kinds = 0;    ///< SiteKindBits.
+    uint64_t executed = 0; ///< Dynamic instances inside the window.
+
+    std::vector<trace::RegId> uses; ///< Unique, unordered (tiny).
+    std::vector<trace::RegId> defs; ///< Unique; >1 only on merged kinds.
+
+    /**
+     * True when every dynamic instance of this site defined the same
+     * single register — the only case where a reaching-definitions or
+     * liveness kill is sound (a site that sometimes defines nothing, or
+     * different registers, must be treated as a may-def).
+     */
+    bool strongDef = true;
+
+    PageSummary memReads;  ///< Load footprints + syscall read effects.
+    PageSummary memWrites; ///< Store footprints + syscall write effects.
+
+    bool seen() const { return executed != 0; }
+};
+
+/** A call site (or any site) addressed as (function, node). */
+struct SiteRef
+{
+    trace::FuncId func = trace::kNoFunc;
+    graph::NodeId node = graph::kNoNode;
+
+    bool operator==(const SiteRef &) const = default;
+};
+
+/** One function's static model, parallel to its CFG's node array. */
+struct FuncModel
+{
+    trace::FuncId func = trace::kNoFunc;
+    const graph::Cfg *cfg = nullptr;
+
+    std::vector<StaticInstr> instrs; ///< Indexed by NodeId.
+
+    /** Per-node callee function sets; empty unless the node is a call. */
+    std::vector<std::vector<trace::FuncId>> callees;
+
+    /** Nodes that executed a Ret record (edge to the virtual exit). */
+    std::vector<graph::NodeId> retNodes;
+};
+
+/** Build-time knobs. */
+struct ModelOptions
+{
+    /** Model the records in [0, endIndex) — must match the dynamic
+     *  slice's analyzed window for the containment check to be fair. */
+    size_t endIndex = SIZE_MAX;
+
+    /** Distinct pages a single site may track before widening to top. */
+    size_t pageCapPerSite = 64;
+};
+
+/** The whole-program static model. */
+struct StaticModel
+{
+    const graph::CfgSet *cfgs = nullptr;
+    ModelOptions options;
+
+    /** Deterministic function order (CfgSet::functionsByEntryPc). */
+    std::vector<trace::FuncId> order;
+
+    std::unordered_map<trace::FuncId, FuncModel> funcs;
+
+    /** Inverse call graph: callee -> call sites observed to enter it. */
+    std::unordered_map<trace::FuncId, std::vector<SiteRef>> callersOf;
+
+    /** pc -> every (function, node) site carrying that pc. Branch pcs
+     *  can appear in several functions (pending sets are pc-keyed and
+     *  per-thread, so a dynamic match may cross functions); the static
+     *  walk must mirror that by fanning control edges out to all of
+     *  them. */
+    std::unordered_map<trace::Pc, std::vector<SiteRef>> sitesOfPc;
+
+    /** Seed sites: every Marker node / every Syscall node. */
+    std::vector<SiteRef> markerSites;
+    std::vector<SiteRef> syscallSites;
+
+    /** End (exclusive) of the modeled record window. */
+    size_t windowEnd = 0;
+
+    /** Distinct executed (function, pc) sites — the static universe the
+     *  slice is measured against. */
+    uint64_t siteCount = 0;
+
+    /** Sites whose read or write footprint hit the widening cap. */
+    uint64_t widenedSites = 0;
+
+    const FuncModel &funcModel(trace::FuncId f) const { return funcs.at(f); }
+
+    const StaticInstr *
+    instrAt(trace::FuncId f, graph::NodeId node) const
+    {
+        auto it = funcs.find(f);
+        if (it == funcs.end())
+            return nullptr;
+        if (node < 0 ||
+            static_cast<size_t>(node) >= it->second.instrs.size())
+            return nullptr;
+        return &it->second.instrs[node];
+    }
+};
+
+/**
+ * Build the static model from a trace window and its forward-pass CFGs.
+ * Single pass over the records; every record must map onto a CFG node
+ * (guaranteed when `cfgs` was built from the same records).
+ */
+StaticModel buildStaticModel(std::span<const trace::Record> records,
+                             const graph::CfgSet &cfgs,
+                             const ModelOptions &options = {});
+
+} // namespace staticdep
+} // namespace webslice
+
+#endif // WEBSLICE_STATICDEP_MODEL_HH

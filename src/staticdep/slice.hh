@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Static backward slicing over the static PDG.
+ *
+ * The static program dependence graph is never materialized; its edges
+ * are enumerated on demand while a worklist walks backward from the
+ * criteria sites:
+ *
+ *  - DATA edges come from the reaching-definitions answers (register
+ *    uses -> defining sites, with Entry definitions recursing into every
+ *    observed caller and call-summary proxies recursing into the
+ *    callee's exit), and from the memory may-overlap relation (a needed
+ *    page wakes every site whose write footprint covers it);
+ *  - CONTROL edges reuse the sealed ControlDepMap (the same
+ *    Ferrante/Ottenstein/Warren map the dynamic slicer consults), plus
+ *    the call-structure edges the dynamic slicer realizes through frame
+ *    contribution tracking: an included instruction pulls in its
+ *    function's observed call sites and return sites.
+ *
+ * Every included site records *how* it was reached (seed / data /
+ * control bits), which is what the report's data-vs-control sub-split
+ * reads. The result is a sound over-approximation of the dynamic slice
+ * computed from the same trace window — the containment invariant
+ * dynamic ⊆ static is asserted by webslice-check and the webslice-static
+ * CLI, and exercised by the fuzz tests.
+ */
+
+#ifndef WEBSLICE_STATICDEP_SLICE_HH
+#define WEBSLICE_STATICDEP_SLICE_HH
+
+#include <iosfwd>
+#include <span>
+#include <unordered_map>
+
+#include "graph/control_deps.hh"
+#include "slicer/slicer.hh"
+#include "staticdep/dataflow.hh"
+#include "staticdep/model.hh"
+#include "trace/criteria.hh"
+
+namespace webslice {
+namespace staticdep {
+
+/** Model + fixpoints + control dependences: everything the walk needs. */
+struct StaticAnalysis
+{
+    StaticModel model;
+    Summaries summaries;
+    std::unordered_map<trace::FuncId, FuncDataflow> rd;
+    const graph::ControlDepMap *deps = nullptr;
+
+    /** Reaching-definition passes that fell back to flow-insensitive. */
+    uint64_t rdFallbacks = 0;
+};
+
+/**
+ * Build the full static analysis for a trace window. `deps` must outlive
+ * the returned object; it is sealed here so later walks are read-only.
+ */
+StaticAnalysis buildStaticAnalysis(std::span<const trace::Record> records,
+                                   const graph::CfgSet &cfgs,
+                                   const graph::ControlDepMap &deps,
+                                   const ModelOptions &options = {});
+
+/** How an included site was reached (bits accumulate across paths). */
+enum ReachBits : uint8_t
+{
+    kReachSeed = 1 << 0,    ///< A criteria site (marker / syscall).
+    kReachData = 1 << 1,    ///< Via a register or memory DATA edge.
+    kReachControl = 1 << 2, ///< Via a CONTROL (branch or call) edge.
+};
+
+struct StaticSliceOptions
+{
+    slicer::CriteriaMode mode = slicer::CriteriaMode::PixelBuffer;
+
+    /** Ablation knobs; must match the dynamic slice being compared. */
+    bool includeControlDeps = true;
+    bool includeRegisterDeps = true;
+
+    /** Distinct demanded pages before the needed-set widens to "all". */
+    size_t neededPageCap = size_t{1} << 16;
+};
+
+/** Output of one static backward walk. */
+struct StaticSliceResult
+{
+    /** (func << 32 | pc) -> ReachBits for every included site. */
+    std::unordered_map<uint64_t, uint8_t> byFuncPc;
+
+    static uint64_t
+    key(trace::FuncId func, trace::Pc pc)
+    {
+        return (static_cast<uint64_t>(func) << 32) | pc;
+    }
+
+    /** 0 when the site is outside the static slice. */
+    uint8_t
+    reasonOf(trace::FuncId func, trace::Pc pc) const
+    {
+        auto it = byFuncPc.find(key(func, pc));
+        return it == byFuncPc.end() ? 0 : it->second;
+    }
+
+    bool
+    contains(trace::FuncId func, trace::Pc pc) const
+    {
+        return reasonOf(func, pc) != 0;
+    }
+
+    /** Sites in the slice / in the whole model. */
+    uint64_t includedSites = 0;
+    uint64_t siteUniverse = 0;
+
+    /** Edge totals by tag (each edge counted once). */
+    uint64_t dataEdges = 0;
+    uint64_t controlEdges = 0;
+    uint64_t callEdges = 0; ///< Call-structure subset of CONTROL.
+
+    /** Memory demand diagnostics. */
+    uint64_t neededPages = 0;
+    bool neededWidened = false;
+
+    /** Walk diagnostics. */
+    uint64_t rdQueries = 0;
+    uint64_t entryPropagations = 0;
+    uint64_t exitQueries = 0;
+
+    double
+    slicePercent() const
+    {
+        if (siteUniverse == 0)
+            return 0.0;
+        return 100.0 * static_cast<double>(includedSites) /
+               static_cast<double>(siteUniverse);
+    }
+};
+
+/** Walk the static PDG backward from the mode's criteria sites. */
+StaticSliceResult computeStaticSlice(const StaticAnalysis &analysis,
+                                     const trace::CriteriaSet &criteria,
+                                     const StaticSliceOptions &options = {});
+
+/**
+ * Dump the static PDG node table: every site in deterministic order with
+ * its kinds, uses/defs, footprints, callees, and — when a result is
+ * given — its slice membership and reach bits.
+ */
+void dumpPdg(std::ostream &os, const StaticAnalysis &analysis,
+             const trace::SymbolTable &symtab,
+             const StaticSliceResult *result = nullptr);
+
+/** Publish one walk's totals to the global metric registry. */
+void publishStaticSliceMetrics(const StaticSliceResult &result);
+
+} // namespace staticdep
+} // namespace webslice
+
+#endif // WEBSLICE_STATICDEP_SLICE_HH

@@ -90,6 +90,22 @@ CriteriaSet::totalBytes() const
     return total;
 }
 
+std::vector<MemRange>
+CriteriaSet::allRanges() const
+{
+    std::vector<uint32_t> markers;
+    markers.reserve(byMarker_.size());
+    for (const auto &kv : byMarker_)
+        markers.push_back(kv.first);
+    std::sort(markers.begin(), markers.end());
+    std::vector<MemRange> out;
+    for (const uint32_t marker : markers) {
+        const auto &ranges = byMarker_.at(marker);
+        out.insert(out.end(), ranges.begin(), ranges.end());
+    }
+    return out;
+}
+
 uint64_t
 CriteriaSet::fingerprint() const
 {

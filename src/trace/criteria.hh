@@ -49,6 +49,14 @@ class CriteriaSet
     /** Number of distinct marker ordinals with at least one range. */
     size_t markerCount() const { return byMarker_.size(); }
 
+    /**
+     * Every range of every marker, in (marker, insertion) order. The
+     * static slicer seeds from this union: it cannot know which marker
+     * ordinal a marker pc will execute with, so it must treat all
+     * criterion bytes as demanded at every marker site.
+     */
+    std::vector<MemRange> allRanges() const;
+
     /** Total bytes across all ranges of all markers. */
     uint64_t totalBytes() const;
 

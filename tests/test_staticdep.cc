@@ -1,0 +1,455 @@
+/**
+ * @file
+ * Tests of the static dependence analysis (staticdep/): fixpoint
+ * termination and exact facts on hand-built looping and irreducible
+ * CFGs, monotonicity of the model under window growth, the memory
+ * widening cap, the containment invariant (dynamic ⊆ static) fuzzed
+ * over random programs in every criteria mode and ablation, and the
+ * containment checker's violation reporting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "check/containment.hh"
+#include "graph/cfg.hh"
+#include "graph/control_deps.hh"
+#include "sim/machine.hh"
+#include "sim/syscalls.hh"
+#include "slicer/slicer.hh"
+#include "staticdep/dataflow.hh"
+#include "staticdep/model.hh"
+#include "staticdep/slice.hh"
+#include "support/rng.hh"
+#include "support/strings.hh"
+#include "trace/criteria.hh"
+#include "trace/record.hh"
+#include "trace/symtab.hh"
+
+namespace webslice {
+namespace staticdep {
+namespace {
+
+using graph::buildCfgs;
+using graph::buildControlDeps;
+using graph::Cfg;
+using sim::Ctx;
+using sim::Machine;
+using sim::TracedScope;
+using sim::Value;
+using trace::Record;
+using trace::RecordKind;
+using trace::RegId;
+
+// ---- raw-record builders ---------------------------------------------------
+//
+// Hand-built record streams give full control over the reconstructed
+// CFG shape (loops, irreducible regions) without going through the
+// simulator's structured programs.
+
+Record
+alu(trace::Pc pc, RegId rw, RegId rr0, RegId rr1 = trace::kNoReg)
+{
+    Record r;
+    r.pc = pc;
+    r.kind = RecordKind::Alu;
+    r.rw = rw;
+    r.rr0 = rr0;
+    r.rr1 = rr1;
+    return r;
+}
+
+Record
+imm(trace::Pc pc, RegId rw)
+{
+    Record r;
+    r.pc = pc;
+    r.kind = RecordKind::LoadImm;
+    r.rw = rw;
+    return r;
+}
+
+Record
+branch(trace::Pc pc, RegId rr0, trace::Pc target, bool taken)
+{
+    Record r;
+    r.pc = pc;
+    r.kind = RecordKind::Branch;
+    r.rr0 = rr0;
+    r.addr = target;
+    if (taken)
+        r.flags = trace::kFlagTaken;
+    return r;
+}
+
+/** Model + summaries for a raw record stream (single toplevel func). */
+struct RawAnalysis
+{
+    trace::SymbolTable symtab;
+    graph::CfgSet cfgs;
+    StaticModel model;
+    Summaries summaries;
+    trace::FuncId func = trace::kNoFunc;
+
+    explicit RawAnalysis(const std::vector<Record> &records,
+                         const ModelOptions &options = {})
+    {
+        cfgs = buildCfgs(records, symtab);
+        model = buildStaticModel(records, cfgs, options);
+        summaries = computeSummaries(model);
+        EXPECT_FALSE(model.order.empty());
+        func = cfgs.funcOf.at(0);
+    }
+};
+
+// ---- fixpoint termination and exact facts ----------------------------------
+
+TEST(StaticDepDataflow, LoopingCfgTerminatesAndKillsAcrossIterations)
+{
+    // pc1: r1 <- imm    (loop preheader)
+    // pc2: r1 <- imm    (loop header, redefines r1 every iteration)
+    // pc3: r2 <- r1
+    // pc4: branch r2 -> pc2 (back edge, then falls through and exits)
+    const std::vector<Record> records = {
+        imm(1, /*rw=*/1),
+        imm(2, /*rw=*/1),
+        alu(3, /*rw=*/2, /*rr0=*/1),
+        branch(4, /*rr0=*/2, /*target=*/2, /*taken=*/true),
+        imm(2, 1),
+        alu(3, 2, 1),
+        branch(4, 2, 2, /*taken=*/false),
+    };
+    RawAnalysis ra(records);
+
+    const FuncDataflow df =
+        computeReachingDefs(ra.model, ra.summaries, ra.func);
+    EXPECT_FALSE(df.flowInsensitive);
+    // Worklist converged (bounded well below pathological blowup).
+    EXPECT_LT(df.iterations, 64);
+    EXPECT_LT(ra.summaries.mayDefIterations, kSummaryIterationCap);
+    EXPECT_LT(ra.summaries.livenessIterations, kSummaryIterationCap);
+    EXPECT_FALSE(ra.summaries.widened);
+
+    // At pc3's IN, only pc2's definition of r1 reaches: pc2 is a strong
+    // def on every path into pc3 (preheader pc1's def and the Entry def
+    // are killed), even around the back edge.
+    const Cfg &cfg = ra.cfgs.byFunc.at(ra.func);
+    const graph::NodeId use_node = cfg.findNode(3);
+    ASSERT_NE(use_node, graph::kNoNode);
+    std::vector<trace::Pc> reaching;
+    df.forEachDefReaching(use_node, /*reg=*/1, [&](const auto &def) {
+        reaching.push_back(def.src == FuncDataflow::DefSrc::Entry
+                               ? trace::kNoPc
+                               : cfg.nodePc[def.node]);
+    });
+    ASSERT_EQ(reaching.size(), 1u);
+    EXPECT_EQ(reaching[0], 2u);
+}
+
+TEST(StaticDepDataflow, IrreducibleLoopTerminatesWithBothDefsReaching)
+{
+    // Walk pcs 1,2,3,2,1,3: the {2,3} loop is entered at 2 (from 1) and
+    // at 3 (from 1's second visit) — a two-entry irreducible region.
+    // Both pc1 and pc2 define r1; pc3 reads it.
+    const std::vector<Record> records = {
+        imm(1, 1), imm(2, 1),      alu(3, 9, 1), imm(2, 1),
+        imm(1, 1), alu(3, 9, 1),
+    };
+    RawAnalysis ra(records);
+
+    const FuncDataflow df =
+        computeReachingDefs(ra.model, ra.summaries, ra.func);
+    EXPECT_LT(df.iterations, 64);
+
+    const Cfg &cfg = ra.cfgs.byFunc.at(ra.func);
+    const graph::NodeId use_node = cfg.findNode(3);
+    ASSERT_NE(use_node, graph::kNoNode);
+    std::vector<trace::Pc> reaching;
+    df.forEachDefReaching(use_node, 1, [&](const auto &def) {
+        if (def.src == FuncDataflow::DefSrc::Instr)
+            reaching.push_back(cfg.nodePc[def.node]);
+    });
+    std::sort(reaching.begin(), reaching.end());
+    // Through edge 1->3 only pc1's def survives; through 2->3 only
+    // pc2's. Both paths exist, so both defs must reach pc3.
+    EXPECT_EQ(reaching, (std::vector<trace::Pc>{1, 2}));
+}
+
+TEST(StaticDepDataflow, ModelGrowsMonotonicallyWithTheWindow)
+{
+    std::vector<Record> records;
+    for (trace::Pc pc = 1; pc <= 20; ++pc)
+        records.push_back(imm(pc, static_cast<RegId>(pc % 5)));
+
+    trace::SymbolTable symtab;
+    const graph::CfgSet cfgs = buildCfgs(records, symtab);
+
+    std::vector<RegId> prev_may_def;
+    uint64_t prev_sites = 0;
+    for (const size_t end : {5u, 10u, 20u}) {
+        ModelOptions options;
+        options.endIndex = end;
+        const StaticModel model =
+            buildStaticModel(records, cfgs, options);
+        const Summaries summaries = computeSummaries(model);
+        EXPECT_GE(model.siteCount, prev_sites);
+        prev_sites = model.siteCount;
+
+        const RegSummary &top = summaries.of(cfgs.funcOf.at(0));
+        // Adding records never removes a may-def.
+        for (const RegId r : prev_may_def)
+            EXPECT_TRUE(top.mayDefine(r)) << "window " << end;
+        prev_may_def = top.mayDef;
+    }
+}
+
+// ---- memory widening cap ---------------------------------------------------
+
+TEST(StaticDepModel, WideningCapTripsAndStaysContained)
+{
+    // One store site touching 8 distinct pages against a cap of 4 must
+    // widen, and the widened footprint must still cover every page.
+    Machine machine;
+    const auto tid = machine.addThread("main");
+    const uint64_t pixels = machine.alloc(16, "tile");
+    const uint64_t heap = machine.alloc(8u << 12, "heap");
+    machine.post(tid, [&](Ctx &ctx) {
+        Value v = ctx.imm(7);
+        for (int page = 0; page < 8; ++page)
+            ctx.store(heap + (uint64_t(page) << 12), 4, v);
+        Value copy = ctx.load(heap, 4);
+        ctx.store(pixels, 4, copy);
+        const trace::MemRange ranges[] = {{pixels, 4}};
+        ctx.marker(ranges);
+    });
+    machine.run();
+
+    const auto records = machine.records();
+    const graph::CfgSet cfgs = buildCfgs(records, machine.symtab());
+    graph::ControlDepMap deps = buildControlDeps(cfgs);
+
+    ModelOptions options;
+    options.pageCapPerSite = 4;
+    const StaticAnalysis analysis =
+        buildStaticAnalysis(records, cfgs, deps, options);
+    EXPECT_GT(analysis.model.widenedSites, 0u);
+
+    // A widened footprint answers "may touch" for every page.
+    bool saw_widened_writer = false;
+    for (const auto &[func, fm] : analysis.model.funcs) {
+        for (const StaticInstr &instr : fm.instrs) {
+            if (!instr.memWrites.widened)
+                continue;
+            saw_widened_writer = true;
+            EXPECT_TRUE(instr.memWrites.covers(pageOf(heap)));
+            EXPECT_TRUE(
+                instr.memWrites.covers(pageOf(heap + (7u << 12))));
+        }
+    }
+    EXPECT_TRUE(saw_widened_writer);
+
+    // ...and the containment invariant survives the precision loss.
+    const auto slice = slicer::computeSlice(records, cfgs, deps,
+                                            machine.pixelCriteria(), {});
+    const auto static_slice =
+        computeStaticSlice(analysis, machine.pixelCriteria(), {});
+    const auto containment = check::checkContainment(
+        records, cfgs, machine.symtab(), slice, static_slice);
+    EXPECT_TRUE(containment.ok());
+    for (const auto &message : containment.findings.messages)
+        ADD_FAILURE() << message;
+}
+
+// ---- containment fuzz ------------------------------------------------------
+
+/** Random two-thread program (same shape as the epoch-slicer fuzz). */
+Machine
+randomProgram(uint64_t seed)
+{
+    Machine machine;
+    const auto t0 = machine.addThread("a");
+    const auto t1 = machine.addThread("b");
+    const auto fn_a = machine.registerFunction("fuzz::alpha");
+    const auto fn_b = machine.registerFunction("fuzz::beta");
+    const uint64_t heap = machine.alloc(256, "heap");
+    const uint64_t pixels = machine.alloc(64, "tile");
+    const uint64_t net = machine.alloc(32, "net");
+
+    auto program = [&, fn_a, fn_b](Ctx &ctx, uint64_t thread_seed) {
+        Rng r(thread_seed);
+        TracedScope top(ctx, fn_a);
+        std::vector<Value> vals;
+        vals.push_back(ctx.imm(r.below(1000)));
+        const size_t steps = 30 + r.below(50);
+        for (size_t i = 0; i < steps; ++i) {
+            auto pick = [&]() -> Value & {
+                return vals[r.below(vals.size())];
+            };
+            switch (r.below(9)) {
+              case 0:
+                vals.push_back(ctx.imm(r.below(1 << 20)));
+                break;
+              case 1:
+                vals.push_back(ctx.add(pick(), pick()));
+                break;
+              case 2:
+                vals.push_back(
+                    ctx.addi(pick(), static_cast<int64_t>(r.below(9))));
+                break;
+              case 3:
+                ctx.store(heap + 8 * r.below(30), 4, pick());
+                break;
+              case 4:
+                vals.push_back(ctx.load(heap + 8 * r.below(30), 4));
+                break;
+              case 5:
+                ctx.store(pixels + 4 * r.below(15), 4, pick());
+                break;
+              case 6: {
+                TracedScope scope(ctx, fn_b);
+                Value flag = ctx.imm(r.below(2));
+                Value color = ctx.imm(r.below(256));
+                if (ctx.branchIf(flag))
+                    ctx.store(pixels + 4 * r.below(15), 4, color);
+                break;
+              }
+              case 7:
+                if (r.chance(0.5)) {
+                    ctx.store(net, 4, pick());
+                    (void)sim::sysSendto(ctx, net, 16);
+                } else {
+                    ctx.machine().mem().write(net, 4, r.next());
+                    (void)sim::sysRecvfrom(ctx, net, 16);
+                }
+                break;
+              case 8: {
+                const trace::MemRange ranges[] = {{pixels, 64}};
+                ctx.marker(ranges);
+                break;
+              }
+            }
+            if (vals.size() > 12)
+                vals.erase(vals.begin(),
+                           vals.begin() +
+                               static_cast<long>(vals.size() - 6));
+        }
+        const trace::MemRange ranges[] = {{pixels, 64}};
+        ctx.marker(ranges);
+    };
+    machine.post(t0, [&](Ctx &ctx) { program(ctx, seed * 2 + 1); });
+    machine.post(t1, [&](Ctx &ctx) { program(ctx, seed * 2 + 2); });
+    machine.run();
+    return machine;
+}
+
+TEST(StaticDepContainment, FuzzDynamicSubsetOfStatic)
+{
+    for (uint64_t seed = 0; seed < 8; ++seed) {
+        const Machine machine = randomProgram(seed);
+        const auto records = machine.records();
+        const graph::CfgSet cfgs = buildCfgs(records, machine.symtab());
+        graph::ControlDepMap deps = buildControlDeps(cfgs);
+        const StaticAnalysis analysis =
+            buildStaticAnalysis(records, cfgs, deps);
+        Rng r(seed ^ 0xBEEF);
+
+        for (const auto mode : {slicer::CriteriaMode::PixelBuffer,
+                                slicer::CriteriaMode::Syscalls}) {
+            slicer::SlicerOptions options;
+            options.mode = mode;
+            options.includeControlDeps = r.chance(0.8);
+            options.includeRegisterDeps = r.chance(0.8);
+            const auto slice = slicer::computeSlice(
+                records, cfgs, deps, machine.pixelCriteria(), options);
+
+            StaticSliceOptions static_options;
+            static_options.mode = options.mode;
+            static_options.includeControlDeps =
+                options.includeControlDeps;
+            static_options.includeRegisterDeps =
+                options.includeRegisterDeps;
+            const auto static_slice = computeStaticSlice(
+                analysis, machine.pixelCriteria(), static_options);
+
+            const auto containment = check::checkContainment(
+                records, cfgs, machine.symtab(), slice, static_slice);
+            EXPECT_TRUE(containment.ok())
+                << "seed " << seed << " mode " << int(mode)
+                << " control " << options.includeControlDeps
+                << " registers " << options.includeRegisterDeps;
+            for (const auto &message : containment.findings.messages)
+                ADD_FAILURE() << message;
+        }
+    }
+}
+
+// ---- violation reporting ---------------------------------------------------
+
+TEST(StaticDepContainment, ViolationNamesThePcAndEdgeChain)
+{
+    const Machine machine = randomProgram(1);
+    const auto records = machine.records();
+    const graph::CfgSet cfgs = buildCfgs(records, machine.symtab());
+    graph::ControlDepMap deps = buildControlDeps(cfgs);
+    const StaticAnalysis analysis =
+        buildStaticAnalysis(records, cfgs, deps);
+    const auto slice = slicer::computeSlice(records, cfgs, deps,
+                                            machine.pixelCriteria(), {});
+    StaticSliceResult static_slice =
+        computeStaticSlice(analysis, machine.pixelCriteria(), {});
+
+    // Sabotage: drop the site of the first in-slice record.
+    size_t victim = SIZE_MAX;
+    for (size_t i = 0; i < records.size(); ++i) {
+        if (!records[i].isPseudo() && slice.inSlice[i]) {
+            victim = i;
+            break;
+        }
+    }
+    ASSERT_NE(victim, SIZE_MAX);
+    ASSERT_EQ(static_slice.byFuncPc.erase(StaticSliceResult::key(
+                  cfgs.funcOf[victim], records[victim].pc)),
+              1u);
+
+    const auto containment = check::checkContainment(
+        records, cfgs, machine.symtab(), slice, static_slice);
+    EXPECT_FALSE(containment.ok());
+    EXPECT_GE(containment.violations, 1u);
+    ASSERT_FALSE(containment.findings.messages.empty());
+    const std::string &message = containment.findings.messages[0];
+    EXPECT_NE(message.find("missing from static slice"),
+              std::string::npos)
+        << message;
+    EXPECT_NE(message.find(format("pc=%u", records[victim].pc)),
+              std::string::npos)
+        << message;
+}
+
+// ---- deterministic function order ------------------------------------------
+
+TEST(StaticDepModel, FunctionOrderIsSortedByEntryPc)
+{
+    const Machine machine = randomProgram(2);
+    const graph::CfgSet cfgs =
+        buildCfgs(machine.records(), machine.symtab());
+    const auto order = cfgs.functionsByEntryPc();
+    EXPECT_EQ(order.size(), cfgs.byFunc.size());
+    for (size_t i = 1; i < order.size(); ++i) {
+        const auto prev = std::make_pair(cfgs.entryPcOf(order[i - 1]),
+                                         order[i - 1]);
+        const auto cur =
+            std::make_pair(cfgs.entryPcOf(order[i]), order[i]);
+        EXPECT_LT(prev, cur) << "order must be strictly increasing";
+    }
+    // Same trace, second build: identical order.
+    const graph::CfgSet again =
+        buildCfgs(machine.records(), machine.symtab());
+    EXPECT_EQ(again.functionsByEntryPc(), order);
+}
+
+} // namespace
+} // namespace staticdep
+} // namespace webslice

@@ -19,7 +19,11 @@
  *     criterion bit-identically, plus drop-one minimality probes;
  *  3. the trace race detector — vector-clock happens-before over the
  *     per-thread streams, reporting conflicting accesses not ordered by
- *     any futex or channel synchronization.
+ *     any futex or channel synchronization;
+ *  4. the containment invariant — a full static dependence analysis over
+ *     the same CFGs (staticdep/) whose backward slice must contain every
+ *     dynamic-slice instruction; a violation names the offending pc and
+ *     the dynamic edge chain the static analysis failed to cover.
  *
  * Verification findings exit 2 with pointed diagnostics; races are
  * reported as evidence (the simulated browser's spinning mutexes make
@@ -35,9 +39,11 @@
 #include <iomanip>
 #include <sstream>
 
+#include "check/containment.hh"
 #include "check/graph_lint.hh"
 #include "check/race.hh"
 #include "check/soundness.hh"
+#include "staticdep/slice.hh"
 #include "graph/cfg.hh"
 #include "graph/control_deps.hh"
 #include "slicer/slicer.hh"
@@ -170,6 +176,30 @@ racesJson(const check::RaceResult &races)
     }
     out << "],\n"
         << "    \"findings\": " << findingsJson(races.findings) << "\n  }";
+    return out.str();
+}
+
+std::string
+containmentJson(const check::ContainmentResult &containment,
+                const staticdep::StaticSliceResult &static_slice)
+{
+    std::ostringstream out;
+    out << "{\n"
+        << "    \"ok\": " << (containment.ok() ? "true" : "false") << ",\n"
+        << "    \"instructions_checked\": "
+        << containment.instructionsChecked << ",\n"
+        << "    \"in_slice_checked\": " << containment.inSliceChecked
+        << ",\n"
+        << "    \"violations\": " << containment.violations << ",\n"
+        << "    \"static_sites\": " << static_slice.siteUniverse << ",\n"
+        << "    \"static_included\": " << static_slice.includedSites
+        << ",\n"
+        << "    \"static_data_edges\": " << static_slice.dataEdges << ",\n"
+        << "    \"static_control_edges\": " << static_slice.controlEdges
+        << ",\n"
+        << "    \"static_call_edges\": " << static_slice.callEdges << ",\n"
+        << "    \"findings\": " << findingsJson(containment.findings)
+        << "\n  }";
     return out.str();
 }
 
@@ -371,11 +401,53 @@ main(int argc, char **argv)
         std::printf("    %s\n", sample.c_str());
     printFindings(races.findings);
 
+    // ---- pass 4: static slice containment ----------------------------------
+    staticdep::StaticSliceResult static_slice;
+    check::ContainmentResult containment;
+    {
+        ScopedPhase phase("containment");
+        staticdep::ModelOptions model_options;
+        model_options.endIndex = window;
+        const staticdep::StaticAnalysis static_analysis =
+            staticdep::buildStaticAnalysis(records, cfgs, deps,
+                                           model_options);
+        staticdep::StaticSliceOptions static_options;
+        static_options.mode = slice_options.mode;
+        static_options.includeControlDeps =
+            slice_options.includeControlDeps;
+        static_options.includeRegisterDeps =
+            slice_options.includeRegisterDeps;
+        static_slice = staticdep::computeStaticSlice(static_analysis,
+                                                     criteria,
+                                                     static_options);
+        staticdep::publishStaticSliceMetrics(static_slice);
+        containment = check::checkContainment(records, cfgs, symtab, slice,
+                                              static_slice);
+    }
+    std::printf("containment: %s — %llu in-slice of %llu instructions "
+                "inside a static slice of %llu/%llu sites (%.1f%%)\n",
+                containment.ok()
+                    ? "dynamic ⊆ static"
+                    : format("%llu violations",
+                             static_cast<unsigned long long>(
+                                 containment.violations))
+                          .c_str(),
+                static_cast<unsigned long long>(
+                    containment.inSliceChecked),
+                static_cast<unsigned long long>(
+                    containment.instructionsChecked),
+                static_cast<unsigned long long>(
+                    static_slice.includedSites),
+                static_cast<unsigned long long>(static_slice.siteUniverse),
+                static_slice.slicePercent());
+    printFindings(containment.findings);
+
     if (!metrics_json.empty()) {
         const std::vector<std::pair<std::string, std::string>> extras = {
             {"graph_lint", graphLintJson(lint)},
             {"soundness", soundnessJson(sound, have_values)},
             {"races", racesJson(races)},
+            {"containment", containmentJson(containment, static_slice)},
             {"artifacts",
              trace::artifactDigestsJson(prefix, /*include_values=*/true)},
         };
@@ -386,7 +458,8 @@ main(int argc, char **argv)
 
     const uint64_t violations = lint.findings.total +
                                 sound.findings.total +
-                                races.findings.total;
+                                races.findings.total +
+                                containment.findings.total;
     if (violations > 0) {
         std::fprintf(stderr, "webslice-check: %llu violations\n",
                      static_cast<unsigned long long>(violations));

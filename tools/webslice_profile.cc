@@ -38,9 +38,12 @@
 
 #include "analysis/categorize.hh"
 #include "analysis/function_stats.hh"
+#include "analysis/report.hh"
 #include "analysis/thread_stats.hh"
+#include "check/containment.hh"
 #include "check/graph_lint.hh"
 #include "check/soundness.hh"
+#include "staticdep/slice.hh"
 #include "graph/cfg.hh"
 #include "graph/control_deps.hh"
 #include "slicer/slicer.hh"
@@ -59,7 +62,7 @@ namespace {
 constexpr char kUsage[] =
     "usage: %s <prefix> [--syscalls] [--no-window] [--top N] [--jobs N]\n"
     "       [--backward-jobs N] [--metrics-json FILE] [--progress]\n"
-    "       [--verify]\n"
+    "       [--verify] [--static-compare]\n"
     "\n"
     "  --syscalls            slice on syscall-read values instead of pixel\n"
     "                        buffers\n"
@@ -75,7 +78,11 @@ constexpr char kUsage[] =
     "  --progress            phase notices and a reverse-walk heartbeat on\n"
     "                        stderr\n"
     "  --verify              run the graph linter and the slice soundness\n"
-    "                        replay after slicing; exit 2 on violation\n";
+    "                        replay after slicing; exit 2 on violation\n"
+    "  --static-compare      run the static dependence analysis over the\n"
+    "                        same window, assert dynamic ⊆ static, and\n"
+    "                        print the static-vs-dynamic contrast; exit 2\n"
+    "                        on a containment violation\n";
 
 /**
  * Parse a non-negative decimal integer flag value; anything else — empty,
@@ -159,6 +166,7 @@ main(int argc, char **argv)
     bool use_window = true;
     bool progress = false;
     bool verify = false;
+    bool static_compare = false;
     size_t top = 12;
     std::string metrics_json;
     for (int a = 2; a < argc; ++a) {
@@ -187,6 +195,8 @@ main(int argc, char **argv)
             options.progressIntervalSeconds = 2.0;
         } else if (!std::strcmp(argv[a], "--verify")) {
             verify = true;
+        } else if (!std::strcmp(argv[a], "--static-compare")) {
+            static_compare = true;
         } else {
             std::fprintf(stderr, "%s: unknown flag '%s'\n", argv[0],
                          argv[a]);
@@ -300,6 +310,80 @@ main(int argc, char **argv)
         }
     }
 
+    // ---- static contrast (--static-compare) --------------------------------
+    uint64_t containment_violations = 0;
+    std::string static_compare_json;
+    if (static_compare) {
+        phaseNotice(progress, "static-compare");
+        const trace::MappedTrace mapped(prefix + ".trc");
+        const auto records = mapped.records();
+        const size_t window = std::min(options.endIndex, records.size());
+
+        staticdep::ModelOptions model_options;
+        model_options.endIndex = window;
+        const staticdep::StaticAnalysis static_analysis =
+            staticdep::buildStaticAnalysis(records, cfgs, deps,
+                                           model_options);
+        staticdep::StaticSliceOptions static_options;
+        static_options.mode = options.mode;
+        static_options.includeControlDeps = options.includeControlDeps;
+        static_options.includeRegisterDeps = options.includeRegisterDeps;
+        const staticdep::StaticSliceResult static_slice =
+            staticdep::computeStaticSlice(static_analysis, criteria,
+                                          static_options);
+        staticdep::publishStaticSliceMetrics(static_slice);
+
+        check::ContainmentResult containment;
+        {
+            ScopedPhase phase("static-compare");
+            containment = check::checkContainment(
+                records, cfgs, symtab, slice, static_slice);
+        }
+        containment_violations = containment.findings.total;
+
+        const auto contrast = analysis::contrastSlices(
+            records, slice.inSlice, static_slice, cfgs, symtab,
+            analysis::Categorizer::chromiumDefault(), window);
+        std::ostringstream contrast_os;
+        analysis::renderContrast(contrast_os, contrast);
+        std::fprintf(report,
+                     "\nstatic slice: %s of %s sites (%.1f%%), "
+                     "containment %s\n%s",
+                     withCommas(static_slice.includedSites).c_str(),
+                     withCommas(static_slice.siteUniverse).c_str(),
+                     static_slice.slicePercent(),
+                     containment.ok()
+                         ? "dynamic ⊆ static"
+                         : format("%llu VIOLATIONS",
+                                  static_cast<unsigned long long>(
+                                      containment.violations))
+                               .c_str(),
+                     contrast_os.str().c_str());
+        for (const auto &message : containment.findings.messages)
+            if (!message.empty())
+                std::fprintf(report, "    %s\n", message.c_str());
+
+        std::ostringstream json;
+        json << "{\n"
+             << "    \"static_sites\": " << static_slice.siteUniverse
+             << ",\n"
+             << "    \"static_included\": " << static_slice.includedSites
+             << ",\n"
+             << "    \"static_data_edges\": " << static_slice.dataEdges
+             << ",\n"
+             << "    \"static_control_edges\": "
+             << static_slice.controlEdges << ",\n"
+             << "    \"containment_ok\": "
+             << (containment.ok() ? "true" : "false") << ",\n"
+             << "    \"containment_violations\": "
+             << containment.violations << ",\n"
+             << "    \"statically_removable\": "
+             << contrast.staticallyRemovable << ",\n"
+             << "    \"dynamic_only\": " << contrast.dynamicOnly
+             << "\n  }";
+        static_compare_json = json.str();
+    }
+
     // ---- inline verification (--verify) ------------------------------------
     uint64_t verify_violations = 0;
     if (verify) {
@@ -341,20 +425,23 @@ main(int argc, char **argv)
     }
 
     if (!metrics_json.empty()) {
-        const std::vector<std::pair<std::string, std::string>> extras = {
+        std::vector<std::pair<std::string, std::string>> extras = {
             {"slice", sliceStatsJson(slice, meta, options)},
             {"artifacts", trace::artifactDigestsJson(prefix)},
         };
+        if (!static_compare_json.empty())
+            extras.emplace_back("static_compare", static_compare_json);
         writeMetricsReport(metrics_json, MetricRegistry::global(),
                            "webslice-profile", extras);
         if (progress)
             std::fprintf(stderr, "progress: metrics report written to %s\n",
                          metrics_json.c_str());
     }
-    if (verify_violations > 0) {
-        std::fprintf(stderr, "webslice-profile: --verify found %llu "
+    if (verify_violations + containment_violations > 0) {
+        std::fprintf(stderr, "webslice-profile: %llu verification "
                              "violations\n",
-                     static_cast<unsigned long long>(verify_violations));
+                     static_cast<unsigned long long>(
+                         verify_violations + containment_violations));
         return 2;
     }
     return 0;
