@@ -295,6 +295,23 @@ Server::statsResponse() const
     }
     j.set("slicer", std::move(slicer_json));
 
+    // Trace-layer I/O counters: on-disk footprint touched, columnar
+    // blocks decoded, and value-log checkpoint restores. Same
+    // stable-zeros contract as the slicer section.
+    Json trace_json = Json::object();
+    for (const char *name :
+         {"trace.bytes_on_disk", "trace.bytes_decoded",
+          "trace.blocks_decoded", "trace.checkpoint_restores",
+          "trace.block_cache_hits", "trace.block_cache_misses",
+          "trace.block_cache_evictions"}) {
+        const char *dot = std::strchr(name, '.');
+        trace_json.set(dot + 1,
+                       Json::integer(static_cast<int64_t>(
+                           MetricRegistry::global().counter(name)
+                               .value())));
+    }
+    j.set("trace", std::move(trace_json));
+
     const auto sched = scheduler_.stats();
     Json sched_json = Json::object();
     sched_json.set("submitted",

@@ -6,6 +6,7 @@
 #include "support/logging.hh"
 #include "support/metrics.hh"
 #include "support/strings.hh"
+#include "trace/columnar.hh"
 
 namespace webslice {
 namespace service {
@@ -27,10 +28,17 @@ cacheCounter(const char *name)
 uint64_t
 estimateSessionBytes(const Session &session)
 {
+    // Artifacts are charged at their on-disk size — for a columnar (v2)
+    // trace that is the compressed footprint, which is also what the
+    // digest pass read. The decoded view is charged separately below
+    // when the trace could not be mmap'd (v2 always decodes into an
+    // owned buffer).
     uint64_t bytes = 0;
     for (const auto &artifact : session.digests)
         if (artifact.digest.ok)
             bytes += artifact.digest.bytes;
+    if (session.trace && !session.trace->mapped())
+        bytes += session.trace->records().size() * sizeof(trace::Record);
 
     uint64_t nodes = 0;
     uint64_t edges = 0;
@@ -65,6 +73,10 @@ SessionCache::SessionCache(uint64_t byte_budget, int forward_jobs)
     : budget_(byte_budget), forwardJobs_(forward_jobs)
 {
     counters_.byteBudget = byte_budget;
+    // The columnar trace decode cache shares the --cache-bytes budget
+    // rather than adding its own: a quarter goes to decoded v2 blocks
+    // (ranged reads, epoch transcodes), the rest stays with sessions.
+    trace::TraceDecodeCache::global().setBudget(byte_budget / 4);
 }
 
 std::shared_ptr<Session>

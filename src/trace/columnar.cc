@@ -1,0 +1,632 @@
+#include "trace/columnar.hh"
+
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#define WEBSLICE_HAVE_PREAD 1
+#endif
+
+#include <unordered_set>
+
+#include "support/logging.hh"
+#include "support/lz.hh"
+#include "support/metrics.hh"
+#include "trace/trace_file.hh"
+
+namespace webslice {
+namespace trace {
+
+namespace {
+
+constexpr uint8_t kMaxKind = static_cast<uint8_t>(RecordKind::Marker);
+constexpr uint8_t kAllFlags = kFlagTaken | kFlagIndirect;
+
+/** Register column mapping: kNoReg <-> 0, reg <-> reg + 1. */
+uint64_t
+regToColumn(RegId reg)
+{
+    return reg == kNoReg ? 0 : static_cast<uint64_t>(reg) + 1;
+}
+
+bool
+regFromColumn(uint64_t v, RegId &out)
+{
+    if (v == 0) {
+        out = kNoReg;
+        return true;
+    }
+    if (v > 0xFFFF)
+        return false;
+    out = static_cast<RegId>(v - 1);
+    return out != kNoReg;
+}
+
+/**
+ * `trace.bytes_on_disk` totals the on-disk footprint of distinct trace
+ * files this process has opened (both formats); repeated opens of the
+ * same file must not double-count, so identities are remembered.
+ */
+std::mutex seenTracesMutex;
+std::unordered_set<uint64_t> seenTraces;
+
+} // namespace
+
+void
+noteTraceBytesOnDisk(uint64_t identity, uint64_t bytes)
+{
+    {
+        std::lock_guard<std::mutex> lock(seenTracesMutex);
+        if (!seenTraces.insert(identity).second)
+            return;
+    }
+    MetricRegistry::global().counter("trace.bytes_on_disk").add(bytes);
+}
+
+uint64_t
+traceFileIdentity(const std::string &path, uint64_t file_bytes)
+{
+    uint64_t identity = kFnv1a64Offset;
+#ifdef WEBSLICE_HAVE_PREAD
+    struct stat st;
+    if (::stat(path.c_str(), &st) == 0) {
+        identity = fnv1a64(&st.st_dev, sizeof(st.st_dev), identity);
+        identity = fnv1a64(&st.st_ino, sizeof(st.st_ino), identity);
+        identity = fnv1a64(&st.st_size, sizeof(st.st_size), identity);
+        identity = fnv1a64(&st.st_mtime, sizeof(st.st_mtime), identity);
+        return identity;
+    }
+#endif
+    identity = fnv1a64(path.data(), path.size(), identity);
+    identity = fnv1a64(&file_bytes, sizeof(file_bytes), identity);
+    return identity;
+}
+
+void
+putVarint(uint64_t v, std::vector<uint8_t> &out)
+{
+    while (v >= 0x80) {
+        out.push_back(static_cast<uint8_t>(v) | 0x80);
+        v >>= 7;
+    }
+    out.push_back(static_cast<uint8_t>(v));
+}
+
+bool
+getVarint(const uint8_t *&p, const uint8_t *end, uint64_t &v)
+{
+    v = 0;
+    unsigned shift = 0;
+    while (p < end) {
+        const uint8_t b = *p++;
+        if (shift == 63 && (b & 0x7F) > 1)
+            return false; // would overflow 64 bits
+        v |= static_cast<uint64_t>(b & 0x7F) << shift;
+        if (!(b & 0x80))
+            return true;
+        shift += 7;
+        if (shift > 63)
+            return false;
+    }
+    return false; // truncated
+}
+
+// ---- block codec -------------------------------------------------------
+
+namespace {
+
+/** Column ids, in payload order. */
+enum Column
+{
+    kColKindFlags = 0,
+    kColPc,
+    kColAddr,
+    kColAux,
+    kColTid,
+    kColRr0,
+    kColRr1,
+    kColRr2,
+    kColRw,
+    kColumnCount,
+};
+
+void
+putDelta(uint64_t cur, uint64_t &prev, std::vector<uint8_t> &col)
+{
+    putVarint(zigzag(static_cast<int64_t>(cur - prev)), col);
+    prev = cur;
+}
+
+} // namespace
+
+uint32_t
+encodeV2Block(const Record *records, size_t count, V2Checkpoint &state,
+              std::vector<uint8_t> &out)
+{
+    std::vector<uint8_t> cols[kColumnCount];
+    uint64_t prev_pc = state.prevPc;
+    uint64_t prev_addr = state.prevAddr;
+    uint64_t prev_aux = state.prevAux;
+    uint64_t prev_tid = state.prevTid;
+    for (size_t i = 0; i < count; ++i) {
+        const Record &rec = records[i];
+        const uint8_t kind = static_cast<uint8_t>(rec.kind);
+        panic_if(kind > kMaxKind || (rec.flags & ~kAllFlags),
+                 "record kind/flags out of encodable range: kind ",
+                 unsigned{kind}, " flags ", unsigned{rec.flags});
+        cols[kColKindFlags].push_back(
+            static_cast<uint8_t>(kind | (rec.flags << 4)));
+        putDelta(rec.pc, prev_pc, cols[kColPc]);
+        putDelta(rec.addr, prev_addr, cols[kColAddr]);
+        putDelta(rec.aux, prev_aux, cols[kColAux]);
+        putDelta(rec.tid, prev_tid, cols[kColTid]);
+        putVarint(regToColumn(rec.rr0), cols[kColRr0]);
+        putVarint(regToColumn(rec.rr1), cols[kColRr1]);
+        putVarint(regToColumn(rec.rr2), cols[kColRr2]);
+        putVarint(regToColumn(rec.rw), cols[kColRw]);
+    }
+    state.prevPc = static_cast<uint32_t>(prev_pc);
+    state.prevAddr = prev_addr;
+    state.prevAux = static_cast<uint32_t>(prev_aux);
+    state.prevTid = static_cast<uint16_t>(prev_tid);
+
+    std::vector<uint8_t> raw;
+    raw.reserve(count * 10 + 64);
+    putVarint(count, raw);
+    for (const auto &col : cols) {
+        putVarint(col.size(), raw);
+        raw.insert(raw.end(), col.begin(), col.end());
+    }
+    lzCompress(raw.data(), raw.size(), out);
+    return static_cast<uint32_t>(raw.size());
+}
+
+void
+decodeV2Block(const uint8_t *payload, size_t encoded_bytes,
+              size_t raw_bytes, size_t expect_records,
+              const V2Checkpoint &checkpoint, std::vector<Record> &out,
+              const std::string &context)
+{
+    std::vector<uint8_t> raw(raw_bytes);
+    fatal_if(!lzDecompress(payload, encoded_bytes, raw.data(), raw_bytes),
+             "corrupt compressed trace block in ", context,
+             ": LZ stream does not decode to the ", raw_bytes,
+             " bytes the index claims");
+
+    const uint8_t *p = raw.data();
+    const uint8_t *const end = p + raw.size();
+    uint64_t count = 0;
+    fatal_if(!getVarint(p, end, count) || count != expect_records,
+             "corrupt trace block in ", context, ": payload claims ",
+             count, " records, index claims ", expect_records);
+
+    // Column extents are declared up front; every decode below is
+    // bounds-checked against its own column, so a corrupt length in
+    // one column cannot bleed reads into the next.
+    const uint8_t *col[kColumnCount];
+    const uint8_t *col_end[kColumnCount];
+    for (int c = 0; c < kColumnCount; ++c) {
+        uint64_t len = 0;
+        fatal_if(!getVarint(p, end, len) ||
+                 len > static_cast<uint64_t>(end - p),
+                 "corrupt trace block in ", context, ": column ", c,
+                 " overruns the payload");
+        col[c] = p;
+        col_end[c] = p + len;
+        p += len;
+    }
+    fatal_if(p != end, "corrupt trace block in ", context, ": ",
+             end - p, " trailing payload bytes after the last column");
+
+    out.clear();
+    out.reserve(count);
+    uint64_t prev_pc = checkpoint.prevPc;
+    uint64_t prev_addr = checkpoint.prevAddr;
+    uint64_t prev_aux = checkpoint.prevAux;
+    uint64_t prev_tid = checkpoint.prevTid;
+    const auto corrupt_column = [&](int c) {
+        fatal_if(true, "corrupt trace block in ", context, ": column ",
+                 c, " is truncated or malformed at record ", out.size());
+    };
+    const auto delta = [&](int c, uint64_t &prev) {
+        uint64_t z = 0;
+        if (!getVarint(col[c], col_end[c], z))
+            corrupt_column(c);
+        prev += static_cast<uint64_t>(unzigzag(z));
+        return prev;
+    };
+    const auto reg = [&](int c) {
+        uint64_t v = 0;
+        RegId r = kNoReg;
+        if (!getVarint(col[c], col_end[c], v) || !regFromColumn(v, r))
+            corrupt_column(c);
+        return r;
+    };
+    for (uint64_t i = 0; i < count; ++i) {
+        Record rec;
+        if (col[kColKindFlags] >= col_end[kColKindFlags])
+            corrupt_column(kColKindFlags);
+        const uint8_t kf = *col[kColKindFlags]++;
+        const uint8_t kind = kf & 0x0F;
+        const uint8_t flags = kf >> 4;
+        fatal_if(kind > kMaxKind || (flags & ~kAllFlags),
+                 "corrupt trace block in ", context,
+                 ": undecodable kind/flags byte 0x", kf, " at record ",
+                 i);
+        rec.kind = static_cast<RecordKind>(kind);
+        rec.flags = flags;
+        const uint64_t pc = delta(kColPc, prev_pc);
+        const uint64_t aux = delta(kColAux, prev_aux);
+        const uint64_t tid = delta(kColTid, prev_tid);
+        fatal_if(pc > 0xFFFFFFFFull || aux > 0xFFFFFFFFull ||
+                 tid > 0xFFFFull,
+                 "corrupt trace block in ", context,
+                 ": delta column leaves field range at record ", i);
+        rec.pc = static_cast<Pc>(pc);
+        rec.addr = delta(kColAddr, prev_addr);
+        rec.aux = static_cast<uint32_t>(aux);
+        rec.tid = static_cast<ThreadId>(tid);
+        rec.rr0 = reg(kColRr0);
+        rec.rr1 = reg(kColRr1);
+        rec.rr2 = reg(kColRr2);
+        rec.rw = reg(kColRw);
+        out.push_back(rec);
+    }
+    for (int c = 0; c < kColumnCount; ++c) {
+        fatal_if(col[c] != col_end[c], "corrupt trace block in ", context,
+                 ": column ", c, " has ", col_end[c] - col[c],
+                 " undecoded trailing bytes");
+    }
+
+    auto &registry = MetricRegistry::global();
+    registry.counter("trace.blocks_decoded").add();
+    registry.counter("trace.bytes_decoded")
+        .add(out.size() * sizeof(Record));
+}
+
+// ---- V2TraceFile -------------------------------------------------------
+
+V2TraceFile::V2TraceFile(const std::string &path) : path_(path)
+{
+    uint64_t file_bytes = 0;
+#ifdef WEBSLICE_HAVE_PREAD
+    fd_ = ::open(path.c_str(), O_RDONLY);
+    fatal_if(fd_ < 0, "cannot open trace file ", path);
+    struct stat st;
+    fatal_if(::fstat(fd_, &st) != 0, "cannot stat trace file ", path);
+    file_bytes = static_cast<uint64_t>(st.st_size);
+#else
+    file_ = std::fopen(path.c_str(), "rb");
+    fatal_if(!file_, "cannot open trace file ", path);
+    fatal_if(std::fseek(file_, 0, SEEK_END) != 0,
+             "cannot seek in trace file ", path);
+    file_bytes = static_cast<uint64_t>(std::ftell(file_));
+#endif
+
+    const auto read_at = [&](void *out, size_t size, uint64_t offset,
+                             const char *what) {
+#ifdef WEBSLICE_HAVE_PREAD
+        const ssize_t got =
+            ::pread(fd_, out, size, static_cast<off_t>(offset));
+        fatal_if(got != static_cast<ssize_t>(size), "cannot read ", what,
+                 " from trace file ", path, " at offset ", offset);
+#else
+        fatal_if(std::fseek(file_, static_cast<long>(offset), SEEK_SET) !=
+                 0, "cannot seek in trace file ", path);
+        fatal_if(std::fread(out, size, 1, file_) != 1, "cannot read ",
+                 what, " from trace file ", path, " at offset ", offset);
+#endif
+    };
+
+    fatal_if(file_bytes < sizeof(V2Header),
+             "trace file too small for a v2 header: ", path, " (",
+             file_bytes, " of ", sizeof(V2Header), " bytes)");
+    V2Header header;
+    read_at(&header, sizeof(header), 0, "header");
+    V2Header expect;
+    fatal_if(std::memcmp(header.magic, expect.magic,
+                         sizeof(expect.magic)) != 0,
+             "bad trace magic in ", path);
+
+    // The index is the file's tail; its location pins every size check.
+    V2IndexHeader index_header;
+    fatal_if(header.indexOffset < sizeof(V2Header) ||
+             header.indexOffset + sizeof(V2IndexHeader) > file_bytes,
+             "corrupt trace block index in ", path,
+             ": index offset ", header.indexOffset,
+             " outside the file (", file_bytes, " bytes)");
+    read_at(&index_header, sizeof(index_header), header.indexOffset,
+            "block index header");
+    V2IndexHeader expect_index;
+    fatal_if(std::memcmp(index_header.magic, expect_index.magic,
+                         sizeof(expect_index.magic)) != 0,
+             "corrupt trace block index in ", path,
+             ": bad index magic at offset ", header.indexOffset);
+    fatal_if(index_header.blockRecords == 0,
+             "corrupt trace block index in ", path,
+             ": zero records per block");
+    const uint64_t blocks =
+        (header.recordCount + index_header.blockRecords - 1) /
+        index_header.blockRecords;
+    fatal_if(index_header.blockCount != blocks,
+             "corrupt trace block index in ", path, ": index claims ",
+             index_header.blockCount, " blocks, trace geometry implies ",
+             blocks);
+    const uint64_t index_end = header.indexOffset +
+                               sizeof(V2IndexHeader) +
+                               blocks * sizeof(V2BlockEntry);
+    fatal_if(index_end != file_bytes, "corrupt trace file ", path,
+             ": file ends at offset ", file_bytes,
+             ", index geometry implies ", index_end);
+
+    index_.recordCount = header.recordCount;
+    index_.blockRecords = index_header.blockRecords;
+    index_.blocks.resize(blocks);
+    if (blocks > 0) {
+        read_at(index_.blocks.data(), blocks * sizeof(V2BlockEntry),
+                header.indexOffset + sizeof(V2IndexHeader),
+                "block index entries");
+    }
+
+    // Entries must tile [header, indexOffset) exactly, in order, and
+    // their record counts must tile the record space.
+    uint64_t offset = sizeof(V2Header);
+    uint64_t records = 0;
+    for (size_t b = 0; b < index_.blocks.size(); ++b) {
+        const V2BlockEntry &entry = index_.blocks[b];
+        fatal_if(entry.fileOffset != offset,
+                 "corrupt trace block index in ", path, ": block ", b,
+                 " claims offset ", entry.fileOffset, ", expected ",
+                 offset);
+        fatal_if(entry.encodedBytes == 0 ||
+                 offset + entry.encodedBytes > header.indexOffset,
+                 "corrupt trace block index in ", path, ": block ", b,
+                 " payload overruns the index at offset ",
+                 header.indexOffset);
+        const uint64_t expect_records =
+            b + 1 < blocks
+                ? index_.blockRecords
+                : header.recordCount - b * index_.blockRecords;
+        fatal_if(entry.records != expect_records,
+                 "corrupt trace block index in ", path, ": block ", b,
+                 " claims ", entry.records, " records, geometry implies ",
+                 expect_records);
+        fatal_if(entry.instructions + entry.pseudoRecords !=
+                 entry.records,
+                 "corrupt trace block index in ", path, ": block ", b,
+                 " counts ", entry.instructions, " + ",
+                 entry.pseudoRecords, " records against ", entry.records);
+        offset += entry.encodedBytes;
+        records += entry.records;
+    }
+    fatal_if(offset != header.indexOffset,
+             "corrupt trace block index in ", path, ": blocks end at ",
+             offset, ", index starts at ", header.indexOffset);
+    fatal_if(records != header.recordCount,
+             "corrupt trace block index in ", path, ": blocks carry ",
+             records, " records, header claims ", header.recordCount);
+
+    cacheKey_ = traceFileIdentity(path, file_bytes);
+    noteTraceBytesOnDisk(cacheKey_, file_bytes);
+}
+
+V2TraceFile::~V2TraceFile()
+{
+#ifdef WEBSLICE_HAVE_PREAD
+    if (fd_ >= 0)
+        ::close(fd_);
+#endif
+    if (file_)
+        std::fclose(file_);
+}
+
+void
+V2TraceFile::decodeBlock(size_t b, std::vector<Record> &out) const
+{
+    panic_if(b >= index_.blocks.size(), "v2 block ", b, " out of range");
+    const V2BlockEntry &entry = index_.blocks[b];
+    std::vector<uint8_t> payload(entry.encodedBytes);
+#ifdef WEBSLICE_HAVE_PREAD
+    const ssize_t got = ::pread(fd_, payload.data(), payload.size(),
+                                static_cast<off_t>(entry.fileOffset));
+    fatal_if(got != static_cast<ssize_t>(payload.size()),
+             "cannot read block ", b, " from trace file ", path_,
+             " at offset ", entry.fileOffset);
+#else
+    {
+        std::lock_guard<std::mutex> lock(fileMutex_);
+        fatal_if(std::fseek(file_, static_cast<long>(entry.fileOffset),
+                            SEEK_SET) != 0,
+                 "cannot seek in trace file ", path_);
+        fatal_if(std::fread(payload.data(), payload.size(), 1, file_) !=
+                 1, "cannot read block ", b, " from trace file ", path_,
+                 " at offset ", entry.fileOffset);
+    }
+#endif
+    const std::string context = path_ + " (block " +
+                                std::to_string(b) + " at offset " +
+                                std::to_string(entry.fileOffset) + ")";
+    decodeV2Block(payload.data(), payload.size(), entry.rawBytes,
+                  entry.records, entry.checkpoint, out, context);
+}
+
+// ---- TraceDecodeCache --------------------------------------------------
+
+TraceDecodeCache &
+TraceDecodeCache::global()
+{
+    static TraceDecodeCache cache;
+    return cache;
+}
+
+void
+TraceDecodeCache::setBudget(uint64_t bytes)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    budget_ = bytes;
+    evictLocked();
+}
+
+uint64_t
+TraceDecodeCache::budget() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return budget_;
+}
+
+std::shared_ptr<const std::vector<Record>>
+TraceDecodeCache::acquire(const V2TraceFile &file, size_t b)
+{
+    const Key key{file.cacheKey(), b};
+    auto &registry = MetricRegistry::global();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = entries_.find(key);
+        if (it != entries_.end()) {
+            ++counters_.hits;
+            registry.counter("trace.block_cache_hits").add();
+            lru_.erase(it->second.lruIt);
+            lru_.push_front(key);
+            it->second.lruIt = lru_.begin();
+            return it->second.block;
+        }
+        ++counters_.misses;
+        registry.counter("trace.block_cache_misses").add();
+    }
+
+    // Decode outside the lock: a concurrent miss on the same block may
+    // decode twice, but never blocks every other reader on the decode.
+    auto block = std::make_shared<std::vector<Record>>();
+    file.decodeBlock(b, *block);
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(key);
+    if (it != entries_.end())
+        return it->second.block; // racer inserted first; keep theirs
+    CacheEntry entry;
+    entry.block = block;
+    entry.bytes = block->size() * sizeof(Record);
+    lru_.push_front(key);
+    entry.lruIt = lru_.begin();
+    bytes_ += entry.bytes;
+    entries_.emplace(key, std::move(entry));
+    evictLocked();
+    return block;
+}
+
+void
+TraceDecodeCache::evictLocked()
+{
+    while (bytes_ > budget_ && lru_.size() > 1) {
+        const Key victim = lru_.back();
+        auto it = entries_.find(victim);
+        bytes_ -= it->second.bytes;
+        entries_.erase(it);
+        lru_.pop_back();
+        ++counters_.evictions;
+        MetricRegistry::global()
+            .counter("trace.block_cache_evictions")
+            .add();
+    }
+}
+
+void
+TraceDecodeCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.clear();
+    lru_.clear();
+    bytes_ = 0;
+}
+
+TraceDecodeCache::Stats
+TraceDecodeCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Stats out = counters_;
+    out.entries = entries_.size();
+    out.bytes = bytes_;
+    return out;
+}
+
+// ---- V2WriterBackend ---------------------------------------------------
+
+V2WriterBackend::V2WriterBackend(std::FILE *file, std::string path)
+    : file_(file), path_(std::move(path))
+{
+    V2Header header; // counts and index offset patched in finish()
+    fatal_if(std::fwrite(&header, sizeof(header), 1, file_) != 1,
+             "cannot write trace header to ", path_);
+    index_.blockRecords = kTraceIndexBlockRecords;
+    block_.reserve(kTraceIndexBlockRecords);
+}
+
+void
+V2WriterBackend::append(const Record &rec)
+{
+    block_.push_back(rec);
+    if (block_.size() >= kTraceIndexBlockRecords)
+        flushBlock();
+}
+
+void
+V2WriterBackend::flushBlock()
+{
+    if (block_.empty())
+        return;
+    V2BlockEntry entry;
+    entry.fileOffset = sizeof(V2Header);
+    for (const V2BlockEntry &prev : index_.blocks)
+        entry.fileOffset += prev.encodedBytes;
+    entry.checkpoint = state_;
+    entry.records = static_cast<uint32_t>(block_.size());
+    for (const Record &rec : block_) {
+        if (rec.isPseudo())
+            ++entry.pseudoRecords;
+        else
+            ++entry.instructions;
+    }
+    encoded_.clear();
+    entry.rawBytes =
+        encodeV2Block(block_.data(), block_.size(), state_, encoded_);
+    entry.encodedBytes = static_cast<uint32_t>(encoded_.size());
+    fatal_if(std::fwrite(encoded_.data(), 1, encoded_.size(), file_) !=
+             encoded_.size(), "short write to trace file ", path_);
+    written_ += block_.size();
+    index_.blocks.push_back(entry);
+    block_.clear();
+}
+
+void
+V2WriterBackend::finish()
+{
+    flushBlock();
+    uint64_t index_offset = sizeof(V2Header);
+    for (const V2BlockEntry &entry : index_.blocks)
+        index_offset += entry.encodedBytes;
+
+    V2IndexHeader index_header;
+    index_header.blockRecords = index_.blockRecords;
+    index_header.blockCount = index_.blocks.size();
+    fatal_if(std::fwrite(&index_header, sizeof(index_header), 1, file_) !=
+             1, "cannot write trace block index to ", path_);
+    if (!index_.blocks.empty()) {
+        fatal_if(std::fwrite(index_.blocks.data(), sizeof(V2BlockEntry),
+                             index_.blocks.size(),
+                             file_) != index_.blocks.size(),
+                 "cannot write trace block index to ", path_);
+    }
+
+    V2Header header;
+    header.recordCount = written_;
+    header.indexOffset = index_offset;
+    fatal_if(std::fseek(file_, 0, SEEK_SET) != 0,
+             "cannot seek in trace file ", path_);
+    fatal_if(std::fwrite(&header, sizeof(header), 1, file_) != 1,
+             "cannot patch trace header in ", path_);
+}
+
+} // namespace trace
+} // namespace webslice

@@ -1,5 +1,6 @@
 #include "trace/trace_file.hh"
 
+#include <cstdio>
 #include <cstring>
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -12,6 +13,7 @@
 
 #include "support/logging.hh"
 #include "support/metrics.hh"
+#include "trace/columnar.hh"
 
 namespace webslice {
 namespace trace {
@@ -148,6 +150,7 @@ readHeader(std::FILE *file, const std::string &path,
     fatal_if(file_bytes < sizeof(TraceHeader),
              "trace file too small for a header: ", path, " (",
              file_bytes, " of ", sizeof(TraceHeader), " bytes)");
+    noteTraceBytesOnDisk(traceFileIdentity(path, file_bytes), file_bytes);
 
     TraceHeader header;
     fatal_if(std::fread(&header, sizeof(header), 1, file) != 1,
@@ -202,16 +205,57 @@ publishReaderStats(uint64_t hits, uint64_t misses, uint64_t sync_reads)
         registry.counter("trace.sync_block_reads").add(sync_reads);
 }
 
+/** Sniff a format from magic bytes already in memory; 0 = neither. */
+TraceFormat
+formatFromMagic(const char magic[8], bool &known)
+{
+    known = true;
+    TraceHeader v1;
+    if (std::memcmp(magic, v1.magic, sizeof(v1.magic)) == 0)
+        return TraceFormat::V1;
+    V2Header v2;
+    if (std::memcmp(magic, v2.magic, sizeof(v2.magic)) == 0)
+        return TraceFormat::V2;
+    known = false;
+    return TraceFormat::V1;
+}
+
 } // namespace
 
-TraceWriter::TraceWriter(const std::string &path, bool block_index)
-    : path_(path), writeIndex_(block_index)
+TraceFormat
+sniffTraceFormat(const std::string &path)
 {
-    file_ = std::fopen(path.c_str(), "wb");
-    fatal_if(!file_, "cannot create trace file ", path);
+    std::FILE *file = std::fopen(path.c_str(), "rb");
+    fatal_if(!file, "cannot open trace file ", path);
+    char magic[8] = {};
+    const size_t got = std::fread(magic, 1, sizeof(magic), file);
+    std::fclose(file);
+    fatal_if(got != sizeof(magic),
+             "trace file too small for a header: ", path);
+    bool known = false;
+    const TraceFormat format = formatFromMagic(magic, known);
+    fatal_if(!known, "bad trace magic in ", path);
+    return format;
+}
+
+TraceWriter::TraceWriter(const std::string &path, bool block_index,
+                         TraceFormat format, bool atomic)
+    : path_(atomic ? path + ".tmp" : path), finalPath_(path),
+      writeIndex_(block_index || format == TraceFormat::V2),
+      atomic_(atomic)
+{
+    file_ = std::fopen(path_.c_str(), "wb");
+    fatal_if(!file_, "cannot create trace file ", path_);
+    if (format == TraceFormat::V2) {
+        // The columnar backend owns buffering, block encoding, and the
+        // checkpointed index; file lifetime (and the atomic rename)
+        // stays here.
+        v2_ = std::make_unique<V2WriterBackend>(file_, path_);
+        return;
+    }
     TraceHeader header;
     fatal_if(std::fwrite(&header, sizeof(header), 1, file_) != 1,
-             "cannot write trace header to ", path);
+             "cannot write trace header to ", path_);
     buffer_.reserve(kWriteBufferRecords);
     if (writeIndex_)
         index_.blockRecords = kTraceIndexBlockRecords;
@@ -226,6 +270,11 @@ void
 TraceWriter::append(const Record &rec)
 {
     panic_if(!file_, "append to a closed trace writer");
+    if (v2_) {
+        v2_->append(rec);
+        ++count_;
+        return;
+    }
     buffer_.push_back(rec);
     if (writeIndex_) {
         const size_t block =
@@ -260,6 +309,12 @@ TraceWriter::close()
 {
     if (!file_)
         return;
+    if (v2_) {
+        v2_->finish();
+        v2_.reset();
+        finishFile();
+        return;
+    }
     flush();
     if (writeIndex_) {
         // The stream sits at end-of-records after flush(); the footer
@@ -287,13 +342,46 @@ TraceWriter::close()
              "cannot seek in trace file ", path_);
     fatal_if(std::fwrite(&header, sizeof(header), 1, file_) != 1,
              "cannot patch trace header in ", path_);
+    finishFile();
+}
+
+void
+TraceWriter::finishFile()
+{
+    fatal_if(std::fflush(file_) != 0, "short write to trace file ",
+             path_);
+#if defined(__unix__) || defined(__APPLE__)
+    // Durability before visibility: the rename below must never
+    // publish a file whose bytes are still in the page cache only.
+    if (atomic_)
+        fatal_if(::fsync(::fileno(file_)) != 0,
+                 "cannot fsync trace file ", path_);
+#endif
     std::fclose(file_);
     file_ = nullptr;
+    if (atomic_) {
+        fatal_if(std::rename(path_.c_str(), finalPath_.c_str()) != 0,
+                 "cannot rename trace file ", path_, " into place as ",
+                 finalPath_);
+    }
 }
 
 std::vector<Record>
 loadTrace(const std::string &path)
 {
+    if (sniffTraceFormat(path) == TraceFormat::V2) {
+        // One-shot whole-file read: decode blocks in order, bypassing
+        // the decode cache (nothing would be revisited).
+        const V2TraceFile v2(path);
+        std::vector<Record> records;
+        records.reserve(static_cast<size_t>(v2.count()));
+        std::vector<Record> block;
+        for (size_t b = 0; b < v2.index().blocks.size(); ++b) {
+            v2.decodeBlock(b, block);
+            records.insert(records.end(), block.begin(), block.end());
+        }
+        return records;
+    }
     std::FILE *file = std::fopen(path.c_str(), "rb");
     fatal_if(!file, "cannot open trace file ", path);
     const TraceHeader header = readHeader(file, path);
@@ -311,6 +399,31 @@ loadTrace(const std::string &path)
 std::vector<Record>
 loadTraceRange(const std::string &path, uint64_t first, uint64_t count)
 {
+    if (sniffTraceFormat(path) == TraceFormat::V2) {
+        const V2TraceFile v2(path);
+        fatal_if(first > v2.count() || count > v2.count() - first,
+                 "trace range [", first, ", ", first + count,
+                 ") out of bounds in ", path, " (", v2.count(),
+                 " records)");
+        std::vector<Record> records;
+        records.reserve(static_cast<size_t>(count));
+        const uint64_t block_records = v2.index().blockRecords;
+        auto &cache = TraceDecodeCache::global();
+        // Decode exactly the blocks the range touches; repeat touches
+        // (epoch boundary probes, per-epoch transcodes) hit the cache.
+        for (uint64_t i = first; i < first + count;) {
+            const size_t b = v2.blockOf(i);
+            const auto block = cache.acquire(v2, b);
+            const uint64_t block_start = b * block_records;
+            const uint64_t lo = i - block_start;
+            const uint64_t hi = std::min<uint64_t>(
+                block->size(), first + count - block_start);
+            records.insert(records.end(), block->begin() + lo,
+                           block->begin() + hi);
+            i = block_start + hi;
+        }
+        return records;
+    }
     std::FILE *file = std::fopen(path.c_str(), "rb");
     fatal_if(!file, "cannot open trace file ", path);
     const TraceHeader header = readHeader(file, path);
@@ -337,6 +450,20 @@ loadTraceRange(const std::string &path, uint64_t first, uint64_t count)
 TraceBlockIndex
 loadTraceBlockIndex(const std::string &path)
 {
+    if (sniffTraceFormat(path) == TraceFormat::V2) {
+        // The v2 index is structural; project it onto the v1 footer
+        // shape the epoch planner consumes.
+        const V2TraceFile v2(path);
+        TraceBlockIndex index;
+        index.blockRecords = v2.index().blockRecords;
+        index.instructions.reserve(v2.index().blocks.size());
+        index.pseudoRecords.reserve(v2.index().blocks.size());
+        for (const V2BlockEntry &entry : v2.index().blocks) {
+            index.instructions.push_back(entry.instructions);
+            index.pseudoRecords.push_back(entry.pseudoRecords);
+        }
+        return index;
+    }
     std::FILE *file = std::fopen(path.c_str(), "rb");
     fatal_if(!file, "cannot open trace file ", path);
     TraceBlockIndex index;
@@ -346,9 +473,10 @@ loadTraceBlockIndex(const std::string &path)
 }
 
 void
-saveTrace(const std::string &path, const std::vector<Record> &records)
+saveTrace(const std::string &path, const std::vector<Record> &records,
+          TraceFormat format)
 {
-    TraceWriter writer(path);
+    TraceWriter writer(path, /*block_index=*/false, format);
     for (const auto &rec : records)
         writer.append(rec);
     writer.close();
@@ -358,6 +486,27 @@ saveTrace(const std::string &path, const std::vector<Record> &records)
 
 MappedTrace::MappedTrace(const std::string &path)
 {
+    if (sniffTraceFormat(path) == TraceFormat::V2) {
+        // Columnar traces cannot be viewed zero-copy; decode the whole
+        // file into the owned buffer (mapped() stays false) and carry
+        // the index across in its footer shape.
+        const V2TraceFile v2(path);
+        fallback_.reserve(static_cast<size_t>(v2.count()));
+        std::vector<Record> block;
+        for (size_t b = 0; b < v2.index().blocks.size(); ++b) {
+            v2.decodeBlock(b, block);
+            fallback_.insert(fallback_.end(), block.begin(),
+                             block.end());
+        }
+        count_ = fallback_.size();
+        records_ = fallback_.data();
+        index_.blockRecords = v2.index().blockRecords;
+        for (const V2BlockEntry &entry : v2.index().blocks) {
+            index_.instructions.push_back(entry.instructions);
+            index_.pseudoRecords.push_back(entry.pseudoRecords);
+        }
+        return;
+    }
 #ifdef WEBSLICE_HAVE_MMAP
     const int fd = ::open(path.c_str(), O_RDONLY);
     fatal_if(fd < 0, "cannot open trace file ", path);
@@ -367,6 +516,7 @@ MappedTrace::MappedTrace(const std::string &path)
     const size_t file_bytes = static_cast<size_t>(st.st_size);
     fatal_if(file_bytes < sizeof(TraceHeader),
              "trace file too small for a header: ", path);
+    noteTraceBytesOnDisk(traceFileIdentity(path, file_bytes), file_bytes);
 
     void *map = ::mmap(nullptr, file_bytes, PROT_READ, MAP_PRIVATE, fd, 0);
     ::close(fd); // the mapping holds its own reference
@@ -428,10 +578,20 @@ ForwardTraceReader::ForwardTraceReader(const std::string &path,
                                        size_t block_records, bool prefetch)
     : blockRecords_(block_records ? block_records : 1)
 {
-    file_ = std::fopen(path.c_str(), "rb");
-    fatal_if(!file_, "cannot open trace file ", path);
-    const TraceHeader header = readHeader(file_, path);
-    count_ = header.recordCount;
+    if (sniffTraceFormat(path) == TraceFormat::V2) {
+        // v2 reads are block-decode units regardless of the requested
+        // chunking; the prefetch thread then overlaps *decode* (the v2
+        // analogue of disk latency) with the caller's analysis.
+        v2_ = std::make_unique<V2TraceFile>(path);
+        count_ = v2_->count();
+        blockRecords_ =
+            static_cast<size_t>(v2_->index().blockRecords);
+    } else {
+        file_ = std::fopen(path.c_str(), "rb");
+        fatal_if(!file_, "cannot open trace file ", path);
+        const TraceHeader header = readHeader(file_, path);
+        count_ = header.recordCount;
+    }
 
     // One-block traces gain nothing from a second thread.
     prefetch_ = prefetch && count_ > blockRecords_;
@@ -439,6 +599,19 @@ ForwardTraceReader::ForwardTraceReader(const std::string &path,
         ioRemaining_ = count_;
         io_ = std::thread([this] { ioLoop(); });
     }
+}
+
+size_t
+ForwardTraceReader::fillForwardV2(std::vector<Record> &buf,
+                                  uint64_t remaining)
+{
+    const uint64_t next = count_ - remaining;
+    const size_t b = v2_->blockOf(next);
+    const auto block = TraceDecodeCache::global().acquire(*v2_, b);
+    const uint64_t block_start = b * v2_->index().blockRecords;
+    const size_t lo = static_cast<size_t>(next - block_start);
+    buf.assign(block->begin() + lo, block->end());
+    return buf.size();
 }
 
 ForwardTraceReader::~ForwardTraceReader()
@@ -467,14 +640,19 @@ ForwardTraceReader::ioLoop()
             if (stop_)
                 return;
         }
-        const size_t this_block = static_cast<size_t>(
-            std::min<uint64_t>(blockRecords_, ioRemaining_));
-        if (this_block == 0)
+        if (ioRemaining_ == 0)
             return; // whole file handed over
-        buf.resize(this_block);
-        fatal_if(std::fread(buf.data(), sizeof(Record), this_block,
-                            file_) != this_block,
-                 "truncated trace file during forward read");
+        size_t this_block;
+        if (v2_) {
+            this_block = fillForwardV2(buf, ioRemaining_);
+        } else {
+            this_block = static_cast<size_t>(
+                std::min<uint64_t>(blockRecords_, ioRemaining_));
+            buf.resize(this_block);
+            fatal_if(std::fread(buf.data(), sizeof(Record), this_block,
+                                file_) != this_block,
+                     "truncated trace file during forward read");
+        }
         ioRemaining_ -= this_block;
         {
             std::lock_guard<std::mutex> lock(mutex_);
@@ -505,6 +683,11 @@ void
 ForwardTraceReader::fillBlockSync()
 {
     ++syncReads_;
+    if (v2_) {
+        fillForwardV2(block_, count_ - consumed_);
+        blockPos_ = 0;
+        return;
+    }
     const size_t this_block = static_cast<size_t>(
         std::min<uint64_t>(blockRecords_, count_ - consumed_));
     block_.resize(this_block);
@@ -536,10 +719,17 @@ ReverseTraceReader::ReverseTraceReader(const std::string &path,
                                        size_t block_records, bool prefetch)
     : blockRecords_(block_records ? block_records : 1)
 {
-    file_ = std::fopen(path.c_str(), "rb");
-    fatal_if(!file_, "cannot open trace file ", path);
-    const TraceHeader header = readHeader(file_, path);
-    count_ = header.recordCount;
+    if (sniffTraceFormat(path) == TraceFormat::V2) {
+        v2_ = std::make_unique<V2TraceFile>(path);
+        count_ = v2_->count();
+        blockRecords_ =
+            static_cast<size_t>(v2_->index().blockRecords);
+    } else {
+        file_ = std::fopen(path.c_str(), "rb");
+        fatal_if(!file_, "cannot open trace file ", path);
+        const TraceHeader header = readHeader(file_, path);
+        count_ = header.recordCount;
+    }
     remaining_ = count_;
 
     prefetch_ = prefetch && count_ > blockRecords_;
@@ -554,10 +744,17 @@ ReverseTraceReader::ReverseTraceReader(const std::string &path,
                                        size_t block_records, bool prefetch)
     : blockRecords_(block_records ? block_records : 1)
 {
-    file_ = std::fopen(path.c_str(), "rb");
-    fatal_if(!file_, "cannot open trace file ", path);
-    const TraceHeader header = readHeader(file_, path);
-    count_ = header.recordCount;
+    if (sniffTraceFormat(path) == TraceFormat::V2) {
+        v2_ = std::make_unique<V2TraceFile>(path);
+        count_ = v2_->count();
+        blockRecords_ =
+            static_cast<size_t>(v2_->index().blockRecords);
+    } else {
+        file_ = std::fopen(path.c_str(), "rb");
+        fatal_if(!file_, "cannot open trace file ", path);
+        const TraceHeader header = readHeader(file_, path);
+        count_ = header.recordCount;
+    }
     fatal_if(first > last || last > count_, "trace range [", first, ", ",
              last, ") out of bounds in ", path, " (", count_,
              " records)");
@@ -586,6 +783,22 @@ ReverseTraceReader::~ReverseTraceReader()
     publishReaderStats(prefetchHits_, prefetchMisses_, syncReads_);
 }
 
+size_t
+ReverseTraceReader::fillReverseV2(std::vector<Record> &buf,
+                                  uint64_t remaining)
+{
+    // One past the highest unread record, in absolute file indices.
+    const uint64_t top = rangeFirst_ + remaining;
+    const size_t b = v2_->blockOf(top - 1);
+    const auto block = TraceDecodeCache::global().acquire(*v2_, b);
+    const uint64_t block_start = b * v2_->index().blockRecords;
+    // The chunk is the in-range part of this block below `top`.
+    const uint64_t lo = std::max<uint64_t>(rangeFirst_, block_start);
+    buf.assign(block->begin() + static_cast<size_t>(lo - block_start),
+               block->begin() + static_cast<size_t>(top - block_start));
+    return buf.size();
+}
+
 void
 ReverseTraceReader::ioLoop()
 {
@@ -597,20 +810,25 @@ ReverseTraceReader::ioLoop()
             if (stop_)
                 return;
         }
-        const size_t this_block = static_cast<size_t>(
-            std::min<uint64_t>(blockRecords_, ioRemaining_));
-        if (this_block == 0)
+        if (ioRemaining_ == 0)
             return; // whole file handed over
-        const uint64_t first_index =
-            rangeFirst_ + (ioRemaining_ - this_block);
-        const long offset = static_cast<long>(
-            sizeof(TraceHeader) + first_index * sizeof(Record));
-        fatal_if(std::fseek(file_, offset, SEEK_SET) != 0,
-                 "cannot seek in trace file");
-        buf.resize(this_block);
-        fatal_if(std::fread(buf.data(), sizeof(Record), this_block,
-                            file_) != this_block,
-                 "truncated trace file during reverse read");
+        size_t this_block;
+        if (v2_) {
+            this_block = fillReverseV2(buf, ioRemaining_);
+        } else {
+            this_block = static_cast<size_t>(
+                std::min<uint64_t>(blockRecords_, ioRemaining_));
+            const uint64_t first_index =
+                rangeFirst_ + (ioRemaining_ - this_block);
+            const long offset = static_cast<long>(
+                sizeof(TraceHeader) + first_index * sizeof(Record));
+            fatal_if(std::fseek(file_, offset, SEEK_SET) != 0,
+                     "cannot seek in trace file");
+            buf.resize(this_block);
+            fatal_if(std::fread(buf.data(), sizeof(Record), this_block,
+                                file_) != this_block,
+                     "truncated trace file during reverse read");
+        }
         ioRemaining_ -= this_block;
         {
             std::lock_guard<std::mutex> lock(mutex_);
@@ -641,6 +859,10 @@ void
 ReverseTraceReader::loadPrecedingBlock()
 {
     ++syncReads_;
+    if (v2_) {
+        blockPos_ = fillReverseV2(block_, remaining_);
+        return;
+    }
     const uint64_t already_read = remaining_;
     const size_t this_block = static_cast<size_t>(
         std::min<uint64_t>(blockRecords_, already_read));

@@ -16,6 +16,15 @@
  *    Both overlap disk latency with analysis: a background prefetch
  *    thread reads the next block into a second buffer while the caller
  *    consumes the current one.
+ *
+ * Two on-disk formats share these access paths. v1 ("WEBTRC1") is the
+ * flat 32-byte record array with an optional WEBTIDX1 block-index
+ * footer. v2 ("WEBTRC2", trace/columnar.hh) stores the same records as
+ * delta+varint column blocks, LZ-compressed, with per-block decoder
+ * checkpoints folded into a mandatory block index so ranged and
+ * reverse readers seek to any block and decode only it. Every reader
+ * here sniffs the magic and decodes transparently; TraceWriter picks
+ * the format at construction (v1 stays the default).
  */
 
 #ifndef WEBSLICE_TRACE_TRACE_FILE_HH
@@ -23,6 +32,7 @@
 
 #include <condition_variable>
 #include <cstdio>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <string>
@@ -33,6 +43,22 @@
 
 namespace webslice {
 namespace trace {
+
+class V2TraceFile;
+class V2WriterBackend;
+
+/** The two on-disk trace formats. */
+enum class TraceFormat : uint8_t
+{
+    V1 = 1, ///< Flat record array (+ optional WEBTIDX1 footer).
+    V2 = 2, ///< Columnar compressed blocks with checkpointed index.
+};
+
+/**
+ * Identify a trace file's format from its magic; fatal (with the path)
+ * when the file is unreadable or carries neither trace magic.
+ */
+TraceFormat sniffTraceFormat(const std::string &path);
 
 /** On-disk header preceding the record array. */
 struct TraceHeader
@@ -78,9 +104,18 @@ class TraceWriter
   public:
     /**
      * @param block_index also accumulate and write the per-block work
-     *                    index as a footer on close()
+     *                    index as a footer on close() (v1 only; the v2
+     *                    index is structural and always written)
+     * @param format      on-disk format; v1 stays the default so every
+     *                    existing consumer keeps reading its traces
+     * @param atomic      write to <path>.tmp and fsync + rename into
+     *                    place on close(), so a crash mid-record can
+     *                    never leave a truncated file under the final
+     *                    name that later passes loading
      */
-    explicit TraceWriter(const std::string &path, bool block_index = false);
+    explicit TraceWriter(const std::string &path, bool block_index = false,
+                         TraceFormat format = TraceFormat::V1,
+                         bool atomic = false);
     ~TraceWriter();
 
     TraceWriter(const TraceWriter &) = delete;
@@ -98,12 +133,18 @@ class TraceWriter
   private:
     void flush();
 
-    std::string path_;
+    /** Flush + (when atomic) fsync, close, and rename into place. */
+    void finishFile();
+
+    std::string path_;      ///< File being written (temp when atomic).
+    std::string finalPath_; ///< Rename target; equals path_ otherwise.
     std::FILE *file_ = nullptr;
     std::vector<Record> buffer_;
     uint64_t count_ = 0;
     bool writeIndex_ = false;
+    bool atomic_ = false;
     TraceBlockIndex index_;
+    std::unique_ptr<V2WriterBackend> v2_;
 };
 
 /** Read a whole trace file into memory. */
@@ -159,6 +200,10 @@ class MappedTrace
     TraceBlockIndex index_;
 };
 
+/** Write a whole in-memory trace to a file. */
+void saveTrace(const std::string &path, const std::vector<Record> &records,
+               TraceFormat format = TraceFormat::V1);
+
 /**
  * Streams a trace file's records first to last in blocks, for forward
  * passes over traces too large to hold in RAM. With prefetch enabled
@@ -186,7 +231,12 @@ class ForwardTraceReader
     void takePrefetched();
     void ioLoop();
 
+    /** v2: copy the next in-order chunk (one file block) into `buf`,
+     *  given `remaining` records not yet fetched; returns the chunk. */
+    size_t fillForwardV2(std::vector<Record> &buf, uint64_t remaining);
+
     std::FILE *file_ = nullptr;
+    std::unique_ptr<V2TraceFile> v2_;
     size_t blockRecords_;
     uint64_t count_ = 0;
     uint64_t consumed_ = 0;
@@ -210,9 +260,6 @@ class ForwardTraceReader
     uint64_t prefetchMisses_ = 0;
     uint64_t syncReads_ = 0;
 };
-
-/** Write a whole in-memory trace to a file. */
-void saveTrace(const std::string &path, const std::vector<Record> &records);
 
 /**
  * Streams a trace file's records from last to first, reading the file in
@@ -259,7 +306,13 @@ class ReverseTraceReader
     void takePrefetched();
     void ioLoop();
 
+    /** v2: copy the preceding chunk (the in-range tail of one file
+     *  block) into `buf`, given `remaining` unfetched records below
+     *  rangeFirst_ + remaining; returns the chunk size. */
+    size_t fillReverseV2(std::vector<Record> &buf, uint64_t remaining);
+
     std::FILE *file_ = nullptr;
+    std::unique_ptr<V2TraceFile> v2_;
     size_t blockRecords_;
     uint64_t count_ = 0;
     uint64_t rangeFirst_ = 0; ///< First record index of the ranged view.

@@ -1,17 +1,23 @@
 #include "trace/value_log.hh"
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 
 #include "support/logging.hh"
+#include "support/lz.hh"
 #include "support/metrics.hh"
+#include "trace/columnar.hh"
+#include "trace/criteria.hh"
+#include "trace/trace_file.hh"
 
 namespace webslice {
 namespace trace {
 
 namespace {
 
-constexpr char kMagic[8] = {'W', 'E', 'B', 'V', 'A', 'L', '1', '\0'};
+constexpr char kMagicV1[8] = {'W', 'E', 'B', 'V', 'A', 'L', '1', '\0'};
+constexpr char kMagicV2[8] = {'W', 'E', 'B', 'V', 'A', 'L', '2', '\0'};
 
 void
 readExact(std::ifstream &in, const std::string &path, void *out,
@@ -22,7 +28,209 @@ readExact(std::ifstream &in, const std::string &path, void *out,
              "truncated value log ", path, ": short read of ", what);
 }
 
+// ---- sparse criterion-memory image -------------------------------------
+
+/**
+ * The union of every marker's criterion ranges, held as a flat byte
+ * image. This is the only memory the snapshot reconstruction has to
+ * track: replaying a Store or SyscallWrite touches it exactly where the
+ * effect intersects a criterion byte, and extracting a marker's ranges
+ * reads it back. Segments are merged (overlap *or* adjacency) so every
+ * individual marker range lands inside a single segment.
+ */
+class SparseImage
+{
+  public:
+    void
+    init(const std::vector<MemRange> &union_ranges)
+    {
+        segs_.clear();
+        uint64_t total = 0;
+        for (const auto &range : union_ranges) {
+            segs_.push_back({range.addr, range.size, total});
+            total += range.size;
+        }
+        bytes_.assign(static_cast<size_t>(total), 0);
+    }
+
+    std::vector<uint8_t> &bytes() { return bytes_; }
+    const std::vector<uint8_t> &bytes() const { return bytes_; }
+
+    /** Apply a memory effect; bytes outside the image are ignored. */
+    void
+    write(uint64_t addr, const uint8_t *src, uint64_t size)
+    {
+        if (size == 0 || segs_.empty())
+            return;
+        const uint64_t end = addr + size;
+        // First segment that could overlap: the one before the first
+        // segment starting past addr.
+        size_t s = static_cast<size_t>(
+            std::upper_bound(segs_.begin(), segs_.end(), addr,
+                             [](uint64_t a, const Seg &seg) {
+                                 return a < seg.addr;
+                             }) -
+            segs_.begin());
+        if (s > 0)
+            --s;
+        for (; s < segs_.size() && segs_[s].addr < end; ++s) {
+            const Seg &seg = segs_[s];
+            const uint64_t lo = std::max(addr, seg.addr);
+            const uint64_t hi = std::min(end, seg.addr + seg.size);
+            if (lo >= hi)
+                continue;
+            std::memcpy(bytes_.data() + seg.offset + (lo - seg.addr),
+                        src + (lo - addr), static_cast<size_t>(hi - lo));
+        }
+    }
+
+    /**
+     * Read one marker range back; true when the range is fully inside
+     * one segment (the merged-union invariant), false otherwise.
+     */
+    bool
+    extract(uint64_t addr, uint64_t size, uint8_t *dst) const
+    {
+        size_t s = static_cast<size_t>(
+            std::upper_bound(segs_.begin(), segs_.end(), addr,
+                             [](uint64_t a, const Seg &seg) {
+                                 return a < seg.addr;
+                             }) -
+            segs_.begin());
+        if (s == 0)
+            return false;
+        const Seg &seg = segs_[s - 1];
+        if (addr < seg.addr || addr + size > seg.addr + seg.size)
+            return false;
+        std::memcpy(dst, bytes_.data() + seg.offset + (addr - seg.addr),
+                    static_cast<size_t>(size));
+        return true;
+    }
+
+  private:
+    struct Seg
+    {
+        uint64_t addr;
+        uint64_t size;
+        uint64_t offset; ///< Position within bytes_.
+    };
+
+    std::vector<Seg> segs_; ///< Sorted by addr, disjoint, non-adjacent.
+    std::vector<uint8_t> bytes_;
+};
+
+/** Merge ranges across all markers: sorted, overlap + adjacency folded. */
+std::vector<MemRange>
+mergeUnion(std::vector<MemRange> ranges)
+{
+    std::sort(ranges.begin(), ranges.end(),
+              [](const MemRange &a, const MemRange &b) {
+                  return a.addr < b.addr;
+              });
+    std::vector<MemRange> merged;
+    for (const auto &range : ranges) {
+        if (range.size == 0)
+            continue;
+        if (!merged.empty() &&
+            range.addr <= merged.back().addr + merged.back().size) {
+            const uint64_t hi =
+                std::max(merged.back().addr + merged.back().size,
+                         range.addr + range.size);
+            merged.back().size = hi - merged.back().addr;
+        } else {
+            merged.push_back(range);
+        }
+    }
+    return merged;
+}
+
+/**
+ * Replay one record's memory effect onto the criterion image. Stores
+ * write the low `aux` bytes of the logged value (the layout
+ * SimMemory::write uses); SyscallWrite pseudo-records write their raw
+ * blob. Nothing else mutates memory in the record model.
+ */
+void
+applyRecord(SparseImage &image, const Record &rec, uint64_t value,
+            const std::vector<uint8_t> *blob)
+{
+    if (rec.kind == RecordKind::Store) {
+        uint8_t buf[8];
+        std::memcpy(buf, &value, sizeof(buf));
+        image.write(rec.addr, buf,
+                    std::min<uint64_t>(rec.aux, sizeof(buf)));
+    } else if (rec.kind == RecordKind::SyscallWrite && blob) {
+        image.write(rec.addr, blob->data(), blob->size());
+    }
+}
+
+/** Append one LZ chunk: varint raw size, varint encoded size, bytes. */
+void
+putChunk(const std::vector<uint8_t> &raw, std::vector<uint8_t> &out)
+{
+    std::vector<uint8_t> encoded;
+    lzCompress(raw.data(), raw.size(), encoded);
+    putVarint(raw.size(), out);
+    putVarint(encoded.size(), out);
+    out.insert(out.end(), encoded.begin(), encoded.end());
+}
+
+/** Read one LZ chunk written by putChunk. */
+std::vector<uint8_t>
+getChunk(const uint8_t *&p, const uint8_t *end, const std::string &path,
+         const char *what)
+{
+    uint64_t raw_size = 0, encoded_size = 0;
+    fatal_if(!getVarint(p, end, raw_size) ||
+             !getVarint(p, end, encoded_size),
+             "truncated value log ", path, ": short read of ", what);
+    fatal_if(encoded_size > static_cast<uint64_t>(end - p),
+             "truncated value log ", path, ": short read of ", what);
+    std::vector<uint8_t> raw(static_cast<size_t>(raw_size));
+    fatal_if(!lzDecompress(p, static_cast<size_t>(encoded_size),
+                           raw.data(), raw.size()),
+             "corrupt value log ", path, ": bad ", what, " compression");
+    p += encoded_size;
+    return raw;
+}
+
+uint64_t
+getVarintOr(const uint8_t *&p, const uint8_t *end, const std::string &path,
+            const char *what)
+{
+    uint64_t v = 0;
+    fatal_if(!getVarint(p, end, v), "truncated value log ", path,
+             ": short read of ", what);
+    return v;
+}
+
+/** One marker's entry as parsed from / written to the v2 file. */
+struct MarkerEntry
+{
+    uint64_t index = 0;        ///< Record index of the Marker.
+    uint32_t ordinal = 0;      ///< Marker ordinal (== record aux).
+    std::vector<MemRange> ranges;
+    bool fallback = false;     ///< Raw blob stored; replay disagreed.
+    uint64_t fallbackSize = 0;
+    uint64_t snapshotBytes = 0; ///< Sum of range sizes.
+};
+
 } // namespace
+
+ValueLogFormat
+sniffValueLogFormat(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    fatal_if(!in, "cannot read value log ", path);
+    char magic[8] = {};
+    readExact(in, path, magic, sizeof(magic), "header");
+    if (std::memcmp(magic, kMagicV1, sizeof(kMagicV1)) == 0)
+        return ValueLogFormat::V1;
+    if (std::memcmp(magic, kMagicV2, sizeof(kMagicV2)) == 0)
+        return ValueLogFormat::V2;
+    fatal_if(true, "bad value log header in ", path);
+    return ValueLogFormat::V1; // unreachable
+}
 
 void
 ValueLog::save(const std::string &path) const
@@ -30,7 +238,7 @@ ValueLog::save(const std::string &path) const
     std::ofstream out(path, std::ios::binary);
     fatal_if(!out, "cannot write value log ", path);
 
-    out.write(kMagic, sizeof(kMagic));
+    out.write(kMagicV1, sizeof(kMagicV1));
     const uint64_t count = values.size();
     out.write(reinterpret_cast<const char *>(&count), sizeof(count));
     out.write(reinterpret_cast<const char *>(values.data()),
@@ -51,14 +259,202 @@ ValueLog::save(const std::string &path) const
 }
 
 void
+ValueLog::save(const std::string &path, ValueLogFormat format,
+               std::span<const Record> records,
+               const CriteriaSet &criteria) const
+{
+    if (format == ValueLogFormat::V1) {
+        save(path);
+        return;
+    }
+    fatal_if(values.size() != records.size(),
+             "value log has ", values.size(), " values for ",
+             records.size(), " records; cannot write ", path);
+
+    // Classify blob-carrying records: Marker snapshots are candidates
+    // for reconstruction, everything else (syscall effect ranges) is
+    // stored raw and doubles as replay input.
+    std::vector<uint64_t> blob_indices;
+    blob_indices.reserve(blobs.size());
+    for (const auto &kv : blobs)
+        blob_indices.push_back(kv.first);
+    std::sort(blob_indices.begin(), blob_indices.end());
+
+    std::vector<MarkerEntry> markers;
+    std::vector<uint64_t> other; // raw-blob record indices, ascending
+    for (const uint64_t index : blob_indices) {
+        fatal_if(index >= records.size(), "value log blob at record ",
+                 index, " beyond trace end; cannot write ", path);
+        const Record &rec = records[static_cast<size_t>(index)];
+        if (rec.kind != RecordKind::Marker) {
+            other.push_back(index);
+            continue;
+        }
+        MarkerEntry entry;
+        entry.index = index;
+        entry.ordinal = rec.aux;
+        entry.ranges = criteria.forMarker(rec.aux);
+        for (const auto &range : entry.ranges)
+            entry.snapshotBytes += range.size;
+        markers.push_back(std::move(entry));
+    }
+
+    // Criterion image geometry and checkpoint placement: one checkpoint
+    // per trace block that contains a marker, taken at the block's
+    // first record so a loader replays at most one block per marker.
+    std::vector<MemRange> union_ranges;
+    for (const auto &entry : markers)
+        union_ranges.insert(union_ranges.end(), entry.ranges.begin(),
+                            entry.ranges.end());
+    union_ranges = mergeUnion(std::move(union_ranges));
+
+    const uint64_t block_records = kTraceIndexBlockRecords;
+    std::vector<uint64_t> checkpoint_blocks;
+    for (const auto &entry : markers) {
+        const uint64_t b = entry.index / block_records;
+        if (checkpoint_blocks.empty() || checkpoint_blocks.back() != b)
+            checkpoint_blocks.push_back(b);
+    }
+
+    // One forward replay pass: capture checkpoints at block starts and
+    // verify every marker snapshot against its reconstruction. A
+    // mismatch (an effect our record model cannot replay) demotes that
+    // marker to raw storage — loads stay bit-identical no matter what.
+    std::vector<uint8_t> checkpoint_images;
+    SparseImage image;
+    image.init(union_ranges);
+    size_t next_marker = 0, next_checkpoint = 0;
+    uint64_t fallback_markers = 0;
+    const uint64_t replay_end = markers.empty() ? 0
+                                                : markers.back().index + 1;
+    std::vector<uint8_t> rebuilt;
+    for (uint64_t i = 0; i < replay_end; ++i) {
+        if (next_checkpoint < checkpoint_blocks.size() &&
+            i == checkpoint_blocks[next_checkpoint] * block_records) {
+            checkpoint_images.insert(checkpoint_images.end(),
+                                     image.bytes().begin(),
+                                     image.bytes().end());
+            ++next_checkpoint;
+        }
+        if (next_marker < markers.size() &&
+            markers[next_marker].index == i) {
+            MarkerEntry &entry = markers[next_marker];
+            const auto &actual = blobs.at(i);
+            rebuilt.assign(static_cast<size_t>(entry.snapshotBytes), 0);
+            bool ok = actual.size() == entry.snapshotBytes;
+            uint64_t offset = 0;
+            for (const auto &range : entry.ranges) {
+                if (!ok)
+                    break;
+                ok = image.extract(range.addr, range.size,
+                                   rebuilt.data() + offset);
+                offset += range.size;
+            }
+            if (!ok || rebuilt != actual) {
+                entry.fallback = true;
+                entry.fallbackSize = actual.size();
+                ++fallback_markers;
+            }
+            ++next_marker;
+        }
+        const Record &rec = records[static_cast<size_t>(i)];
+        applyRecord(image, rec, values[static_cast<size_t>(i)],
+                    blobAt(static_cast<size_t>(i)));
+    }
+    if (fallback_markers) {
+        warn("value log ", path, ": ", fallback_markers, " of ",
+             markers.size(),
+             " marker snapshots not replayable; stored raw");
+        MetricRegistry::global()
+            .counter("value_log.snapshot_fallbacks")
+            .add(fallback_markers);
+    }
+
+    // ---- serialize -----------------------------------------------------
+    std::vector<uint8_t> body;
+    putVarint(records.size(), body);
+    putVarint(block_records, body);
+
+    // Values: zigzag delta + varint, then LZ.
+    std::vector<uint8_t> raw;
+    uint64_t prev = 0;
+    for (const uint64_t v : values) {
+        putVarint(zigzag(static_cast<int64_t>(v - prev)), raw);
+        prev = v;
+    }
+    putChunk(raw, body);
+
+    // Raw blobs: index deltas + sizes, then the pooled bytes.
+    putVarint(other.size(), body);
+    raw.clear();
+    uint64_t prev_index = 0;
+    for (const uint64_t index : other) {
+        const auto &blob = blobs.at(index);
+        putVarint(index - prev_index, body);
+        putVarint(blob.size(), body);
+        prev_index = index;
+        raw.insert(raw.end(), blob.begin(), blob.end());
+    }
+    putChunk(raw, body);
+
+    // Markers: layout entries, then the fallback pool.
+    putVarint(markers.size(), body);
+    raw.clear();
+    prev_index = 0;
+    for (const auto &entry : markers) {
+        putVarint(entry.index - prev_index, body);
+        putVarint(entry.ordinal, body);
+        putVarint(entry.ranges.size(), body);
+        for (const auto &range : entry.ranges) {
+            putVarint(range.addr, body);
+            putVarint(range.size, body);
+        }
+        body.push_back(entry.fallback ? 1 : 0);
+        if (entry.fallback) {
+            putVarint(entry.fallbackSize, body);
+            const auto &blob = blobs.at(entry.index);
+            raw.insert(raw.end(), blob.begin(), blob.end());
+        }
+        prev_index = entry.index;
+    }
+    putChunk(raw, body);
+
+    // Checkpoints: union geometry, block numbers, pooled images.
+    putVarint(union_ranges.size(), body);
+    for (const auto &range : union_ranges) {
+        putVarint(range.addr, body);
+        putVarint(range.size, body);
+    }
+    putVarint(checkpoint_blocks.size(), body);
+    uint64_t prev_block = 0;
+    for (const uint64_t b : checkpoint_blocks) {
+        putVarint(b - prev_block, body);
+        prev_block = b;
+    }
+    putChunk(checkpoint_images, body);
+
+    std::ofstream out(path, std::ios::binary);
+    fatal_if(!out, "cannot write value log ", path);
+    out.write(kMagicV2, sizeof(kMagicV2));
+    out.write(reinterpret_cast<const char *>(body.data()),
+              static_cast<std::streamsize>(body.size()));
+    fatal_if(!out, "short write saving value log ", path);
+}
+
+void
 ValueLog::load(const std::string &path)
 {
+    fatal_if(sniffValueLogFormat(path) == ValueLogFormat::V2,
+             "value log ", path, " is columnar (v2); its snapshots are ",
+             "reconstructed by replay, so loading needs the trace ",
+             "records — use load(path, records)");
+
     std::ifstream in(path, std::ios::binary);
     fatal_if(!in, "cannot read value log ", path);
 
-    char magic[sizeof(kMagic)] = {};
+    char magic[sizeof(kMagicV1)] = {};
     readExact(in, path, magic, sizeof(magic), "header");
-    fatal_if(std::memcmp(magic, kMagic, sizeof(kMagic)) != 0,
+    fatal_if(std::memcmp(magic, kMagicV1, sizeof(kMagicV1)) != 0,
              "bad value log header in ", path);
 
     uint64_t count = 0;
@@ -97,6 +493,256 @@ ValueLog::load(const std::string &path)
     auto &registry = MetricRegistry::global();
     registry.counter("value_log.values_loaded").add(count);
     registry.counter("value_log.blob_bytes_loaded").add(blob_bytes);
+}
+
+void
+ValueLog::load(const std::string &path, std::span<const Record> records)
+{
+    if (sniffValueLogFormat(path) == ValueLogFormat::V1) {
+        load(path);
+        return;
+    }
+
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    fatal_if(!in, "cannot read value log ", path);
+    const auto file_bytes = static_cast<size_t>(in.tellg());
+    in.seekg(0);
+    std::vector<uint8_t> file(file_bytes);
+    readExact(in, path, file.data(), file.size(), "file body");
+
+    const uint8_t *p = file.data() + sizeof(kMagicV2);
+    const uint8_t *end = file.data() + file.size();
+
+    const uint64_t count = getVarintOr(p, end, path, "record count");
+    fatal_if(count != records.size(), "value log ", path, " covers ",
+             count, " records but the trace has ", records.size());
+    const uint64_t block_records =
+        getVarintOr(p, end, path, "block geometry");
+    fatal_if(block_records == 0, "corrupt value log ", path,
+             ": zero records per checkpoint block");
+
+    // Values.
+    {
+        const std::vector<uint8_t> raw =
+            getChunk(p, end, path, "value column");
+        const uint8_t *vp = raw.data();
+        const uint8_t *vend = raw.data() + raw.size();
+        values.assign(static_cast<size_t>(count), 0);
+        uint64_t prev = 0;
+        for (uint64_t i = 0; i < count; ++i) {
+            uint64_t delta = 0;
+            fatal_if(!getVarint(vp, vend, delta), "corrupt value log ",
+                     path, ": value column ends at record ", i, " of ",
+                     count);
+            prev += static_cast<uint64_t>(unzigzag(delta));
+            values[static_cast<size_t>(i)] = prev;
+        }
+        fatal_if(vp != vend, "corrupt value log ", path,
+                 ": trailing bytes in the value column");
+    }
+
+    // Raw blobs.
+    blobs.clear();
+    uint64_t blob_bytes = 0;
+    {
+        const uint64_t blob_count =
+            getVarintOr(p, end, path, "blob count");
+        std::vector<std::pair<uint64_t, uint64_t>> layout; // index, size
+        layout.reserve(static_cast<size_t>(blob_count));
+        uint64_t index = 0, pool_bytes = 0;
+        for (uint64_t i = 0; i < blob_count; ++i) {
+            index += getVarintOr(p, end, path, "blob index");
+            const uint64_t size =
+                getVarintOr(p, end, path, "blob size");
+            fatal_if(index >= count, "value log ", path,
+                     ": blob index ", index, " beyond record count ",
+                     count);
+            fatal_if(i > 0 && index <= layout.back().first,
+                     "corrupt value log ", path,
+                     ": blob indices not ascending at record ", index);
+            layout.emplace_back(index, size);
+            pool_bytes += size;
+        }
+        const std::vector<uint8_t> pool =
+            getChunk(p, end, path, "blob pool");
+        fatal_if(pool.size() != pool_bytes, "corrupt value log ", path,
+                 ": blob pool holds ", pool.size(), " bytes, entries ",
+                 "claim ", pool_bytes);
+        uint64_t offset = 0;
+        for (const auto &[blob_index, size] : layout) {
+            blobs[blob_index].assign(pool.begin() + offset,
+                                     pool.begin() + offset + size);
+            offset += size;
+            blob_bytes += size;
+        }
+    }
+
+    // Marker layout entries + fallback pool.
+    std::vector<MarkerEntry> markers;
+    std::vector<uint8_t> fallback_pool;
+    {
+        const uint64_t marker_count =
+            getVarintOr(p, end, path, "marker count");
+        markers.reserve(static_cast<size_t>(marker_count));
+        uint64_t index = 0, pool_bytes = 0;
+        for (uint64_t i = 0; i < marker_count; ++i) {
+            MarkerEntry entry;
+            index += getVarintOr(p, end, path, "marker index");
+            entry.index = index;
+            fatal_if(index >= count, "value log ", path,
+                     ": marker entry at record ", index,
+                     " beyond record count ", count);
+            fatal_if(i > 0 && index <= markers.back().index,
+                     "corrupt value log ", path,
+                     ": marker indices not ascending at record ", index);
+            const Record &rec = records[static_cast<size_t>(index)];
+            fatal_if(rec.kind != RecordKind::Marker, "value log ", path,
+                     ": record ", index, " is not a Marker");
+            entry.ordinal = static_cast<uint32_t>(
+                getVarintOr(p, end, path, "marker ordinal"));
+            fatal_if(entry.ordinal != rec.aux, "value log ", path,
+                     ": marker at record ", index, " claims ordinal ",
+                     entry.ordinal, ", trace says ", rec.aux);
+            const uint64_t range_count =
+                getVarintOr(p, end, path, "marker range count");
+            entry.ranges.reserve(static_cast<size_t>(range_count));
+            for (uint64_t r = 0; r < range_count; ++r) {
+                MemRange range;
+                range.addr = getVarintOr(p, end, path, "marker range");
+                range.size = getVarintOr(p, end, path, "marker range");
+                entry.snapshotBytes += range.size;
+                entry.ranges.push_back(range);
+            }
+            fatal_if(p == end, "truncated value log ", path,
+                     ": short read of marker flag");
+            const uint8_t flag = *p++;
+            fatal_if(flag > 1, "corrupt value log ", path,
+                     ": bad marker flag ", int(flag), " at record ",
+                     index);
+            entry.fallback = flag == 1;
+            if (entry.fallback) {
+                entry.fallbackSize =
+                    getVarintOr(p, end, path, "fallback size");
+                pool_bytes += entry.fallbackSize;
+            }
+            markers.push_back(std::move(entry));
+        }
+        fallback_pool = getChunk(p, end, path, "fallback pool");
+        fatal_if(fallback_pool.size() != pool_bytes,
+                 "corrupt value log ", path, ": fallback pool holds ",
+                 fallback_pool.size(), " bytes, entries claim ",
+                 pool_bytes);
+    }
+
+    // Checkpoint geometry + images.
+    std::vector<MemRange> union_ranges;
+    std::vector<uint64_t> checkpoint_blocks;
+    std::vector<uint8_t> checkpoint_images;
+    uint64_t union_bytes = 0;
+    {
+        const uint64_t range_count =
+            getVarintOr(p, end, path, "union range count");
+        union_ranges.reserve(static_cast<size_t>(range_count));
+        for (uint64_t r = 0; r < range_count; ++r) {
+            MemRange range;
+            range.addr = getVarintOr(p, end, path, "union range");
+            range.size = getVarintOr(p, end, path, "union range");
+            union_bytes += range.size;
+            union_ranges.push_back(range);
+        }
+        const uint64_t checkpoint_count =
+            getVarintOr(p, end, path, "checkpoint count");
+        uint64_t block = 0;
+        for (uint64_t c = 0; c < checkpoint_count; ++c) {
+            block += getVarintOr(p, end, path, "checkpoint block");
+            fatal_if(c > 0 && block <= checkpoint_blocks.back(),
+                     "corrupt value log ", path,
+                     ": checkpoint blocks not ascending at block ",
+                     block);
+            checkpoint_blocks.push_back(block);
+        }
+        checkpoint_images = getChunk(p, end, path, "checkpoint images");
+        fatal_if(checkpoint_images.size() !=
+                 checkpoint_count * union_bytes,
+                 "corrupt value log ", path, ": checkpoint pool holds ",
+                 checkpoint_images.size(), " bytes, geometry implies ",
+                 checkpoint_count * union_bytes);
+    }
+    fatal_if(p != end, "trailing garbage in value log ", path);
+
+    // Reconstruct marker snapshots: restore the block's checkpoint and
+    // replay at most one block of Store / SyscallWrite effects per
+    // marker group. Blocks without markers are never touched.
+    auto &registry = MetricRegistry::global();
+    SparseImage image;
+    uint64_t fallback_offset = 0, reconstructed = 0;
+    for (size_t m = 0; m < markers.size();) {
+        const MarkerEntry &head = markers[m];
+        const uint64_t block = head.index / block_records;
+        const auto cp = std::lower_bound(checkpoint_blocks.begin(),
+                                         checkpoint_blocks.end(), block);
+        fatal_if(cp == checkpoint_blocks.end() || *cp != block,
+                 "corrupt value log ", path, ": no checkpoint for ",
+                 "block ", block, " (marker at record ", head.index,
+                 ")");
+        const size_t cp_pos = static_cast<size_t>(
+            cp - checkpoint_blocks.begin());
+        image.init(union_ranges);
+        std::memcpy(image.bytes().data(),
+                    checkpoint_images.data() + cp_pos * union_bytes,
+                    static_cast<size_t>(union_bytes));
+        registry.counter("trace.checkpoint_restores").add(1);
+
+        // Markers sharing the block replay it once, in index order.
+        size_t group_end = m;
+        while (group_end < markers.size() &&
+               markers[group_end].index / block_records == block)
+            ++group_end;
+        size_t next = m;
+        for (uint64_t i = block * block_records;
+             next < group_end; ++i) {
+            if (markers[next].index == i) {
+                MarkerEntry &entry = markers[next];
+                auto &blob = blobs[entry.index];
+                if (entry.fallback) {
+                    blob.assign(fallback_pool.begin() +
+                                static_cast<size_t>(fallback_offset),
+                                fallback_pool.begin() +
+                                static_cast<size_t>(fallback_offset +
+                                                    entry.fallbackSize));
+                    fallback_offset += entry.fallbackSize;
+                } else {
+                    blob.assign(
+                        static_cast<size_t>(entry.snapshotBytes), 0);
+                    uint64_t offset = 0;
+                    for (const auto &range : entry.ranges) {
+                        fatal_if(!image.extract(range.addr, range.size,
+                                                blob.data() + offset),
+                                 "corrupt value log ", path,
+                                 ": marker range [", range.addr, ", +",
+                                 range.size, ") at record ",
+                                 entry.index,
+                                 " outside the checkpoint image");
+                        offset += range.size;
+                    }
+                    ++reconstructed;
+                }
+                blob_bytes += blob.size();
+                ++next;
+            }
+            if (next >= group_end)
+                break;
+            const Record &rec = records[static_cast<size_t>(i)];
+            applyRecord(image, rec, values[static_cast<size_t>(i)],
+                        blobAt(static_cast<size_t>(i)));
+        }
+        m = group_end;
+    }
+
+    registry.counter("value_log.values_loaded").add(count);
+    registry.counter("value_log.blob_bytes_loaded").add(blob_bytes);
+    registry.counter("value_log.snapshots_reconstructed")
+        .add(reconstructed);
 }
 
 } // namespace trace

@@ -288,7 +288,9 @@ main(int argc, char **argv)
         mapped = std::make_unique<trace::MappedTrace>(prefix + ".trc");
         const std::string value_path = prefix + ".val";
         if (std::ifstream(value_path).good()) {
-            values.load(value_path);
+            // The records overload handles both sidecar formats; v2
+            // reconstructs marker snapshots by checkpointed replay.
+            values.load(value_path, mapped->records());
             have_values = true;
         }
     }

@@ -4,7 +4,7 @@
  * the trace, symbol table, criteria sidecar, and a metadata file — the
  * same hand-off the paper's Pin tool performs for the offline profiler.
  *
- *   webslice-record <benchmark> <output-prefix> [--values]
+ *   webslice-record <benchmark> <output-prefix> [--values] [--format=F]
  *
  *   benchmark: amazon-desktop | amazon-mobile | maps | bing | fig2
  *
@@ -12,7 +12,11 @@
  * (pixel criteria), <prefix>.meta (thread names + load-complete index).
  * With --values, also <prefix>.val — the value log (one written value
  * per record plus criterion snapshots) that lets webslice-check compare
- * slice replays bit-for-bit.
+ * slice replays bit-for-bit. --format selects the trace encoding: v1
+ * (default) is the flat record array, v2 the columnar compressed format
+ * (the value log follows suit). The trace is always published
+ * atomically: written to <prefix>.trc.tmp and renamed into place after
+ * an fsync, so a crash mid-record never leaves a loadable truncation.
  */
 
 #include <cstdio>
@@ -31,11 +35,14 @@ void
 usage(const char *argv0)
 {
     std::fprintf(stderr,
-                 "usage: %s <benchmark> <output-prefix> [--values]\n"
+                 "usage: %s <benchmark> <output-prefix> [--values] "
+                 "[--format=v1|v2]\n"
                  "  benchmark: amazon-desktop | amazon-mobile | maps | "
                  "bing | fig2\n"
                  "  --values: record the value log (<prefix>.val) for "
-                 "webslice-check\n",
+                 "webslice-check\n"
+                 "  --format: trace encoding; v1 = flat records "
+                 "(default), v2 = columnar compressed\n",
                  argv0);
 }
 
@@ -44,17 +51,23 @@ usage(const char *argv0)
 int
 main(int argc, char **argv)
 {
-    if (argc != 3 && argc != 4) {
+    if (argc < 3) {
         usage(argv[0]);
         return 1;
     }
     bool capture_values = false;
-    if (argc == 4) {
-        if (std::strcmp(argv[3], "--values") != 0) {
+    trace::TraceFormat format = trace::TraceFormat::V1;
+    for (int a = 3; a < argc; ++a) {
+        if (std::strcmp(argv[a], "--values") == 0) {
+            capture_values = true;
+        } else if (std::strcmp(argv[a], "--format=v1") == 0) {
+            format = trace::TraceFormat::V1;
+        } else if (std::strcmp(argv[a], "--format=v2") == 0) {
+            format = trace::TraceFormat::V2;
+        } else {
             usage(argv[0]);
             return 1;
         }
-        capture_values = true;
     }
 
     workloads::SiteSpec spec;
@@ -82,16 +95,25 @@ main(int argc, char **argv)
     {
         // Write through TraceWriter with the block index enabled so the
         // epoch-parallel slicer can plan equal-work epochs and seek
-        // straight to epoch starts without scanning the file.
-        trace::TraceWriter writer(prefix + ".trc", /*block_index=*/true);
+        // straight to epoch starts without scanning the file. Atomic
+        // publication (temp file + fsync + rename) keeps a crashed
+        // recording from leaving a half-written <prefix>.trc behind.
+        trace::TraceWriter writer(prefix + ".trc", /*block_index=*/true,
+                                  format, /*atomic=*/true);
         for (const auto &rec : run.records())
             writer.append(rec);
         writer.close();
     }
     run.machine->symtab().save(prefix + ".sym");
     run.machine->pixelCriteria().save(prefix + ".crit");
-    if (capture_values)
-        run.machine->valueLog()->save(prefix + ".val");
+    if (capture_values) {
+        const auto value_format = format == trace::TraceFormat::V2
+                                      ? trace::ValueLogFormat::V2
+                                      : trace::ValueLogFormat::V1;
+        run.machine->valueLog()->save(prefix + ".val", value_format,
+                                      run.records(),
+                                      run.machine->pixelCriteria());
+    }
 
     std::ofstream meta(prefix + ".meta");
     if (!meta) {
