@@ -22,7 +22,7 @@ profileSite(const workloads::SiteSpec &spec,
     ProfiledRun out;
 
     double t0 = nowSeconds();
-    out.run = workloads::runSite(spec);
+    out.run = scenario::runSite(spec);
     double t1 = nowSeconds();
     out.cfgs = graph::buildCfgs(out.run.records(),
                                 out.run.machine->symtab(), options.jobs);

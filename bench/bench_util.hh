@@ -18,6 +18,7 @@
 #include "graph/cfg.hh"
 #include "graph/control_deps.hh"
 #include "slicer/slicer.hh"
+#include "scenario/run.hh"
 #include "workloads/sites.hh"
 
 namespace webslice {

@@ -25,7 +25,7 @@ main()
         "browsing session)");
 
     const auto spec = workloads::amazonFigure2Spec();
-    const auto run = workloads::runSite(spec);
+    const auto run = scenario::runSite(spec);
     const auto &machine = *run.machine;
 
     const auto &timeline =

@@ -42,6 +42,7 @@
 #include "support/metrics.hh"
 #include "support/stopwatch.hh"
 #include "support/strings.hh"
+#include "scenario/run.hh"
 #include "workloads/sites.hh"
 
 using namespace webslice;
@@ -231,7 +232,7 @@ main(int argc, char **argv)
     std::printf("running %s ...\n", spec.name.c_str());
     workloads::RunResult run = [&] {
         ScopedPhase phase("workload");
-        return workloads::runSite(spec);
+        return scenario::runSite(spec);
     }();
     const uint64_t records = run.records().size();
     std::printf("trace: %s records, analysis window %s\n\n",

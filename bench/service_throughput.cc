@@ -2,9 +2,14 @@
  * @file
  * Slicing-service throughput and latency benchmark.
  *
- *   service_throughput [--site bing|amazon|amazon-mobile|maps]
+ *   service_throughput [--site bing|amazon|amazon-mobile|maps|synth-workers]
  *                      [--queries N] [--out FILE] [--quick]
  *                      [--fleet N] [--fleet-clients N]
+ *
+ * `synth-workers` is not a hand-modeled site: it is a generated
+ * worker-heavy scenario (scenario::generateScenario, workers=2), so the
+ * service fleet gets exercised against a multi-threaded recording whose
+ * trace interleaves two dedicated workers with the main thread.
  *
  * Records one benchmark site to a temporary artifact prefix, then
  * measures the service from a client's point of view in three parts:
@@ -54,6 +59,8 @@
 #include "support/metrics.hh"
 #include "support/strings.hh"
 #include "trace/trace_file.hh"
+#include "scenario/generator.hh"
+#include "scenario/run.hh"
 #include "workloads/sites.hh"
 
 using namespace webslice;
@@ -429,15 +436,17 @@ main(int argc, char **argv)
             }
         } else {
             std::fprintf(stderr,
-                         "usage: %s [--site NAME] [--queries N] "
-                         "[--out FILE] [--quick] [--fleet N] "
-                         "[--fleet-clients N]\n",
+                         "usage: %s [--site NAME|synth-workers] "
+                         "[--queries N] [--out FILE] [--quick] "
+                         "[--fleet N] [--fleet-clients N]\n",
                          argv[0]);
             return 1;
         }
     }
 
     workloads::SiteSpec spec;
+    scenario::Scenario synth;
+    bool use_synth = false;
     if (site == "bing") {
         spec = workloads::bingSpec();
     } else if (site == "amazon") {
@@ -446,6 +455,12 @@ main(int argc, char **argv)
         spec = workloads::amazonMobileSpec();
     } else if (site == "maps") {
         spec = workloads::googleMapsSpec();
+    } else if (site == "synth-workers") {
+        scenario::Knobs knobs;
+        knobs.workers = 2;
+        synth = scenario::generateScenario(5, knobs);
+        spec = synth.site;
+        use_synth = true;
     } else {
         std::fprintf(stderr, "unknown site '%s'\n", site.c_str());
         return 1;
@@ -454,7 +469,8 @@ main(int argc, char **argv)
     bench::printHeader("slicing service: batch throughput and latency");
 
     std::fprintf(stderr, "recording '%s'...\n", spec.name.c_str());
-    const auto run = workloads::runSite(spec);
+    const auto run = use_synth ? scenario::runScenario(synth)
+                               : scenario::runSite(spec);
     const char *tmp = std::getenv("TMPDIR");
     const std::string prefix =
         std::string(tmp ? tmp : "/tmp") + "/bench_service_trace";

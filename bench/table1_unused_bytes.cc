@@ -82,12 +82,12 @@ main()
     };
 
     for (const auto &test_case : cases) {
-        const auto load_run = workloads::runSite(test_case.load_spec);
+        const auto load_run = scenario::runSite(test_case.load_spec);
         addRows(table, test_case.site, "Only Load", load_run,
                 test_case.paper.unusedLoad, test_case.paper.totalLoad,
                 test_case.paper.pctLoad);
 
-        const auto browse_run = workloads::runSite(test_case.browse_spec);
+        const auto browse_run = scenario::runSite(test_case.browse_spec);
         addRows(table, test_case.site, "Load and Browse", browse_run,
                 test_case.paper.unusedBrowse,
                 test_case.paper.totalBrowse,

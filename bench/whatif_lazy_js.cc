@@ -34,11 +34,11 @@ main()
 
     for (const auto &spec : workloads::paperBenchmarks()) {
         browser::JsEngineConfig eager;
-        const auto eager_run = workloads::runSite(spec, eager);
+        const auto eager_run = scenario::runSite(spec, eager);
 
         browser::JsEngineConfig lazy;
         lazy.lazyCompile = true;
-        const auto lazy_run = workloads::runSite(spec, lazy);
+        const auto lazy_run = scenario::runSite(spec, lazy);
 
         auto mainInstr = [](const workloads::RunResult &run) {
             uint64_t count = 0;

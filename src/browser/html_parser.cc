@@ -108,6 +108,42 @@ HtmlParser::parse(Ctx &ctx, const Resource &html)
 }
 
 void
+HtmlParser::parseFragment(Ctx &ctx, const Resource &fragment, Document &doc,
+                          Element *root)
+{
+    panic_if(!fragment.loaded, "parsing an unloaded fragment");
+    TracedScope scope(ctx, fnParse_);
+    traceLog_.addEvent(ctx, /*category=*/10);
+
+    const size_t first_new = doc.elements().size();
+    std::vector<Element *> stack{root};
+
+    Cursor cur;
+    cur.text = &fragment.content;
+    cur.base = fragment.addr;
+    cur.reg = ctx.imm(fragment.addr);
+
+    while (true) {
+        Value end = ctx.imm(fragment.addr + fragment.content.size());
+        Value more = ctx.ltu(cur.reg, end);
+        if (!ctx.branchIf(more))
+            break;
+        if (cur.peek() == '<') {
+            parseTag(ctx, cur, doc, stack);
+        } else {
+            parseText(ctx, cur, doc, stack);
+        }
+    }
+
+    // Re-link only what changed: the host element (new child array) and
+    // the elements the fragment introduced.
+    TracedScope link_scope(ctx, fnLinkTree_);
+    linkElement(ctx, root);
+    for (size_t i = first_new; i < doc.elements().size(); ++i)
+        linkElement(ctx, doc.elements()[i].get());
+}
+
+void
 HtmlParser::parseText(Ctx &ctx, Cursor &cur, Document &doc,
                       std::vector<Element *> &stack)
 {
@@ -324,24 +360,28 @@ void
 HtmlParser::linkTree(Ctx &ctx, Document &doc)
 {
     TracedScope scope(ctx, fnLinkTree_);
-    for (const auto &element : doc.elements()) {
-        Element *el = element.get();
-        const size_t n = el->children.size();
-        Value count = ctx.imm(n);
-        ctx.store(el->addr + ElementFields::kChildCount, 4, count);
-        Value style = ctx.imm(el->styleAddr);
-        ctx.store(el->addr + ElementFields::kStyle, 8, style);
-        Value layout = ctx.imm(el->layoutAddr);
-        ctx.store(el->addr + ElementFields::kLayout, 8, layout);
-        if (n == 0)
-            continue;
-        el->childArrayAddr = machine_.alloc(n * 8, "children");
-        Value array = ctx.imm(el->childArrayAddr);
-        ctx.store(el->addr + ElementFields::kChildArray, 8, array);
-        for (size_t i = 0; i < n; ++i) {
-            Value child = ctx.imm(el->children[i]->addr);
-            ctx.store(el->childArrayAddr + i * 8, 8, child);
-        }
+    for (const auto &element : doc.elements())
+        linkElement(ctx, element.get());
+}
+
+void
+HtmlParser::linkElement(Ctx &ctx, Element *el)
+{
+    const size_t n = el->children.size();
+    Value count = ctx.imm(n);
+    ctx.store(el->addr + ElementFields::kChildCount, 4, count);
+    Value style = ctx.imm(el->styleAddr);
+    ctx.store(el->addr + ElementFields::kStyle, 8, style);
+    Value layout = ctx.imm(el->layoutAddr);
+    ctx.store(el->addr + ElementFields::kLayout, 8, layout);
+    if (n == 0)
+        return;
+    el->childArrayAddr = machine_.alloc(n * 8, "children");
+    Value array = ctx.imm(el->childArrayAddr);
+    ctx.store(el->addr + ElementFields::kChildArray, 8, array);
+    for (size_t i = 0; i < n; ++i) {
+        Value child = ctx.imm(el->children[i]->addr);
+        ctx.store(el->childArrayAddr + i * 8, 8, child);
     }
 }
 

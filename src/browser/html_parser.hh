@@ -42,6 +42,15 @@ class HtmlParser
      */
     std::unique_ptr<Document> parse(sim::Ctx &ctx, const Resource &html);
 
+    /**
+     * Parse a document fragment into an existing Document as the new
+     * subtree of `root` (SPA partial navigation). Only the swapped-in
+     * subtree — plus `root` itself, whose child array changed — is
+     * re-linked; untouched parts of the tree keep their records.
+     */
+    void parseFragment(sim::Ctx &ctx, const Resource &fragment,
+                       Document &doc, Element *root);
+
   private:
     struct Cursor;
 
@@ -50,6 +59,7 @@ class HtmlParser
     void parseText(sim::Ctx &ctx, Cursor &cur, Document &doc,
                    std::vector<Element *> &stack);
     void linkTree(sim::Ctx &ctx, Document &doc);
+    void linkElement(sim::Ctx &ctx, Element *el);
 
     sim::Machine &machine_;
     TraceLog &traceLog_;

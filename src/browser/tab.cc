@@ -1,6 +1,7 @@
 #include "browser/tab.hh"
 
 #include "support/logging.hh"
+#include "support/strings.hh"
 
 namespace webslice {
 namespace browser {
@@ -10,13 +11,24 @@ using sim::TracedScope;
 using sim::Value;
 
 Tab::Tab(sim::Machine &machine, BrowserConfig config,
-         JsEngineConfig js_config)
+         JsEngineConfig js_config, const BrowserThreads *shared_threads)
     : machine_(machine), config_(config),
-      threads_(makeBrowserThreads(machine, config)),
+      threads_(shared_threads ? *shared_threads
+                              : makeBrowserThreads(machine, config)),
       fnNavigate_(machine.registerFunction("html::Frame::navigate")),
       fnHitTest_(machine.registerFunction("html::EventHandler::hitTest")),
       fnUpdate_(
-          machine.registerFunction("html::Frame::updateLifecycle"))
+          machine.registerFunction("html::Frame::updateLifecycle")),
+      fnPartialNav_(
+          machine.registerFunction("html::Frame::partialNavigate")),
+      fnRaf_(machine.registerFunction(
+          "html::Frame::rafCallback")),
+      fnWorkerPost_(machine.registerFunction(
+          "worker::DedicatedWorker::postTask")),
+      fnWorkerRun_(machine.registerFunction(
+          "worker::WorkerThread::runTask")),
+      fnWorkerReply_(machine.registerFunction(
+          "worker::DedicatedWorker::onMessage"))
 {
     traceLog_ = std::make_unique<TraceLog>(machine);
     lib_ = std::make_unique<Lib>(machine);
@@ -329,6 +341,199 @@ Tab::scheduleScriptFetch(uint64_t at_ms, const std::string &url,
                 js_->runScript(c, r);
                 scheduleUpdate(c);
             });
+        });
+}
+
+void
+Tab::scheduleAction(const UserAction &action)
+{
+    switch (action.kind) {
+      case UserAction::Kind::Scroll:
+        scheduleScroll(action.atMs, action.scrollDy);
+        break;
+      case UserAction::Kind::Click:
+        scheduleClick(action.atMs, action.targetId);
+        break;
+      case UserAction::Kind::Key:
+        scheduleKey(action.atMs, action.targetId);
+        break;
+      case UserAction::Kind::Type:
+        // A typing burst is a train of key events on one target.
+        for (int k = 0; k < action.count; ++k) {
+            scheduleKey(action.atMs +
+                            static_cast<uint64_t>(k) * action.intervalMs,
+                        action.targetId);
+        }
+        break;
+      case UserAction::Kind::ScriptFetch:
+        scheduleScriptFetch(action.atMs, action.url, action.payload);
+        break;
+      case UserAction::Kind::PartialNav:
+        schedulePartialNav(action.atMs, action.targetId, action.payload);
+        if (!action.scriptPayload.empty()) {
+            scheduleScriptFetch(action.atMs,
+                                format("fragment-%zu.js", partialNavs_),
+                                action.scriptPayload);
+        }
+        break;
+      case UserAction::Kind::RafLoop:
+        scheduleRafLoop(action.atMs, action.durationMs, action.fnName);
+        break;
+      case UserAction::Kind::WorkerTask:
+        scheduleWorkerTask(action.atMs, action.workerIndex, action.units);
+        break;
+    }
+}
+
+void
+Tab::schedulePartialNav(uint64_t at_ms, const std::string &target_id,
+                        std::string fragment_html)
+{
+    const std::string url = format("fragment-%zu.html", partialNavs_++);
+    sitePayloads_[url] = {ResourceType::Html, std::move(fragment_html)};
+    machine_.postDelayed(
+        threads_.main, config_.msToCycles(at_ms),
+        [this, url, target_id](Ctx &ctx) {
+            auto resource = std::make_unique<Resource>();
+            resource->url = url;
+            resource->type = ResourceType::Html;
+            resource->content = sitePayloads_[url].second;
+            Resource *ptr = resource.get();
+            resources_.push_back(std::move(resource));
+            loader_->fetch(ctx, *ptr, [this, target_id](Ctx &cb_ctx,
+                                                        Resource &res) {
+                TracedScope scope(cb_ctx, fnPartialNav_);
+                Element *target =
+                    document_ ? document_->byIdHash(hashString(target_id))
+                              : nullptr;
+                if (!target || target->isText()) {
+                    warn("partial navigation target '", target_id,
+                         "' not found; fragment dropped");
+                    return;
+                }
+                // The old subtree is unlinked natively; its records stay
+                // allocated (a real engine would GC them later) but the
+                // tree walk no longer reaches them.
+                target->children.clear();
+                htmlParser_->parseFragment(cb_ctx, res, *document_,
+                                           target);
+                styleResolver_->resolveSubtree(cb_ctx, target,
+                                               sheetPointers());
+                needsLayout_ = true;
+                ++partialNavsDone_;
+                scheduleUpdate(cb_ctx);
+            });
+        });
+}
+
+void
+Tab::scheduleRafLoop(uint64_t at_ms, uint64_t duration_ms,
+                     const std::string &fn_name)
+{
+    const uint64_t interval = config_.vsyncMs ? config_.vsyncMs : 16;
+    auto ticks = std::make_shared<uint64_t>(
+        duration_ms / interval + (duration_ms % interval ? 1 : 0));
+    if (*ticks == 0)
+        return;
+    scheduleRafTick(at_ms, std::move(ticks), fn_name);
+}
+
+void
+Tab::scheduleRafTick(uint64_t delay_ms,
+                     std::shared_ptr<uint64_t> ticks_left,
+                     std::string fn_name)
+{
+    machine_.postDelayed(
+        threads_.main, config_.msToCycles(delay_ms),
+        [this, ticks_left = std::move(ticks_left),
+         fn_name = std::move(fn_name)](Ctx &ctx) mutable {
+            {
+                TracedScope scope(ctx, fnRaf_);
+                if (!js_->callByName(ctx, fn_name)) {
+                    warn("raf loop callee '", fn_name,
+                         "' is not a script function");
+                    return; // don't keep warning every vsync
+                }
+            }
+            ++rafTicks_;
+            if (--*ticks_left > 0) {
+                scheduleRafTick(config_.vsyncMs, std::move(ticks_left),
+                                std::move(fn_name));
+            }
+        });
+}
+
+int
+Tab::addWorker()
+{
+    const int index = static_cast<int>(workers_.size());
+    Worker worker;
+    worker.tid = machine_.addThread(
+        format("DedicatedWorker thread %d", index));
+    worker.inbox = std::make_unique<TaskChannel>(machine_, worker.tid,
+                                                 "to-worker");
+    worker.unitsAddr = machine_.alloc(8, "worker-units");
+    worker.resultAddr = machine_.alloc(8, "worker-result");
+    if (!workerToMain_) {
+        workerToMain_ = std::make_unique<TaskChannel>(
+            machine_, threads_.main, "worker-main");
+        workerAccumAddr_ = machine_.alloc(8, "worker-accum");
+    }
+    workers_.push_back(std::move(worker));
+    return index;
+}
+
+void
+Tab::runWorkerBurst(Ctx &ctx, int index, const sim::Value &units_cell,
+                    uint64_t units)
+{
+    Worker &worker = workers_[static_cast<size_t>(index)];
+    // Traced compute kernel: every step folds the (traced) burst size
+    // into the accumulator, so the result — and therefore whatever the
+    // main thread renders from it — is data-dependent on the posted task.
+    Value acc = ctx.loadVia(units_cell, 0, 8);
+    for (uint64_t step = 0; step < units; ++step) {
+        acc = ctx.muli(acc, 6364136223846793005ull);
+        acc = ctx.addi(acc, 1442695040888963407ll);
+        Value more = ctx.imm(step + 1 < units ? 1 : 0);
+        if (!ctx.branchIf(more))
+            break;
+    }
+    ctx.store(worker.resultAddr, 8, acc);
+    // Hop the result back to the main thread, which folds it into the
+    // tab-wide accumulator (the consumer a real page would render from).
+    workerToMain_->post(ctx, worker.resultAddr,
+                        [this](Ctx &mctx, Value payload) {
+                            TracedScope scope(mctx, fnWorkerReply_);
+                            Value result = mctx.loadVia(payload, 0, 8);
+                            Value sum = mctx.load(workerAccumAddr_, 8);
+                            Value next = mctx.add(sum, result);
+                            mctx.store(workerAccumAddr_, 8, next);
+                            ++workerTasksDone_;
+                        });
+}
+
+void
+Tab::scheduleWorkerTask(uint64_t at_ms, int index, uint64_t units)
+{
+    fatal_if(index < 0 ||
+                 static_cast<size_t>(index) >= workers_.size(),
+             "worker index ", index, " out of range (", workers_.size(),
+             " workers)");
+    Worker &worker = workers_[static_cast<size_t>(index)];
+    const uint64_t units_addr = worker.unitsAddr;
+    TaskChannel *inbox = worker.inbox.get();
+    machine_.postDelayed(
+        threads_.main, config_.msToCycles(at_ms),
+        [this, index, units, units_addr, inbox](Ctx &ctx) {
+            TracedScope scope(ctx, fnWorkerPost_);
+            Value burst = ctx.imm(units);
+            ctx.store(units_addr, 8, burst);
+            inbox->post(ctx, units_addr,
+                        [this, index, units](Ctx &wctx, Value payload) {
+                            TracedScope run(wctx, fnWorkerRun_);
+                            runWorkerBurst(wctx, index, payload, units);
+                        });
         });
 }
 

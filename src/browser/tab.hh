@@ -33,6 +33,7 @@
 #include "browser/lib.hh"
 #include "browser/net.hh"
 #include "browser/paint.hh"
+#include "browser/user_action.hh"
 #include "sim/machine.hh"
 
 namespace webslice {
@@ -51,13 +52,28 @@ struct SiteContent
 class Tab
 {
   public:
+    /**
+     * @param shared_threads  When non-null, run this tab on an existing
+     *     browser thread set instead of creating one — the multi-tab
+     *     configuration where several tabs share one compositor and one
+     *     raster pool.
+     */
     Tab(sim::Machine &machine, BrowserConfig config,
-        JsEngineConfig js_config = {});
+        JsEngineConfig js_config = {},
+        const BrowserThreads *shared_threads = nullptr);
 
     /** Start loading a site; drives everything once machine.run() runs. */
     void navigate(const SiteContent &site);
 
     // ---- scripted user input (the paper's browse sessions) ---------------
+
+    /**
+     * Schedule one declarative action. This is the single dispatch point
+     * shared by the scenario engine and the hard-coded benchmark specs;
+     * payload-bearing actions (ScriptFetch, PartialNav) must arrive with
+     * their payload fields already resolved.
+     */
+    void scheduleAction(const UserAction &action);
 
     void scheduleScroll(uint64_t at_ms, int dy);
     void scheduleClick(uint64_t at_ms, const std::string &element_id);
@@ -67,6 +83,34 @@ class Tab
      *  bytes Bing/Google Maps download while being browsed). */
     void scheduleScriptFetch(uint64_t at_ms, const std::string &url,
                              std::string content);
+
+    /**
+     * SPA-style partial navigation: fetch `fragment_html` as a document
+     * fragment and swap it in as the new subtree of `target_id` — style
+     * resolution, layout, and paint rerun without a full load.
+     */
+    void schedulePartialNav(uint64_t at_ms, const std::string &target_id,
+                            std::string fragment_html);
+
+    /**
+     * requestAnimationFrame-style loop: starting at at_ms, call the JS
+     * function `fn_name` once per vsync interval for duration_ms.
+     */
+    void scheduleRafLoop(uint64_t at_ms, uint64_t duration_ms,
+                         const std::string &fn_name);
+
+    /**
+     * Create a dedicated worker thread (before machine.run()). Returns
+     * the worker's index for scheduleWorkerTask.
+     */
+    int addWorker();
+
+    /**
+     * Post a traced compute burst of `units` steps to worker `index` at
+     * at_ms; the result value hops back to the main thread through a
+     * task channel (a real cross-thread data dependence).
+     */
+    void scheduleWorkerTask(uint64_t at_ms, int index, uint64_t units);
 
     /** Keep vsync/BeginFrame ticks alive until this session time. */
     void setSessionMs(uint64_t ms) { sessionMs_ = ms; }
@@ -94,6 +138,11 @@ class Tab
 
     uint64_t pipelineUpdates() const { return pipelineUpdates_; }
 
+    size_t workerCount() const { return workers_.size(); }
+    uint64_t workerTasksCompleted() const { return workerTasksDone_; }
+    uint64_t rafTicksFired() const { return rafTicks_; }
+    size_t partialNavsCompleted() const { return partialNavsDone_; }
+
   private:
     void onHtmlLoaded(sim::Ctx &ctx, Resource &res);
     void onCssLoaded(sim::Ctx &ctx, Resource &res);
@@ -106,6 +155,11 @@ class Tab
     void handleForwardedInput(sim::Ctx &main_ctx, uint32_t id_hash,
                               uint32_t kind);
     std::vector<StyleSheet *> sheetPointers() const;
+    void scheduleRafTick(uint64_t delay_ms,
+                         std::shared_ptr<uint64_t> ticks_left,
+                         std::string fn_name);
+    void runWorkerBurst(sim::Ctx &ctx, int index,
+                        const sim::Value &units_cell, uint64_t units);
 
     sim::Machine &machine_;
     BrowserConfig config_;
@@ -129,6 +183,11 @@ class Tab
     trace::FuncId fnNavigate_;
     trace::FuncId fnHitTest_;
     trace::FuncId fnUpdate_;
+    trace::FuncId fnPartialNav_;
+    trace::FuncId fnRaf_;
+    trace::FuncId fnWorkerPost_;
+    trace::FuncId fnWorkerRun_;
+    trace::FuncId fnWorkerReply_;
 
     std::vector<std::unique_ptr<Resource>> resources_;
     std::unique_ptr<Document> document_;
@@ -137,6 +196,22 @@ class Tab
 
     std::map<std::string, std::pair<ResourceType, std::string>>
         sitePayloads_;
+
+    /** One dedicated worker: its thread, inbox, and scratch cells. */
+    struct Worker
+    {
+        trace::ThreadId tid = 0;
+        std::unique_ptr<TaskChannel> inbox;
+        uint64_t unitsAddr = 0;  ///< Main writes the burst size here.
+        uint64_t resultAddr = 0; ///< Worker writes its result here.
+    };
+    std::vector<Worker> workers_;
+    std::unique_ptr<TaskChannel> workerToMain_;
+    uint64_t workerAccumAddr_ = 0; ///< Main-side sum of worker results.
+    uint64_t workerTasksDone_ = 0;
+    uint64_t rafTicks_ = 0;
+    size_t partialNavs_ = 0;     ///< Scheduled (names fragment urls).
+    size_t partialNavsDone_ = 0; ///< Completed subtree swaps.
 
     size_t outstandingCritical_ = 0; ///< html + css + js still in flight
     size_t outstandingImages_ = 0;

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The one scripted-interaction representation shared by the scenario
+ * DSL, the hard-coded benchmark specs (workloads::SiteSpec), and the
+ * Tab's scheduling entry points.
+ *
+ * An action is declarative: times are session-relative milliseconds,
+ * targets are element ids, and generated payloads (lazy scripts, SPA
+ * fragments) are carried as resolved strings filled in by the scenario
+ * engine just before scheduling — the Tab never generates content, it
+ * only schedules what it is handed. The parameter fields (byte budgets,
+ * section counts) are what the DSL serializes; the payload fields are
+ * derived from them deterministically.
+ */
+
+#ifndef WEBSLICE_BROWSER_USER_ACTION_HH
+#define WEBSLICE_BROWSER_USER_ACTION_HH
+
+#include <cstdint>
+#include <string>
+
+namespace webslice {
+namespace browser {
+
+/** A scripted user/session action within a recorded session. */
+struct UserAction
+{
+    enum class Kind
+    {
+        Scroll,      ///< Compositor-thread scroll by scrollDy px.
+        Click,       ///< Click on targetId (forwarded to the main thread).
+        Key,         ///< Keystroke into targetId.
+        Type,        ///< Burst of `count` keystrokes, intervalMs apart.
+        ScriptFetch, ///< Fetch + run an additional script mid-session.
+        PartialNav,  ///< SPA-style subtree swap under targetId.
+        RafLoop,     ///< requestAnimationFrame loop calling fnName.
+        WorkerTask,  ///< Traced compute burst on a dedicated worker.
+    };
+
+    UserAction() = default;
+
+    /** The legacy three-verb shape: {kind, at, dy, target-id}. */
+    UserAction(Kind kind_, uint64_t at_ms, int scroll_dy,
+               std::string target_id)
+        : kind(kind_), atMs(at_ms), scrollDy(scroll_dy),
+          targetId(std::move(target_id))
+    {}
+
+    Kind kind = Kind::Click;
+    uint64_t atMs = 0;
+    int scrollDy = 0;
+    std::string targetId; ///< Click/Key/Type target; PartialNav host.
+
+    /** Owning tab for multi-tab scenarios (0 = the primary tab). */
+    int tab = 0;
+
+    // ---- Type -------------------------------------------------------------
+    int count = 0;           ///< Keystrokes in the burst.
+    uint64_t intervalMs = 0; ///< Gap between keystrokes.
+
+    // ---- PartialNav parameters (fragment is generated from these) --------
+    int fragSections = 0; ///< Sections in the swapped-in fragment.
+    int fragItems = 0;    ///< Cards per fragment section.
+
+    // ---- ScriptFetch / PartialNav script ----------------------------------
+    uint64_t bytes = 0;         ///< Script byte budget.
+    double loadFraction = 0.95; ///< Share of those bytes executed.
+
+    // ---- RafLoop ----------------------------------------------------------
+    uint64_t durationMs = 0; ///< How long the loop keeps ticking.
+    std::string fnName;      ///< JS function invoked per tick.
+
+    // ---- WorkerTask -------------------------------------------------------
+    int workerIndex = 0; ///< Which dedicated worker runs the burst.
+    uint64_t units = 0;  ///< Traced compute units.
+
+    // ---- resolved payloads (filled by the engine, never serialized) -------
+    std::string url;           ///< ScriptFetch resource url.
+    std::string payload;       ///< ScriptFetch source / PartialNav HTML.
+    std::string scriptPayload; ///< PartialNav companion script source.
+};
+
+} // namespace browser
+} // namespace webslice
+
+#endif // WEBSLICE_BROWSER_USER_ACTION_HH

@@ -1,0 +1,246 @@
+#include "scenario/generator.hh"
+
+#include <cstdlib>
+
+#include "support/logging.hh"
+#include "support/strings.hh"
+
+namespace webslice {
+namespace scenario {
+
+using browser::UserAction;
+using workloads::SiteSpec;
+
+namespace {
+
+/** Pick the lo/mid/hi value for a level. */
+template <typename T>
+T
+pick(Level level, T lo, T mid, T hi)
+{
+    switch (level) {
+      case Level::Lo:
+        return lo;
+      case Level::Mid:
+        return mid;
+      case Level::Hi:
+        return hi;
+    }
+    return mid; // unreachable
+}
+
+} // namespace
+
+Level
+parseLevel(const std::string &text)
+{
+    if (text == "lo")
+        return Level::Lo;
+    if (text == "mid")
+        return Level::Mid;
+    if (text == "hi")
+        return Level::Hi;
+    fatal("knob level must be lo, mid, or hi; got '", text, "'");
+}
+
+const char *
+levelName(Level level)
+{
+    switch (level) {
+      case Level::Lo:
+        return "lo";
+      case Level::Mid:
+        return "mid";
+      case Level::Hi:
+        return "hi";
+    }
+    return "mid"; // unreachable
+}
+
+const std::vector<std::string> &
+knobKeys()
+{
+    static const std::vector<std::string> keys = {
+        "dom_depth", "css_volume", "js_hotness", "images", "workers",
+    };
+    return keys;
+}
+
+void
+applyKnob(Knobs &knobs, const std::string &key, const std::string &value)
+{
+    if (key == "dom_depth") {
+        knobs.domDepth = parseLevel(value);
+    } else if (key == "css_volume") {
+        knobs.cssVolume = parseLevel(value);
+    } else if (key == "js_hotness") {
+        knobs.jsHotness = parseLevel(value);
+    } else if (key == "images") {
+        knobs.images = parseLevel(value);
+    } else if (key == "workers") {
+        char *end = nullptr;
+        const long n = std::strtol(value.c_str(), &end, 10);
+        fatal_if(end == value.c_str() || *end != '\0' || n < 0 || n > 8,
+                 "workers knob takes 0..8, got '", value, "'");
+        knobs.workers = static_cast<int>(n);
+    } else {
+        std::string valid;
+        for (const auto &k : knobKeys())
+            valid += (valid.empty() ? "" : ", ") + k;
+        fatal("unknown knob '", key, "' (valid: ", valid, ")");
+    }
+}
+
+std::string
+knobsLabel(const Knobs &knobs)
+{
+    std::string label =
+        format("dom-%s_css-%s_js-%s_img-%s", levelName(knobs.domDepth),
+               levelName(knobs.cssVolume), levelName(knobs.jsHotness),
+               levelName(knobs.images));
+    if (knobs.workers)
+        label += format("_w%d", knobs.workers);
+    return label;
+}
+
+std::string
+describeKnobs()
+{
+    return "dom_depth   lo|mid|hi  sections 2/4/6, cards 2/3/4, "
+           "nesting 0/1/2\n"
+           "css_volume  lo|mid|hi  stylesheet 4k/12k/28k bytes\n"
+           "js_hotness  lo|mid|hi  script 8k/16k/28k bytes, load "
+           "0.55/0.45/0.35, handlers +0/2/5, timers 0/1/3\n"
+           "images      lo|mid|hi  512/2048/6144 bytes per image\n"
+           "workers     0..8       dedicated workers fed traced "
+           "bursts\n";
+}
+
+Scenario
+generateScenario(uint64_t seed, const Knobs &knobs)
+{
+    // One generator stream, decorrelated from the content stream that
+    // buildSiteContent derives from site.seed.
+    Rng rng(seed ^ 0xC0FFEE);
+
+    Scenario sc;
+    sc.workers = knobs.workers;
+
+    SiteSpec &site = sc.site;
+    site.seed = seed;
+    site.url = format("https://synth-%llu.example/",
+                      static_cast<unsigned long long>(seed));
+    site.sessionMs = 6000;
+
+    site.page.sections = pick(knobs.domDepth, 2, 4, 6);
+    site.page.itemsPerSection = pick(knobs.domDepth, 2, 3, 4);
+    site.page.nestingDepth = pick(knobs.domDepth, 0, 1, 2);
+    site.page.hiddenMenus = 1 + static_cast<int>(rng.below(2));
+    site.page.menuEntries = 4 + static_cast<int>(rng.below(4));
+    site.page.fixedHeader = true;
+    site.page.carousel = rng.chance(0.5);
+    site.page.newsPane = !site.page.carousel && rng.chance(0.5);
+    site.page.searchBox = rng.chance(0.5);
+    site.page.adBanner = rng.chance(0.4);
+    site.page.wordsPerParagraph = 10 + static_cast<int>(rng.below(8));
+
+    site.css.targetBytes =
+        pick<uint64_t>(knobs.cssVolume, 4000, 12000, 28000);
+    site.css.usedFraction = 0.5;
+
+    site.js.targetBytes =
+        pick<uint64_t>(knobs.jsHotness, 8000, 16000, 28000);
+    site.js.loadFraction = pick(knobs.jsHotness, 0.55, 0.45, 0.35);
+    site.js.handlerFraction = pick(knobs.jsHotness, 0.08, 0.15, 0.22);
+    site.js.timerCount = pick(knobs.jsHotness, 0, 1, 3);
+    site.js.timerMs = pick<uint64_t>(knobs.jsHotness, 400, 500, 300);
+    site.js.extraHandlers = pick(knobs.jsHotness, 0, 2, 5);
+
+    site.imageBytes = pick<size_t>(knobs.images, 512, 2048, 6144);
+
+    sc.name = format("synth seed=0x%llx %s",
+                     static_cast<unsigned long long>(seed),
+                     knobsLabel(knobs).c_str());
+    site.name = sc.name;
+
+    // ---- interaction script ------------------------------------------------
+    // Legacy verbs land in site.actions (scheduled like the paper
+    // benchmarks); new verbs ride in extraActions. Every action is
+    // expressible in the DSL, so serialize -> parse -> run reproduces
+    // the exact recording.
+    auto legacy = [&](UserAction::Kind kind, uint64_t at, int dy,
+                      const std::string &id) {
+        UserAction a;
+        a.kind = kind;
+        a.atMs = at;
+        a.scrollDy = dy;
+        a.targetId = id;
+        site.actions.push_back(std::move(a));
+    };
+
+    legacy(UserAction::Kind::Click, 1200 + rng.below(400), 0,
+           "btn-menu");
+    legacy(UserAction::Kind::Scroll, 1800 + rng.below(300),
+           200 + static_cast<int>(rng.below(300)), "");
+    if (site.page.carousel || site.page.newsPane)
+        legacy(UserAction::Kind::Click, 2600 + rng.below(400), 0,
+               "btn-roll");
+    if (rng.chance(0.6))
+        legacy(UserAction::Kind::Scroll, 3400 + rng.below(300),
+               -static_cast<int>(100 + rng.below(200)), "");
+
+    if (site.page.searchBox) {
+        UserAction burst;
+        burst.kind = UserAction::Kind::Type;
+        burst.atMs = 2000 + rng.below(300);
+        burst.targetId = "searchbox";
+        burst.count = 3 + static_cast<int>(rng.below(3));
+        burst.intervalMs = 120 + rng.below(80);
+        sc.extraActions.push_back(std::move(burst));
+    }
+
+    {
+        // One SPA partial navigation into the first section; half the
+        // time it also pulls a fragment script bundle.
+        UserAction nav;
+        nav.kind = UserAction::Kind::PartialNav;
+        nav.atMs = 3800 + rng.below(600);
+        nav.targetId = "sec-0";
+        nav.fragSections = 1 + static_cast<int>(rng.below(2));
+        nav.fragItems = 2 + static_cast<int>(rng.below(2));
+        if (rng.chance(0.5)) {
+            nav.bytes = 1200 + rng.below(1600);
+            nav.loadFraction = 0.8;
+        }
+        sc.extraActions.push_back(std::move(nav));
+    }
+
+    if (rng.chance(0.5)) {
+        UserAction raf;
+        raf.kind = UserAction::Kind::RafLoop;
+        raf.atMs = 2000 + rng.below(500);
+        raf.durationMs = 1000 + rng.below(1000);
+        raf.fnName = "util0"; // always emitted by generateJs
+        sc.extraActions.push_back(std::move(raf));
+    }
+
+    for (int w = 0; w < sc.workers; ++w) {
+        UserAction task;
+        task.kind = UserAction::Kind::WorkerTask;
+        task.atMs = 2200 + 400 * static_cast<uint64_t>(w);
+        task.workerIndex = w;
+        task.units = 32 + rng.below(32);
+        sc.extraActions.push_back(std::move(task));
+    }
+
+    if (rng.chance(0.5)) {
+        site.lazyJsAtMs = 3000 + rng.below(500);
+        site.lazyJsBytes = 1500 + rng.below(1500);
+        site.lazyJsLoadFraction = 0.9;
+    }
+
+    return sc;
+}
+
+} // namespace scenario
+} // namespace webslice

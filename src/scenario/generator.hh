@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Seeded synthetic-site scenario generator.
+ *
+ * Builds whole browsing sessions — site content knobs plus an
+ * interaction script — from a (seed, knobs) pair. The same pair always
+ * yields the same Scenario (and therefore, through the deterministic
+ * engine, the same trace bytes), which is what makes sweep families
+ * reproducible: `webslice-scenario sweep --seeds 1..16 --knob
+ * js_hotness=lo,hi` re-emits identical recordings on every machine.
+ *
+ * Knobs (each lo/mid/hi unless noted):
+ *   dom_depth   sections, cards per section, nested container depth
+ *   css_volume  stylesheet bytes (selector complexity rides along)
+ *   js_hotness  script bytes, load/dead-code split, listener count,
+ *               one-shot timer frequency
+ *   images      image count rides dom_depth; this sets bytes per image
+ *   workers     numeric: dedicated workers fed traced bursts (0 = none)
+ */
+
+#ifndef WEBSLICE_SCENARIO_GENERATOR_HH
+#define WEBSLICE_SCENARIO_GENERATOR_HH
+
+#include <string>
+#include <vector>
+
+#include "scenario/scenario.hh"
+
+namespace webslice {
+namespace scenario {
+
+/** Three-point setting for one generator dimension. */
+enum class Level { Lo, Mid, Hi };
+
+/** Level from its CLI spelling; fatal on anything but lo/mid/hi. */
+Level parseLevel(const std::string &text);
+const char *levelName(Level level);
+
+/** The generator's tuning surface. */
+struct Knobs
+{
+    Level domDepth = Level::Mid;
+    Level cssVolume = Level::Mid;
+    Level jsHotness = Level::Mid;
+    Level images = Level::Mid;
+    int workers = 0;
+};
+
+/**
+ * Apply one `--knob key=value` setting; fatal (listing the valid keys)
+ * on an unknown key or a malformed value.
+ */
+void applyKnob(Knobs &knobs, const std::string &key,
+               const std::string &value);
+
+/** Filename-safe family label, e.g. "dom-mid_css-mid_js-hi_img-mid". */
+std::string knobsLabel(const Knobs &knobs);
+
+/** The valid knob keys in CLI order (for describe / error messages). */
+const std::vector<std::string> &knobKeys();
+
+/** One line per knob: key, levels, and what it controls. */
+std::string describeKnobs();
+
+/** Deterministically synthesize one scenario from (seed, knobs). */
+Scenario generateScenario(uint64_t seed, const Knobs &knobs);
+
+} // namespace scenario
+} // namespace webslice
+
+#endif // WEBSLICE_SCENARIO_GENERATOR_HH

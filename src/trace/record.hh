@@ -88,6 +88,16 @@ struct Record
     RegId rr2 = kNoReg; ///< Third register read (select, indexed stores).
     RegId rw = kNoReg;  ///< Register written.
 
+    /**
+     * Explicit tail padding, always zero. Without it the compiler pads
+     * the struct to 32 bytes with garbage, and since the struct is the
+     * on-disk format verbatim, recordings of the same session would not
+     * be byte-identical — which the scenario subsystem's reproducibility
+     * contract (and CI's digest comparisons) depend on. Readers ignore
+     * it, so traces written before this field existed still load.
+     */
+    uint32_t reserved = 0;
+
     /** True for pseudo-records that are not executed instructions. */
     bool
     isPseudo() const

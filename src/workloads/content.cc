@@ -185,6 +185,11 @@ generatePage(Rng &rng, const PageSpec &spec)
         html += words(rng, 4);
         html += "</h1>";
         page.visibleTargetIds.push_back(format("sec-%d", s));
+        for (int d = 0; d < spec.nestingDepth; ++d) {
+            html += format("<div class=nest id=ns-%d-%d>", s, d);
+            useClass("nest");
+            page.visibleTargetIds.push_back(format("ns-%d-%d", s, d));
+        }
         for (int i = 0; i < spec.itemsPerSection; ++i) {
             const std::string card = format("card-%d-%d", s, i);
             html += format("<div class=card id=%s>", card.c_str());
@@ -203,6 +208,8 @@ generatePage(Rng &rng, const PageSpec &spec)
             html += "</div>";
             page.visibleTargetIds.push_back(card);
         }
+        for (int d = 0; d < spec.nestingDepth; ++d)
+            html += "</div>";
         html += "</section>";
     }
 
@@ -596,6 +603,42 @@ generateJs(Rng &rng, const JsSpec &spec, const PageContent &page)
         ++button_cursor;
     }
 
+    // ---- hotness knobs: extra listeners + timed ticks (scenario gen) ------------
+    for (int e = 0;
+         e < spec.extraHandlers && !page.visibleTargetIds.empty(); ++e) {
+        const std::string name =
+            format("%sonExtra%d", spec.namePrefix.c_str(), counter++);
+        js += format("function %s(){", name.c_str());
+        js += functionBody(rng, spec, page, /*touch_dom=*/true,
+                           helper_functions);
+        js += "}\n";
+        handlers_registration += format(
+            "dom.listen(%s, 0, %s);",
+            idHashLiteral(page.visibleTargetIds[
+                              e % page.visibleTargetIds.size()])
+                .c_str(),
+            name.c_str());
+    }
+    std::string timer_arming;
+    for (int t = 0; t < spec.timerCount; ++t) {
+        const std::string name =
+            format("%stick%d", spec.namePrefix.c_str(), t);
+        js += format("function %s(){g_b = g_b * 3 + %d;", name.c_str(),
+                     t + 1);
+        if (!page.visibleTargetIds.empty()) {
+            js += format("dom.set(%s, 2, g_b);",
+                         idHashLiteral(page.visibleTargetIds[
+                                           t % page.visibleTargetIds
+                                                   .size()])
+                             .c_str());
+        }
+        js += "}\n";
+        timer_arming += format("timer(%llu, %s);",
+                               static_cast<unsigned long long>(
+                                   spec.timerMs * (t + 1)),
+                               name.c_str());
+    }
+
     // ---- dead weight: parsed + compiled, never run ------------------------------
     std::vector<std::string> dead_functions;
     while (js.size() < spec.targetBytes) {
@@ -617,6 +660,7 @@ generateJs(Rng &rng, const JsSpec &spec, const PageContent &page)
         js += name + "(3);";
     js += "\n";
     js += handlers_registration;
+    js += timer_arming;
     js += "\n";
     return js;
 }

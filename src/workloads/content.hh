@@ -40,6 +40,13 @@ struct PageSpec
     bool mapCanvas = false;    ///< Google-Maps-style tile canvas.
     int mapTiles = 0;          ///< Image tiles inside the canvas.
     int wordsPerParagraph = 12;
+
+    /**
+     * Extra DOM depth: each section's cards are wrapped in this many
+     * nested container divs (the scenario generator's dom_depth knob).
+     * 0 keeps the historical flat markup byte-for-byte.
+     */
+    int nestingDepth = 0;
 };
 
 /** Synthesized page: the HTML plus everything the generators learned. */
@@ -97,6 +104,22 @@ struct JsSpec
      * (lazy/browse-time download) must not collide with the first.
      */
     std::string namePrefix;
+
+    // ---- scenario-generator hotness knobs (0 = historical output) ----------
+
+    /**
+     * One-shot timers armed from the top level: timer k fires a
+     * DOM-touching tick function at (k+1) * timerMs. Models sites that
+     * keep doing timed work after load.
+     */
+    int timerCount = 0;
+    uint64_t timerMs = 400;
+
+    /**
+     * Additional click handlers wired to visible page targets beyond
+     * the standard menu/roll/key set (the js_hotness listener knob).
+     */
+    int extraHandlers = 0;
 };
 
 /**

@@ -1,7 +1,5 @@
 #include "workloads/sites.hh"
 
-#include "support/logging.hh"
-
 namespace webslice {
 namespace workloads {
 
@@ -187,6 +185,39 @@ paperBenchmarks()
             bingSpec()};
 }
 
+const std::vector<BuiltinSite> &
+builtinSites()
+{
+    static const std::vector<BuiltinSite> sites = {
+        {"amazon-desktop",
+         "Amazon desktop view, load only (seed 0xa31, 3 rasterizers)",
+         amazonDesktopSpec},
+        {"amazon-mobile",
+         "Amazon emulated mobile view 360x640, load only (seed 0xa32)",
+         amazonMobileSpec},
+        {"maps",
+         "Google Maps, load only; the largest JS+CSS payload (seed 0x6a5)",
+         googleMapsSpec},
+        {"bing",
+         "Bing, load + browse session with menu/roll/typing (seed 0xb16)",
+         bingSpec},
+        {"fig2",
+         "Figure 2 session: amazon.com with scrolls, photo clicks, menu",
+         amazonFigure2Spec},
+    };
+    return sites;
+}
+
+const BuiltinSite *
+findBuiltinSite(const std::string &id)
+{
+    for (const auto &site : builtinSites()) {
+        if (id == site.id)
+            return &site;
+    }
+    return nullptr;
+}
+
 SiteSpec
 withBrowseSession(SiteSpec spec)
 {
@@ -248,65 +279,6 @@ buildSiteContent(const SiteSpec &spec)
     }
     site.html = "<link href=main.css><script src=app.js>" + site.html;
     return site;
-}
-
-RunResult
-runSite(const SiteSpec &spec, browser::JsEngineConfig js_config)
-{
-    RunResult result;
-    result.spec = spec;
-
-    result.machine = std::make_unique<sim::Machine>();
-    if (spec.captureValues)
-        result.machine->enableValueLog();
-    result.tab = std::make_unique<browser::Tab>(*result.machine,
-                                                spec.browser, js_config);
-
-    const SiteContent site = buildSiteContent(spec);
-    result.tab->setSessionMs(spec.sessionMs);
-    result.tab->navigate(site);
-
-    for (const auto &action : spec.actions) {
-        switch (action.kind) {
-          case UserAction::Kind::Scroll:
-            result.tab->scheduleScroll(action.atMs, action.scrollDy);
-            break;
-          case UserAction::Kind::Click:
-            result.tab->scheduleClick(action.atMs, action.targetId);
-            break;
-          case UserAction::Kind::Key:
-            result.tab->scheduleKey(action.atMs, action.targetId);
-            break;
-        }
-    }
-
-    if (spec.lazyJsBytes > 0) {
-        // Mid-session script download (all of it used: it is fetched on
-        // demand, the paper's deferred-processing ideal).
-        Rng lazy_rng(spec.seed ^ 0x1A2);
-        const PageContent page =
-            generatePage(lazy_rng, spec.page); // ids only; HTML unused
-        JsSpec lazy_spec;
-        lazy_spec.targetBytes = spec.lazyJsBytes;
-        lazy_spec.loadFraction = spec.lazyJsLoadFraction;
-        lazy_spec.handlerFraction = 0.0;
-        lazy_spec.namePrefix = "lz_"; // separate bundle namespace
-        result.tab->scheduleScriptFetch(
-            spec.lazyJsAtMs, "lazy.js",
-            generateJs(lazy_rng, lazy_spec, page));
-    }
-
-    result.machine->run();
-
-    fatal_if(!result.tab->loadComplete(),
-             "benchmark '", spec.name, "' never finished loading");
-
-    result.loadCompleteIndex = result.tab->loadCompleteIndex();
-    result.jsTotalBytes = result.tab->js().totalBytes();
-    result.jsUsedBytes = result.tab->js().usedBytes();
-    result.cssTotalBytes = result.tab->cssTotalBytes();
-    result.cssUsedBytes = result.tab->cssUsedBytes();
-    return result;
 }
 
 } // namespace workloads

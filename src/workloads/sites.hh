@@ -28,27 +28,19 @@
 
 #include "browser/js.hh"
 #include "browser/tab.hh"
+#include "browser/user_action.hh"
 #include "sim/machine.hh"
 #include "workloads/content.hh"
 
 namespace webslice {
 namespace workloads {
 
-/** A scripted user action within a session. */
-struct UserAction
-{
-    enum class Kind
-    {
-        Scroll,
-        Click,
-        Key,
-    };
-
-    Kind kind = Kind::Click;
-    uint64_t atMs = 0;
-    int scrollDy = 0;
-    std::string targetId;
-};
+/**
+ * The one scripted-action representation, shared with the scenario DSL
+ * and browser::Tab::scheduleAction (historically workloads had its own
+ * three-verb copy of this enum).
+ */
+using UserAction = browser::UserAction;
 
 /** Everything needed to run one benchmark. */
 struct SiteSpec
@@ -110,12 +102,29 @@ SiteSpec withoutBrowseSession(SiteSpec spec);
 /** All four Table II benchmarks in paper order. */
 std::vector<SiteSpec> paperBenchmarks();
 
+/** One enumerable built-in workload (webslice-record --list, describe). */
+struct BuiltinSite
+{
+    const char *id;      ///< CLI name, e.g. "amazon-desktop".
+    const char *summary; ///< One-line description for listings.
+    SiteSpec (*factory)();
+};
+
+/** Registry of the named built-in workloads, in CLI/paper order. */
+const std::vector<BuiltinSite> &builtinSites();
+
+/** Look up a built-in by CLI id; nullptr when unknown. */
+const BuiltinSite *findBuiltinSite(const std::string &id);
+
 /** Result of one end-to-end benchmark run. */
 struct RunResult
 {
     SiteSpec spec;
     std::unique_ptr<sim::Machine> machine;
     std::unique_ptr<browser::Tab> tab;
+
+    /** Secondary tabs of a multi-tab scenario (scenario engine only). */
+    std::vector<std::unique_ptr<browser::Tab>> extraTabs;
 
     size_t loadCompleteIndex = 0;
     uint64_t jsTotalBytes = 0;
@@ -128,9 +137,20 @@ struct RunResult
         return machine->records();
     }
 
-    const std::vector<std::string> &threadNames() const
+    /**
+     * Every simulated thread by id — derived from the machine rather
+     * than the tab's browser thread set so dedicated workers (and any
+     * other threads a scenario adds) are included.
+     */
+    std::vector<std::string>
+    threadNames() const
     {
-        return tab->threads().names;
+        std::vector<std::string> names;
+        names.reserve(machine->threadCount());
+        for (size_t t = 0; t < machine->threadCount(); ++t)
+            names.push_back(
+                machine->threadName(static_cast<trace::ThreadId>(t)));
+        return names;
     }
 
     uint64_t
@@ -146,9 +166,9 @@ struct RunResult
 /** Build the SiteContent payloads for a spec (deterministic). */
 browser::SiteContent buildSiteContent(const SiteSpec &spec);
 
-/** Run one benchmark to completion. */
-RunResult runSite(const SiteSpec &spec,
-                  browser::JsEngineConfig js_config = {});
+// The end-to-end runner lives in scenario/run.hh (scenario::runSite):
+// specs are compiled into a Scenario and executed by the one scenario
+// engine, so hard-coded benchmarks and .scn files share every code path.
 
 } // namespace workloads
 } // namespace webslice

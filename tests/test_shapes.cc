@@ -13,6 +13,7 @@
 #include "graph/cfg.hh"
 #include "graph/control_deps.hh"
 #include "slicer/slicer.hh"
+#include "scenario/run.hh"
 #include "workloads/sites.hh"
 
 namespace webslice {
@@ -39,7 +40,7 @@ struct ShapeRun
     slicer::SliceResult slice;
 
     explicit ShapeRun(const workloads::SiteSpec &spec)
-        : run(workloads::runSite(spec))
+        : run(scenario::runSite(spec))
     {
         const auto cfgs = graph::buildCfgs(run.records(),
                                            run.machine->symtab());
@@ -126,7 +127,7 @@ TEST(PaperShapes, UnusedBytesStayInThePaperBand)
         small.actions.clear();
         small.lazyJsBytes = 0;
         small.sessionMs = 400;
-        const auto run = workloads::runSite(small);
+        const auto run = scenario::runSite(small);
         const double unused =
             100.0 * static_cast<double>(run.unusedBytes()) /
             static_cast<double>(run.totalBytes());
@@ -140,8 +141,8 @@ TEST(PaperShapes, BrowsingLowersTheUnusedShare)
     auto load_spec = shrink(workloads::withoutBrowseSession(
         workloads::bingSpec()));
     auto browse_spec = shrink(workloads::bingSpec());
-    const auto load_run = workloads::runSite(load_spec);
-    const auto browse_run = workloads::runSite(browse_spec);
+    const auto load_run = scenario::runSite(load_spec);
+    const auto browse_run = scenario::runSite(browse_spec);
     const double load_unused =
         static_cast<double>(load_run.unusedBytes()) /
         static_cast<double>(load_run.totalBytes());

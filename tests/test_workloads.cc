@@ -12,6 +12,7 @@
 #include "browser/html_parser.hh"
 #include "browser/js.hh"
 #include "workloads/content.hh"
+#include "scenario/run.hh"
 #include "workloads/sites.hh"
 
 namespace webslice {
@@ -251,7 +252,7 @@ TEST(Runner, TinySpecRunsEndToEnd)
     spec.css.targetBytes = 1500;
     spec.sessionMs = 300;
 
-    const auto run = runSite(spec);
+    const auto run = scenario::runSite(spec);
     EXPECT_TRUE(run.tab->loadComplete());
     EXPECT_GT(run.records().size(), 1000u);
     EXPECT_GT(run.machine->pixelCriteria().markerCount(), 0u);
@@ -279,7 +280,7 @@ TEST(Runner, ActionsFireDuringTheSession)
     spec.sessionMs = 2500;
     spec.actions = {{UserAction::Kind::Click, 1200, 0, "btn-menu"}};
 
-    const auto run = runSite(spec);
+    const auto run = scenario::runSite(spec);
     // The menu toggle ran: the handler flipped g_menu and the menu became
     // visible, which forces extra pipeline updates after load.
     EXPECT_GT(run.records().size(), run.loadCompleteIndex);

@@ -5,8 +5,10 @@
  * same hand-off the paper's Pin tool performs for the offline profiler.
  *
  *   webslice-record <benchmark> <output-prefix> [--values] [--format=F]
+ *   webslice-record --list
  *
- *   benchmark: amazon-desktop | amazon-mobile | maps | bing | fig2
+ *   benchmark: one of the built-in workloads (--list enumerates them,
+ *   one id per line).
  *
  * Writes <prefix>.trc (records), <prefix>.sym (symbols), <prefix>.crit
  * (pixel criteria), <prefix>.meta (thread names + load-complete index).
@@ -25,6 +27,7 @@
 
 #include "support/strings.hh"
 #include "trace/trace_file.hh"
+#include "scenario/run.hh"
 #include "workloads/sites.hh"
 
 using namespace webslice;
@@ -37,13 +40,22 @@ usage(const char *argv0)
     std::fprintf(stderr,
                  "usage: %s <benchmark> <output-prefix> [--values] "
                  "[--format=v1|v2]\n"
-                 "  benchmark: amazon-desktop | amazon-mobile | maps | "
-                 "bing | fig2\n"
+                 "       %s --list\n"
+                 "  benchmark: a built-in workload id (--list "
+                 "enumerates them)\n"
                  "  --values: record the value log (<prefix>.val) for "
                  "webslice-check\n"
                  "  --format: trace encoding; v1 = flat records "
                  "(default), v2 = columnar compressed\n",
-                 argv0);
+                 argv0, argv0);
+}
+
+int
+listBuiltins()
+{
+    for (const auto &site : workloads::builtinSites())
+        std::printf("%s\n", site.id);
+    return 0;
 }
 
 } // namespace
@@ -51,6 +63,8 @@ usage(const char *argv0)
 int
 main(int argc, char **argv)
 {
+    if (argc == 2 && std::strcmp(argv[1], "--list") == 0)
+        return listBuiltins();
     if (argc < 3) {
         usage(argv[0]);
         return 1;
@@ -70,26 +84,19 @@ main(int argc, char **argv)
         }
     }
 
-    workloads::SiteSpec spec;
-    const std::string name = argv[1];
-    if (name == "amazon-desktop") {
-        spec = workloads::amazonDesktopSpec();
-    } else if (name == "amazon-mobile") {
-        spec = workloads::amazonMobileSpec();
-    } else if (name == "maps") {
-        spec = workloads::googleMapsSpec();
-    } else if (name == "bing") {
-        spec = workloads::bingSpec();
-    } else if (name == "fig2") {
-        spec = workloads::amazonFigure2Spec();
-    } else {
+    const workloads::BuiltinSite *builtin =
+        workloads::findBuiltinSite(argv[1]);
+    if (!builtin) {
+        std::fprintf(stderr, "unknown benchmark '%s' (try --list)\n",
+                     argv[1]);
         usage(argv[0]);
         return 1;
     }
+    workloads::SiteSpec spec = builtin->factory();
 
     spec.captureValues = capture_values;
     std::fprintf(stderr, "recording '%s'...\n", spec.name.c_str());
-    const auto run = workloads::runSite(spec);
+    const auto run = scenario::runSite(spec);
 
     const std::string prefix = argv[2];
     {
@@ -123,8 +130,9 @@ main(int argc, char **argv)
     meta << "benchmark " << spec.name << '\n';
     meta << "loadCompleteIndex " << run.loadCompleteIndex << '\n';
     meta << "loadOnly " << (spec.actions.empty() ? 1 : 0) << '\n';
-    for (size_t t = 0; t < run.threadNames().size(); ++t)
-        meta << "thread " << t << ' ' << run.threadNames()[t] << '\n';
+    const auto thread_names = run.threadNames();
+    for (size_t t = 0; t < thread_names.size(); ++t)
+        meta << "thread " << t << ' ' << thread_names[t] << '\n';
 
     std::fprintf(stderr,
                  "wrote %s.{trc,sym,crit,meta%s}: %s records, %zu "
