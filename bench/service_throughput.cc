@@ -76,7 +76,9 @@ saveMeta(const workloads::RunResult &run,
     std::ofstream meta(prefix + ".meta");
     meta << "benchmark " << name << '\n';
     meta << "loadCompleteIndex " << run.loadCompleteIndex << '\n';
-    meta << "loadOnly " << (spec.actions.empty() ? 1 : 0) << '\n';
+    meta << "loadOnly "
+         << (spec.actions.empty() && spec.lazyJsBytes == 0 ? 1 : 0)
+         << '\n';
     for (size_t t = 0; t < run.threadNames().size(); ++t)
         meta << "thread " << t << ' ' << run.threadNames()[t] << '\n';
 }

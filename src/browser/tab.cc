@@ -368,14 +368,17 @@ Tab::scheduleAction(const UserAction &action)
       case UserAction::Kind::ScriptFetch:
         scheduleScriptFetch(action.atMs, action.url, action.payload);
         break;
-      case UserAction::Kind::PartialNav:
-        schedulePartialNav(action.atMs, action.targetId, action.payload);
+      case UserAction::Kind::PartialNav: {
+        const size_t nav =
+            schedulePartialNav(action.atMs, action.targetId,
+                               action.payload);
         if (!action.scriptPayload.empty()) {
             scheduleScriptFetch(action.atMs,
-                                format("fragment-%zu.js", partialNavs_),
+                                format("fragment-%zu.js", nav),
                                 action.scriptPayload);
         }
         break;
+      }
       case UserAction::Kind::RafLoop:
         scheduleRafLoop(action.atMs, action.durationMs, action.fnName);
         break;
@@ -385,11 +388,12 @@ Tab::scheduleAction(const UserAction &action)
     }
 }
 
-void
+size_t
 Tab::schedulePartialNav(uint64_t at_ms, const std::string &target_id,
                         std::string fragment_html)
 {
-    const std::string url = format("fragment-%zu.html", partialNavs_++);
+    const size_t nav = partialNavs_++;
+    const std::string url = format("fragment-%zu.html", nav);
     sitePayloads_[url] = {ResourceType::Html, std::move(fragment_html)};
     machine_.postDelayed(
         threads_.main, config_.msToCycles(at_ms),
@@ -424,6 +428,7 @@ Tab::schedulePartialNav(uint64_t at_ms, const std::string &target_id,
                 scheduleUpdate(cb_ctx);
             });
         });
+    return nav;
 }
 
 void
@@ -435,17 +440,17 @@ Tab::scheduleRafLoop(uint64_t at_ms, uint64_t duration_ms,
         duration_ms / interval + (duration_ms % interval ? 1 : 0));
     if (*ticks == 0)
         return;
-    scheduleRafTick(at_ms, std::move(ticks), fn_name);
+    scheduleRafTick(at_ms, interval, std::move(ticks), fn_name);
 }
 
 void
-Tab::scheduleRafTick(uint64_t delay_ms,
+Tab::scheduleRafTick(uint64_t delay_ms, uint64_t interval_ms,
                      std::shared_ptr<uint64_t> ticks_left,
                      std::string fn_name)
 {
     machine_.postDelayed(
         threads_.main, config_.msToCycles(delay_ms),
-        [this, ticks_left = std::move(ticks_left),
+        [this, interval_ms, ticks_left = std::move(ticks_left),
          fn_name = std::move(fn_name)](Ctx &ctx) mutable {
             {
                 TracedScope scope(ctx, fnRaf_);
@@ -457,7 +462,8 @@ Tab::scheduleRafTick(uint64_t delay_ms,
             }
             ++rafTicks_;
             if (--*ticks_left > 0) {
-                scheduleRafTick(config_.vsyncMs, std::move(ticks_left),
+                scheduleRafTick(interval_ms, interval_ms,
+                                std::move(ticks_left),
                                 std::move(fn_name));
             }
         });

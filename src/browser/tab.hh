@@ -87,10 +87,14 @@ class Tab
     /**
      * SPA-style partial navigation: fetch `fragment_html` as a document
      * fragment and swap it in as the new subtree of `target_id` — style
-     * resolution, layout, and paint rerun without a full load.
+     * resolution, layout, and paint rerun without a full load. Returns
+     * the navigation's ordinal, which names the fragment-<n>.html
+     * resource (and the companion fragment-<n>.js, when one rides
+     * along).
      */
-    void schedulePartialNav(uint64_t at_ms, const std::string &target_id,
-                            std::string fragment_html);
+    size_t schedulePartialNav(uint64_t at_ms,
+                              const std::string &target_id,
+                              std::string fragment_html);
 
     /**
      * requestAnimationFrame-style loop: starting at at_ms, call the JS
@@ -155,7 +159,7 @@ class Tab
     void handleForwardedInput(sim::Ctx &main_ctx, uint32_t id_hash,
                               uint32_t kind);
     std::vector<StyleSheet *> sheetPointers() const;
-    void scheduleRafTick(uint64_t delay_ms,
+    void scheduleRafTick(uint64_t delay_ms, uint64_t interval_ms,
                          std::shared_ptr<uint64_t> ticks_left,
                          std::string fn_name);
     void runWorkerBurst(sim::Ctx &ctx, int index,

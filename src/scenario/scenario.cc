@@ -112,6 +112,9 @@ parseScenarioText(const std::string &text, const std::string &path)
         } else if (key == "seed") {
             args(1);
             spec.seed = parseU64(tok[1]);
+        } else if (key == "session") {
+            args(1);
+            spec.sessionMs = parseU64(tok[1]);
         } else if (key == "viewport") {
             args(2);
             spec.browser.viewportWidth = parseInt(tok[1]);
@@ -339,15 +342,17 @@ parseScenarioText(const std::string &text, const std::string &path)
             sc.site.lazyJsLoadFraction = parseDouble(tok[3]);
             cursor = sc.site.lazyJsAtMs;
         } else if (verb == "partialnav") {
-            argc(4, 5);
+            argc(4, 6);
             UserAction a;
             a.kind = UserAction::Kind::PartialNav;
             a.atMs = parseAt(tok[1]);
             a.targetId = tok[2];
             a.fragSections = parseInt(tok[3]);
             a.fragItems = parseInt(tok[4]);
-            if (tok.size() == 6)
+            if (tok.size() >= 6)
                 a.bytes = parseU64(tok[5]);
+            if (tok.size() == 7)
+                a.loadFraction = parseDouble(tok[6]);
             if (a.fragSections <= 0 || a.fragItems <= 0)
                 fail("'partialnav' needs positive section/item counts");
             addAction(std::move(a), /*legacy=*/false);
@@ -409,6 +414,8 @@ serializeSiteBlock(std::string &out, const char *head, const SiteSpec &s)
     out += "  url " + s.url + "\n";
     out += format("  seed 0x%llx\n",
                   static_cast<unsigned long long>(s.seed));
+    out += format("  session %llu\n",
+                  static_cast<unsigned long long>(s.sessionMs));
     out += format("  viewport %d %d\n", s.browser.viewportWidth,
                   s.browser.viewportHeight);
     out += format("  raster_threads %d\n", s.browser.rasterThreads);
@@ -471,9 +478,11 @@ serializeAction(std::string &out, const UserAction &a)
       case UserAction::Kind::PartialNav:
         out += format("partialnav %llu %s %d %d", at,
                       a.targetId.c_str(), a.fragSections, a.fragItems);
-        if (a.bytes)
-            out += format(" %llu",
+        if (a.bytes) {
+            out += format(" %llu ",
                           static_cast<unsigned long long>(a.bytes));
+            out += doubleText(a.loadFraction);
+        }
         break;
       case UserAction::Kind::RafLoop:
         out += format("raf %llu %llu %s", at,
@@ -505,8 +514,6 @@ serializeScenario(const Scenario &sc)
     serializeSiteBlock(out, "site", sc.site);
     for (const auto &tab : sc.extraTabs)
         serializeSiteBlock(out, "tab", tab);
-    out += format("session %llu\n",
-                  static_cast<unsigned long long>(sc.site.sessionMs));
     if (sc.workers)
         out += format("workers %d\n", sc.workers);
     for (const auto &action : sc.site.actions)
@@ -521,6 +528,14 @@ serializeScenario(const Scenario &sc)
     for (const auto &action : sc.extraActions)
         serializeAction(out, action);
     return out;
+}
+
+bool
+isLoadOnly(const Scenario &sc)
+{
+    return sc.site.actions.empty() && sc.extraActions.empty() &&
+           sc.site.lazyJsBytes == 0 && sc.workers == 0 &&
+           sc.extraTabs.empty();
 }
 
 } // namespace scenario

@@ -18,9 +18,11 @@
  *
  *   # comment                       blank lines and #-comments ignored
  *   scenario "Name"                 display name (quoted, optional)
- *   site { <key> <value> ... }      primary tab site block
+ *   site { <key> <value> ... }      primary tab site block (every key
+ *                                   incl. a per-tab `session <ms>`)
  *   tab { ... }                     secondary tab (repeatable)
- *   session <ms>                    session length
+ *   session <ms>                    primary session length (sugar for
+ *                                   the site block's `session` key)
  *   workers <n>                     dedicated workers on the primary tab
  *   wait <ms>                       advance the time cursor
  *   scroll <at> <dy>                compositor scroll
@@ -28,7 +30,7 @@
  *   key <at> <id>                   one keystroke into element id
  *   type <at> <id> <count> <gap>    keystroke burst, <gap> ms apart
  *   fetch <at> <bytes> <fraction>   the mid-session lazy script (once)
- *   partialnav <at> <id> <sections> <items> [<jsbytes>]
+ *   partialnav <at> <id> <sections> <items> [<jsbytes> [<fraction>]]
  *   raf <at> <duration> <fn>        requestAnimationFrame loop
  *   worker <at> <index> <units>     traced burst on worker <index>
  *
@@ -85,6 +87,15 @@ Scenario parseScenarioText(const std::string &text,
  * site knob explicit), which the round-trip tests assert per verb.
  */
 std::string serializeScenario(const Scenario &scenario);
+
+/**
+ * True when the scenario schedules no interaction at all — no legacy
+ * actions, no extra-verb actions, no lazy fetch, no workers, and no
+ * secondary tabs — so analysis tools may window the recording at the
+ * primary tab's loadCompleteIndex without dropping scripted post-load
+ * work (the .meta `loadOnly` flag).
+ */
+bool isLoadOnly(const Scenario &scenario);
 
 } // namespace scenario
 } // namespace webslice

@@ -138,6 +138,7 @@ TEST(ScenarioDsl, EveryVerbRoundTrips)
                              "tab {\n"
                              "  url https://t.example/\n"
                              "  seed 0xa\n"
+                             "  session 3000\n"
                              "}\n"
                              "session 5000\n"
                              "workers 2\n"
@@ -146,7 +147,7 @@ TEST(ScenarioDsl, EveryVerbRoundTrips)
                              "key 1800 searchbox\n"
                              "fetch 2000 4096 0.75\n"
                              "type 2200 searchbox 3 120\n"
-                             "partialnav 2600 sec-0 2 3 1500\n"
+                             "partialnav 2600 sec-0 2 3 1500 0.8\n"
                              "raf 3000 800 util0\n"
                              "worker 3300 1 64\n"
                              "click 3500 btn-menu tab=1\n";
@@ -160,6 +161,7 @@ TEST(ScenarioDsl, EveryVerbRoundTrips)
     EXPECT_EQ(parsed.site.seed, 0x9u);
     ASSERT_EQ(parsed.extraTabs.size(), 1u);
     EXPECT_EQ(parsed.extraTabs[0].seed, 0xAu);
+    EXPECT_EQ(parsed.extraTabs[0].sessionMs, 3000u);
     EXPECT_EQ(parsed.workers, 2);
     EXPECT_EQ(parsed.site.sessionMs, 5000u);
     // Legacy verbs stay in site.actions, new verbs in extraActions.
@@ -175,12 +177,45 @@ TEST(ScenarioDsl, EveryVerbRoundTrips)
     EXPECT_EQ(parsed.extraActions[1].kind, UserAction::Kind::PartialNav);
     EXPECT_EQ(parsed.extraActions[1].fragSections, 2);
     EXPECT_EQ(parsed.extraActions[1].bytes, 1500u);
+    EXPECT_DOUBLE_EQ(parsed.extraActions[1].loadFraction, 0.8);
     EXPECT_EQ(parsed.extraActions[2].kind, UserAction::Kind::RafLoop);
     EXPECT_EQ(parsed.extraActions[2].fnName, "util0");
     EXPECT_EQ(parsed.extraActions[3].kind, UserAction::Kind::WorkerTask);
     EXPECT_EQ(parsed.extraActions[3].workerIndex, 1);
     EXPECT_EQ(parsed.extraActions[4].kind, UserAction::Kind::Click);
     EXPECT_EQ(parsed.extraActions[4].tab, 1);
+}
+
+TEST(ScenarioDsl, LoadOnlyConsidersTheWholeScenario)
+{
+    // The .meta loadOnly flag windows every downstream analysis at
+    // loadCompleteIndex, so it must only be set when *nothing* is
+    // scheduled after the load — including the new-verb actions that
+    // live outside site.actions.
+    Scenario bare;
+    EXPECT_TRUE(scenario::isLoadOnly(bare));
+
+    Scenario with_extra = bare;
+    UserAction raf;
+    raf.kind = UserAction::Kind::RafLoop;
+    with_extra.extraActions.push_back(raf);
+    EXPECT_FALSE(scenario::isLoadOnly(with_extra));
+
+    Scenario with_legacy = bare;
+    with_legacy.site.actions.emplace_back();
+    EXPECT_FALSE(scenario::isLoadOnly(with_legacy));
+
+    Scenario with_lazy = bare;
+    with_lazy.site.lazyJsBytes = 512;
+    EXPECT_FALSE(scenario::isLoadOnly(with_lazy));
+
+    Scenario with_workers = bare;
+    with_workers.workers = 1;
+    EXPECT_FALSE(scenario::isLoadOnly(with_workers));
+
+    Scenario with_tab = bare;
+    with_tab.extraTabs.emplace_back();
+    EXPECT_FALSE(scenario::isLoadOnly(with_tab));
 }
 
 TEST(ScenarioDsl, RelativeTimesFollowTheCursor)
@@ -299,6 +334,39 @@ TEST(ScenarioGenerator, GeneratedSceneryRunsDeterministically)
         scenario::parseScenarioText(text, "gen7"));
     expectSameTrace(run1.records(), run2.records());
     EXPECT_GT(run1.records().size(), 10000u);
+}
+
+TEST(ScenarioGenerator, ReparsedScnReproducesTheInMemoryTrace)
+{
+    // `webslice-scenario sweep` records the in-memory scenario and
+    // writes its .scn beside the artifacts, so the .scn must describe
+    // the *same* session. Pick a lo-knob seed whose partialnav carries
+    // a fragment script (generator loadFraction 0.8, not the parser
+    // default 0.95): a serializer that dropped the fraction would make
+    // the reparsed run execute a different script.
+    Knobs knobs;
+    knobs.domDepth = scenario::Level::Lo;
+    knobs.cssVolume = scenario::Level::Lo;
+    knobs.jsHotness = scenario::Level::Lo;
+    knobs.images = scenario::Level::Lo;
+    Scenario sc;
+    bool has_frag_script = false;
+    for (uint64_t seed = 1; seed <= 16 && !has_frag_script; ++seed) {
+        sc = scenario::generateScenario(seed, knobs);
+        for (const auto &action : sc.extraActions) {
+            has_frag_script |=
+                action.kind == UserAction::Kind::PartialNav &&
+                action.bytes > 0;
+        }
+    }
+    ASSERT_TRUE(has_frag_script)
+        << "no seed in 1..16 attaches a fragment script";
+
+    const auto direct = scenario::runScenario(sc);
+    const auto reparsed = scenario::runScenario(
+        scenario::parseScenarioText(scenario::serializeScenario(sc),
+                                    "reparsed"));
+    expectSameTrace(direct.records(), reparsed.records());
 }
 
 TEST(ScenarioGenerator, KnobParsingRejectsJunk)

@@ -129,7 +129,9 @@ main(int argc, char **argv)
     }
     meta << "benchmark " << spec.name << '\n';
     meta << "loadCompleteIndex " << run.loadCompleteIndex << '\n';
-    meta << "loadOnly " << (spec.actions.empty() ? 1 : 0) << '\n';
+    meta << "loadOnly "
+         << (spec.actions.empty() && spec.lazyJsBytes == 0 ? 1 : 0)
+         << '\n';
     const auto thread_names = run.threadNames();
     for (size_t t = 0; t < thread_names.size(); ++t)
         meta << "thread " << t << ' ' << thread_names[t] << '\n';

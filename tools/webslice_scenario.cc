@@ -124,7 +124,7 @@ recordScenario(const scenario::Scenario &sc, const std::string &prefix,
     fatal_if(!meta, "cannot write ", prefix, ".meta");
     meta << "benchmark " << run.spec.name << '\n';
     meta << "loadCompleteIndex " << run.loadCompleteIndex << '\n';
-    meta << "loadOnly " << (run.spec.actions.empty() ? 1 : 0) << '\n';
+    meta << "loadOnly " << (scenario::isLoadOnly(sc) ? 1 : 0) << '\n';
     const auto thread_names = run.threadNames();
     for (size_t t = 0; t < thread_names.size(); ++t)
         meta << "thread " << t << ' ' << thread_names[t] << '\n';
